@@ -1,0 +1,45 @@
+//! End-to-end simulation throughput: simulated instructions per host
+//! second for both processor models, on a representative benchmark.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gals_core::{simulate, ProcessorConfig, SimLimits};
+use gals_workload::{generate, Benchmark};
+
+const INSTS: u64 = 10_000;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    group.throughput(Throughput::Elements(INSTS));
+    group.sample_size(20);
+    for bench in [Benchmark::Gcc, Benchmark::Fpppp] {
+        let program = generate(bench, 42);
+        group.bench_with_input(BenchmarkId::new("base", bench.name()), &program, |b, p| {
+            b.iter(|| {
+                black_box(simulate(
+                    p,
+                    ProcessorConfig::synchronous_1ghz(),
+                    SimLimits::insts(INSTS),
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gals", bench.name()), &program, |b, p| {
+            b.iter(|| {
+                black_box(simulate(
+                    p,
+                    ProcessorConfig::gals_equal_1ghz(1),
+                    SimLimits::insts(INSTS),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    c.bench_function("workload/generate_gcc", |b| {
+        b.iter(|| black_box(generate(Benchmark::Gcc, 42)))
+    });
+}
+
+criterion_group!(benches, bench_end_to_end, bench_workload_generation);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! **Figure 5**: performance of the GALS model relative to the base model,
+//! with all five local clocks at the base frequency (random phases).
+//!
+//! Paper shape: every benchmark slows down, the drop ranges 5-15% with a
+//! ~10% average, and *fpppp* — one branch per 67 instructions — takes the
+//! smallest hit among the compute-bound benchmarks.
+
+use gals_bench::{mean, pct, run_base, run_gals, RUN_INSTS};
+use gals_workload::Benchmark;
+
+fn main() {
+    println!("Figure 5: GALS performance relative to base (equal 1 GHz clocks)");
+    println!();
+    println!("{:<10} {:>10} {:>10} {:>12}", "bench", "base i/ns", "gals i/ns", "gals/base");
+    let mut ratios = Vec::new();
+    for bench in Benchmark::ALL {
+        let base = run_base(bench, RUN_INSTS);
+        let gals = run_gals(bench, RUN_INSTS);
+        let r = gals.relative_performance(&base);
+        ratios.push(r);
+        println!(
+            "{:<10} {:>10.3} {:>10.3} {:>12}",
+            bench.name(),
+            base.insts_per_ns(),
+            gals.insts_per_ns(),
+            pct(r)
+        );
+    }
+    println!();
+    println!("average relative performance: {}", pct(mean(&ratios)));
+    println!("slowdown range: {} .. {}",
+        pct(1.0 - ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max)),
+        pct(1.0 - ratios.iter().cloned().fold(f64::INFINITY, f64::min)));
+    println!();
+    println!("paper: slowdown 5-15%, average ~10%; fpppp smallest hit among");
+    println!("compute-bound benchmarks (memory-bound codes hide the FIFO latency).");
+}

@@ -1,0 +1,64 @@
+//! **Figure 10**: breakdown of energy into macro blocks, base vs GALS
+//! (suite average, normalised to the base total).
+//!
+//! Paper shape: "power gains arising from elimination of the global clock
+//! are offset by the increased power consumption of other blocks" — the
+//! global-clock slice disappears but every other slice grows slightly
+//! (longer runtime, more activity) and the FIFO slice is new.
+
+use gals_bench::{run_base, run_gals, RUN_INSTS};
+use gals_clocks::Domain;
+use gals_power::MacroBlock;
+use gals_workload::Benchmark;
+
+fn main() {
+    println!("Figure 10: energy breakdown by macro block (suite average, base total = 1)");
+    println!();
+
+    let mut base_blocks = [0.0f64; MacroBlock::ALL.len()];
+    let mut gals_blocks = [0.0f64; MacroBlock::ALL.len()];
+    let mut base_clk = [0.0f64; 6]; // [global, five locals]
+    let mut gals_clk = [0.0f64; 6];
+    let n = Benchmark::ALL.len() as f64;
+
+    for bench in Benchmark::ALL {
+        let base = run_base(bench, RUN_INSTS);
+        let gals = run_gals(bench, RUN_INSTS);
+        let total_b = base.total_energy();
+        for blk in MacroBlock::ALL {
+            base_blocks[blk.index()] += base.energy.block(blk) / total_b / n;
+            gals_blocks[blk.index()] += gals.energy.block(blk) / total_b / n;
+        }
+        base_clk[0] += base.energy.global_clock / total_b / n;
+        gals_clk[0] += gals.energy.global_clock / total_b / n;
+        for d in Domain::ALL {
+            base_clk[1 + d.index()] += base.energy.local_clocks[d.index()] / total_b / n;
+            gals_clk[1 + d.index()] += gals.energy.local_clocks[d.index()] / total_b / n;
+        }
+    }
+
+    println!("{:<24} {:>10} {:>10}", "block", "base", "gals");
+    println!("{:<24} {:>10.4} {:>10.4}", "Global clock", base_clk[0], gals_clk[0]);
+    for d in Domain::ALL {
+        println!(
+            "{:<24} {:>10.4} {:>10.4}",
+            format!("{} clock", d),
+            base_clk[1 + d.index()],
+            gals_clk[1 + d.index()]
+        );
+    }
+    for blk in MacroBlock::ALL {
+        println!(
+            "{:<24} {:>10.4} {:>10.4}",
+            blk.to_string(),
+            base_blocks[blk.index()],
+            gals_blocks[blk.index()]
+        );
+    }
+    let tb: f64 = base_blocks.iter().sum::<f64>() + base_clk.iter().sum::<f64>();
+    let tg: f64 = gals_blocks.iter().sum::<f64>() + gals_clk.iter().sum::<f64>();
+    println!("{:<24} {:>10.4} {:>10.4}", "TOTAL", tb, tg);
+    println!();
+    println!("the global-clock slice vanishes in GALS; runtime stretch, extra");
+    println!("activity and the new FIFO slice claw most of it back.");
+}

@@ -1,0 +1,53 @@
+//! **Figure 11**: generic (application-blind) selective clock slowdown on
+//! three benchmarks — fetch and memory clocks 10% slower, FP clock 50%
+//! slower, supplies scaled to match — plus the *perl* case from the text
+//! (FP clock slowed 3x).
+//!
+//! Paper shape: "the energy and power benefits are decent but performance
+//! losses are substantial (about 18%)... we can apply clock slowdown only
+//! on a selective basis, after studying the application's characteristics."
+//! For perl (virtually no FP work): FP/3 costs ~9% performance and buys
+//! ~10.8% energy / ~18% power.
+
+use gals_bench::{mean, pct, plan, run_base, run_gals_dvfs, RUN_INSTS};
+use gals_workload::Benchmark;
+
+fn main() {
+    println!("Figure 11: generic slowdown (fetch 1.1x, mem 1.1x, FP 1.5x) vs base");
+    println!();
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "bench", "performance", "energy", "power"
+    );
+    let generic = [1.1, 1.0, 1.0, 1.5, 1.1];
+    let mut perfs = Vec::new();
+    for bench in [Benchmark::Perl, Benchmark::Ijpeg, Benchmark::Gcc] {
+        let base = run_base(bench, RUN_INSTS);
+        let gals = run_gals_dvfs(bench, RUN_INSTS, plan(generic));
+        perfs.push(gals.relative_performance(&base));
+        println!(
+            "{:<10} {:>12} {:>12.3} {:>12.3}",
+            bench.name(),
+            pct(gals.relative_performance(&base)),
+            gals.relative_energy(&base),
+            gals.relative_power(&base),
+        );
+    }
+    println!();
+    println!(
+        "mean performance {} (paper: ~ -18%): blind slowdown costs real speed.",
+        pct(mean(&perfs))
+    );
+
+    println!();
+    println!("perl with only the FP clock slowed 3x (text, section 5.2):");
+    let base = run_base(Benchmark::Perl, RUN_INSTS);
+    let g = run_gals_dvfs(Benchmark::Perl, RUN_INSTS, plan([1.0, 1.0, 1.0, 3.0, 1.0]));
+    println!(
+        "  performance {}   energy {:.3}   power {:.3}",
+        pct(g.relative_performance(&base)),
+        g.relative_energy(&base),
+        g.relative_power(&base),
+    );
+    println!("  (paper: perf -9%, energy -10.8%, power -18%)");
+}

@@ -1,0 +1,46 @@
+//! **Figure 12**: impact of selective fetch, memory and FP clock slowdown
+//! on *ijpeg*. Fetch is slowed 10% and FP 20% throughout; the memory clock
+//! is swept through no slowdown (gals-00), 10% (gals-10), 20% (gals-20)
+//! and 50% (gals-50). The "ideal" column is the base (synchronous) machine
+//! uniformly slowed (clock + voltage) to the same performance.
+//!
+//! Paper shape: energy savings of 4-13% for performance drops of 15-25%;
+//! slowing the *memory* clock is a poor trade for this benchmark because
+//! ijpeg has "a very low proportion of memory accesses" — the ideal column
+//! beats GALS, i.e. the memory-domain knob is the wrong one here.
+
+use gals_bench::{pct, plan, run_base, run_base_scaled, run_gals_dvfs, RUN_INSTS};
+use gals_workload::Benchmark;
+
+fn main() {
+    println!("Figure 12: ijpeg under fetch 1.1x, FP 1.2x, memory-clock sweep");
+    println!();
+    let base = run_base(Benchmark::Ijpeg, RUN_INSTS);
+    println!(
+        "{:<10} {:>12} {:>10} {:>10} {:>10}",
+        "config", "performance", "energy", "ideal", "power"
+    );
+    for (label, mem) in [("gals-00", 1.0), ("gals-10", 1.1), ("gals-20", 1.2), ("gals-50", 1.5)] {
+        let gals = run_gals_dvfs(
+            Benchmark::Ijpeg,
+            RUN_INSTS,
+            plan([1.1, 1.0, 1.0, 1.2, mem]),
+        );
+        let perf = gals.relative_performance(&base);
+        // "Ideal": base machine uniformly slowed to the same performance
+        // penalty, with the single supply scaled to match.
+        let ideal = run_base_scaled(Benchmark::Ijpeg, RUN_INSTS, 1.0 / perf);
+        println!(
+            "{:<10} {:>12} {:>10.3} {:>10.3} {:>10.3}",
+            label,
+            pct(perf),
+            gals.relative_energy(&base),
+            ideal.relative_energy(&base),
+            gals.relative_power(&base),
+        );
+    }
+    println!();
+    println!("paper: energy savings 4-13% at performance drops 15-25%; the ideal");
+    println!("(uniformly slowed base) column shows slowing ijpeg's memory clock is");
+    println!("not a good performance-energy tradeoff.");
+}

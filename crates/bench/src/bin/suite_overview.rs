@@ -1,0 +1,52 @@
+//! Suite overview: every quantity Figures 5-10 are computed from, for all
+//! twelve benchmarks in one table — the calibration/sanity view of the
+//! whole reproduction (DESIGN.md §5).
+
+use gals_bench::{mean, pct, run_base, run_gals, RUN_INSTS};
+use gals_workload::Benchmark;
+
+fn main() {
+    println!(
+        "{:<10} {:>8} {:>8} {:>7} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6} {:>6} {:>6}",
+        "bench", "baseIPC", "galsIPC", "perf", "slipB(ns)", "slipG(ns)", "fifo%", "misB", "misG",
+        "E", "P", "bpred", "l1d", "l2"
+    );
+    let mut perfs = Vec::new();
+    let mut energies = Vec::new();
+    let mut powers = Vec::new();
+    let mut slips = Vec::new();
+    for bench in Benchmark::ALL {
+        let base = run_base(bench, RUN_INSTS);
+        let gals = run_gals(bench, RUN_INSTS);
+        let perf = gals.relative_performance(&base);
+        let e = gals.relative_energy(&base);
+        let p = gals.relative_power(&base);
+        let slip_ratio = gals.mean_slip().as_fs() as f64 / base.mean_slip().as_fs() as f64;
+        perfs.push(perf);
+        energies.push(e);
+        powers.push(p);
+        slips.push(slip_ratio);
+        println!(
+            "{:<10} {:>8.3} {:>8.3} {:>7} {:>9.2} {:>9.2} {:>7} {:>7} {:>7} {:>7.3} {:>7.3} {:>6} {:>6} {:>6}",
+            bench.name(),
+            base.insts_per_ns(),
+            gals.insts_per_ns(),
+            pct(perf),
+            base.mean_slip().as_ns_f64(),
+            gals.mean_slip().as_ns_f64(),
+            pct(gals.fifo_slip_fraction()),
+            pct(base.misspeculation_rate()),
+            pct(gals.misspeculation_rate()),
+            e,
+            p,
+            pct(base.bpred.mispredict_rate()),
+            pct(base.dcache.miss_rate()),
+            pct(base.l2.miss_rate()),
+        );
+    }
+    println!();
+    println!("mean perf (gals/base):   {}", pct(mean(&perfs)));
+    println!("mean slip ratio:         {:.2}x", mean(&slips));
+    println!("mean energy (gals/base): {:.3}", mean(&energies));
+    println!("mean power  (gals/base): {:.3}", mean(&powers));
+}

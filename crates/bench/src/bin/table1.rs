@@ -1,0 +1,37 @@
+//! **Table 1**: trends in global clock skew for microprocessor designs
+//! across process generations, plus the derived skew-budget fractions the
+//! paper's clock-distribution argument (section 2.2) rests on.
+
+use gals_power::skew::TABLE1;
+
+fn main() {
+    println!("Table 1: Trends in global clock skew across process generations");
+    println!();
+    println!(
+        "{:<36} {:>10} {:>8} {:>10} {:>9} {:>8} {:>9}  Remarks",
+        "Design", "Tech (um)", "Year", "Devices(M)", "Cycle(ps)", "Skew(ps)", "Skew/Cyc"
+    );
+    for row in TABLE1 {
+        println!(
+            "{:<36} {:>10.2} {:>8} {:>10.1} {:>9.0} {:>8.0} {:>8.1}%  {}",
+            row.design,
+            row.technology_um,
+            row.year,
+            row.devices_m,
+            row.cycle_ps,
+            row.skew_ps,
+            row.skew_fraction() * 100.0,
+            row.remarks,
+        );
+    }
+    println!();
+    let no_deskew = &TABLE1[4];
+    println!(
+        "The paper's observation: without active deskewing the Itanium's projected \
+         skew is {:.1}% of the cycle time (\"almost 10%\"), and active deskewing \
+         ({} -> {} ps) buys that margin back at a cost in die area and power.",
+        no_deskew.skew_fraction() * 100.0,
+        no_deskew.skew_ps,
+        TABLE1[3].skew_ps,
+    );
+}

@@ -1,0 +1,65 @@
+//! **Tables 2 and 3**: the pipeline-stage-to-domain mapping and the
+//! microarchitecture configuration of the simulated processors, printed
+//! from the same structures the simulator actually runs.
+
+use gals_uarch::UarchConfig;
+
+fn main() {
+    println!("Table 2: Pipeline stages and the GALS clock domains involved");
+    println!();
+    let stages = [
+        ("1", "Fetch from I-cache", "1"),
+        ("2", "Decode", "2"),
+        ("3", "Register rename, regfile read", "2"),
+        ("4", "Dispatch into issue queue", "2, 3/4/5"),
+        ("5", "Issue to functional unit", "3/4/5"),
+        ("6", "Execute", "3/4/5"),
+        ("7", "Wakeup, writeback", "3/4/5"),
+        ("8", "Regfile write, commit", "3/4/5, 2"),
+    ];
+    println!("{:<6} {:<34} Domains", "Stage", "Operation");
+    for (n, op, d) in stages {
+        println!("{:<6} {:<34} {}", n, op, d);
+    }
+
+    let c = UarchConfig::default();
+    println!();
+    println!("Table 3: Microarchitecture details (simulator defaults)");
+    println!();
+    println!("Fetch and decode rate        {} inst/cycle", c.fetch_width);
+    println!("Integer issue queue size     {}", c.int_iq_size);
+    println!("FP issue queue size          {}", c.fp_iq_size);
+    println!("Memory issue queue size      {}", c.mem_iq_size);
+    println!("Integer registers            {}", c.int_phys_regs);
+    println!("FP registers                 {}", c.fp_phys_regs);
+    println!(
+        "L1 data cache                {}KB {}-way, {} cycle latency",
+        c.l1d.size_bytes / 1024,
+        c.l1d.ways,
+        c.l1d.latency
+    );
+    println!(
+        "L1 instruction cache         {}KB {}, {} cycle latency",
+        c.l1i.size_bytes / 1024,
+        if c.l1i.ways == 1 { "direct-mapped".to_string() } else { format!("{}-way", c.l1i.ways) },
+        c.l1i.latency
+    );
+    println!(
+        "L2 unified cache             {}KB {}-way, {} cycles latency",
+        c.l2.size_bytes / 1024,
+        c.l2.ways,
+        c.l2.latency
+    );
+    println!("ALUs                         {} integer, {} FP", c.int_alus, c.fp_alus);
+    println!();
+    println!("Additional simulator parameters not listed in the paper's table:");
+    println!("Reorder buffer               {} entries", c.rob_size);
+    println!("Branch checkpoints           {}", c.max_branches);
+    println!("D-cache ports                {}", c.mem_ports);
+    println!("Main memory latency          {} cycles", c.mem_latency);
+    println!(
+        "Branch predictor             gshare {} entries / {} history bits, BTB {}, RAS {}",
+        c.bpred.pht_entries, c.bpred.history_bits, c.bpred.btb_entries, c.bpred.ras_depth
+    );
+    println!("Store buffer                 {} entries", c.store_buffer_size);
+}

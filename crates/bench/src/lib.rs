@@ -1,0 +1,127 @@
+//! # gals-bench
+//!
+//! The benchmark harness regenerating every table and figure of the paper.
+//! Each `src/bin/*.rs` binary reproduces one table/figure (see DESIGN.md §4
+//! and EXPERIMENTS.md); this library holds the shared runners and table
+//! formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gals_clocks::Domain;
+use gals_core::{simulate, DvfsPlan, ProcessorConfig, SimLimits, SimReport};
+use gals_workload::{generate, Benchmark};
+
+/// Committed-instruction budget per run. Large enough for steady-state
+/// statistics, small enough that the full suite of experiments runs in
+/// minutes.
+pub const RUN_INSTS: u64 = 120_000;
+
+/// Default workload seed (the "input set" of the synthetic benchmarks).
+pub const WORKLOAD_SEED: u64 = 0x5EC9_5201;
+
+/// Default phase seed for GALS local clocks.
+pub const PHASE_SEED: u64 = 2002;
+
+/// Runs one benchmark on the synchronous base machine.
+pub fn run_base(bench: Benchmark, insts: u64) -> SimReport {
+    let program = generate(bench, WORKLOAD_SEED);
+    simulate(&program, ProcessorConfig::synchronous_1ghz(), SimLimits::insts(insts))
+}
+
+/// Runs one benchmark on the GALS machine (equal 1 GHz clocks, random
+/// phases).
+pub fn run_gals(bench: Benchmark, insts: u64) -> SimReport {
+    let program = generate(bench, WORKLOAD_SEED);
+    simulate(&program, ProcessorConfig::gals_equal_1ghz(PHASE_SEED), SimLimits::insts(insts))
+}
+
+/// Runs one benchmark on a GALS machine with a DVFS plan applied.
+pub fn run_gals_dvfs(bench: Benchmark, insts: u64, plan: DvfsPlan) -> SimReport {
+    let program = generate(bench, WORKLOAD_SEED);
+    let cfg = ProcessorConfig::gals_equal_1ghz(PHASE_SEED).with_dvfs(plan);
+    simulate(&program, cfg, SimLimits::insts(insts))
+}
+
+/// Runs one benchmark on the base machine uniformly slowed (and voltage
+/// scaled) by `factor` — the paper's "ideal" comparison column.
+pub fn run_base_scaled(bench: Benchmark, insts: u64, factor: f64) -> SimReport {
+    let program = generate(bench, WORKLOAD_SEED);
+    let mut plan = DvfsPlan::nominal();
+    plan.slowdown = [factor; 5];
+    let cfg = ProcessorConfig::synchronous_1ghz().with_dvfs(plan);
+    simulate(&program, cfg, SimLimits::insts(insts))
+}
+
+/// A DVFS plan from per-domain slowdown factors in paper order
+/// (fetch, decode, int, fp, mem).
+pub fn plan(slowdowns: [f64; 5]) -> DvfsPlan {
+    let mut p = DvfsPlan::nominal();
+    for d in Domain::ALL {
+        p = p.with_slowdown(d, slowdowns[d.index()]);
+    }
+    p
+}
+
+/// Prints a markdown-style table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+/// Formats a ratio as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Geometric mean of a slice.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains non-positive values.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of empty slice");
+    assert!(xs.iter().all(|&x| x > 0.0), "geomean needs positive values");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean of a slice.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_and_mean() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runners_execute_on_a_small_budget() {
+        // Smoke-guard for every figure binary's plumbing.
+        let base = run_base(Benchmark::Adpcm, 2_000);
+        let gals = run_gals(Benchmark::Adpcm, 2_000);
+        assert_eq!(base.committed, 2_000);
+        assert_eq!(gals.committed, 2_000);
+        let dvfs = run_gals_dvfs(Benchmark::Adpcm, 2_000, plan([1.0, 1.0, 1.0, 2.0, 1.0]));
+        assert_eq!(dvfs.committed, 2_000);
+        let ideal = run_base_scaled(Benchmark::Adpcm, 2_000, 1.2);
+        assert!((ideal.exec_time.as_fs() as f64 / base.exec_time.as_fs() as f64 - 1.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn plan_maps_paper_order() {
+        let p = plan([1.1, 1.0, 1.0, 1.5, 1.2]);
+        assert_eq!(p.slowdown[Domain::Fetch.index()], 1.1);
+        assert_eq!(p.slowdown[Domain::FpCluster.index()], 1.5);
+        assert_eq!(p.slowdown[Domain::MemCluster.index()], 1.2);
+    }
+}

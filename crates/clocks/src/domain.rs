@@ -1,0 +1,215 @@
+//! Clock domains of the paper's five-domain GALS processor.
+
+use std::fmt;
+
+use gals_events::Time;
+
+/// The five locally synchronous blocks of the paper's GALS processor
+/// (Figure 3b), in domain-number order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Domain {
+    /// Domain 1: L1 I-cache + branch predictor (fetch front end).
+    Fetch,
+    /// Domain 2: decode, rename, register file and commit.
+    Decode,
+    /// Domain 3: integer issue queue + integer ALUs.
+    IntCluster,
+    /// Domain 4: FP issue queue + FP ALUs.
+    FpCluster,
+    /// Domain 5: memory issue queue + D-cache + L2.
+    MemCluster,
+}
+
+impl Domain {
+    /// All domains, in paper order 1..=5.
+    pub const ALL: [Domain; 5] = [
+        Domain::Fetch,
+        Domain::Decode,
+        Domain::IntCluster,
+        Domain::FpCluster,
+        Domain::MemCluster,
+    ];
+
+    /// Dense index 0..5 (paper domain number minus one).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Domain::Fetch => 0,
+            Domain::Decode => 1,
+            Domain::IntCluster => 2,
+            Domain::FpCluster => 3,
+            Domain::MemCluster => 4,
+        }
+    }
+
+    /// The paper's domain number (1..=5).
+    #[inline]
+    pub fn number(self) -> u8 {
+        self.index() as u8 + 1
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Domain::Fetch => "fetch",
+            Domain::Decode => "decode",
+            Domain::IntCluster => "int",
+            Domain::FpCluster => "fp",
+            Domain::MemCluster => "mem",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A local clock: period and initial phase.
+///
+/// The paper sets "the starting phase of each clock ... to a random value at
+/// runtime"; [`ClockSpec::with_random_phase`] reproduces that.
+///
+/// # Examples
+///
+/// ```
+/// use gals_clocks::ClockSpec;
+/// use gals_events::Time;
+///
+/// let ghz = ClockSpec::from_ghz(1.0);
+/// assert_eq!(ghz.period, Time::from_ns(1));
+/// let slowed = ghz.slowed(1.5);
+/// assert_eq!(slowed.period, Time::from_ps(1_500));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockSpec {
+    /// Clock period.
+    pub period: Time,
+    /// Time of the first rising edge.
+    pub phase: Time,
+}
+
+impl ClockSpec {
+    /// A clock with the given period and zero phase.
+    pub fn new(period: Time) -> Self {
+        assert!(period > Time::ZERO, "clock period must be non-zero");
+        ClockSpec {
+            period,
+            phase: Time::ZERO,
+        }
+    }
+
+    /// A clock specified in GHz (period rounded to the nearest femtosecond).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ghz` is not finite and positive.
+    pub fn from_ghz(ghz: f64) -> Self {
+        assert!(ghz.is_finite() && ghz > 0.0, "frequency must be positive");
+        Self::new(Time::from_fs((1e6 / ghz).round() as u64))
+    }
+
+    /// Frequency in GHz.
+    pub fn ghz(&self) -> f64 {
+        1e6 / self.period.as_fs() as f64
+    }
+
+    /// The same clock slowed by `factor` (1.1 = 10% slower; the paper's
+    /// experiments use 1.1, 1.2, 1.5, 2.0 and 3.0).
+    #[must_use]
+    pub fn slowed(&self, factor: f64) -> Self {
+        assert!(factor >= 1.0, "slowdown factor must be >= 1");
+        ClockSpec {
+            period: self.period.scale(factor),
+            phase: self.phase,
+        }
+    }
+
+    /// The same clock with a deterministic pseudo-random phase in
+    /// `[0, period)` derived from `seed` and `stream`.
+    #[must_use]
+    pub fn with_random_phase(&self, seed: u64, stream: u64) -> Self {
+        let r = gals_isa::rng::hash3(seed, stream, 0);
+        ClockSpec {
+            period: self.period,
+            phase: Time::from_fs(r % self.period.as_fs()),
+        }
+    }
+
+    /// The first edge at or after `t`.
+    pub fn next_edge_at_or_after(&self, t: Time) -> Time {
+        if t <= self.phase {
+            return self.phase;
+        }
+        let delta = t - self.phase;
+        let periods = delta.as_fs().div_ceil(self.period.as_fs());
+        self.phase + self.period * periods
+    }
+
+    /// The first edge strictly after `t`.
+    pub fn next_edge_after(&self, t: Time) -> Time {
+        let e = self.next_edge_at_or_after(t);
+        if e == t {
+            e + self.period
+        } else {
+            e
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_indexing() {
+        for (i, d) in Domain::ALL.iter().enumerate() {
+            assert_eq!(d.index(), i);
+            assert_eq!(d.number() as usize, i + 1);
+        }
+        assert_eq!(format!("{}", Domain::MemCluster), "mem");
+    }
+
+    #[test]
+    fn ghz_round_trip() {
+        let c = ClockSpec::from_ghz(1.0);
+        assert_eq!(c.period, Time::from_ns(1));
+        assert!((c.ghz() - 1.0).abs() < 1e-12);
+        let c2 = ClockSpec::from_ghz(2.5);
+        assert_eq!(c2.period, Time::from_fs(400_000));
+    }
+
+    #[test]
+    fn slowdown_scales_period() {
+        let c = ClockSpec::from_ghz(1.0);
+        assert_eq!(c.slowed(1.1).period, Time::from_fs(1_100_000));
+        assert_eq!(c.slowed(3.0).period, Time::from_ns(3));
+    }
+
+    #[test]
+    fn random_phase_is_deterministic_and_bounded() {
+        let c = ClockSpec::from_ghz(1.0);
+        let a = c.with_random_phase(42, 1);
+        let b = c.with_random_phase(42, 1);
+        assert_eq!(a, b);
+        assert!(a.phase < c.period);
+        let other = c.with_random_phase(42, 2);
+        assert_ne!(a.phase, other.phase, "different streams, different phases");
+    }
+
+    #[test]
+    fn edge_calculations() {
+        let c = ClockSpec {
+            period: Time::from_ns(2),
+            phase: Time::from_ps(500),
+        };
+        assert_eq!(c.next_edge_at_or_after(Time::ZERO), Time::from_ps(500));
+        assert_eq!(c.next_edge_at_or_after(Time::from_ps(500)), Time::from_ps(500));
+        assert_eq!(c.next_edge_at_or_after(Time::from_ps(501)), Time::from_ps(2_500));
+        assert_eq!(c.next_edge_after(Time::from_ps(500)), Time::from_ps(2_500));
+        assert_eq!(c.next_edge_after(Time::ZERO), Time::from_ps(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_rejected() {
+        let _ = ClockSpec::new(Time::ZERO);
+    }
+}

@@ -1,0 +1,39 @@
+//! # gals-clocks
+//!
+//! Clocking infrastructure for the GALS reproduction: the five clock
+//! domains of the paper's processor ([`Domain`], [`ClockSpec`]), the
+//! mixed-clock asynchronous FIFO / synchronous latch channel
+//! ([`Channel`]), the dynamic-voltage-scaling law of the paper's
+//! equation (1) ([`VoltageScaling`]) and the pausible-clock alternative
+//! ([`PausibleClockModel`]) used in the ablation benchmarks.
+//!
+//! ## Channels unify both machines
+//!
+//! The synchronous baseline and the GALS processor differ *only* in how
+//! their pipeline stages are connected:
+//!
+//! ```
+//! use gals_clocks::Channel;
+//! use gals_events::Time;
+//!
+//! // Baseline: an ordinary pipeline latch.
+//! let base: Channel<u64> = Channel::sync_latch(8);
+//! // GALS: a Chelcea–Nowick-style FIFO whose empty/full flags take one
+//! // period of the opposite clock to synchronise.
+//! let gals: Channel<u64> =
+//!     Channel::mixed_clock_fifo(8, Time::from_ns(1), Time::from_ns(1));
+//! assert_eq!(base.capacity(), gals.capacity());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod domain;
+mod dvfs;
+mod pausible;
+
+pub use channel::{Channel, ChannelStats};
+pub use domain::{ClockSpec, Domain};
+pub use dvfs::VoltageScaling;
+pub use pausible::PausibleClockModel;

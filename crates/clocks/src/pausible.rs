@@ -1,0 +1,84 @@
+//! Pausible/stretchable clocking, the alternative to FIFO-based
+//! communication that the paper's section 3.2 argues against.
+//!
+//! Stretchable clocking performs each inter-domain transaction by stretching
+//! one phase of *both* participating clocks while the handshake completes
+//! (an arbiter inside each ring oscillator). "In a processor pipeline,
+//! transactions occur practically during every cycle. Stretching the clock
+//! every cycle would lead to a situation where the effective clock
+//! frequency is determined not by the clock generator but by the rate of
+//! communication with other synchronous modules." This model quantifies that
+//! objection for the ablation benchmark.
+
+use gals_events::Time;
+
+use crate::domain::ClockSpec;
+
+/// First-order timing model of a pausible-clock interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PausibleClockModel {
+    /// Duration of one handshake (arbiter settle + data transfer) that the
+    /// participating clocks must stall for.
+    pub handshake: Time,
+}
+
+impl PausibleClockModel {
+    /// A model with the given handshake duration.
+    pub fn new(handshake: Time) -> Self {
+        PausibleClockModel { handshake }
+    }
+
+    /// Effective period of a clock that performs `transactions_per_cycle`
+    /// stretch-inducing transactions per nominal cycle: each transaction
+    /// extends the cycle by the handshake time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transactions_per_cycle` is negative or not finite.
+    pub fn effective_period(&self, clock: ClockSpec, transactions_per_cycle: f64) -> Time {
+        assert!(
+            transactions_per_cycle.is_finite() && transactions_per_cycle >= 0.0,
+            "transaction rate must be non-negative"
+        );
+        let stretch = (self.handshake.as_fs() as f64 * transactions_per_cycle).round() as u64;
+        clock.period + Time::from_fs(stretch)
+    }
+
+    /// Throughput degradation factor (effective period / nominal period);
+    /// 1.0 means no loss.
+    pub fn slowdown(&self, clock: ClockSpec, transactions_per_cycle: f64) -> f64 {
+        self.effective_period(clock, transactions_per_cycle).as_fs() as f64
+            / clock.period.as_fs() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_transactions_no_stretch() {
+        let m = PausibleClockModel::new(Time::from_ps(300));
+        let c = ClockSpec::from_ghz(1.0);
+        assert_eq!(m.effective_period(c, 0.0), c.period);
+        assert_eq!(m.slowdown(c, 0.0), 1.0);
+    }
+
+    #[test]
+    fn every_cycle_transactions_dominate() {
+        // A 1 GHz clock stretching 300 ps per cycle runs at 1.3 ns/cycle:
+        // the communication rate, not the oscillator, sets the frequency.
+        let m = PausibleClockModel::new(Time::from_ps(300));
+        let c = ClockSpec::from_ghz(1.0);
+        assert_eq!(m.effective_period(c, 1.0), Time::from_ps(1_300));
+        assert!((m.slowdown(c, 1.0) - 1.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stretch_scales_with_rate() {
+        let m = PausibleClockModel::new(Time::from_ps(200));
+        let c = ClockSpec::from_ghz(2.0); // 500 ps
+        assert!((m.slowdown(c, 0.5) - 1.2).abs() < 1e-9);
+        assert!((m.slowdown(c, 2.0) - 1.8).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,297 @@
+//! Processor configuration: clocking style, microarchitecture, energy
+//! parameters and per-domain voltage/frequency scaling.
+
+use gals_clocks::{ClockSpec, Domain, VoltageScaling};
+use gals_events::Time;
+use gals_power::EnergyParams;
+use gals_uarch::UarchConfig;
+
+/// Clocking style of a simulated processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Clocking {
+    /// The base machine: one clock drives all five regions; communication
+    /// uses ordinary pipeline latches and the global clock grid burns power
+    /// every cycle.
+    Synchronous(ClockSpec),
+    /// The GALS machine: five independent local clocks (period *and* phase),
+    /// mixed-clock FIFOs on every domain crossing, no global grid.
+    Gals([ClockSpec; 5]),
+}
+
+impl Clocking {
+    /// The clock of a domain (in the synchronous machine, every domain
+    /// shares the single clock).
+    pub fn domain_clock(&self, domain: Domain) -> ClockSpec {
+        match self {
+            Clocking::Synchronous(c) => *c,
+            Clocking::Gals(clocks) => clocks[domain.index()],
+        }
+    }
+
+    /// True for the GALS variant.
+    pub fn is_gals(&self) -> bool {
+        matches!(self, Clocking::Gals(_))
+    }
+
+    /// The slowest domain period (used for watchdogs and normalisation).
+    pub fn max_period(&self) -> Time {
+        match self {
+            Clocking::Synchronous(c) => c.period,
+            Clocking::Gals(clocks) => clocks.iter().map(|c| c.period).max().expect("five clocks"),
+        }
+    }
+}
+
+/// A per-domain slowdown plan with the supply voltage tracking the clock
+/// (the paper's multiple-clock, multiple-voltage experiments).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvfsPlan {
+    /// Slowdown factor per domain (1.0 = nominal), indexed by
+    /// [`Domain::index`].
+    pub slowdown: [f64; 5],
+    /// The voltage/delay law used to derive per-domain energy factors.
+    pub tech: VoltageScaling,
+}
+
+impl Default for DvfsPlan {
+    fn default() -> Self {
+        DvfsPlan {
+            slowdown: [1.0; 5],
+            tech: VoltageScaling::cmos_013um(),
+        }
+    }
+}
+
+impl DvfsPlan {
+    /// A plan with no scaling.
+    pub fn nominal() -> Self {
+        Self::default()
+    }
+
+    /// Sets one domain's slowdown (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1.0`.
+    #[must_use]
+    pub fn with_slowdown(mut self, domain: Domain, factor: f64) -> Self {
+        assert!(factor >= 1.0, "slowdown must be >= 1, got {factor}");
+        self.slowdown[domain.index()] = factor;
+        self
+    }
+
+    /// Dynamic-energy factor of one domain under ideal voltage tracking.
+    pub fn energy_factor(&self, domain: Domain) -> f64 {
+        self.tech.energy_factor_for_slowdown(self.slowdown[domain.index()])
+    }
+
+    /// True when any domain is scaled.
+    pub fn is_active(&self) -> bool {
+        self.slowdown.iter().any(|&s| s != 1.0)
+    }
+}
+
+/// Full configuration of one simulated processor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessorConfig {
+    /// Clocking style.
+    pub clocking: Clocking,
+    /// Microarchitecture (paper Table 3 defaults).
+    pub uarch: UarchConfig,
+    /// Energy parameters.
+    pub energy: EnergyParams,
+    /// Capacity of the inter-domain dataflow channels (fetch->decode,
+    /// dispatch, completion).
+    pub channel_capacity: usize,
+    /// Capacity of wakeup/redirect side channels (sized generously; the
+    /// bypass network is not a real queue).
+    pub side_channel_capacity: usize,
+    /// FIFO forward-synchronisation delay in *consumer periods* (the
+    /// empty-flag synchroniser depth; 1.0 models the Chelcea–Nowick
+    /// low-latency design).
+    pub fifo_sync_periods: f64,
+    /// Per-domain DVFS plan (applies to GALS domains; for the synchronous
+    /// machine only a uniform plan is meaningful).
+    pub dvfs: DvfsPlan,
+}
+
+impl ProcessorConfig {
+    /// The paper's base machine at 1 GHz.
+    pub fn synchronous_1ghz() -> Self {
+        ProcessorConfig {
+            clocking: Clocking::Synchronous(ClockSpec::from_ghz(1.0)),
+            uarch: UarchConfig::default(),
+            energy: EnergyParams::default(),
+            channel_capacity: 12,
+            side_channel_capacity: 256,
+            fifo_sync_periods: 1.25,
+            dvfs: DvfsPlan::nominal(),
+        }
+    }
+
+    /// The paper's first GALS experiment: all five clocks at 1 GHz, each
+    /// with an independent pseudo-random phase derived from `phase_seed`
+    /// ("the starting phase of each clock was set to a random value at
+    /// runtime").
+    pub fn gals_equal_1ghz(phase_seed: u64) -> Self {
+        let base = ClockSpec::from_ghz(1.0);
+        let clocks: [ClockSpec; 5] = std::array::from_fn(|i| {
+            base.with_random_phase(phase_seed, i as u64 + 1)
+        });
+        ProcessorConfig {
+            clocking: Clocking::Gals(clocks),
+            ..Self::synchronous_1ghz()
+        }
+    }
+
+    /// Applies a DVFS plan: GALS domain clocks are slowed per the plan and
+    /// supply-voltage energy factors are configured to match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a synchronous configuration with a non-uniform
+    /// plan (a single clock cannot be split).
+    #[must_use]
+    pub fn with_dvfs(mut self, plan: DvfsPlan) -> Self {
+        match &mut self.clocking {
+            Clocking::Gals(clocks) => {
+                for d in Domain::ALL {
+                    let i = d.index();
+                    *clocks.get_mut(i).expect("five clocks") =
+                        clocks[i].slowed(plan.slowdown[i]);
+                }
+            }
+            Clocking::Synchronous(clock) => {
+                let s = plan.slowdown[0];
+                assert!(
+                    plan.slowdown.iter().all(|&x| x == s),
+                    "a synchronous machine cannot scale domains independently"
+                );
+                *clock = clock.slowed(s);
+            }
+        }
+        self.dvfs = plan;
+        self
+    }
+
+    /// Validates the composite configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found in the microarchitecture,
+    /// energy parameters or channel sizing.
+    pub fn validate(&self) -> Result<(), String> {
+        self.uarch.validate()?;
+        self.energy.validate()?;
+        if self.channel_capacity < 2 {
+            return Err("channel capacity must be at least 2".into());
+        }
+        if self.side_channel_capacity < 16 {
+            return Err("side channels must hold at least 16 messages".into());
+        }
+        if !(0.0..=8.0).contains(&self.fifo_sync_periods) {
+            return Err(format!(
+                "fifo_sync_periods {} outside [0, 8]",
+                self.fifo_sync_periods
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Bounds on a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimLimits {
+    /// Stop after committing this many instructions (or at program exit,
+    /// whichever is first).
+    pub max_insts: u64,
+    /// Abort (panic) if no instruction commits for this many slow-domain
+    /// periods — a deadlock watchdog for development.
+    pub watchdog_cycles: u64,
+}
+
+impl Default for SimLimits {
+    fn default() -> Self {
+        SimLimits {
+            max_insts: 100_000,
+            watchdog_cycles: 200_000,
+        }
+    }
+}
+
+impl SimLimits {
+    /// Limits with the given committed-instruction budget.
+    pub fn insts(max_insts: u64) -> Self {
+        SimLimits {
+            max_insts,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_config_validates() {
+        let c = ProcessorConfig::synchronous_1ghz();
+        c.validate().unwrap();
+        assert!(!c.clocking.is_gals());
+        assert_eq!(c.clocking.domain_clock(Domain::Fetch).period, Time::from_ns(1));
+    }
+
+    #[test]
+    fn gals_phases_are_random_but_reproducible() {
+        let a = ProcessorConfig::gals_equal_1ghz(7);
+        let b = ProcessorConfig::gals_equal_1ghz(7);
+        assert_eq!(a.clocking, b.clocking);
+        let c = ProcessorConfig::gals_equal_1ghz(8);
+        assert_ne!(a.clocking, c.clocking);
+        if let Clocking::Gals(clocks) = &a.clocking {
+            let phases: std::collections::HashSet<u64> =
+                clocks.iter().map(|c| c.phase.as_fs()).collect();
+            assert!(phases.len() >= 4, "phases should differ across domains");
+            for c in clocks {
+                assert_eq!(c.period, Time::from_ns(1));
+            }
+        }
+    }
+
+    #[test]
+    fn dvfs_plan_slows_clocks_and_scales_energy() {
+        let plan = DvfsPlan::nominal().with_slowdown(Domain::FpCluster, 2.0);
+        let cfg = ProcessorConfig::gals_equal_1ghz(1).with_dvfs(plan.clone());
+        if let Clocking::Gals(clocks) = &cfg.clocking {
+            assert_eq!(clocks[Domain::FpCluster.index()].period, Time::from_ns(2));
+            assert_eq!(clocks[Domain::Fetch.index()].period, Time::from_ns(1));
+        }
+        assert!(plan.energy_factor(Domain::FpCluster) < 1.0);
+        assert_eq!(plan.energy_factor(Domain::Fetch), 1.0);
+        assert!(plan.is_active());
+    }
+
+    #[test]
+    fn uniform_dvfs_on_synchronous_machine() {
+        let mut plan = DvfsPlan::nominal();
+        plan.slowdown = [1.5; 5];
+        let cfg = ProcessorConfig::synchronous_1ghz().with_dvfs(plan);
+        if let Clocking::Synchronous(c) = &cfg.clocking {
+            assert_eq!(c.period, Time::from_fs(1_500_000));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "independently")]
+    fn non_uniform_dvfs_on_sync_panics() {
+        let plan = DvfsPlan::nominal().with_slowdown(Domain::FpCluster, 2.0);
+        let _ = ProcessorConfig::synchronous_1ghz().with_dvfs(plan);
+    }
+
+    #[test]
+    fn validation_catches_channel_sizes() {
+        let mut c = ProcessorConfig::synchronous_1ghz();
+        c.channel_capacity = 1;
+        assert!(c.validate().is_err());
+    }
+}

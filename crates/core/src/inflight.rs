@@ -1,0 +1,127 @@
+//! In-flight instruction state and inter-domain messages.
+
+use gals_events::Time;
+use gals_isa::{ArchReg, Cluster, OpClass};
+use gals_uarch::PhysReg;
+
+/// A unified wakeup tag covering both register classes: integer physical
+/// registers map to `0..512`, FP registers to `512..1024`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag(pub u16);
+
+/// Size of the unified tag space.
+pub const TAG_SPACE: usize = 1024;
+const FP_TAG_BASE: u16 = 512;
+
+impl Tag {
+    /// Builds a tag from a class-local physical register.
+    pub fn new(reg: PhysReg, is_fp: bool) -> Self {
+        debug_assert!(reg.0 < FP_TAG_BASE);
+        Tag(if is_fp { reg.0 + FP_TAG_BASE } else { reg.0 })
+    }
+
+    /// The class-local physical register.
+    pub fn phys(self) -> PhysReg {
+        PhysReg(self.0 % FP_TAG_BASE)
+    }
+
+    /// True for FP tags.
+    pub fn is_fp(self) -> bool {
+        self.0 >= FP_TAG_BASE
+    }
+
+    /// Dense index into `TAG_SPACE`-sized tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The `PhysReg` encoding used by [`gals_uarch::IssueQueue`] (which is
+    /// class-agnostic and just matches 16-bit tokens).
+    pub fn as_iq_tag(self) -> PhysReg {
+        PhysReg(self.0)
+    }
+}
+
+/// Control-flow details of a fetched branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchInfo {
+    /// Direction the front end predicted.
+    pub predicted_taken: bool,
+    /// Architectural direction (meaningless for wrong-path branches).
+    pub actual_taken: bool,
+    /// Architectural next PC — the recovery target on a misprediction.
+    pub recovery_pc: u64,
+    /// True when the front end detected (at fetch, against the
+    /// architectural stream) that this correct-path branch was mispredicted
+    /// and fetch has gone down the wrong path.
+    pub mispredicted: bool,
+}
+
+/// Everything the pipeline knows about one fetched instruction.
+#[derive(Debug, Clone)]
+pub struct InFlight {
+    /// Global fetch sequence number (never reused; program order among
+    /// correct-path instructions).
+    pub seq: u64,
+    /// Byte PC.
+    pub pc: u64,
+    /// Operation class.
+    pub op: OpClass,
+    /// True if fetched while the front end was on a mispredicted path.
+    pub wrong_path: bool,
+    /// Destination rename: `(arch, new phys tag, old phys reg)`.
+    pub dst: Option<(ArchReg, Tag, PhysReg)>,
+    /// Source operand tags (filled at rename).
+    pub srcs: Vec<Tag>,
+    /// Memory byte address for loads/stores.
+    pub mem_addr: Option<u64>,
+    /// Branch details.
+    pub branch: Option<BranchInfo>,
+    /// Fetch timestamp (slip starts here).
+    pub fetched_at: Time,
+    /// Accumulated channel residency (the FIFO share of slip).
+    pub fifo_time: Time,
+    /// True once this is the program's final instruction.
+    pub is_exit: bool,
+}
+
+impl InFlight {
+    /// The execution cluster this instruction issues to.
+    pub fn cluster(&self) -> Cluster {
+        self.op.cluster()
+    }
+}
+
+/// A fetch-redirect message (mispredicted branch resolved).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Redirect {
+    /// Sequence number of the mispredicted branch.
+    pub branch_seq: u64,
+    /// PC fetch must resume from.
+    pub target_pc: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_round_trips_both_classes() {
+        let int_tag = Tag::new(PhysReg(37), false);
+        assert!(!int_tag.is_fp());
+        assert_eq!(int_tag.phys(), PhysReg(37));
+        assert_eq!(int_tag.index(), 37);
+        let fp_tag = Tag::new(PhysReg(37), true);
+        assert!(fp_tag.is_fp());
+        assert_eq!(fp_tag.phys(), PhysReg(37));
+        assert_eq!(fp_tag.index(), 512 + 37);
+        assert_ne!(int_tag, fp_tag);
+    }
+
+    #[test]
+    fn iq_tags_stay_distinct_across_classes() {
+        let a = Tag::new(PhysReg(5), false).as_iq_tag();
+        let b = Tag::new(PhysReg(5), true).as_iq_tag();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,44 @@
+//! # gals-core
+//!
+//! The processor models of *"Power and Performance Evaluation of Globally
+//! Asynchronous Locally Synchronous Processors"* (Iyer & Marculescu, ISCA
+//! 2002): a 4-wide out-of-order superscalar pipeline that runs either
+//!
+//! * **synchronously** — one clock, pipeline latches, a global clock grid
+//!   burning power every cycle; or
+//! * **GALS** — five locally synchronous domains (fetch / decode /
+//!   integer / FP / memory) with independent clock periods *and* phases,
+//!   mixed-clock FIFOs on every domain crossing, and no global grid.
+//!
+//! Both machines share all pipeline code; they differ only in channel
+//! construction and clock wiring (see [`ProcessorConfig`]), mirroring how
+//! the paper built both simulators on one SimpleScalar-derived model.
+//!
+//! ```
+//! use gals_core::{simulate, ProcessorConfig, SimLimits};
+//! use gals_workload::{generate, Benchmark};
+//!
+//! let program = generate(Benchmark::Gcc, 42);
+//! let limits = SimLimits::insts(20_000);
+//! let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), limits);
+//! let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), limits);
+//! // GALS is slower on the same work at the same frequencies (paper Fig 5).
+//! assert!(gals.exec_time > base.exec_time);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod advisor;
+mod config;
+mod inflight;
+mod pipeline;
+mod report;
+mod sim;
+
+pub use advisor::{AdvisorConfig, DomainUtilisation, DvfsAdvisor};
+pub use config::{Clocking, DvfsPlan, ProcessorConfig, SimLimits};
+pub use inflight::{BranchInfo, InFlight, Redirect, Tag};
+pub use pipeline::Pipeline;
+pub use report::{DomainCycles, SimReport};
+pub use sim::simulate;

@@ -1,0 +1,1042 @@
+//! The eight-stage out-of-order pipeline over five clock domains — the
+//! heart of both processor models.
+//!
+//! Stage-to-domain mapping (the paper's Table 2):
+//!
+//! | # | Stage                       | Domain      |
+//! |---|-----------------------------|-------------|
+//! | 1 | Fetch from I-cache          | 1 (fetch)   |
+//! | 2 | Decode                      | 2 (decode)  |
+//! | 3 | Rename, regfile read        | 2           |
+//! | 4 | Dispatch into issue queue   | 2 → 3/4/5   |
+//! | 5 | Issue to functional unit    | 3/4/5       |
+//! | 6 | Execute                     | 3/4/5       |
+//! | 7 | Wakeup, writeback           | 3/4/5       |
+//! | 8 | Regfile write, commit       | 3/4/5 → 2   |
+//!
+//! Every arrow is a [`Channel`]: a 1-cycle pipeline latch in the
+//! synchronous machine, a mixed-clock FIFO in the GALS machine. All other
+//! behaviour is byte-identical between the two models, which is what makes
+//! the paper's comparison meaningful.
+//!
+//! ## Modelling notes (divergences from RTL truth)
+//!
+//! * Branch predictor training happens at fetch (immediate update) rather
+//!   than at resolution; the misprediction *penalty* is still paid through
+//!   the resolve-and-redirect loop. Identical in both machines.
+//! * Wakeup tags crossing domains use generously sized channels (the bypass
+//!   network is not a literal queue); a stale in-flight wakeup can in rare
+//!   interleavings mark a freshly reallocated register ready a few cycles
+//!   early. The effect is orders of magnitude below the FIFO latencies
+//!   being measured.
+//! * The store buffer drains logically at commit; the cache write is
+//!   charged at issue time.
+
+use std::collections::{HashMap, VecDeque};
+
+use gals_clocks::{Channel, Domain};
+use gals_events::Time;
+use gals_isa::{Cluster, DynStream, Inst, OpClass, Program, EXIT_PC};
+use gals_power::{MacroBlock, PowerAccountant};
+use gals_uarch::{
+    BranchPredictor, Cache, FuPool, IssueQueue, RenameUnit, Rob, StoreBuffer,
+};
+
+use crate::config::{Clocking, ProcessorConfig, SimLimits};
+use crate::inflight::{BranchInfo, InFlight, Redirect, Tag, TAG_SPACE};
+use crate::report::SimReport;
+
+/// Salt mixed into wrong-path memory-address hashing so speculative loads
+/// touch plausible but distinct addresses.
+const WRONG_PATH_SALT: u64 = 0xD00D_F00D_5EED_0001;
+
+/// One execution cluster (domains 3, 4, 5).
+struct ClusterState {
+    domain: Domain,
+    iq: IssueQueue,
+    fus: FuPool,
+    /// Cluster-local operand availability, indexed by `Tag::index`.
+    ready: Vec<bool>,
+    /// `(done_at_local_cycle, seq)` of instructions in execution.
+    executing: Vec<(u64, u64)>,
+    /// Local cycle counter.
+    cycle: u64,
+}
+
+impl ClusterState {
+    fn new(domain: Domain, iq_size: usize, fu_count: u32) -> Self {
+        ClusterState {
+            domain,
+            iq: IssueQueue::new(iq_size),
+            fus: FuPool::new(fu_count),
+            ready: vec![true; TAG_SPACE],
+            executing: Vec::new(),
+            cycle: 0,
+        }
+    }
+}
+
+/// The complete microarchitectural state of one simulated processor.
+///
+/// Driven by the event engine: each domain's periodic clock event calls
+/// [`Pipeline::tick`].
+pub struct Pipeline<'p> {
+    program: &'p Program,
+    cfg: ProcessorConfig,
+    limits: SimLimits,
+
+    // ---- front end (domain 1) ----
+    stream: DynStream<'p>,
+    peeked: Option<gals_isa::DynInst>,
+    fetch_pc: u64,
+    wrong_path: bool,
+    wrong_pc: u64,
+    fetch_halted: bool,
+    icache: Cache,
+    bpred: BranchPredictor,
+    icache_stall: u32,
+
+    // ---- decode/rename/commit (domain 2) ----
+    decode_buf: VecDeque<u64>,
+    rename: RenameUnit,
+    rob: Rob<u64>,
+    decode_cycle: u64,
+
+    // ---- clusters (domains 3, 4, 5) ----
+    clusters: [ClusterState; 3],
+    store_buffer: StoreBuffer,
+    dcache: Cache,
+    l2: Cache,
+    l2_touched: bool,
+
+    // ---- channels ----
+    ch_fetch_decode: Channel<u64>,
+    ch_dispatch: [Channel<u64>; 3],
+    ch_complete: [Channel<u64>; 3],
+    /// Wakeup tag channels `[from][to]` (diagonal unused).
+    ch_wakeup: [[Channel<Tag>; 3]; 3],
+    ch_redirect: Channel<Redirect>,
+
+    // ---- bookkeeping ----
+    inflight: HashMap<u64, InFlight>,
+    next_seq: u64,
+    /// The one unresolved-recovery mispredicted branch (see module docs of
+    /// `inflight`): set at resolution, cleared when fetch recovers.
+    pending_recovery: Option<u64>,
+    committed: u64,
+    fetched: u64,
+    wrong_path_fetched: u64,
+    slip_total: Time,
+    slip_fifo: Time,
+    store_forwards_total: u64,
+    issued_total: u64,
+    issued_wrong_path: u64,
+    halted: bool,
+    last_commit_time: Time,
+    fetch_cycles: u64,
+    pub(crate) accountant: PowerAccountant,
+    now: Time,
+}
+
+impl<'p> Pipeline<'p> {
+    /// Builds the pipeline for a program under a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation.
+    pub fn new(program: &'p Program, cfg: ProcessorConfig, limits: SimLimits) -> Self {
+        cfg.validate().unwrap_or_else(|e| panic!("invalid processor configuration: {e}"));
+        let u = &cfg.uarch;
+        let mk_data_channel = |from: Domain, to: Domain, cap: usize| -> Channel<u64> {
+            Self::make_channel(&cfg, from, to, cap)
+        };
+        let clusters = [
+            ClusterState::new(Domain::IntCluster, u.int_iq_size, u.int_alus),
+            ClusterState::new(Domain::FpCluster, u.fp_iq_size, u.fp_alus),
+            ClusterState::new(Domain::MemCluster, u.mem_iq_size, u.mem_ports),
+        ];
+        let cluster_domains = [Domain::IntCluster, Domain::FpCluster, Domain::MemCluster];
+        let ch_dispatch = std::array::from_fn(|i| {
+            mk_data_channel(Domain::Decode, cluster_domains[i], cfg.channel_capacity)
+        });
+        let ch_complete = std::array::from_fn(|i| {
+            mk_data_channel(cluster_domains[i], Domain::Decode, cfg.side_channel_capacity)
+        });
+        let ch_wakeup = std::array::from_fn(|from| {
+            std::array::from_fn(|to| {
+                Self::make_channel::<Tag>(
+                    &cfg,
+                    cluster_domains[from],
+                    cluster_domains[to],
+                    cfg.side_channel_capacity,
+                )
+            })
+        });
+        let mut accountant = PowerAccountant::new(cfg.energy.clone());
+        if cfg.clocking.is_gals() {
+            for d in Domain::ALL {
+                accountant.set_domain_voltage_factor(d, cfg.dvfs.energy_factor(d));
+            }
+        } else if cfg.dvfs.is_active() {
+            accountant.set_global_voltage_factor(cfg.dvfs.energy_factor(Domain::Fetch));
+        }
+
+        let mut stream = DynStream::new(program);
+        let peeked = stream.next();
+        let fetch_pc = peeked.as_ref().map_or(EXIT_PC, |d| d.pc);
+
+        Pipeline {
+            ch_fetch_decode: mk_data_channel(Domain::Fetch, Domain::Decode, cfg.channel_capacity),
+            ch_redirect: Self::make_channel(
+                &cfg,
+                Domain::IntCluster,
+                Domain::Fetch,
+                cfg.side_channel_capacity,
+            ),
+            ch_dispatch,
+            ch_complete,
+            ch_wakeup,
+            icache: Cache::new(u.l1i),
+            bpred: BranchPredictor::new(u.bpred),
+            icache_stall: 0,
+            decode_buf: VecDeque::with_capacity(2 * u.decode_width as usize),
+            rename: RenameUnit::new(u.int_phys_regs, u.fp_phys_regs, u.max_branches),
+            rob: Rob::new(u.rob_size),
+            decode_cycle: 0,
+            clusters,
+            store_buffer: StoreBuffer::new(u.store_buffer_size),
+            dcache: Cache::new(u.l1d),
+            l2: Cache::new(u.l2),
+            l2_touched: false,
+            inflight: HashMap::with_capacity(256),
+            next_seq: 0,
+            pending_recovery: None,
+            committed: 0,
+            fetched: 0,
+            wrong_path_fetched: 0,
+            slip_total: Time::ZERO,
+            slip_fifo: Time::ZERO,
+            store_forwards_total: 0,
+            issued_total: 0,
+            issued_wrong_path: 0,
+            halted: false,
+            last_commit_time: Time::ZERO,
+            fetch_cycles: 0,
+            accountant,
+            stream,
+            peeked,
+            fetch_pc,
+            wrong_path: false,
+            wrong_pc: EXIT_PC,
+            fetch_halted: false,
+            program,
+            cfg,
+            limits,
+            now: Time::ZERO,
+        }
+    }
+
+    fn make_channel<T>(cfg: &ProcessorConfig, from: Domain, to: Domain, cap: usize) -> Channel<T> {
+        match &cfg.clocking {
+            Clocking::Synchronous(_) => Channel::sync_latch(cap),
+            Clocking::Gals(clocks) => {
+                let fwd = clocks[to.index()].period.scale(cfg.fifo_sync_periods);
+                let bwd = clocks[from.index()].period.scale(cfg.fifo_sync_periods);
+                Channel::mixed_clock_fifo(cap, fwd, bwd)
+            }
+        }
+    }
+
+    /// True once the run is finished (instruction budget met or program
+    /// fully drained).
+    pub fn done(&self) -> bool {
+        self.halted || self.committed >= self.limits.max_insts
+    }
+
+    /// Committed instructions so far.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Advances one clock edge of `domain` at absolute time `now`.
+    pub fn tick(&mut self, domain: Domain, now: Time) {
+        self.now = now;
+        match domain {
+            Domain::Fetch => self.tick_fetch(),
+            Domain::Decode => self.tick_decode(),
+            Domain::IntCluster => self.tick_cluster(0),
+            Domain::FpCluster => self.tick_cluster(1),
+            Domain::MemCluster => self.tick_cluster(2),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Domain 1: fetch
+    // ------------------------------------------------------------------
+
+    fn tick_fetch(&mut self) {
+        let now = self.now;
+        self.fetch_cycles += 1;
+        self.accountant.tick_domain(Domain::Fetch);
+        // The base machine's global grid toggles once per (shared) cycle.
+        if !self.cfg.clocking.is_gals() {
+            self.accountant.tick_global();
+        }
+
+        // 1. Redirect handling (branch recovery).
+        while let Some((r, res)) = self.ch_redirect.try_pop_timed(now) {
+            // The redirect's residency is pipeline recovery latency; it is
+            // charged to the mispredicted branch for slip accounting.
+            if let Some(inf) = self.inflight.get_mut(&r.branch_seq) {
+                inf.fifo_time += res;
+            }
+            self.process_redirect(r);
+        }
+
+        // 2. Fetch.
+        let mut icache_active = false;
+        let mut bpred_active = false;
+        if self.icache_stall > 0 {
+            self.icache_stall -= 1;
+            icache_active = true;
+        } else if !self.fetch_halted && self.pending_recovery.is_none() {
+            // Once a misprediction has *resolved*, further wrong-path fetch
+            // is gated (the squash broadcast reaches the front end with the
+            // redirect); until resolution, fetch honestly runs down the
+            // predicted path.
+            let pc = if self.wrong_path { self.wrong_pc } else { self.fetch_pc };
+            if pc != EXIT_PC {
+                icache_active = true;
+                if self.icache.access(pc) {
+                    // One I-cache line per cycle: the fetch group ends at
+                    // the line boundary (and at predicted-taken branches).
+                    let line = pc / self.cfg.uarch.l1i.line_bytes;
+                    for _ in 0..self.cfg.uarch.fetch_width {
+                        let cur = if self.wrong_path { self.wrong_pc } else { self.fetch_pc };
+                        if cur == EXIT_PC || cur / self.cfg.uarch.l1i.line_bytes != line {
+                            break;
+                        }
+                        match self.fetch_one(&mut bpred_active) {
+                            FetchOutcome::Continue => {}
+                            FetchOutcome::Stop => break,
+                        }
+                    }
+                } else {
+                    self.icache_stall = self.l2_fill_latency();
+                }
+            }
+        }
+        self.accountant.block_cycle(MacroBlock::ICache, icache_active);
+        self.accountant.block_cycle(MacroBlock::BranchPredictor, bpred_active);
+    }
+
+    /// Latency charged for an L1 miss: L2 hit latency, plus memory latency
+    /// when L2 also misses. (Shared between I- and D-side.)
+    fn l2_fill_latency_for(l2: &mut Cache, l2_touched: &mut bool, addr: u64, mem_latency: u32) -> u32 {
+        *l2_touched = true;
+        if l2.access(addr) {
+            l2.latency()
+        } else {
+            l2.latency() + mem_latency
+        }
+    }
+
+    fn l2_fill_latency(&mut self) -> u32 {
+        let pc = if self.wrong_path { self.wrong_pc } else { self.fetch_pc };
+        Self::l2_fill_latency_for(&mut self.l2, &mut self.l2_touched, pc, self.cfg.uarch.mem_latency)
+    }
+
+    fn fetch_one(&mut self, bpred_active: &mut bool) -> FetchOutcome {
+        let now = self.now;
+        if !self.ch_fetch_decode.can_push(now) {
+            return FetchOutcome::Stop;
+        }
+        if self.wrong_path {
+            self.fetch_one_wrong_path(bpred_active)
+        } else {
+            self.fetch_one_correct_path(bpred_active)
+        }
+    }
+
+    fn fetch_one_correct_path(&mut self, bpred_active: &mut bool) -> FetchOutcome {
+        let Some(d) = self.peeked.clone() else {
+            self.fetch_halted = true;
+            return FetchOutcome::Stop;
+        };
+        debug_assert_eq!(d.pc, self.fetch_pc, "front end desynchronised from stream");
+
+        let mut branch_info = None;
+        let mut stop_after = false;
+
+        if d.op.is_branch() {
+            *bpred_active = true;
+            let fallthrough = self.program.next_sequential_pc(d.block, d.index);
+            let (predicted_taken, predicted_target) = match d.op {
+                OpClass::BranchCond => {
+                    let p = self.bpred.predict_cond(d.pc);
+                    // Immediate training (see module docs).
+                    let train_target = if d.taken { d.next_pc } else { 0 };
+                    self.bpred.update_cond(d.pc, d.taken, train_target, p.taken);
+                    (p.taken, p.target)
+                }
+                OpClass::Jump | OpClass::Call => {
+                    let p = self.bpred.predict_uncond(d.pc);
+                    self.bpred.update_uncond(d.pc, d.next_pc);
+                    if d.op == OpClass::Call {
+                        self.bpred.push_return(fallthrough);
+                    }
+                    (true, p.target)
+                }
+                OpClass::Ret => {
+                    let p = self.bpred.predict_return(d.pc);
+                    (true, p.target)
+                }
+                _ => unreachable!("is_branch covers these"),
+            };
+            // Where fetch believes it should go next.
+            let predicted_next = if predicted_taken {
+                predicted_target.unwrap_or(fallthrough)
+            } else {
+                fallthrough
+            };
+            let mispredicted = predicted_next != d.next_pc;
+            branch_info = Some(BranchInfo {
+                predicted_taken,
+                actual_taken: d.taken,
+                recovery_pc: d.next_pc,
+                mispredicted,
+            });
+            if mispredicted {
+                self.wrong_path = true;
+                self.wrong_pc = predicted_next;
+            }
+            // Taken (predicted) control transfers end the fetch group.
+            stop_after = predicted_taken;
+        }
+
+        let seq = self.alloc_seq();
+        let static_inst = &self.program.block(d.block).insts[d.index as usize];
+        let is_exit = d.is_exit();
+        let inf = self.make_inflight(seq, d.pc, static_inst, false, d.mem_addr, branch_info, is_exit);
+        self.push_fetched(inf);
+
+        // Advance the architectural cursor.
+        self.fetch_pc = d.next_pc;
+        self.peeked = self.stream.next();
+        if d.is_exit() {
+            self.fetch_halted = true;
+            return FetchOutcome::Stop;
+        }
+        if stop_after || self.wrong_path {
+            return FetchOutcome::Stop;
+        }
+        FetchOutcome::Continue
+    }
+
+    fn fetch_one_wrong_path(&mut self, bpred_active: &mut bool) -> FetchOutcome {
+        let Some((block, index, inst)) = self.program.locate(self.wrong_pc) else {
+            // Ran off the program on the wrong path: fetch bubbles until
+            // the redirect arrives.
+            return FetchOutcome::Stop;
+        };
+        let inst = inst.clone();
+        let pc = self.wrong_pc;
+        let seq = self.alloc_seq();
+
+        let mut stop_after = false;
+        if inst.op.is_branch() {
+            *bpred_active = true;
+            let fallthrough = self.program.next_sequential_pc(block, index);
+            let taken_target = self.program.taken_target_pc(block);
+            let (ptaken, ptarget) = match inst.op {
+                OpClass::BranchCond => {
+                    let p = self.bpred.predict_cond_nospec(pc);
+                    (p.taken, p.target)
+                }
+                OpClass::Jump | OpClass::Call => {
+                    let p = self.bpred.predict_uncond(pc);
+                    if inst.op == OpClass::Call {
+                        self.bpred.push_return(fallthrough);
+                    }
+                    // Wrong-path fetch may still know the static target.
+                    (true, p.target.or(taken_target))
+                }
+                OpClass::Ret => {
+                    let p = self.bpred.predict_return(pc);
+                    (true, p.target)
+                }
+                _ => unreachable!(),
+            };
+            self.wrong_pc = if ptaken {
+                ptarget.unwrap_or(fallthrough)
+            } else {
+                fallthrough
+            };
+            stop_after = ptaken;
+        } else {
+            self.wrong_pc = self.program.next_sequential_pc(block, index);
+        }
+
+        let mem_addr = inst.mem.map(|mid| {
+            let behavior = self.program.mem_behavior(mid);
+            let flat = self.program.flat_index(block, index);
+            behavior.address(self.program.seed() ^ WRONG_PATH_SALT, flat, seq)
+        });
+        // Wrong-path branches never carry misprediction info: they have no
+        // architectural outcome and are squashed before resolution matters.
+        let branch_info = inst.op.is_branch().then_some(BranchInfo {
+            predicted_taken: true,
+            actual_taken: false,
+            recovery_pc: EXIT_PC,
+            mispredicted: false,
+        });
+        let inf = self.make_inflight(seq, pc, &inst, true, mem_addr, branch_info, false);
+        self.push_fetched(inf);
+
+        if stop_after {
+            FetchOutcome::Stop
+        } else {
+            FetchOutcome::Continue
+        }
+    }
+
+    fn alloc_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    fn make_inflight(
+        &mut self,
+        seq: u64,
+        pc: u64,
+        inst: &Inst,
+        wrong_path: bool,
+        mem_addr: Option<u64>,
+        branch: Option<BranchInfo>,
+        is_exit: bool,
+    ) -> InFlight {
+        InFlight {
+            seq,
+            pc,
+            op: inst.op,
+            wrong_path,
+            dst: None,
+            srcs: Vec::new(),
+            mem_addr,
+            branch,
+            fetched_at: self.now,
+            fifo_time: Time::ZERO,
+            is_exit,
+        }
+    }
+
+    fn push_fetched(&mut self, inf: InFlight) {
+        let seq = inf.seq;
+        let wrong = inf.wrong_path;
+        self.inflight.insert(seq, inf);
+        self.ch_fetch_decode
+            .try_push(seq, self.now)
+            .expect("push guarded by can_push");
+        self.fetched += 1;
+        if wrong {
+            self.wrong_path_fetched += 1;
+        }
+    }
+
+    fn process_redirect(&mut self, r: Redirect) {
+        // Drop stale redirects for branches already squashed.
+        if self.pending_recovery != Some(r.branch_seq) {
+            return;
+        }
+        let now = self.now;
+        let bseq = r.branch_seq;
+
+        // Squash younger state everywhere.
+        for seq in self.rob.squash_younger(bseq) {
+            debug_assert!(seq > bseq);
+        }
+        let recovered = self.rename.recover(bseq);
+        debug_assert!(recovered, "mispredicted branch must hold a checkpoint");
+        for cl in &mut self.clusters {
+            cl.iq.squash_younger(bseq);
+            cl.executing.retain(|&(_, s)| s <= bseq);
+        }
+        self.store_buffer.squash_younger(bseq);
+        self.decode_buf.retain(|&s| s <= bseq);
+        self.ch_fetch_decode.flush_where(now, |&s| s <= bseq);
+        for ch in &mut self.ch_dispatch {
+            ch.flush_where(now, |&s| s <= bseq);
+        }
+        for ch in &mut self.ch_complete {
+            ch.flush_where(now, |&s| s <= bseq);
+        }
+        // Wakeup channels carry register tags, not sequence numbers; stale
+        // tags are tolerated (module docs).
+        self.inflight.retain(|&s, _| s <= bseq);
+
+        // Resume correct-path fetch.
+        self.wrong_path = false;
+        self.wrong_pc = EXIT_PC;
+        debug_assert_eq!(
+            r.target_pc, self.fetch_pc,
+            "recovery target must match the architectural cursor"
+        );
+        self.icache_stall = 0;
+        self.pending_recovery = None;
+    }
+
+    // ------------------------------------------------------------------
+    // Domain 2: decode, rename, dispatch, commit
+    // ------------------------------------------------------------------
+
+    fn tick_decode(&mut self) {
+        let now = self.now;
+        self.decode_cycle += 1;
+        self.accountant.tick_domain(Domain::Decode);
+
+        // 1. Absorb completions.
+        for ci in 0..3 {
+            while let Some((seq, res)) = self.ch_complete[ci].try_pop_timed(now) {
+                if let Some(inf) = self.inflight.get_mut(&seq) {
+                    inf.fifo_time += res;
+                }
+                self.rob.complete(seq);
+            }
+        }
+
+        // 2. Commit. (The budget check keeps runs with different clockings
+        // at exactly equal committed counts for paired comparisons.)
+        let mut commits = 0;
+        while commits < self.cfg.uarch.commit_width && self.committed < self.limits.max_insts {
+            let Some((head_seq, _, _)) = self.rob.head() else { break };
+            // Hold a mispredicted branch at the head until its recovery has
+            // executed: the checkpoint must survive, and nothing younger
+            // (wrong-path) may commit.
+            if self.pending_recovery == Some(head_seq) {
+                break;
+            }
+            let Some((seq, _)) = self.rob.try_commit() else { break };
+            let inf = self.inflight.remove(&seq).expect("committing unknown instruction");
+            debug_assert!(!inf.wrong_path, "wrong-path instruction reached commit");
+            if let Some((arch, new_tag, old)) = inf.dst {
+                let _ = new_tag;
+                self.rename.commit_release(arch, old);
+            }
+            if inf.op.is_branch() {
+                self.rename.release_checkpoint(seq);
+            }
+            if inf.op == OpClass::Store {
+                self.store_buffer.retire_through(seq);
+            }
+            self.slip_total += now - inf.fetched_at;
+            self.slip_fifo += inf.fifo_time;
+            self.committed += 1;
+            self.last_commit_time = now;
+            if inf.is_exit {
+                self.halted = true;
+            }
+            commits += 1;
+        }
+
+        // Deadlock watchdog (development aid).
+        let wd = self.limits.watchdog_cycles;
+        if wd > 0 && !self.done() {
+            let span = self.cfg.clocking.max_period() * wd;
+            assert!(
+                now.saturating_sub(self.last_commit_time) < span,
+                "no commit for {wd} cycles at {now}: committed={} rob={} iq=[{},{},{}] \
+                 pending_recovery={:?} fetch_halted={} wrong_path={}",
+                self.committed,
+                self.rob.len(),
+                self.clusters[0].iq.len(),
+                self.clusters[1].iq.len(),
+                self.clusters[2].iq.len(),
+                self.pending_recovery,
+                self.fetch_halted,
+                self.wrong_path,
+            );
+        }
+
+        // 3. Rename + dispatch, in order, stalling at the first hazard.
+        let mut renamed = 0;
+        while renamed < self.cfg.uarch.decode_width {
+            let Some(&seq) = self.decode_buf.front() else { break };
+            if !self.rob.has_space() {
+                break;
+            }
+            let (op, is_branch, cluster) = {
+                let inf = self.inflight.get(&seq).expect("decoded instruction vanished");
+                (inf.op, inf.op.is_branch(), inf.cluster())
+            };
+            if is_branch && !self.rename.can_checkpoint() {
+                break;
+            }
+            // Stores reserve their buffer slot here, in program order, so an
+            // older store can never be starved by younger out-of-order
+            // stores (deadlock avoidance; see gals_uarch::StoreBuffer).
+            if op == OpClass::Store && !self.store_buffer.has_space() {
+                break;
+            }
+            let ci = cluster_index(cluster);
+            if !self.ch_dispatch[ci].can_push(now) {
+                break;
+            }
+            // Rename sources first (RAW within the group resolves to the
+            // younger mapping naturally because older group members already
+            // updated the RAT this cycle).
+            let static_inst = self
+                .program
+                .locate(self.inflight[&seq].pc)
+                .map(|(_, _, inst)| inst.clone());
+            let Some(static_inst) = static_inst else {
+                // Should not happen: every fetched PC is locatable.
+                self.decode_buf.pop_front();
+                continue;
+            };
+            let src_tags: Vec<Tag> = static_inst
+                .sources()
+                .map(|r| Tag::new(self.rename.lookup(r), r.is_fp()))
+                .collect();
+            let dst = if let Some(d) = static_inst.dst {
+                match self.rename.rename_dst(d) {
+                    Ok(renamed_dst) => Some((d, Tag::new(renamed_dst.new, d.is_fp()), renamed_dst.old)),
+                    Err(_) => break, // out of physical registers: stall
+                }
+            } else {
+                None
+            };
+            if is_branch {
+                self.rename.checkpoint(seq);
+            }
+            {
+                let inf = self.inflight.get_mut(&seq).expect("renaming unknown instruction");
+                inf.srcs = src_tags;
+                inf.dst = dst;
+            }
+            // Mark the destination not-ready in every cluster view.
+            if let Some((_, tag, _)) = dst {
+                for cl in &mut self.clusters {
+                    cl.ready[tag.index()] = false;
+                }
+            }
+            if op == OpClass::Store {
+                self.store_buffer.reserve(seq).expect("space checked above");
+            }
+            self.rob.alloc(seq, seq).expect("space checked above");
+            self.ch_dispatch[ci]
+                .try_push(seq, now)
+                .expect("push guarded by can_push");
+            self.decode_buf.pop_front();
+            renamed += 1;
+        }
+
+        // 4. Decode: pull from the fetch channel into the decode buffer.
+        let mut decoded = 0;
+        while decoded < self.cfg.uarch.decode_width
+            && self.decode_buf.len() < 2 * self.cfg.uarch.decode_width as usize
+        {
+            let Some((seq, res)) = self.ch_fetch_decode.try_pop_timed(now) else { break };
+            if let Some(inf) = self.inflight.get_mut(&seq) {
+                inf.fifo_time += res;
+                self.decode_buf.push_back(seq);
+            }
+            // (A flushed-but-raced seq simply evaporates.)
+            decoded += 1;
+        }
+
+        self.accountant
+            .block_cycle(MacroBlock::RenameLogic, renamed > 0 || decoded > 0);
+        self.accountant
+            .block_cycle(MacroBlock::RegisterFile, renamed > 0 || commits > 0);
+        self.rename.sample_occupancy();
+        self.rob.sample_occupancy();
+    }
+
+    // ------------------------------------------------------------------
+    // Domains 3/4/5: the execution clusters
+    // ------------------------------------------------------------------
+
+    fn tick_cluster(&mut self, ci: usize) {
+        let now = self.now;
+        self.clusters[ci].cycle += 1;
+        let domain = self.clusters[ci].domain;
+        self.accountant.tick_domain(domain);
+
+        // 1. Apply cross-domain wakeups.
+        for from in 0..3 {
+            if from == ci {
+                continue;
+            }
+            while let Some(tag) = self.ch_wakeup[from][ci].try_pop(now) {
+                let cl = &mut self.clusters[ci];
+                cl.ready[tag.index()] = true;
+                cl.iq.wakeup(tag.as_iq_tag());
+            }
+        }
+
+        // 2. Writeback of finished executions.
+        let cycle = self.clusters[ci].cycle;
+        let mut finished: Vec<u64> = Vec::new();
+        self.clusters[ci].executing.retain(|&(done, seq)| {
+            if done <= cycle {
+                finished.push(seq);
+                false
+            } else {
+                true
+            }
+        });
+        finished.sort_unstable();
+        for seq in finished {
+            self.writeback(ci, seq);
+        }
+
+        // 3. Select + issue.
+        let issued = self.issue(ci);
+
+        // 4. Fill the IQ from the dispatch channel.
+        let mut inserted = 0;
+        while self.clusters[ci].iq.has_space() {
+            let Some((seq, res)) = self.ch_dispatch[ci].try_pop_timed(now) else { break };
+            let Some(inf) = self.inflight.get_mut(&seq) else { continue };
+            inf.fifo_time += res;
+            let cl = &mut self.clusters[ci];
+            let waiting: Vec<gals_uarch::PhysReg> = inf
+                .srcs
+                .iter()
+                .filter(|t| !cl.ready[t.index()])
+                .map(|t| t.as_iq_tag())
+                .collect();
+            cl.iq
+                .insert(seq, seq, waiting)
+                .expect("space checked by has_space");
+            inserted += 1;
+        }
+
+        // 5. Power activity.
+        let cl = &mut self.clusters[ci];
+        cl.iq.sample_occupancy();
+        let iq_active = !cl.iq.is_empty() || inserted > 0;
+        let alu_active = issued > 0 || !cl.executing.is_empty();
+        let (iq_block, alu_block) = match ci {
+            0 => (MacroBlock::IntIssueWindow, MacroBlock::IntAlus),
+            1 => (MacroBlock::FpIssueWindow, MacroBlock::FpAlus),
+            _ => (MacroBlock::MemIssueWindow, MacroBlock::FpAlus), // alu handled below
+        };
+        self.accountant.block_cycle(iq_block, iq_active);
+        if ci == 2 {
+            // Memory cluster: charge the caches instead of ALUs.
+            self.accountant.block_cycle(MacroBlock::DCache, issued > 0 || !cl.executing.is_empty());
+            self.accountant.block_cycle(MacroBlock::L2Cache, self.l2_touched);
+            self.l2_touched = false;
+            let _ = alu_block;
+        } else {
+            self.accountant.block_cycle(alu_block, alu_active);
+        }
+        if ci == 2 {
+            self.store_buffer.sample_occupancy();
+        }
+    }
+
+    fn issue(&mut self, ci: usize) -> u32 {
+        let now = self.now;
+        let width = self.cfg.uarch.issue_width;
+        let cycle = self.clusters[ci].cycle;
+        // Split borrows: the IQ needs &mut independent of the rest.
+        let ClusterState { iq, fus, .. } = &mut self.clusters[ci];
+        let inflight = &self.inflight;
+        let store_buffer = &mut self.store_buffer;
+        let dcache = &mut self.dcache;
+        let l2 = &mut self.l2;
+        let l2_touched = &mut self.l2_touched;
+        let mem_latency = self.cfg.uarch.mem_latency;
+        let mut store_forwards = 0u64;
+
+        let mut latencies: Vec<(u64, u64)> = Vec::new();
+        let picked = iq.select_with(width, |seq| {
+            let Some(inf) = inflight.get(&seq) else { return true /* squash race: drop */ };
+            let base_lat = inf.op.exec_latency();
+            match inf.op {
+                OpClass::Store => {
+                    if !fus.try_issue(cycle, base_lat, true) {
+                        return false;
+                    }
+                    let addr = inf.mem_addr.expect("stores carry addresses");
+                    // Slot reserved at dispatch; fill the address now.
+                    store_buffer.fill(seq, addr);
+                    latencies.push((seq, u64::from(base_lat)));
+                    true
+                }
+                OpClass::Load => {
+                    if !fus.try_issue(cycle, base_lat, true) {
+                        return false;
+                    }
+                    let addr = inf.mem_addr.expect("loads carry addresses");
+                    let lat = if store_buffer.forwards_to(addr) {
+                        store_forwards += 1;
+                        u64::from(dcache.latency())
+                    } else if dcache.access(addr) {
+                        u64::from(dcache.latency())
+                    } else {
+                        u64::from(dcache.latency())
+                            + u64::from(Self::l2_fill_latency_for(l2, l2_touched, addr, mem_latency))
+                    };
+                    latencies.push((seq, lat));
+                    true
+                }
+                op => {
+                    if !fus.try_issue(cycle, op.exec_latency(), op.is_pipelined()) {
+                        return false;
+                    }
+                    latencies.push((seq, u64::from(op.exec_latency())));
+                    true
+                }
+            }
+        });
+        self.store_forwards_total += store_forwards;
+        let issued = picked.len() as u32;
+        self.issued_total += u64::from(issued);
+        for &seq in &picked {
+            if self.inflight.get(&seq).map(|i| i.wrong_path).unwrap_or(false) {
+                self.issued_wrong_path += 1;
+            }
+        }
+        for seq in picked {
+            let lat = latencies
+                .iter()
+                .find(|(s, _)| *s == seq)
+                .map(|&(_, l)| l)
+                .unwrap_or(1);
+            self.clusters[ci].executing.push((cycle + lat.max(1), seq));
+        }
+        let _ = now;
+        issued
+    }
+
+    fn writeback(&mut self, ci: usize, seq: u64) {
+        let now = self.now;
+        let Some(inf) = self.inflight.get(&seq) else { return };
+        let dst = inf.dst;
+        let is_mispredict = inf
+            .branch
+            .map(|b| b.mispredicted && !inf.wrong_path)
+            .unwrap_or(false);
+        let recovery_pc = inf.branch.map(|b| b.recovery_pc).unwrap_or(EXIT_PC);
+
+        // Local + remote wakeup.
+        if let Some((_, tag, _)) = dst {
+            let cl = &mut self.clusters[ci];
+            cl.ready[tag.index()] = true;
+            cl.iq.wakeup(tag.as_iq_tag());
+            for to in 0..3 {
+                if to == ci {
+                    continue;
+                }
+                self.ch_wakeup[ci][to]
+                    .try_push(tag, now)
+                    .expect("wakeup channel sized to never fill");
+            }
+        }
+
+        // Mispredicted branch: launch the redirect.
+        if is_mispredict {
+            debug_assert!(
+                self.pending_recovery.is_none(),
+                "only one correct-path misprediction can be outstanding"
+            );
+            self.pending_recovery = Some(seq);
+            self.ch_redirect
+                .try_push(
+                    Redirect {
+                        branch_seq: seq,
+                        target_pc: recovery_pc,
+                    },
+                    now,
+                )
+                .expect("redirect channel sized to never fill");
+        }
+
+        // Completion notice to the ROB.
+        self.ch_complete[ci]
+            .try_push(seq, now)
+            .expect("completion channel sized to never fill");
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting
+    // ------------------------------------------------------------------
+
+    /// Finalises the run into a [`SimReport`]. `exec_time` is the timestamp
+    /// of the last processed event.
+    pub fn into_report(mut self, exec_time: Time) -> SimReport {
+        // FIFO transfer energy (GALS only): every push and pop toggles the
+        // FIFO's synchronisers and data latches.
+        let mut channel_ops = 0u64;
+        let mut add = |st: gals_clocks::ChannelStats| {
+            channel_ops += st.pushes + st.pops;
+        };
+        add(self.ch_fetch_decode.stats());
+        add(self.ch_redirect.stats());
+        for ch in &self.ch_dispatch {
+            add(ch.stats());
+        }
+        for ch in &self.ch_complete {
+            add(ch.stats());
+        }
+        for row in &self.ch_wakeup {
+            for ch in row {
+                add(ch.stats());
+            }
+        }
+        if self.cfg.clocking.is_gals() {
+            self.accountant.fifo_access(channel_ops);
+        }
+
+        SimReport {
+            committed: self.committed,
+            fetched: self.fetched,
+            wrong_path_fetched: self.wrong_path_fetched,
+            exec_time,
+            domain_cycles: [
+                self.fetch_cycles,
+                self.decode_cycle,
+                self.clusters[0].cycle,
+                self.clusters[1].cycle,
+                self.clusters[2].cycle,
+            ],
+            slip_total: self.slip_total,
+            slip_fifo: self.slip_fifo,
+            bpred: self.bpred.stats(),
+            icache: self.icache.stats(),
+            dcache: self.dcache.stats(),
+            l2: self.l2.stats(),
+            iq: [
+                self.clusters[0].iq.stats(),
+                self.clusters[1].iq.stats(),
+                self.clusters[2].iq.stats(),
+            ],
+            rob_mean_occupancy: self.rob.mean_occupancy(),
+            rat_mean_occupancy: self.rename.mean_occupancy(),
+            rat_peak_occupancy: self.rename.peak_occupancy(),
+            store_forwards: self.store_forwards_total,
+            issued: self.issued_total,
+            issued_wrong_path: self.issued_wrong_path,
+            channel_ops,
+            energy: self.accountant.breakdown(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FetchOutcome {
+    Continue,
+    Stop,
+}
+
+fn cluster_index(c: Cluster) -> usize {
+    match c {
+        Cluster::Int => 0,
+        Cluster::Fp => 1,
+        Cluster::Mem => 2,
+    }
+}

@@ -1,0 +1,205 @@
+//! Simulation results: everything the paper's figures are computed from.
+
+use gals_events::Time;
+use gals_power::EnergyBreakdown;
+use gals_uarch::{BpredStats, CacheStats, IssueQueueStats};
+
+/// Per-domain cycle counts at the end of a run, indexed by
+/// [`gals_clocks::Domain::index`].
+pub type DomainCycles = [u64; 5];
+
+/// The complete result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Committed (architectural) instructions.
+    pub committed: u64,
+    /// Total instructions fetched (correct + wrong path).
+    pub fetched: u64,
+    /// Wrong-path instructions fetched — the paper's "mis-speculated
+    /// instructions" (Figure 8).
+    pub wrong_path_fetched: u64,
+    /// Wall-clock simulated time of the run.
+    pub exec_time: Time,
+    /// Local cycles ticked per domain.
+    pub domain_cycles: DomainCycles,
+    /// Sum of per-instruction fetch-to-commit latency over committed
+    /// instructions (Figure 6's "slip" numerator).
+    pub slip_total: Time,
+    /// Portion of the slip spent resident in inter-domain channels
+    /// (Figure 7's "FIFO" share).
+    pub slip_fifo: Time,
+    /// Branch predictor statistics.
+    pub bpred: BpredStats,
+    /// I-cache statistics.
+    pub icache: CacheStats,
+    /// D-cache statistics.
+    pub dcache: CacheStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+    /// Issue-queue statistics per cluster (int, fp, mem).
+    pub iq: [IssueQueueStats; 3],
+    /// Mean in-flight (ROB) occupancy.
+    pub rob_mean_occupancy: f64,
+    /// Mean rename-table occupancy (in-flight renames, int + fp).
+    pub rat_mean_occupancy: f64,
+    /// Peak rename-table occupancy.
+    pub rat_peak_occupancy: u32,
+    /// Loads that forwarded from the store buffer.
+    pub store_forwards: u64,
+    /// Instructions issued to functional units (correct + wrong path).
+    pub issued: u64,
+    /// Wrong-path instructions that actually issued (speculatively
+    /// executed) — the paper's Figure 8 numerator.
+    pub issued_wrong_path: u64,
+    /// Total channel pushes + pops (FIFO transfer count in GALS).
+    pub channel_ops: u64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+impl SimReport {
+    /// Committed instructions per nanosecond — the cross-configuration
+    /// performance metric (higher is better; frequency-independent).
+    pub fn insts_per_ns(&self) -> f64 {
+        self.committed as f64 / self.exec_time.as_ns_f64()
+    }
+
+    /// IPC measured against a reference clock period.
+    pub fn ipc(&self, period: Time) -> f64 {
+        self.committed as f64 / (self.exec_time.as_fs() as f64 / period.as_fs() as f64)
+    }
+
+    /// Mean slip (fetch-to-commit latency) per committed instruction.
+    pub fn mean_slip(&self) -> Time {
+        if self.committed == 0 {
+            Time::ZERO
+        } else {
+            self.slip_total / self.committed
+        }
+    }
+
+    /// Fraction of the slip spent in inter-domain channels.
+    pub fn fifo_slip_fraction(&self) -> f64 {
+        if self.slip_total == Time::ZERO {
+            0.0
+        } else {
+            self.slip_fifo.as_fs() as f64 / self.slip_total.as_fs() as f64
+        }
+    }
+
+    /// The paper's mis-speculation metric (Figure 8): wrong-path
+    /// instructions as a fraction of all *speculatively executed* (issued)
+    /// instructions.
+    pub fn misspeculation_rate(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.issued_wrong_path as f64 / self.issued as f64
+        }
+    }
+
+    /// Wrong-path instructions as a fraction of all instructions *fetched*
+    /// (a coarser speculation measure than [`SimReport::misspeculation_rate`]).
+    pub fn wrong_path_fetch_rate(&self) -> f64 {
+        if self.fetched == 0 {
+            0.0
+        } else {
+            self.wrong_path_fetched as f64 / self.fetched as f64
+        }
+    }
+
+    /// Total energy (relative units).
+    pub fn total_energy(&self) -> f64 {
+        self.energy.total()
+    }
+
+    /// Average power (energy units per second).
+    pub fn average_power(&self) -> f64 {
+        self.energy.average_power(self.exec_time)
+    }
+
+    /// Relative performance of `self` against a baseline run of the same
+    /// workload (1.0 = equal; < 1 = slower than baseline). The paper's
+    /// Figure 5 metric.
+    pub fn relative_performance(&self, base: &SimReport) -> f64 {
+        assert_eq!(
+            self.committed, base.committed,
+            "relative performance requires equal committed-instruction counts"
+        );
+        base.exec_time.as_fs() as f64 / self.exec_time.as_fs() as f64
+    }
+
+    /// Relative total energy against a baseline run (Figure 9).
+    pub fn relative_energy(&self, base: &SimReport) -> f64 {
+        self.total_energy() / base.total_energy()
+    }
+
+    /// Relative average power against a baseline run (Figure 9).
+    pub fn relative_power(&self, base: &SimReport) -> f64 {
+        self.average_power() / base.average_power()
+    }
+
+    /// A multi-line human-readable summary of the run.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gals_core::{simulate, ProcessorConfig, SimLimits};
+    /// use gals_workload::{generate, Benchmark};
+    ///
+    /// let program = generate(Benchmark::Adpcm, 1);
+    /// let r = simulate(&program, ProcessorConfig::synchronous_1ghz(), SimLimits::insts(5_000));
+    /// let text = r.summary();
+    /// assert!(text.contains("committed"));
+    /// assert!(text.contains("slip"));
+    /// ```
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "committed            {:>12}", self.committed);
+        let _ = writeln!(
+            s,
+            "fetched              {:>12}   ({:.1}% wrong path)",
+            self.fetched,
+            100.0 * self.wrong_path_fetch_rate()
+        );
+        let _ = writeln!(s, "execution time       {:>12}", format!("{}", self.exec_time));
+        let _ = writeln!(s, "throughput           {:>12.3} insts/ns", self.insts_per_ns());
+        let _ = writeln!(
+            s,
+            "mean slip            {:>12}   ({:.1}% in channels)",
+            format!("{}", self.mean_slip()),
+            100.0 * self.fifo_slip_fraction()
+        );
+        let _ = writeln!(
+            s,
+            "mis-speculation      {:>11.1}%   (of issued instructions)",
+            100.0 * self.misspeculation_rate()
+        );
+        let _ = writeln!(
+            s,
+            "branch mispredicts   {:>11.1}%   ({} lookups)",
+            100.0 * self.bpred.mispredict_rate(),
+            self.bpred.cond_lookups
+        );
+        let _ = writeln!(
+            s,
+            "L1D / L2 miss        {:>11.1}% / {:.1}%",
+            100.0 * self.dcache.miss_rate(),
+            100.0 * self.l2.miss_rate()
+        );
+        let _ = writeln!(
+            s,
+            "occupancy            {:>12.1} ROB / {:.1} RAT (mean)",
+            self.rob_mean_occupancy, self.rat_mean_occupancy
+        );
+        let _ = writeln!(s, "total energy         {:>12.0} EU", self.total_energy());
+        let _ = writeln!(
+            s,
+            "clock energy share   {:>11.1}%   (global {:.1}%)",
+            100.0 * self.energy.clock_total() / self.total_energy(),
+            100.0 * self.energy.global_clock / self.total_energy()
+        );
+        s
+    }
+}

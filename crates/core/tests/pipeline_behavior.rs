@@ -1,0 +1,173 @@
+//! Microarchitectural behaviour tests: tiny hand-built kernels with known
+//! timing properties, checked against the simulated pipeline.
+
+use gals_core::{simulate, ProcessorConfig, SimLimits};
+use gals_events::Time;
+use gals_workload::micro;
+
+fn sync() -> ProcessorConfig {
+    ProcessorConfig::synchronous_1ghz()
+}
+
+fn run_ipc(program: &gals_isa::Program, insts: u64) -> f64 {
+    let r = simulate(program, sync(), SimLimits::insts(insts));
+    r.ipc(Time::from_ns(1))
+}
+
+#[test]
+fn independent_alu_work_exceeds_ipc_2() {
+    // 7 independent ops + a perfectly predictable loop branch: the 4-wide
+    // machine should clearly exceed IPC 2.
+    let program = micro::alu_loop(100_000, 7);
+    let ipc = run_ipc(&program, 40_000);
+    assert!(ipc > 2.0, "independent ALU loop IPC {ipc}");
+}
+
+#[test]
+fn dependency_chain_caps_ipc_near_1() {
+    // Strictly serial chain: every instruction waits for the previous one.
+    let program = micro::dependency_chain(100_000, 8);
+    let ipc = run_ipc(&program, 40_000);
+    assert!(ipc < 1.3, "serial chain IPC {ipc} should approach 1");
+    assert!(ipc > 0.5, "back-to-back issue should keep the chain moving ({ipc})");
+}
+
+#[test]
+fn wider_bodies_raise_ipc() {
+    let narrow = run_ipc(&micro::alu_loop(100_000, 2), 30_000);
+    let wide = run_ipc(&micro::alu_loop(100_000, 10), 30_000);
+    assert!(
+        wide > narrow,
+        "more independent work per branch must raise IPC ({narrow} vs {wide})"
+    );
+}
+
+#[test]
+fn l1_resident_streams_beat_l2_streams() {
+    // 8 KB fits L1; 128 KB streams from L2; 4 MB spills to memory.
+    let l1 = run_ipc(&micro::stream_loads(200_000, 8 << 10), 30_000);
+    let l2 = run_ipc(&micro::stream_loads(200_000, 128 << 10), 30_000);
+    let mem = run_ipc(&micro::stream_loads(200_000, 4 << 20), 30_000);
+    assert!(l1 > l2, "L1-resident {l1} must beat L2 stream {l2}");
+    assert!(l2 > mem, "L2 stream {l2} must beat memory stream {mem}");
+}
+
+#[test]
+fn cache_miss_rates_track_footprint() {
+    let small = simulate(&micro::stream_loads(200_000, 8 << 10), sync(), SimLimits::insts(30_000));
+    let large = simulate(&micro::stream_loads(200_000, 4 << 20), sync(), SimLimits::insts(30_000));
+    assert!(small.dcache.miss_rate() < 0.05, "8 KB stream should be L1-resident");
+    assert!(large.dcache.miss_rate() > 0.08, "4 MB stream must miss L1");
+    assert!(large.l2.miss_rate() > 0.5, "4 MB stream must stream through L2");
+}
+
+#[test]
+fn random_branches_are_costly() {
+    let predictable = run_ipc(&micro::alu_loop(100_000, 2), 30_000);
+    let random = run_ipc(&micro::random_branches(100_000), 30_000);
+    assert!(
+        random < predictable * 0.8,
+        "coin-flip branches must cost throughput ({random} vs {predictable})"
+    );
+}
+
+#[test]
+fn misprediction_penalty_is_larger_on_gals() {
+    let program = micro::random_branches(100_000);
+    let limits = SimLimits::insts(30_000);
+    let base = simulate(&program, sync(), limits);
+    let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), limits);
+    // The redirect travels through a FIFO: recovery is strictly longer, so
+    // more wrong-path work gets in.
+    assert!(gals.exec_time > base.exec_time);
+    assert!(
+        gals.wrong_path_fetched > base.wrong_path_fetched,
+        "longer recovery pipeline must admit more wrong-path instructions \
+         ({} vs {})",
+        gals.wrong_path_fetched,
+        base.wrong_path_fetched
+    );
+}
+
+#[test]
+fn store_load_forwarding_happens() {
+    let program = micro::store_forward(50_000);
+    let r = simulate(&program, sync(), SimLimits::insts(30_000));
+    assert!(r.store_forwards > 0, "same-address store->load pairs must forward");
+    // Most iterations should forward: the load issues 3+ cycles after the
+    // store and the store retires only at commit.
+    let iterations = 30_000 / 5;
+    assert!(
+        r.store_forwards > iterations / 2,
+        "forwards {} over {iterations} iterations",
+        r.store_forwards
+    );
+}
+
+#[test]
+fn slip_has_a_pipeline_floor() {
+    // Even the friendliest workload cannot beat the 8-stage pipe transit.
+    let program = micro::alu_loop(100_000, 7);
+    let r = simulate(&program, sync(), SimLimits::insts(30_000));
+    assert!(
+        r.mean_slip() >= Time::from_ns(6),
+        "slip {} below the pipeline transit floor",
+        r.mean_slip()
+    );
+}
+
+#[test]
+fn domain_cycle_counts_follow_the_clocks() {
+    let program = micro::alu_loop(50_000, 4);
+    let r = simulate(&program, sync(), SimLimits::insts(20_000));
+    // One shared clock: all five domains tick the same number of times +-1.
+    let min = r.domain_cycles.iter().min().expect("five domains");
+    let max = r.domain_cycles.iter().max().expect("five domains");
+    assert!(max - min <= 1, "synchronous domains must tick together {:?}", r.domain_cycles);
+}
+
+#[test]
+fn gals_domains_tick_independently() {
+    use gals_clocks::Domain;
+    use gals_core::DvfsPlan;
+    let program = micro::cross_cluster(50_000);
+    let plan = DvfsPlan::nominal().with_slowdown(Domain::FpCluster, 2.0);
+    let cfg = ProcessorConfig::gals_equal_1ghz(1).with_dvfs(plan);
+    let r = simulate(&program, cfg, SimLimits::insts(20_000));
+    let fp = r.domain_cycles[Domain::FpCluster.index()];
+    let fetch = r.domain_cycles[Domain::Fetch.index()];
+    let ratio = fetch as f64 / fp as f64;
+    assert!(
+        (1.9..2.1).contains(&ratio),
+        "FP domain at half rate must tick half as often ({ratio})"
+    );
+}
+
+#[test]
+fn energy_grows_monotonically_with_work() {
+    let program = micro::alu_loop(200_000, 4);
+    let short = simulate(&program, sync(), SimLimits::insts(10_000));
+    let long = simulate(&program, sync(), SimLimits::insts(30_000));
+    assert!(long.total_energy() > short.total_energy() * 2.0);
+    assert!(long.exec_time > short.exec_time * 2);
+}
+
+#[test]
+fn icache_misses_stall_fetch() {
+    // Any program bigger than the 16 KB L1I forces instruction misses; the
+    // micro kernels are tiny, so use a generated benchmark.
+    let program = gals_workload::generate(gals_workload::Benchmark::Gcc, 4);
+    let r = simulate(&program, sync(), SimLimits::insts(20_000));
+    assert!(r.icache.accesses > 0);
+    assert!(r.icache.misses > 0, "gcc's footprint must miss the 16 KB L1I");
+}
+
+#[test]
+fn issue_queue_stats_are_consistent() {
+    let program = micro::cross_cluster(50_000);
+    let r = simulate(&program, sync(), SimLimits::insts(25_000));
+    let issued: u64 = r.iq.iter().map(|q| q.issued).sum();
+    let inserted: u64 = r.iq.iter().map(|q| q.inserted).sum();
+    assert!(inserted >= issued, "cannot issue more than was inserted");
+    assert!(issued >= r.committed, "every committed instruction issued once");
+}

@@ -1,0 +1,517 @@
+//! The event-driven simulation engine of the paper's section 4.2.
+//!
+//! The paper describes a general-purpose engine built around an event queue
+//! and a global timer, where each queue node carries: a function to call, a
+//! parameter, the scheduled time, a priority number breaking ties between
+//! simultaneous events, and (for clocked systems) a repetition period. This
+//! module is a faithful, type-safe port: the linked list becomes a binary
+//! heap, the `void*` parameter becomes the world type `W`, and periodic
+//! events reschedule themselves exactly as described ("when the execution
+//! engine processes such a periodic event, it schedules another instance of
+//! the same event into the queue").
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use crate::time::Time;
+
+/// Priority of an event; events scheduled for the same instant execute in
+/// ascending priority order (then in scheduling order).
+///
+/// The paper's engine uses "a priority number to determine the order of
+/// execution of events which are scheduled to occur at the same time
+/// instant"; pipeline simulators use this to evaluate later pipe stages
+/// before earlier ones within one clock edge.
+pub type Priority = i32;
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// What a periodic handler asks the engine to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep firing every period.
+    Keep,
+    /// Stop; the event is removed from the queue.
+    Cancel,
+}
+
+enum Payload<W> {
+    Once(Box<dyn FnOnce(&mut W, &mut Engine<W>)>),
+    Periodic {
+        period: Time,
+        handler: Box<dyn FnMut(&mut W, &mut Engine<W>) -> Control>,
+    },
+}
+
+struct Entry<W> {
+    at: Time,
+    priority: Priority,
+    seq: u64,
+    id: EventId,
+    payload: Payload<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    /// Reversed so that the `BinaryHeap` max-heap pops the *earliest*
+    /// `(time, priority, seq)` triple first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.priority, other.seq).cmp(&(self.at, self.priority, self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation engine over a world `W`.
+///
+/// Events are ordered by `(time, priority, insertion sequence)`, making every
+/// run fully reproducible. Periodic events model free-running clocks: the
+/// paper's Figure 4 example of three clock domains with periods 2 ns, 3 ns
+/// and 2.5 ns is reproduced in `examples/event_engine.rs`.
+///
+/// # Examples
+///
+/// ```
+/// use gals_events::{Engine, Control, Time};
+///
+/// let mut engine = Engine::new();
+/// // A free-running clock with period 2 ns starting at phase 0.5 ns.
+/// engine.schedule_periodic(Time::from_ps(500), Time::from_ns(2), 0, |ticks: &mut u32, _| {
+///     *ticks += 1;
+///     Control::Keep
+/// });
+/// let mut ticks = 0u32;
+/// engine.run_until(&mut ticks, Time::from_ns(9));
+/// // Edges at 0.5, 2.5, 4.5, 6.5, 8.5 ns.
+/// assert_eq!(ticks, 5);
+/// ```
+pub struct Engine<W> {
+    heap: BinaryHeap<Entry<W>>,
+    cancelled: HashSet<EventId>,
+    now: Time,
+    seq: u64,
+    next_id: u64,
+    processed: u64,
+}
+
+impl<W> fmt::Debug for Engine<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Creates an empty engine with the timer at `Time::ZERO`.
+    pub fn new() -> Self {
+        Engine {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            now: Time::ZERO,
+            seq: 0,
+            next_id: 0,
+            processed: 0,
+        }
+    }
+
+    /// The current value of the global timer: the timestamp of the event
+    /// being processed, or of the last processed event.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events currently pending (including lazily cancelled ones).
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no live events remain.
+    pub fn is_idle(&self) -> bool {
+        self.heap.len() == self.cancelled.len()
+    }
+
+    fn push(&mut self, at: Time, priority: Priority, id: EventId, payload: Payload<W>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            at,
+            priority,
+            seq,
+            id,
+            payload,
+        });
+    }
+
+    fn fresh_id(&mut self) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Schedules a one-shot event at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time — the engine never
+    /// travels backwards.
+    pub fn schedule_once(
+        &mut self,
+        at: Time,
+        priority: Priority,
+        handler: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule an event in the past (at {at}, now {now})",
+            now = self.now
+        );
+        let id = self.fresh_id();
+        self.push(at, priority, id, Payload::Once(Box::new(handler)));
+        id
+    }
+
+    /// Schedules a one-shot event `delay` after the current time.
+    pub fn schedule_in(
+        &mut self,
+        delay: Time,
+        priority: Priority,
+        handler: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
+        self.schedule_once(self.now + delay, priority, handler)
+    }
+
+    /// Schedules a periodic event (a clock): first firing at `start`, then
+    /// every `period` until the handler returns [`Control::Cancel`] or the
+    /// event is cancelled externally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero (the simulation would never advance) or if
+    /// `start` is in the past.
+    pub fn schedule_periodic(
+        &mut self,
+        start: Time,
+        period: Time,
+        priority: Priority,
+        handler: impl FnMut(&mut W, &mut Engine<W>) -> Control + 'static,
+    ) -> EventId {
+        assert!(period > Time::ZERO, "periodic event must have a non-zero period");
+        assert!(
+            start >= self.now,
+            "cannot schedule an event in the past (at {start}, now {now})",
+            now = self.now
+        );
+        let id = self.fresh_id();
+        self.push(
+            start,
+            priority,
+            id,
+            Payload::Periodic {
+                period,
+                handler: Box::new(handler),
+            },
+        );
+        id
+    }
+
+    /// Cancels a pending event. Returns `true` if the event was still
+    /// pending. Cancellation is lazy: the entry is skipped when popped.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id {
+            return false;
+        }
+        // An id is pending if some heap entry carries it; we cannot probe the
+        // heap cheaply, so conservatively record it and report whether it was
+        // not already cancelled. Ids of already-executed one-shot events are
+        // harmless residents of the set.
+        self.cancelled.insert(id)
+    }
+
+    /// Executes the single earliest pending event. Returns the time at which
+    /// it fired, or `None` if the queue was empty.
+    pub fn step(&mut self, world: &mut W) -> Option<Time> {
+        loop {
+            let entry = self.heap.pop()?;
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now, "event queue went backwards");
+            self.now = entry.at;
+            self.processed += 1;
+            match entry.payload {
+                Payload::Once(f) => f(world, self),
+                Payload::Periodic { period, mut handler } => {
+                    let control = handler(world, self);
+                    // The handler may have cancelled itself via `cancel`.
+                    let self_cancelled = self.cancelled.remove(&entry.id);
+                    if control == Control::Keep && !self_cancelled {
+                        self.push(
+                            entry.at + period,
+                            entry.priority,
+                            entry.id,
+                            Payload::Periodic { period, handler },
+                        );
+                    }
+                }
+            }
+            return Some(self.now);
+        }
+    }
+
+    /// Runs until the queue is exhausted. Equivalent to the paper's
+    /// `process_event_queue()`.
+    pub fn run(&mut self, world: &mut W) {
+        while self.step(world).is_some() {}
+    }
+
+    /// Runs events with timestamps strictly less than `deadline`, leaving
+    /// later events pending. The timer ends at the last executed event.
+    pub fn run_until(&mut self, world: &mut W, deadline: Time) {
+        loop {
+            let Some(next) = self.peek_time() else { return };
+            if next >= deadline {
+                return;
+            }
+            self.step(world);
+        }
+    }
+
+    /// Runs until `predicate(world)` becomes true (checked after every
+    /// event) or the queue empties. Returns `true` if the predicate fired.
+    pub fn run_while(&mut self, world: &mut W, mut keep_going: impl FnMut(&W) -> bool) -> bool {
+        while keep_going(world) {
+            if self.step(world).is_none() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Timestamp of the next live pending event, if any.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        // Drop cancelled entries so the peek is accurate.
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.contains(&top.id) {
+                let entry = self.heap.pop().expect("peeked entry vanished");
+                self.cancelled.remove(&entry.id);
+            } else {
+                return Some(top.at);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_events_run_in_time_order() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        engine.schedule_once(Time::from_ns(3), 0, |log, _| log.push(3));
+        engine.schedule_once(Time::from_ns(1), 0, |log, _| log.push(1));
+        engine.schedule_once(Time::from_ns(2), 0, |log, _| log.push(2));
+        let mut log = Vec::new();
+        engine.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+        assert_eq!(engine.now(), Time::from_ns(3));
+        assert_eq!(engine.events_processed(), 3);
+    }
+
+    #[test]
+    fn priority_breaks_ties_then_insertion_order() {
+        let mut engine: Engine<Vec<&'static str>> = Engine::new();
+        let t = Time::from_ns(1);
+        engine.schedule_once(t, 5, |log, _| log.push("low"));
+        engine.schedule_once(t, -1, |log, _| log.push("high"));
+        engine.schedule_once(t, 5, |log, _| log.push("low2"));
+        let mut log = Vec::new();
+        engine.run(&mut log);
+        assert_eq!(log, vec!["high", "low", "low2"]);
+    }
+
+    #[test]
+    fn periodic_event_reschedules_itself() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_periodic(Time::ZERO, Time::from_ns(2), 0, |count, engine| {
+            *count += 1;
+            if engine.now() >= Time::from_ns(8) {
+                Control::Cancel
+            } else {
+                Control::Keep
+            }
+        });
+        let mut count = 0;
+        engine.run(&mut count);
+        // Fires at 0, 2, 4, 6, 8 then cancels itself.
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn figure4_three_clock_example() {
+        // Paper Figure 4: clocks with periods 2, 3 and 2.5 ns starting at
+        // phases 0.5, 1.0 and 0.0 ns.
+        #[derive(Default)]
+        struct Log(Vec<(u8, u64)>);
+        let mut engine: Engine<Log> = Engine::new();
+        engine.schedule_periodic(Time::from_ps(500), Time::from_ns(2), 0, |w: &mut Log, e| {
+            w.0.push((1, e.now().as_fs()));
+            Control::Keep
+        });
+        engine.schedule_periodic(Time::from_ns(1), Time::from_ns(3), 0, |w: &mut Log, e| {
+            w.0.push((2, e.now().as_fs()));
+            Control::Keep
+        });
+        engine.schedule_periodic(Time::ZERO, Time::from_ps(2500), 0, |w: &mut Log, e| {
+            w.0.push((3, e.now().as_fs()));
+            Control::Keep
+        });
+        let mut log = Log::default();
+        engine.run_until(&mut log, Time::from_ns(8));
+        let expect = [
+            (3, 0u64),
+            (1, 500_000),
+            (2, 1_000_000),
+            // Clocks 1 and 3 both tick at 2.5 ns; clock 3 rescheduled first
+            // (its 0 ns edge preceded clock 1's 0.5 ns edge), so it wins the
+            // deterministic (time, priority, sequence) tie-break.
+            (3, 2_500_000),
+            (1, 2_500_000),
+            (2, 4_000_000),
+            (1, 4_500_000),
+            (3, 5_000_000),
+            (1, 6_500_000),
+            (2, 7_000_000),
+            (3, 7_500_000),
+        ];
+        assert_eq!(log.0, expect);
+    }
+
+    #[test]
+    fn cancel_pending_event() {
+        let mut engine: Engine<u32> = Engine::new();
+        let id = engine.schedule_once(Time::from_ns(1), 0, |count, _| *count += 1);
+        assert!(engine.cancel(id));
+        let mut count = 0;
+        engine.run(&mut count);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn cancel_periodic_externally() {
+        let mut engine: Engine<u32> = Engine::new();
+        let clock = engine.schedule_periodic(Time::ZERO, Time::from_ns(1), 0, |count, _| {
+            *count += 1;
+            Control::Keep
+        });
+        engine.schedule_once(Time::from_ps(3_500), -1, move |_, engine| {
+            engine.cancel(clock);
+        });
+        let mut count = 0;
+        engine.run(&mut count);
+        // Ticks at 0, 1, 2, 3 ns; the 4 ns tick is cancelled at 3.5 ns.
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn handler_can_schedule_followups() {
+        let mut engine: Engine<Vec<u64>> = Engine::new();
+        engine.schedule_once(Time::from_ns(1), 0, |_, engine| {
+            engine.schedule_in(Time::from_ns(5), 0, |log: &mut Vec<u64>, e| {
+                log.push(e.now().as_fs());
+            });
+        });
+        let mut log = Vec::new();
+        engine.run(&mut log);
+        assert_eq!(log, vec![6_000_000]);
+    }
+
+    #[test]
+    fn run_until_leaves_later_events() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_periodic(Time::ZERO, Time::from_ns(1), 0, |c, _| {
+            *c += 1;
+            Control::Keep
+        });
+        let mut count = 0;
+        engine.run_until(&mut count, Time::from_ns(3));
+        assert_eq!(count, 3); // 0, 1, 2 ns
+        assert!(engine.peek_time() == Some(Time::from_ns(3)));
+    }
+
+    #[test]
+    fn run_while_predicate() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_periodic(Time::ZERO, Time::from_ns(1), 0, |c, _| {
+            *c += 1;
+            Control::Keep
+        });
+        let mut count = 0;
+        let fired = engine.run_while(&mut count, |c| *c < 10);
+        assert!(fired);
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_once(Time::from_ns(5), 0, |_, engine| {
+            engine.schedule_once(Time::from_ns(1), 0, |_, _| {});
+        });
+        let mut w = 0;
+        engine.run(&mut w);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero period")]
+    fn zero_period_panics() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_periodic(Time::ZERO, Time::ZERO, 0, |_, _| Control::Keep);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut engine: Engine<u32> = Engine::new();
+        assert!(!engine.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn is_idle_reflects_live_events() {
+        let mut engine: Engine<u32> = Engine::new();
+        assert!(engine.is_idle());
+        let id = engine.schedule_once(Time::from_ns(1), 0, |_, _| {});
+        assert!(!engine.is_idle());
+        engine.cancel(id);
+        assert!(engine.is_idle());
+    }
+}

@@ -1,0 +1,45 @@
+//! # gals-events
+//!
+//! A general-purpose, deterministic, discrete-event simulation engine — the
+//! Rust port of the engine described in section 4.2 of *"Power and
+//! Performance Evaluation of Globally Asynchronous Locally Synchronous
+//! Processors"* (Iyer & Marculescu, ISCA 2002).
+//!
+//! The engine "can be used to simulate any asynchronous system, synchronous
+//! (clocked) system, or a system which contains both asynchronous and
+//! synchronous components". Clock domains are periodic events with
+//! independent period and phase; asynchronous completions (cache misses,
+//! FIFO synchronisations) are one-shot events.
+//!
+//! ## Example: the paper's Figure 4
+//!
+//! Three free-running clocks with periods 2 ns, 3 ns and 2.5 ns:
+//!
+//! ```
+//! use gals_events::{Engine, Control, Time};
+//!
+//! let mut engine = Engine::new();
+//! for (start, period) in [(500, 2_000), (1_000, 3_000), (0, 2_500)] {
+//!     engine.schedule_periodic(
+//!         Time::from_ps(start),
+//!         Time::from_ps(period),
+//!         0,
+//!         |edges: &mut u32, _| {
+//!             *edges += 1;
+//!             Control::Keep
+//!         },
+//!     );
+//! }
+//! let mut edges = 0;
+//! engine.run_until(&mut edges, Time::from_ns(8));
+//! assert_eq!(edges, 11);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod time;
+
+pub use engine::{Control, Engine, EventId, Priority};
+pub use time::{Time, FS_PER_NS, FS_PER_PS};

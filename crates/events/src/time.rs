@@ -1,0 +1,234 @@
+//! Simulated time.
+//!
+//! Time is measured in integer **femtoseconds** so that every clock-period
+//! manipulation used in the paper's experiments (10%, 20%, 50% slowdowns and
+//! a 3x slowdown of a 1 ns base period) is exactly representable with no
+//! rounding drift. A `u64` femtosecond counter wraps after ~5 hours of
+//! simulated time, far beyond any experiment in this repository.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Number of femtoseconds in one picosecond.
+pub const FS_PER_PS: u64 = 1_000;
+/// Number of femtoseconds in one nanosecond.
+pub const FS_PER_NS: u64 = 1_000_000;
+
+/// An instant (or duration) of simulated time, in femtoseconds.
+///
+/// `Time` is used both as an absolute timestamp from simulation start and as
+/// a duration; the arithmetic provided (saturating on underflow is *not*
+/// silent — subtraction panics in debug builds like ordinary integer math)
+/// keeps the two uses interchangeable the same way the paper's C engine used
+/// a raw `double`.
+///
+/// # Examples
+///
+/// ```
+/// use gals_events::Time;
+/// let period = Time::from_ns(2);
+/// assert_eq!(period * 3, Time::from_ns(6));
+/// assert_eq!(Time::from_ps(2_000), period);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The zero instant (simulation start).
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from whole femtoseconds.
+    #[inline]
+    pub const fn from_fs(fs: u64) -> Self {
+        Time(fs)
+    }
+
+    /// Creates a time from whole picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps * FS_PER_PS)
+    }
+
+    /// Creates a time from whole nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns * FS_PER_NS)
+    }
+
+    /// Returns the raw femtosecond count.
+    #[inline]
+    pub const fn as_fs(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time as fractional nanoseconds.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / FS_PER_NS as f64
+    }
+
+    /// Returns the time as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-15
+    }
+
+    /// Saturating subtraction: returns `ZERO` instead of wrapping.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    #[inline]
+    pub fn checked_add(self, rhs: Time) -> Option<Time> {
+        self.0.checked_add(rhs.0).map(Time)
+    }
+
+    /// Scales the time by a floating-point factor, rounding to the nearest
+    /// femtosecond. Used for slowdown factors such as 1.1x or 3x.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    #[must_use]
+    pub fn scale(self, factor: f64) -> Time {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative, got {factor}"
+        );
+        Time((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Div<Time> for Time {
+    type Output = u64;
+    /// Number of whole `rhs` periods that fit in `self`.
+    #[inline]
+    fn div(self, rhs: Time) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        Time(iter.map(|t| t.0).sum())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= FS_PER_NS {
+            write!(f, "{:.3} ns", self.as_ns_f64())
+        } else if self.0 >= FS_PER_PS {
+            write!(f, "{:.3} ps", self.0 as f64 / FS_PER_PS as f64)
+        } else {
+            write!(f, "{} fs", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Time::from_ns(1), Time::from_ps(1_000));
+        assert_eq!(Time::from_ps(1), Time::from_fs(1_000));
+        assert_eq!(Time::from_ns(2).as_fs(), 2_000_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_ns(3);
+        let b = Time::from_ns(1);
+        assert_eq!(a + b, Time::from_ns(4));
+        assert_eq!(a - b, Time::from_ns(2));
+        assert_eq!(a * 2, Time::from_ns(6));
+        assert_eq!(a / 2, Time::from_fs(1_500_000));
+        assert_eq!(a / b, 3);
+    }
+
+    #[test]
+    fn scale_is_exact_for_paper_factors() {
+        let ns = Time::from_ns(1);
+        assert_eq!(ns.scale(1.1), Time::from_fs(1_100_000));
+        assert_eq!(ns.scale(1.2), Time::from_fs(1_200_000));
+        assert_eq!(ns.scale(1.5), Time::from_fs(1_500_000));
+        assert_eq!(ns.scale(3.0), Time::from_ns(3));
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(Time::from_ns(1).saturating_sub(Time::from_ns(2)), Time::ZERO);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Time::from_ns(2)), "2.000 ns");
+        assert_eq!(format!("{}", Time::from_ps(3)), "3.000 ps");
+        assert_eq!(format!("{}", Time::from_fs(5)), "5 fs");
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: Time = [Time::from_ns(1), Time::from_ns(2)].into_iter().sum();
+        assert_eq!(total, Time::from_ns(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn scale_rejects_nan() {
+        let _ = Time::from_ns(1).scale(f64::NAN);
+    }
+}

@@ -1,0 +1,241 @@
+//! Dynamic behaviour models for branches and memory references.
+//!
+//! Real benchmark binaries drive branch predictors and caches with
+//! structured, partially predictable streams. Since this reproduction
+//! synthesises its workloads (see `gals-workload` and DESIGN.md §2), each
+//! static branch/memory instruction references a *behaviour* that
+//! deterministically produces its n-th dynamic outcome/address from a seed —
+//! giving predictors and caches realistic, learnable structure while keeping
+//! every run bit-reproducible.
+
+use crate::rng::{hash3, hash3_f64};
+
+/// Identifier of a [`BranchBehavior`] registered in a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchBehaviorId(pub u32);
+
+/// Identifier of a [`MemBehavior`] registered in a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemBehaviorId(pub u32);
+
+/// How a static conditional branch resolves over its dynamic executions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BranchBehavior {
+    /// Taken with fixed probability per execution (counter-hashed, i.i.d.).
+    /// `TakenProb(0.5)` is essentially unpredictable; `TakenProb(0.95)` is
+    /// highly biased and easy for a bimodal/gshare predictor.
+    TakenProb(f64),
+    /// Loop back-edge: taken `trip - 1` times, then not taken, repeating.
+    /// Captures the dominant, highly predictable branch population of
+    /// loop-heavy codes (e.g. *fpppp*, *swim*).
+    Loop {
+        /// Trip count of the loop (>= 1).
+        trip: u32,
+    },
+    /// A fixed repeating taken/not-taken pattern (e.g. data-dependent but
+    /// periodic control, common in media kernels).
+    Pattern(Vec<bool>),
+}
+
+impl BranchBehavior {
+    /// Resolves the `n`-th dynamic execution of the branch.
+    ///
+    /// `seed` is the program seed and `stream` a unique id of the static
+    /// branch so distinct branches see independent randomness.
+    pub fn outcome(&self, seed: u64, stream: u64, n: u64) -> bool {
+        match self {
+            BranchBehavior::TakenProb(p) => hash3_f64(seed, stream, n) < *p,
+            BranchBehavior::Loop { trip } => {
+                let trip = u64::from((*trip).max(1));
+                (n % trip) != trip - 1
+            }
+            BranchBehavior::Pattern(pattern) => {
+                if pattern.is_empty() {
+                    false
+                } else {
+                    pattern[(n % pattern.len() as u64) as usize]
+                }
+            }
+        }
+    }
+
+    /// Long-run fraction of executions that are taken.
+    pub fn taken_rate(&self) -> f64 {
+        match self {
+            BranchBehavior::TakenProb(p) => *p,
+            BranchBehavior::Loop { trip } => {
+                let t = f64::from((*trip).max(1));
+                (t - 1.0) / t
+            }
+            BranchBehavior::Pattern(p) => {
+                if p.is_empty() {
+                    0.0
+                } else {
+                    p.iter().filter(|&&b| b).count() as f64 / p.len() as f64
+                }
+            }
+        }
+    }
+}
+
+/// How a static load/store generates its dynamic addresses.
+///
+/// Addresses are byte addresses in a flat 64-bit space; footprints control
+/// cache behaviour (16 KB L1 / 256 KB L2 in the paper's configuration).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemBehavior {
+    /// Sequential walk: `base + (n * stride) % footprint`. High spatial
+    /// locality; hits in L1 for small footprints, streams through L2 for
+    /// large ones.
+    Stride {
+        /// Starting byte address of the region.
+        base: u64,
+        /// Byte step per dynamic execution.
+        stride: u64,
+        /// Region size in bytes (wraps around).
+        footprint: u64,
+    },
+    /// Uniform random within a footprint: low locality, miss rate set by
+    /// footprint vs cache size.
+    Random {
+        /// Starting byte address of the region.
+        base: u64,
+        /// Region size in bytes.
+        footprint: u64,
+    },
+    /// 90/10-style hot/cold mix: probability `hot_frac` of touching a small
+    /// hot region, else a large cold region. Models stack+heap mixtures.
+    HotCold {
+        /// Starting byte address.
+        base: u64,
+        /// Size of the frequently touched region.
+        hot: u64,
+        /// Size of the rarely touched region (placed after the hot one).
+        cold: u64,
+        /// Probability of a hot access, in [0, 1].
+        hot_frac: f64,
+    },
+}
+
+impl MemBehavior {
+    /// Produces the `n`-th dynamic byte address of the reference.
+    pub fn address(&self, seed: u64, stream: u64, n: u64) -> u64 {
+        match self {
+            MemBehavior::Stride {
+                base,
+                stride,
+                footprint,
+            } => {
+                let fp = (*footprint).max(1);
+                base + (n.wrapping_mul(*stride)) % fp
+            }
+            MemBehavior::Random { base, footprint } => {
+                let fp = (*footprint).max(1);
+                base + hash3(seed, stream, n) % fp
+            }
+            MemBehavior::HotCold {
+                base,
+                hot,
+                cold,
+                hot_frac,
+            } => {
+                let hot_sz = (*hot).max(1);
+                let cold_sz = (*cold).max(1);
+                if hash3_f64(seed, stream ^ 0xABCD, n) < *hot_frac {
+                    base + hash3(seed, stream, n) % hot_sz
+                } else {
+                    base + hot_sz + hash3(seed, stream, n) % cold_sz
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_behavior_matches_trip_count() {
+        let b = BranchBehavior::Loop { trip: 4 };
+        let outs: Vec<bool> = (0..8).map(|n| b.outcome(1, 2, n)).collect();
+        assert_eq!(outs, [true, true, true, false, true, true, true, false]);
+        assert!((b.taken_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn taken_prob_converges() {
+        let b = BranchBehavior::TakenProb(0.8);
+        let n = 20_000;
+        let taken = (0..n).filter(|&i| b.outcome(3, 9, i)).count();
+        let rate = taken as f64 / n as f64;
+        assert!((rate - 0.8).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn pattern_repeats() {
+        let b = BranchBehavior::Pattern(vec![true, false, false]);
+        assert!(b.outcome(0, 0, 0));
+        assert!(!b.outcome(0, 0, 1));
+        assert!(!b.outcome(0, 0, 2));
+        assert!(b.outcome(0, 0, 3));
+        assert!((b.taken_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_pattern_is_never_taken() {
+        let b = BranchBehavior::Pattern(vec![]);
+        assert!(!b.outcome(0, 0, 0));
+        assert_eq!(b.taken_rate(), 0.0);
+    }
+
+    #[test]
+    fn stride_addresses_wrap_in_footprint() {
+        let m = MemBehavior::Stride {
+            base: 0x1000,
+            stride: 8,
+            footprint: 32,
+        };
+        let addrs: Vec<u64> = (0..6).map(|n| m.address(0, 0, n)).collect();
+        assert_eq!(addrs, [0x1000, 0x1008, 0x1010, 0x1018, 0x1000, 0x1008]);
+    }
+
+    #[test]
+    fn random_addresses_stay_in_footprint() {
+        let m = MemBehavior::Random {
+            base: 0x4000,
+            footprint: 1024,
+        };
+        for n in 0..1_000 {
+            let a = m.address(7, 3, n);
+            assert!((0x4000..0x4400).contains(&a));
+        }
+    }
+
+    #[test]
+    fn hotcold_respects_fraction() {
+        let m = MemBehavior::HotCold {
+            base: 0,
+            hot: 64,
+            cold: 1 << 20,
+            hot_frac: 0.9,
+        };
+        let n = 10_000;
+        let hot_hits = (0..n).filter(|&i| m.address(5, 11, i) < 64).count();
+        let frac = hot_hits as f64 / n as f64;
+        assert!((frac - 0.9).abs() < 0.02, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn behaviors_are_deterministic() {
+        let b = BranchBehavior::TakenProb(0.5);
+        let m = MemBehavior::Random {
+            base: 0,
+            footprint: 4096,
+        };
+        for n in 0..100 {
+            assert_eq!(b.outcome(1, 2, n), b.outcome(1, 2, n));
+            assert_eq!(m.address(1, 2, n), m.address(1, 2, n));
+        }
+    }
+}

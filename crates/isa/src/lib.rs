@@ -1,0 +1,55 @@
+//! # gals-isa
+//!
+//! The timing-semantic instruction set used by the GALS reproduction's
+//! processor models, replacing the Alpha/PISA binaries consumed by the
+//! paper's SimpleScalar-based simulators (see DESIGN.md §2 for the
+//! substitution argument).
+//!
+//! An instruction carries exactly what a cycle-accurate out-of-order
+//! pipeline model needs — operation class, register dependences, execution
+//! cluster, and references to deterministic *behaviours* that resolve branch
+//! outcomes and memory addresses — and no data values. Programs are explicit
+//! control-flow graphs ([`Program`]), so the simulated front end can fetch
+//! down *wrong paths* after branch mispredictions, which the paper shows is
+//! a first-order effect in GALS designs (Figure 8).
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use gals_isa::*;
+//!
+//! let mut b = ProgramBuilder::new(0xC0FFEE);
+//! let stride = b.add_mem_behavior(MemBehavior::Stride { base: 0, stride: 8, footprint: 1 << 16 });
+//! let backedge = b.add_branch_behavior(BranchBehavior::Loop { trip: 100 });
+//! let body = b.add_block(
+//!     vec![
+//!         Inst::load(ArchReg::int(1), Some(ArchReg::int(2)), stride),
+//!         Inst::alu(OpClass::IntAlu, ArchReg::int(3), Some(ArchReg::int(1)), None),
+//!         Inst::branch(Some(ArchReg::int(3)), backedge),
+//!     ],
+//!     None,
+//!     None,
+//! );
+//! b.set_edges(body, Some(body), None);
+//! let program = b.build()?;
+//!
+//! let committed: Vec<DynInst> = DynStream::new(&program).collect();
+//! assert_eq!(committed.len(), 300); // 100 iterations x 3 instructions
+//! # Ok::<(), ProgramError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod behavior;
+mod op;
+mod program;
+pub mod rng;
+mod stream;
+
+pub use behavior::{BranchBehavior, BranchBehaviorId, MemBehavior, MemBehaviorId};
+pub use op::{ArchReg, Cluster, OpClass, NUM_FP_ARCH_REGS, NUM_INT_ARCH_REGS};
+pub use program::{
+    BasicBlock, BlockId, Inst, Program, ProgramBuilder, ProgramError, EXIT_PC, INST_BYTES,
+};
+pub use stream::{DynInst, DynStream};

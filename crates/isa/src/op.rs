@@ -1,0 +1,297 @@
+//! Operation classes and architectural registers of the timing-semantic ISA.
+
+use std::fmt;
+
+/// Which execution cluster (and hence GALS clock domain) an operation issues
+/// to, mirroring the paper's three issue queues: integer (domain 3),
+/// floating-point (domain 4) and memory (domain 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Cluster {
+    /// Integer issue queue + integer ALUs (branches resolve here too).
+    Int,
+    /// Floating-point issue queue + FP ALUs.
+    Fp,
+    /// Memory issue queue + D-cache/L2.
+    Mem,
+}
+
+impl Cluster {
+    /// All clusters, in domain order 3, 4, 5.
+    pub const ALL: [Cluster; 3] = [Cluster::Int, Cluster::Fp, Cluster::Mem];
+}
+
+impl fmt::Display for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cluster::Int => write!(f, "int"),
+            Cluster::Fp => write!(f, "fp"),
+            Cluster::Mem => write!(f, "mem"),
+        }
+    }
+}
+
+/// The operation class of an instruction.
+///
+/// The ISA is *timing-semantic*: operations carry everything the pipeline
+/// model needs (dependences, execution cluster, latency class, memory or
+/// control behaviour) and nothing more — actual data values are never
+/// computed, exactly as in trace-driven microarchitecture simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation (add, logic, shift, compare).
+    IntAlu,
+    /// Pipelined integer multiply.
+    IntMul,
+    /// Unpipelined integer divide.
+    IntDiv,
+    /// FP add/subtract/convert.
+    FpAdd,
+    /// FP multiply.
+    FpMul,
+    /// FP divide / sqrt (unpipelined).
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch (resolves in the integer cluster).
+    BranchCond,
+    /// Unconditional direct jump.
+    Jump,
+    /// Call (pushes the return-address stack).
+    Call,
+    /// Return (pops the return-address stack).
+    Ret,
+    /// No-op (consumes a slot only).
+    Nop,
+}
+
+impl OpClass {
+    /// True for any control-transfer instruction.
+    #[inline]
+    pub fn is_branch(self) -> bool {
+        matches!(
+            self,
+            OpClass::BranchCond | OpClass::Jump | OpClass::Call | OpClass::Ret
+        )
+    }
+
+    /// True for conditional branches only.
+    #[inline]
+    pub fn is_cond_branch(self) -> bool {
+        self == OpClass::BranchCond
+    }
+
+    /// True for loads and stores.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// True for operations executed by the FP cluster.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        matches!(self, OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv)
+    }
+
+    /// The cluster (issue queue) this operation dispatches to.
+    ///
+    /// Branches and plain integer ops go to the integer queue; loads and
+    /// stores to the memory queue; FP ops to the FP queue — matching the
+    /// paper's three-queue, five-domain partitioning.
+    #[inline]
+    pub fn cluster(self) -> Cluster {
+        match self {
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => Cluster::Fp,
+            OpClass::Load | OpClass::Store => Cluster::Mem,
+            _ => Cluster::Int,
+        }
+    }
+
+    /// Execution latency in cycles of the owning cluster's clock, excluding
+    /// any cache misses (loads add memory-hierarchy latency on top).
+    ///
+    /// Latencies follow SimpleScalar's defaults for an Alpha-like core.
+    #[inline]
+    pub fn exec_latency(self) -> u32 {
+        match self {
+            OpClass::IntAlu | OpClass::Nop => 1,
+            OpClass::IntMul => 3,
+            OpClass::IntDiv => 20,
+            OpClass::FpAdd => 2,
+            OpClass::FpMul => 4,
+            OpClass::FpDiv => 12,
+            OpClass::Load => 1,  // address generation; cache latency added separately
+            OpClass::Store => 1, // address generation
+            OpClass::BranchCond | OpClass::Jump | OpClass::Call | OpClass::Ret => 1,
+        }
+    }
+
+    /// Whether the functional unit pipelines back-to-back operations
+    /// (divides do not).
+    #[inline]
+    pub fn is_pipelined(self) -> bool {
+        !matches!(self, OpClass::IntDiv | OpClass::FpDiv)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int.alu",
+            OpClass::IntMul => "int.mul",
+            OpClass::IntDiv => "int.div",
+            OpClass::FpAdd => "fp.add",
+            OpClass::FpMul => "fp.mul",
+            OpClass::FpDiv => "fp.div",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::BranchCond => "br.cond",
+            OpClass::Jump => "jump",
+            OpClass::Call => "call",
+            OpClass::Ret => "ret",
+            OpClass::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Number of architectural integer registers (Alpha-like).
+pub const NUM_INT_ARCH_REGS: u8 = 32;
+/// Number of architectural floating-point registers.
+pub const NUM_FP_ARCH_REGS: u8 = 32;
+
+/// An architectural register: integer `r0..r31` or floating point `f0..f31`.
+///
+/// Encoded compactly in a single byte; values `0..32` are integer registers,
+/// `32..64` are FP registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// Creates an integer register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_INT_ARCH_REGS`.
+    #[inline]
+    pub fn int(index: u8) -> Self {
+        assert!(index < NUM_INT_ARCH_REGS, "integer register index {index} out of range");
+        ArchReg(index)
+    }
+
+    /// Creates a floating-point register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_FP_ARCH_REGS`.
+    #[inline]
+    pub fn fp(index: u8) -> Self {
+        assert!(index < NUM_FP_ARCH_REGS, "fp register index {index} out of range");
+        ArchReg(NUM_INT_ARCH_REGS + index)
+    }
+
+    /// True if this is an FP register.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        self.0 >= NUM_INT_ARCH_REGS
+    }
+
+    /// Index within the register file class (0-based).
+    #[inline]
+    pub fn index(self) -> u8 {
+        if self.is_fp() {
+            self.0 - NUM_INT_ARCH_REGS
+        } else {
+            self.0
+        }
+    }
+
+    /// Dense encoding over both classes, `0..64`, usable as a table index.
+    #[inline]
+    pub fn dense(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Total size of the dense architectural namespace.
+    pub const DENSE_SIZE: usize = (NUM_INT_ARCH_REGS + NUM_FP_ARCH_REGS) as usize;
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_fp() {
+            write!(f, "f{}", self.index())
+        } else {
+            write!(f, "r{}", self.index())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clusters_route_like_the_paper() {
+        assert_eq!(OpClass::IntAlu.cluster(), Cluster::Int);
+        assert_eq!(OpClass::BranchCond.cluster(), Cluster::Int);
+        assert_eq!(OpClass::FpMul.cluster(), Cluster::Fp);
+        assert_eq!(OpClass::Load.cluster(), Cluster::Mem);
+        assert_eq!(OpClass::Store.cluster(), Cluster::Mem);
+    }
+
+    #[test]
+    fn branch_predicates() {
+        assert!(OpClass::BranchCond.is_branch());
+        assert!(OpClass::Ret.is_branch());
+        assert!(!OpClass::Load.is_branch());
+        assert!(OpClass::BranchCond.is_cond_branch());
+        assert!(!OpClass::Jump.is_cond_branch());
+    }
+
+    #[test]
+    fn latencies_are_positive_and_divides_unpipelined() {
+        for op in [
+            OpClass::IntAlu,
+            OpClass::IntMul,
+            OpClass::IntDiv,
+            OpClass::FpAdd,
+            OpClass::FpMul,
+            OpClass::FpDiv,
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::BranchCond,
+            OpClass::Nop,
+        ] {
+            assert!(op.exec_latency() >= 1);
+        }
+        assert!(!OpClass::IntDiv.is_pipelined());
+        assert!(!OpClass::FpDiv.is_pipelined());
+        assert!(OpClass::IntMul.is_pipelined());
+    }
+
+    #[test]
+    fn arch_reg_encoding_round_trips() {
+        let r5 = ArchReg::int(5);
+        let f7 = ArchReg::fp(7);
+        assert!(!r5.is_fp());
+        assert!(f7.is_fp());
+        assert_eq!(r5.index(), 5);
+        assert_eq!(f7.index(), 7);
+        assert_eq!(r5.dense(), 5);
+        assert_eq!(f7.dense(), 32 + 7);
+        assert_eq!(format!("{r5} {f7}"), "r5 f7");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_reg_bounds_checked() {
+        let _ = ArchReg::int(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fp_reg_bounds_checked() {
+        let _ = ArchReg::fp(32);
+    }
+}

@@ -1,0 +1,645 @@
+//! Static programs: instructions, basic blocks and the control-flow graph.
+
+use std::fmt;
+
+use crate::behavior::{BranchBehavior, BranchBehaviorId, MemBehavior, MemBehaviorId};
+use crate::op::{ArchReg, OpClass};
+
+/// Byte size of one encoded instruction (Alpha-like fixed 32-bit encoding);
+/// program counters advance in this unit.
+pub const INST_BYTES: u64 = 4;
+
+/// Program counter value used to signal program exit.
+pub const EXIT_PC: u64 = u64::MAX;
+
+/// Identifier of a basic block within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// One instruction of the timing-semantic ISA.
+///
+/// Use the constructor helpers ([`Inst::alu`], [`Inst::load`], …) rather than
+/// building the struct directly; they enforce the operand shape each class
+/// requires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inst {
+    /// Operation class.
+    pub op: OpClass,
+    /// Destination architectural register, if any.
+    pub dst: Option<ArchReg>,
+    /// First source operand.
+    pub src1: Option<ArchReg>,
+    /// Second source operand.
+    pub src2: Option<ArchReg>,
+    /// Address-generation behaviour for loads/stores.
+    pub mem: Option<MemBehaviorId>,
+    /// Outcome behaviour for conditional branches.
+    pub branch: Option<BranchBehaviorId>,
+}
+
+impl Inst {
+    /// A computational instruction (`IntAlu`, `IntMul`, `IntDiv`, `FpAdd`,
+    /// `FpMul`, `FpDiv`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is a memory, branch or nop class.
+    pub fn alu(op: OpClass, dst: ArchReg, src1: Option<ArchReg>, src2: Option<ArchReg>) -> Self {
+        assert!(
+            !op.is_mem() && !op.is_branch() && op != OpClass::Nop,
+            "Inst::alu used with non-computational class {op}"
+        );
+        Inst {
+            op,
+            dst: Some(dst),
+            src1,
+            src2,
+            mem: None,
+            branch: None,
+        }
+    }
+
+    /// A load producing `dst` from the address stream `mem`; `addr_src` is
+    /// the address-computation dependence (base register).
+    pub fn load(dst: ArchReg, addr_src: Option<ArchReg>, mem: MemBehaviorId) -> Self {
+        Inst {
+            op: OpClass::Load,
+            dst: Some(dst),
+            src1: addr_src,
+            src2: None,
+            mem: Some(mem),
+            branch: None,
+        }
+    }
+
+    /// A store of `data_src` to the address stream `mem`.
+    pub fn store(data_src: Option<ArchReg>, addr_src: Option<ArchReg>, mem: MemBehaviorId) -> Self {
+        Inst {
+            op: OpClass::Store,
+            dst: None,
+            src1: addr_src,
+            src2: data_src,
+            mem: Some(mem),
+            branch: None,
+        }
+    }
+
+    /// A conditional branch testing `cond_src`, resolving per `behavior`.
+    pub fn branch(cond_src: Option<ArchReg>, behavior: BranchBehaviorId) -> Self {
+        Inst {
+            op: OpClass::BranchCond,
+            dst: None,
+            src1: cond_src,
+            src2: None,
+            mem: None,
+            branch: Some(behavior),
+        }
+    }
+
+    /// An unconditional jump.
+    pub fn jump() -> Self {
+        Inst {
+            op: OpClass::Jump,
+            dst: None,
+            src1: None,
+            src2: None,
+            mem: None,
+            branch: None,
+        }
+    }
+
+    /// A call; the return address (the fall-through block) is pushed on the
+    /// simulated call stack.
+    pub fn call() -> Self {
+        Inst {
+            op: OpClass::Call,
+            dst: None,
+            src1: None,
+            src2: None,
+            mem: None,
+            branch: None,
+        }
+    }
+
+    /// A return popping the simulated call stack.
+    pub fn ret() -> Self {
+        Inst {
+            op: OpClass::Ret,
+            dst: None,
+            src1: None,
+            src2: None,
+            mem: None,
+            branch: None,
+        }
+    }
+
+    /// A no-op.
+    pub fn nop() -> Self {
+        Inst {
+            op: OpClass::Nop,
+            dst: None,
+            src1: None,
+            src2: None,
+            mem: None,
+            branch: None,
+        }
+    }
+
+    /// Iterates over the instruction's source registers.
+    pub fn sources(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.src1.into_iter().chain(self.src2)
+    }
+}
+
+/// A straight-line sequence of instructions with at most one terminating
+/// control transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicBlock {
+    /// The instructions; a branch may only appear as the final instruction.
+    pub insts: Vec<Inst>,
+    /// Successor when the terminating branch is taken (or unconditionally
+    /// for `Jump`/`Call`).
+    pub taken: Option<BlockId>,
+    /// Successor when falling through (not-taken path, or no terminator).
+    /// `None` means the program exits at the end of this block.
+    pub fallthrough: Option<BlockId>,
+}
+
+/// Errors detected while validating a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The program has no blocks.
+    Empty,
+    /// The entry block id is out of range.
+    BadEntry(BlockId),
+    /// A successor edge points at a missing block.
+    BadEdge {
+        /// Block holding the edge.
+        from: BlockId,
+        /// The missing successor.
+        to: BlockId,
+    },
+    /// A branch instruction appears before the end of a block.
+    BranchNotTerminator(BlockId, usize),
+    /// A block ends in a conditional branch but lacks a taken or
+    /// fall-through successor.
+    MissingSuccessor(BlockId),
+    /// A referenced behaviour id is out of range.
+    BadBehavior(BlockId, usize),
+    /// A load/store lacks a memory behaviour, or a conditional branch lacks
+    /// a branch behaviour.
+    MissingBehavior(BlockId, usize),
+    /// A block has no instructions.
+    EmptyBlock(BlockId),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Empty => write!(f, "program has no blocks"),
+            ProgramError::BadEntry(b) => write!(f, "entry block {b:?} does not exist"),
+            ProgramError::BadEdge { from, to } => {
+                write!(f, "block {from:?} has an edge to missing block {to:?}")
+            }
+            ProgramError::BranchNotTerminator(b, i) => {
+                write!(f, "branch at block {b:?} index {i} is not the terminator")
+            }
+            ProgramError::MissingSuccessor(b) => {
+                write!(f, "conditional branch in block {b:?} needs taken and fallthrough edges")
+            }
+            ProgramError::BadBehavior(b, i) => {
+                write!(f, "instruction at block {b:?} index {i} references a missing behaviour")
+            }
+            ProgramError::MissingBehavior(b, i) => {
+                write!(f, "instruction at block {b:?} index {i} requires a behaviour id")
+            }
+            ProgramError::EmptyBlock(b) => write!(f, "block {b:?} is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A validated static program: basic blocks, CFG edges and the behaviour
+/// tables resolving dynamic branch outcomes and memory addresses.
+///
+/// # Examples
+///
+/// ```
+/// use gals_isa::{ProgramBuilder, Inst, OpClass, ArchReg, BranchBehavior};
+///
+/// let mut b = ProgramBuilder::new(42);
+/// let loop_behavior = b.add_branch_behavior(BranchBehavior::Loop { trip: 10 });
+/// let body = b.add_block(
+///     vec![
+///         Inst::alu(OpClass::IntAlu, ArchReg::int(1), Some(ArchReg::int(1)), None),
+///         Inst::branch(Some(ArchReg::int(1)), loop_behavior),
+///     ],
+///     None,
+///     None,
+/// );
+/// b.set_edges(body, Some(body), None); // loop back to itself, exit on fallthrough
+/// b.set_entry(body);
+/// let program = b.build()?;
+/// assert_eq!(program.static_inst_count(), 2);
+/// # Ok::<(), gals_isa::ProgramError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Program {
+    blocks: Vec<BasicBlock>,
+    branch_behaviors: Vec<BranchBehavior>,
+    mem_behaviors: Vec<MemBehavior>,
+    entry: BlockId,
+    seed: u64,
+    /// Base *instruction index* of each block in the flat layout.
+    block_base: Vec<u64>,
+    total_insts: u64,
+}
+
+impl Program {
+    /// The entry block.
+    #[inline]
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// The workload seed used to resolve behaviours.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of basic blocks.
+    #[inline]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of static instructions.
+    #[inline]
+    pub fn static_inst_count(&self) -> u64 {
+        self.total_insts
+    }
+
+    /// Returns a block by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (ids from this program never are).
+    #[inline]
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Iterates over `(BlockId, &BasicBlock)`.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// The branch behaviour table entry.
+    #[inline]
+    pub fn branch_behavior(&self, id: BranchBehaviorId) -> &BranchBehavior {
+        &self.branch_behaviors[id.0 as usize]
+    }
+
+    /// The memory behaviour table entry.
+    #[inline]
+    pub fn mem_behavior(&self, id: MemBehaviorId) -> &MemBehavior {
+        &self.mem_behaviors[id.0 as usize]
+    }
+
+    /// Flat static index of an instruction (dense over the whole program);
+    /// used to key per-static-instruction counters.
+    #[inline]
+    pub fn flat_index(&self, block: BlockId, index: u32) -> u64 {
+        self.block_base[block.0 as usize] + u64::from(index)
+    }
+
+    /// Byte program counter of an instruction.
+    #[inline]
+    pub fn pc_of(&self, block: BlockId, index: u32) -> u64 {
+        self.flat_index(block, index) * INST_BYTES
+    }
+
+    /// Locates the instruction at byte PC `pc`, returning
+    /// `(block, index, &Inst)`; `None` for [`EXIT_PC`] or out-of-range PCs.
+    pub fn locate(&self, pc: u64) -> Option<(BlockId, u32, &Inst)> {
+        if pc == EXIT_PC || !pc.is_multiple_of(INST_BYTES) {
+            return None;
+        }
+        let flat = pc / INST_BYTES;
+        if flat >= self.total_insts {
+            return None;
+        }
+        let bi = match self.block_base.binary_search(&flat) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let block = &self.blocks[bi];
+        let index = (flat - self.block_base[bi]) as u32;
+        debug_assert!((index as usize) < block.insts.len());
+        Some((BlockId(bi as u32), index, &block.insts[index as usize]))
+    }
+
+    /// PC of a block's first instruction.
+    #[inline]
+    pub fn block_start_pc(&self, block: BlockId) -> u64 {
+        self.block_base[block.0 as usize] * INST_BYTES
+    }
+
+    /// The PC a control transfer at the end of `block` targets when taken,
+    /// or `None` if the block has no taken edge.
+    pub fn taken_target_pc(&self, block: BlockId) -> Option<u64> {
+        self.block(block).taken.map(|b| self.block_start_pc(b))
+    }
+
+    /// The PC control falls through to after `block` ([`EXIT_PC`] if the
+    /// program exits there).
+    pub fn fallthrough_pc(&self, block: BlockId) -> u64 {
+        self.block(block)
+            .fallthrough
+            .map_or(EXIT_PC, |b| self.block_start_pc(b))
+    }
+
+    /// The PC of the instruction after `(block, index)` in straight-line
+    /// order: the next slot in the block, or the block's fall-through.
+    pub fn next_sequential_pc(&self, block: BlockId, index: u32) -> u64 {
+        let b = self.block(block);
+        if (index as usize) + 1 < b.insts.len() {
+            self.pc_of(block, index + 1)
+        } else {
+            self.fallthrough_pc(block)
+        }
+    }
+}
+
+/// Incremental builder for [`Program`] (see the example on [`Program`]).
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    blocks: Vec<BasicBlock>,
+    branch_behaviors: Vec<BranchBehavior>,
+    mem_behaviors: Vec<MemBehavior>,
+    entry: BlockId,
+    seed: u64,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder with a workload seed.
+    pub fn new(seed: u64) -> Self {
+        ProgramBuilder {
+            blocks: Vec::new(),
+            branch_behaviors: Vec::new(),
+            mem_behaviors: Vec::new(),
+            entry: BlockId(0),
+            seed,
+        }
+    }
+
+    /// Registers a branch behaviour; returns its id.
+    pub fn add_branch_behavior(&mut self, b: BranchBehavior) -> BranchBehaviorId {
+        self.branch_behaviors.push(b);
+        BranchBehaviorId(self.branch_behaviors.len() as u32 - 1)
+    }
+
+    /// Registers a memory behaviour; returns its id.
+    pub fn add_mem_behavior(&mut self, m: MemBehavior) -> MemBehaviorId {
+        self.mem_behaviors.push(m);
+        MemBehaviorId(self.mem_behaviors.len() as u32 - 1)
+    }
+
+    /// Adds a block with the given successor edges; returns its id.
+    pub fn add_block(
+        &mut self,
+        insts: Vec<Inst>,
+        taken: Option<BlockId>,
+        fallthrough: Option<BlockId>,
+    ) -> BlockId {
+        self.blocks.push(BasicBlock {
+            insts,
+            taken,
+            fallthrough,
+        });
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    /// Rewrites the successor edges of an existing block (needed for loops
+    /// and forward references).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` was not created by this builder.
+    pub fn set_edges(&mut self, block: BlockId, taken: Option<BlockId>, fallthrough: Option<BlockId>) {
+        let b = &mut self.blocks[block.0 as usize];
+        b.taken = taken;
+        b.fallthrough = fallthrough;
+    }
+
+    /// Sets the entry block (defaults to the first added block).
+    pub fn set_entry(&mut self, entry: BlockId) {
+        self.entry = entry;
+    }
+
+    /// Number of blocks added so far.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Validates and finalises the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] describing the first structural problem
+    /// found (dangling edge, misplaced branch, missing behaviour, …).
+    pub fn build(self) -> Result<Program, ProgramError> {
+        if self.blocks.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        if self.entry.0 as usize >= self.blocks.len() {
+            return Err(ProgramError::BadEntry(self.entry));
+        }
+        let nblocks = self.blocks.len();
+        for (bi, block) in self.blocks.iter().enumerate() {
+            let bid = BlockId(bi as u32);
+            if block.insts.is_empty() {
+                return Err(ProgramError::EmptyBlock(bid));
+            }
+            for succ in [block.taken, block.fallthrough].into_iter().flatten() {
+                if succ.0 as usize >= nblocks {
+                    return Err(ProgramError::BadEdge { from: bid, to: succ });
+                }
+            }
+            let last = block.insts.len() - 1;
+            for (i, inst) in block.insts.iter().enumerate() {
+                if inst.op.is_branch() && i != last {
+                    return Err(ProgramError::BranchNotTerminator(bid, i));
+                }
+                match inst.op {
+                    OpClass::BranchCond => {
+                        let Some(id) = inst.branch else {
+                            return Err(ProgramError::MissingBehavior(bid, i));
+                        };
+                        if id.0 as usize >= self.branch_behaviors.len() {
+                            return Err(ProgramError::BadBehavior(bid, i));
+                        }
+                        if block.taken.is_none() {
+                            return Err(ProgramError::MissingSuccessor(bid));
+                        }
+                    }
+                    OpClass::Jump | OpClass::Call
+                        if block.taken.is_none() => {
+                            return Err(ProgramError::MissingSuccessor(bid));
+                        }
+                    OpClass::Load | OpClass::Store => {
+                        let Some(id) = inst.mem else {
+                            return Err(ProgramError::MissingBehavior(bid, i));
+                        };
+                        if id.0 as usize >= self.mem_behaviors.len() {
+                            return Err(ProgramError::BadBehavior(bid, i));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut block_base = Vec::with_capacity(nblocks);
+        let mut total = 0u64;
+        for block in &self.blocks {
+            block_base.push(total);
+            total += block.insts.len() as u64;
+        }
+        Ok(Program {
+            blocks: self.blocks,
+            branch_behaviors: self.branch_behaviors,
+            mem_behaviors: self.mem_behaviors,
+            entry: self.entry,
+            seed: self.seed,
+            block_base,
+            total_insts: total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::BranchBehavior;
+
+    fn two_block_program() -> Program {
+        let mut b = ProgramBuilder::new(7);
+        let beh = b.add_branch_behavior(BranchBehavior::Loop { trip: 3 });
+        let b0 = b.add_block(
+            vec![
+                Inst::alu(OpClass::IntAlu, ArchReg::int(1), None, None),
+                Inst::branch(Some(ArchReg::int(1)), beh),
+            ],
+            None,
+            None,
+        );
+        let b1 = b.add_block(vec![Inst::nop()], None, None);
+        b.set_edges(b0, Some(b0), Some(b1));
+        b.set_edges(b1, None, None);
+        b.build().expect("valid program")
+    }
+
+    #[test]
+    fn pc_layout_is_flat_and_invertible() {
+        let p = two_block_program();
+        assert_eq!(p.static_inst_count(), 3);
+        assert_eq!(p.pc_of(BlockId(0), 0), 0);
+        assert_eq!(p.pc_of(BlockId(0), 1), 4);
+        assert_eq!(p.pc_of(BlockId(1), 0), 8);
+        let (blk, idx, inst) = p.locate(4).expect("pc 4 exists");
+        assert_eq!((blk, idx), (BlockId(0), 1));
+        assert_eq!(inst.op, OpClass::BranchCond);
+        assert!(p.locate(12).is_none());
+        assert!(p.locate(EXIT_PC).is_none());
+        assert!(p.locate(5).is_none());
+    }
+
+    #[test]
+    fn edges_and_targets() {
+        let p = two_block_program();
+        assert_eq!(p.taken_target_pc(BlockId(0)), Some(0));
+        assert_eq!(p.fallthrough_pc(BlockId(0)), 8);
+        assert_eq!(p.fallthrough_pc(BlockId(1)), EXIT_PC);
+        assert_eq!(p.next_sequential_pc(BlockId(0), 0), 4);
+        assert_eq!(p.next_sequential_pc(BlockId(0), 1), 8);
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert_eq!(ProgramBuilder::new(0).build().unwrap_err(), ProgramError::Empty);
+    }
+
+    #[test]
+    fn dangling_edge_rejected() {
+        let mut b = ProgramBuilder::new(0);
+        b.add_block(vec![Inst::nop()], Some(BlockId(9)), None);
+        assert!(matches!(b.build().unwrap_err(), ProgramError::BadEdge { .. }));
+    }
+
+    #[test]
+    fn branch_must_terminate_block() {
+        let mut b = ProgramBuilder::new(0);
+        let beh = b.add_branch_behavior(BranchBehavior::TakenProb(0.5));
+        let blk = b.add_block(
+            vec![Inst::branch(None, beh), Inst::nop()],
+            None,
+            None,
+        );
+        b.set_edges(blk, Some(blk), Some(blk));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ProgramError::BranchNotTerminator(_, 0)
+        ));
+    }
+
+    #[test]
+    fn cond_branch_needs_taken_edge() {
+        let mut b = ProgramBuilder::new(0);
+        let beh = b.add_branch_behavior(BranchBehavior::TakenProb(0.5));
+        b.add_block(vec![Inst::branch(None, beh)], None, Some(BlockId(0)));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ProgramError::MissingSuccessor(_)
+        ));
+    }
+
+    #[test]
+    fn mem_inst_needs_behavior_in_range() {
+        let mut b = ProgramBuilder::new(0);
+        b.add_block(
+            vec![Inst::load(ArchReg::int(1), None, MemBehaviorId(0))],
+            None,
+            None,
+        );
+        assert!(matches!(b.build().unwrap_err(), ProgramError::BadBehavior(_, 0)));
+    }
+
+    #[test]
+    fn empty_block_rejected() {
+        let mut b = ProgramBuilder::new(0);
+        b.add_block(vec![], None, None);
+        assert!(matches!(b.build().unwrap_err(), ProgramError::EmptyBlock(_)));
+    }
+
+    #[test]
+    fn inst_constructors_shape_operands() {
+        let ld = Inst::load(ArchReg::int(2), Some(ArchReg::int(3)), MemBehaviorId(0));
+        assert_eq!(ld.op, OpClass::Load);
+        assert_eq!(ld.dst, Some(ArchReg::int(2)));
+        assert_eq!(ld.sources().count(), 1);
+        let st = Inst::store(Some(ArchReg::int(4)), Some(ArchReg::int(5)), MemBehaviorId(0));
+        assert_eq!(st.dst, None);
+        assert_eq!(st.sources().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-computational")]
+    fn alu_constructor_rejects_loads() {
+        let _ = Inst::alu(OpClass::Load, ArchReg::int(0), None, None);
+    }
+}

@@ -1,0 +1,27 @@
+//! # gals-power
+//!
+//! Architectural power modelling for the GALS reproduction, in the style of
+//! Wattch (Brooks, Tiwari & Martonosi, ISCA 2000) as used by the paper:
+//! per-macro-block switching energies with conditional clocking (idle
+//! blocks draw 10 % of active power), explicit clock-grid capacitances
+//! (one global grid + five local grids for the base machine, local grids
+//! only for GALS), per-transfer FIFO energy, and per-domain dynamic-energy
+//! scaling for multiple-voltage experiments.
+//!
+//! Energies are in relative units calibrated to the budget ratios the
+//! paper's conclusions depend on — see [`EnergyParams`] and DESIGN.md §5.
+//!
+//! The crate also carries the paper's Table 1 clock-skew case study as a
+//! dataset ([`skew::TABLE1`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accountant;
+mod blocks;
+mod params;
+pub mod skew;
+
+pub use accountant::{EnergyBreakdown, PowerAccountant};
+pub use blocks::MacroBlock;
+pub use params::EnergyParams;

@@ -1,0 +1,182 @@
+//! Energy parameters: per-block active-cycle energies and clock-grid
+//! capacitances, in relative *energy units* (EU).
+//!
+//! Absolute calibration is impossible without the authors' 0.35/0.13 µm
+//! capacitance extractions, so the parameter set encodes the *relative*
+//! budgets that the paper's conclusions rest on (DESIGN.md §2 and §5):
+//!
+//! * total clock power ≈ 30–40 % of chip power when active (Wattch-era
+//!   processors; the 21264 clock network was ≈ 32 %);
+//! * the global grid is a large fraction of that (the global grid plus its
+//!   drivers ≈ 40 % of clock power) — this is what GALS eliminates;
+//! * idle (clock-gated) blocks draw 10 % of their active power (the paper's
+//!   explicit modelling assumption);
+//! * mixed-clock FIFOs cost energy per transfer, "modeled [as] power
+//!   consumed by the FIFOs used for communication between domains".
+
+use gals_clocks::Domain;
+
+use crate::blocks::MacroBlock;
+
+/// Relative per-cycle/per-access energies. See the module docs for the
+/// calibration rationale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyParams {
+    /// Energy per *active* local cycle of each macro block (EU), indexed by
+    /// [`MacroBlock::index`].
+    pub block_active: [f64; MacroBlock::ALL.len()],
+    /// Fraction of active energy drawn by an idle (clock-gated) block.
+    pub idle_fraction: f64,
+    /// Energy per cycle of the global clock grid (base processor only).
+    pub global_grid: f64,
+    /// Energy per local cycle of each domain's clock grid, indexed by
+    /// [`Domain::index`]. Present in both machines ("we … retained the five
+    /// major clock grids").
+    pub local_grid: [f64; 5],
+    /// Energy per FIFO push or pop (GALS only), accounted to
+    /// [`MacroBlock::Fifos`].
+    pub fifo_access: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        let mut block_active = [0.0; MacroBlock::ALL.len()];
+        // Non-clock active budget: 65 EU per fully active cycle.
+        block_active[MacroBlock::ICache.index()] = 8.0;
+        block_active[MacroBlock::BranchPredictor.index()] = 3.0;
+        block_active[MacroBlock::RenameLogic.index()] = 6.0;
+        block_active[MacroBlock::RegisterFile.index()] = 9.0;
+        block_active[MacroBlock::IntIssueWindow.index()] = 7.0;
+        block_active[MacroBlock::FpIssueWindow.index()] = 5.0;
+        block_active[MacroBlock::MemIssueWindow.index()] = 5.0;
+        block_active[MacroBlock::IntAlus.index()] = 6.0;
+        block_active[MacroBlock::FpAlus.index()] = 4.0;
+        block_active[MacroBlock::DCache.index()] = 8.0;
+        block_active[MacroBlock::L2Cache.index()] = 4.0;
+        // Fifos have no per-cycle cost; they are charged per access.
+        block_active[MacroBlock::Fifos.index()] = 0.0;
+        EnergyParams {
+            block_active,
+            idle_fraction: 0.10,
+            // Clock budget: 35 EU per cycle, split 14 global / 21 local
+            // (global ≈ 40 % of clock power).
+            global_grid: 14.0,
+            local_grid: [4.0, 4.5, 5.0, 3.5, 4.0],
+            fifo_access: 0.55,
+        }
+    }
+}
+
+impl EnergyParams {
+    /// Active energy of one block (EU per local cycle).
+    #[inline]
+    pub fn active(&self, block: MacroBlock) -> f64 {
+        self.block_active[block.index()]
+    }
+
+    /// Idle energy of one block (EU per local cycle).
+    #[inline]
+    pub fn idle(&self, block: MacroBlock) -> f64 {
+        self.active(block) * self.idle_fraction
+    }
+
+    /// Local grid energy of one domain (EU per local cycle).
+    #[inline]
+    pub fn grid(&self, domain: Domain) -> f64 {
+        self.local_grid[domain.index()]
+    }
+
+    /// Sum of all local grids (EU per cycle, equal frequencies assumed).
+    pub fn local_grid_total(&self) -> f64 {
+        self.local_grid.iter().sum()
+    }
+
+    /// Peak per-cycle energy of the base machine: every block active plus
+    /// global and local grids.
+    pub fn peak_cycle_energy_base(&self) -> f64 {
+        self.block_active.iter().sum::<f64>() + self.global_grid + self.local_grid_total()
+    }
+
+    /// Fraction of peak per-cycle energy spent in clocks (base machine).
+    pub fn clock_fraction_base(&self) -> f64 {
+        (self.global_grid + self.local_grid_total()) / self.peak_cycle_energy_base()
+    }
+
+    /// Fraction of clock energy in the global grid.
+    pub fn global_grid_fraction_of_clock(&self) -> f64 {
+        self.global_grid / (self.global_grid + self.local_grid_total())
+    }
+
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field (negative energies
+    /// or an idle fraction outside `[0, 1]`).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.idle_fraction) {
+            return Err(format!("idle fraction {} outside [0,1]", self.idle_fraction));
+        }
+        if self.block_active.iter().any(|&e| !e.is_finite() || e < 0.0) {
+            return Err("negative or non-finite block energy".into());
+        }
+        if self.global_grid < 0.0 || self.local_grid.iter().any(|&e| e < 0.0) {
+            return Err("negative grid energy".into());
+        }
+        if self.fifo_access < 0.0 || !self.fifo_access.is_finite() {
+            return Err("negative FIFO energy".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_hits_calibration_targets() {
+        let p = EnergyParams::default();
+        p.validate().unwrap();
+        let clock_frac = p.clock_fraction_base();
+        assert!(
+            (0.30..=0.40).contains(&clock_frac),
+            "clock fraction {clock_frac} outside the 30-40% target"
+        );
+        let global_frac = p.global_grid_fraction_of_clock();
+        assert!(
+            (0.35..=0.45).contains(&global_frac),
+            "global grid fraction of clock {global_frac} outside target"
+        );
+        assert_eq!(p.idle_fraction, 0.10);
+    }
+
+    #[test]
+    fn idle_is_ten_percent_of_active() {
+        let p = EnergyParams::default();
+        for b in MacroBlock::ALL {
+            assert!((p.idle(b) - 0.1 * p.active(b)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut p = EnergyParams::default();
+        p.idle_fraction = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = EnergyParams::default();
+        p.global_grid = -1.0;
+        assert!(p.validate().is_err());
+        let mut p = EnergyParams::default();
+        p.block_active[0] = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn grid_lookup_by_domain() {
+        let p = EnergyParams::default();
+        assert_eq!(p.grid(Domain::Fetch), 4.0);
+        assert_eq!(p.grid(Domain::IntCluster), 5.0);
+        assert!((p.local_grid_total() - 21.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,116 @@
+//! The paper's Table 1: trends in global clock skew across process
+//! generations, plus the derived skew-budget fractions its argument relies
+//! on.
+//!
+//! This is literature data (Alpha 21064/21164/21264 and Itanium clocking
+//! papers), not simulation output; it motivates GALS design by showing skew
+//! approaching 10 % of cycle time without active deskewing.
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewCaseStudy {
+    /// Design name.
+    pub design: &'static str,
+    /// Process technology in micrometres.
+    pub technology_um: f64,
+    /// Market-entry year.
+    pub year: u16,
+    /// Device count in millions.
+    pub devices_m: f64,
+    /// Cycle time in picoseconds.
+    pub cycle_ps: f64,
+    /// Global clock skew in picoseconds.
+    pub skew_ps: f64,
+    /// The paper's remarks column.
+    pub remarks: &'static str,
+}
+
+impl SkewCaseStudy {
+    /// Skew as a fraction of the cycle time.
+    pub fn skew_fraction(&self) -> f64 {
+        self.skew_ps / self.cycle_ps
+    }
+}
+
+/// The five rows of the paper's Table 1.
+pub const TABLE1: [SkewCaseStudy; 5] = [
+    SkewCaseStudy {
+        design: "Alpha 21064",
+        technology_um: 0.8,
+        year: 1992,
+        devices_m: 1.6,
+        cycle_ps: 5_000.0,
+        skew_ps: 200.0,
+        remarks: "Single line of drivers for clock grid",
+    },
+    SkewCaseStudy {
+        design: "Alpha 21164",
+        technology_um: 0.5,
+        year: 1995,
+        devices_m: 9.3,
+        cycle_ps: 3_300.0,
+        skew_ps: 80.0,
+        remarks: "Two lines of drivers for clock grid",
+    },
+    SkewCaseStudy {
+        design: "Alpha 21264",
+        technology_um: 0.35,
+        year: 1998,
+        devices_m: 15.2,
+        cycle_ps: 1_700.0,
+        skew_ps: 65.0,
+        remarks: "16 distributed lines of drivers",
+    },
+    SkewCaseStudy {
+        design: "Itanium (with active deskewing)",
+        technology_um: 0.18,
+        year: 2001,
+        devices_m: 25.4,
+        cycle_ps: 1_250.0,
+        skew_ps: 28.0,
+        remarks: "32 active deskewing circuits",
+    },
+    SkewCaseStudy {
+        design: "Itanium (without active deskewing)",
+        technology_um: 0.18,
+        year: 2001,
+        devices_m: 25.4,
+        cycle_ps: 1_250.0,
+        skew_ps: 110.0,
+        remarks: "Projected skew without deskewing",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_five_designs() {
+        assert_eq!(TABLE1.len(), 5);
+        assert_eq!(TABLE1[0].design, "Alpha 21064");
+    }
+
+    #[test]
+    fn itanium_without_deskew_approaches_ten_percent() {
+        // The paper: "This skew is almost 10% of the total cycle time."
+        let row = &TABLE1[4];
+        let f = row.skew_fraction();
+        assert!((0.08..0.10).contains(&f), "skew fraction {f}");
+    }
+
+    #[test]
+    fn deskewing_cuts_skew_about_4x() {
+        let with = TABLE1[3].skew_ps;
+        let without = TABLE1[4].skew_ps;
+        assert!(without / with > 3.5);
+    }
+
+    #[test]
+    fn device_counts_grow_monotonically() {
+        for w in TABLE1.windows(2) {
+            assert!(w[1].devices_m >= w[0].devices_m);
+            assert!(w[1].cycle_ps <= w[0].cycle_ps);
+        }
+    }
+}

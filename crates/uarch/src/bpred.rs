@@ -1,0 +1,336 @@
+//! Branch prediction: gshare direction predictor, branch target buffer and
+//! return-address stack.
+//!
+//! The paper's processors follow the SimpleScalar model: the front end
+//! (clock domain 1 — I-cache plus branch predictor) predicts every cycle;
+//! mispredictions are discovered at execute in the integer cluster and the
+//! redirect travels back to fetch — in the GALS machine through an
+//! asynchronous FIFO, which is exactly why "branch mispredictions will prove
+//! more expensive in the GALS model due to its longer recovery pipeline".
+
+use crate::config::BpredConfig;
+
+/// The front end's prediction for one fetched branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted direction (unconditional transfers are always `true`).
+    pub taken: bool,
+    /// Predicted target PC if the BTB/RAS supplied one; `None` forces the
+    /// front end to treat the branch as not-taken (fall through) until
+    /// resolution.
+    pub target: Option<u64>,
+}
+
+/// Statistics for the branch predictor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BpredStats {
+    /// Direction predictions made for conditional branches.
+    pub cond_lookups: u64,
+    /// Conditional direction mispredictions (as reported by `update`).
+    pub cond_mispredicts: u64,
+    /// BTB lookups.
+    pub btb_lookups: u64,
+    /// BTB lookups that found a target.
+    pub btb_hits: u64,
+    /// Return-address stack pushes/pops.
+    pub ras_ops: u64,
+}
+
+impl BpredStats {
+    /// Conditional-branch misprediction ratio.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.cond_lookups == 0 {
+            0.0
+        } else {
+            self.cond_mispredicts as f64 / self.cond_lookups as f64
+        }
+    }
+}
+
+/// Gshare predictor + direct-mapped BTB + return-address stack.
+///
+/// # Examples
+///
+/// ```
+/// use gals_uarch::{BranchPredictor, BpredConfig};
+///
+/// let mut bp = BranchPredictor::new(BpredConfig::default());
+/// // A branch at PC 0x40 that is always taken to 0x100 becomes perfectly
+/// // predicted after warm-up.
+/// for _ in 0..8 {
+///     let p = bp.predict_cond(0x40);
+///     bp.update_cond(0x40, true, 0x100, p.taken);
+/// }
+/// let p = bp.predict_cond(0x40);
+/// assert!(p.taken);
+/// assert_eq!(p.target, Some(0x100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    config: BpredConfig,
+    /// 2-bit saturating counters, initialised weakly taken.
+    pht: Vec<u8>,
+    /// Global history register (speculatively updated).
+    ghr: u64,
+    /// BTB: (tag, target) pairs; tag = full PC for simplicity.
+    btb: Vec<Option<(u64, u64)>>,
+    /// Return-address stack.
+    ras: Vec<u64>,
+    stats: BpredStats,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if table sizes are not powers of two.
+    pub fn new(config: BpredConfig) -> Self {
+        assert!(config.pht_entries.is_power_of_two(), "PHT size must be a power of two");
+        assert!(config.btb_entries.is_power_of_two(), "BTB size must be a power of two");
+        BranchPredictor {
+            pht: vec![2; config.pht_entries],
+            ghr: 0,
+            btb: vec![None; config.btb_entries],
+            ras: Vec::with_capacity(config.ras_depth),
+            stats: BpredStats::default(),
+            config,
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> BpredStats {
+        self.stats
+    }
+
+    #[inline]
+    fn pht_index(&self, pc: u64) -> usize {
+        let hist_mask = (1u64 << self.config.history_bits) - 1;
+        (((pc >> 2) ^ (self.ghr & hist_mask)) as usize) & (self.pht.len() - 1)
+    }
+
+    #[inline]
+    fn btb_index(pc: u64, len: usize) -> usize {
+        ((pc >> 2) as usize) & (len - 1)
+    }
+
+    /// Predicts a conditional branch at `pc`: gshare direction + BTB target.
+    /// Speculatively updates the global history with the prediction (the
+    /// history is repaired on `update_cond` if it was wrong).
+    pub fn predict_cond(&mut self, pc: u64) -> Prediction {
+        self.stats.cond_lookups += 1;
+        let taken = self.pht[self.pht_index(pc)] >= 2;
+        // Speculative history update.
+        self.ghr = (self.ghr << 1) | u64::from(taken);
+        let target = if taken { self.lookup_btb(pc) } else { None };
+        Prediction { taken, target }
+    }
+
+    /// Predicts a conditional branch *without* shifting the global history.
+    ///
+    /// Used for wrong-path fetch: the outcome will never be known, so the
+    /// speculative history bit could never be repaired and would permanently
+    /// pollute the gshare history. (Hardware checkpoints and restores the
+    /// history register on recovery; skipping the shift models the same
+    /// net effect.)
+    pub fn predict_cond_nospec(&mut self, pc: u64) -> Prediction {
+        let taken = self.pht[self.pht_index(pc)] >= 2;
+        let target = if taken { self.lookup_btb(pc) } else { None };
+        Prediction { taken, target }
+    }
+
+    /// Predicts an unconditional direct transfer (jump/call): taken, target
+    /// from BTB.
+    pub fn predict_uncond(&mut self, pc: u64) -> Prediction {
+        Prediction {
+            taken: true,
+            target: self.lookup_btb(pc),
+        }
+    }
+
+    /// Predicts a return using the RAS.
+    pub fn predict_return(&mut self, _pc: u64) -> Prediction {
+        self.stats.ras_ops += 1;
+        Prediction {
+            taken: true,
+            target: self.ras.pop(),
+        }
+    }
+
+    /// Pushes a return address (at a call).
+    pub fn push_return(&mut self, return_pc: u64) {
+        self.stats.ras_ops += 1;
+        if self.ras.len() == self.config.ras_depth {
+            self.ras.remove(0);
+        }
+        self.ras.push(return_pc);
+    }
+
+    fn lookup_btb(&mut self, pc: u64) -> Option<u64> {
+        self.stats.btb_lookups += 1;
+        let idx = Self::btb_index(pc, self.btb.len());
+        match self.btb[idx] {
+            Some((tag, target)) if tag == pc => {
+                self.stats.btb_hits += 1;
+                Some(target)
+            }
+            _ => None,
+        }
+    }
+
+    /// Trains the predictor with the resolved outcome of a conditional
+    /// branch. `predicted_taken` is what `predict_cond` returned for this
+    /// dynamic instance; a mismatch counts as a misprediction and repairs
+    /// the speculative history bit.
+    pub fn update_cond(&mut self, pc: u64, taken: bool, target: u64, predicted_taken: bool) {
+        let idx = self.pht_index_for_update(pc, predicted_taken);
+        let counter = &mut self.pht[idx];
+        if taken {
+            *counter = (*counter + 1).min(3);
+        } else {
+            *counter = counter.saturating_sub(1);
+        }
+        if taken != predicted_taken {
+            self.stats.cond_mispredicts += 1;
+            // Repair the speculatively shifted history bit.
+            self.ghr = (self.ghr & !1) | u64::from(taken);
+        }
+        if taken {
+            self.install_btb(pc, target);
+        }
+    }
+
+    /// Installs/updates the BTB entry for an unconditional transfer.
+    pub fn update_uncond(&mut self, pc: u64, target: u64) {
+        self.install_btb(pc, target);
+    }
+
+    fn install_btb(&mut self, pc: u64, target: u64) {
+        let idx = Self::btb_index(pc, self.btb.len());
+        self.btb[idx] = Some((pc, target));
+    }
+
+    /// Index the update should train. The history seen by the prediction had
+    /// not yet been shifted; reconstruct it by undoing the speculative bit.
+    fn pht_index_for_update(&self, pc: u64, _predicted_taken: bool) -> usize {
+        let hist_mask = (1u64 << self.config.history_bits) - 1;
+        let pre = self.ghr >> 1;
+        (((pc >> 2) ^ (pre & hist_mask)) as usize) & (self.pht.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn predictor() -> BranchPredictor {
+        BranchPredictor::new(BpredConfig::default())
+    }
+
+    #[test]
+    fn learns_always_taken() {
+        let mut bp = predictor();
+        let mut wrong = 0;
+        for _ in 0..100 {
+            let p = bp.predict_cond(0x80);
+            if !p.taken {
+                wrong += 1;
+            }
+            bp.update_cond(0x80, true, 0x200, p.taken);
+        }
+        assert!(wrong <= 2, "{wrong} mispredictions for an always-taken branch");
+        assert!(bp.predict_cond(0x80).target == Some(0x200));
+    }
+
+    #[test]
+    fn learns_never_taken() {
+        let mut bp = predictor();
+        for _ in 0..10 {
+            let p = bp.predict_cond(0x40);
+            bp.update_cond(0x40, false, 0x999, p.taken);
+        }
+        assert!(!bp.predict_cond(0x40).taken);
+    }
+
+    #[test]
+    fn random_branch_mispredicts_half_the_time() {
+        let mut bp = predictor();
+        let mut mispredicts = 0u32;
+        let n = 4_000u64;
+        for i in 0..n {
+            let outcome = gals_isa::rng::hash3(7, 1, i) & 1 == 1;
+            let p = bp.predict_cond(0x1000);
+            if p.taken != outcome {
+                mispredicts += 1;
+            }
+            bp.update_cond(0x1000, outcome, 0x2000, p.taken);
+        }
+        let rate = f64::from(mispredicts) / n as f64;
+        assert!((0.35..0.65).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn loop_branch_predicts_well() {
+        // Taken 15 of 16 iterations: a 2-bit counter mispredicts ~1/16.
+        let mut bp = predictor();
+        let mut mispredicts = 0u32;
+        let n = 1_600;
+        for i in 0..n {
+            let outcome = i % 16 != 15;
+            let p = bp.predict_cond(0x44);
+            if p.taken != outcome {
+                mispredicts += 1;
+            }
+            bp.update_cond(0x44, outcome, 0x10, p.taken);
+        }
+        let rate = f64::from(mispredicts) / f64::from(n);
+        assert!(rate < 0.15, "loop branch mispredict rate {rate}");
+    }
+
+    #[test]
+    fn ras_pairs_calls_and_returns() {
+        let mut bp = predictor();
+        bp.push_return(0x100);
+        bp.push_return(0x200);
+        assert_eq!(bp.predict_return(0).target, Some(0x200));
+        assert_eq!(bp.predict_return(0).target, Some(0x100));
+        assert_eq!(bp.predict_return(0).target, None);
+    }
+
+    #[test]
+    fn ras_overflow_drops_oldest() {
+        let mut bp = BranchPredictor::new(BpredConfig {
+            ras_depth: 2,
+            ..BpredConfig::default()
+        });
+        bp.push_return(1);
+        bp.push_return(2);
+        bp.push_return(3);
+        assert_eq!(bp.predict_return(0).target, Some(3));
+        assert_eq!(bp.predict_return(0).target, Some(2));
+        assert_eq!(bp.predict_return(0).target, None);
+    }
+
+    #[test]
+    fn btb_conflicts_resolve_by_replacement() {
+        let mut bp = BranchPredictor::new(BpredConfig {
+            btb_entries: 16,
+            ..BpredConfig::default()
+        });
+        bp.update_uncond(0x0, 0xAAA);
+        // Same BTB set (16 entries, pc>>2 & 15): pc 0x100 -> index 0.
+        bp.update_uncond(0x100, 0xBBB);
+        assert_eq!(bp.predict_uncond(0x100).target, Some(0xBBB));
+        assert_eq!(bp.predict_uncond(0x0).target, None);
+    }
+
+    #[test]
+    fn stats_track_rates() {
+        let mut bp = predictor();
+        let p = bp.predict_cond(0x4);
+        bp.update_cond(0x4, !p.taken, 0x8, p.taken);
+        assert_eq!(bp.stats().cond_lookups, 1);
+        assert_eq!(bp.stats().cond_mispredicts, 1);
+        assert_eq!(bp.stats().mispredict_rate(), 1.0);
+    }
+}

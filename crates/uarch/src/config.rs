@@ -1,0 +1,260 @@
+//! Microarchitecture configuration (the paper's Table 3).
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (1 = direct mapped).
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Access latency in cycles of the owning domain (hit latency).
+    pub latency: u32,
+}
+
+impl CacheGeometry {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sizes, capacity not a
+    /// multiple of `ways * line_bytes`, or a non-power-of-two set count).
+    pub fn sets(&self) -> u64 {
+        assert!(self.size_bytes > 0 && self.ways > 0 && self.line_bytes > 0);
+        let way_bytes = u64::from(self.ways) * self.line_bytes;
+        assert!(
+            self.size_bytes.is_multiple_of(way_bytes),
+            "cache size {} not a multiple of ways*line {}",
+            self.size_bytes,
+            way_bytes
+        );
+        let sets = self.size_bytes / way_bytes;
+        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        sets
+    }
+}
+
+/// Branch predictor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BpredConfig {
+    /// Number of 2-bit counters in the gshare pattern history table
+    /// (power of two).
+    pub pht_entries: usize,
+    /// Global history length in bits.
+    pub history_bits: u32,
+    /// Branch target buffer entries (power of two, direct mapped).
+    pub btb_entries: usize,
+    /// Return-address stack depth.
+    pub ras_depth: usize,
+}
+
+impl Default for BpredConfig {
+    fn default() -> Self {
+        BpredConfig {
+            pht_entries: 4096,
+            history_bits: 10,
+            btb_entries: 512,
+            ras_depth: 8,
+        }
+    }
+}
+
+/// Full microarchitecture parameter set; defaults reproduce the paper's
+/// Table 3.
+///
+/// # Examples
+///
+/// ```
+/// use gals_uarch::UarchConfig;
+/// let cfg = UarchConfig::default();
+/// assert_eq!(cfg.fetch_width, 4);
+/// assert_eq!(cfg.int_iq_size, 20);
+/// assert_eq!(cfg.l1d.sets(), 64); // 16 KB, 4-way, 64 B lines
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct UarchConfig {
+    /// Instructions fetched per front-end cycle ("fetch and decode rate: 4").
+    pub fetch_width: u32,
+    /// Instructions decoded/renamed per cycle.
+    pub decode_width: u32,
+    /// Instructions committed per cycle.
+    pub commit_width: u32,
+    /// Integer issue queue capacity (paper: 20).
+    pub int_iq_size: usize,
+    /// FP issue queue capacity (paper: 16).
+    pub fp_iq_size: usize,
+    /// Memory issue queue capacity (paper: 16).
+    pub mem_iq_size: usize,
+    /// Per-queue issue width (instructions selected per cycle).
+    pub issue_width: u32,
+    /// Physical integer registers (paper: 72).
+    pub int_phys_regs: u16,
+    /// Physical FP registers (paper: 72).
+    pub fp_phys_regs: u16,
+    /// Reorder buffer entries.
+    pub rob_size: usize,
+    /// Maximum unresolved branches in flight (RAT checkpoints).
+    pub max_branches: usize,
+    /// Integer ALUs (paper: 4).
+    pub int_alus: u32,
+    /// FP ALUs (paper: 4).
+    pub fp_alus: u32,
+    /// D-cache ports (loads/stores issued per memory cycle).
+    pub mem_ports: u32,
+    /// L1 data cache (paper: 16 KB 4-way, 1 cycle).
+    pub l1d: CacheGeometry,
+    /// L1 instruction cache (paper: 16 KB direct mapped, 1 cycle).
+    pub l1i: CacheGeometry,
+    /// Unified L2 (paper: 256 KB 4-way, 6 cycles).
+    pub l2: CacheGeometry,
+    /// Main memory latency in cycles (beyond L2; not specified by the paper,
+    /// SimpleScalar-era default).
+    pub mem_latency: u32,
+    /// Branch predictor.
+    pub bpred: BpredConfig,
+    /// Store buffer capacity.
+    pub store_buffer_size: usize,
+}
+
+impl Default for UarchConfig {
+    fn default() -> Self {
+        UarchConfig {
+            fetch_width: 4,
+            decode_width: 4,
+            commit_width: 4,
+            int_iq_size: 20,
+            fp_iq_size: 16,
+            mem_iq_size: 16,
+            issue_width: 4,
+            int_phys_regs: 72,
+            fp_phys_regs: 72,
+            rob_size: 40,
+            max_branches: 14,
+            int_alus: 4,
+            fp_alus: 4,
+            mem_ports: 2,
+            l1d: CacheGeometry {
+                size_bytes: 16 * 1024,
+                ways: 4,
+                line_bytes: 64,
+                latency: 1,
+            },
+            l1i: CacheGeometry {
+                size_bytes: 16 * 1024,
+                ways: 1,
+                line_bytes: 64,
+                latency: 1,
+            },
+            l2: CacheGeometry {
+                size_bytes: 256 * 1024,
+                ways: 4,
+                line_bytes: 64,
+                latency: 6,
+            },
+            mem_latency: 36,
+            bpred: BpredConfig::default(),
+            store_buffer_size: 16,
+        }
+    }
+}
+
+impl UarchConfig {
+    /// Validates internal consistency (cache geometries, non-zero widths).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fetch_width == 0 || self.decode_width == 0 || self.commit_width == 0 {
+            return Err("pipeline widths must be non-zero".into());
+        }
+        if self.issue_width == 0 {
+            return Err("issue width must be non-zero".into());
+        }
+        if usize::from(self.int_phys_regs) < crate::rename::NUM_ARCH_PER_CLASS
+            || usize::from(self.fp_phys_regs) < crate::rename::NUM_ARCH_PER_CLASS
+        {
+            return Err("physical register file smaller than architectural state".into());
+        }
+        for (name, geom) in [("l1d", self.l1d), ("l1i", self.l1i), ("l2", self.l2)] {
+            let way_bytes = u64::from(geom.ways) * geom.line_bytes;
+            if geom.size_bytes == 0 || geom.ways == 0 || geom.line_bytes == 0 {
+                return Err(format!("{name}: zero-sized geometry"));
+            }
+            if geom.size_bytes % way_bytes != 0 {
+                return Err(format!("{name}: size not a multiple of ways*line"));
+            }
+            if !(geom.size_bytes / way_bytes).is_power_of_two() {
+                return Err(format!("{name}: set count must be a power of two"));
+            }
+            if !geom.line_bytes.is_power_of_two() {
+                return Err(format!("{name}: line size must be a power of two"));
+            }
+        }
+        if !self.bpred.pht_entries.is_power_of_two() || !self.bpred.btb_entries.is_power_of_two() {
+            return Err("branch predictor tables must be powers of two".into());
+        }
+        if self.rob_size == 0 || self.max_branches == 0 {
+            return Err("rob and branch checkpoints must be non-zero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_table3() {
+        let c = UarchConfig::default();
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.int_iq_size, 20);
+        assert_eq!(c.fp_iq_size, 16);
+        assert_eq!(c.mem_iq_size, 16);
+        assert_eq!(c.int_phys_regs, 72);
+        assert_eq!(c.fp_phys_regs, 72);
+        assert_eq!(c.l1d.size_bytes, 16 * 1024);
+        assert_eq!(c.l1d.ways, 4);
+        assert_eq!(c.l1d.latency, 1);
+        assert_eq!(c.l1i.ways, 1);
+        assert_eq!(c.l2.size_bytes, 256 * 1024);
+        assert_eq!(c.l2.latency, 6);
+        assert_eq!(c.int_alus, 4);
+        assert_eq!(c.fp_alus, 4);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn geometry_sets() {
+        let g = CacheGeometry {
+            size_bytes: 16 * 1024,
+            ways: 4,
+            line_bytes: 64,
+            latency: 1,
+        };
+        assert_eq!(g.sets(), 64);
+        let dm = CacheGeometry {
+            size_bytes: 16 * 1024,
+            ways: 1,
+            line_bytes: 64,
+            latency: 1,
+        };
+        assert_eq!(dm.sets(), 256);
+    }
+
+    #[test]
+    fn validate_catches_bad_geometry() {
+        let mut c = UarchConfig::default();
+        c.l1d.size_bytes = 1000;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_tiny_regfile() {
+        let mut c = UarchConfig::default();
+        c.int_phys_regs = 16;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Functional unit pools: occupancy tracking for pipelined and unpipelined
+//! units.
+//!
+//! The paper's configuration has 4 integer and 4 FP ALUs. Pipelined
+//! operations occupy a unit for one cycle (initiation interval 1);
+//! unpipelined operations (divides) hold the unit for their full latency.
+
+/// A pool of identical functional units inside one clock domain; time is the
+/// owning domain's local cycle count.
+///
+/// # Examples
+///
+/// ```
+/// use gals_uarch::FuPool;
+///
+/// let mut alus = FuPool::new(2);
+/// assert!(alus.try_issue(10, 1, true));  // pipelined op, cycle 10
+/// assert!(alus.try_issue(10, 1, true));  // second unit
+/// assert!(!alus.try_issue(10, 1, true)); // both busy this cycle
+/// assert!(alus.try_issue(11, 1, true));  // next cycle they're free
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    /// Cycle at which each unit becomes free.
+    free_at: Vec<u64>,
+    /// Total operations accepted (for utilisation statistics).
+    issued: u64,
+    /// Operations rejected because every unit was busy.
+    conflicts: u64,
+}
+
+impl FuPool {
+    /// Creates a pool of `count` units, all free at cycle 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(count: u32) -> Self {
+        assert!(count > 0, "functional unit pool must have at least one unit");
+        FuPool {
+            free_at: vec![0; count as usize],
+            issued: 0,
+            conflicts: 0,
+        }
+    }
+
+    /// Number of units.
+    pub fn count(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Attempts to issue an operation at local cycle `now` with the given
+    /// execution `latency`; `pipelined` operations release the unit after
+    /// one cycle, unpipelined after `latency` cycles.
+    ///
+    /// Returns `false` (and counts a structural conflict) when no unit is
+    /// available.
+    pub fn try_issue(&mut self, now: u64, latency: u32, pipelined: bool) -> bool {
+        match self.free_at.iter_mut().find(|f| **f <= now) {
+            Some(slot) => {
+                *slot = now + if pipelined { 1 } else { u64::from(latency) };
+                self.issued += 1;
+                true
+            }
+            None => {
+                self.conflicts += 1;
+                false
+            }
+        }
+    }
+
+    /// Number of units free at local cycle `now`.
+    pub fn free_units(&self, now: u64) -> usize {
+        self.free_at.iter().filter(|&&f| f <= now).count()
+    }
+
+    /// Operations accepted so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Structural-hazard rejections so far.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Clears busy state (used when a domain's pipeline is squashed).
+    pub fn flush(&mut self) {
+        self.free_at.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_units_accept_back_to_back() {
+        let mut pool = FuPool::new(1);
+        assert!(pool.try_issue(0, 4, true));
+        assert!(!pool.try_issue(0, 4, true));
+        assert!(pool.try_issue(1, 4, true));
+        assert_eq!(pool.issued(), 2);
+        assert_eq!(pool.conflicts(), 1);
+    }
+
+    #[test]
+    fn unpipelined_blocks_for_latency() {
+        let mut pool = FuPool::new(1);
+        assert!(pool.try_issue(0, 12, false));
+        for c in 1..12 {
+            assert!(!pool.try_issue(c, 12, false), "cycle {c} should conflict");
+        }
+        assert!(pool.try_issue(12, 12, false));
+    }
+
+    #[test]
+    fn multiple_units_fill_independently() {
+        let mut pool = FuPool::new(4);
+        for _ in 0..4 {
+            assert!(pool.try_issue(5, 1, true));
+        }
+        assert_eq!(pool.free_units(5), 0);
+        assert!(!pool.try_issue(5, 1, true));
+        assert_eq!(pool.free_units(6), 4);
+    }
+
+    #[test]
+    fn flush_releases_everything() {
+        let mut pool = FuPool::new(2);
+        pool.try_issue(0, 20, false);
+        pool.try_issue(0, 20, false);
+        pool.flush();
+        assert_eq!(pool.free_units(0), 2);
+    }
+}

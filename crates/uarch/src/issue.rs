@@ -1,0 +1,310 @@
+//! Out-of-order issue queues with tag-based wakeup and oldest-first select.
+//!
+//! The paper's design has three queues — integer (20 entries), FP (16) and
+//! memory (16) — each co-located with its functional units in one clock
+//! domain so that "dependent instructions within the integer issue queue can
+//! be issued back-to-back as soon as operands are available".
+
+use crate::rename::PhysReg;
+
+/// Token identifying an instruction waiting in a queue (opaque payload key).
+pub type IqToken = u64;
+
+/// One waiting instruction.
+#[derive(Debug, Clone)]
+struct IqEntry {
+    token: IqToken,
+    /// Age for oldest-first selection (dynamic sequence number works well).
+    age: u64,
+    /// Source operands still outstanding. Tags are destination physical
+    /// registers of producer instructions.
+    waiting: Vec<PhysReg>,
+}
+
+/// Statistics of one issue queue.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IssueQueueStats {
+    /// Instructions inserted.
+    pub inserted: u64,
+    /// Instructions issued.
+    pub issued: u64,
+    /// Occupancy integral (entries x samples) for mean occupancy.
+    pub occupancy_sum: u64,
+    /// Number of occupancy samples.
+    pub occupancy_samples: u64,
+    /// Peak occupancy.
+    pub occupancy_peak: usize,
+    /// Cycles in which at least one instruction was ready but the issue
+    /// width was exhausted.
+    pub width_stalls: u64,
+}
+
+impl IssueQueueStats {
+    /// Mean occupancy per sample.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.occupancy_samples == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.occupancy_samples as f64
+        }
+    }
+}
+
+/// A bounded issue queue: insert renamed instructions with outstanding
+/// source tags, wake them as producers complete, select the oldest ready
+/// ones each cycle.
+///
+/// # Examples
+///
+/// ```
+/// use gals_uarch::{IssueQueue, PhysReg};
+///
+/// let mut iq = IssueQueue::new(4);
+/// iq.insert(1, 10, vec![PhysReg(40)]).unwrap(); // waits on p40
+/// iq.insert(2, 11, vec![]).unwrap();            // ready at once
+/// assert_eq!(iq.select(4), vec![2]);
+/// iq.wakeup(PhysReg(40));
+/// assert_eq!(iq.select(4), vec![1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IssueQueue {
+    capacity: usize,
+    entries: Vec<IqEntry>,
+    stats: IssueQueueStats,
+}
+
+impl IssueQueue {
+    /// Creates a queue with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "issue queue capacity must be non-zero");
+        IssueQueue {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            stats: IssueQueueStats::default(),
+        }
+    }
+
+    /// Current number of waiting instructions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no instructions wait.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when another instruction can be inserted.
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> IssueQueueStats {
+        self.stats
+    }
+
+    /// Inserts an instruction.
+    ///
+    /// `waiting` lists the source tags not yet produced; an empty list means
+    /// the instruction is immediately ready.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(token)` (the rejected token) when the queue is full —
+    /// dispatch must stall.
+    pub fn insert(&mut self, token: IqToken, age: u64, waiting: Vec<PhysReg>) -> Result<(), IqToken> {
+        if !self.has_space() {
+            return Err(token);
+        }
+        self.stats.inserted += 1;
+        self.entries.push(IqEntry { token, age, waiting });
+        Ok(())
+    }
+
+    /// Broadcasts a completed producer tag, marking dependents ready.
+    pub fn wakeup(&mut self, tag: PhysReg) {
+        for e in &mut self.entries {
+            e.waiting.retain(|&w| w != tag);
+        }
+    }
+
+    /// Selects up to `width` ready instructions, oldest first, removing them
+    /// from the queue. Returns their tokens in selection order.
+    pub fn select(&mut self, width: u32) -> Vec<IqToken> {
+        let mut ready: Vec<(u64, usize)> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.waiting.is_empty())
+            .map(|(i, e)| (e.age, i))
+            .collect();
+        ready.sort_unstable();
+        if ready.len() > width as usize {
+            self.stats.width_stalls += 1;
+        }
+        ready.truncate(width as usize);
+        let mut picked: Vec<usize> = ready.iter().map(|&(_, i)| i).collect();
+        // Remove from the back so indices stay valid.
+        picked.sort_unstable_by(|a, b| b.cmp(a));
+        let mut tokens: Vec<(u64, IqToken)> = Vec::with_capacity(picked.len());
+        for i in picked {
+            let e = self.entries.swap_remove(i);
+            tokens.push((e.age, e.token));
+        }
+        tokens.sort_unstable();
+        self.stats.issued += tokens.len() as u64;
+        tokens.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Selects ready instructions for which `admit` also returns true
+    /// (e.g. a functional unit is free), oldest first, up to `width`.
+    pub fn select_with(&mut self, width: u32, mut admit: impl FnMut(IqToken) -> bool) -> Vec<IqToken> {
+        let mut ready: Vec<(u64, usize)> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.waiting.is_empty())
+            .map(|(i, e)| (e.age, i))
+            .collect();
+        ready.sort_unstable();
+        let mut chosen: Vec<usize> = Vec::new();
+        for &(_, i) in &ready {
+            if chosen.len() == width as usize {
+                self.stats.width_stalls += 1;
+                break;
+            }
+            if admit(self.entries[i].token) {
+                chosen.push(i);
+            }
+        }
+        chosen.sort_unstable_by(|a, b| b.cmp(a));
+        let mut tokens: Vec<(u64, IqToken)> = Vec::with_capacity(chosen.len());
+        for i in chosen {
+            let e = self.entries.swap_remove(i);
+            tokens.push((e.age, e.token));
+        }
+        tokens.sort_unstable();
+        self.stats.issued += tokens.len() as u64;
+        tokens.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Removes every instruction younger than `age` (squash after a
+    /// mispredicted branch). Returns the removed tokens.
+    pub fn squash_younger(&mut self, age: u64) -> Vec<IqToken> {
+        let mut squashed = Vec::new();
+        self.entries.retain(|e| {
+            if e.age > age {
+                squashed.push(e.token);
+                false
+            } else {
+                true
+            }
+        });
+        squashed
+    }
+
+    /// Records an occupancy sample.
+    pub fn sample_occupancy(&mut self) {
+        self.stats.occupancy_samples += 1;
+        self.stats.occupancy_sum += self.entries.len() as u64;
+        self.stats.occupancy_peak = self.stats.occupancy_peak.max(self.entries.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ready_instructions_issue_oldest_first() {
+        let mut iq = IssueQueue::new(8);
+        iq.insert(10, 5, vec![]).unwrap();
+        iq.insert(11, 3, vec![]).unwrap();
+        iq.insert(12, 4, vec![]).unwrap();
+        assert_eq!(iq.select(2), vec![11, 12]);
+        assert_eq!(iq.select(2), vec![10]);
+        assert!(iq.is_empty());
+    }
+
+    #[test]
+    fn wakeup_enables_dependents() {
+        let mut iq = IssueQueue::new(4);
+        iq.insert(1, 0, vec![PhysReg(33), PhysReg(34)]).unwrap();
+        assert!(iq.select(4).is_empty());
+        iq.wakeup(PhysReg(33));
+        assert!(iq.select(4).is_empty());
+        iq.wakeup(PhysReg(34));
+        assert_eq!(iq.select(4), vec![1]);
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let mut iq = IssueQueue::new(2);
+        iq.insert(1, 0, vec![]).unwrap();
+        iq.insert(2, 1, vec![]).unwrap();
+        assert_eq!(iq.insert(3, 2, vec![]), Err(3));
+        assert!(!iq.has_space());
+    }
+
+    #[test]
+    fn squash_removes_younger_only() {
+        let mut iq = IssueQueue::new(8);
+        iq.insert(1, 10, vec![PhysReg(40)]).unwrap();
+        iq.insert(2, 20, vec![PhysReg(40)]).unwrap();
+        iq.insert(3, 30, vec![PhysReg(40)]).unwrap();
+        let squashed = iq.squash_younger(15);
+        assert_eq!(squashed, vec![2, 3]);
+        assert_eq!(iq.len(), 1);
+    }
+
+    #[test]
+    fn select_with_admission_control() {
+        let mut iq = IssueQueue::new(8);
+        iq.insert(1, 0, vec![]).unwrap();
+        iq.insert(2, 1, vec![]).unwrap();
+        iq.insert(3, 2, vec![]).unwrap();
+        // Admit only even tokens.
+        let picked = iq.select_with(4, |t| t % 2 == 0);
+        assert_eq!(picked, vec![2]);
+        assert_eq!(iq.len(), 2);
+    }
+
+    #[test]
+    fn width_limits_issue() {
+        let mut iq = IssueQueue::new(8);
+        for i in 0..6 {
+            iq.insert(i, i, vec![]).unwrap();
+        }
+        assert_eq!(iq.select(4).len(), 4);
+        assert!(iq.stats().width_stalls > 0);
+    }
+
+    #[test]
+    fn occupancy_sampling() {
+        let mut iq = IssueQueue::new(8);
+        iq.insert(1, 0, vec![PhysReg(40)]).unwrap();
+        iq.sample_occupancy();
+        iq.insert(2, 1, vec![PhysReg(40)]).unwrap();
+        iq.sample_occupancy();
+        assert_eq!(iq.stats().mean_occupancy(), 1.5);
+        assert_eq!(iq.stats().occupancy_peak, 2);
+    }
+
+    #[test]
+    fn duplicate_tags_both_cleared() {
+        let mut iq = IssueQueue::new(4);
+        iq.insert(1, 0, vec![PhysReg(40), PhysReg(40)]).unwrap();
+        iq.wakeup(PhysReg(40));
+        assert_eq!(iq.select(4), vec![1]);
+    }
+}

@@ -1,0 +1,298 @@
+//! A 21264-style tournament (hybrid) branch direction predictor.
+//!
+//! The paper's processor "resembl[es] the 21264 Alpha in some ways"; the
+//! real 21264 uses a *tournament* predictor — a local (per-branch history)
+//! component, a global (path history) component, and a chooser that learns
+//! per branch which component to trust. This module provides that
+//! predictor as a drop-in alternative direction predictor for studies of
+//! front-end sensitivity (the default machine uses gshare, which is what
+//! SimpleScalar-era evaluations most commonly modelled).
+
+/// Configuration of the tournament predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TournamentConfig {
+    /// Entries of the local-history table (power of two).
+    pub local_histories: usize,
+    /// Bits of local history per branch (indexes a `2^bits` counter table).
+    pub local_bits: u32,
+    /// Entries of the global pattern table (power of two).
+    pub global_entries: usize,
+    /// Bits of global history.
+    pub global_bits: u32,
+    /// Entries of the chooser table (power of two).
+    pub chooser_entries: usize,
+}
+
+impl Default for TournamentConfig {
+    /// Sizes loosely following the 21264: 1K local histories x 10 bits,
+    /// 4K global counters, 4K chooser counters.
+    fn default() -> Self {
+        TournamentConfig {
+            local_histories: 1024,
+            local_bits: 10,
+            global_entries: 4096,
+            global_bits: 12,
+            chooser_entries: 4096,
+        }
+    }
+}
+
+/// Statistics of the tournament predictor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TournamentStats {
+    /// Direction lookups.
+    pub lookups: u64,
+    /// Mispredictions.
+    pub mispredicts: u64,
+    /// Lookups decided by the local component.
+    pub chose_local: u64,
+}
+
+impl TournamentStats {
+    /// Misprediction ratio.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// The tournament direction predictor (no BTB/RAS; pair it with the ones
+/// in [`crate::BranchPredictor`] if targets are needed).
+///
+/// # Examples
+///
+/// ```
+/// use gals_uarch::{TournamentPredictor, TournamentConfig};
+///
+/// let mut tp = TournamentPredictor::new(TournamentConfig::default());
+/// // A short repeating pattern is learned by the local component even
+/// // though it looks random to a global predictor.
+/// let pattern = [true, true, false, true, false];
+/// let mut wrong = 0;
+/// for i in 0..1_000 {
+///     let outcome = pattern[i % pattern.len()];
+///     let p = tp.predict(0x40);
+///     if p != outcome { wrong += 1; }
+///     tp.update(0x40, outcome, p);
+/// }
+/// assert!(wrong < 100, "local history should learn the pattern ({wrong})");
+/// ```
+#[derive(Debug, Clone)]
+pub struct TournamentPredictor {
+    config: TournamentConfig,
+    /// Per-branch local history registers.
+    local_history: Vec<u16>,
+    /// Local counter table indexed by local history (3-bit counters, like
+    /// the 21264).
+    local_counters: Vec<u8>,
+    /// Global counter table indexed by global history (2-bit).
+    global_counters: Vec<u8>,
+    /// Chooser: 2-bit counters, >=2 = trust global.
+    chooser: Vec<u8>,
+    /// Global history register.
+    ghr: u64,
+    stats: TournamentStats,
+}
+
+impl TournamentPredictor {
+    /// Creates the predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any table size is not a power of two or `local_bits`
+    /// exceeds 16.
+    pub fn new(config: TournamentConfig) -> Self {
+        assert!(config.local_histories.is_power_of_two(), "local table must be a power of two");
+        assert!(config.global_entries.is_power_of_two(), "global table must be a power of two");
+        assert!(config.chooser_entries.is_power_of_two(), "chooser table must be a power of two");
+        assert!(config.local_bits <= 16, "local history wider than the register");
+        TournamentPredictor {
+            local_history: vec![0; config.local_histories],
+            local_counters: vec![4; 1 << config.local_bits],
+            global_counters: vec![2; config.global_entries],
+            chooser: vec![2; config.chooser_entries],
+            ghr: 0,
+            stats: TournamentStats::default(),
+            config,
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TournamentStats {
+        self.stats
+    }
+
+    #[inline]
+    fn local_slot(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.local_history.len() - 1)
+    }
+
+    #[inline]
+    fn local_index(&self, pc: u64) -> usize {
+        let hist = self.local_history[self.local_slot(pc)];
+        (hist as usize) & ((1 << self.config.local_bits) - 1)
+    }
+
+    #[inline]
+    fn global_index(&self) -> usize {
+        let mask = (1u64 << self.config.global_bits) - 1;
+        ((self.ghr & mask) as usize) & (self.global_entries_mask())
+    }
+
+    #[inline]
+    fn global_entries_mask(&self) -> usize {
+        self.global_counters.len() - 1
+    }
+
+    #[inline]
+    fn chooser_index(&self) -> usize {
+        let mask = (1u64 << self.config.global_bits) - 1;
+        ((self.ghr & mask) as usize) & (self.chooser.len() - 1)
+    }
+
+    /// Predicts the direction of the branch at `pc`.
+    pub fn predict(&mut self, pc: u64) -> bool {
+        self.stats.lookups += 1;
+        let local = self.local_counters[self.local_index(pc)] >= 4;
+        let global = self.global_counters[self.global_index()] >= 2;
+        let use_global = self.chooser[self.chooser_index()] >= 2;
+        if !use_global {
+            self.stats.chose_local += 1;
+        }
+        if use_global {
+            global
+        } else {
+            local
+        }
+    }
+
+    /// Trains all three components with the resolved outcome.
+    pub fn update(&mut self, pc: u64, taken: bool, predicted: bool) {
+        let li = self.local_index(pc);
+        let gi = self.global_index();
+        let ci = self.chooser_index();
+
+        let local_said = self.local_counters[li] >= 4;
+        let global_said = self.global_counters[gi] >= 2;
+
+        // Chooser trains toward whichever component was right (only when
+        // they disagree — the 21264 rule).
+        if local_said != global_said {
+            let c = &mut self.chooser[ci];
+            if global_said == taken {
+                *c = (*c + 1).min(3);
+            } else {
+                *c = c.saturating_sub(1);
+            }
+        }
+
+        // Component counters.
+        let lc = &mut self.local_counters[li];
+        if taken {
+            *lc = (*lc + 1).min(7);
+        } else {
+            *lc = lc.saturating_sub(1);
+        }
+        let gc = &mut self.global_counters[gi];
+        if taken {
+            *gc = (*gc + 1).min(3);
+        } else {
+            *gc = gc.saturating_sub(1);
+        }
+
+        // Histories.
+        let slot = self.local_slot(pc);
+        self.local_history[slot] = (self.local_history[slot] << 1) | u16::from(taken);
+        self.ghr = (self.ghr << 1) | u64::from(taken);
+
+        if predicted != taken {
+            self.stats.mispredicts += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gals_isa::rng::hash3;
+
+    fn run(pattern: impl Fn(u64) -> bool, n: u64, pc: u64) -> f64 {
+        let mut tp = TournamentPredictor::new(TournamentConfig::default());
+        let mut wrong = 0u64;
+        for i in 0..n {
+            let outcome = pattern(i);
+            let p = tp.predict(pc);
+            if p != outcome {
+                wrong += 1;
+            }
+            tp.update(pc, outcome, p);
+        }
+        wrong as f64 / n as f64
+    }
+
+    #[test]
+    fn learns_biased_branches() {
+        let rate = run(|i| !hash3(1, 2, i).is_multiple_of(10), 5_000, 0x10); // 90% taken
+        assert!(rate < 0.15, "biased branch mispredict rate {rate}");
+    }
+
+    #[test]
+    fn local_component_learns_short_patterns() {
+        // Period-7 pattern defeats a 2-bit bimodal counter but is captured
+        // by 10 bits of local history.
+        let pattern = [true, true, true, false, false, true, false];
+        let rate = run(|i| pattern[(i % 7) as usize], 8_000, 0x20);
+        assert!(rate < 0.08, "periodic pattern mispredict rate {rate}");
+    }
+
+    #[test]
+    fn global_component_learns_correlation() {
+        // Branch outcome equals the outcome two executions ago: pure
+        // history correlation.
+        let mut tp = TournamentPredictor::new(TournamentConfig::default());
+        let mut prev = [false, true];
+        let mut wrong = 0u64;
+        let n = 8_000;
+        for _i in 0..n {
+            let outcome = prev[0];
+            let p = tp.predict(0x30);
+            if p != outcome {
+                wrong += 1;
+            }
+            tp.update(0x30, outcome, p);
+            prev = [prev[1], outcome];
+        }
+        let rate = wrong as f64 / n as f64;
+        assert!(rate < 0.1, "correlated branch mispredict rate {rate}");
+    }
+
+    #[test]
+    fn random_branches_stay_hard() {
+        let rate = run(|i| hash3(9, 9, i) & 1 == 1, 5_000, 0x40);
+        assert!((0.4..0.6).contains(&rate), "coin-flip rate {rate}");
+    }
+
+    #[test]
+    fn chooser_statistics_track_usage() {
+        let mut tp = TournamentPredictor::new(TournamentConfig::default());
+        for i in 0..100 {
+            let p = tp.predict(0x50);
+            tp.update(0x50, i % 2 == 0, p);
+        }
+        let s = tp.stats();
+        assert_eq!(s.lookups, 100);
+        assert!(s.chose_local <= 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = TournamentPredictor::new(TournamentConfig {
+            local_histories: 1000,
+            ..TournamentConfig::default()
+        });
+    }
+}

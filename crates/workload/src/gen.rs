@@ -1,0 +1,444 @@
+//! Program synthesis: turns a [`WorkloadProfile`] into a concrete
+//! [`Program`] whose dynamic stream matches the profile's statistics.
+//!
+//! The synthesised shape is a *dispatcher loop* calling a set of functions
+//! (exercising the call/return predictor), each function an inner loop over
+//! a chain of basic blocks with if-diamond side exits. Block length is
+//! derived from the profile's branch density; loop back-edges use exact
+//! trip-count behaviours (predictable), if-branches use biased or
+//! data-dependent probabilities per `branch_bias`.
+
+use gals_isa::{
+    ArchReg, BranchBehavior, Inst, MemBehavior, MemBehaviorId, OpClass, Program, ProgramBuilder,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::profile::{Benchmark, WorkloadProfile};
+
+/// Number of distinct memory reference streams per program.
+const MEM_STREAMS: usize = 8;
+/// Body blocks per function loop.
+const BLOCKS_PER_LOOP: usize = 4;
+/// Data-register ring (r8..r23, f8..f23).
+const RING_BASE: u8 = 8;
+const RING_LEN: u8 = 16;
+/// One mebibyte.
+const MB: u64 = 1024 * 1024;
+
+/// Generates the program for a named benchmark.
+///
+/// The same `(benchmark, seed)` pair always yields the identical program,
+/// so the synchronous and GALS machines run the same "binary" — the
+/// property the paper's comparisons rest on.
+///
+/// # Examples
+///
+/// ```
+/// use gals_workload::{generate, Benchmark};
+/// let program = generate(Benchmark::Gcc, 42);
+/// assert!(program.static_inst_count() > 100);
+/// ```
+pub fn generate(benchmark: Benchmark, seed: u64) -> Program {
+    generate_profile(&benchmark.profile(), seed)
+}
+
+/// Generates a program from an explicit profile.
+///
+/// # Panics
+///
+/// Panics if the profile fails [`WorkloadProfile::validate`] (the built-in
+/// benchmark profiles never do).
+pub fn generate_profile(profile: &WorkloadProfile, seed: u64) -> Program {
+    profile
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid workload profile: {e}"));
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6A5C_935A_9E1D_47B1);
+    let mut b = ProgramBuilder::new(seed);
+
+    let mem_ids = build_mem_streams(&mut b, profile, &mut rng);
+
+    // Derived block length: one structural branch per block.
+    let block_len = ((1.0 / profile.frac_branch).round() as usize).saturating_sub(1).max(1);
+
+    let mut gen = InstGen::new(profile, mem_ids);
+
+    // Function bodies first; remember entries.
+    let mut func_entries = Vec::new();
+    for _ in 0..profile.functions {
+        func_entries.push(build_function(&mut b, profile, block_len, &mut gen, &mut rng));
+    }
+
+    // Dispatcher: c0 -> c1 -> ... -> c_{F-1} -> backedge to c0.
+    // Block c_i ends in a Call to function i; its fallthrough (the return
+    // target) is c_{i+1}.
+    let dispatch_behavior = b.add_branch_behavior(BranchBehavior::Loop { trip: u32::MAX });
+    let call_blocks: Vec<_> = (0..func_entries.len())
+        .map(|_| {
+            let mut insts = gen.straight_line(2, &mut rng);
+            insts.push(Inst::call());
+            b.add_block(insts, None, None)
+        })
+        .collect();
+    let backedge_block = {
+        let mut insts = gen.straight_line(2, &mut rng);
+        insts.push(Inst::branch(Some(gen.recent_int()), dispatch_behavior));
+        b.add_block(insts, None, None)
+    };
+    let exit_block = b.add_block(vec![Inst::nop()], None, None);
+
+    for (i, &cb) in call_blocks.iter().enumerate() {
+        let ret_to = if i + 1 < call_blocks.len() {
+            call_blocks[i + 1]
+        } else {
+            backedge_block
+        };
+        b.set_edges(cb, Some(func_entries[i]), Some(ret_to));
+    }
+    b.set_edges(backedge_block, Some(call_blocks[0]), Some(exit_block));
+    b.set_entry(call_blocks[0]);
+
+    b.build().expect("generator produced an invalid program")
+}
+
+/// Registers the program's memory reference streams.
+fn build_mem_streams(
+    b: &mut ProgramBuilder,
+    profile: &WorkloadProfile,
+    rng: &mut SmallRng,
+) -> Vec<MemBehaviorId> {
+    let region = (profile.footprint / MEM_STREAMS as u64).max(64);
+    (0..MEM_STREAMS)
+        .map(|i| {
+            let base = 0x10_0000 + i as u64 * region;
+            let behavior = if rng.gen_bool(profile.stride_frac) {
+                // Small-footprint codes walk blocked tiles that stay cache
+                // resident after the first pass (loop blocking); large-
+                // footprint scientific codes genuinely stream.
+                // Tile sizes chosen so the union of all blocked tiles
+                // stays L1-resident: kernels with small footprints re-walk
+                // tiny tiles (tight DSP/linear-algebra blocks), mid-size
+                // codes use page-ish tiles, big scientific codes stream.
+                let tile = if profile.footprint <= 256 * 1024 {
+                    1_536
+                } else if profile.footprint <= MB {
+                    8 * 1024
+                } else {
+                    u64::MAX
+                };
+                MemBehavior::Stride {
+                    base,
+                    // 8- or 16-byte element walks: one L1 miss per 8 or 4
+                    // accesses while streaming (64-byte lines).
+                    stride: if rng.gen_bool(0.7) { 8 } else { 16 },
+                    footprint: region.min(tile),
+                }
+            } else if rng.gen_bool(profile.random_frac) {
+                // Low-locality stream: the profile's cache-hostility knob.
+                MemBehavior::Random {
+                    base,
+                    footprint: region,
+                }
+            } else {
+                // Stack/heap-like mixture: a small hot set that lives in L1
+                // plus occasional cold excursions over the region.
+                MemBehavior::HotCold {
+                    base,
+                    hot: (region / 64).clamp(64, 2_048),
+                    cold: region,
+                    hot_frac: 0.97,
+                }
+            };
+            b.add_mem_behavior(behavior)
+        })
+        .collect()
+}
+
+/// Builds one function (inner loop over a chain of blocks, then `ret`);
+/// returns the entry block id.
+fn build_function(
+    b: &mut ProgramBuilder,
+    profile: &WorkloadProfile,
+    block_len: usize,
+    gen: &mut InstGen,
+    rng: &mut SmallRng,
+) -> gals_isa::BlockId {
+    // Trip count around the profile mean (x0.5 .. x2).
+    let trip = (profile.loop_trip as f64 * rng.gen_range(0.5..2.0)).round().max(2.0) as u32;
+    let backedge = b.add_branch_behavior(BranchBehavior::Loop { trip });
+
+    let bodies: Vec<_> = (0..BLOCKS_PER_LOOP)
+        .map(|i| {
+            // Later blocks get slightly shorter bodies so skipping an
+            // if-diamond changes path length (realistic control variance).
+            let len = if i == 0 { block_len } else { block_len.max(2) - 1 };
+            let mut insts = gen.straight_line(len, rng);
+            let cond_src = Some(gen.recent_int());
+            let branch = if i == BLOCKS_PER_LOOP - 1 {
+                Inst::branch(cond_src, backedge)
+            } else {
+                let beh = if rng.gen_bool(profile.branch_bias) {
+                    // Strongly biased: mostly taken or mostly not-taken.
+                    let p = if rng.gen_bool(0.5) { rng.gen_range(0.02..0.12) } else { rng.gen_range(0.88..0.98) };
+                    BranchBehavior::TakenProb(p)
+                } else {
+                    BranchBehavior::TakenProb(rng.gen_range(0.35..0.65))
+                };
+                let id = b.add_branch_behavior(beh);
+                Inst::branch(cond_src, id)
+            };
+            insts.push(branch);
+            b.add_block(insts, None, None)
+        })
+        .collect();
+    let exit = b.add_block(vec![Inst::ret()], None, None);
+
+    for i in 0..BLOCKS_PER_LOOP {
+        let (taken, fall);
+        if i == BLOCKS_PER_LOOP - 1 {
+            taken = bodies[0]; // loop back-edge
+            fall = exit;
+        } else {
+            // If-diamond: taken skips the next block.
+            taken = bodies[(i + 2).min(BLOCKS_PER_LOOP - 1)];
+            fall = bodies[i + 1];
+        }
+        b.set_edges(bodies[i], Some(taken), Some(fall));
+    }
+    bodies[0]
+}
+
+/// Stateful instruction sampler: keeps register rings and recent-writer
+/// lists so dependences have the profile's mean distance.
+struct InstGen {
+    frac_load: f64,
+    frac_store: f64,
+    frac_fp: f64,
+    frac_mul: f64,
+    frac_div: f64,
+    fp_load_frac: f64,
+    dep_distance: u32,
+    mem_ids: Vec<MemBehaviorId>,
+    int_ring: u8,
+    fp_ring: u8,
+    recent_int: Vec<ArchReg>,
+    recent_fp: Vec<ArchReg>,
+    mem_cursor: usize,
+}
+
+impl InstGen {
+    fn new(profile: &WorkloadProfile, mem_ids: Vec<MemBehaviorId>) -> Self {
+        // Renormalise the mix over non-branch instructions.
+        let non_branch = 1.0 - profile.frac_branch;
+        InstGen {
+            frac_load: profile.frac_load / non_branch,
+            frac_store: profile.frac_store / non_branch,
+            frac_fp: profile.frac_fp / non_branch,
+            frac_mul: profile.frac_int_mul / non_branch,
+            frac_div: profile.frac_int_div / non_branch,
+            fp_load_frac: if profile.frac_fp > 0.0 { 0.5 } else { 0.0 },
+            dep_distance: profile.dep_distance,
+            mem_ids,
+            int_ring: 0,
+            fp_ring: 0,
+            recent_int: vec![ArchReg::int(RING_BASE)],
+            recent_fp: vec![ArchReg::fp(RING_BASE)],
+            mem_cursor: 0,
+        }
+    }
+
+    fn next_int_dst(&mut self) -> ArchReg {
+        let r = ArchReg::int(RING_BASE + self.int_ring);
+        self.int_ring = (self.int_ring + 1) % RING_LEN;
+        self.recent_int.push(r);
+        if self.recent_int.len() > 32 {
+            self.recent_int.remove(0);
+        }
+        r
+    }
+
+    fn next_fp_dst(&mut self) -> ArchReg {
+        let r = ArchReg::fp(RING_BASE + self.fp_ring);
+        self.fp_ring = (self.fp_ring + 1) % RING_LEN;
+        self.recent_fp.push(r);
+        if self.recent_fp.len() > 32 {
+            self.recent_fp.remove(0);
+        }
+        r
+    }
+
+    fn recent_int(&self) -> ArchReg {
+        *self.recent_int.last().expect("seeded non-empty")
+    }
+
+    fn pick_src(&self, fp: bool, rng: &mut SmallRng) -> ArchReg {
+        let pool = if fp { &self.recent_fp } else { &self.recent_int };
+        let d = rng.gen_range(1..=self.dep_distance as usize);
+        let idx = pool.len().saturating_sub(d).min(pool.len() - 1);
+        pool[idx]
+    }
+
+    fn next_mem(&mut self) -> MemBehaviorId {
+        let id = self.mem_ids[self.mem_cursor % self.mem_ids.len()];
+        self.mem_cursor += 1;
+        id
+    }
+
+    /// Samples `len` non-branch instructions.
+    fn straight_line(&mut self, len: usize, rng: &mut SmallRng) -> Vec<Inst> {
+        (0..len).map(|_| self.sample(rng)).collect()
+    }
+
+    fn sample(&mut self, rng: &mut SmallRng) -> Inst {
+        let x: f64 = rng.gen();
+        let mut acc = self.frac_load;
+        if x < acc {
+            let fp_dst = rng.gen_bool(self.fp_load_frac);
+            let addr_src = Some(self.pick_src(false, rng));
+            let mem = self.next_mem();
+            let dst = if fp_dst { self.next_fp_dst() } else { self.next_int_dst() };
+            return Inst::load(dst, addr_src, mem);
+        }
+        acc += self.frac_store;
+        if x < acc {
+            let data_fp = rng.gen_bool(self.fp_load_frac);
+            let data = Some(self.pick_src(data_fp, rng));
+            let addr = Some(self.pick_src(false, rng));
+            let mem = self.next_mem();
+            // Stores carry the int address dependence as src1 and data as src2.
+            return Inst::store(data, addr, mem);
+        }
+        acc += self.frac_fp;
+        if x < acc {
+            let op = match rng.gen_range(0..10) {
+                0..=4 => OpClass::FpAdd,
+                5..=8 => OpClass::FpMul,
+                _ => OpClass::FpDiv,
+            };
+            let s1 = Some(self.pick_src(true, rng));
+            let s2 = Some(self.pick_src(true, rng));
+            let dst = self.next_fp_dst();
+            return Inst::alu(op, dst, s1, s2);
+        }
+        acc += self.frac_mul;
+        if x < acc {
+            let s1 = Some(self.pick_src(false, rng));
+            let s2 = Some(self.pick_src(false, rng));
+            let dst = self.next_int_dst();
+            return Inst::alu(OpClass::IntMul, dst, s1, s2);
+        }
+        acc += self.frac_div;
+        if x < acc {
+            let s1 = Some(self.pick_src(false, rng));
+            let s2 = Some(self.pick_src(false, rng));
+            let dst = self.next_int_dst();
+            return Inst::alu(OpClass::IntDiv, dst, s1, s2);
+        }
+        let s1 = Some(self.pick_src(false, rng));
+        let s2 = if rng.gen_bool(0.5) { Some(self.pick_src(false, rng)) } else { None };
+        let dst = self.next_int_dst();
+        Inst::alu(OpClass::IntAlu, dst, s1, s2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gals_isa::DynStream;
+    use std::collections::HashMap;
+
+    fn dynamic_mix(bench: Benchmark, n: usize) -> HashMap<&'static str, f64> {
+        let p = generate(bench, 7);
+        let mut counts: HashMap<&'static str, u64> = HashMap::new();
+        let mut total = 0u64;
+        for d in DynStream::new(&p).take(n) {
+            let key = match d.op {
+                OpClass::Load => "load",
+                OpClass::Store => "store",
+                OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => "fp",
+                OpClass::BranchCond => "branch",
+                OpClass::Call | OpClass::Ret | OpClass::Jump => "ctl",
+                _ => "int",
+            };
+            *counts.entry(key).or_default() += 1;
+            total += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(k, v)| (k, v as f64 / total as f64))
+            .collect()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(Benchmark::Gcc, 3);
+        let b = generate(Benchmark::Gcc, 3);
+        assert_eq!(a.static_inst_count(), b.static_inst_count());
+        let sa: Vec<_> = DynStream::new(&a).take(5_000).map(|d| (d.pc, d.taken)).collect();
+        let sb: Vec<_> = DynStream::new(&b).take(5_000).map(|d| (d.pc, d.taken)).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(Benchmark::Gcc, 3);
+        let b = generate(Benchmark::Gcc, 4);
+        let sa: Vec<_> = DynStream::new(&a).take(2_000).map(|d| d.pc).collect();
+        let sb: Vec<_> = DynStream::new(&b).take(2_000).map(|d| d.pc).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn gcc_dynamic_mix_tracks_profile() {
+        let mix = dynamic_mix(Benchmark::Gcc, 60_000);
+        let p = Benchmark::Gcc.profile();
+        let branch = mix.get("branch").copied().unwrap_or(0.0);
+        let load = mix.get("load").copied().unwrap_or(0.0);
+        assert!(
+            (branch - p.frac_branch).abs() < 0.05,
+            "branch fraction {branch} vs profile {}",
+            p.frac_branch
+        );
+        assert!(
+            (load - p.frac_load).abs() < 0.06,
+            "load fraction {load} vs profile {}",
+            p.frac_load
+        );
+        let fp = mix.get("fp").copied().unwrap_or(0.0);
+        assert!(fp < 0.03, "gcc fp fraction {fp} should be token-sized");
+    }
+
+    #[test]
+    fn fpppp_is_branch_poor_and_fp_rich() {
+        let mix = dynamic_mix(Benchmark::Fpppp, 60_000);
+        let branch = mix.get("branch").copied().unwrap_or(0.0) + mix.get("ctl").copied().unwrap_or(0.0);
+        assert!(branch < 0.03, "fpppp branch fraction {branch}");
+        let fp = mix.get("fp").copied().unwrap_or(0.0);
+        assert!(fp > 0.35, "fpppp fp fraction {fp}");
+    }
+
+    #[test]
+    fn ijpeg_memory_fraction_is_low() {
+        let mix = dynamic_mix(Benchmark::Ijpeg, 60_000);
+        let mem = mix.get("load").copied().unwrap_or(0.0) + mix.get("store").copied().unwrap_or(0.0);
+        assert!(mem < 0.18, "ijpeg memory fraction {mem}");
+    }
+
+    #[test]
+    fn streams_run_far_without_exiting() {
+        for bench in Benchmark::ALL {
+            let p = generate(bench, 11);
+            let n = DynStream::new(&p).take(200_000).count();
+            assert_eq!(n, 200_000, "{bench} exited early");
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_generate_valid_programs() {
+        for bench in Benchmark::ALL {
+            let p = generate(bench, 1);
+            assert!(p.block_count() > 5, "{bench}");
+            assert!(p.static_inst_count() > 20, "{bench}");
+        }
+    }
+}

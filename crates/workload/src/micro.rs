@@ -1,0 +1,239 @@
+//! Hand-written microbenchmark kernels for tests, examples and calibration.
+
+use gals_isa::{
+    ArchReg, BranchBehavior, Inst, MemBehavior, OpClass, Program, ProgramBuilder,
+};
+
+/// A tight counted loop of `body_len` independent integer ALU operations per
+/// iteration — the simplest possible IPC probe.
+///
+/// # Examples
+///
+/// ```
+/// use gals_workload::micro;
+/// use gals_isa::DynStream;
+///
+/// let p = micro::alu_loop(100, 4);
+/// // 4 ALU + 1 branch per trip, plus the final exit nop.
+/// assert_eq!(DynStream::new(&p).count(), 100 * 5 + 1);
+/// ```
+pub fn alu_loop(trips: u32, body_len: usize) -> Program {
+    assert!(trips >= 2 && body_len >= 1);
+    let mut b = ProgramBuilder::new(1);
+    let beh = b.add_branch_behavior(BranchBehavior::Loop { trip: trips });
+    let mut insts = Vec::with_capacity(body_len + 1);
+    for i in 0..body_len {
+        // Independent chains: r8..r15 round-robin, no cross dependences.
+        let r = ArchReg::int(8 + (i % 8) as u8);
+        insts.push(Inst::alu(OpClass::IntAlu, r, Some(r), None));
+    }
+    insts.push(Inst::branch(Some(ArchReg::int(8)), beh));
+    let blk = b.add_block(insts, None, None);
+    let exit = b.add_block(vec![Inst::nop()], None, None);
+    b.set_edges(blk, Some(blk), Some(exit));
+    b.build().expect("alu_loop is structurally valid")
+}
+
+/// A serial dependency chain: every ALU op reads the previous one's result.
+/// IPC approaches 1 regardless of width — exposes forwarding latency.
+pub fn dependency_chain(trips: u32, body_len: usize) -> Program {
+    assert!(trips >= 2 && body_len >= 1);
+    let mut b = ProgramBuilder::new(2);
+    let beh = b.add_branch_behavior(BranchBehavior::Loop { trip: trips });
+    let r = ArchReg::int(9);
+    let mut insts = Vec::with_capacity(body_len + 1);
+    for _ in 0..body_len {
+        insts.push(Inst::alu(OpClass::IntAlu, r, Some(r), None));
+    }
+    insts.push(Inst::branch(Some(r), beh));
+    let blk = b.add_block(insts, None, None);
+    let exit = b.add_block(vec![Inst::nop()], None, None);
+    b.set_edges(blk, Some(blk), Some(exit));
+    b.build().expect("dependency_chain is structurally valid")
+}
+
+/// A streaming-load loop walking `footprint` bytes with 64-byte stride —
+/// exercises L1/L2/memory according to the footprint.
+pub fn stream_loads(trips: u32, footprint: u64) -> Program {
+    assert!(trips >= 2 && footprint >= 64);
+    let mut b = ProgramBuilder::new(3);
+    let beh = b.add_branch_behavior(BranchBehavior::Loop { trip: trips });
+    let mem = b.add_mem_behavior(MemBehavior::Stride {
+        base: 0x2000_0000,
+        stride: 64,
+        footprint,
+    });
+    let blk = b.add_block(
+        vec![
+            Inst::load(ArchReg::int(10), Some(ArchReg::int(11)), mem),
+            Inst::alu(OpClass::IntAlu, ArchReg::int(11), Some(ArchReg::int(10)), None),
+            Inst::branch(Some(ArchReg::int(11)), beh),
+        ],
+        None,
+        None,
+    );
+    let exit = b.add_block(vec![Inst::nop()], None, None);
+    b.set_edges(blk, Some(blk), Some(exit));
+    b.build().expect("stream_loads is structurally valid")
+}
+
+/// A loop whose single if-branch is taken with probability 0.5 — a
+/// worst-case branch predictor workload for misprediction experiments.
+pub fn random_branches(trips: u32) -> Program {
+    assert!(trips >= 2);
+    let mut b = ProgramBuilder::new(4);
+    let backedge = b.add_branch_behavior(BranchBehavior::Loop { trip: trips });
+    let coin = b.add_branch_behavior(BranchBehavior::TakenProb(0.5));
+    // b0: work + coin-flip branch; taken -> b2 (skip b1).
+    let b0 = b.add_block(
+        vec![
+            Inst::alu(OpClass::IntAlu, ArchReg::int(8), Some(ArchReg::int(8)), None),
+            Inst::branch(Some(ArchReg::int(8)), coin),
+        ],
+        None,
+        None,
+    );
+    let b1 = b.add_block(
+        vec![Inst::alu(OpClass::IntAlu, ArchReg::int(9), Some(ArchReg::int(9)), None)],
+        None,
+        None,
+    );
+    let b2 = b.add_block(
+        vec![
+            Inst::alu(OpClass::IntAlu, ArchReg::int(10), Some(ArchReg::int(10)), None),
+            Inst::branch(Some(ArchReg::int(10)), backedge),
+        ],
+        None,
+        None,
+    );
+    let exit = b.add_block(vec![Inst::nop()], None, None);
+    b.set_edges(b0, Some(b2), Some(b1));
+    b.set_edges(b1, None, Some(b2));
+    b.set_edges(b2, Some(b0), Some(exit));
+    b.build().expect("random_branches is structurally valid")
+}
+
+/// A mixed int/FP loop where FP results feed integer stores — creates
+/// cross-cluster (domain 3 <-> 4 <-> 5) forwarding traffic, the paper's key
+/// GALS overhead.
+pub fn cross_cluster(trips: u32) -> Program {
+    assert!(trips >= 2);
+    let mut b = ProgramBuilder::new(5);
+    let beh = b.add_branch_behavior(BranchBehavior::Loop { trip: trips });
+    let loads = b.add_mem_behavior(MemBehavior::Stride {
+        base: 0x3000_0000,
+        stride: 8,
+        footprint: 8 * 1024,
+    });
+    // Stores write the word the *next* iteration's load reads, so the load
+    // usually finds the store still pending and forwards from the buffer.
+    let stores = b.add_mem_behavior(MemBehavior::Stride {
+        base: 0x3000_0008,
+        stride: 8,
+        footprint: 8 * 1024,
+    });
+    let blk = b.add_block(
+        vec![
+            // load -> fp -> fp -> store chain crossing mem/fp domains.
+            Inst::load(ArchReg::fp(8), Some(ArchReg::int(8)), loads),
+            Inst::alu(OpClass::FpMul, ArchReg::fp(9), Some(ArchReg::fp(8)), Some(ArchReg::fp(9))),
+            Inst::alu(OpClass::FpAdd, ArchReg::fp(10), Some(ArchReg::fp(9)), None),
+            Inst::store(Some(ArchReg::fp(10)), Some(ArchReg::int(8)), stores),
+            Inst::alu(OpClass::IntAlu, ArchReg::int(8), Some(ArchReg::int(8)), None),
+            Inst::branch(Some(ArchReg::int(8)), beh),
+        ],
+        None,
+        None,
+    );
+    let exit = b.add_block(vec![Inst::nop()], None, None);
+    b.set_edges(blk, Some(blk), Some(exit));
+    b.build().expect("cross_cluster is structurally valid")
+}
+
+/// A loop in which every iteration stores a ready value and then loads the
+/// same word back through a slow address dependence — the store is always
+/// pending when the load issues, so the load forwards from the store
+/// buffer.
+pub fn store_forward(trips: u32) -> Program {
+    assert!(trips >= 2);
+    let mut b = ProgramBuilder::new(6);
+    let beh = b.add_branch_behavior(BranchBehavior::Loop { trip: trips });
+    let stream = b.add_mem_behavior(MemBehavior::Stride {
+        base: 0x4000_0000,
+        stride: 8,
+        footprint: 4 * 1024,
+    });
+    // The load shares the store's address stream (identical behaviour =>
+    // identical n-th address). A 20-cycle divide *older* than the store
+    // holds up in-order commit, so the store is still buffered (not yet
+    // drained to the cache) when the load issues right behind it.
+    let same_stream = b.add_mem_behavior(MemBehavior::Stride {
+        base: 0x4000_0000,
+        stride: 8,
+        footprint: 4 * 1024,
+    });
+    let blk = b.add_block(
+        vec![
+            Inst::alu(OpClass::IntDiv, ArchReg::int(12), Some(ArchReg::int(12)), None),
+            Inst::store(Some(ArchReg::int(8)), Some(ArchReg::int(8)), stream),
+            Inst::load(ArchReg::int(11), Some(ArchReg::int(8)), same_stream),
+            Inst::alu(OpClass::IntAlu, ArchReg::int(8), Some(ArchReg::int(8)), None),
+            Inst::branch(Some(ArchReg::int(8)), beh),
+        ],
+        None,
+        None,
+    );
+    let exit = b.add_block(vec![Inst::nop()], None, None);
+    b.set_edges(blk, Some(blk), Some(exit));
+    b.build().expect("store_forward is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gals_isa::DynStream;
+
+    #[test]
+    fn alu_loop_length() {
+        let p = alu_loop(10, 3);
+        assert_eq!(DynStream::new(&p).count(), 10 * 4 + 1);
+    }
+
+    #[test]
+    fn dependency_chain_is_serial() {
+        let p = dependency_chain(5, 4);
+        let insts: Vec<_> = DynStream::new(&p).collect();
+        assert_eq!(insts.len(), 26); // 5 trips x 5 insts + exit nop
+    }
+
+    #[test]
+    fn stream_loads_walks_memory() {
+        let p = stream_loads(10, 1 << 20);
+        let addrs: Vec<u64> = DynStream::new(&p).filter_map(|d| d.mem_addr).collect();
+        assert_eq!(addrs.len(), 10);
+        assert_eq!(addrs[1] - addrs[0], 64);
+    }
+
+    #[test]
+    fn random_branches_flip_roughly_evenly() {
+        let p = random_branches(2_000);
+        let outcomes: Vec<bool> = DynStream::new(&p)
+            .filter(|d| d.op == gals_isa::OpClass::BranchCond && d.pc == 4)
+            .map(|d| d.taken)
+            .collect();
+        let taken = outcomes.iter().filter(|&&t| t).count() as f64 / outcomes.len() as f64;
+        assert!((0.42..0.58).contains(&taken), "taken rate {taken}");
+    }
+
+    #[test]
+    fn cross_cluster_touches_three_clusters() {
+        use gals_isa::Cluster;
+        let p = cross_cluster(5);
+        let clusters: std::collections::HashSet<Cluster> = DynStream::new(&p)
+            .map(|d| d.op.cluster())
+            .collect();
+        assert!(clusters.contains(&Cluster::Int));
+        assert!(clusters.contains(&Cluster::Fp));
+        assert!(clusters.contains(&Cluster::Mem));
+    }
+}

@@ -1,0 +1,492 @@
+//! Workload profiles: statistical descriptions of the paper's benchmarks.
+//!
+//! The paper evaluates on SPEC95 and MediaBench binaries. Those binaries
+//! (and a SimpleScalar/Alpha toolchain to run them) are not available here,
+//! so each benchmark is replaced by a *profile* — the dynamic-stream
+//! statistics that drive every effect the paper measures — from which
+//! `generate` synthesises a concrete program. The characteristics the paper
+//! itself calls out are encoded directly:
+//!
+//! * *fpppp*: "exceptionally small proportion of branch instructions; on an
+//!   average only one in every 67 instructions is a branch" (most other
+//!   applications: one in five to six);
+//! * *perl*: "virtually no floating-point instructions";
+//! * *ijpeg*: "a very low proportion of memory accesses";
+//! * *gcc*: "the instruction bandwidth of this benchmark is also low".
+
+use std::fmt;
+
+/// Benchmark suite of origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC95 integer.
+    Spec95Int,
+    /// SPEC95 floating point.
+    Spec95Fp,
+    /// MediaBench.
+    MediaBench,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Suite::Spec95Int => write!(f, "SPEC95 int"),
+            Suite::Spec95Fp => write!(f, "SPEC95 fp"),
+            Suite::MediaBench => write!(f, "MediaBench"),
+        }
+    }
+}
+
+/// The benchmarks used as workload stand-ins (paper section 5: "a set of
+/// benchmarks taken from the Spec95 and the Mediabench benchmark suites").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    Gcc,
+    Perl,
+    Ijpeg,
+    Compress,
+    Go,
+    Li,
+    Fpppp,
+    Swim,
+    Applu,
+    Mpeg2,
+    Adpcm,
+    Epic,
+}
+
+impl Benchmark {
+    /// All benchmarks, integer suite first.
+    pub const ALL: [Benchmark; 12] = [
+        Benchmark::Gcc,
+        Benchmark::Perl,
+        Benchmark::Ijpeg,
+        Benchmark::Compress,
+        Benchmark::Go,
+        Benchmark::Li,
+        Benchmark::Fpppp,
+        Benchmark::Swim,
+        Benchmark::Applu,
+        Benchmark::Mpeg2,
+        Benchmark::Adpcm,
+        Benchmark::Epic,
+    ];
+
+    /// Lower-case display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Gcc => "gcc",
+            Benchmark::Perl => "perl",
+            Benchmark::Ijpeg => "ijpeg",
+            Benchmark::Compress => "compress",
+            Benchmark::Go => "go",
+            Benchmark::Li => "li",
+            Benchmark::Fpppp => "fpppp",
+            Benchmark::Swim => "swim",
+            Benchmark::Applu => "applu",
+            Benchmark::Mpeg2 => "mpeg2",
+            Benchmark::Adpcm => "adpcm",
+            Benchmark::Epic => "epic",
+        }
+    }
+
+    /// Suite of origin.
+    pub fn suite(self) -> Suite {
+        match self {
+            Benchmark::Gcc
+            | Benchmark::Perl
+            | Benchmark::Ijpeg
+            | Benchmark::Compress
+            | Benchmark::Go
+            | Benchmark::Li => Suite::Spec95Int,
+            Benchmark::Fpppp | Benchmark::Swim | Benchmark::Applu => Suite::Spec95Fp,
+            Benchmark::Mpeg2 | Benchmark::Adpcm | Benchmark::Epic => Suite::MediaBench,
+        }
+    }
+
+    /// True for the integer benchmarks (the population the paper's Figure 8
+    /// misspeculation numbers average over).
+    pub fn is_integer(self) -> bool {
+        self.suite() == Suite::Spec95Int
+    }
+
+    /// The workload profile of this benchmark.
+    pub fn profile(self) -> WorkloadProfile {
+        profile_of(self)
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Statistical description of a dynamic instruction stream, sufficient to
+/// synthesise a program exercising the same microarchitectural behaviour.
+///
+/// Fractions are of the *dynamic* instruction stream and must satisfy
+/// `frac_branch + frac_load + frac_store + frac_fp + frac_int_mul +
+/// frac_int_div <= 1` (the remainder is single-cycle integer ALU work).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Display name.
+    pub name: &'static str,
+    /// Fraction of conditional branches (including loop back-edges).
+    pub frac_branch: f64,
+    /// Fraction of loads.
+    pub frac_load: f64,
+    /// Fraction of stores.
+    pub frac_store: f64,
+    /// Fraction of FP operations (split internally add/mul/div).
+    pub frac_fp: f64,
+    /// Fraction of integer multiplies.
+    pub frac_int_mul: f64,
+    /// Fraction of integer divides.
+    pub frac_int_div: f64,
+    /// Fraction of non-loop branches that are strongly biased (easy to
+    /// predict); the rest are data-dependent with taken probabilities near
+    /// 0.5.
+    pub branch_bias: f64,
+    /// Mean trip count of inner loops.
+    pub loop_trip: u32,
+    /// Total data footprint in bytes (sets cache behaviour against the
+    /// 16 KB L1 / 256 KB L2 hierarchy).
+    pub footprint: u64,
+    /// Fraction of memory reference streams that walk sequentially (the
+    /// rest are hot/cold mixtures or uniform random within the footprint).
+    pub stride_frac: f64,
+    /// Among non-streaming references, the probability of a *low-locality*
+    /// uniform-random stream (the cache-hostility knob; the rest are
+    /// L1-friendly hot/cold mixtures).
+    pub random_frac: f64,
+    /// Mean register dependence distance (in instructions) between a value's
+    /// producer and its consumers; small values serialise, large values
+    /// expose ILP.
+    pub dep_distance: u32,
+    /// Number of call-connected functions in the synthesised program.
+    pub functions: u32,
+}
+
+impl WorkloadProfile {
+    /// Validates fraction arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let fracs = [
+            self.frac_branch,
+            self.frac_load,
+            self.frac_store,
+            self.frac_fp,
+            self.frac_int_mul,
+            self.frac_int_div,
+            self.branch_bias,
+            self.stride_frac,
+            self.random_frac,
+        ];
+        if fracs.iter().any(|f| !(0.0..=1.0).contains(f)) {
+            return Err(format!("{}: a fraction is outside [0,1]", self.name));
+        }
+        let sum = self.frac_branch
+            + self.frac_load
+            + self.frac_store
+            + self.frac_fp
+            + self.frac_int_mul
+            + self.frac_int_div;
+        if sum > 1.0 {
+            return Err(format!("{}: instruction mix sums to {sum} > 1", self.name));
+        }
+        if self.frac_branch <= 0.0 {
+            return Err(format!("{}: programs need branches to loop", self.name));
+        }
+        if self.loop_trip < 2 {
+            return Err(format!("{}: loop trip must be at least 2", self.name));
+        }
+        if self.footprint == 0 || self.functions == 0 || self.dep_distance == 0 {
+            return Err(format!("{}: zero structural parameter", self.name));
+        }
+        Ok(())
+    }
+
+    /// Fraction of memory operations in the stream.
+    pub fn frac_mem(&self) -> f64 {
+        self.frac_load + self.frac_store
+    }
+}
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+fn profile_of(b: Benchmark) -> WorkloadProfile {
+    match b {
+        // One branch per ~5 instructions, no FP, moderate predictability,
+        // big instruction working set: the classic hard integer benchmark.
+        Benchmark::Gcc => WorkloadProfile {
+            name: "gcc",
+            frac_branch: 0.19,
+            frac_load: 0.23,
+            frac_store: 0.11,
+            frac_fp: 0.01,
+            frac_int_mul: 0.01,
+            frac_int_div: 0.0,
+            branch_bias: 0.93,
+            loop_trip: 12,
+            footprint: 768 * KB,
+            stride_frac: 0.3,
+            random_frac: 0.06,
+            dep_distance: 8,
+            functions: 10,
+        },
+        Benchmark::Perl => WorkloadProfile {
+            name: "perl",
+            frac_branch: 0.20,
+            frac_load: 0.24,
+            frac_store: 0.12,
+            frac_fp: 0.005,
+            frac_int_mul: 0.01,
+            frac_int_div: 0.001,
+            branch_bias: 0.93,
+            loop_trip: 12,
+            footprint: 512 * KB,
+            stride_frac: 0.35,
+            random_frac: 0.06,
+            dep_distance: 8,
+            functions: 8,
+        },
+        // "Very low proportion of memory accesses": DCT-style compute.
+        Benchmark::Ijpeg => WorkloadProfile {
+            name: "ijpeg",
+            frac_branch: 0.11,
+            frac_load: 0.09,
+            frac_store: 0.04,
+            frac_fp: 0.04,
+            frac_int_mul: 0.06,
+            frac_int_div: 0.002,
+            branch_bias: 0.95,
+            loop_trip: 32,
+            footprint: 192 * KB,
+            stride_frac: 0.8,
+            random_frac: 0.05,
+            dep_distance: 10,
+            functions: 6,
+        },
+        Benchmark::Compress => WorkloadProfile {
+            name: "compress",
+            frac_branch: 0.16,
+            frac_load: 0.26,
+            frac_store: 0.10,
+            frac_fp: 0.0,
+            frac_int_mul: 0.005,
+            frac_int_div: 0.0,
+            branch_bias: 0.88,
+            loop_trip: 16,
+            footprint: MB, // hash tables: low locality
+            stride_frac: 0.15,
+            random_frac: 0.25,
+            dep_distance: 6,
+            functions: 4,
+        },
+        Benchmark::Go => WorkloadProfile {
+            name: "go",
+            frac_branch: 0.19,
+            frac_load: 0.21,
+            frac_store: 0.08,
+            frac_fp: 0.0,
+            frac_int_mul: 0.005,
+            frac_int_div: 0.0,
+            branch_bias: 0.85, // notoriously unpredictable
+            loop_trip: 8,
+            footprint: 384 * KB,
+            stride_frac: 0.2,
+            random_frac: 0.08,
+            dep_distance: 8,
+            functions: 12,
+        },
+        Benchmark::Li => WorkloadProfile {
+            name: "li",
+            frac_branch: 0.19,
+            frac_load: 0.27, // pointer chasing
+            frac_store: 0.11,
+            frac_fp: 0.0,
+            frac_int_mul: 0.0,
+            frac_int_div: 0.0,
+            branch_bias: 0.93,
+            loop_trip: 12,
+            footprint: 384 * KB,
+            stride_frac: 0.15,
+            random_frac: 0.08,
+            dep_distance: 6,
+            functions: 8,
+        },
+        // "Only one in every 67 instructions is a branch."
+        Benchmark::Fpppp => WorkloadProfile {
+            name: "fpppp",
+            frac_branch: 0.015,
+            frac_load: 0.26,
+            frac_store: 0.11,
+            frac_fp: 0.46,
+            frac_int_mul: 0.0,
+            frac_int_div: 0.0,
+            branch_bias: 0.97,
+            loop_trip: 40,
+            footprint: 256 * KB,
+            stride_frac: 0.85,
+            random_frac: 0.0,
+            dep_distance: 14,
+            functions: 3,
+        },
+        Benchmark::Swim => WorkloadProfile {
+            name: "swim",
+            frac_branch: 0.03,
+            frac_load: 0.30,
+            frac_store: 0.14,
+            frac_fp: 0.42,
+            frac_int_mul: 0.0,
+            frac_int_div: 0.0,
+            branch_bias: 0.97,
+            loop_trip: 64,
+            footprint: 2 * MB, // streams through L2
+            stride_frac: 0.95,
+            random_frac: 0.0,
+            dep_distance: 14,
+            functions: 3,
+        },
+        Benchmark::Applu => WorkloadProfile {
+            name: "applu",
+            frac_branch: 0.04,
+            frac_load: 0.28,
+            frac_store: 0.12,
+            frac_fp: 0.40,
+            frac_int_mul: 0.0,
+            frac_int_div: 0.004,
+            branch_bias: 0.95,
+            loop_trip: 32,
+            footprint: 1536 * KB,
+            stride_frac: 0.9,
+            random_frac: 0.05,
+            dep_distance: 12,
+            functions: 4,
+        },
+        Benchmark::Mpeg2 => WorkloadProfile {
+            name: "mpeg2",
+            frac_branch: 0.10,
+            frac_load: 0.24,
+            frac_store: 0.07,
+            frac_fp: 0.08,
+            frac_int_mul: 0.05,
+            frac_int_div: 0.0,
+            branch_bias: 0.93,
+            loop_trip: 24,
+            footprint: 768 * KB,
+            stride_frac: 0.85,
+            random_frac: 0.05,
+            dep_distance: 10,
+            functions: 5,
+        },
+        Benchmark::Adpcm => WorkloadProfile {
+            name: "adpcm",
+            frac_branch: 0.21,
+            frac_load: 0.11,
+            frac_store: 0.05,
+            frac_fp: 0.0,
+            frac_int_mul: 0.01,
+            frac_int_div: 0.0,
+            branch_bias: 0.90,
+            loop_trip: 24,
+            footprint: 16 * KB, // tiny kernel: everything hits in L1
+            stride_frac: 0.9,
+            random_frac: 0.0,
+            dep_distance: 6,
+            functions: 2,
+        },
+        Benchmark::Epic => WorkloadProfile {
+            name: "epic",
+            frac_branch: 0.10,
+            frac_load: 0.26,
+            frac_store: 0.09,
+            frac_fp: 0.06,
+            frac_int_mul: 0.04,
+            frac_int_div: 0.0,
+            branch_bias: 0.92,
+            loop_trip: 24,
+            footprint: 384 * KB,
+            stride_frac: 0.8,
+            random_frac: 0.05,
+            dep_distance: 10,
+            functions: 4,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        for b in Benchmark::ALL {
+            b.profile().validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn fpppp_matches_the_papers_branch_density() {
+        // "Only one in every 67 instructions is a branch."
+        let p = Benchmark::Fpppp.profile();
+        let per_branch = 1.0 / p.frac_branch;
+        assert!((60.0..75.0).contains(&per_branch), "1 branch per {per_branch}");
+        // Everyone else: roughly one per five or six.
+        for b in [Benchmark::Gcc, Benchmark::Perl, Benchmark::Go, Benchmark::Li] {
+            let f = b.profile().frac_branch;
+            assert!((0.15..0.25).contains(&f), "{b}: branch fraction {f}");
+        }
+    }
+
+    #[test]
+    fn perl_and_gcc_have_virtually_no_fp() {
+        // "Virtually no floating-point instructions" (paper, perl): at most
+        // a token amount, so the FP-clock experiments of Figures 11/13 can
+        // distinguish 2x from 3x slowdowns without costing performance.
+        assert!(Benchmark::Perl.profile().frac_fp <= 0.01);
+        assert!(Benchmark::Gcc.profile().frac_fp <= 0.01);
+        assert!(Benchmark::Fpppp.profile().frac_fp > 0.4);
+    }
+
+    #[test]
+    fn ijpeg_memory_traffic_is_low() {
+        let ij = Benchmark::Ijpeg.profile().frac_mem();
+        for other in [Benchmark::Gcc, Benchmark::Compress, Benchmark::Li] {
+            assert!(
+                ij < other.profile().frac_mem() / 2.0,
+                "ijpeg ({ij}) vs {other}"
+            );
+        }
+    }
+
+    #[test]
+    fn suites_partition_benchmarks() {
+        assert_eq!(
+            Benchmark::ALL.iter().filter(|b| b.is_integer()).count(),
+            6
+        );
+        assert_eq!(Benchmark::Fpppp.suite(), Suite::Spec95Fp);
+        assert_eq!(Benchmark::Mpeg2.suite(), Suite::MediaBench);
+        assert_eq!(format!("{}", Suite::MediaBench), "MediaBench");
+    }
+
+    #[test]
+    fn validation_rejects_bad_mixes() {
+        let mut p = Benchmark::Gcc.profile();
+        p.frac_load = 0.9;
+        assert!(p.validate().is_err());
+        let mut p = Benchmark::Gcc.profile();
+        p.frac_branch = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = Benchmark::Gcc.profile();
+        p.loop_trip = 1;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! Application-driven DVFS, end to end: profile a workload on the plain
+//! GALS machine, let the [`DvfsAdvisor`] propose per-domain slowdowns from
+//! the profile, then measure the planned machine — the workflow the paper
+//! sketches as future work ("application-driven, multiple-domain dynamic
+//! clock/voltage scaling").
+//!
+//! ```sh
+//! cargo run --release --example adaptive_dvfs [benchmark]
+//! ```
+
+use gals::clocks::Domain;
+use gals::core::{simulate, DomainUtilisation, DvfsAdvisor, ProcessorConfig, SimLimits};
+use gals::workload::{generate, Benchmark};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gcc".to_string());
+    let bench = Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == name)
+        .unwrap_or(Benchmark::Gcc);
+
+    let program = generate(bench, 42);
+    let limits = SimLimits::insts(60_000);
+
+    // 1. Reference + profiling runs.
+    let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), limits);
+    let profile = simulate(&program, ProcessorConfig::gals_equal_1ghz(7), limits);
+
+    println!("profiling {bench} on the plain GALS machine:");
+    println!();
+    let util = DomainUtilisation::from_report(&profile);
+    for d in Domain::ALL {
+        let bar_len = (util.of(d) * 40.0).round() as usize;
+        println!(
+            "  {:<8} {:>5.1}%  {}",
+            d.to_string(),
+            100.0 * util.of(d),
+            "#".repeat(bar_len)
+        );
+    }
+
+    // 2. Plan.
+    let plan = DvfsAdvisor::new().recommend(&profile);
+    println!();
+    println!("advisor plan (slowdown factor, voltage tracking):");
+    for d in Domain::ALL {
+        let s = plan.slowdown[d.index()];
+        if s > 1.0 {
+            println!(
+                "  {:<8} {:>4.1}x slower, supply {:.2} V -> energy x{:.2}",
+                d.to_string(),
+                s,
+                plan.tech.vdd_for_slowdown(s),
+                plan.energy_factor(d)
+            );
+        }
+    }
+    if !plan.is_active() {
+        println!("  (no domain idle enough — run at nominal)");
+    }
+
+    // 3. Measure the planned machine.
+    let planned_cfg = ProcessorConfig::gals_equal_1ghz(7).with_dvfs(plan);
+    let planned = simulate(&program, planned_cfg, limits);
+
+    println!();
+    println!(
+        "{:<24} {:>12} {:>10} {:>10}",
+        "machine", "performance", "energy", "power"
+    );
+    for (label, r) in [("gals (equal clocks)", &profile), ("gals + advisor plan", &planned)] {
+        println!(
+            "{:<24} {:>11.1}% {:>10.3} {:>10.3}",
+            label,
+            100.0 * r.relative_performance(&base),
+            r.relative_energy(&base),
+            r.relative_power(&base)
+        );
+    }
+    println!();
+    println!("full report of the planned machine:");
+    println!("{}", planned.summary());
+}

@@ -1,0 +1,77 @@
+//! Application-driven DVFS exploration: find which clock domain a given
+//! benchmark can afford to slow down, the way the paper's section 5.2
+//! experiments do for perl/ijpeg/gcc.
+//!
+//! For each domain in turn, slow it 2x with voltage tracking and measure
+//! the performance/energy trade against the synchronous base machine, then
+//! report the best energy-per-performance knob.
+//!
+//! ```sh
+//! cargo run --release --example dvfs_explorer [benchmark]
+//! ```
+
+use gals::clocks::Domain;
+use gals::core::{simulate, DvfsPlan, ProcessorConfig, SimLimits};
+use gals::workload::{generate, Benchmark};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "perl".to_string());
+    let bench = Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark {name}; using perl");
+            Benchmark::Perl
+        });
+
+    let program = generate(bench, 42);
+    let limits = SimLimits::insts(60_000);
+    let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), limits);
+    let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(7), limits);
+
+    println!("DVFS explorer: {bench}");
+    println!();
+    println!(
+        "{:<22} {:>12} {:>10} {:>10}",
+        "configuration", "performance", "energy", "power"
+    );
+    println!(
+        "{:<22} {:>11.1}% {:>10.3} {:>10.3}",
+        "gals (equal clocks)",
+        100.0 * gals.relative_performance(&base),
+        gals.relative_energy(&base),
+        gals.relative_power(&base)
+    );
+
+    let mut best: Option<(Domain, f64, f64)> = None;
+    for domain in Domain::ALL {
+        let plan = DvfsPlan::nominal().with_slowdown(domain, 2.0);
+        let cfg = ProcessorConfig::gals_equal_1ghz(7).with_dvfs(plan);
+        let r = simulate(&program, cfg, limits);
+        let perf = r.relative_performance(&base);
+        let energy = r.relative_energy(&base);
+        println!(
+            "{:<22} {:>11.1}% {:>10.3} {:>10.3}",
+            format!("gals + {domain} / 2"),
+            100.0 * perf,
+            energy,
+            r.relative_power(&base)
+        );
+        // Best knob: most energy saved per point of performance lost,
+        // relative to the plain GALS machine.
+        let d_perf = (gals.relative_performance(&base) - perf).max(1e-3);
+        let d_energy = gals.relative_energy(&base) - energy;
+        let score = d_energy / d_perf;
+        if best.map(|(_, s, _)| score > s).unwrap_or(true) {
+            best = Some((domain, score, energy));
+        }
+    }
+
+    let (domain, _, energy) = best.expect("five domains evaluated");
+    println!();
+    println!(
+        "best knob for {bench}: slow the {domain} domain (energy {energy:.3} of base) — \
+         \"the extent of the tradeoff we can achieve by slowing down various clock \
+         domains is dictated by the nature of the application\"."
+    );
+}

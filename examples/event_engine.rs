@@ -1,0 +1,51 @@
+//! The paper's Figure 4: three free-running clocks with periods 2 ns, 3 ns
+//! and 2.5 ns on the general-purpose event-driven engine, printing each
+//! rising edge in global time order.
+//!
+//! ```sh
+//! cargo run --release --example event_engine
+//! ```
+
+use gals::events::{Control, Engine, Time};
+
+#[derive(Default)]
+struct EdgeLog(Vec<(u8, Time)>);
+
+fn main() {
+    let mut engine: Engine<EdgeLog> = Engine::new();
+
+    // add_event(start, &clockN_logic, NULL, period) in the paper's C code.
+    let clocks = [
+        (1u8, Time::from_ps(500), Time::from_ns(2)),
+        (2u8, Time::from_ns(1), Time::from_ns(3)),
+        (3u8, Time::ZERO, Time::from_ps(2_500)),
+    ];
+    for (id, start, period) in clocks {
+        engine.schedule_periodic(start, period, i32::from(id), move |log: &mut EdgeLog, e| {
+            log.0.push((id, e.now()));
+            Control::Keep
+        });
+    }
+
+    // process_event_queue(), bounded at 8 ns like the figure's time axis.
+    let mut log = EdgeLog::default();
+    engine.run_until(&mut log, Time::from_ns(8));
+
+    println!("Figure 4: event-driven simulation of three clock domains");
+    println!();
+    println!("{:>10}   clock 1   clock 2   clock 3", "time");
+    for (id, t) in &log.0 {
+        let col = match id {
+            1 => "    |",
+            2 => "              |",
+            _ => "                        |",
+        };
+        println!("{:>10} {col}", format!("{t}"));
+    }
+    println!();
+    println!(
+        "{} edges processed in time order by one queue — the infrastructure that \
+         lets the same simulator drive one global clock or five local ones.",
+        log.0.len()
+    );
+}

@@ -1,0 +1,52 @@
+//! # gals — Power and Performance Evaluation of GALS Processors
+//!
+//! A from-scratch Rust reproduction of *"Power and Performance Evaluation
+//! of Globally Asynchronous Locally Synchronous Processors"* (Iyer &
+//! Marculescu, ISCA 2002): a cycle-level, event-driven simulation of a
+//! 4-wide out-of-order superscalar processor in two clocking styles —
+//! fully synchronous, and GALS with five locally synchronous clock domains
+//! communicating through mixed-clock FIFOs — with Wattch-style power
+//! modelling and per-domain dynamic voltage/frequency scaling.
+//!
+//! This crate is a facade re-exporting the workspace's public API:
+//!
+//! * [`events`] — the discrete-event simulation engine (paper §4.2);
+//! * [`isa`] — the timing-semantic instruction set and program CFGs;
+//! * [`workload`] — synthetic SPEC95/MediaBench benchmark stand-ins;
+//! * [`uarch`] — caches, branch prediction, rename, issue queues, ROB;
+//! * [`clocks`] — clock domains, mixed-clock FIFOs, voltage scaling;
+//! * [`power`] — per-block energy accounting and clock-grid models;
+//! * [`core`] — the processor models and the `simulate` entry point.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gals::core::{simulate, ProcessorConfig, SimLimits};
+//! use gals::workload::{generate, Benchmark};
+//!
+//! let program = generate(Benchmark::Gcc, 42);
+//! let limits = SimLimits::insts(20_000);
+//!
+//! let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), limits);
+//! let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(7), limits);
+//!
+//! // The paper's headline: GALS is slower at equal clock rates...
+//! assert!(gals.exec_time > base.exec_time);
+//! // ...and eliminating the global clock grid alone does not guarantee
+//! // lower total energy.
+//! println!("energy ratio: {:.3}", gals.relative_energy(&base));
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
+//! the binaries regenerating every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use gals_clocks as clocks;
+pub use gals_core as core;
+pub use gals_events as events;
+pub use gals_isa as isa;
+pub use gals_power as power;
+pub use gals_uarch as uarch;
+pub use gals_workload as workload;

@@ -1,0 +1,190 @@
+//! Cross-crate integration tests: the full simulator driven through the
+//! facade crate, checking the paper's qualitative claims end to end.
+
+use gals::clocks::Domain;
+use gals::core::{simulate, Clocking, DvfsPlan, ProcessorConfig, SimLimits};
+use gals::events::Time;
+use gals::workload::{generate, micro, Benchmark};
+
+const LIMITS: SimLimits = SimLimits {
+    max_insts: 20_000,
+    watchdog_cycles: 200_000,
+};
+
+#[test]
+fn base_commits_exactly_the_requested_budget() {
+    let program = generate(Benchmark::Perl, 1);
+    let r = simulate(&program, ProcessorConfig::synchronous_1ghz(), LIMITS);
+    assert_eq!(r.committed, LIMITS.max_insts);
+    assert!(r.exec_time > Time::ZERO);
+    assert!(r.fetched >= r.committed);
+}
+
+#[test]
+fn finite_program_drains_completely() {
+    let program = micro::alu_loop(500, 4);
+    let total = 500 * 5 + 1;
+    let r = simulate(&program, ProcessorConfig::synchronous_1ghz(), SimLimits::insts(1_000_000));
+    assert_eq!(r.committed, total, "every architectural instruction commits");
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let program = generate(Benchmark::Go, 3);
+    let a = simulate(&program, ProcessorConfig::gals_equal_1ghz(5), LIMITS);
+    let b = simulate(&program, ProcessorConfig::gals_equal_1ghz(5), LIMITS);
+    assert_eq!(a.exec_time, b.exec_time);
+    assert_eq!(a.fetched, b.fetched);
+    assert_eq!(a.wrong_path_fetched, b.wrong_path_fetched);
+    assert_eq!(a.slip_total, b.slip_total);
+    assert!((a.total_energy() - b.total_energy()).abs() < 1e-9);
+}
+
+#[test]
+fn gals_is_slower_at_equal_clocks_across_the_suite() {
+    for bench in [Benchmark::Gcc, Benchmark::Fpppp, Benchmark::Adpcm] {
+        let program = generate(bench, 2);
+        let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), LIMITS);
+        let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS);
+        assert!(
+            gals.exec_time > base.exec_time,
+            "{bench}: GALS must be slower (base {}, gals {})",
+            base.exec_time,
+            gals.exec_time
+        );
+    }
+}
+
+#[test]
+fn gals_raises_slip_and_misspeculation() {
+    let program = generate(Benchmark::Gcc, 2);
+    let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), LIMITS);
+    let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS);
+    assert!(gals.mean_slip() > base.mean_slip(), "slip must grow (Fig 6)");
+    assert!(
+        gals.misspeculation_rate() > base.misspeculation_rate(),
+        "longer recovery pipeline must raise mis-speculation (Fig 8)"
+    );
+}
+
+#[test]
+fn gals_average_power_is_lower() {
+    let program = generate(Benchmark::Perl, 2);
+    let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), LIMITS);
+    let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS);
+    assert!(
+        gals.relative_power(&base) < 1.0,
+        "per-cycle power drops without the global grid (Fig 9)"
+    );
+    assert_eq!(gals.energy.global_clock, 0.0, "GALS has no global grid energy");
+    assert!(base.energy.global_clock > 0.0);
+}
+
+#[test]
+fn fifo_energy_appears_only_in_gals() {
+    use gals::power::MacroBlock;
+    let program = generate(Benchmark::Li, 2);
+    let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), LIMITS);
+    let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS);
+    assert_eq!(base.energy.block(MacroBlock::Fifos), 0.0);
+    assert!(gals.energy.block(MacroBlock::Fifos) > 0.0);
+}
+
+#[test]
+fn slowing_an_idle_fp_domain_saves_energy_cheaply() {
+    // perl has (virtually) no FP work: slowing the FP domain 3x must cost
+    // almost nothing in time but save energy (paper section 5.2).
+    let program = generate(Benchmark::Perl, 2);
+    let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS);
+    let plan = DvfsPlan::nominal().with_slowdown(Domain::FpCluster, 3.0);
+    let scaled_cfg = ProcessorConfig::gals_equal_1ghz(1).with_dvfs(plan);
+    let scaled = simulate(&program, scaled_cfg, LIMITS);
+    let slowdown = scaled.exec_time.as_fs() as f64 / gals.exec_time.as_fs() as f64;
+    assert!(slowdown < 1.05, "idle-domain slowdown cost {slowdown}");
+    assert!(
+        scaled.total_energy() < gals.total_energy(),
+        "voltage-scaled idle domain must save energy"
+    );
+}
+
+#[test]
+fn slowing_the_integer_domain_hurts_integer_code() {
+    let program = generate(Benchmark::Gcc, 2);
+    let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS);
+    let plan = DvfsPlan::nominal().with_slowdown(Domain::IntCluster, 2.0);
+    let cfg = ProcessorConfig::gals_equal_1ghz(1).with_dvfs(plan);
+    let slowed = simulate(&program, cfg, LIMITS);
+    let slowdown = slowed.exec_time.as_fs() as f64 / gals.exec_time.as_fs() as f64;
+    assert!(
+        slowdown > 1.1,
+        "halving the integer cluster's clock must hurt gcc ({slowdown})"
+    );
+}
+
+#[test]
+fn uniformly_slowed_base_scales_time_linearly() {
+    let program = generate(Benchmark::Mpeg2, 2);
+    let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), LIMITS);
+    let mut plan = DvfsPlan::nominal();
+    plan.slowdown = [1.5; 5];
+    let cfg = ProcessorConfig::synchronous_1ghz().with_dvfs(plan);
+    let slowed = simulate(&program, cfg, LIMITS);
+    let ratio = slowed.exec_time.as_fs() as f64 / base.exec_time.as_fs() as f64;
+    assert!(
+        (ratio - 1.5).abs() < 0.01,
+        "uniform slowdown must scale execution time by the factor ({ratio})"
+    );
+    assert!(
+        slowed.total_energy() < base.total_energy(),
+        "ideal voltage scaling must save energy"
+    );
+}
+
+#[test]
+fn phase_variation_is_small_but_nonzero() {
+    let program = generate(Benchmark::Ijpeg, 2);
+    let mut times = Vec::new();
+    for seed in 1..=5 {
+        let r = simulate(&program, ProcessorConfig::gals_equal_1ghz(seed), LIMITS);
+        times.push(r.exec_time.as_fs());
+    }
+    let max = *times.iter().max().expect("non-empty");
+    let min = *times.iter().min().expect("non-empty");
+    assert!(max > min, "different phases must perturb timing");
+    let spread = (max - min) as f64 / min as f64;
+    // Short runs see a few percent; full-length runs land near the
+    // paper's ~0.5% (see the phase_sensitivity binary).
+    assert!(spread < 0.10, "phase-induced variation should be small ({spread})");
+}
+
+#[test]
+fn wrong_path_instructions_never_commit() {
+    // A coin-flip branch stresses recovery; committed count must still be
+    // exactly the architectural prefix.
+    let program = micro::random_branches(3_000);
+    let r = simulate(&program, ProcessorConfig::gals_equal_1ghz(3), SimLimits::insts(8_000));
+    assert_eq!(r.committed, 8_000);
+    assert!(r.wrong_path_fetched > 0, "coin-flip branches must cause wrong-path fetch");
+}
+
+#[test]
+fn cross_cluster_chains_run_on_all_three_clusters() {
+    let program = micro::cross_cluster(2_000);
+    let r = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), SimLimits::insts(10_000));
+    assert_eq!(r.committed, 10_000);
+    for (i, iq) in r.iq.iter().enumerate() {
+        assert!(iq.issued > 0, "cluster {i} must issue instructions");
+    }
+}
+
+#[test]
+fn clocking_accessors_are_consistent() {
+    let cfg = ProcessorConfig::gals_equal_1ghz(9);
+    if let Clocking::Gals(clocks) = &cfg.clocking {
+        for d in Domain::ALL {
+            assert_eq!(cfg.clocking.domain_clock(d), clocks[d.index()]);
+        }
+    } else {
+        panic!("gals_equal_1ghz must build a GALS clocking");
+    }
+}
