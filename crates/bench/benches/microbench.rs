@@ -5,9 +5,11 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gals_clocks::Channel;
-use gals_events::{Control, Engine, Time};
+use gals_core::{simulate, ProcessorConfig, SimLimits};
+use gals_events::{ClockSet, Control, Engine, Time};
 use gals_isa::rng::hash3;
 use gals_uarch::{BpredConfig, BranchPredictor, Cache, CacheGeometry, IssueQueue, PhysReg};
+use gals_workload::{generate, Benchmark};
 
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("events/three_clock_engine_1us", |b| {
@@ -27,6 +29,41 @@ fn bench_event_queue(c: &mut Criterion) {
             let mut count = 0;
             engine.run_until(&mut count, Time::from_ns(1_000));
             black_box(count)
+        })
+    });
+}
+
+fn bench_clockset(c: &mut Criterion) {
+    // The same three paper clocks on the static scheduler — the direct
+    // comparison against events/three_clock_engine_1us.
+    c.bench_function("events/clockset_1us", |b| {
+        b.iter(|| {
+            let mut cs = ClockSet::new();
+            for (i, (phase, period)) in [(500u64, 2_000u64), (1_000, 3_000), (0, 2_500)]
+                .into_iter()
+                .enumerate()
+            {
+                cs.add_clock(Time::from_ps(phase), Time::from_ps(period), i as i32);
+            }
+            let mut count = 0u64;
+            cs.run_until(Time::from_ns(1_000), |_, _| count += 1);
+            black_box(count)
+        })
+    });
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    // End-to-end simulated-instructions-per-host-second — the number every
+    // paper experiment is bottlenecked on. Tracked across PRs via
+    // `cargo run --release --bin bench_throughput` (BENCH_throughput.json).
+    let program = generate(Benchmark::Gcc, 42);
+    c.bench_function("sim/throughput_insts_per_sec", |b| {
+        b.iter(|| {
+            black_box(simulate(
+                &program,
+                ProcessorConfig::synchronous_1ghz(),
+                SimLimits::insts(10_000),
+            ))
         })
     });
 }
@@ -107,9 +144,11 @@ fn bench_issue_queue(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_event_queue,
+    bench_clockset,
     bench_channel,
     bench_cache,
     bench_bpred,
-    bench_issue_queue
+    bench_issue_queue,
+    bench_sim_throughput
 );
 criterion_main!(benches);

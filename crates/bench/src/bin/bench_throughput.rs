@@ -1,0 +1,116 @@
+//! Host-throughput tracker: measures simulated instructions per host
+//! second on both scheduler paths (the static `ClockSet` fast path of
+//! `simulate` and the general-engine oracle `simulate_with_engine`) and
+//! writes the results to `BENCH_throughput.json` so the perf trajectory is
+//! recorded across PRs.
+//!
+//! Run with `cargo run --release --bin bench_throughput`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use gals_core::{simulate, simulate_with_engine, ProcessorConfig, SimLimits};
+use gals_workload::{generate, Benchmark};
+
+/// Committed-instruction budget per measured run.
+const INSTS: u64 = 50_000;
+/// Measured repetitions (the best run is reported, minimising host noise).
+const REPS: u32 = 5;
+
+/// The seed engine-driven baseline, measured once on this hardware by
+/// rebuilding the seed sources (commit e8afc34, which predates `ClockSet`
+/// and the zero-allocation pipeline) with this workspace's manifests and
+/// release profile, then running the same 50k-instruction workloads
+/// best-of-REPS. Order matches the measurement loop below:
+/// (gcc,sync) (gcc,gals) (fpppp,sync) (fpppp,gals).
+const SEED_BASELINE_IPS: [f64; 4] = [742_040.0, 613_159.0, 1_120_988.0, 968_853.0];
+
+struct Row {
+    bench: &'static str,
+    clocking: &'static str,
+    clockset_ips: f64,
+    engine_ips: f64,
+    seed_ips: f64,
+}
+
+fn best_insts_per_sec(mut run: impl FnMut() -> u64) -> f64 {
+    // One warm-up, then the fastest of REPS timed runs.
+    run();
+    let mut best = f64::MIN;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let committed = run();
+        let secs = start.elapsed().as_secs_f64();
+        best = best.max(committed as f64 / secs);
+    }
+    best
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for bench in [Benchmark::Gcc, Benchmark::Fpppp] {
+        let program = generate(bench, 42);
+        for (clocking, cfg) in [
+            ("sync", ProcessorConfig::synchronous_1ghz()),
+            ("gals", ProcessorConfig::gals_equal_1ghz(1)),
+        ] {
+            let limits = SimLimits::insts(INSTS);
+            let fast = {
+                let cfg = cfg.clone();
+                let program = &program;
+                best_insts_per_sec(move || simulate(program, cfg.clone(), limits).committed)
+            };
+            let oracle = {
+                let program = &program;
+                best_insts_per_sec(move || {
+                    simulate_with_engine(program, cfg.clone(), limits).committed
+                })
+            };
+            let seed_ips = SEED_BASELINE_IPS[rows.len()];
+            println!(
+                "{:<8} {:<6} clockset {:>12.0} insts/s   engine {:>12.0} insts/s   \
+                 vs engine {:>5.2}x   vs seed {:>5.2}x",
+                bench.name(),
+                clocking,
+                fast,
+                oracle,
+                fast / oracle,
+                fast / seed_ips
+            );
+            rows.push(Row {
+                bench: bench.name(),
+                clocking,
+                clockset_ips: fast,
+                engine_ips: oracle,
+                seed_ips,
+            });
+        }
+    }
+
+    let mean_speedup: f64 = rows.iter().map(|r| r.clockset_ips / r.engine_ips).sum::<f64>()
+        / rows.len() as f64;
+    let mean_vs_seed: f64 =
+        rows.iter().map(|r| r.clockset_ips / r.seed_ips).sum::<f64>() / rows.len() as f64;
+    println!("mean clockset/engine speedup: {mean_speedup:.2}x");
+    println!("mean speedup vs seed baseline: {mean_vs_seed:.2}x");
+
+    // Hand-rolled JSON (the workspace carries no serde).
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"insts_per_run\": {INSTS},");
+    let _ = writeln!(json, "  \"mean_scheduler_speedup\": {mean_speedup:.3},");
+    let _ = writeln!(json, "  \"mean_speedup_vs_seed\": {mean_vs_seed:.3},");
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"bench\": \"{}\", \"clocking\": \"{}\", \
+             \"clockset_insts_per_sec\": {:.0}, \"engine_insts_per_sec\": {:.0}, \
+             \"seed_engine_insts_per_sec\": {:.0}}}{comma}",
+            r.bench, r.clocking, r.clockset_ips, r.engine_ips, r.seed_ips
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
+    println!("wrote BENCH_throughput.json");
+}

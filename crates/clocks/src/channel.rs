@@ -56,8 +56,6 @@ impl ChannelStats {
 struct Slot<T> {
     item: T,
     pushed_at: Time,
-    /// Earliest time a consumer edge may observe the item.
-    visible_at: Time,
 }
 
 /// A bounded point-to-point channel between two clock domains.
@@ -141,23 +139,38 @@ impl<T> Channel<T> {
         self.stats
     }
 
-    /// Occupancy as seen by the producer at time `now`: stored items plus
-    /// freed slots whose full-flag update has not yet synchronised back.
-    pub fn producer_occupancy(&self, now: Time) -> usize {
-        let stale = self.frees_pending.iter().filter(|&&f| f > now).count();
-        self.slots.len() + stale
+    /// Drops full-flag synchronisations that have completed by `now`.
+    /// `frees_pending` is sorted (simulation time is globally monotonic and
+    /// the backward delay is a per-channel constant), so expiry only ever
+    /// pops from the front.
+    #[inline]
+    fn expire_frees(&mut self, now: Time) {
+        while matches!(self.frees_pending.front(), Some(&f) if f <= now) {
+            self.frees_pending.pop_front();
+        }
     }
 
-    /// True if the producer can push at time `now`.
-    pub fn can_push(&self, now: Time) -> bool {
-        self.producer_occupancy(now) < self.capacity
+    /// True if the producer can push at time `now`. Takes `&mut self` to
+    /// expire completed full-flag synchronisations eagerly, making the
+    /// producer-visible occupancy check (stored items plus slots whose
+    /// full-flag update has not yet synchronised back) O(1) — this runs for
+    /// every candidate push on the simulator's hot path.
+    pub fn can_push(&mut self, now: Time) -> bool {
+        self.expire_frees(now);
+        self.slots.len() + self.frees_pending.len() < self.capacity
+    }
+
+    /// Earliest time a consumer edge may observe a slot pushed at `at`.
+    #[inline]
+    fn visible_from(&self, at: Time) -> Time {
+        at + self.fwd_delay
     }
 
     /// Number of items a consumer edge at `now` could pop.
     pub fn visible(&self, now: Time) -> usize {
         self.slots
             .iter()
-            .take_while(|s| s.visible_at <= now && s.pushed_at < now)
+            .take_while(|s| self.visible_from(s.pushed_at) <= now && s.pushed_at < now)
             .count()
     }
 
@@ -168,18 +181,14 @@ impl<T> Channel<T> {
     /// Returns the item back when the producer-visible occupancy equals the
     /// capacity (the producer stalls, exactly like a full pipeline stage).
     pub fn try_push(&mut self, item: T, now: Time) -> Result<(), T> {
-        // Expire stale frees first.
-        while matches!(self.frees_pending.front(), Some(&f) if f <= now) {
-            self.frees_pending.pop_front();
-        }
-        if self.producer_occupancy(now) >= self.capacity {
+        self.expire_frees(now);
+        if self.slots.len() + self.frees_pending.len() >= self.capacity {
             self.stats.full_stalls += 1;
             return Err(item);
         }
         self.slots.push_back(Slot {
             item,
             pushed_at: now,
-            visible_at: now + self.fwd_delay,
         });
         self.stats.pushes += 1;
         self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.slots.len());
@@ -200,7 +209,7 @@ impl<T> Channel<T> {
     /// this to attribute slip to FIFO residency (the paper's Figure 7).
     pub fn try_pop_timed(&mut self, now: Time) -> Option<(T, Time)> {
         let front = self.slots.front()?;
-        if front.visible_at > now || front.pushed_at >= now {
+        if self.visible_from(front.pushed_at) > now || front.pushed_at >= now {
             return None;
         }
         let slot = self.slots.pop_front().expect("front exists");
@@ -214,7 +223,7 @@ impl<T> Channel<T> {
     /// Peeks the oldest visible item without removing it.
     pub fn peek(&self, now: Time) -> Option<&T> {
         let front = self.slots.front()?;
-        if front.visible_at > now || front.pushed_at >= now {
+        if self.visible_from(front.pushed_at) > now || front.pushed_at >= now {
             return None;
         }
         Some(&front.item)
@@ -225,15 +234,18 @@ impl<T> Channel<T> {
     /// delay, measured from `now`. Returns the number removed.
     pub fn flush_where(&mut self, now: Time, mut keep: impl FnMut(&T) -> bool) -> usize {
         let before = self.slots.len();
-        let mut retained = VecDeque::with_capacity(self.slots.len());
-        for slot in self.slots.drain(..) {
+        // Retain in place (order-preserving); no replacement deque is
+        // allocated per squash.
+        let frees = &mut self.frees_pending;
+        let freed_at = now + self.bwd_delay;
+        self.slots.retain(|slot| {
             if keep(&slot.item) {
-                retained.push_back(slot);
+                true
             } else {
-                self.frees_pending.push_back(now + self.bwd_delay);
+                frees.push_back(freed_at);
+                false
             }
-        }
-        self.slots = retained;
+        });
         let removed = before - self.slots.len();
         self.stats.flushed += removed as u64;
         removed

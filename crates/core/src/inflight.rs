@@ -42,6 +42,67 @@ impl Tag {
     }
 }
 
+/// Fixed-capacity source-operand list. An instruction has at most two
+/// register sources, so boxing them in a heap `Vec` put one allocation on
+/// every renamed instruction; this inline array removes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrcTags {
+    tags: [Tag; 2],
+    len: u8,
+}
+
+impl Default for SrcTags {
+    fn default() -> Self {
+        SrcTags {
+            tags: [Tag(0); 2],
+            len: 0,
+        }
+    }
+}
+
+impl SrcTags {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list already holds two tags.
+    pub fn push(&mut self, tag: Tag) {
+        assert!((self.len as usize) < 2, "an instruction has at most two sources");
+        self.tags[self.len as usize] = tag;
+        self.len += 1;
+    }
+
+    /// Number of sources.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when there are no sources.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the tags.
+    pub fn iter(&self) -> impl Iterator<Item = Tag> + '_ {
+        self.tags[..self.len as usize].iter().copied()
+    }
+}
+
+impl FromIterator<Tag> for SrcTags {
+    fn from_iter<I: IntoIterator<Item = Tag>>(iter: I) -> Self {
+        let mut s = SrcTags::new();
+        for t in iter {
+            s.push(t);
+        }
+        s
+    }
+}
+
 /// Control-flow details of a fetched branch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BranchInfo {
@@ -69,14 +130,22 @@ pub struct InFlight {
     pub op: OpClass,
     /// True if fetched while the front end was on a mispredicted path.
     pub wrong_path: bool,
+    /// Architectural destination register (copied from the static
+    /// instruction at fetch so rename never re-locates the PC).
+    pub arch_dst: Option<ArchReg>,
+    /// Architectural source registers, same provenance.
+    pub arch_srcs: [Option<ArchReg>; 2],
     /// Destination rename: `(arch, new phys tag, old phys reg)`.
     pub dst: Option<(ArchReg, Tag, PhysReg)>,
     /// Source operand tags (filled at rename).
-    pub srcs: Vec<Tag>,
+    pub srcs: SrcTags,
     /// Memory byte address for loads/stores.
     pub mem_addr: Option<u64>,
     /// Branch details.
     pub branch: Option<BranchInfo>,
+    /// True once the execution cluster reported completion to the ROB's
+    /// domain (checked at commit; avoids a per-completion ROB search).
+    pub completed: bool,
     /// Fetch timestamp (slip starts here).
     pub fetched_at: Time,
     /// Accumulated channel residency (the FIFO share of slip).
@@ -92,6 +161,151 @@ impl InFlight {
     }
 }
 
+/// The in-flight instruction table: a direct-mapped power-of-two ring
+/// indexed by sequence number.
+///
+/// The pipeline probes this table around ten times per simulated
+/// instruction (fetch insert, decode pull, rename, dispatch, issue
+/// admission, writeback, completion, commit), which made a general
+/// `HashMap` the single largest cost on the hot path. Sequence numbers are
+/// dense and monotonically increasing, so `slot = seq & mask` with a stored
+/// seq check is an exact single-probe lookup with perfect spatial locality.
+///
+/// The capacity must exceed the live *sequence spread* (newest minus
+/// oldest live), not just the live count: wrong-path squash bursts consume
+/// sequence numbers while an old instruction blocks at the ROB head. The
+/// spread is workload-dependent, so the table rebuilds itself at double
+/// capacity whenever an insert would alias a live instruction — amortised
+/// O(1), and after warm-up the steady state never grows again.
+#[derive(Debug)]
+pub struct InFlightTable {
+    slots: Box<[Option<InFlight>]>,
+    mask: u64,
+    live: usize,
+}
+
+/// Growth ceiling: a table this large means instructions leak (they are
+/// inserted but never committed or squashed), which is a simulator bug.
+const INFLIGHT_CAP_CEILING: usize = 1 << 24;
+
+impl InFlightTable {
+    /// A table able to hold an in-flight sequence spread of at least
+    /// `window` (rounded up to a power of two, minimum 256). The table
+    /// grows automatically if the workload's spread turns out larger.
+    pub fn with_window(window: usize) -> Self {
+        let cap = window.next_power_of_two().max(256);
+        InFlightTable {
+            slots: (0..cap).map(|_| None).collect(),
+            mask: cap as u64 - 1,
+            live: 0,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, seq: u64) -> usize {
+        (seq & self.mask) as usize
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no instructions are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Current slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Inserts an instruction under its own sequence number, growing the
+    /// table if the sequence spread exceeds the current capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if growth passes [`INFLIGHT_CAP_CEILING`] — instructions are
+    /// leaking, which indicates a simulator bug, never a user error.
+    pub fn insert(&mut self, inf: InFlight) {
+        let i = self.idx(inf.seq);
+        if self.slots[i].is_some() {
+            self.grow_for(inf);
+            return;
+        }
+        self.slots[i] = Some(inf);
+        self.live += 1;
+    }
+
+    /// Rebuilds at the smallest doubled capacity where every live sequence
+    /// number (plus the pending insert) maps to a distinct slot.
+    #[cold]
+    fn grow_for(&mut self, pending: InFlight) {
+        let mut entries: Vec<InFlight> =
+            self.slots.iter_mut().filter_map(|s| s.take()).collect();
+        entries.push(pending);
+        let mut cap = self.slots.len();
+        loop {
+            cap *= 2;
+            assert!(
+                cap <= INFLIGHT_CAP_CEILING,
+                "in-flight table grew past {INFLIGHT_CAP_CEILING} slots: instruction leak"
+            );
+            let mask = cap as u64 - 1;
+            let mut used = vec![false; cap];
+            if entries.iter().all(|e| {
+                let i = (e.seq & mask) as usize;
+                !std::mem::replace(&mut used[i], true)
+            }) {
+                let mut slots: Box<[Option<InFlight>]> = (0..cap).map(|_| None).collect();
+                self.live = entries.len();
+                for e in entries {
+                    let i = (e.seq & mask) as usize;
+                    slots[i] = Some(e);
+                }
+                self.slots = slots;
+                self.mask = mask;
+                return;
+            }
+        }
+    }
+
+    /// The live instruction with this sequence number, if any.
+    #[inline]
+    pub fn get(&self, seq: u64) -> Option<&InFlight> {
+        self.slots[self.idx(seq)].as_ref().filter(|i| i.seq == seq)
+    }
+
+    /// Mutable access to the live instruction with this sequence number.
+    #[inline]
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut InFlight> {
+        let i = self.idx(seq);
+        self.slots[i].as_mut().filter(|inf| inf.seq == seq)
+    }
+
+    /// Removes and returns the instruction, if live.
+    pub fn remove(&mut self, seq: u64) -> Option<InFlight> {
+        let i = self.idx(seq);
+        match &self.slots[i] {
+            Some(inf) if inf.seq == seq => {
+                self.live -= 1;
+                self.slots[i].take()
+            }
+            _ => None,
+        }
+    }
+
+    /// Removes every live instruction with `seq` in `(older_than, upto)`
+    /// (exclusive / exclusive) — the squash shape: everything younger than
+    /// the mispredicted branch, bounded by the next unallocated sequence.
+    pub fn remove_younger(&mut self, older_than: u64, upto: u64) {
+        for seq in older_than + 1..upto {
+            self.remove(seq);
+        }
+    }
+}
+
 /// A fetch-redirect message (mispredicted branch resolved).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Redirect {
@@ -104,6 +318,67 @@ pub struct Redirect {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn dummy(seq: u64) -> InFlight {
+        InFlight {
+            seq,
+            pc: seq * 4,
+            op: OpClass::IntAlu,
+            wrong_path: false,
+            arch_dst: None,
+            arch_srcs: [None, None],
+            dst: None,
+            srcs: SrcTags::new(),
+            mem_addr: None,
+            branch: None,
+            completed: false,
+            fetched_at: Time::ZERO,
+            fifo_time: Time::ZERO,
+            is_exit: false,
+        }
+    }
+
+    #[test]
+    fn inflight_table_round_trips() {
+        let mut t = InFlightTable::with_window(8);
+        assert!(t.is_empty());
+        t.insert(dummy(5));
+        t.insert(dummy(6));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(5).map(|i| i.pc), Some(20));
+        assert!(t.get(7).is_none());
+        t.get_mut(6).unwrap().completed = true;
+        assert!(t.get(6).unwrap().completed);
+        assert_eq!(t.remove(5).map(|i| i.seq), Some(5));
+        assert_eq!(t.remove(5).map(|i| i.seq), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn inflight_table_grows_on_sequence_spread() {
+        let mut t = InFlightTable::with_window(8);
+        let initial_cap = t.capacity();
+        // Two live seqs whose spread exceeds any initial capacity.
+        t.insert(dummy(1));
+        t.insert(dummy(1 + initial_cap as u64)); // aliases slot of seq 1
+        assert!(t.capacity() > initial_cap);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(1).map(|i| i.seq), Some(1));
+        assert_eq!(t.get(1 + initial_cap as u64).map(|i| i.seq), Some(1 + initial_cap as u64));
+    }
+
+    #[test]
+    fn inflight_table_remove_younger_squashes_range() {
+        let mut t = InFlightTable::with_window(8);
+        for seq in 0..10 {
+            t.insert(dummy(seq));
+        }
+        t.remove_younger(3, 10);
+        assert_eq!(t.len(), 4);
+        assert!(t.get(3).is_some());
+        assert!(t.get(4).is_none());
+        assert!(t.get(9).is_none());
+    }
 
     #[test]
     fn tag_round_trips_both_classes() {
@@ -123,5 +398,26 @@ mod tests {
         let a = Tag::new(PhysReg(5), false).as_iq_tag();
         let b = Tag::new(PhysReg(5), true).as_iq_tag();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn src_tags_hold_up_to_two() {
+        let mut s = SrcTags::new();
+        assert!(s.is_empty());
+        s.push(Tag(3));
+        s.push(Tag(700));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![Tag(3), Tag(700)]);
+        let collected: SrcTags = [Tag(1), Tag(2)].into_iter().collect();
+        assert_eq!(collected.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most two")]
+    fn src_tags_reject_a_third_source() {
+        let mut s = SrcTags::new();
+        s.push(Tag(1));
+        s.push(Tag(2));
+        s.push(Tag(3));
     }
 }

@@ -38,7 +38,7 @@ mod sim;
 
 pub use advisor::{AdvisorConfig, DomainUtilisation, DvfsAdvisor};
 pub use config::{Clocking, DvfsPlan, ProcessorConfig, SimLimits};
-pub use inflight::{BranchInfo, InFlight, Redirect, Tag};
+pub use inflight::{BranchInfo, InFlight, InFlightTable, Redirect, SrcTags, Tag};
 pub use pipeline::Pipeline;
 pub use report::{DomainCycles, SimReport};
-pub use sim::simulate;
+pub use sim::{simulate, simulate_with_engine};

@@ -32,7 +32,7 @@
 //! * The store buffer drains logically at commit; the cache write is
 //!   charged at issue time.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use gals_clocks::{Channel, Domain};
 use gals_events::Time;
@@ -43,7 +43,7 @@ use gals_uarch::{
 };
 
 use crate::config::{Clocking, ProcessorConfig, SimLimits};
-use crate::inflight::{BranchInfo, InFlight, Redirect, Tag, TAG_SPACE};
+use crate::inflight::{BranchInfo, InFlight, InFlightTable, Redirect, SrcTags, Tag, TAG_SPACE};
 use crate::report::SimReport;
 
 /// Salt mixed into wrong-path memory-address hashing so speculative loads
@@ -61,6 +61,14 @@ struct ClusterState {
     executing: Vec<(u64, u64)>,
     /// Local cycle counter.
     cycle: u64,
+    /// Per-tick scratch: sequence numbers finishing execution this cycle.
+    /// Hoisted out of `tick_cluster` so the steady-state path allocates
+    /// nothing.
+    finished_scratch: Vec<u64>,
+    /// Per-tick scratch: tokens picked by issue selection.
+    picked_scratch: Vec<u64>,
+    /// Per-tick scratch: `(seq, latency)` of admitted instructions.
+    latency_scratch: Vec<(u64, u64)>,
 }
 
 impl ClusterState {
@@ -72,6 +80,9 @@ impl ClusterState {
             ready: vec![true; TAG_SPACE],
             executing: Vec::new(),
             cycle: 0,
+            finished_scratch: Vec::with_capacity(2 * fu_count as usize),
+            picked_scratch: Vec::with_capacity(2 * fu_count as usize),
+            latency_scratch: Vec::with_capacity(2 * fu_count as usize),
         }
     }
 }
@@ -99,6 +110,11 @@ pub struct Pipeline<'p> {
     // ---- decode/rename/commit (domain 2) ----
     decode_buf: VecDeque<u64>,
     rename: RenameUnit,
+    /// Enforces program order only: completion is tracked on the in-flight
+    /// table (`InFlight::completed`), so `Rob::complete`/`RobStatus` are
+    /// deliberately not driven here — the head is popped with
+    /// [`Rob::pop_head`] once its in-flight entry reports complete. Do not
+    /// read this ROB's per-entry status.
     rob: Rob<u64>,
     decode_cycle: u64,
 
@@ -118,7 +134,7 @@ pub struct Pipeline<'p> {
     ch_redirect: Channel<Redirect>,
 
     // ---- bookkeeping ----
-    inflight: HashMap<u64, InFlight>,
+    inflight: InFlightTable,
     next_seq: u64,
     /// The one unresolved-recovery mispredicted branch (see module docs of
     /// `inflight`): set at resolution, cleared when fetch recovers.
@@ -208,7 +224,9 @@ impl<'p> Pipeline<'p> {
             dcache: Cache::new(u.l1d),
             l2: Cache::new(u.l2),
             l2_touched: false,
-            inflight: HashMap::with_capacity(256),
+            inflight: InFlightTable::with_window(
+                u.rob_size + 2 * u.decode_width as usize + cfg.channel_capacity + u.fetch_width as usize + 8,
+            ),
             next_seq: 0,
             pending_recovery: None,
             committed: 0,
@@ -287,7 +305,7 @@ impl<'p> Pipeline<'p> {
         while let Some((r, res)) = self.ch_redirect.try_pop_timed(now) {
             // The redirect's residency is pipeline recovery latency; it is
             // charged to the mispredicted branch for slip accounting.
-            if let Some(inf) = self.inflight.get_mut(&r.branch_seq) {
+            if let Some(inf) = self.inflight.get_mut(r.branch_seq) {
                 inf.fifo_time += res;
             }
             self.process_redirect(r);
@@ -359,7 +377,9 @@ impl<'p> Pipeline<'p> {
     }
 
     fn fetch_one_correct_path(&mut self, bpred_active: &mut bool) -> FetchOutcome {
-        let Some(d) = self.peeked.clone() else {
+        // `take` instead of `clone`: the cursor is re-primed from the stream
+        // below on every path that continues fetching.
+        let Some(d) = self.peeked.take() else {
             self.fetch_halted = true;
             return FetchOutcome::Stop;
         };
@@ -434,12 +454,14 @@ impl<'p> Pipeline<'p> {
     }
 
     fn fetch_one_wrong_path(&mut self, bpred_active: &mut bool) -> FetchOutcome {
-        let Some((block, index, inst)) = self.program.locate(self.wrong_pc) else {
+        // As in decode, copying the program reference out of self lets the
+        // located instruction borrow the program directly — no clone.
+        let program = self.program;
+        let Some((block, index, inst)) = program.locate(self.wrong_pc) else {
             // Ran off the program on the wrong path: fetch bubbles until
             // the redirect arrives.
             return FetchOutcome::Stop;
         };
-        let inst = inst.clone();
         let pc = self.wrong_pc;
         let seq = self.alloc_seq();
 
@@ -490,7 +512,7 @@ impl<'p> Pipeline<'p> {
             recovery_pc: EXIT_PC,
             mispredicted: false,
         });
-        let inf = self.make_inflight(seq, pc, &inst, true, mem_addr, branch_info, false);
+        let inf = self.make_inflight(seq, pc, inst, true, mem_addr, branch_info, false);
         self.push_fetched(inf);
 
         if stop_after {
@@ -506,6 +528,7 @@ impl<'p> Pipeline<'p> {
         s
     }
 
+    #[allow(clippy::too_many_arguments)] // one field per argument, built in one place
     fn make_inflight(
         &mut self,
         seq: u64,
@@ -521,10 +544,13 @@ impl<'p> Pipeline<'p> {
             pc,
             op: inst.op,
             wrong_path,
+            arch_dst: inst.dst,
+            arch_srcs: [inst.src1, inst.src2],
             dst: None,
-            srcs: Vec::new(),
+            srcs: SrcTags::new(),
             mem_addr,
             branch,
+            completed: false,
             fetched_at: self.now,
             fifo_time: Time::ZERO,
             is_exit,
@@ -534,7 +560,7 @@ impl<'p> Pipeline<'p> {
     fn push_fetched(&mut self, inf: InFlight) {
         let seq = inf.seq;
         let wrong = inf.wrong_path;
-        self.inflight.insert(seq, inf);
+        self.inflight.insert(inf);
         self.ch_fetch_decode
             .try_push(seq, self.now)
             .expect("push guarded by can_push");
@@ -573,7 +599,7 @@ impl<'p> Pipeline<'p> {
         }
         // Wakeup channels carry register tags, not sequence numbers; stale
         // tags are tolerated (module docs).
-        self.inflight.retain(|&s, _| s <= bseq);
+        self.inflight.remove_younger(bseq, self.next_seq);
 
         // Resume correct-path fetch.
         self.wrong_path = false;
@@ -598,10 +624,11 @@ impl<'p> Pipeline<'p> {
         // 1. Absorb completions.
         for ci in 0..3 {
             while let Some((seq, res)) = self.ch_complete[ci].try_pop_timed(now) {
-                if let Some(inf) = self.inflight.get_mut(&seq) {
+                // Stale messages for squashed instructions are no-ops.
+                if let Some(inf) = self.inflight.get_mut(seq) {
                     inf.fifo_time += res;
+                    inf.completed = true;
                 }
-                self.rob.complete(seq);
             }
         }
 
@@ -616,8 +643,13 @@ impl<'p> Pipeline<'p> {
             if self.pending_recovery == Some(head_seq) {
                 break;
             }
-            let Some((seq, _)) = self.rob.try_commit() else { break };
-            let inf = self.inflight.remove(&seq).expect("committing unknown instruction");
+            // Completion is tracked on the in-flight entry (O(1) ring probe
+            // instead of a ROB search per completion message).
+            if !self.inflight.get(head_seq).is_some_and(|i| i.completed) {
+                break;
+            }
+            let (seq, _) = self.rob.pop_head().expect("head exists");
+            let inf = self.inflight.remove(seq).expect("committing unknown instruction");
             debug_assert!(!inf.wrong_path, "wrong-path instruction reached commit");
             if let Some((arch, new_tag, old)) = inf.dst {
                 let _ = new_tag;
@@ -665,10 +697,12 @@ impl<'p> Pipeline<'p> {
             if !self.rob.has_space() {
                 break;
             }
-            let (op, is_branch, cluster) = {
-                let inf = self.inflight.get(&seq).expect("decoded instruction vanished");
-                (inf.op, inf.op.is_branch(), inf.cluster())
-            };
+            // One in-flight probe covers the whole rename: the borrow of
+            // `self.inflight` coexists with the disjoint borrows of the
+            // rename unit, ROB, store buffer and channels below.
+            let inf = self.inflight.get_mut(seq).expect("decoded instruction vanished");
+            let op = inf.op;
+            let is_branch = op.is_branch();
             if is_branch && !self.rename.can_checkpoint() {
                 break;
             }
@@ -678,27 +712,19 @@ impl<'p> Pipeline<'p> {
             if op == OpClass::Store && !self.store_buffer.has_space() {
                 break;
             }
-            let ci = cluster_index(cluster);
+            let ci = cluster_index(inf.cluster());
             if !self.ch_dispatch[ci].can_push(now) {
                 break;
             }
             // Rename sources first (RAW within the group resolves to the
             // younger mapping naturally because older group members already
-            // updated the RAT this cycle).
-            let static_inst = self
-                .program
-                .locate(self.inflight[&seq].pc)
-                .map(|(_, _, inst)| inst.clone());
-            let Some(static_inst) = static_inst else {
-                // Should not happen: every fetched PC is locatable.
-                self.decode_buf.pop_front();
-                continue;
-            };
-            let src_tags: Vec<Tag> = static_inst
-                .sources()
-                .map(|r| Tag::new(self.rename.lookup(r), r.is_fp()))
-                .collect();
-            let dst = if let Some(d) = static_inst.dst {
+            // updated the RAT this cycle). The architectural operands were
+            // captured at fetch, so rename needs no PC re-locate.
+            let mut src_tags = SrcTags::new();
+            for r in inf.arch_srcs.into_iter().flatten() {
+                src_tags.push(Tag::new(self.rename.lookup(r), r.is_fp()));
+            }
+            let dst = if let Some(d) = inf.arch_dst {
                 match self.rename.rename_dst(d) {
                     Ok(renamed_dst) => Some((d, Tag::new(renamed_dst.new, d.is_fp()), renamed_dst.old)),
                     Err(_) => break, // out of physical registers: stall
@@ -709,11 +735,8 @@ impl<'p> Pipeline<'p> {
             if is_branch {
                 self.rename.checkpoint(seq);
             }
-            {
-                let inf = self.inflight.get_mut(&seq).expect("renaming unknown instruction");
-                inf.srcs = src_tags;
-                inf.dst = dst;
-            }
+            inf.srcs = src_tags;
+            inf.dst = dst;
             // Mark the destination not-ready in every cluster view.
             if let Some((_, tag, _)) = dst {
                 for cl in &mut self.clusters {
@@ -737,7 +760,7 @@ impl<'p> Pipeline<'p> {
             && self.decode_buf.len() < 2 * self.cfg.uarch.decode_width as usize
         {
             let Some((seq, res)) = self.ch_fetch_decode.try_pop_timed(now) else { break };
-            if let Some(inf) = self.inflight.get_mut(&seq) {
+            if let Some(inf) = self.inflight.get_mut(seq) {
                 inf.fifo_time += res;
                 self.decode_buf.push_back(seq);
             }
@@ -775,9 +798,12 @@ impl<'p> Pipeline<'p> {
             }
         }
 
-        // 2. Writeback of finished executions.
+        // 2. Writeback of finished executions. The scratch buffer lives in
+        // the cluster and is moved out for the duration of the walk so
+        // `writeback(&mut self)` can run while it is held.
         let cycle = self.clusters[ci].cycle;
-        let mut finished: Vec<u64> = Vec::new();
+        let mut finished = std::mem::take(&mut self.clusters[ci].finished_scratch);
+        finished.clear();
         self.clusters[ci].executing.retain(|&(done, seq)| {
             if done <= cycle {
                 finished.push(seq);
@@ -787,29 +813,32 @@ impl<'p> Pipeline<'p> {
             }
         });
         finished.sort_unstable();
-        for seq in finished {
+        for &seq in &finished {
             self.writeback(ci, seq);
         }
+        self.clusters[ci].finished_scratch = finished;
 
         // 3. Select + issue.
         let issued = self.issue(ci);
 
-        // 4. Fill the IQ from the dispatch channel.
+        // 4. Fill the IQ from the dispatch channel. The outstanding-source
+        // tags stream straight into the queue's inline storage — no
+        // per-instruction `Vec`.
         let mut inserted = 0;
         while self.clusters[ci].iq.has_space() {
             let Some((seq, res)) = self.ch_dispatch[ci].try_pop_timed(now) else { break };
-            let Some(inf) = self.inflight.get_mut(&seq) else { continue };
+            let Some(inf) = self.inflight.get_mut(seq) else { continue };
             inf.fifo_time += res;
-            let cl = &mut self.clusters[ci];
-            let waiting: Vec<gals_uarch::PhysReg> = inf
-                .srcs
-                .iter()
-                .filter(|t| !cl.ready[t.index()])
-                .map(|t| t.as_iq_tag())
-                .collect();
-            cl.iq
-                .insert(seq, seq, waiting)
-                .expect("space checked by has_space");
+            let ClusterState { iq, ready, .. } = &mut self.clusters[ci];
+            iq.insert(
+                seq,
+                seq,
+                inf.srcs
+                    .iter()
+                    .filter(|t| !ready[t.index()])
+                    .map(|t| t.as_iq_tag()),
+            )
+            .expect("space checked by has_space");
             inserted += 1;
         }
 
@@ -842,6 +871,11 @@ impl<'p> Pipeline<'p> {
         let now = self.now;
         let width = self.cfg.uarch.issue_width;
         let cycle = self.clusters[ci].cycle;
+        // Reused per-tick scratch, moved out so the split borrows below
+        // stay disjoint.
+        let mut latencies = std::mem::take(&mut self.clusters[ci].latency_scratch);
+        let mut picked = std::mem::take(&mut self.clusters[ci].picked_scratch);
+        latencies.clear();
         // Split borrows: the IQ needs &mut independent of the rest.
         let ClusterState { iq, fus, .. } = &mut self.clusters[ci];
         let inflight = &self.inflight;
@@ -852,9 +886,8 @@ impl<'p> Pipeline<'p> {
         let mem_latency = self.cfg.uarch.mem_latency;
         let mut store_forwards = 0u64;
 
-        let mut latencies: Vec<(u64, u64)> = Vec::new();
-        let picked = iq.select_with(width, |seq| {
-            let Some(inf) = inflight.get(&seq) else { return true /* squash race: drop */ };
+        iq.select_into(width, |seq| {
+            let Some(inf) = inflight.get(seq) else { return true /* squash race: drop */ };
             let base_lat = inf.op.exec_latency();
             match inf.op {
                 OpClass::Store => {
@@ -892,16 +925,16 @@ impl<'p> Pipeline<'p> {
                     true
                 }
             }
-        });
+        }, &mut picked);
         self.store_forwards_total += store_forwards;
         let issued = picked.len() as u32;
         self.issued_total += u64::from(issued);
         for &seq in &picked {
-            if self.inflight.get(&seq).map(|i| i.wrong_path).unwrap_or(false) {
+            if self.inflight.get(seq).map(|i| i.wrong_path).unwrap_or(false) {
                 self.issued_wrong_path += 1;
             }
         }
-        for seq in picked {
+        for &seq in &picked {
             let lat = latencies
                 .iter()
                 .find(|(s, _)| *s == seq)
@@ -909,13 +942,17 @@ impl<'p> Pipeline<'p> {
                 .unwrap_or(1);
             self.clusters[ci].executing.push((cycle + lat.max(1), seq));
         }
+        latencies.clear();
+        picked.clear();
+        self.clusters[ci].latency_scratch = latencies;
+        self.clusters[ci].picked_scratch = picked;
         let _ = now;
         issued
     }
 
     fn writeback(&mut self, ci: usize, seq: u64) {
         let now = self.now;
-        let Some(inf) = self.inflight.get(&seq) else { return };
+        let Some(inf) = self.inflight.get(seq) else { return };
         let dst = inf.dst;
         let is_mispredict = inf
             .branch

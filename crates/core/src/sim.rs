@@ -1,8 +1,24 @@
-//! Top-level simulation driver: clock domains as periodic events on the
-//! `gals-events` engine, exactly the framework of the paper's section 4.2.
+//! Top-level simulation drivers.
+//!
+//! Two drivers share one pipeline model:
+//!
+//! * [`simulate`] — the production path. The five domain clocks are purely
+//!   periodic, so they run on [`ClockSet`], the static clock-tick scheduler:
+//!   no heap, no boxed handlers, no per-edge allocation, and simultaneous
+//!   edges (the synchronous machine) coalesce into one batched dispatch.
+//!   Domain dispatch is static — a `match` in [`Pipeline::tick`] — instead
+//!   of the engine's `Box<dyn FnMut>` indirection.
+//! * [`simulate_with_engine`] — the original general-engine path, kept as
+//!   the reference implementation (the framework of the paper's section
+//!   4.2) and as the differential-testing oracle: both drivers must produce
+//!   bit-identical [`SimReport`]s, which `tests/end_to_end.rs` pins.
+//!
+//! The domain clocks carry distinct priorities (their domain index), so the
+//! `(time, priority)` edge order — and therefore every architectural and
+//! energy statistic — is identical between the two schedulers.
 
 use gals_clocks::Domain;
-use gals_events::{Control, Engine};
+use gals_events::{ClockSet, Control, Engine, Time};
 use gals_isa::Program;
 
 use crate::config::{ProcessorConfig, SimLimits};
@@ -33,6 +49,44 @@ use crate::report::SimReport;
 /// Panics if the configuration is invalid, or if the deadlock watchdog in
 /// [`SimLimits`] fires (which indicates a simulator bug, not a user error).
 pub fn simulate(program: &Program, config: ProcessorConfig, limits: SimLimits) -> SimReport {
+    let clocking = config.clocking.clone();
+    let mut pipeline = Pipeline::new(program, config, limits);
+    let mut clocks = ClockSet::new();
+    for d in Domain::ALL {
+        let clock = clocking.domain_clock(d);
+        clocks.add_clock(clock.phase, clock.period, d.index() as i32);
+    }
+    let mut exec_time = Time::ZERO;
+    while !pipeline.done() {
+        let Some(t) = clocks.tick_batch_while(|slot, now| {
+            pipeline.tick(Domain::ALL[slot], now);
+            // Stop mid-batch the moment the run completes, leaving the
+            // remaining simultaneous edges undispatched — the same stopping
+            // point as the engine's `run_while`.
+            !pipeline.done()
+        }) else {
+            break;
+        };
+        exec_time = t;
+    }
+    pipeline.into_report(exec_time)
+}
+
+/// Runs the identical simulation through the general [`Engine`] — the
+/// paper's original event-queue framework.
+///
+/// This is the reference/oracle path: slower (heap + boxed handlers per
+/// edge) but able to host aperiodic events alongside the clocks. The
+/// production [`simulate`] must match it bit-for-bit on every report field.
+///
+/// # Panics
+///
+/// Same conditions as [`simulate`].
+pub fn simulate_with_engine(
+    program: &Program,
+    config: ProcessorConfig,
+    limits: SimLimits,
+) -> SimReport {
     let clocking = config.clocking.clone();
     let mut pipeline = Pipeline::new(program, config, limits);
     let mut engine: Engine<Pipeline<'_>> = Engine::new();

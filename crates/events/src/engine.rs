@@ -38,11 +38,14 @@ pub enum Control {
     Cancel,
 }
 
+type OnceHandler<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+type PeriodicHandler<W> = Box<dyn FnMut(&mut W, &mut Engine<W>) -> Control>;
+
 enum Payload<W> {
-    Once(Box<dyn FnOnce(&mut W, &mut Engine<W>)>),
+    Once(OnceHandler<W>),
     Periodic {
         period: Time,
-        handler: Box<dyn FnMut(&mut W, &mut Engine<W>) -> Control>,
+        handler: PeriodicHandler<W>,
     },
 }
 
@@ -99,6 +102,12 @@ impl<W> Ord for Entry<W> {
 pub struct Engine<W> {
     heap: BinaryHeap<Entry<W>>,
     cancelled: HashSet<EventId>,
+    /// Ids of events that are scheduled and neither executed (one-shots),
+    /// self-terminated (periodics) nor cancelled. This is the source of
+    /// truth for [`Engine::is_idle`] and makes [`Engine::cancel`] exact:
+    /// cancelling an already-dead id is a no-op instead of planting a
+    /// permanent resident in `cancelled`.
+    live: HashSet<EventId>,
     now: Time,
     seq: u64,
     next_id: u64,
@@ -127,6 +136,7 @@ impl<W> Engine<W> {
         Engine {
             heap: BinaryHeap::new(),
             cancelled: HashSet::new(),
+            live: HashSet::new(),
             now: Time::ZERO,
             seq: 0,
             next_id: 0,
@@ -155,7 +165,7 @@ impl<W> Engine<W> {
 
     /// Returns `true` if no live events remain.
     pub fn is_idle(&self) -> bool {
-        self.heap.len() == self.cancelled.len()
+        self.live.is_empty()
     }
 
     fn push(&mut self, at: Time, priority: Priority, id: EventId, payload: Payload<W>) {
@@ -173,6 +183,7 @@ impl<W> Engine<W> {
     fn fresh_id(&mut self) -> EventId {
         let id = EventId(self.next_id);
         self.next_id += 1;
+        self.live.insert(id);
         id
     }
 
@@ -243,15 +254,15 @@ impl<W> Engine<W> {
     }
 
     /// Cancels a pending event. Returns `true` if the event was still
-    /// pending. Cancellation is lazy: the entry is skipped when popped.
+    /// pending (live); cancelling an id that already executed, terminated
+    /// or was cancelled is a no-op returning `false`. Heap removal is lazy
+    /// — the entry is skipped when popped — but liveness accounting is
+    /// exact, so [`Engine::is_idle`] never lies and the cancellation set
+    /// cannot grow unboundedly.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_id {
+        if !self.live.remove(&id) {
             return false;
         }
-        // An id is pending if some heap entry carries it; we cannot probe the
-        // heap cheaply, so conservatively record it and report whether it was
-        // not already cancelled. Ids of already-executed one-shot events are
-        // harmless residents of the set.
         self.cancelled.insert(id)
     }
 
@@ -267,10 +278,14 @@ impl<W> Engine<W> {
             self.now = entry.at;
             self.processed += 1;
             match entry.payload {
-                Payload::Once(f) => f(world, self),
+                Payload::Once(f) => {
+                    self.live.remove(&entry.id);
+                    f(world, self);
+                }
                 Payload::Periodic { period, mut handler } => {
                     let control = handler(world, self);
-                    // The handler may have cancelled itself via `cancel`.
+                    // The handler may have cancelled itself via `cancel`
+                    // (which already removed it from the live set).
                     let self_cancelled = self.cancelled.remove(&entry.id);
                     if control == Control::Keep && !self_cancelled {
                         self.push(
@@ -279,6 +294,8 @@ impl<W> Engine<W> {
                             entry.id,
                             Payload::Periodic { period, handler },
                         );
+                    } else if !self_cancelled {
+                        self.live.remove(&entry.id);
                     }
                 }
             }
@@ -503,6 +520,47 @@ mod tests {
     fn cancel_unknown_id_is_false() {
         let mut engine: Engine<u32> = Engine::new();
         assert!(!engine.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn cancelling_executed_one_shot_is_a_no_op() {
+        // Regression: cancelling an id whose one-shot already executed used
+        // to plant a permanent resident in the cancelled set, making
+        // `is_idle` report idle while a periodic clock was still live.
+        let mut engine: Engine<u32> = Engine::new();
+        let once = engine.schedule_once(Time::from_ns(1), 0, |c, _| *c += 1);
+        let clock = engine.schedule_periodic(Time::ZERO, Time::from_ns(1), 0, |_, _| Control::Keep);
+        let mut w = 0;
+        engine.run_until(&mut w, Time::from_ns(3));
+        assert!(!engine.cancel(once), "executed events cannot be cancelled");
+        assert!(!engine.is_idle(), "the clock is still live");
+        assert!(engine.cancel(clock));
+        assert!(engine.is_idle());
+        engine.run(&mut w);
+        assert_eq!(engine.pending(), 0, "lazy-cancelled entries drain fully");
+        assert_eq!(w, 1);
+    }
+
+    #[test]
+    fn double_cancel_reports_false_once() {
+        let mut engine: Engine<u32> = Engine::new();
+        let id = engine.schedule_once(Time::from_ns(1), 0, |_, _| {});
+        assert!(engine.cancel(id));
+        assert!(!engine.cancel(id));
+        assert!(engine.is_idle());
+    }
+
+    #[test]
+    fn periodic_self_termination_goes_idle() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_periodic(Time::ZERO, Time::from_ns(1), 0, |c, _| {
+            *c += 1;
+            if *c == 3 { Control::Cancel } else { Control::Keep }
+        });
+        let mut w = 0;
+        engine.run(&mut w);
+        assert_eq!(w, 3);
+        assert!(engine.is_idle());
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! Property-based tests for the event engine's ordering invariants.
+//! Property-based tests for the event engine's ordering invariants and the
+//! ClockSet/Engine differential equivalence.
 
-use gals_events::{Control, Engine, Time};
+use gals_events::{ClockSet, Control, Engine, Time};
 use proptest::prelude::*;
 
 proptest! {
@@ -59,6 +60,56 @@ proptest! {
         let mut count = 0;
         engine.run(&mut count);
         prop_assert_eq!(count, kept);
+    }
+
+    /// The static ClockSet scheduler and the general engine produce the
+    /// identical `(time, clock)` edge sequence for any set of periodic
+    /// clocks with distinct priorities — the ordering contract `simulate()`
+    /// relies on when it drives the pipeline through the fast path.
+    #[test]
+    fn clockset_matches_engine_edge_for_edge(
+        specs in prop::collection::vec((0u64..4_000, 1u64..4_000), 1..6),
+        horizon in 4_000u64..40_000,
+    ) {
+        // Engine path: one periodic event per clock, priority = index.
+        let mut engine: Engine<Vec<(u64, usize)>> = Engine::new();
+        for (i, &(phase, period)) in specs.iter().enumerate() {
+            engine.schedule_periodic(
+                Time::from_fs(phase),
+                Time::from_fs(period),
+                i as i32,
+                move |log: &mut Vec<(u64, usize)>, e| {
+                    log.push((e.now().as_fs(), i));
+                    Control::Keep
+                },
+            );
+        }
+        let mut engine_log = Vec::new();
+        engine.run_until(&mut engine_log, Time::from_fs(horizon));
+
+        // ClockSet path, single-edge ticking.
+        let mut cs = ClockSet::new();
+        for (i, &(phase, period)) in specs.iter().enumerate() {
+            cs.add_clock(Time::from_fs(phase), Time::from_fs(period), i as i32);
+        }
+        let mut cs_log = Vec::new();
+        while let Some((t, _)) = cs.peek() {
+            if t.as_fs() >= horizon {
+                break;
+            }
+            let (t, slot) = cs.tick().expect("peeked edge exists");
+            cs_log.push((t.as_fs(), slot));
+        }
+        prop_assert_eq!(&engine_log, &cs_log);
+
+        // Batched dispatch must flatten to the same sequence.
+        let mut batched = ClockSet::new();
+        for (i, &(phase, period)) in specs.iter().enumerate() {
+            batched.add_clock(Time::from_fs(phase), Time::from_fs(period), i as i32);
+        }
+        let mut batch_log = Vec::new();
+        batched.run_until(Time::from_fs(horizon), |slot, t| batch_log.push((t.as_fs(), slot)));
+        prop_assert_eq!(&engine_log, &batch_log);
     }
 
     /// Two interleaved clocks process a number of events equal to the sum of

@@ -160,6 +160,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::field_reassign_with_default)] // mutating one knob at a time is the point
     fn validation_catches_bad_values() {
         let mut p = EnergyParams::default();
         p.idle_fraction = 1.5;

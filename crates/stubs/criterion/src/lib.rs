@@ -1,0 +1,173 @@
+//! Offline stub of the slice of `criterion` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this crate stands in
+//! for the real Criterion: same macro/builder surface
+//! (`criterion_group!`/`criterion_main!`, `bench_function`,
+//! `benchmark_group`, `Throughput`), a plain wall-clock measurement loop
+//! instead of statistics, and one summary line per benchmark on stdout:
+//!
+//! ```text
+//! bench simulate/base/gcc ... 1234567 ns/iter (8100 elem/s)
+//! ```
+//!
+//! Iteration counts auto-scale to keep each benchmark around
+//! `MEASURE_TARGET` of wall time, so both quick CI smoke runs and real
+//! measurements use the same entry point.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(400);
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measures `f`, auto-scaling the iteration count to the target
+    /// measurement time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: time a single iteration.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (MEASURE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn report(name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if ns_per_iter > 0.0 => {
+            format!(" ({:.0} elem/s)", n as f64 * 1e9 / ns_per_iter)
+        }
+        Some(Throughput::Bytes(n)) if ns_per_iter > 0.0 => {
+            format!(" ({:.0} B/s)", n as f64 * 1e9 / ns_per_iter)
+        }
+        _ => String::new(),
+    };
+    println!("bench {name} ... {ns_per_iter:.0} ns/iter{rate}");
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(name, b.ns_per_iter, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub sizes runs by wall time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark over an input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.name), b.ns_per_iter, self.throughput);
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{name}", self.name), b.ns_per_iter, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,40 @@
+//! Runner configuration and case outcomes.
+
+pub use crate::strategy::TestRng;
+
+/// Configuration of a `proptest!` block, settable via
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of successful cases each property must pass.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+impl Config {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+/// Outcome of one drawn case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected (by `prop_assume!` or a filter); draw another.
+    Reject,
+    /// An assertion failed; the property is falsified.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}

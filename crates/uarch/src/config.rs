@@ -252,6 +252,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::field_reassign_with_default)] // mutating one knob at a time is the point
     fn validate_catches_tiny_regfile() {
         let mut c = UarchConfig::default();
         c.int_phys_regs = 16;

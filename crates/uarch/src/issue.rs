@@ -10,15 +10,42 @@ use crate::rename::PhysReg;
 /// Token identifying an instruction waiting in a queue (opaque payload key).
 pub type IqToken = u64;
 
-/// One waiting instruction.
-#[derive(Debug, Clone)]
+/// Maximum outstanding source tags per queued instruction. Two register
+/// sources is the ISA ceiling; the headroom is free (the array is inline).
+const MAX_WAITING: usize = 4;
+
+/// One waiting instruction. The outstanding-source set is an inline array —
+/// inserting into the queue performs no heap allocation.
+#[derive(Debug, Clone, Copy)]
 struct IqEntry {
     token: IqToken,
     /// Age for oldest-first selection (dynamic sequence number works well).
     age: u64,
     /// Source operands still outstanding. Tags are destination physical
     /// registers of producer instructions.
-    waiting: Vec<PhysReg>,
+    waiting: [PhysReg; MAX_WAITING],
+    /// Live prefix length of `waiting`.
+    nwait: u8,
+}
+
+impl IqEntry {
+    #[inline]
+    fn is_ready(&self) -> bool {
+        self.nwait == 0
+    }
+
+    #[inline]
+    fn drop_tag(&mut self, tag: PhysReg) {
+        let mut i = 0;
+        while i < self.nwait as usize {
+            if self.waiting[i] == tag {
+                self.nwait -= 1;
+                self.waiting[i] = self.waiting[self.nwait as usize];
+            } else {
+                i += 1;
+            }
+        }
+    }
 }
 
 /// Statistics of one issue queue.
@@ -71,6 +98,11 @@ pub struct IssueQueue {
     capacity: usize,
     entries: Vec<IqEntry>,
     stats: IssueQueueStats,
+    /// Selection scratch (`(age, index)` of ready entries), reused across
+    /// cycles so steady-state selection allocates nothing.
+    ready_scratch: Vec<(u64, usize)>,
+    /// Selection scratch (indices picked this cycle).
+    chosen_scratch: Vec<usize>,
 }
 
 impl IssueQueue {
@@ -85,6 +117,8 @@ impl IssueQueue {
             capacity,
             entries: Vec::with_capacity(capacity),
             stats: IssueQueueStats::default(),
+            ready_scratch: Vec::with_capacity(capacity),
+            chosen_scratch: Vec::with_capacity(capacity),
         }
     }
 
@@ -116,68 +150,92 @@ impl IssueQueue {
     /// Inserts an instruction.
     ///
     /// `waiting` lists the source tags not yet produced; an empty list means
-    /// the instruction is immediately ready.
+    /// the instruction is immediately ready. Any iterator works — the tags
+    /// are stored inline, so dispatch need not build a `Vec`.
     ///
     /// # Errors
     ///
     /// Returns `Err(token)` (the rejected token) when the queue is full —
     /// dispatch must stall.
-    pub fn insert(&mut self, token: IqToken, age: u64, waiting: Vec<PhysReg>) -> Result<(), IqToken> {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `waiting` yields more than four tags (the ISA has at most
+    /// two register sources).
+    pub fn insert(
+        &mut self,
+        token: IqToken,
+        age: u64,
+        waiting: impl IntoIterator<Item = PhysReg>,
+    ) -> Result<(), IqToken> {
         if !self.has_space() {
             return Err(token);
         }
         self.stats.inserted += 1;
-        self.entries.push(IqEntry { token, age, waiting });
+        let mut entry = IqEntry {
+            token,
+            age,
+            waiting: [PhysReg(0); MAX_WAITING],
+            nwait: 0,
+        };
+        for tag in waiting {
+            assert!(
+                (entry.nwait as usize) < MAX_WAITING,
+                "instruction waits on more than {MAX_WAITING} source tags"
+            );
+            entry.waiting[entry.nwait as usize] = tag;
+            entry.nwait += 1;
+        }
+        self.entries.push(entry);
         Ok(())
     }
 
     /// Broadcasts a completed producer tag, marking dependents ready.
     pub fn wakeup(&mut self, tag: PhysReg) {
         for e in &mut self.entries {
-            e.waiting.retain(|&w| w != tag);
+            e.drop_tag(tag);
         }
     }
 
     /// Selects up to `width` ready instructions, oldest first, removing them
     /// from the queue. Returns their tokens in selection order.
     pub fn select(&mut self, width: u32) -> Vec<IqToken> {
-        let mut ready: Vec<(u64, usize)> = self
-            .entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.waiting.is_empty())
-            .map(|(i, e)| (e.age, i))
-            .collect();
-        ready.sort_unstable();
-        if ready.len() > width as usize {
-            self.stats.width_stalls += 1;
-        }
-        ready.truncate(width as usize);
-        let mut picked: Vec<usize> = ready.iter().map(|&(_, i)| i).collect();
-        // Remove from the back so indices stay valid.
-        picked.sort_unstable_by(|a, b| b.cmp(a));
-        let mut tokens: Vec<(u64, IqToken)> = Vec::with_capacity(picked.len());
-        for i in picked {
-            let e = self.entries.swap_remove(i);
-            tokens.push((e.age, e.token));
-        }
-        tokens.sort_unstable();
-        self.stats.issued += tokens.len() as u64;
-        tokens.into_iter().map(|(_, t)| t).collect()
+        self.select_with(width, |_| true)
     }
 
     /// Selects ready instructions for which `admit` also returns true
     /// (e.g. a functional unit is free), oldest first, up to `width`.
-    pub fn select_with(&mut self, width: u32, mut admit: impl FnMut(IqToken) -> bool) -> Vec<IqToken> {
-        let mut ready: Vec<(u64, usize)> = self
-            .entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.waiting.is_empty())
-            .map(|(i, e)| (e.age, i))
-            .collect();
+    pub fn select_with(&mut self, width: u32, admit: impl FnMut(IqToken) -> bool) -> Vec<IqToken> {
+        let mut out = Vec::new();
+        self.select_into(width, admit, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`IssueQueue::select_with`]: clears `out`
+    /// and fills it with the selected tokens, oldest first. With a reused
+    /// `out` buffer the steady-state selection path performs no heap
+    /// allocation (internal scratch is owned by the queue).
+    pub fn select_into(
+        &mut self,
+        width: u32,
+        mut admit: impl FnMut(IqToken) -> bool,
+        out: &mut Vec<IqToken>,
+    ) {
+        out.clear();
+        // Scratch buffers are moved out for the duration of the scan so the
+        // borrow checker allows indexing `entries` inside the loop.
+        let mut ready = std::mem::take(&mut self.ready_scratch);
+        let mut chosen = std::mem::take(&mut self.chosen_scratch);
+        ready.clear();
+        chosen.clear();
+        ready.extend(
+            self.entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.is_ready())
+                .map(|(i, e)| (e.age, i)),
+        );
         ready.sort_unstable();
-        let mut chosen: Vec<usize> = Vec::new();
         for &(_, i) in &ready {
             if chosen.len() == width as usize {
                 self.stats.width_stalls += 1;
@@ -187,19 +245,25 @@ impl IssueQueue {
                 chosen.push(i);
             }
         }
-        chosen.sort_unstable_by(|a, b| b.cmp(a));
-        let mut tokens: Vec<(u64, IqToken)> = Vec::with_capacity(chosen.len());
-        for i in chosen {
-            let e = self.entries.swap_remove(i);
-            tokens.push((e.age, e.token));
+        // `chosen` is in ascending age order; emit tokens before removal
+        // invalidates indices.
+        for &i in &chosen {
+            out.push(self.entries[i].token);
         }
-        tokens.sort_unstable();
-        self.stats.issued += tokens.len() as u64;
-        tokens.into_iter().map(|(_, t)| t).collect()
+        // Remove from the back so indices stay valid.
+        chosen.sort_unstable_by(|a, b| b.cmp(a));
+        for &i in &chosen {
+            self.entries.swap_remove(i);
+        }
+        self.stats.issued += out.len() as u64;
+        self.ready_scratch = ready;
+        self.chosen_scratch = chosen;
     }
 
     /// Removes every instruction younger than `age` (squash after a
-    /// mispredicted branch). Returns the removed tokens.
+    /// mispredicted branch). Returns the removed tokens. Squashes happen
+    /// only on misprediction recovery, so the returned `Vec` is off the
+    /// steady-state path.
     pub fn squash_younger(&mut self, age: u64) -> Vec<IqToken> {
         let mut squashed = Vec::new();
         self.entries.retain(|e| {
@@ -298,6 +362,21 @@ mod tests {
         iq.sample_occupancy();
         assert_eq!(iq.stats().mean_occupancy(), 1.5);
         assert_eq!(iq.stats().occupancy_peak, 2);
+    }
+
+    #[test]
+    fn select_into_reuses_caller_buffer() {
+        let mut iq = IssueQueue::new(8);
+        let mut out = Vec::new();
+        iq.insert(1, 0, std::iter::empty()).unwrap();
+        iq.insert(2, 1, [PhysReg(9)]).unwrap();
+        iq.select_into(4, |_| true, &mut out);
+        assert_eq!(out, vec![1]);
+        iq.wakeup(PhysReg(9));
+        iq.select_into(4, |_| true, &mut out);
+        assert_eq!(out, vec![2]);
+        iq.select_into(4, |_| true, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

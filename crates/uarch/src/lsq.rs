@@ -94,6 +94,7 @@ impl StoreBuffer {
     /// # Panics
     ///
     /// Panics if `seq` is not older-to-younger monotonic.
+    #[allow(clippy::result_unit_err)] // full/not-full is the entire story
     pub fn reserve(&mut self, seq: u64) -> Result<(), ()> {
         if !self.has_space() {
             return Err(());

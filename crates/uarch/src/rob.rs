@@ -125,6 +125,28 @@ impl<T> Rob<T> {
         }
     }
 
+    /// Commits the head entry unconditionally, returning `(seq, payload)`.
+    ///
+    /// For callers that track completion outside the ROB (the pipeline keeps
+    /// a completed flag on its in-flight table, making the per-completion
+    /// [`Rob::complete`] search unnecessary): the ROB then only enforces
+    /// program order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gals_uarch::Rob;
+    ///
+    /// let mut rob: Rob<&str> = Rob::new(4);
+    /// rob.alloc(7, "head").unwrap();
+    /// rob.alloc(8, "next").unwrap();
+    /// assert_eq!(rob.pop_head(), Some((7, "head")));
+    /// assert_eq!(rob.len(), 1);
+    /// ```
+    pub fn pop_head(&mut self) -> Option<(u64, T)> {
+        self.entries.pop_front().map(|e| (e.seq, e.payload))
+    }
+
     /// Peeks the head entry without committing.
     pub fn head(&self) -> Option<(u64, RobStatus, &T)> {
         self.entries.front().map(|e| (e.seq, e.status, &e.payload))

@@ -2,7 +2,7 @@
 //! facade crate, checking the paper's qualitative claims end to end.
 
 use gals::clocks::Domain;
-use gals::core::{simulate, Clocking, DvfsPlan, ProcessorConfig, SimLimits};
+use gals::core::{simulate, simulate_with_engine, Clocking, DvfsPlan, ProcessorConfig, SimLimits};
 use gals::events::Time;
 use gals::workload::{generate, micro, Benchmark};
 
@@ -18,6 +18,36 @@ fn base_commits_exactly_the_requested_budget() {
     assert_eq!(r.committed, LIMITS.max_insts);
     assert!(r.exec_time > Time::ZERO);
     assert!(r.fetched >= r.committed);
+}
+
+#[test]
+fn clockset_and_engine_schedulers_produce_identical_reports() {
+    // The production `simulate` drives the pipeline through the static
+    // ClockSet scheduler; `simulate_with_engine` is the original
+    // general-engine oracle. Every field of the report — timing, per-domain
+    // cycles, caches, energy — must match bit for bit, on both clocking
+    // styles and across distinct workloads.
+    let limits = SimLimits {
+        max_insts: 8_000,
+        watchdog_cycles: 200_000,
+    };
+    for bench in [Benchmark::Gcc, Benchmark::Fpppp] {
+        let program = generate(bench, 42);
+        for cfg in [
+            ProcessorConfig::synchronous_1ghz(),
+            ProcessorConfig::gals_equal_1ghz(7),
+        ] {
+            let fast = simulate(&program, cfg.clone(), limits);
+            let oracle = simulate_with_engine(&program, cfg.clone(), limits);
+            assert_eq!(
+                format!("{fast:?}"),
+                format!("{oracle:?}"),
+                "scheduler divergence on {} / {:?}",
+                bench.name(),
+                cfg.clocking
+            );
+        }
+    }
 }
 
 #[test]
