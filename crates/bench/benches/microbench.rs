@@ -15,11 +15,14 @@ fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("events/three_clock_engine_1us", |b| {
         b.iter(|| {
             let mut engine: Engine<u64> = Engine::new();
-            for (phase, period) in [(500u64, 2_000u64), (1_000, 3_000), (0, 2_500)] {
+            for (i, (phase, period)) in [(500u64, 2_000u64), (1_000, 3_000), (0, 2_500)]
+                .into_iter()
+                .enumerate()
+            {
                 engine.schedule_periodic(
                     Time::from_ps(phase),
                     Time::from_ps(period),
-                    0,
+                    i as i32, // distinct per-clock priorities (the contract)
                     |count: &mut u64, _| {
                         *count += 1;
                         Control::Keep

@@ -4,7 +4,10 @@
 //! writes the results to `BENCH_throughput.json` so the perf trajectory is
 //! recorded across PRs.
 //!
-//! Run with `cargo run --release --bin bench_throughput`.
+//! Run with `cargo run --release --bin bench_throughput`. An instruction
+//! budget passed as the first argument selects a smoke run (e.g. in CI:
+//! `-- 2000`) that exercises both paths but does **not** overwrite the
+//! checked-in `BENCH_throughput.json` baseline.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -47,6 +50,8 @@ fn best_insts_per_sec(mut run: impl FnMut() -> u64) -> f64 {
 }
 
 fn main() {
+    let insts = gals_bench::budget_from_args(INSTS);
+    let smoke = insts != INSTS;
     let mut rows = Vec::new();
     for bench in [Benchmark::Gcc, Benchmark::Fpppp] {
         let program = generate(bench, 42);
@@ -54,7 +59,7 @@ fn main() {
             ("sync", ProcessorConfig::synchronous_1ghz()),
             ("gals", ProcessorConfig::gals_equal_1ghz(1)),
         ] {
-            let limits = SimLimits::insts(INSTS);
+            let limits = SimLimits::insts(insts);
             let fast = {
                 let cfg = cfg.clone();
                 let program = &program;
@@ -93,6 +98,13 @@ fn main() {
         rows.iter().map(|r| r.clockset_ips / r.seed_ips).sum::<f64>() / rows.len() as f64;
     println!("mean clockset/engine speedup: {mean_speedup:.2}x");
     println!("mean speedup vs seed baseline: {mean_vs_seed:.2}x");
+
+    if smoke {
+        // A non-default budget is a smoke/CI run: the seed comparison and
+        // the recorded trajectory are only meaningful at the full budget.
+        println!("smoke budget {insts}: not touching BENCH_throughput.json");
+        return;
+    }
 
     // Hand-rolled JSON (the workspace carries no serde).
     let mut json = String::from("{\n");

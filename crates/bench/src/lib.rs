@@ -36,6 +36,31 @@ pub fn run_gals(bench: Benchmark, insts: u64) -> SimReport {
     simulate(&program, ProcessorConfig::gals_equal_1ghz(PHASE_SEED), SimLimits::insts(insts))
 }
 
+/// Runs one benchmark on the pausible-clock ablation machine (equal 1 GHz
+/// nominal clocks and the same phases as [`run_gals`], 300 ps handshake).
+pub fn run_pausible(bench: Benchmark, insts: u64) -> SimReport {
+    let program = generate(bench, WORKLOAD_SEED);
+    simulate(&program, ProcessorConfig::pausible_equal_1ghz(PHASE_SEED), SimLimits::insts(insts))
+}
+
+/// The committed-instruction budget from the binary's first CLI argument,
+/// falling back to `default` (typically [`RUN_INSTS`]) when no argument is
+/// given. Lets CI smoke-run the figure binaries on a tiny budget
+/// (`cargo run --release --bin <bin> -- 2000`).
+///
+/// # Panics
+///
+/// Panics on an unparseable argument — a typo in a smoke budget must not
+/// silently degrade into a full-budget run.
+pub fn budget_from_args(default: u64) -> u64 {
+    match std::env::args().nth(1) {
+        None => default,
+        Some(arg) => arg
+            .parse()
+            .unwrap_or_else(|_| panic!("invalid instruction-budget argument {arg:?}")),
+    }
+}
+
 /// Runs one benchmark on a GALS machine with a DVFS plan applied.
 pub fn run_gals_dvfs(bench: Benchmark, insts: u64, plan: DvfsPlan) -> SimReport {
     let program = generate(bench, WORKLOAD_SEED);

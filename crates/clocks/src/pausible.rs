@@ -8,7 +8,11 @@
 //! every cycle would lead to a situation where the effective clock
 //! frequency is determined not by the clock generator but by the rate of
 //! communication with other synchronous modules." This model quantifies that
-//! objection for the ablation benchmark.
+//! objection analytically; since pausible clocking became a simulated mode
+//! (`Clocking::Pausible` in `gals-core`, built on the schedulers' clock
+//! stretching), the model also parameterises the simulated machine's
+//! handshake and serves as a cross-check against the measured per-domain
+//! effective frequencies (see the `ablation_pausible` binary).
 
 use gals_events::Time;
 

@@ -174,6 +174,8 @@ mod tests {
             issued: 13_000,
             issued_wrong_path: 500,
             channel_ops: 50_000,
+            stretches: [0; 5],
+            stretch_time: [Time::ZERO; 5],
             energy: EnergyBreakdown {
                 blocks: [0.0; 12],
                 global_clock: 0.0,

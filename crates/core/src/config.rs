@@ -1,7 +1,7 @@
 //! Processor configuration: clocking style, microarchitecture, energy
 //! parameters and per-domain voltage/frequency scaling.
 
-use gals_clocks::{ClockSpec, Domain, VoltageScaling};
+use gals_clocks::{ClockSpec, Domain, PausibleClockModel, VoltageScaling};
 use gals_events::Time;
 use gals_power::EnergyParams;
 use gals_uarch::UarchConfig;
@@ -16,6 +16,19 @@ pub enum Clocking {
     /// The GALS machine: five independent local clocks (period *and* phase),
     /// mixed-clock FIFOs on every domain crossing, no global grid.
     Gals([ClockSpec; 5]),
+    /// The pausible-clock machine of the paper's section-3.2 ablation: five
+    /// independent local clocks as in [`Clocking::Gals`], but domain
+    /// crossings synchronise by *stretching both participating clocks* for
+    /// one arbiter handshake instead of buffering through mixed-clock
+    /// FIFOs. Channels behave as plain latches with no synchronisation
+    /// delay; every inter-domain transfer delays the next edge of the
+    /// producer's and consumer's clocks by the model's handshake time.
+    Pausible {
+        /// The five local clocks, indexed by [`Domain::index`].
+        clocks: [ClockSpec; 5],
+        /// Handshake timing of the pausible interface.
+        model: PausibleClockModel,
+    },
 }
 
 impl Clocking {
@@ -24,20 +37,33 @@ impl Clocking {
     pub fn domain_clock(&self, domain: Domain) -> ClockSpec {
         match self {
             Clocking::Synchronous(c) => *c,
-            Clocking::Gals(clocks) => clocks[domain.index()],
+            Clocking::Gals(clocks) | Clocking::Pausible { clocks, .. } => clocks[domain.index()],
         }
     }
 
-    /// True for the GALS variant.
+    /// True for the single-clock base machine (the only variant with a
+    /// global clock grid).
+    pub fn is_synchronous(&self) -> bool {
+        matches!(self, Clocking::Synchronous(_))
+    }
+
+    /// True for the GALS (mixed-clock FIFO) variant.
     pub fn is_gals(&self) -> bool {
         matches!(self, Clocking::Gals(_))
+    }
+
+    /// True for the pausible-clock variant.
+    pub fn is_pausible(&self) -> bool {
+        matches!(self, Clocking::Pausible { .. })
     }
 
     /// The slowest domain period (used for watchdogs and normalisation).
     pub fn max_period(&self) -> Time {
         match self {
             Clocking::Synchronous(c) => c.period,
-            Clocking::Gals(clocks) => clocks.iter().map(|c| c.period).max().expect("five clocks"),
+            Clocking::Gals(clocks) | Clocking::Pausible { clocks, .. } => {
+                clocks.iter().map(|c| c.period).max().expect("five clocks")
+            }
         }
     }
 }
@@ -110,8 +136,9 @@ pub struct ProcessorConfig {
     /// empty-flag synchroniser depth; 1.0 models the Chelcea–Nowick
     /// low-latency design).
     pub fifo_sync_periods: f64,
-    /// Per-domain DVFS plan (applies to GALS domains; for the synchronous
-    /// machine only a uniform plan is meaningful).
+    /// Per-domain DVFS plan (applies per domain to the GALS and pausible
+    /// machines; for the synchronous machine only a uniform plan is
+    /// meaningful).
     pub dvfs: DvfsPlan,
 }
 
@@ -144,6 +171,26 @@ impl ProcessorConfig {
         }
     }
 
+    /// The pausible-clock ablation machine: the same five 1 GHz clocks and
+    /// pseudo-random phases as [`ProcessorConfig::gals_equal_1ghz`] (taken
+    /// from it directly, so paired head-to-head comparisons share phases by
+    /// construction), with a conservative 300 ps handshake (arbitration +
+    /// data transfer against a 1 ns cycle) stretched into both endpoint
+    /// clocks on every domain crossing.
+    pub fn pausible_equal_1ghz(phase_seed: u64) -> Self {
+        let gals = Self::gals_equal_1ghz(phase_seed);
+        let Clocking::Gals(clocks) = gals.clocking else {
+            unreachable!("gals_equal_1ghz builds a GALS clocking")
+        };
+        ProcessorConfig {
+            clocking: Clocking::Pausible {
+                clocks,
+                model: PausibleClockModel::new(Time::from_ps(300)),
+            },
+            ..gals
+        }
+    }
+
     /// Applies a DVFS plan: GALS domain clocks are slowed per the plan and
     /// supply-voltage energy factors are configured to match.
     ///
@@ -154,7 +201,7 @@ impl ProcessorConfig {
     #[must_use]
     pub fn with_dvfs(mut self, plan: DvfsPlan) -> Self {
         match &mut self.clocking {
-            Clocking::Gals(clocks) => {
+            Clocking::Gals(clocks) | Clocking::Pausible { clocks, .. } => {
                 for d in Domain::ALL {
                     let i = d.index();
                     *clocks.get_mut(i).expect("five clocks") =
@@ -286,6 +333,34 @@ mod tests {
     fn non_uniform_dvfs_on_sync_panics() {
         let plan = DvfsPlan::nominal().with_slowdown(Domain::FpCluster, 2.0);
         let _ = ProcessorConfig::synchronous_1ghz().with_dvfs(plan);
+    }
+
+    #[test]
+    fn pausible_config_validates_and_matches_gals_clocks() {
+        let p = ProcessorConfig::pausible_equal_1ghz(7);
+        p.validate().unwrap();
+        assert!(p.clocking.is_pausible());
+        assert!(!p.clocking.is_gals());
+        assert!(!p.clocking.is_synchronous());
+        let g = ProcessorConfig::gals_equal_1ghz(7);
+        for d in Domain::ALL {
+            // Same phases as the GALS machine for paired comparisons.
+            assert_eq!(p.clocking.domain_clock(d), g.clocking.domain_clock(d));
+        }
+        assert_eq!(p.clocking.max_period(), Time::from_ns(1));
+    }
+
+    #[test]
+    fn dvfs_slows_pausible_clocks_per_domain() {
+        let plan = DvfsPlan::nominal().with_slowdown(Domain::MemCluster, 2.0);
+        let cfg = ProcessorConfig::pausible_equal_1ghz(1).with_dvfs(plan);
+        if let Clocking::Pausible { clocks, model } = &cfg.clocking {
+            assert_eq!(clocks[Domain::MemCluster.index()].period, Time::from_ns(2));
+            assert_eq!(clocks[Domain::Fetch.index()].period, Time::from_ns(1));
+            assert_eq!(model.handshake, Time::from_ps(300));
+        } else {
+            panic!("pausible clocking expected");
+        }
     }
 
     #[test]

@@ -226,8 +226,9 @@ impl InFlightTable {
     ///
     /// # Panics
     ///
-    /// Panics if growth passes [`INFLIGHT_CAP_CEILING`] — instructions are
-    /// leaking, which indicates a simulator bug, never a user error.
+    /// Panics if growth passes `INFLIGHT_CAP_CEILING` (2²⁴ slots) —
+    /// instructions are leaking, which indicates a simulator bug, never a
+    /// user error.
     pub fn insert(&mut self, inf: InFlight) {
         let i = self.idx(inf.seq);
         if self.slots[i].is_some() {

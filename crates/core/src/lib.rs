@@ -5,10 +5,14 @@
 //! 2002): a 4-wide out-of-order superscalar pipeline that runs either
 //!
 //! * **synchronously** — one clock, pipeline latches, a global clock grid
-//!   burning power every cycle; or
+//!   burning power every cycle;
 //! * **GALS** — five locally synchronous domains (fetch / decode /
 //!   integer / FP / memory) with independent clock periods *and* phases,
-//!   mixed-clock FIFOs on every domain crossing, and no global grid.
+//!   mixed-clock FIFOs on every domain crossing, and no global grid; or
+//! * **pausible** — the section-3.2 ablation: the same five local clocks,
+//!   but every domain crossing stretches both participating clocks for an
+//!   arbiter handshake instead of buffering through a FIFO, so measured
+//!   effective frequencies are set by communication rates.
 //!
 //! Both machines share all pipeline code; they differ only in channel
 //! construction and clock wiring (see [`ProcessorConfig`]), mirroring how

@@ -50,6 +50,9 @@ use crate::report::SimReport;
 /// touch plausible but distinct addresses.
 const WRONG_PATH_SALT: u64 = 0xD00D_F00D_5EED_0001;
 
+/// Clock domain of each execution cluster, indexed like `Pipeline::clusters`.
+const CLUSTER_DOMAINS: [Domain; 3] = [Domain::IntCluster, Domain::FpCluster, Domain::MemCluster];
+
 /// One execution cluster (domains 3, 4, 5).
 struct ClusterState {
     domain: Domain,
@@ -147,6 +150,20 @@ pub struct Pipeline<'p> {
     store_forwards_total: u64,
     issued_total: u64,
     issued_wrong_path: u64,
+    /// Pausible clocking: handshake duration charged to both endpoint
+    /// clocks per inter-domain transfer; `None` in the synchronous and
+    /// FIFO-GALS machines.
+    stretch_handshake: Option<Time>,
+    /// Stretch time accumulated since the driver last drained it, indexed
+    /// by [`Domain::index`].
+    pending_stretch: [Time; 5],
+    /// Fast-path flag: whether `pending_stretch` holds anything.
+    stretch_pending: bool,
+    /// Lifetime stretch-event count per domain (each transfer counts once
+    /// at each endpoint).
+    stretch_events: [u64; 5],
+    /// Lifetime stretch time per domain.
+    stretch_time: [Time; 5],
     halted: bool,
     last_commit_time: Time,
     fetch_cycles: u64,
@@ -171,30 +188,32 @@ impl<'p> Pipeline<'p> {
             ClusterState::new(Domain::FpCluster, u.fp_iq_size, u.fp_alus),
             ClusterState::new(Domain::MemCluster, u.mem_iq_size, u.mem_ports),
         ];
-        let cluster_domains = [Domain::IntCluster, Domain::FpCluster, Domain::MemCluster];
         let ch_dispatch = std::array::from_fn(|i| {
-            mk_data_channel(Domain::Decode, cluster_domains[i], cfg.channel_capacity)
+            mk_data_channel(Domain::Decode, CLUSTER_DOMAINS[i], cfg.channel_capacity)
         });
         let ch_complete = std::array::from_fn(|i| {
-            mk_data_channel(cluster_domains[i], Domain::Decode, cfg.side_channel_capacity)
+            mk_data_channel(CLUSTER_DOMAINS[i], Domain::Decode, cfg.side_channel_capacity)
         });
         let ch_wakeup = std::array::from_fn(|from| {
             std::array::from_fn(|to| {
                 Self::make_channel::<Tag>(
                     &cfg,
-                    cluster_domains[from],
-                    cluster_domains[to],
+                    CLUSTER_DOMAINS[from],
+                    CLUSTER_DOMAINS[to],
                     cfg.side_channel_capacity,
                 )
             })
         });
         let mut accountant = PowerAccountant::new(cfg.energy.clone());
-        if cfg.clocking.is_gals() {
+        if cfg.clocking.is_synchronous() {
+            if cfg.dvfs.is_active() {
+                accountant.set_global_voltage_factor(cfg.dvfs.energy_factor(Domain::Fetch));
+            }
+        } else {
+            // GALS and pausible machines scale supplies per domain.
             for d in Domain::ALL {
                 accountant.set_domain_voltage_factor(d, cfg.dvfs.energy_factor(d));
             }
-        } else if cfg.dvfs.is_active() {
-            accountant.set_global_voltage_factor(cfg.dvfs.energy_factor(Domain::Fetch));
         }
 
         let mut stream = DynStream::new(program);
@@ -237,6 +256,14 @@ impl<'p> Pipeline<'p> {
             store_forwards_total: 0,
             issued_total: 0,
             issued_wrong_path: 0,
+            stretch_handshake: match &cfg.clocking {
+                Clocking::Pausible { model, .. } => Some(model.handshake),
+                _ => None,
+            },
+            pending_stretch: [Time::ZERO; 5],
+            stretch_pending: false,
+            stretch_events: [0; 5],
+            stretch_time: [Time::ZERO; 5],
             halted: false,
             last_commit_time: Time::ZERO,
             fetch_cycles: 0,
@@ -262,7 +289,43 @@ impl<'p> Pipeline<'p> {
                 let bwd = clocks[from.index()].period.scale(cfg.fifo_sync_periods);
                 Channel::mixed_clock_fifo(cap, fwd, bwd)
             }
+            // Pausible clocking has no synchronisers: the transfer happens
+            // with both clocks held, so the channel is an ordinary latch and
+            // the cost is paid as clock stretch (see `note_transfer`).
+            Clocking::Pausible { .. } => Channel::sync_latch(cap),
         }
+    }
+
+    /// Records one inter-domain transfer in pausible mode: both endpoint
+    /// clocks stretch their current phase by the handshake duration while
+    /// the arbiters settle and the data crosses (the paper's section-3.2
+    /// objection, simulated). A transaction is charged at the *push*; the
+    /// consumer-side pop reads a latch that is already local and costs
+    /// nothing extra. No-op in the synchronous and FIFO-GALS machines.
+    #[inline]
+    fn note_transfer(&mut self, from: Domain, to: Domain) {
+        let Some(handshake) = self.stretch_handshake else { return };
+        for d in [from, to] {
+            let i = d.index();
+            self.pending_stretch[i] += handshake;
+            self.stretch_events[i] += 1;
+            self.stretch_time[i] += handshake;
+        }
+        self.stretch_pending = true;
+    }
+
+    /// Drains the clock-stretch requests accumulated by pausible-mode
+    /// transfers since the last call, indexed by [`Domain::index`]. The
+    /// driver applies them to its scheduler — [`gals_events::ClockSet`]
+    /// slots or [`gals_events::Engine`] periodic events — after the tick
+    /// that produced them. Returns `None` when nothing is pending (always,
+    /// outside pausible mode).
+    pub fn take_stretch_requests(&mut self) -> Option<[Time; 5]> {
+        if !self.stretch_pending {
+            return None;
+        }
+        self.stretch_pending = false;
+        Some(std::mem::take(&mut self.pending_stretch))
     }
 
     /// True once the run is finished (instruction budget met or program
@@ -296,8 +359,9 @@ impl<'p> Pipeline<'p> {
         let now = self.now;
         self.fetch_cycles += 1;
         self.accountant.tick_domain(Domain::Fetch);
-        // The base machine's global grid toggles once per (shared) cycle.
-        if !self.cfg.clocking.is_gals() {
+        // The base machine's global grid toggles once per (shared) cycle;
+        // the GALS and pausible machines have no global grid.
+        if self.cfg.clocking.is_synchronous() {
             self.accountant.tick_global();
         }
 
@@ -564,6 +628,7 @@ impl<'p> Pipeline<'p> {
         self.ch_fetch_decode
             .try_push(seq, self.now)
             .expect("push guarded by can_push");
+        self.note_transfer(Domain::Fetch, Domain::Decode);
         self.fetched += 1;
         if wrong {
             self.wrong_path_fetched += 1;
@@ -750,6 +815,7 @@ impl<'p> Pipeline<'p> {
             self.ch_dispatch[ci]
                 .try_push(seq, now)
                 .expect("push guarded by can_push");
+            self.note_transfer(Domain::Decode, CLUSTER_DOMAINS[ci]);
             self.decode_buf.pop_front();
             renamed += 1;
         }
@@ -965,13 +1031,14 @@ impl<'p> Pipeline<'p> {
             let cl = &mut self.clusters[ci];
             cl.ready[tag.index()] = true;
             cl.iq.wakeup(tag.as_iq_tag());
-            for to in 0..3 {
+            for (to, &to_domain) in CLUSTER_DOMAINS.iter().enumerate() {
                 if to == ci {
                     continue;
                 }
                 self.ch_wakeup[ci][to]
                     .try_push(tag, now)
                     .expect("wakeup channel sized to never fill");
+                self.note_transfer(CLUSTER_DOMAINS[ci], to_domain);
             }
         }
 
@@ -991,12 +1058,14 @@ impl<'p> Pipeline<'p> {
                     now,
                 )
                 .expect("redirect channel sized to never fill");
+            self.note_transfer(CLUSTER_DOMAINS[ci], Domain::Fetch);
         }
 
         // Completion notice to the ROB.
         self.ch_complete[ci]
             .try_push(seq, now)
             .expect("completion channel sized to never fill");
+        self.note_transfer(CLUSTER_DOMAINS[ci], Domain::Decode);
     }
 
     // ------------------------------------------------------------------
@@ -1029,6 +1098,20 @@ impl<'p> Pipeline<'p> {
             self.accountant.fifo_access(channel_ops);
         }
 
+        // Pausible clocking: the local clock trees stay driven over the
+        // *effective* (stretched) period, so stretch time burns local grid
+        // energy like ordinary cycles, pro-rated in nominal-cycle units.
+        if let Clocking::Pausible { clocks, .. } = &self.cfg.clocking {
+            for d in Domain::ALL {
+                let i = d.index();
+                if self.stretch_time[i] > Time::ZERO {
+                    let extra_cycles =
+                        self.stretch_time[i].as_fs() as f64 / clocks[i].period.as_fs() as f64;
+                    self.accountant.stretched_clock(d, extra_cycles);
+                }
+            }
+        }
+
         SimReport {
             committed: self.committed,
             fetched: self.fetched,
@@ -1059,6 +1142,8 @@ impl<'p> Pipeline<'p> {
             issued: self.issued_total,
             issued_wrong_path: self.issued_wrong_path,
             channel_ops,
+            stretches: self.stretch_events,
+            stretch_time: self.stretch_time,
             energy: self.accountant.breakdown(),
         }
     }

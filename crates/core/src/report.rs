@@ -1,5 +1,6 @@
 //! Simulation results: everything the paper's figures are computed from.
 
+use gals_clocks::Domain;
 use gals_events::Time;
 use gals_power::EnergyBreakdown;
 use gals_uarch::{BpredStats, CacheStats, IssueQueueStats};
@@ -53,6 +54,14 @@ pub struct SimReport {
     pub issued_wrong_path: u64,
     /// Total channel pushes + pops (FIFO transfer count in GALS).
     pub channel_ops: u64,
+    /// Clock-stretch events per domain (pausible clocking only; all zero
+    /// for the synchronous and FIFO-GALS machines). Each inter-domain
+    /// transfer stretches both endpoint clocks, so a transfer counts once
+    /// at each endpoint.
+    pub stretches: [u64; 5],
+    /// Total stretch time inserted into each domain's clock (pausible
+    /// clocking only).
+    pub stretch_time: [Time; 5],
     /// Energy breakdown.
     pub energy: EnergyBreakdown,
 }
@@ -60,13 +69,40 @@ pub struct SimReport {
 impl SimReport {
     /// Committed instructions per nanosecond — the cross-configuration
     /// performance metric (higher is better; frequency-independent).
+    /// Returns 0 for a run in which no simulated time elapsed (empty
+    /// program or a zero instruction budget).
     pub fn insts_per_ns(&self) -> f64 {
+        if self.exec_time == Time::ZERO {
+            return 0.0;
+        }
         self.committed as f64 / self.exec_time.as_ns_f64()
     }
 
-    /// IPC measured against a reference clock period.
+    /// IPC measured against a reference clock period. Returns 0 for a run
+    /// in which no simulated time elapsed.
     pub fn ipc(&self, period: Time) -> f64 {
+        if self.exec_time == Time::ZERO {
+            return 0.0;
+        }
         self.committed as f64 / (self.exec_time.as_fs() as f64 / period.as_fs() as f64)
+    }
+
+    /// Measured effective frequency of one domain's clock in GHz: local
+    /// cycles ticked over wall-clock simulated time. Matches the nominal
+    /// frequency (±one partial cycle) for a free-running clock; lower when
+    /// the clock was stretched by pausible handshakes. Returns 0 for a run
+    /// in which no simulated time elapsed.
+    pub fn effective_ghz(&self, domain: Domain) -> f64 {
+        if self.exec_time == Time::ZERO {
+            return 0.0;
+        }
+        self.domain_cycles[domain.index()] as f64 / self.exec_time.as_ns_f64()
+    }
+
+    /// Total clock-stretch events across all domains (non-zero only in
+    /// pausible clocking).
+    pub fn total_stretches(&self) -> u64 {
+        self.stretches.iter().sum()
     }
 
     /// Mean slip (fetch-to-commit latency) per committed instruction.
@@ -113,30 +149,48 @@ impl SimReport {
         self.energy.total()
     }
 
-    /// Average power (energy units per second).
+    /// Average power (energy units per second). Returns 0 for a run in
+    /// which no simulated time elapsed.
     pub fn average_power(&self) -> f64 {
+        if self.exec_time == Time::ZERO {
+            return 0.0;
+        }
         self.energy.average_power(self.exec_time)
     }
 
     /// Relative performance of `self` against a baseline run of the same
     /// workload (1.0 = equal; < 1 = slower than baseline). The paper's
-    /// Figure 5 metric.
+    /// Figure 5 metric. Returns 0 when no simulated time elapsed in `self`
+    /// (a degenerate empty run).
     pub fn relative_performance(&self, base: &SimReport) -> f64 {
         assert_eq!(
             self.committed, base.committed,
             "relative performance requires equal committed-instruction counts"
         );
+        if self.exec_time == Time::ZERO {
+            return 0.0;
+        }
         base.exec_time.as_fs() as f64 / self.exec_time.as_fs() as f64
     }
 
-    /// Relative total energy against a baseline run (Figure 9).
+    /// Relative total energy against a baseline run (Figure 9). Returns 0
+    /// when the baseline burned no energy (a degenerate empty run).
     pub fn relative_energy(&self, base: &SimReport) -> f64 {
-        self.total_energy() / base.total_energy()
+        let base_energy = base.total_energy();
+        if base_energy == 0.0 {
+            return 0.0;
+        }
+        self.total_energy() / base_energy
     }
 
-    /// Relative average power against a baseline run (Figure 9).
+    /// Relative average power against a baseline run (Figure 9). Returns 0
+    /// when the baseline power is zero (a degenerate empty run).
     pub fn relative_power(&self, base: &SimReport) -> f64 {
-        self.average_power() / base.average_power()
+        let base_power = base.average_power();
+        if base_power == 0.0 {
+            return 0.0;
+        }
+        self.average_power() / base_power
     }
 
     /// A multi-line human-readable summary of the run.
@@ -193,6 +247,15 @@ impl SimReport {
             "occupancy            {:>12.1} ROB / {:.1} RAT (mean)",
             self.rob_mean_occupancy, self.rat_mean_occupancy
         );
+        if self.total_stretches() > 0 {
+            let total_stretch: Time = self.stretch_time.iter().copied().sum();
+            let _ = writeln!(
+                s,
+                "clock stretches      {:>12}   ({} total, pausible handshakes)",
+                self.total_stretches(),
+                total_stretch
+            );
+        }
         let _ = writeln!(s, "total energy         {:>12.0} EU", self.total_energy());
         let _ = writeln!(
             s,
@@ -201,5 +264,93 @@ impl SimReport {
             100.0 * self.energy.global_clock / self.total_energy()
         );
         s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gals_power::MacroBlock;
+
+    /// A report of a run in which nothing happened and no time elapsed
+    /// (empty program, or `SimLimits::insts(0)`).
+    fn empty_report() -> SimReport {
+        SimReport {
+            committed: 0,
+            fetched: 0,
+            wrong_path_fetched: 0,
+            exec_time: Time::ZERO,
+            domain_cycles: [0; 5],
+            slip_total: Time::ZERO,
+            slip_fifo: Time::ZERO,
+            bpred: BpredStats::default(),
+            icache: CacheStats::default(),
+            dcache: CacheStats::default(),
+            l2: CacheStats::default(),
+            iq: [IssueQueueStats::default(); 3],
+            rob_mean_occupancy: 0.0,
+            rat_mean_occupancy: 0.0,
+            rat_peak_occupancy: 0,
+            store_forwards: 0,
+            issued: 0,
+            issued_wrong_path: 0,
+            channel_ops: 0,
+            stretches: [0; 5],
+            stretch_time: [Time::ZERO; 5],
+            energy: EnergyBreakdown {
+                blocks: [0.0; MacroBlock::ALL.len()],
+                global_clock: 0.0,
+                local_clocks: [0.0; 5],
+            },
+        }
+    }
+
+    #[test]
+    fn zero_time_metrics_are_zero_not_nan() {
+        // Regression: these used to return NaN (0/0), ∞ (x/0) or panic on
+        // a run in which no simulated time elapsed.
+        let r = empty_report();
+        assert_eq!(r.insts_per_ns(), 0.0);
+        assert_eq!(r.ipc(Time::from_ns(1)), 0.0);
+        assert_eq!(r.average_power(), 0.0);
+        assert_eq!(r.relative_performance(&empty_report()), 0.0);
+        for d in Domain::ALL {
+            assert_eq!(r.effective_ghz(d), 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_baseline_relatives_are_zero_not_nan() {
+        // Regression: relative_energy/relative_power used to divide by a
+        // possibly-zero baseline.
+        let empty = empty_report();
+        let mut busy = empty_report();
+        busy.exec_time = Time::from_ns(10);
+        busy.committed = 5;
+        busy.energy.global_clock = 3.0;
+        assert_eq!(busy.relative_energy(&empty), 0.0);
+        assert_eq!(busy.relative_power(&empty), 0.0);
+        // Sane baselines still divide.
+        assert_eq!(empty.relative_energy(&busy), 0.0);
+        assert!((busy.relative_energy(&busy) - 1.0).abs() < 1e-12);
+        assert!((busy.relative_power(&busy) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonzero_metrics_are_unchanged_by_the_guards() {
+        let mut r = empty_report();
+        r.committed = 2_000;
+        r.exec_time = Time::from_ns(1_000);
+        r.domain_cycles = [1_000; 5];
+        assert!((r.insts_per_ns() - 2.0).abs() < 1e-12);
+        assert!((r.ipc(Time::from_ns(1)) - 2.0).abs() < 1e-12);
+        assert!((r.effective_ghz(Domain::Fetch) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_stretches_sums_domains() {
+        let mut r = empty_report();
+        r.stretches = [1, 2, 3, 4, 5];
+        assert_eq!(r.total_stretches(), 15);
     }
 }

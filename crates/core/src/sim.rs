@@ -16,9 +16,19 @@
 //! The domain clocks carry distinct priorities (their domain index), so the
 //! `(time, priority)` edge order — and therefore every architectural and
 //! energy statistic — is identical between the two schedulers.
+//!
+//! In pausible mode ([`crate::Clocking::Pausible`]) the pipeline emits
+//! clock-stretch requests as transfers cross domains; each driver drains
+//! them after the tick that produced them and forwards them to its
+//! scheduler ([`ClockSet::stretch`] / [`Engine::stretch`]). Both schedulers
+//! implement the same strictly-after-now stretch semantics, so the
+//! bit-identity contract holds in pausible mode too.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use gals_clocks::Domain;
-use gals_events::{ClockSet, Control, Engine, Time};
+use gals_events::{ClockSet, Control, Engine, EventId, Time};
 use gals_isa::Program;
 
 use crate::config::{ProcessorConfig, SimLimits};
@@ -68,6 +78,16 @@ pub fn simulate(program: &Program, config: ProcessorConfig, limits: SimLimits) -
             break;
         };
         exec_time = t;
+        // Pausible mode: apply the batch's clock-stretch requests. All
+        // edges at `t` have dispatched, so each stretch lands on an edge
+        // strictly after `t` — the same edge the engine path stretches.
+        if let Some(requests) = pipeline.take_stretch_requests() {
+            for (slot, extra) in requests.into_iter().enumerate() {
+                if extra > Time::ZERO {
+                    clocks.stretch(slot, extra);
+                }
+            }
+        }
     }
     pipeline.into_report(exec_time)
 }
@@ -90,14 +110,32 @@ pub fn simulate_with_engine(
     let clocking = config.clocking.clone();
     let mut pipeline = Pipeline::new(program, config, limits);
     let mut engine: Engine<Pipeline<'_>> = Engine::new();
+    // Every domain handler needs all five clock ids to forward pausible
+    // stretch requests, but ids only exist once scheduled — so they are
+    // shared through a cell each closure captures and reads at dispatch
+    // time (by which point all five are registered).
+    let clock_ids: Rc<RefCell<Vec<EventId>>> = Rc::new(RefCell::new(Vec::with_capacity(5)));
     for d in Domain::ALL {
         let clock = clocking.domain_clock(d);
-        engine.schedule_periodic(
+        let ids = Rc::clone(&clock_ids);
+        let id = engine.schedule_periodic(
             clock.phase,
             clock.period,
             d.index() as i32,
             move |p: &mut Pipeline<'_>, e| {
                 p.tick(d, e.now());
+                // Pausible mode: apply this tick's stretch requests before
+                // the next event runs. An edge at the current instant stays
+                // unstretched (the engine defers it), matching the batched
+                // ClockSet driver, which drains after the whole batch.
+                if let Some(requests) = p.take_stretch_requests() {
+                    let ids = ids.borrow();
+                    for (slot, extra) in requests.into_iter().enumerate() {
+                        if extra > Time::ZERO {
+                            e.stretch(ids[slot], extra);
+                        }
+                    }
+                }
                 if p.done() {
                     Control::Cancel
                 } else {
@@ -105,6 +143,7 @@ pub fn simulate_with_engine(
                 }
             },
         );
+        clock_ids.borrow_mut().push(id);
     }
     engine.run_while(&mut pipeline, |p| !p.done());
     let exec_time = engine.now();

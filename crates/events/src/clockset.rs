@@ -14,11 +14,25 @@
 //! no dynamic dispatch, and no cancellation bookkeeping; the caller decides
 //! when to stop ticking.
 //!
-//! Edge ordering matches the engine's `(time, priority)` order. Ties beyond
-//! that are broken by insertion slot, so for clocks with **distinct
-//! priorities** (how the pipeline registers its five domains) the edge
-//! sequence is identical to `Engine::schedule_periodic` — a property pinned
-//! by a differential test in `tests/properties.rs`.
+//! Edge ordering matches the engine's `(time, priority)` order. The
+//! two-scheduler contract requires every clock to carry a **distinct
+//! priority** (how the pipeline registers its five domains) — then the edge
+//! sequence is identical to `Engine::schedule_periodic`, a property pinned
+//! by a differential test in `tests/properties.rs`. Duplicate priorities
+//! would silently diverge the two schedulers (slot order here, insertion
+//! sequence there), so [`ClockSet::add_clock`] rejects them with a debug
+//! assertion.
+//!
+//! ## Stretchable (pausible) clocks
+//!
+//! [`ClockSet::stretch`] delays a clock's next edge by a one-shot amount —
+//! the simulator's model of a pausible clock whose ring oscillator is held
+//! by an arbiter while an inter-domain handshake completes. The stretch
+//! targets the first edge *strictly after* the current time; an edge at
+//! exactly `now` that is still pending (mid-batch) fires unstretched and the
+//! request is deferred to the edge after it, which is exactly the lazy
+//! semantics of [`Engine::stretch`](crate::Engine::stretch) — so the
+//! differential contract extends to stretched clocks.
 //!
 //! # Examples
 //!
@@ -64,13 +78,16 @@ const IDLE: ClockEntry = ClockEntry {
 };
 
 /// A fixed set of free-running periodic clocks dispatched in
-/// `(time, priority, insertion slot)` order with no per-edge allocation.
+/// `(time, priority)` order with no per-edge allocation.
 ///
-/// See the [module docs](self) for the design rationale and the ordering
+/// See the [crate docs](crate) for the design rationale and the ordering
 /// contract relative to [`Engine`](crate::Engine).
 #[derive(Debug, Clone)]
 pub struct ClockSet {
     entries: [ClockEntry; MAX_CLOCKS],
+    /// Stretch requested while the target's edge at `now` was still
+    /// pending; applied when that edge dispatches (see [`ClockSet::stretch`]).
+    deferred: [Time; MAX_CLOCKS],
     len: usize,
     now: Time,
     edges: u64,
@@ -87,6 +104,7 @@ impl ClockSet {
     pub fn new() -> Self {
         ClockSet {
             entries: [IDLE; MAX_CLOCKS],
+            deferred: [Time::ZERO; MAX_CLOCKS],
             len: 0,
             now: Time::ZERO,
             edges: 0,
@@ -100,10 +118,18 @@ impl ClockSet {
     /// # Panics
     ///
     /// Panics if `period` is zero or the set already holds [`MAX_CLOCKS`]
-    /// clocks.
+    /// clocks. In debug builds, also panics on a `priority` already held by
+    /// another clock: duplicate priorities silently diverge the
+    /// ClockSet-vs-Engine ordering contract (see the module docs), so the
+    /// violation is made loud where it is introduced.
     pub fn add_clock(&mut self, phase: Time, period: Time, priority: Priority) -> usize {
         assert!(period > Time::ZERO, "clock period must be non-zero");
         assert!(self.len < MAX_CLOCKS, "ClockSet holds at most {MAX_CLOCKS} clocks");
+        debug_assert!(
+            self.entries[..self.len].iter().all(|e| e.priority != priority),
+            "duplicate clock priority {priority}: the two-scheduler ordering \
+             contract requires a distinct priority per clock"
+        );
         let slot = self.len;
         self.entries[slot] = ClockEntry {
             next: phase,
@@ -170,10 +196,33 @@ impl ClockSet {
         }
         let s = self.min_slot();
         let t = self.entries[s].next;
-        self.entries[s].next = t + self.entries[s].period;
+        self.entries[s].next = t + self.entries[s].period + std::mem::take(&mut self.deferred[s]);
         self.now = t;
         self.edges += 1;
         Some((t, s))
+    }
+
+    /// Requests a one-shot stretch of a clock: its first edge strictly after
+    /// the current time is delayed by `extra`, and later edges follow
+    /// `period` from the stretched edge. Requests accumulate. If the clock
+    /// still has a pending edge at exactly the current time (mid-batch), that
+    /// edge fires unstretched and the request applies to the edge after it —
+    /// matching [`Engine::stretch`](crate::Engine::stretch), so the
+    /// differential ordering contract holds for stretched clocks too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not a registered clock.
+    pub fn stretch(&mut self, slot: usize, extra: Time) {
+        assert!(slot < self.len, "stretch of unregistered clock slot {slot}");
+        if extra == Time::ZERO {
+            return;
+        }
+        if self.entries[slot].next > self.now {
+            self.entries[slot].next += extra;
+        } else {
+            self.deferred[slot] += extra;
+        }
     }
 
     /// Dispatches **all** edges sharing the earliest timestamp in ascending
@@ -201,7 +250,7 @@ impl ClockSet {
             if self.entries[s].next != t {
                 return Some(t);
             }
-            self.entries[s].next = t + self.entries[s].period;
+            self.entries[s].next = t + self.entries[s].period + std::mem::take(&mut self.deferred[s]);
             self.edges += 1;
             if !dispatch(s, t) {
                 return Some(t);
@@ -296,13 +345,77 @@ mod tests {
     }
 
     #[test]
-    fn single_tick_order_breaks_ties_by_priority_then_slot() {
+    fn single_tick_order_breaks_ties_by_priority() {
         let mut cs = ClockSet::new();
         cs.add_clock(Time::ZERO, Time::from_ns(1), 5);
         cs.add_clock(Time::ZERO, Time::from_ns(1), -1);
-        cs.add_clock(Time::ZERO, Time::from_ns(1), 5);
+        cs.add_clock(Time::ZERO, Time::from_ns(1), 3);
         let order: Vec<usize> = (0..3).map(|_| cs.tick().unwrap().1).collect();
-        assert_eq!(order, vec![1, 0, 2]);
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "duplicate clock priority")]
+    fn duplicate_priorities_are_loud() {
+        // Regression for the two-scheduler contract: duplicate priorities
+        // used to be accepted silently, diverging ClockSet (slot order) from
+        // Engine (insertion-sequence order).
+        let mut cs = ClockSet::new();
+        cs.add_clock(Time::ZERO, Time::from_ns(1), 7);
+        cs.add_clock(Time::from_ps(500), Time::from_ns(2), 7);
+    }
+
+    #[test]
+    fn stretch_delays_one_edge_then_returns_to_period() {
+        let mut cs = ClockSet::new();
+        cs.add_clock(Time::ZERO, Time::from_ns(1), 0);
+        assert_eq!(cs.tick(), Some((Time::ZERO, 0)));
+        // Next edge would be 1 ns; stretch it by 300 ps.
+        cs.stretch(0, Time::from_ps(300));
+        assert_eq!(cs.tick(), Some((Time::from_ps(1_300), 0)));
+        // The period resumes from the stretched edge.
+        assert_eq!(cs.tick(), Some((Time::from_ps(2_300), 0)));
+    }
+
+    #[test]
+    fn stretch_requests_accumulate() {
+        let mut cs = ClockSet::new();
+        cs.add_clock(Time::ZERO, Time::from_ns(1), 0);
+        cs.tick();
+        cs.stretch(0, Time::from_ps(100));
+        cs.stretch(0, Time::from_ps(200));
+        assert_eq!(cs.tick(), Some((Time::from_ps(1_300), 0)));
+    }
+
+    #[test]
+    fn stretch_of_pending_same_time_edge_defers_to_the_next() {
+        let mut cs = ClockSet::new();
+        cs.add_clock(Time::ZERO, Time::from_ns(1), 0);
+        cs.add_clock(Time::ZERO, Time::from_ns(1), 1);
+        // Dispatch only clock 0's t=0 edge; clock 1's t=0 edge is pending.
+        assert_eq!(cs.tick(), Some((Time::ZERO, 0)));
+        cs.stretch(1, Time::from_ps(400));
+        // The pending edge fires unstretched...
+        assert_eq!(cs.tick(), Some((Time::ZERO, 1)));
+        // ...and the stretch lands on the edge after it.
+        assert_eq!(cs.tick(), Some((Time::from_ns(1), 0)));
+        assert_eq!(cs.tick(), Some((Time::from_ps(1_400), 1)));
+    }
+
+    #[test]
+    fn zero_stretch_is_a_no_op() {
+        let mut cs = ClockSet::new();
+        cs.add_clock(Time::ZERO, Time::from_ns(1), 0);
+        cs.tick();
+        cs.stretch(0, Time::ZERO);
+        assert_eq!(cs.peek(), Some((Time::from_ns(1), 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered clock")]
+    fn stretch_of_unknown_slot_panics() {
+        ClockSet::new().stretch(0, Time::from_ns(1));
     }
 
     #[test]
@@ -324,8 +437,8 @@ mod tests {
     #[should_panic(expected = "at most")]
     fn overfull_set_rejected() {
         let mut cs = ClockSet::new();
-        for _ in 0..=MAX_CLOCKS {
-            cs.add_clock(Time::ZERO, Time::from_ns(1), 0);
+        for p in 0..=MAX_CLOCKS {
+            cs.add_clock(Time::ZERO, Time::from_ns(1), p as Priority);
         }
     }
 }

@@ -11,7 +11,7 @@
 //! the same event into the queue").
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::fmt;
 
 use crate::time::Time;
@@ -108,6 +108,15 @@ pub struct Engine<W> {
     /// cancelling an already-dead id is a no-op instead of planting a
     /// permanent resident in `cancelled`.
     live: HashSet<EventId>,
+    /// Outstanding one-shot stretch requests per event: `(requested_at,
+    /// extra)` pairs applied lazily when the stretched occurrence is popped
+    /// (see [`Engine::stretch`]).
+    stretches: HashMap<EventId, Vec<(Time, Time)>>,
+    /// Priorities of live periodic events, kept to make duplicate-priority
+    /// registrations (which silently break the ClockSet-vs-Engine ordering
+    /// contract) loud in debug builds. Left empty in release builds, where
+    /// the assertion compiles out.
+    periodic_priorities: Vec<(EventId, Priority)>,
     now: Time,
     seq: u64,
     next_id: u64,
@@ -137,6 +146,8 @@ impl<W> Engine<W> {
             heap: BinaryHeap::new(),
             cancelled: HashSet::new(),
             live: HashSet::new(),
+            stretches: HashMap::new(),
+            periodic_priorities: Vec::new(),
             now: Time::ZERO,
             seq: 0,
             next_id: 0,
@@ -226,7 +237,11 @@ impl<W> Engine<W> {
     /// # Panics
     ///
     /// Panics if `period` is zero (the simulation would never advance) or if
-    /// `start` is in the past.
+    /// `start` is in the past. In debug builds, also panics if another live
+    /// periodic event already carries `priority`: periodic events model the
+    /// two-scheduler contract's clocks, and duplicate priorities silently
+    /// diverge the [`ClockSet`](crate::ClockSet) oracle (ties fall through
+    /// to insertion sequence here but to slot order there).
     pub fn schedule_periodic(
         &mut self,
         start: Time,
@@ -240,7 +255,15 @@ impl<W> Engine<W> {
             "cannot schedule an event in the past (at {start}, now {now})",
             now = self.now
         );
+        debug_assert!(
+            self.periodic_priorities.iter().all(|&(_, p)| p != priority),
+            "duplicate periodic priority {priority}: the two-scheduler ordering \
+             contract requires a distinct priority per clock"
+        );
         let id = self.fresh_id();
+        if cfg!(debug_assertions) {
+            self.periodic_priorities.push((id, priority));
+        }
         self.push(
             start,
             priority,
@@ -263,7 +286,72 @@ impl<W> Engine<W> {
         if !self.live.remove(&id) {
             return false;
         }
+        self.retire(id);
         self.cancelled.insert(id)
+    }
+
+    /// Drops per-event bookkeeping of a dead (executed, terminated or
+    /// cancelled) event. Both containers are empty in the common case
+    /// (no stretches requested; priority tracking is debug-only), so the
+    /// per-event release-build cost is two length checks.
+    fn retire(&mut self, id: EventId) {
+        if !self.stretches.is_empty() {
+            self.stretches.remove(&id);
+        }
+        if let Some(pos) = self.periodic_priorities.iter().position(|&(i, _)| i == id) {
+            self.periodic_priorities.swap_remove(pos);
+        }
+    }
+
+    /// Requests a one-shot stretch of a pending event: its next occurrence
+    /// *strictly after* the current time is delayed by `extra` (a periodic
+    /// event's subsequent occurrences then follow `period` from the
+    /// stretched one). Requests accumulate. An occurrence scheduled at
+    /// exactly the current instant is not stretched — for a periodic event
+    /// the request carries over to the occurrence after it.
+    ///
+    /// This models pausible/stretchable clocking: an inter-domain handshake
+    /// holds the participating clocks' ring oscillators for the handshake
+    /// duration, delaying their next edges.
+    /// [`ClockSet::stretch`](crate::ClockSet::stretch) implements the
+    /// identical semantics on the static scheduler, extending the
+    /// differential ordering contract to stretched clocks.
+    ///
+    /// Returns `false` (and discards the request) if `id` is not live.
+    pub fn stretch(&mut self, id: EventId, extra: Time) -> bool {
+        if !self.live.contains(&id) {
+            return false;
+        }
+        if extra > Time::ZERO {
+            self.stretches.entry(id).or_default().push((self.now, extra));
+        }
+        true
+    }
+
+    /// Removes and sums the stretch requests applicable to an occurrence of
+    /// `id` at time `at` (those requested strictly before `at`); requests
+    /// made at exactly `at` stay pending for the following occurrence.
+    #[inline]
+    fn take_applicable_stretch(&mut self, id: EventId, at: Time) -> Option<Time> {
+        // Fast path: no stretch has ever been requested (every non-pausible
+        // run). One length check instead of a hash per pop/peek.
+        if self.stretches.is_empty() {
+            return None;
+        }
+        let reqs = self.stretches.get_mut(&id)?;
+        let mut total = Time::ZERO;
+        reqs.retain(|&(requested_at, extra)| {
+            if requested_at < at {
+                total += extra;
+                false
+            } else {
+                true
+            }
+        });
+        if reqs.is_empty() {
+            self.stretches.remove(&id);
+        }
+        (total > Time::ZERO).then_some(total)
     }
 
     /// Executes the single earliest pending event. Returns the time at which
@@ -274,12 +362,18 @@ impl<W> Engine<W> {
             if self.cancelled.remove(&entry.id) {
                 continue;
             }
+            if let Some(extra) = self.take_applicable_stretch(entry.id, entry.at) {
+                // A stretched occurrence: move it later without executing.
+                self.push(entry.at + extra, entry.priority, entry.id, entry.payload);
+                continue;
+            }
             debug_assert!(entry.at >= self.now, "event queue went backwards");
             self.now = entry.at;
             self.processed += 1;
             match entry.payload {
                 Payload::Once(f) => {
                     self.live.remove(&entry.id);
+                    self.retire(entry.id);
                     f(world, self);
                 }
                 Payload::Periodic { period, mut handler } => {
@@ -296,6 +390,7 @@ impl<W> Engine<W> {
                         );
                     } else if !self_cancelled {
                         self.live.remove(&entry.id);
+                        self.retire(entry.id);
                     }
                 }
             }
@@ -334,16 +429,23 @@ impl<W> Engine<W> {
 
     /// Timestamp of the next live pending event, if any.
     pub fn peek_time(&mut self) -> Option<Time> {
-        // Drop cancelled entries so the peek is accurate.
-        while let Some(top) = self.heap.peek() {
-            if self.cancelled.contains(&top.id) {
-                let entry = self.heap.pop().expect("peeked entry vanished");
-                self.cancelled.remove(&entry.id);
-            } else {
-                return Some(top.at);
+        // Drop cancelled entries and apply due stretches so the peek is
+        // accurate.
+        loop {
+            let top = self.heap.peek()?;
+            let (id, at) = (top.id, top.at);
+            if self.cancelled.contains(&id) {
+                self.heap.pop().expect("peeked entry vanished");
+                self.cancelled.remove(&id);
+                continue;
             }
+            if let Some(extra) = self.take_applicable_stretch(id, at) {
+                let entry = self.heap.pop().expect("peeked entry vanished");
+                self.push(entry.at + extra, entry.priority, entry.id, entry.payload);
+                continue;
+            }
+            return Some(at);
         }
-        None
     }
 }
 
@@ -400,15 +502,15 @@ mod tests {
         #[derive(Default)]
         struct Log(Vec<(u8, u64)>);
         let mut engine: Engine<Log> = Engine::new();
-        engine.schedule_periodic(Time::from_ps(500), Time::from_ns(2), 0, |w: &mut Log, e| {
+        engine.schedule_periodic(Time::from_ps(500), Time::from_ns(2), 1, |w: &mut Log, e| {
             w.0.push((1, e.now().as_fs()));
             Control::Keep
         });
-        engine.schedule_periodic(Time::from_ns(1), Time::from_ns(3), 0, |w: &mut Log, e| {
+        engine.schedule_periodic(Time::from_ns(1), Time::from_ns(3), 2, |w: &mut Log, e| {
             w.0.push((2, e.now().as_fs()));
             Control::Keep
         });
-        engine.schedule_periodic(Time::ZERO, Time::from_ps(2500), 0, |w: &mut Log, e| {
+        engine.schedule_periodic(Time::ZERO, Time::from_ps(2500), 3, |w: &mut Log, e| {
             w.0.push((3, e.now().as_fs()));
             Control::Keep
         });
@@ -418,11 +520,12 @@ mod tests {
             (3, 0u64),
             (1, 500_000),
             (2, 1_000_000),
-            // Clocks 1 and 3 both tick at 2.5 ns; clock 3 rescheduled first
-            // (its 0 ns edge preceded clock 1's 0.5 ns edge), so it wins the
-            // deterministic (time, priority, sequence) tie-break.
-            (3, 2_500_000),
+            // Clocks 1 and 3 both tick at 2.5 ns; clock 1's lower priority
+            // number wins the deterministic (time, priority) tie-break —
+            // clocks carry distinct priorities per the two-scheduler
+            // contract, so the sequence tie-break never decides.
             (1, 2_500_000),
+            (3, 2_500_000),
             (2, 4_000_000),
             (1, 4_500_000),
             (3, 5_000_000),
@@ -561,6 +664,105 @@ mod tests {
         engine.run(&mut w);
         assert_eq!(w, 3);
         assert!(engine.is_idle());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "duplicate periodic priority")]
+    fn duplicate_periodic_priorities_are_loud() {
+        // Regression for the two-scheduler contract: two clocks at one
+        // priority used to be accepted silently, diverging the edge order
+        // from the ClockSet oracle (sequence tie-break vs slot tie-break).
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_periodic(Time::ZERO, Time::from_ns(1), 4, |_, _| Control::Keep);
+        engine.schedule_periodic(Time::from_ps(500), Time::from_ns(2), 4, |_, _| Control::Keep);
+    }
+
+    #[test]
+    fn duplicate_priority_is_reusable_after_the_holder_dies() {
+        let mut engine: Engine<u32> = Engine::new();
+        let id = engine.schedule_periodic(Time::ZERO, Time::from_ns(1), 4, |_, _| Control::Keep);
+        engine.cancel(id);
+        // The priority is free again once its holder is dead.
+        engine.schedule_periodic(Time::ZERO, Time::from_ns(1), 4, |c, _| {
+            *c += 1;
+            Control::Cancel
+        });
+        let mut w = 0;
+        engine.run(&mut w);
+        assert_eq!(w, 1);
+    }
+
+    #[test]
+    fn stretch_delays_one_occurrence_then_period_resumes() {
+        let mut engine: Engine<Vec<u64>> = Engine::new();
+        let id = engine.schedule_periodic(Time::ZERO, Time::from_ns(1), 0, |log: &mut Vec<u64>, e| {
+            log.push(e.now().as_fs());
+            Control::Keep
+        });
+        let mut log = Vec::new();
+        engine.step(&mut log); // edge at 0
+        assert!(engine.stretch(id, Time::from_ps(300)));
+        engine.step(&mut log); // stretched edge at 1.3 ns
+        engine.step(&mut log); // back on period: 2.3 ns
+        assert_eq!(log, vec![0, 1_300_000, 2_300_000]);
+    }
+
+    #[test]
+    fn stretch_requests_accumulate_until_applied() {
+        let mut engine: Engine<Vec<u64>> = Engine::new();
+        let id = engine.schedule_periodic(Time::ZERO, Time::from_ns(1), 0, |log: &mut Vec<u64>, e| {
+            log.push(e.now().as_fs());
+            Control::Keep
+        });
+        let mut log = Vec::new();
+        engine.step(&mut log);
+        engine.stretch(id, Time::from_ps(100));
+        engine.stretch(id, Time::from_ps(200));
+        engine.step(&mut log);
+        assert_eq!(log, vec![0, 1_300_000]);
+    }
+
+    #[test]
+    fn stretch_at_the_occurrence_instant_defers_to_the_next() {
+        let mut engine: Engine<Vec<(u64, u8)>> = Engine::new();
+        engine.schedule_periodic(Time::ZERO, Time::from_ns(2), 0, |log: &mut Vec<(u64, u8)>, e| {
+            log.push((e.now().as_fs(), 0));
+            Control::Keep
+        });
+        let b = engine.schedule_periodic(Time::ZERO, Time::from_ns(3), 1, |log: &mut Vec<(u64, u8)>, e| {
+            log.push((e.now().as_fs(), 1));
+            Control::Keep
+        });
+        let mut log = Vec::new();
+        engine.step(&mut log); // clock 0 fires at t=0; clock 1's 0-edge pending
+        assert_eq!(engine.now(), Time::ZERO);
+        engine.stretch(b, Time::from_ps(500));
+        engine.step(&mut log); // clock 1 still fires at 0 (request deferred)
+        engine.step(&mut log); // clock 0 at 2 ns
+        engine.step(&mut log); // clock 1 at 3 + 0.5 = 3.5 ns
+        assert_eq!(log, vec![(0, 0), (0, 1), (2_000_000, 0), (3_500_000, 1)]);
+    }
+
+    #[test]
+    fn peek_time_reports_stretched_occurrences() {
+        let mut engine: Engine<u32> = Engine::new();
+        let id = engine.schedule_periodic(Time::ZERO, Time::from_ns(1), 0, |c, _| {
+            *c += 1;
+            Control::Keep
+        });
+        let mut w = 0;
+        engine.step(&mut w);
+        engine.stretch(id, Time::from_ps(700));
+        assert_eq!(engine.peek_time(), Some(Time::from_ps(1_700)));
+    }
+
+    #[test]
+    fn stretch_of_dead_event_is_rejected() {
+        let mut engine: Engine<u32> = Engine::new();
+        let id = engine.schedule_once(Time::from_ns(1), 0, |_, _| {});
+        engine.cancel(id);
+        assert!(!engine.stretch(id, Time::from_ns(1)));
     }
 
     #[test]

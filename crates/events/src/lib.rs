@@ -28,9 +28,25 @@
 //! Both order edges by `(time, priority)`; for clocks with distinct
 //! priorities the two produce identical edge sequences, which is pinned by
 //! a differential property test (`tests/properties.rs`) and an end-to-end
-//! report-identity test in the simulator. Use [`ClockSet`] when the event
-//! population is fixed and periodic; fall back to [`Engine`] the moment you
-//! need aperiodic events or cancellation.
+//! report-identity test in the simulator. Distinct priorities are the
+//! contract, not a convention: duplicate clock priorities would fall
+//! through to scheduler-private tie-breaks (insertion sequence in the
+//! engine, slot order in the clock set) and silently diverge the oracle, so
+//! both registration paths reject them with a debug assertion.
+//!
+//! ## Stretchable (pausible) clocks
+//!
+//! Both schedulers support one-shot **clock stretching** — the timing
+//! primitive behind pausible clocking, where an arbiter holds a ring
+//! oscillator while an inter-domain handshake completes. A dispatched
+//! handler (or the driver between events) may request that a clock's next
+//! edge be delayed by some amount: [`Engine::stretch`] takes the periodic
+//! event's id, [`ClockSet::stretch`] the clock's slot. Both implement the
+//! same semantics — the stretch lands on the target's first edge *strictly
+//! after* the request time, requests accumulate, and subsequent edges
+//! follow the period from the stretched edge — so the differential
+//! ClockSet-vs-Engine contract extends to stretched clocks (also pinned in
+//! `tests/properties.rs`).
 //!
 //! ## Example: the paper's Figure 4
 //!
@@ -40,11 +56,14 @@
 //! use gals_events::{Engine, Control, Time};
 //!
 //! let mut engine = Engine::new();
-//! for (start, period) in [(500, 2_000), (1_000, 3_000), (0, 2_500)] {
+//! for (i, (start, period)) in [(500, 2_000), (1_000, 3_000), (0, 2_500)]
+//!     .into_iter()
+//!     .enumerate()
+//! {
 //!     engine.schedule_periodic(
 //!         Time::from_ps(start),
 //!         Time::from_ps(period),
-//!         0,
+//!         i as i32, // distinct per-clock priorities (the contract)
 //!         |edges: &mut u32, _| {
 //!             *edges += 1;
 //!             Control::Keep

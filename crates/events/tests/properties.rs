@@ -112,6 +112,69 @@ proptest! {
         prop_assert_eq!(&engine_log, &batch_log);
     }
 
+    /// The differential contract extends to stretched (pausible) clocks:
+    /// with an arbitrary stream of one-shot stretch requests injected after
+    /// each dispatched edge, the ClockSet and the Engine still produce the
+    /// identical `(time, clock)` edge sequence. This exercises both the
+    /// direct-application path and the deferred path (a request targeting a
+    /// clock whose same-instant edge is still pending).
+    #[test]
+    fn clockset_matches_engine_under_random_stretches(
+        specs in prop::collection::vec((0u64..4_000, 1u64..4_000), 1..6),
+        stretches in prop::collection::vec((0usize..8, 0u64..6_000), 0..60),
+        horizon in 4_000u64..40_000,
+    ) {
+        let n = specs.len();
+
+        // Engine path, stepped one event at a time so the k-th stretch
+        // request lands right after the k-th dispatched edge.
+        let mut engine: Engine<Vec<(u64, usize)>> = Engine::new();
+        let mut ids = Vec::new();
+        for (i, &(phase, period)) in specs.iter().enumerate() {
+            ids.push(engine.schedule_periodic(
+                Time::from_fs(phase),
+                Time::from_fs(period),
+                i as i32,
+                move |log: &mut Vec<(u64, usize)>, e| {
+                    log.push((e.now().as_fs(), i));
+                    Control::Keep
+                },
+            ));
+        }
+        let mut engine_log = Vec::new();
+        let mut k = 0usize;
+        while let Some(t) = engine.peek_time() {
+            if t.as_fs() >= horizon {
+                break;
+            }
+            engine.step(&mut engine_log);
+            if let Some(&(slot, extra)) = stretches.get(k) {
+                engine.stretch(ids[slot % n], Time::from_fs(extra));
+            }
+            k += 1;
+        }
+
+        // ClockSet path, identical drive.
+        let mut cs = ClockSet::new();
+        for (i, &(phase, period)) in specs.iter().enumerate() {
+            cs.add_clock(Time::from_fs(phase), Time::from_fs(period), i as i32);
+        }
+        let mut cs_log = Vec::new();
+        let mut k = 0usize;
+        while let Some((t, _)) = cs.peek() {
+            if t.as_fs() >= horizon {
+                break;
+            }
+            let (t, slot) = cs.tick().expect("peeked edge exists");
+            cs_log.push((t.as_fs(), slot));
+            if let Some(&(s, extra)) = stretches.get(k) {
+                cs.stretch(s % n, Time::from_fs(extra));
+            }
+            k += 1;
+        }
+        prop_assert_eq!(&engine_log, &cs_log);
+    }
+
     /// Two interleaved clocks process a number of events equal to the sum of
     /// their individual tick counts (no event lost or duplicated).
     #[test]

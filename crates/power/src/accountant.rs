@@ -162,6 +162,24 @@ impl PowerAccountant {
         self.blocks[block.index()] += e * factor;
     }
 
+    /// Charges `extra_cycles` nominal-cycle equivalents of one domain's
+    /// local clock grid. A pausible clock that stretches its phase keeps
+    /// its local tree driven over the *effective* (stretched) period, so
+    /// stretch time burns grid energy exactly as ordinary cycles do —
+    /// pro-rated here in units of the nominal period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra_cycles` is negative or not finite.
+    pub fn stretched_clock(&mut self, domain: Domain, extra_cycles: f64) {
+        assert!(
+            extra_cycles.is_finite() && extra_cycles >= 0.0,
+            "implausible stretched-cycle count {extra_cycles}"
+        );
+        let i = domain.index();
+        self.local_clocks[i] += self.params.grid(domain) * extra_cycles * self.domain_factor[i];
+    }
+
     /// Charges `count` FIFO push/pop operations.
     pub fn fifo_access(&mut self, count: u64) {
         // FIFOs straddle domains; charge at the nominal supply (level
@@ -259,6 +277,35 @@ mod tests {
         let p = EnergyParams::default();
         assert!((e.global_clock - 0.81 * p.global_grid).abs() < 1e-12);
         assert!((e.block(MacroBlock::ICache) - 0.81 * p.active(MacroBlock::ICache)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stretched_clock_charges_prorated_grid_energy() {
+        let p = EnergyParams::default();
+        let mut acc = PowerAccountant::new(p.clone());
+        acc.tick_domain(Domain::Decode);
+        acc.stretched_clock(Domain::Decode, 0.5);
+        let e = acc.breakdown();
+        let expect = p.grid(Domain::Decode) * 1.5;
+        assert!((e.local_clocks[Domain::Decode.index()] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stretched_clock_respects_voltage_factor() {
+        let p = EnergyParams::default();
+        let mut acc = PowerAccountant::new(p.clone());
+        acc.set_domain_voltage_factor(Domain::FpCluster, 0.5);
+        acc.stretched_clock(Domain::FpCluster, 2.0);
+        let e = acc.breakdown();
+        let expect = p.grid(Domain::FpCluster) * 2.0 * 0.5;
+        assert!((e.local_clocks[Domain::FpCluster.index()] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "implausible stretched-cycle")]
+    fn negative_stretch_cycles_rejected() {
+        let mut acc = PowerAccountant::new(EnergyParams::default());
+        acc.stretched_clock(Domain::Fetch, -0.1);
     }
 
     #[test]

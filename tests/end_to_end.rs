@@ -25,8 +25,9 @@ fn clockset_and_engine_schedulers_produce_identical_reports() {
     // The production `simulate` drives the pipeline through the static
     // ClockSet scheduler; `simulate_with_engine` is the original
     // general-engine oracle. Every field of the report — timing, per-domain
-    // cycles, caches, energy — must match bit for bit, on both clocking
-    // styles and across distinct workloads.
+    // cycles, caches, energy — must match bit for bit, on all three clocking
+    // styles (pausible mode additionally exercises the clock-stretch path of
+    // both schedulers) and across distinct workloads.
     let limits = SimLimits {
         max_insts: 8_000,
         watchdog_cycles: 200_000,
@@ -36,6 +37,7 @@ fn clockset_and_engine_schedulers_produce_identical_reports() {
         for cfg in [
             ProcessorConfig::synchronous_1ghz(),
             ProcessorConfig::gals_equal_1ghz(7),
+            ProcessorConfig::pausible_equal_1ghz(7),
         ] {
             let fast = simulate(&program, cfg.clone(), limits);
             let oracle = simulate_with_engine(&program, cfg.clone(), limits);
@@ -83,6 +85,56 @@ fn gals_is_slower_at_equal_clocks_across_the_suite() {
             gals.exec_time
         );
     }
+}
+
+#[test]
+fn pausible_clocking_is_slower_than_fifo_gals_on_every_benchmark() {
+    // The paper's section-3.2 claim, *measured* rather than modelled: with
+    // transactions nearly every cycle, pausible clocks stretch nearly every
+    // cycle, so at equal nominal frequency the pausible machine's
+    // throughput falls below the mixed-clock-FIFO GALS design on all four
+    // benchmarks of the ablation.
+    for bench in [Benchmark::Gcc, Benchmark::Fpppp, Benchmark::Ijpeg, Benchmark::Compress] {
+        let program = generate(bench, 2);
+        let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS);
+        let paus = simulate(&program, ProcessorConfig::pausible_equal_1ghz(1), LIMITS);
+        assert_eq!(gals.committed, paus.committed, "{bench}: unequal budgets");
+        assert!(
+            paus.insts_per_ns() < gals.insts_per_ns(),
+            "{bench}: pausible must be slower than FIFO-GALS \
+             ({} vs {} insts/ns)",
+            paus.insts_per_ns(),
+            gals.insts_per_ns()
+        );
+    }
+}
+
+#[test]
+fn pausible_stretches_lower_the_effective_frequencies() {
+    use gals::power::MacroBlock;
+    let program = generate(Benchmark::Gcc, 2);
+    let paus = simulate(&program, ProcessorConfig::pausible_equal_1ghz(1), LIMITS);
+    assert!(paus.total_stretches() > 0, "transfers must stretch clocks");
+    for d in Domain::ALL {
+        let i = d.index();
+        assert!(paus.stretches[i] > 0, "domain {d} never stretched");
+        assert!(paus.stretch_time[i] > Time::ZERO);
+        // Every domain communicates nearly every cycle, so its measured
+        // effective frequency must fall below the 1 GHz nominal.
+        let ghz = paus.effective_ghz(d);
+        assert!(
+            ghz < 0.95,
+            "domain {d} effective frequency {ghz} GHz should be well below nominal"
+        );
+    }
+    // No FIFOs and no global grid in the pausible machine.
+    assert_eq!(paus.energy.block(MacroBlock::Fifos), 0.0);
+    assert_eq!(paus.energy.global_clock, 0.0);
+    // The other two machines never stretch.
+    let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS);
+    let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), LIMITS);
+    assert_eq!(gals.total_stretches(), 0);
+    assert_eq!(base.total_stretches(), 0);
 }
 
 #[test]

@@ -2,7 +2,7 @@
 //! profiles and clock configurations must simulate without panicking and
 //! uphold the architectural invariants.
 
-use gals::clocks::{ClockSpec, Domain};
+use gals::clocks::{ClockSpec, Domain, PausibleClockModel};
 use gals::core::{simulate, Clocking, DvfsPlan, ProcessorConfig, SimLimits};
 use gals::events::Time;
 use gals::workload::{generate_profile, WorkloadProfile};
@@ -47,20 +47,29 @@ fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
         })
 }
 
+fn arb_domain_clocks() -> impl Strategy<Value = [ClockSpec; 5]> {
+    (
+        prop::array::uniform5(800_000u64..2_000_000),
+        prop::array::uniform5(0u64..1_000_000),
+    )
+        .prop_map(|(periods, phases)| {
+            std::array::from_fn(|i| ClockSpec {
+                period: Time::from_fs(periods[i]),
+                phase: Time::from_fs(phases[i] % periods[i]),
+            })
+        })
+}
+
 fn arb_clocking() -> impl Strategy<Value = Clocking> {
     prop_oneof![
         (800_000u64..2_000_000).prop_map(|p| Clocking::Synchronous(ClockSpec::new(Time::from_fs(p)))),
-        (
-            prop::array::uniform5(800_000u64..2_000_000),
-            prop::array::uniform5(0u64..1_000_000),
-        )
-            .prop_map(|(periods, phases)| {
-                let clocks: [ClockSpec; 5] = std::array::from_fn(|i| ClockSpec {
-                    period: Time::from_fs(periods[i]),
-                    phase: Time::from_fs(phases[i] % periods[i]),
-                });
-                Clocking::Gals(clocks)
-            }),
+        arb_domain_clocks().prop_map(Clocking::Gals),
+        (arb_domain_clocks(), 0u64..500_000).prop_map(|(clocks, handshake)| {
+            Clocking::Pausible {
+                clocks,
+                model: PausibleClockModel::new(Time::from_fs(handshake)),
+            }
+        }),
     ]
 }
 
