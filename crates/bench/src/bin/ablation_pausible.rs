@@ -18,20 +18,26 @@
 //! Pass an instruction budget as the first argument for a smoke run:
 //! `cargo run --release --bin ablation_pausible -- 2000`.
 
-use gals_bench::{budget_from_args, pct, run_base, run_gals, run_pausible, RUN_INSTS};
+use gals_bench::{pct, run_base, run_gals, run_pausible, BenchCli, RUN_INSTS};
 use gals_clocks::{ClockSpec, Domain, PausibleClockModel};
 use gals_events::Time;
 use gals_workload::Benchmark;
 
 fn main() {
-    let insts = budget_from_args(RUN_INSTS);
+    let cli = BenchCli::parse_or_exit("ablation_pausible [--budget N | N]");
+    let insts = cli.budget_or(RUN_INSTS);
     println!("Ablation: pausible clocking vs mixed-clock FIFOs (measured, {insts} insts)");
     println!();
     println!(
         "{:<10} {:>12} {:>14} {:>16} {:>14}",
         "bench", "fifo slowdn", "pausible slowdn", "min eff freq", "stretches/inst"
     );
-    for bench in [Benchmark::Gcc, Benchmark::Fpppp, Benchmark::Ijpeg, Benchmark::Compress] {
+    for bench in [
+        Benchmark::Gcc,
+        Benchmark::Fpppp,
+        Benchmark::Ijpeg,
+        Benchmark::Compress,
+    ] {
         let base = run_base(bench, insts);
         let gals = run_gals(bench, insts);
         let paus = run_pausible(bench, insts);

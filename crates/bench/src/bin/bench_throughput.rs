@@ -4,14 +4,28 @@
 //! writes the results to `BENCH_throughput.json` so the perf trajectory is
 //! recorded across PRs.
 //!
-//! Run with `cargo run --release --bin bench_throughput`. An instruction
-//! budget passed as the first argument selects a smoke run (e.g. in CI:
-//! `-- 2000`) that exercises both paths but does **not** overwrite the
-//! checked-in `BENCH_throughput.json` baseline.
+//! ```text
+//! cargo run --release --bin bench_throughput -- \
+//!     [--budget N | N] [--out PATH] [--baseline PATH] [--tolerance F]
+//! ```
+//!
+//! * `--budget N` — committed instructions per measured run. A non-default
+//!   budget is a smoke/CI run: the checked-in `BENCH_throughput.json`
+//!   baseline is **not** overwritten (pass `--out` to capture the fresh
+//!   numbers elsewhere, e.g. as a CI artifact).
+//! * `--baseline PATH` — the CI perf-regression gate: compare this run's
+//!   **mean scheduler speedup** (ClockSet over engine, a same-host ratio
+//!   that transfers across machines — absolute insts/s do not) against the
+//!   `mean_scheduler_speedup` recorded in the baseline JSON. Exits with
+//!   code 1 when the ratio regressed by more than the tolerance (default
+//!   15%). Absolute per-configuration insts/s are reported for context but
+//!   never gate: CI hosts are not the machine that recorded the baseline.
+//! * `--tolerance F` — gate tolerance as a fraction (default `0.15`).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use gals_bench::{exit_code, extract_json_numbers, BenchCli};
 use gals_core::{simulate, simulate_with_engine, ProcessorConfig, SimLimits};
 use gals_workload::{generate, Benchmark};
 
@@ -19,6 +33,9 @@ use gals_workload::{generate, Benchmark};
 const INSTS: u64 = 50_000;
 /// Measured repetitions (the best run is reported, minimising host noise).
 const REPS: u32 = 5;
+
+const USAGE: &str =
+    "bench_throughput [--budget N | N] [--out PATH] [--baseline PATH] [--tolerance F]";
 
 /// The seed engine-driven baseline, measured once on this hardware by
 /// rebuilding the seed sources (commit e8afc34, which predates `ClockSet`
@@ -49,8 +66,45 @@ fn best_insts_per_sec(mut run: impl FnMut() -> u64) -> f64 {
     best
 }
 
+/// The perf-regression gate: compares the measured mean scheduler speedup
+/// against the baseline file's. Returns the process exit code.
+fn gate_against_baseline(path: &std::path::Path, mean_speedup: f64, tolerance: f64) -> i32 {
+    let json = match std::fs::read_to_string(path) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("perf gate: cannot read baseline {}: {e}", path.display());
+            return exit_code::USAGE;
+        }
+    };
+    let Some(&baseline) = extract_json_numbers(&json, "mean_scheduler_speedup").first() else {
+        eprintln!(
+            "perf gate: no mean_scheduler_speedup in {} (not a bench_throughput report?)",
+            path.display()
+        );
+        return exit_code::USAGE;
+    };
+    let floor = baseline * (1.0 - tolerance);
+    println!(
+        "perf gate: mean scheduler speedup {mean_speedup:.3}x vs baseline {baseline:.3}x \
+         (floor {floor:.3}x at {:.0}% tolerance)",
+        tolerance * 100.0
+    );
+    if mean_speedup < floor {
+        eprintln!(
+            "perf gate FAILED: scheduler fast path regressed {:.1}% (allowed {:.0}%)",
+            (1.0 - mean_speedup / baseline) * 100.0,
+            tolerance * 100.0
+        );
+        exit_code::REGRESSION
+    } else {
+        println!("perf gate passed");
+        exit_code::OK
+    }
+}
+
 fn main() {
-    let insts = gals_bench::budget_from_args(INSTS);
+    let cli = BenchCli::parse_or_exit(USAGE);
+    let insts = cli.budget_or(INSTS);
     let smoke = insts != INSTS;
     let mut rows = Vec::new();
     for bench in [Benchmark::Gcc, Benchmark::Fpppp] {
@@ -92,23 +146,22 @@ fn main() {
         }
     }
 
-    let mean_speedup: f64 = rows.iter().map(|r| r.clockset_ips / r.engine_ips).sum::<f64>()
+    let mean_speedup: f64 = rows
+        .iter()
+        .map(|r| r.clockset_ips / r.engine_ips)
+        .sum::<f64>()
         / rows.len() as f64;
-    let mean_vs_seed: f64 =
-        rows.iter().map(|r| r.clockset_ips / r.seed_ips).sum::<f64>() / rows.len() as f64;
+    let mean_vs_seed: f64 = rows
+        .iter()
+        .map(|r| r.clockset_ips / r.seed_ips)
+        .sum::<f64>()
+        / rows.len() as f64;
     println!("mean clockset/engine speedup: {mean_speedup:.2}x");
     println!("mean speedup vs seed baseline: {mean_vs_seed:.2}x");
 
-    if smoke {
-        // A non-default budget is a smoke/CI run: the seed comparison and
-        // the recorded trajectory are only meaningful at the full budget.
-        println!("smoke budget {insts}: not touching BENCH_throughput.json");
-        return;
-    }
-
     // Hand-rolled JSON (the workspace carries no serde).
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"insts_per_run\": {INSTS},");
+    let _ = writeln!(json, "  \"insts_per_run\": {insts},");
     let _ = writeln!(json, "  \"mean_scheduler_speedup\": {mean_speedup:.3},");
     let _ = writeln!(json, "  \"mean_speedup_vs_seed\": {mean_vs_seed:.3},");
     json.push_str("  \"runs\": [\n");
@@ -123,6 +176,22 @@ fn main() {
         );
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
-    println!("wrote BENCH_throughput.json");
+
+    if let Some(out) = &cli.out {
+        std::fs::write(out, &json)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
+        println!("wrote {}", out.display());
+    }
+    if smoke {
+        // A non-default budget is a smoke/CI run: the seed comparison and
+        // the recorded trajectory are only meaningful at the full budget.
+        println!("smoke budget {insts}: not touching BENCH_throughput.json");
+    } else if cli.out.is_none() {
+        std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
+        println!("wrote BENCH_throughput.json");
+    }
+
+    if let Some(baseline) = &cli.baseline {
+        std::process::exit(gate_against_baseline(baseline, mean_speedup, cli.tolerance));
+    }
 }

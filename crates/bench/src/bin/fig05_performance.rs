@@ -11,7 +11,10 @@ use gals_workload::Benchmark;
 fn main() {
     println!("Figure 5: GALS performance relative to base (equal 1 GHz clocks)");
     println!();
-    println!("{:<10} {:>10} {:>10} {:>12}", "bench", "base i/ns", "gals i/ns", "gals/base");
+    println!(
+        "{:<10} {:>10} {:>10} {:>12}",
+        "bench", "base i/ns", "gals i/ns", "gals/base"
+    );
     let mut ratios = Vec::new();
     for bench in Benchmark::ALL {
         let base = run_base(bench, RUN_INSTS);
@@ -28,9 +31,11 @@ fn main() {
     }
     println!();
     println!("average relative performance: {}", pct(mean(&ratios)));
-    println!("slowdown range: {} .. {}",
+    println!(
+        "slowdown range: {} .. {}",
         pct(1.0 - ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max)),
-        pct(1.0 - ratios.iter().cloned().fold(f64::INFINITY, f64::min)));
+        pct(1.0 - ratios.iter().cloned().fold(f64::INFINITY, f64::min))
+    );
     println!();
     println!("paper: slowdown 5-15%, average ~10%; fpppp smallest hit among");
     println!("compute-bound benchmarks (memory-bound codes hide the FIFO latency).");

@@ -38,7 +38,10 @@ fn main() {
     }
 
     println!("{:<24} {:>10} {:>10}", "block", "base", "gals");
-    println!("{:<24} {:>10.4} {:>10.4}", "Global clock", base_clk[0], gals_clk[0]);
+    println!(
+        "{:<24} {:>10.4} {:>10.4}",
+        "Global clock", base_clk[0], gals_clk[0]
+    );
     for d in Domain::ALL {
         println!(
             "{:<24} {:>10.4} {:>10.4}",

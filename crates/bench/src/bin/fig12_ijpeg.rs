@@ -20,12 +20,13 @@ fn main() {
         "{:<10} {:>12} {:>10} {:>10} {:>10}",
         "config", "performance", "energy", "ideal", "power"
     );
-    for (label, mem) in [("gals-00", 1.0), ("gals-10", 1.1), ("gals-20", 1.2), ("gals-50", 1.5)] {
-        let gals = run_gals_dvfs(
-            Benchmark::Ijpeg,
-            RUN_INSTS,
-            plan([1.1, 1.0, 1.0, 1.2, mem]),
-        );
+    for (label, mem) in [
+        ("gals-00", 1.0),
+        ("gals-10", 1.1),
+        ("gals-20", 1.2),
+        ("gals-50", 1.5),
+    ] {
+        let gals = run_gals_dvfs(Benchmark::Ijpeg, RUN_INSTS, plan([1.1, 1.0, 1.0, 1.2, mem]));
         let perf = gals.relative_performance(&base);
         // "Ideal": base machine uniformly slowed to the same performance
         // penalty, with the single supply scaled to match.

@@ -8,8 +8,20 @@ use gals_workload::Benchmark;
 fn main() {
     println!(
         "{:<10} {:>8} {:>8} {:>7} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6} {:>6} {:>6}",
-        "bench", "baseIPC", "galsIPC", "perf", "slipB(ns)", "slipG(ns)", "fifo%", "misB", "misG",
-        "E", "P", "bpred", "l1d", "l2"
+        "bench",
+        "baseIPC",
+        "galsIPC",
+        "perf",
+        "slipB(ns)",
+        "slipG(ns)",
+        "fifo%",
+        "misB",
+        "misG",
+        "E",
+        "P",
+        "bpred",
+        "l1d",
+        "l2"
     );
     let mut perfs = Vec::new();
     let mut energies = Vec::new();

@@ -1,0 +1,72 @@
+//! The parallel scenario-sweep driver: runs the default paper matrix of
+//! the `gals-sweep` crate — benchmark × clocking mode × pausible handshake
+//! duration × DVFS point × phase seed — across a worker pool and writes the
+//! schema-versioned `SWEEP_results.json` report.
+//!
+//! ```text
+//! cargo run --release --bin sweep -- [--budget N] [--threads N] [--out PATH]
+//! ```
+//!
+//! * `--budget N` — committed instructions per run (default 60 000; CI
+//!   smokes with `--budget 2000`).
+//! * `--threads N` — worker threads (default: host parallelism). The
+//!   report is **bit-identical for every thread count** (pinned by
+//!   `crates/sweep/tests/sweep_determinism.rs`).
+//! * `--out PATH` — report path (default `SWEEP_results.json`). The
+//!   report is gitignored: unlike `BENCH_throughput.json` it is not a
+//!   checked-in comparison baseline, so runs at any budget are free to
+//!   (re)write it — CI uploads its smoke report as a workflow artifact.
+//!
+//! See the `gals-sweep` crate docs for the matrix format and the full JSON
+//! schema, and `gals_sweep::SweepMatrix::paper_default` for what the
+//! default matrix covers (the section-3.2 handshake sweep, the DVFS
+//! energy/performance points, and the wakeup filter/coalescing ablations).
+
+use std::time::Instant;
+
+use gals_bench::{exit_code, BenchCli};
+use gals_sweep::{run_sweep, SweepMatrix};
+
+/// Default committed-instruction budget per run. Smaller than the figure
+/// binaries' 120k: the default matrix runs 80 configurations, and the
+/// derived tables converge well before that.
+const SWEEP_INSTS: u64 = 60_000;
+
+const USAGE: &str = "sweep [--budget N | N] [--threads N] [--out PATH]";
+
+fn main() {
+    let cli = BenchCli::parse_or_exit(USAGE);
+    let budget = cli.budget_or(SWEEP_INSTS);
+    let threads = cli.threads_or_available();
+    let out = cli
+        .out
+        .unwrap_or_else(|| std::path::PathBuf::from("SWEEP_results.json"));
+
+    let matrix = SweepMatrix::paper_default(budget);
+    let specs = matrix.expand();
+    println!(
+        "sweep: {} runs ({} benchmarks x {} modes x {} DVFS points x {} seeds, \
+         budget {budget}) on {threads} threads",
+        specs.len(),
+        matrix.benchmarks.len(),
+        matrix.modes.len(),
+        matrix.dvfs.len(),
+        matrix.phase_seeds.len(),
+    );
+
+    let start = Instant::now();
+    let results = run_sweep(&matrix, threads);
+    let elapsed = start.elapsed();
+    let simulated: u64 = results.runs.iter().map(|r| r.committed).sum();
+    println!(
+        "sweep: {} runs ({simulated} insts) in {:.2}s ({:.0} insts/s aggregate)",
+        results.runs.len(),
+        elapsed.as_secs_f64(),
+        simulated as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+
+    let json = results.to_json();
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
+    println!("wrote {} ({} bytes)", out.display(), json.len());
+    std::process::exit(exit_code::OK);
+}

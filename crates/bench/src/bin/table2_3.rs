@@ -41,7 +41,11 @@ fn main() {
     println!(
         "L1 instruction cache         {}KB {}, {} cycle latency",
         c.l1i.size_bytes / 1024,
-        if c.l1i.ways == 1 { "direct-mapped".to_string() } else { format!("{}-way", c.l1i.ways) },
+        if c.l1i.ways == 1 {
+            "direct-mapped".to_string()
+        } else {
+            format!("{}-way", c.l1i.ways)
+        },
         c.l1i.latency
     );
     println!(
@@ -50,7 +54,10 @@ fn main() {
         c.l2.ways,
         c.l2.latency
     );
-    println!("ALUs                         {} integer, {} FP", c.int_alus, c.fp_alus);
+    println!(
+        "ALUs                         {} integer, {} FP",
+        c.int_alus, c.fp_alus
+    );
     println!();
     println!("Additional simulator parameters not listed in the paper's table:");
     println!("Reorder buffer               {} entries", c.rob_size);
@@ -61,5 +68,8 @@ fn main() {
         "Branch predictor             gshare {} entries / {} history bits, BTB {}, RAS {}",
         c.bpred.pht_entries, c.bpred.history_bits, c.bpred.btb_entries, c.bpred.ras_depth
     );
-    println!("Store buffer                 {} entries", c.store_buffer_size);
+    println!(
+        "Store buffer                 {} entries",
+        c.store_buffer_size
+    );
 }

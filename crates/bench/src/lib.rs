@@ -2,11 +2,34 @@
 //!
 //! The benchmark harness regenerating every table and figure of the paper.
 //! Each `src/bin/*.rs` binary reproduces one table/figure (see DESIGN.md §4
-//! and EXPERIMENTS.md); this library holds the shared runners and table
-//! formatting.
+//! and EXPERIMENTS.md); this library holds the shared runners, the common
+//! CLI ([`BenchCli`]) and table formatting.
+//!
+//! ## The scenario-sweep binary
+//!
+//! `cargo run --release --bin sweep -- [--budget N] [--threads N] [--out PATH]`
+//! runs the default cartesian experiment matrix of the `gals-sweep` crate
+//! (benchmark × clocking mode × pausible handshake duration × DVFS point ×
+//! phase seed — see [`gals_sweep::SweepMatrix`] for the matrix format and
+//! the `gals-sweep` crate docs for the full JSON schema) and writes the
+//! schema-versioned report to `SWEEP_results.json`. The report is
+//! bit-identical for every `--threads` value.
+//!
+//! ## Common CLI
+//!
+//! Every experiment binary accepts `--budget N` (or a bare positional `N`,
+//! the historical smoke form) to override its committed-instruction budget;
+//! binaries that write files accept `--out PATH`; parallel binaries accept
+//! `--threads N`; `bench_throughput` additionally accepts
+//! `--baseline PATH --tolerance F` for the CI perf-regression gate. Exit
+//! codes are uniform across binaries: [`exit_code::OK`],
+//! [`exit_code::REGRESSION`] (a gated comparison failed),
+//! [`exit_code::USAGE`] (bad command line).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use std::path::PathBuf;
 
 use gals_clocks::Domain;
 use gals_core::{simulate, DvfsPlan, ProcessorConfig, SimLimits, SimReport};
@@ -26,39 +49,183 @@ pub const PHASE_SEED: u64 = 2002;
 /// Runs one benchmark on the synchronous base machine.
 pub fn run_base(bench: Benchmark, insts: u64) -> SimReport {
     let program = generate(bench, WORKLOAD_SEED);
-    simulate(&program, ProcessorConfig::synchronous_1ghz(), SimLimits::insts(insts))
+    simulate(
+        &program,
+        ProcessorConfig::synchronous_1ghz(),
+        SimLimits::insts(insts),
+    )
 }
 
 /// Runs one benchmark on the GALS machine (equal 1 GHz clocks, random
 /// phases).
 pub fn run_gals(bench: Benchmark, insts: u64) -> SimReport {
     let program = generate(bench, WORKLOAD_SEED);
-    simulate(&program, ProcessorConfig::gals_equal_1ghz(PHASE_SEED), SimLimits::insts(insts))
+    simulate(
+        &program,
+        ProcessorConfig::gals_equal_1ghz(PHASE_SEED),
+        SimLimits::insts(insts),
+    )
 }
 
 /// Runs one benchmark on the pausible-clock ablation machine (equal 1 GHz
 /// nominal clocks and the same phases as [`run_gals`], 300 ps handshake).
 pub fn run_pausible(bench: Benchmark, insts: u64) -> SimReport {
     let program = generate(bench, WORKLOAD_SEED);
-    simulate(&program, ProcessorConfig::pausible_equal_1ghz(PHASE_SEED), SimLimits::insts(insts))
+    simulate(
+        &program,
+        ProcessorConfig::pausible_equal_1ghz(PHASE_SEED),
+        SimLimits::insts(insts),
+    )
 }
 
-/// The committed-instruction budget from the binary's first CLI argument,
-/// falling back to `default` (typically [`RUN_INSTS`]) when no argument is
-/// given. Lets CI smoke-run the figure binaries on a tiny budget
+/// Uniform process exit codes of the experiment binaries.
+pub mod exit_code {
+    /// Success.
+    pub const OK: i32 = 0;
+    /// A gated comparison failed (e.g. the CI perf-regression gate).
+    pub const REGRESSION: i32 = 1;
+    /// Bad command line — printed usage to stderr.
+    pub const USAGE: i32 = 2;
+}
+
+/// The common command line of the experiment binaries: an instruction
+/// budget (`--budget N` or the historical bare positional `N`), an output
+/// path, a worker-thread count, and the perf-gate options. Individual
+/// binaries use the subset they document and ignore the rest.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchCli {
+    /// Committed-instruction budget override (`--budget N` or bare `N`).
+    pub budget: Option<u64>,
+    /// Output file path (`--out PATH`).
+    pub out: Option<PathBuf>,
+    /// Worker-thread count (`--threads N`).
+    pub threads: Option<usize>,
+    /// Baseline JSON to gate against (`--baseline PATH`).
+    pub baseline: Option<PathBuf>,
+    /// Relative regression tolerance for the gate (`--tolerance F`,
+    /// default 0.15 = fail beyond a 15% mean regression).
+    pub tolerance: f64,
+}
+
+impl BenchCli {
+    /// Default gate tolerance: fail on a >15% mean regression.
+    pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+    /// Parses an argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on an unknown flag, a missing
+    /// value, or an unparseable number — the callers route it to stderr
+    /// and exit with [`exit_code::USAGE`].
+    pub fn parse_from<I>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        let mut cli = BenchCli {
+            tolerance: Self::DEFAULT_TOLERANCE,
+            ..BenchCli::default()
+        };
+        let mut it = args.into_iter().map(Into::into);
+        while let Some(arg) = it.next() {
+            let mut value_of =
+                |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+            match arg.as_str() {
+                "--budget" => {
+                    let v = value_of("--budget")?;
+                    cli.budget = Some(parse_num(&v, "--budget")?);
+                }
+                "--out" => cli.out = Some(PathBuf::from(value_of("--out")?)),
+                "--threads" => {
+                    let v = value_of("--threads")?;
+                    let n: usize = parse_num(&v, "--threads")?;
+                    if n == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                    cli.threads = Some(n);
+                }
+                "--baseline" => cli.baseline = Some(PathBuf::from(value_of("--baseline")?)),
+                "--tolerance" => {
+                    let v = value_of("--tolerance")?;
+                    let t: f64 = v
+                        .parse()
+                        .map_err(|_| format!("invalid --tolerance value {v:?}"))?;
+                    if !(0.0..1.0).contains(&t) {
+                        return Err(format!("--tolerance {t} outside [0, 1)"));
+                    }
+                    cli.tolerance = t;
+                }
+                other if !other.starts_with('-') && cli.budget.is_none() => {
+                    cli.budget = Some(parse_num(other, "instruction budget")?);
+                }
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        Ok(cli)
+    }
+
+    /// Parses the process arguments; on error prints the message and
+    /// `usage` to stderr and exits with [`exit_code::USAGE`].
+    pub fn parse_or_exit(usage: &str) -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(cli) => cli,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("usage: {usage}");
+                std::process::exit(exit_code::USAGE);
+            }
+        }
+    }
+
+    /// The instruction budget, falling back to a binary-specific default.
+    pub fn budget_or(&self, default: u64) -> u64 {
+        self.budget.unwrap_or(default)
+    }
+
+    /// The worker-thread count, falling back to the host parallelism.
+    pub fn threads_or_available(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("invalid {what} value {v:?}"))
+}
+
+/// The committed-instruction budget from the binary's command line
+/// (`--budget N` or a bare positional `N`), falling back to `default`
+/// (typically [`RUN_INSTS`]) when no budget is given. Lets CI smoke-run
+/// the figure binaries on a tiny budget
 /// (`cargo run --release --bin <bin> -- 2000`).
 ///
-/// # Panics
-///
-/// Panics on an unparseable argument — a typo in a smoke budget must not
-/// silently degrade into a full-budget run.
+/// On a malformed command line, prints usage to stderr and exits with
+/// [`exit_code::USAGE`] — a typo in a smoke budget must not silently
+/// degrade into a full-budget run.
 pub fn budget_from_args(default: u64) -> u64 {
-    match std::env::args().nth(1) {
-        None => default,
-        Some(arg) => arg
-            .parse()
-            .unwrap_or_else(|_| panic!("invalid instruction-budget argument {arg:?}")),
+    BenchCli::parse_or_exit("<bin> [--budget N | N]").budget_or(default)
+}
+
+/// Every `"key": <number>` occurrence in a hand-rolled JSON document, in
+/// document order. Enough of a parser for the workspace's serde-free
+/// reports (keys are never nested inside strings); used by the CI
+/// perf-regression gate to read the checked-in baseline.
+pub fn extract_json_numbers(json: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let trimmed = rest.trim_start();
+        let end = trimmed
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+            .unwrap_or(trimmed.len());
+        if let Ok(v) = trimmed[..end].parse::<f64>() {
+            out.push(v);
+        }
     }
+    out
 }
 
 /// Runs one benchmark on a GALS machine with a DVFS plan applied.
@@ -139,7 +306,58 @@ mod tests {
         let dvfs = run_gals_dvfs(Benchmark::Adpcm, 2_000, plan([1.0, 1.0, 1.0, 2.0, 1.0]));
         assert_eq!(dvfs.committed, 2_000);
         let ideal = run_base_scaled(Benchmark::Adpcm, 2_000, 1.2);
-        assert!((ideal.exec_time.as_fs() as f64 / base.exec_time.as_fs() as f64 - 1.2).abs() < 0.01);
+        assert!(
+            (ideal.exec_time.as_fs() as f64 / base.exec_time.as_fs() as f64 - 1.2).abs() < 0.01
+        );
+    }
+
+    #[test]
+    fn cli_parses_flags_and_positional_budget() {
+        let cli = BenchCli::parse_from(["--budget", "5000", "--threads", "4", "--out", "x.json"])
+            .unwrap();
+        assert_eq!(cli.budget, Some(5_000));
+        assert_eq!(cli.threads, Some(4));
+        assert_eq!(cli.out.as_deref(), Some(std::path::Path::new("x.json")));
+        assert_eq!(cli.tolerance, BenchCli::DEFAULT_TOLERANCE);
+
+        // Historical smoke form: a bare positional budget.
+        let cli = BenchCli::parse_from(["2000"]).unwrap();
+        assert_eq!(cli.budget_or(120_000), 2_000);
+        assert_eq!(
+            BenchCli::parse_from([] as [&str; 0]).unwrap().budget_or(7),
+            7
+        );
+
+        let cli = BenchCli::parse_from(["--baseline", "B.json", "--tolerance", "0.2"]).unwrap();
+        assert_eq!(
+            cli.baseline.as_deref(),
+            Some(std::path::Path::new("B.json"))
+        );
+        assert_eq!(cli.tolerance, 0.2);
+    }
+
+    #[test]
+    fn cli_rejects_malformed_lines() {
+        assert!(BenchCli::parse_from(["--budget"]).is_err());
+        assert!(BenchCli::parse_from(["--budget", "abc"]).is_err());
+        assert!(BenchCli::parse_from(["--threads", "0"]).is_err());
+        assert!(BenchCli::parse_from(["--tolerance", "1.5"]).is_err());
+        assert!(BenchCli::parse_from(["--frobnicate"]).is_err());
+        assert!(BenchCli::parse_from(["12x"]).is_err());
+        // A second positional is an unknown argument, not a silent override.
+        assert!(BenchCli::parse_from(["100", "200"]).is_err());
+    }
+
+    #[test]
+    fn json_number_extraction_reads_handrolled_reports() {
+        let json = "{\n  \"mean\": 2.061,\n  \"runs\": [\n    {\"ips\": 742040, \"x\": -1.5e3},\n    {\"ips\": 613159}\n  ]\n}\n";
+        assert_eq!(extract_json_numbers(json, "mean"), vec![2.061]);
+        assert_eq!(
+            extract_json_numbers(json, "ips"),
+            vec![742_040.0, 613_159.0]
+        );
+        assert_eq!(extract_json_numbers(json, "x"), vec![-1_500.0]);
+        assert!(extract_json_numbers(json, "absent").is_empty());
     }
 
     #[test]

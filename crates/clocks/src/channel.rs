@@ -395,6 +395,9 @@ mod tests {
             total += edge - push_t;
         }
         let mean = total as f64 / trials as f64 / period as f64;
-        assert!((1.4..1.6).contains(&mean), "mean crossing latency {mean} periods");
+        assert!(
+            (1.4..1.6).contains(&mean),
+            "mean crossing latency {mean} periods"
+        );
     }
 }

@@ -201,8 +201,14 @@ mod tests {
             phase: Time::from_ps(500),
         };
         assert_eq!(c.next_edge_at_or_after(Time::ZERO), Time::from_ps(500));
-        assert_eq!(c.next_edge_at_or_after(Time::from_ps(500)), Time::from_ps(500));
-        assert_eq!(c.next_edge_at_or_after(Time::from_ps(501)), Time::from_ps(2_500));
+        assert_eq!(
+            c.next_edge_at_or_after(Time::from_ps(500)),
+            Time::from_ps(500)
+        );
+        assert_eq!(
+            c.next_edge_at_or_after(Time::from_ps(501)),
+            Time::from_ps(2_500)
+        );
         assert_eq!(c.next_edge_after(Time::from_ps(500)), Time::from_ps(2_500));
         assert_eq!(c.next_edge_after(Time::ZERO), Time::from_ps(500));
     }

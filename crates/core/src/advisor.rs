@@ -103,7 +103,12 @@ impl DvfsAdvisor {
     pub fn recommend(&self, report: &SimReport) -> DvfsPlan {
         let util = DomainUtilisation::from_report(report);
         let mut plan = DvfsPlan::nominal();
-        for d in [Domain::Fetch, Domain::IntCluster, Domain::FpCluster, Domain::MemCluster] {
+        for d in [
+            Domain::Fetch,
+            Domain::IntCluster,
+            Domain::FpCluster,
+            Domain::MemCluster,
+        ] {
             let u = util.of(d);
             // The memory domain serves latency-critical loads: even at low
             // *bandwidth* utilisation every cycle added to a load lengthens
@@ -166,7 +171,11 @@ mod tests {
             },
             dcache: CacheStats::default(),
             l2: CacheStats::default(),
-            iq: [mk_iq(iq_issued[0]), mk_iq(iq_issued[1]), mk_iq(iq_issued[2])],
+            iq: [
+                mk_iq(iq_issued[0]),
+                mk_iq(iq_issued[1]),
+                mk_iq(iq_issued[2]),
+            ],
             rob_mean_occupancy: 20.0,
             rat_mean_occupancy: 14.0,
             rat_peak_occupancy: 30,
@@ -197,7 +206,10 @@ mod tests {
     fn busy_domains_stay_nominal() {
         let r = report_with([38_000, 36_000, 19_000], 9_500);
         let plan = DvfsAdvisor::new().recommend(&r);
-        assert!(!plan.is_active(), "fully busy machine needs no scaling: {plan:?}");
+        assert!(
+            !plan.is_active(),
+            "fully busy machine needs no scaling: {plan:?}"
+        );
     }
 
     #[test]

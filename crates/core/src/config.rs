@@ -108,7 +108,8 @@ impl DvfsPlan {
 
     /// Dynamic-energy factor of one domain under ideal voltage tracking.
     pub fn energy_factor(&self, domain: Domain) -> f64 {
-        self.tech.energy_factor_for_slowdown(self.slowdown[domain.index()])
+        self.tech
+            .energy_factor_for_slowdown(self.slowdown[domain.index()])
     }
 
     /// True when any domain is scaled.
@@ -140,6 +141,22 @@ pub struct ProcessorConfig {
     /// machines; for the synchronous machine only a uniform plan is
     /// meaningful).
     pub dvfs: DvfsPlan,
+    /// Pausible clocking only: coalesce the wakeup broadcasts of one
+    /// writeback cycle into a single handshake per domain crossing instead
+    /// of one per destination tag. Softens the pausible penalty (the
+    /// ROADMAP follow-up to the section-3.2 ablation); `false` reproduces
+    /// the paper's one-handshake-per-transaction machine. The tags still
+    /// travel individually — only the clock-stretch charge is shared.
+    pub coalesce_wakeup_stretch: bool,
+    /// Producer-side cross-cluster wakeup filter: destination tags are
+    /// broadcast only to remote clusters that renamed a consumer of the tag
+    /// before the producer's writeback; consumers renamed later read the
+    /// committed value through the rename-time busy-bit check instead (see
+    /// the dependence-filter notes in `pipeline.rs`). Cuts the two
+    /// per-instruction remote wakeup channel ops the paper's machine wastes
+    /// when dependents are cluster-local. `false` reproduces the paper's
+    /// broadcast-to-everyone design.
+    pub cross_cluster_wakeup_filter: bool,
 }
 
 impl ProcessorConfig {
@@ -153,6 +170,8 @@ impl ProcessorConfig {
             side_channel_capacity: 256,
             fifo_sync_periods: 1.25,
             dvfs: DvfsPlan::nominal(),
+            coalesce_wakeup_stretch: false,
+            cross_cluster_wakeup_filter: false,
         }
     }
 
@@ -162,9 +181,8 @@ impl ProcessorConfig {
     /// runtime").
     pub fn gals_equal_1ghz(phase_seed: u64) -> Self {
         let base = ClockSpec::from_ghz(1.0);
-        let clocks: [ClockSpec; 5] = std::array::from_fn(|i| {
-            base.with_random_phase(phase_seed, i as u64 + 1)
-        });
+        let clocks: [ClockSpec; 5] =
+            std::array::from_fn(|i| base.with_random_phase(phase_seed, i as u64 + 1));
         ProcessorConfig {
             clocking: Clocking::Gals(clocks),
             ..Self::synchronous_1ghz()
@@ -191,6 +209,41 @@ impl ProcessorConfig {
         }
     }
 
+    /// Sets the pausible-interface handshake duration (builder style) —
+    /// the independent variable of the handshake-duration sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is not pausible: the handshake is a
+    /// property of the pausible arbiter, so setting it on a FIFO or
+    /// synchronous machine would silently measure nothing.
+    #[must_use]
+    pub fn with_pausible_handshake(mut self, handshake: Time) -> Self {
+        match &mut self.clocking {
+            Clocking::Pausible { model, .. } => {
+                *model = PausibleClockModel::new(handshake);
+                self
+            }
+            other => panic!("handshake duration only applies to pausible clocking, not {other:?}"),
+        }
+    }
+
+    /// Enables/disables one-handshake-per-cycle wakeup coalescing (builder
+    /// style; meaningful only under pausible clocking).
+    #[must_use]
+    pub fn with_wakeup_coalescing(mut self, on: bool) -> Self {
+        self.coalesce_wakeup_stretch = on;
+        self
+    }
+
+    /// Enables/disables the producer-side cross-cluster wakeup filter
+    /// (builder style).
+    #[must_use]
+    pub fn with_wakeup_filter(mut self, on: bool) -> Self {
+        self.cross_cluster_wakeup_filter = on;
+        self
+    }
+
     /// Applies a DVFS plan: GALS domain clocks are slowed per the plan and
     /// supply-voltage energy factors are configured to match.
     ///
@@ -204,8 +257,7 @@ impl ProcessorConfig {
             Clocking::Gals(clocks) | Clocking::Pausible { clocks, .. } => {
                 for d in Domain::ALL {
                     let i = d.index();
-                    *clocks.get_mut(i).expect("five clocks") =
-                        clocks[i].slowed(plan.slowdown[i]);
+                    *clocks.get_mut(i).expect("five clocks") = clocks[i].slowed(plan.slowdown[i]);
                 }
             }
             Clocking::Synchronous(clock) => {
@@ -285,7 +337,10 @@ mod tests {
         let c = ProcessorConfig::synchronous_1ghz();
         c.validate().unwrap();
         assert!(!c.clocking.is_gals());
-        assert_eq!(c.clocking.domain_clock(Domain::Fetch).period, Time::from_ns(1));
+        assert_eq!(
+            c.clocking.domain_clock(Domain::Fetch).period,
+            Time::from_ns(1)
+        );
     }
 
     #[test]
@@ -361,6 +416,47 @@ mod tests {
         } else {
             panic!("pausible clocking expected");
         }
+    }
+
+    #[test]
+    fn handshake_builder_sets_the_pausible_model() {
+        let cfg =
+            ProcessorConfig::pausible_equal_1ghz(1).with_pausible_handshake(Time::from_ps(150));
+        if let Clocking::Pausible { model, .. } = &cfg.clocking {
+            assert_eq!(model.handshake, Time::from_ps(150));
+        } else {
+            panic!("pausible clocking expected");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pausible")]
+    fn handshake_builder_rejects_fifo_gals() {
+        let _ = ProcessorConfig::gals_equal_1ghz(1).with_pausible_handshake(Time::from_ps(150));
+    }
+
+    #[test]
+    fn wakeup_feature_flags_default_off() {
+        for cfg in [
+            ProcessorConfig::synchronous_1ghz(),
+            ProcessorConfig::gals_equal_1ghz(1),
+            ProcessorConfig::pausible_equal_1ghz(1),
+        ] {
+            assert!(
+                !cfg.coalesce_wakeup_stretch,
+                "paper machine has no coalescing"
+            );
+            assert!(
+                !cfg.cross_cluster_wakeup_filter,
+                "paper machine broadcasts everywhere"
+            );
+        }
+        let cfg = ProcessorConfig::gals_equal_1ghz(1)
+            .with_wakeup_filter(true)
+            .with_wakeup_coalescing(true);
+        assert!(cfg.cross_cluster_wakeup_filter);
+        assert!(cfg.coalesce_wakeup_stretch);
+        cfg.validate().unwrap();
     }
 
     #[test]

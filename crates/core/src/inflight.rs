@@ -72,7 +72,10 @@ impl SrcTags {
     ///
     /// Panics if the list already holds two tags.
     pub fn push(&mut self, tag: Tag) {
-        assert!((self.len as usize) < 2, "an instruction has at most two sources");
+        assert!(
+            (self.len as usize) < 2,
+            "an instruction has at most two sources"
+        );
         self.tags[self.len as usize] = tag;
         self.len += 1;
     }
@@ -243,8 +246,7 @@ impl InFlightTable {
     /// number (plus the pending insert) maps to a distinct slot.
     #[cold]
     fn grow_for(&mut self, pending: InFlight) {
-        let mut entries: Vec<InFlight> =
-            self.slots.iter_mut().filter_map(|s| s.take()).collect();
+        let mut entries: Vec<InFlight> = self.slots.iter_mut().filter_map(|s| s.take()).collect();
         entries.push(pending);
         let mut cap = self.slots.len();
         loop {
@@ -365,7 +367,10 @@ mod tests {
         assert!(t.capacity() > initial_cap);
         assert_eq!(t.len(), 2);
         assert_eq!(t.get(1).map(|i| i.seq), Some(1));
-        assert_eq!(t.get(1 + initial_cap as u64).map(|i| i.seq), Some(1 + initial_cap as u64));
+        assert_eq!(
+            t.get(1 + initial_cap as u64).map(|i| i.seq),
+            Some(1 + initial_cap as u64)
+        );
     }
 
     #[test]

@@ -38,9 +38,7 @@ use gals_clocks::{Channel, Domain};
 use gals_events::Time;
 use gals_isa::{Cluster, DynStream, Inst, OpClass, Program, EXIT_PC};
 use gals_power::{MacroBlock, PowerAccountant};
-use gals_uarch::{
-    BranchPredictor, Cache, FuPool, IssueQueue, RenameUnit, Rob, StoreBuffer,
-};
+use gals_uarch::{BranchPredictor, Cache, FuPool, IssueQueue, RenameUnit, Rob, StoreBuffer};
 
 use crate::config::{Clocking, ProcessorConfig, SimLimits};
 use crate::inflight::{BranchInfo, InFlight, InFlightTable, Redirect, SrcTags, Tag, TAG_SPACE};
@@ -52,6 +50,10 @@ const WRONG_PATH_SALT: u64 = 0xD00D_F00D_5EED_0001;
 
 /// Clock domain of each execution cluster, indexed like `Pipeline::clusters`.
 const CLUSTER_DOMAINS: [Domain; 3] = [Domain::IntCluster, Domain::FpCluster, Domain::MemCluster];
+
+/// `wakeup_interest` flag: the producer of this tag has already run its
+/// writeback broadcast (bits 0..=2 hold per-cluster consumer interest).
+const WAKEUP_DONE: u8 = 1 << 7;
 
 /// One execution cluster (domains 3, 4, 5).
 struct ClusterState {
@@ -145,6 +147,9 @@ pub struct Pipeline<'p> {
     committed: u64,
     fetched: u64,
     wrong_path_fetched: u64,
+    /// Reusable recovery scratch for the ROB/IQ squash walks, so branch
+    /// recovery allocates nothing even under branchy sweep workloads.
+    squash_scratch: Vec<u64>,
     slip_total: Time,
     slip_fifo: Time,
     store_forwards_total: u64,
@@ -164,6 +169,24 @@ pub struct Pipeline<'p> {
     stretch_events: [u64; 5],
     /// Lifetime stretch time per domain.
     stretch_time: [Time; 5],
+    /// Wakeup-coalescing state (pausible + `coalesce_wakeup_stretch` only):
+    /// the last producer-cluster cycle in which a wakeup handshake was
+    /// charged on link `[from][to]`. Further wakeup tags pushed on the same
+    /// link in the same cycle ride the already-paid handshake.
+    wakeup_stretch_cycle: [[u64; 3]; 3],
+    /// Producer-side dependence-filter state per wakeup tag (all zero
+    /// unless `cfg.cross_cluster_wakeup_filter`): bits 0..=2 record which
+    /// clusters renamed a consumer of the tag's current allocation;
+    /// [`WAKEUP_DONE`] records that the producer's writeback broadcast has
+    /// already run.
+    ///
+    /// Deadlock-freedom: a consumer renamed *before* the producer's
+    /// writeback registers interest here, so the wakeup is delivered to its
+    /// cluster; a consumer renamed *after* sees [`WAKEUP_DONE`] and marks
+    /// the operand ready in its cluster view at rename (the busy-bit table
+    /// read real rename stages do — the value is in the register file by
+    /// then). Either way every dependent observes the wakeup.
+    wakeup_interest: Box<[u8]>,
     halted: bool,
     last_commit_time: Time,
     fetch_cycles: u64,
@@ -178,7 +201,8 @@ impl<'p> Pipeline<'p> {
     ///
     /// Panics if the configuration fails validation.
     pub fn new(program: &'p Program, cfg: ProcessorConfig, limits: SimLimits) -> Self {
-        cfg.validate().unwrap_or_else(|e| panic!("invalid processor configuration: {e}"));
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid processor configuration: {e}"));
         let u = &cfg.uarch;
         let mk_data_channel = |from: Domain, to: Domain, cap: usize| -> Channel<u64> {
             Self::make_channel(&cfg, from, to, cap)
@@ -192,7 +216,11 @@ impl<'p> Pipeline<'p> {
             mk_data_channel(Domain::Decode, CLUSTER_DOMAINS[i], cfg.channel_capacity)
         });
         let ch_complete = std::array::from_fn(|i| {
-            mk_data_channel(CLUSTER_DOMAINS[i], Domain::Decode, cfg.side_channel_capacity)
+            mk_data_channel(
+                CLUSTER_DOMAINS[i],
+                Domain::Decode,
+                cfg.side_channel_capacity,
+            )
         });
         let ch_wakeup = std::array::from_fn(|from| {
             std::array::from_fn(|to| {
@@ -244,13 +272,18 @@ impl<'p> Pipeline<'p> {
             l2: Cache::new(u.l2),
             l2_touched: false,
             inflight: InFlightTable::with_window(
-                u.rob_size + 2 * u.decode_width as usize + cfg.channel_capacity + u.fetch_width as usize + 8,
+                u.rob_size
+                    + 2 * u.decode_width as usize
+                    + cfg.channel_capacity
+                    + u.fetch_width as usize
+                    + 8,
             ),
             next_seq: 0,
             pending_recovery: None,
             committed: 0,
             fetched: 0,
             wrong_path_fetched: 0,
+            squash_scratch: Vec::new(),
             slip_total: Time::ZERO,
             slip_fifo: Time::ZERO,
             store_forwards_total: 0,
@@ -264,6 +297,8 @@ impl<'p> Pipeline<'p> {
             stretch_pending: false,
             stretch_events: [0; 5],
             stretch_time: [Time::ZERO; 5],
+            wakeup_stretch_cycle: [[0; 3]; 3],
+            wakeup_interest: vec![0u8; TAG_SPACE].into_boxed_slice(),
             halted: false,
             last_commit_time: Time::ZERO,
             fetch_cycles: 0,
@@ -304,7 +339,9 @@ impl<'p> Pipeline<'p> {
     /// nothing extra. No-op in the synchronous and FIFO-GALS machines.
     #[inline]
     fn note_transfer(&mut self, from: Domain, to: Domain) {
-        let Some(handshake) = self.stretch_handshake else { return };
+        let Some(handshake) = self.stretch_handshake else {
+            return;
+        };
         for d in [from, to] {
             let i = d.index();
             self.pending_stretch[i] += handshake;
@@ -312,6 +349,25 @@ impl<'p> Pipeline<'p> {
             self.stretch_time[i] += handshake;
         }
         self.stretch_pending = true;
+    }
+
+    /// Records one cross-cluster wakeup transfer, coalescing the pausible
+    /// handshake charge: with `coalesce_wakeup_stretch` on, all wakeup tags
+    /// a producer cluster pushes onto one link within one local cycle share
+    /// a single handshake (the arbitration is won once and the tag batch
+    /// crosses together) instead of stretching both clocks once per tag.
+    /// The tags themselves still travel individually. No-op difference
+    /// outside pausible mode, where `note_transfer` charges nothing.
+    #[inline]
+    fn note_wakeup_transfer(&mut self, ci: usize, to: usize) {
+        if self.stretch_handshake.is_some() && self.cfg.coalesce_wakeup_stretch {
+            let cycle = self.clusters[ci].cycle;
+            if self.wakeup_stretch_cycle[ci][to] == cycle {
+                return;
+            }
+            self.wakeup_stretch_cycle[ci][to] = cycle;
+        }
+        self.note_transfer(CLUSTER_DOMAINS[ci], CLUSTER_DOMAINS[to]);
     }
 
     /// Drains the clock-stretch requests accumulated by pausible-mode
@@ -386,7 +442,11 @@ impl<'p> Pipeline<'p> {
             // is gated (the squash broadcast reaches the front end with the
             // redirect); until resolution, fetch honestly runs down the
             // predicted path.
-            let pc = if self.wrong_path { self.wrong_pc } else { self.fetch_pc };
+            let pc = if self.wrong_path {
+                self.wrong_pc
+            } else {
+                self.fetch_pc
+            };
             if pc != EXIT_PC {
                 icache_active = true;
                 if self.icache.access(pc) {
@@ -394,7 +454,11 @@ impl<'p> Pipeline<'p> {
                     // the line boundary (and at predicted-taken branches).
                     let line = pc / self.cfg.uarch.l1i.line_bytes;
                     for _ in 0..self.cfg.uarch.fetch_width {
-                        let cur = if self.wrong_path { self.wrong_pc } else { self.fetch_pc };
+                        let cur = if self.wrong_path {
+                            self.wrong_pc
+                        } else {
+                            self.fetch_pc
+                        };
                         if cur == EXIT_PC || cur / self.cfg.uarch.l1i.line_bytes != line {
                             break;
                         }
@@ -408,13 +472,20 @@ impl<'p> Pipeline<'p> {
                 }
             }
         }
-        self.accountant.block_cycle(MacroBlock::ICache, icache_active);
-        self.accountant.block_cycle(MacroBlock::BranchPredictor, bpred_active);
+        self.accountant
+            .block_cycle(MacroBlock::ICache, icache_active);
+        self.accountant
+            .block_cycle(MacroBlock::BranchPredictor, bpred_active);
     }
 
     /// Latency charged for an L1 miss: L2 hit latency, plus memory latency
     /// when L2 also misses. (Shared between I- and D-side.)
-    fn l2_fill_latency_for(l2: &mut Cache, l2_touched: &mut bool, addr: u64, mem_latency: u32) -> u32 {
+    fn l2_fill_latency_for(
+        l2: &mut Cache,
+        l2_touched: &mut bool,
+        addr: u64,
+        mem_latency: u32,
+    ) -> u32 {
         *l2_touched = true;
         if l2.access(addr) {
             l2.latency()
@@ -424,8 +495,17 @@ impl<'p> Pipeline<'p> {
     }
 
     fn l2_fill_latency(&mut self) -> u32 {
-        let pc = if self.wrong_path { self.wrong_pc } else { self.fetch_pc };
-        Self::l2_fill_latency_for(&mut self.l2, &mut self.l2_touched, pc, self.cfg.uarch.mem_latency)
+        let pc = if self.wrong_path {
+            self.wrong_pc
+        } else {
+            self.fetch_pc
+        };
+        Self::l2_fill_latency_for(
+            &mut self.l2,
+            &mut self.l2_touched,
+            pc,
+            self.cfg.uarch.mem_latency,
+        )
     }
 
     fn fetch_one(&mut self, bpred_active: &mut bool) -> FetchOutcome {
@@ -501,7 +581,15 @@ impl<'p> Pipeline<'p> {
         let seq = self.alloc_seq();
         let static_inst = &self.program.block(d.block).insts[d.index as usize];
         let is_exit = d.is_exit();
-        let inf = self.make_inflight(seq, d.pc, static_inst, false, d.mem_addr, branch_info, is_exit);
+        let inf = self.make_inflight(
+            seq,
+            d.pc,
+            static_inst,
+            false,
+            d.mem_addr,
+            branch_info,
+            is_exit,
+        );
         self.push_fetched(inf);
 
         // Advance the architectural cursor.
@@ -643,16 +731,20 @@ impl<'p> Pipeline<'p> {
         let now = self.now;
         let bseq = r.branch_seq;
 
-        // Squash younger state everywhere.
-        for seq in self.rob.squash_younger(bseq) {
-            debug_assert!(seq > bseq);
-        }
+        // Squash younger state everywhere. The walks write into one reused
+        // scratch buffer: recovery allocates nothing even when mispredicts
+        // are frequent (sweep workloads run branchy configurations hot).
+        let mut scratch = std::mem::take(&mut self.squash_scratch);
+        self.rob.squash_younger_into(bseq, &mut scratch);
+        debug_assert!(scratch.iter().all(|&s| s > bseq));
         let recovered = self.rename.recover(bseq);
         debug_assert!(recovered, "mispredicted branch must hold a checkpoint");
         for cl in &mut self.clusters {
-            cl.iq.squash_younger(bseq);
+            cl.iq.squash_younger_into(bseq, &mut scratch);
             cl.executing.retain(|&(_, s)| s <= bseq);
         }
+        scratch.clear();
+        self.squash_scratch = scratch;
         self.store_buffer.squash_younger(bseq);
         self.decode_buf.retain(|&s| s <= bseq);
         self.ch_fetch_decode.flush_where(now, |&s| s <= bseq);
@@ -701,7 +793,9 @@ impl<'p> Pipeline<'p> {
         // at exactly equal committed counts for paired comparisons.)
         let mut commits = 0;
         while commits < self.cfg.uarch.commit_width && self.committed < self.limits.max_insts {
-            let Some((head_seq, _, _)) = self.rob.head() else { break };
+            let Some((head_seq, _, _)) = self.rob.head() else {
+                break;
+            };
             // Hold a mispredicted branch at the head until its recovery has
             // executed: the checkpoint must survive, and nothing younger
             // (wrong-path) may commit.
@@ -714,7 +808,10 @@ impl<'p> Pipeline<'p> {
                 break;
             }
             let (seq, _) = self.rob.pop_head().expect("head exists");
-            let inf = self.inflight.remove(seq).expect("committing unknown instruction");
+            let inf = self
+                .inflight
+                .remove(seq)
+                .expect("committing unknown instruction");
             debug_assert!(!inf.wrong_path, "wrong-path instruction reached commit");
             if let Some((arch, new_tag, old)) = inf.dst {
                 let _ = new_tag;
@@ -758,14 +855,19 @@ impl<'p> Pipeline<'p> {
         // 3. Rename + dispatch, in order, stalling at the first hazard.
         let mut renamed = 0;
         while renamed < self.cfg.uarch.decode_width {
-            let Some(&seq) = self.decode_buf.front() else { break };
+            let Some(&seq) = self.decode_buf.front() else {
+                break;
+            };
             if !self.rob.has_space() {
                 break;
             }
             // One in-flight probe covers the whole rename: the borrow of
             // `self.inflight` coexists with the disjoint borrows of the
             // rename unit, ROB, store buffer and channels below.
-            let inf = self.inflight.get_mut(seq).expect("decoded instruction vanished");
+            let inf = self
+                .inflight
+                .get_mut(seq)
+                .expect("decoded instruction vanished");
             let op = inf.op;
             let is_branch = op.is_branch();
             if is_branch && !self.rename.can_checkpoint() {
@@ -791,7 +893,9 @@ impl<'p> Pipeline<'p> {
             }
             let dst = if let Some(d) = inf.arch_dst {
                 match self.rename.rename_dst(d) {
-                    Ok(renamed_dst) => Some((d, Tag::new(renamed_dst.new, d.is_fp()), renamed_dst.old)),
+                    Ok(renamed_dst) => {
+                        Some((d, Tag::new(renamed_dst.new, d.is_fp()), renamed_dst.old))
+                    }
                     Err(_) => break, // out of physical registers: stall
                 }
             } else {
@@ -802,8 +906,23 @@ impl<'p> Pipeline<'p> {
             }
             inf.srcs = src_tags;
             inf.dst = dst;
-            // Mark the destination not-ready in every cluster view.
+            // Producer-side wakeup filter: register this consumer's cluster
+            // against each source tag, or — when the producer has already
+            // broadcast — mark the operand ready in this cluster's view now
+            // (the rename-time busy-bit read; see `wakeup_interest` docs).
+            if self.cfg.cross_cluster_wakeup_filter {
+                for t in src_tags.iter() {
+                    if self.wakeup_interest[t.index()] & WAKEUP_DONE != 0 {
+                        self.clusters[ci].ready[t.index()] = true;
+                    } else {
+                        self.wakeup_interest[t.index()] |= 1 << ci;
+                    }
+                }
+            }
+            // Mark the destination not-ready in every cluster view (and
+            // reset the filter state of the tag's fresh allocation).
             if let Some((_, tag, _)) = dst {
+                self.wakeup_interest[tag.index()] = 0;
                 for cl in &mut self.clusters {
                     cl.ready[tag.index()] = false;
                 }
@@ -825,7 +944,9 @@ impl<'p> Pipeline<'p> {
         while decoded < self.cfg.uarch.decode_width
             && self.decode_buf.len() < 2 * self.cfg.uarch.decode_width as usize
         {
-            let Some((seq, res)) = self.ch_fetch_decode.try_pop_timed(now) else { break };
+            let Some((seq, res)) = self.ch_fetch_decode.try_pop_timed(now) else {
+                break;
+            };
             if let Some(inf) = self.inflight.get_mut(seq) {
                 inf.fifo_time += res;
                 self.decode_buf.push_back(seq);
@@ -892,8 +1013,12 @@ impl<'p> Pipeline<'p> {
         // per-instruction `Vec`.
         let mut inserted = 0;
         while self.clusters[ci].iq.has_space() {
-            let Some((seq, res)) = self.ch_dispatch[ci].try_pop_timed(now) else { break };
-            let Some(inf) = self.inflight.get_mut(seq) else { continue };
+            let Some((seq, res)) = self.ch_dispatch[ci].try_pop_timed(now) else {
+                break;
+            };
+            let Some(inf) = self.inflight.get_mut(seq) else {
+                continue;
+            };
             inf.fifo_time += res;
             let ClusterState { iq, ready, .. } = &mut self.clusters[ci];
             iq.insert(
@@ -921,8 +1046,10 @@ impl<'p> Pipeline<'p> {
         self.accountant.block_cycle(iq_block, iq_active);
         if ci == 2 {
             // Memory cluster: charge the caches instead of ALUs.
-            self.accountant.block_cycle(MacroBlock::DCache, issued > 0 || !cl.executing.is_empty());
-            self.accountant.block_cycle(MacroBlock::L2Cache, self.l2_touched);
+            self.accountant
+                .block_cycle(MacroBlock::DCache, issued > 0 || !cl.executing.is_empty());
+            self.accountant
+                .block_cycle(MacroBlock::L2Cache, self.l2_touched);
             self.l2_touched = false;
             let _ = alu_block;
         } else {
@@ -952,51 +1079,67 @@ impl<'p> Pipeline<'p> {
         let mem_latency = self.cfg.uarch.mem_latency;
         let mut store_forwards = 0u64;
 
-        iq.select_into(width, |seq| {
-            let Some(inf) = inflight.get(seq) else { return true /* squash race: drop */ };
-            let base_lat = inf.op.exec_latency();
-            match inf.op {
-                OpClass::Store => {
-                    if !fus.try_issue(cycle, base_lat, true) {
-                        return false;
+        iq.select_into(
+            width,
+            |seq| {
+                let Some(inf) = inflight.get(seq) else {
+                    return true; /* squash race: drop */
+                };
+                let base_lat = inf.op.exec_latency();
+                match inf.op {
+                    OpClass::Store => {
+                        if !fus.try_issue(cycle, base_lat, true) {
+                            return false;
+                        }
+                        let addr = inf.mem_addr.expect("stores carry addresses");
+                        // Slot reserved at dispatch; fill the address now.
+                        store_buffer.fill(seq, addr);
+                        latencies.push((seq, u64::from(base_lat)));
+                        true
                     }
-                    let addr = inf.mem_addr.expect("stores carry addresses");
-                    // Slot reserved at dispatch; fill the address now.
-                    store_buffer.fill(seq, addr);
-                    latencies.push((seq, u64::from(base_lat)));
-                    true
-                }
-                OpClass::Load => {
-                    if !fus.try_issue(cycle, base_lat, true) {
-                        return false;
+                    OpClass::Load => {
+                        if !fus.try_issue(cycle, base_lat, true) {
+                            return false;
+                        }
+                        let addr = inf.mem_addr.expect("loads carry addresses");
+                        let lat = if store_buffer.forwards_to(addr) {
+                            store_forwards += 1;
+                            u64::from(dcache.latency())
+                        } else if dcache.access(addr) {
+                            u64::from(dcache.latency())
+                        } else {
+                            u64::from(dcache.latency())
+                                + u64::from(Self::l2_fill_latency_for(
+                                    l2,
+                                    l2_touched,
+                                    addr,
+                                    mem_latency,
+                                ))
+                        };
+                        latencies.push((seq, lat));
+                        true
                     }
-                    let addr = inf.mem_addr.expect("loads carry addresses");
-                    let lat = if store_buffer.forwards_to(addr) {
-                        store_forwards += 1;
-                        u64::from(dcache.latency())
-                    } else if dcache.access(addr) {
-                        u64::from(dcache.latency())
-                    } else {
-                        u64::from(dcache.latency())
-                            + u64::from(Self::l2_fill_latency_for(l2, l2_touched, addr, mem_latency))
-                    };
-                    latencies.push((seq, lat));
-                    true
-                }
-                op => {
-                    if !fus.try_issue(cycle, op.exec_latency(), op.is_pipelined()) {
-                        return false;
+                    op => {
+                        if !fus.try_issue(cycle, op.exec_latency(), op.is_pipelined()) {
+                            return false;
+                        }
+                        latencies.push((seq, u64::from(op.exec_latency())));
+                        true
                     }
-                    latencies.push((seq, u64::from(op.exec_latency())));
-                    true
                 }
-            }
-        }, &mut picked);
+            },
+            &mut picked,
+        );
         self.store_forwards_total += store_forwards;
         let issued = picked.len() as u32;
         self.issued_total += u64::from(issued);
         for &seq in &picked {
-            if self.inflight.get(seq).map(|i| i.wrong_path).unwrap_or(false) {
+            if self
+                .inflight
+                .get(seq)
+                .map(|i| i.wrong_path)
+                .unwrap_or(false)
+            {
                 self.issued_wrong_path += 1;
             }
         }
@@ -1018,7 +1161,9 @@ impl<'p> Pipeline<'p> {
 
     fn writeback(&mut self, ci: usize, seq: u64) {
         let now = self.now;
-        let Some(inf) = self.inflight.get(seq) else { return };
+        let Some(inf) = self.inflight.get(seq) else {
+            return;
+        };
         let dst = inf.dst;
         let is_mispredict = inf
             .branch
@@ -1026,19 +1171,26 @@ impl<'p> Pipeline<'p> {
             .unwrap_or(false);
         let recovery_pc = inf.branch.map(|b| b.recovery_pc).unwrap_or(EXIT_PC);
 
-        // Local + remote wakeup.
+        // Local + remote wakeup. With the producer-side filter on, remote
+        // clusters receive the tag only when they registered a consumer at
+        // rename; later consumers take the WAKEUP_DONE path instead.
         if let Some((_, tag, _)) = dst {
             let cl = &mut self.clusters[ci];
             cl.ready[tag.index()] = true;
             cl.iq.wakeup(tag.as_iq_tag());
-            for (to, &to_domain) in CLUSTER_DOMAINS.iter().enumerate() {
-                if to == ci {
+            let filter = self.cfg.cross_cluster_wakeup_filter;
+            let interest = self.wakeup_interest[tag.index()];
+            for to in 0..CLUSTER_DOMAINS.len() {
+                if to == ci || (filter && interest & (1 << to) == 0) {
                     continue;
                 }
                 self.ch_wakeup[ci][to]
                     .try_push(tag, now)
                     .expect("wakeup channel sized to never fill");
-                self.note_transfer(CLUSTER_DOMAINS[ci], to_domain);
+                self.note_wakeup_transfer(ci, to);
+            }
+            if filter {
+                self.wakeup_interest[tag.index()] = WAKEUP_DONE;
             }
         }
 

@@ -217,8 +217,16 @@ impl SimReport {
             self.fetched,
             100.0 * self.wrong_path_fetch_rate()
         );
-        let _ = writeln!(s, "execution time       {:>12}", format!("{}", self.exec_time));
-        let _ = writeln!(s, "throughput           {:>12.3} insts/ns", self.insts_per_ns());
+        let _ = writeln!(
+            s,
+            "execution time       {:>12}",
+            format!("{}", self.exec_time)
+        );
+        let _ = writeln!(
+            s,
+            "throughput           {:>12.3} insts/ns",
+            self.insts_per_ns()
+        );
         let _ = writeln!(
             s,
             "mean slip            {:>12}   ({:.1}% in channels)",

@@ -29,7 +29,10 @@ fn dependency_chain_caps_ipc_near_1() {
     let program = micro::dependency_chain(100_000, 8);
     let ipc = run_ipc(&program, 40_000);
     assert!(ipc < 1.3, "serial chain IPC {ipc} should approach 1");
-    assert!(ipc > 0.5, "back-to-back issue should keep the chain moving ({ipc})");
+    assert!(
+        ipc > 0.5,
+        "back-to-back issue should keep the chain moving ({ipc})"
+    );
 }
 
 #[test]
@@ -54,11 +57,25 @@ fn l1_resident_streams_beat_l2_streams() {
 
 #[test]
 fn cache_miss_rates_track_footprint() {
-    let small = simulate(&micro::stream_loads(200_000, 8 << 10), sync(), SimLimits::insts(30_000));
-    let large = simulate(&micro::stream_loads(200_000, 4 << 20), sync(), SimLimits::insts(30_000));
-    assert!(small.dcache.miss_rate() < 0.05, "8 KB stream should be L1-resident");
+    let small = simulate(
+        &micro::stream_loads(200_000, 8 << 10),
+        sync(),
+        SimLimits::insts(30_000),
+    );
+    let large = simulate(
+        &micro::stream_loads(200_000, 4 << 20),
+        sync(),
+        SimLimits::insts(30_000),
+    );
+    assert!(
+        small.dcache.miss_rate() < 0.05,
+        "8 KB stream should be L1-resident"
+    );
     assert!(large.dcache.miss_rate() > 0.08, "4 MB stream must miss L1");
-    assert!(large.l2.miss_rate() > 0.5, "4 MB stream must stream through L2");
+    assert!(
+        large.l2.miss_rate() > 0.5,
+        "4 MB stream must stream through L2"
+    );
 }
 
 #[test]
@@ -93,7 +110,10 @@ fn misprediction_penalty_is_larger_on_gals() {
 fn store_load_forwarding_happens() {
     let program = micro::store_forward(50_000);
     let r = simulate(&program, sync(), SimLimits::insts(30_000));
-    assert!(r.store_forwards > 0, "same-address store->load pairs must forward");
+    assert!(
+        r.store_forwards > 0,
+        "same-address store->load pairs must forward"
+    );
     // Most iterations should forward: the load issues 3+ cycles after the
     // store and the store retires only at commit.
     let iterations = 30_000 / 5;
@@ -123,7 +143,11 @@ fn domain_cycle_counts_follow_the_clocks() {
     // One shared clock: all five domains tick the same number of times +-1.
     let min = r.domain_cycles.iter().min().expect("five domains");
     let max = r.domain_cycles.iter().max().expect("five domains");
-    assert!(max - min <= 1, "synchronous domains must tick together {:?}", r.domain_cycles);
+    assert!(
+        max - min <= 1,
+        "synchronous domains must tick together {:?}",
+        r.domain_cycles
+    );
 }
 
 #[test]
@@ -159,7 +183,10 @@ fn icache_misses_stall_fetch() {
     let program = gals_workload::generate(gals_workload::Benchmark::Gcc, 4);
     let r = simulate(&program, sync(), SimLimits::insts(20_000));
     assert!(r.icache.accesses > 0);
-    assert!(r.icache.misses > 0, "gcc's footprint must miss the 16 KB L1I");
+    assert!(
+        r.icache.misses > 0,
+        "gcc's footprint must miss the 16 KB L1I"
+    );
 }
 
 #[test]
@@ -169,5 +196,8 @@ fn issue_queue_stats_are_consistent() {
     let issued: u64 = r.iq.iter().map(|q| q.issued).sum();
     let inserted: u64 = r.iq.iter().map(|q| q.inserted).sum();
     assert!(inserted >= issued, "cannot issue more than was inserted");
-    assert!(issued >= r.committed, "every committed instruction issued once");
+    assert!(
+        issued >= r.committed,
+        "every committed instruction issued once"
+    );
 }

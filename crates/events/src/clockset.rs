@@ -124,9 +124,14 @@ impl ClockSet {
     /// violation is made loud where it is introduced.
     pub fn add_clock(&mut self, phase: Time, period: Time, priority: Priority) -> usize {
         assert!(period > Time::ZERO, "clock period must be non-zero");
-        assert!(self.len < MAX_CLOCKS, "ClockSet holds at most {MAX_CLOCKS} clocks");
+        assert!(
+            self.len < MAX_CLOCKS,
+            "ClockSet holds at most {MAX_CLOCKS} clocks"
+        );
         debug_assert!(
-            self.entries[..self.len].iter().all(|e| e.priority != priority),
+            self.entries[..self.len]
+                .iter()
+                .all(|e| e.priority != priority),
             "duplicate clock priority {priority}: the two-scheduler ordering \
              contract requires a distinct priority per clock"
         );
@@ -250,7 +255,8 @@ impl ClockSet {
             if self.entries[s].next != t {
                 return Some(t);
             }
-            self.entries[s].next = t + self.entries[s].period + std::mem::take(&mut self.deferred[s]);
+            self.entries[s].next =
+                t + self.entries[s].period + std::mem::take(&mut self.deferred[s]);
             self.edges += 1;
             if !dispatch(s, t) {
                 return Some(t);
@@ -320,7 +326,9 @@ mod tests {
             cs.add_clock(Time::ZERO, Time::from_ns(1), p);
         }
         let mut batch = Vec::new();
-        let t = cs.tick_batch(|slot, time| batch.push((slot, time))).unwrap();
+        let t = cs
+            .tick_batch(|slot, time| batch.push((slot, time)))
+            .unwrap();
         assert_eq!(t, Time::ZERO);
         // All five domains dispatched at t=0, in priority order.
         assert_eq!(batch, (0..5).map(|s| (s, Time::ZERO)).collect::<Vec<_>>());

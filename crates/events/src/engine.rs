@@ -249,7 +249,10 @@ impl<W> Engine<W> {
         priority: Priority,
         handler: impl FnMut(&mut W, &mut Engine<W>) -> Control + 'static,
     ) -> EventId {
-        assert!(period > Time::ZERO, "periodic event must have a non-zero period");
+        assert!(
+            period > Time::ZERO,
+            "periodic event must have a non-zero period"
+        );
         assert!(
             start >= self.now,
             "cannot schedule an event in the past (at {start}, now {now})",
@@ -323,7 +326,10 @@ impl<W> Engine<W> {
             return false;
         }
         if extra > Time::ZERO {
-            self.stretches.entry(id).or_default().push((self.now, extra));
+            self.stretches
+                .entry(id)
+                .or_default()
+                .push((self.now, extra));
         }
         true
     }
@@ -376,7 +382,10 @@ impl<W> Engine<W> {
                     self.retire(entry.id);
                     f(world, self);
                 }
-                Payload::Periodic { period, mut handler } => {
+                Payload::Periodic {
+                    period,
+                    mut handler,
+                } => {
                     let control = handler(world, self);
                     // The handler may have cancelled itself via `cancel`
                     // (which already removed it from the live set).
@@ -658,7 +667,11 @@ mod tests {
         let mut engine: Engine<u32> = Engine::new();
         engine.schedule_periodic(Time::ZERO, Time::from_ns(1), 0, |c, _| {
             *c += 1;
-            if *c == 3 { Control::Cancel } else { Control::Keep }
+            if *c == 3 {
+                Control::Cancel
+            } else {
+                Control::Keep
+            }
         });
         let mut w = 0;
         engine.run(&mut w);
@@ -675,7 +688,9 @@ mod tests {
         // from the ClockSet oracle (sequence tie-break vs slot tie-break).
         let mut engine: Engine<u32> = Engine::new();
         engine.schedule_periodic(Time::ZERO, Time::from_ns(1), 4, |_, _| Control::Keep);
-        engine.schedule_periodic(Time::from_ps(500), Time::from_ns(2), 4, |_, _| Control::Keep);
+        engine.schedule_periodic(Time::from_ps(500), Time::from_ns(2), 4, |_, _| {
+            Control::Keep
+        });
     }
 
     #[test]
@@ -696,10 +711,11 @@ mod tests {
     #[test]
     fn stretch_delays_one_occurrence_then_period_resumes() {
         let mut engine: Engine<Vec<u64>> = Engine::new();
-        let id = engine.schedule_periodic(Time::ZERO, Time::from_ns(1), 0, |log: &mut Vec<u64>, e| {
-            log.push(e.now().as_fs());
-            Control::Keep
-        });
+        let id =
+            engine.schedule_periodic(Time::ZERO, Time::from_ns(1), 0, |log: &mut Vec<u64>, e| {
+                log.push(e.now().as_fs());
+                Control::Keep
+            });
         let mut log = Vec::new();
         engine.step(&mut log); // edge at 0
         assert!(engine.stretch(id, Time::from_ps(300)));
@@ -711,10 +727,11 @@ mod tests {
     #[test]
     fn stretch_requests_accumulate_until_applied() {
         let mut engine: Engine<Vec<u64>> = Engine::new();
-        let id = engine.schedule_periodic(Time::ZERO, Time::from_ns(1), 0, |log: &mut Vec<u64>, e| {
-            log.push(e.now().as_fs());
-            Control::Keep
-        });
+        let id =
+            engine.schedule_periodic(Time::ZERO, Time::from_ns(1), 0, |log: &mut Vec<u64>, e| {
+                log.push(e.now().as_fs());
+                Control::Keep
+            });
         let mut log = Vec::new();
         engine.step(&mut log);
         engine.stretch(id, Time::from_ps(100));
@@ -726,14 +743,24 @@ mod tests {
     #[test]
     fn stretch_at_the_occurrence_instant_defers_to_the_next() {
         let mut engine: Engine<Vec<(u64, u8)>> = Engine::new();
-        engine.schedule_periodic(Time::ZERO, Time::from_ns(2), 0, |log: &mut Vec<(u64, u8)>, e| {
-            log.push((e.now().as_fs(), 0));
-            Control::Keep
-        });
-        let b = engine.schedule_periodic(Time::ZERO, Time::from_ns(3), 1, |log: &mut Vec<(u64, u8)>, e| {
-            log.push((e.now().as_fs(), 1));
-            Control::Keep
-        });
+        engine.schedule_periodic(
+            Time::ZERO,
+            Time::from_ns(2),
+            0,
+            |log: &mut Vec<(u64, u8)>, e| {
+                log.push((e.now().as_fs(), 0));
+                Control::Keep
+            },
+        );
+        let b = engine.schedule_periodic(
+            Time::ZERO,
+            Time::from_ns(3),
+            1,
+            |log: &mut Vec<(u64, u8)>, e| {
+                log.push((e.now().as_fs(), 1));
+                Control::Keep
+            },
+        );
         let mut log = Vec::new();
         engine.step(&mut log); // clock 0 fires at t=0; clock 1's 0-edge pending
         assert_eq!(engine.now(), Time::ZERO);

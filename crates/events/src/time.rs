@@ -210,7 +210,10 @@ mod tests {
 
     #[test]
     fn saturating_sub_clamps() {
-        assert_eq!(Time::from_ns(1).saturating_sub(Time::from_ns(2)), Time::ZERO);
+        assert_eq!(
+            Time::from_ns(1).saturating_sub(Time::from_ns(2)),
+            Time::ZERO
+        );
     }
 
     #[test]

@@ -121,7 +121,7 @@ impl OpClass {
             OpClass::FpAdd => 2,
             OpClass::FpMul => 4,
             OpClass::FpDiv => 12,
-            OpClass::Load => 1,  // address generation; cache latency added separately
+            OpClass::Load => 1, // address generation; cache latency added separately
             OpClass::Store => 1, // address generation
             OpClass::BranchCond | OpClass::Jump | OpClass::Call | OpClass::Ret => 1,
         }
@@ -176,7 +176,10 @@ impl ArchReg {
     /// Panics if `index >= NUM_INT_ARCH_REGS`.
     #[inline]
     pub fn int(index: u8) -> Self {
-        assert!(index < NUM_INT_ARCH_REGS, "integer register index {index} out of range");
+        assert!(
+            index < NUM_INT_ARCH_REGS,
+            "integer register index {index} out of range"
+        );
         ArchReg(index)
     }
 
@@ -187,7 +190,10 @@ impl ArchReg {
     /// Panics if `index >= NUM_FP_ARCH_REGS`.
     #[inline]
     pub fn fp(index: u8) -> Self {
-        assert!(index < NUM_FP_ARCH_REGS, "fp register index {index} out of range");
+        assert!(
+            index < NUM_FP_ARCH_REGS,
+            "fp register index {index} out of range"
+        );
         ArchReg(NUM_INT_ARCH_REGS + index)
     }
 

@@ -205,13 +205,22 @@ impl fmt::Display for ProgramError {
                 write!(f, "branch at block {b:?} index {i} is not the terminator")
             }
             ProgramError::MissingSuccessor(b) => {
-                write!(f, "conditional branch in block {b:?} needs taken and fallthrough edges")
+                write!(
+                    f,
+                    "conditional branch in block {b:?} needs taken and fallthrough edges"
+                )
             }
             ProgramError::BadBehavior(b, i) => {
-                write!(f, "instruction at block {b:?} index {i} references a missing behaviour")
+                write!(
+                    f,
+                    "instruction at block {b:?} index {i} references a missing behaviour"
+                )
             }
             ProgramError::MissingBehavior(b, i) => {
-                write!(f, "instruction at block {b:?} index {i} requires a behaviour id")
+                write!(
+                    f,
+                    "instruction at block {b:?} index {i} requires a behaviour id"
+                )
             }
             ProgramError::EmptyBlock(b) => write!(f, "block {b:?} is empty"),
         }
@@ -431,7 +440,12 @@ impl ProgramBuilder {
     /// # Panics
     ///
     /// Panics if `block` was not created by this builder.
-    pub fn set_edges(&mut self, block: BlockId, taken: Option<BlockId>, fallthrough: Option<BlockId>) {
+    pub fn set_edges(
+        &mut self,
+        block: BlockId,
+        taken: Option<BlockId>,
+        fallthrough: Option<BlockId>,
+    ) {
         let b = &mut self.blocks[block.0 as usize];
         b.taken = taken;
         b.fallthrough = fallthrough;
@@ -468,7 +482,10 @@ impl ProgramBuilder {
             }
             for succ in [block.taken, block.fallthrough].into_iter().flatten() {
                 if succ.0 as usize >= nblocks {
-                    return Err(ProgramError::BadEdge { from: bid, to: succ });
+                    return Err(ProgramError::BadEdge {
+                        from: bid,
+                        to: succ,
+                    });
                 }
             }
             let last = block.insts.len() - 1;
@@ -488,10 +505,9 @@ impl ProgramBuilder {
                             return Err(ProgramError::MissingSuccessor(bid));
                         }
                     }
-                    OpClass::Jump | OpClass::Call
-                        if block.taken.is_none() => {
-                            return Err(ProgramError::MissingSuccessor(bid));
-                        }
+                    OpClass::Jump | OpClass::Call if block.taken.is_none() => {
+                        return Err(ProgramError::MissingSuccessor(bid));
+                    }
                     OpClass::Load | OpClass::Store => {
                         let Some(id) = inst.mem else {
                             return Err(ProgramError::MissingBehavior(bid, i));
@@ -571,25 +587,27 @@ mod tests {
 
     #[test]
     fn empty_program_rejected() {
-        assert_eq!(ProgramBuilder::new(0).build().unwrap_err(), ProgramError::Empty);
+        assert_eq!(
+            ProgramBuilder::new(0).build().unwrap_err(),
+            ProgramError::Empty
+        );
     }
 
     #[test]
     fn dangling_edge_rejected() {
         let mut b = ProgramBuilder::new(0);
         b.add_block(vec![Inst::nop()], Some(BlockId(9)), None);
-        assert!(matches!(b.build().unwrap_err(), ProgramError::BadEdge { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ProgramError::BadEdge { .. }
+        ));
     }
 
     #[test]
     fn branch_must_terminate_block() {
         let mut b = ProgramBuilder::new(0);
         let beh = b.add_branch_behavior(BranchBehavior::TakenProb(0.5));
-        let blk = b.add_block(
-            vec![Inst::branch(None, beh), Inst::nop()],
-            None,
-            None,
-        );
+        let blk = b.add_block(vec![Inst::branch(None, beh), Inst::nop()], None, None);
         b.set_edges(blk, Some(blk), Some(blk));
         assert!(matches!(
             b.build().unwrap_err(),
@@ -616,14 +634,20 @@ mod tests {
             None,
             None,
         );
-        assert!(matches!(b.build().unwrap_err(), ProgramError::BadBehavior(_, 0)));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ProgramError::BadBehavior(_, 0)
+        ));
     }
 
     #[test]
     fn empty_block_rejected() {
         let mut b = ProgramBuilder::new(0);
         b.add_block(vec![], None, None);
-        assert!(matches!(b.build().unwrap_err(), ProgramError::EmptyBlock(_)));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ProgramError::EmptyBlock(_)
+        ));
     }
 
     #[test]
@@ -632,7 +656,11 @@ mod tests {
         assert_eq!(ld.op, OpClass::Load);
         assert_eq!(ld.dst, Some(ArchReg::int(2)));
         assert_eq!(ld.sources().count(), 1);
-        let st = Inst::store(Some(ArchReg::int(4)), Some(ArchReg::int(5)), MemBehaviorId(0));
+        let st = Inst::store(
+            Some(ArchReg::int(4)),
+            Some(ArchReg::int(5)),
+            MemBehaviorId(0),
+        );
         assert_eq!(st.dst, None);
         assert_eq!(st.sources().count(), 2);
     }

@@ -129,21 +129,27 @@ impl Iterator for DynStream<'_> {
                 let behavior = program.branch_behavior(inst.branch.expect("validated"));
                 taken = behavior.outcome(seed, flat as u64, n);
                 next_pc = if taken {
-                    program.taken_target_pc(block).expect("validated taken edge")
+                    program
+                        .taken_target_pc(block)
+                        .expect("validated taken edge")
                 } else {
                     program.fallthrough_pc(block)
                 };
             }
             OpClass::Jump => {
                 taken = true;
-                next_pc = program.taken_target_pc(block).expect("validated taken edge");
+                next_pc = program
+                    .taken_target_pc(block)
+                    .expect("validated taken edge");
             }
             OpClass::Call => {
                 taken = true;
                 if let Some(ret_to) = bb.fallthrough {
                     self.call_stack.push(ret_to);
                 }
-                next_pc = program.taken_target_pc(block).expect("validated taken edge");
+                next_pc = program
+                    .taken_target_pc(block)
+                    .expect("validated taken edge");
             }
             OpClass::Ret => {
                 taken = true;
@@ -217,7 +223,11 @@ mod tests {
         let insts: Vec<_> = DynStream::new(&p).collect();
         assert_eq!(insts.len(), 8);
         // Branch taken 3 times then not taken.
-        let outcomes: Vec<bool> = insts.iter().filter(|i| i.op.is_branch()).map(|i| i.taken).collect();
+        let outcomes: Vec<bool> = insts
+            .iter()
+            .filter(|i| i.op.is_branch())
+            .map(|i| i.taken)
+            .collect();
         assert_eq!(outcomes, [true, true, true, false]);
     }
 

@@ -264,7 +264,10 @@ mod tests {
         let p = EnergyParams::default();
         assert!((e.block(MacroBlock::FpAlus) - 0.5 * p.active(MacroBlock::FpAlus)).abs() < 1e-12);
         assert!((e.block(MacroBlock::IntAlus) - p.active(MacroBlock::IntAlus)).abs() < 1e-12);
-        assert!((e.local_clocks[Domain::FpCluster.index()] - 0.5 * p.grid(Domain::FpCluster)).abs() < 1e-12);
+        assert!(
+            (e.local_clocks[Domain::FpCluster.index()] - 0.5 * p.grid(Domain::FpCluster)).abs()
+                < 1e-12
+        );
     }
 
     #[test]

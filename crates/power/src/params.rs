@@ -115,7 +115,10 @@ impl EnergyParams {
     /// or an idle fraction outside `[0, 1]`).
     pub fn validate(&self) -> Result<(), String> {
         if !(0.0..=1.0).contains(&self.idle_fraction) {
-            return Err(format!("idle fraction {} outside [0,1]", self.idle_fraction));
+            return Err(format!(
+                "idle fraction {} outside [0,1]",
+                self.idle_fraction
+            ));
         }
         if self.block_active.iter().any(|&e| !e.is_finite() || e < 0.0) {
             return Err("negative or non-finite block energy".into());

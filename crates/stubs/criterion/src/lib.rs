@@ -135,7 +135,11 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let mut b = Bencher { ns_per_iter: 0.0 };
         f(&mut b, input);
-        report(&format!("{}/{}", self.name, id.name), b.ns_per_iter, self.throughput);
+        report(
+            &format!("{}/{}", self.name, id.name),
+            b.ns_per_iter,
+            self.throughput,
+        );
         self
     }
 
@@ -143,7 +147,11 @@ impl BenchmarkGroup<'_> {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let mut b = Bencher { ns_per_iter: 0.0 };
         f(&mut b);
-        report(&format!("{}/{name}", self.name), b.ns_per_iter, self.throughput);
+        report(
+            &format!("{}/{name}", self.name),
+            b.ns_per_iter,
+            self.throughput,
+        );
         self
     }
 

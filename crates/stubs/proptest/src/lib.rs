@@ -93,7 +93,9 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::Strategy;
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Asserts a condition inside a `proptest!` body; on failure the case (and

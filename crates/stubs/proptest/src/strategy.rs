@@ -264,6 +264,8 @@ impl<S: Strategy + Clone, const N: usize> Strategy for UniformArray<S, N> {
         for _ in 0..N {
             out.push(self.element.sample(rng)?);
         }
-        out.try_into().ok().or_else(|| unreachable!("exactly N sampled"))
+        out.try_into()
+            .ok()
+            .or_else(|| unreachable!("exactly N sampled"))
     }
 }

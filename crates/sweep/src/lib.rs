@@ -1,0 +1,840 @@
+//! # gals-sweep
+//!
+//! The parallel scenario-sweep harness: declare a cartesian experiment
+//! matrix over the simulator's axes, fan the runs out across a
+//! `std::thread` worker pool, and collect one machine-readable,
+//! schema-versioned report — the shape in which the paper's core results
+//! (and the retrospective ISCA reproducibility studies) present themselves:
+//! many configurations, one results table.
+//!
+//! ## The matrix
+//!
+//! A [`SweepMatrix`] is the cartesian product of five axes:
+//!
+//! | axis | values |
+//! |------|--------|
+//! | benchmark | any subset of [`gals_workload::Benchmark`] |
+//! | clocking mode | [`ModePoint`]: synchronous, FIFO-GALS, or pausible — each optionally with the wakeup-filter / wakeup-coalescing features |
+//! | handshake duration | carried inside pausible [`ModePoint`]s (one mode point per duration) |
+//! | DVFS point | [`DvfsPoint`]: per-domain slowdown factors with voltage tracking |
+//! | phase seed | the GALS local-clock phase seed |
+//!
+//! One collapse rule keeps the product honest: a synchronous machine has a
+//! single clock, so **non-uniform DVFS points are skipped on synchronous
+//! mode points** (they would panic in `ProcessorConfig::with_dvfs`); every
+//! other combination expands to exactly one [`RunSpec`].
+//!
+//! ## Determinism
+//!
+//! Each run is an independent, deterministic simulation (`simulate` is
+//! bit-reproducible for a given program + configuration), and results are
+//! stored by matrix index, not completion order. An N-worker sweep is
+//! therefore **bit-identical to the serial sweep** — including the rendered
+//! JSON — which `tests/sweep_determinism.rs` pins with a property test.
+//!
+//! ## Report schema (`SWEEP_results.json`)
+//!
+//! Hand-rolled JSON (the workspace carries no serde), versioned by
+//! [`SCHEMA_VERSION`]:
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "tool": "gals-sweep",
+//!   "budget": <u64>,            // committed-instruction budget per run
+//!   "workload_seed": <u64>,
+//!   "run_count": <usize>,
+//!   "runs": [                   // one object per RunSpec, in matrix order
+//!     { "index", "benchmark", "clocking", "mode",
+//!       "handshake_ps",         // null outside pausible modes
+//!       "wakeup_filter", "coalesce_wakeup", "dvfs", "phase_seed",
+//!       "committed", "fetched", "wrong_path_fetched", "exec_time_fs",
+//!       "insts_per_ns", "mean_slip_fs", "fifo_slip_fraction",
+//!       "misspeculation_rate", "channel_ops", "total_stretches",
+//!       "stretch_time_fs", "min_effective_ghz", "total_energy",
+//!       "average_power" }, ...
+//!   ],
+//!   "tables": {                 // derived paper-figure tables
+//!     "pausible_slowdown_vs_handshake": [
+//!       { "handshake_ps", "benchmarks", "geomean_slowdown_vs_gals",
+//!         "geomean_slowdown_vs_sync" }, ... ],
+//!     "energy_perf_vs_frequency": [
+//!       { "dvfs", "benchmarks", "geomean_relative_performance",
+//!         "geomean_relative_energy", "geomean_relative_power" }, ... ],
+//!     "wakeup_feature_ablation": [
+//!       { "mode", "baseline_mode", "benchmarks",
+//!         "geomean_channel_ops_ratio", "geomean_stretch_ratio",
+//!         "geomean_exec_time_ratio" }, ... ]
+//!   }
+//! }
+//! ```
+//!
+//! The derived tables are computed from runs at the **nominal DVFS point
+//! and the first phase seed**; axes missing from a matrix simply produce
+//! empty tables (an empty or singleton matrix still renders a valid,
+//! schema-versioned report).
+//!
+//! ```
+//! use gals_sweep::{run_sweep, SweepMatrix};
+//!
+//! let matrix = SweepMatrix::paper_default(500);
+//! let serial = run_sweep(&matrix, 1);
+//! let parallel = run_sweep(&matrix, 4);
+//! assert_eq!(serial.to_json(), parallel.to_json());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use gals_clocks::Domain;
+use gals_core::{simulate, DvfsPlan, ProcessorConfig, SimLimits, SimReport};
+use gals_events::Time;
+use gals_workload::{generate, Benchmark};
+
+/// Version of the `SWEEP_results.json` schema produced by
+/// [`SweepResults::to_json`]. Bump on any field rename/removal; additions
+/// are backward-compatible and keep the version.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Default workload seed (matches the bench harness's "input set").
+pub const WORKLOAD_SEED: u64 = 0x5EC9_5201;
+
+/// Default phase seed for GALS/pausible local clocks (matches the bench
+/// harness).
+pub const PHASE_SEED: u64 = 2002;
+
+/// One point on the matrix's clocking-mode axis. Pausible points carry the
+/// handshake duration (the section-3.2 sweep variable) and the
+/// wakeup-coalescing feature gate; GALS and pausible points carry the
+/// producer-side wakeup-filter gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModePoint {
+    /// The paper's synchronous base machine.
+    Synchronous,
+    /// The FIFO-GALS machine, optionally with the cross-cluster wakeup
+    /// filter.
+    Gals {
+        /// Producer-side cross-cluster wakeup filter.
+        wakeup_filter: bool,
+    },
+    /// The pausible-clock ablation machine.
+    Pausible {
+        /// Arbiter handshake duration in picoseconds.
+        handshake_ps: u64,
+        /// One wakeup handshake per cycle per link instead of one per tag.
+        coalesce: bool,
+        /// Producer-side cross-cluster wakeup filter.
+        wakeup_filter: bool,
+    },
+}
+
+impl ModePoint {
+    /// The clocking family, for the report's `clocking` field.
+    pub fn clocking(&self) -> &'static str {
+        match self {
+            ModePoint::Synchronous => "sync",
+            ModePoint::Gals { .. } => "gals",
+            ModePoint::Pausible { .. } => "pausible",
+        }
+    }
+
+    /// A compact human-readable label, e.g. `pausible@300ps+coalesce`.
+    pub fn label(&self) -> String {
+        match *self {
+            ModePoint::Synchronous => "sync".into(),
+            ModePoint::Gals { wakeup_filter } => {
+                format!("gals{}", if wakeup_filter { "+filter" } else { "" })
+            }
+            ModePoint::Pausible {
+                handshake_ps,
+                coalesce,
+                wakeup_filter,
+            } => format!(
+                "pausible@{handshake_ps}ps{}{}",
+                if coalesce { "+coalesce" } else { "" },
+                if wakeup_filter { "+filter" } else { "" }
+            ),
+        }
+    }
+
+    /// Handshake duration in picoseconds (pausible points only).
+    pub fn handshake_ps(&self) -> Option<u64> {
+        match self {
+            ModePoint::Pausible { handshake_ps, .. } => Some(*handshake_ps),
+            _ => None,
+        }
+    }
+
+    fn wakeup_filter(&self) -> bool {
+        match self {
+            ModePoint::Synchronous => false,
+            ModePoint::Gals { wakeup_filter } => *wakeup_filter,
+            ModePoint::Pausible { wakeup_filter, .. } => *wakeup_filter,
+        }
+    }
+
+    fn coalesce(&self) -> bool {
+        matches!(self, ModePoint::Pausible { coalesce: true, .. })
+    }
+}
+
+/// One point on the matrix's DVFS axis: per-domain slowdown factors in
+/// [`Domain::index`] order, with the supply voltage tracking the clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvfsPoint {
+    /// Label used in the report (`nominal`, `uniform1.5x`, `fp2x`, ...).
+    pub label: String,
+    /// Per-domain slowdown factors (1.0 = nominal).
+    pub slowdown: [f64; 5],
+}
+
+impl DvfsPoint {
+    /// The unscaled machine.
+    pub fn nominal() -> Self {
+        DvfsPoint {
+            label: "nominal".into(),
+            slowdown: [1.0; 5],
+        }
+    }
+
+    /// Every domain slowed by `factor` (valid on the synchronous machine
+    /// too: a uniform plan is a single-clock frequency point).
+    pub fn uniform(factor: f64) -> Self {
+        DvfsPoint {
+            label: format!("uniform{factor}x"),
+            slowdown: [factor; 5],
+        }
+    }
+
+    /// A labelled per-domain point.
+    pub fn per_domain(label: impl Into<String>, slowdown: [f64; 5]) -> Self {
+        DvfsPoint {
+            label: label.into(),
+            slowdown,
+        }
+    }
+
+    /// True when every domain shares one factor (applicable to the
+    /// synchronous machine).
+    pub fn is_uniform(&self) -> bool {
+        self.slowdown.iter().all(|&s| s == self.slowdown[0])
+    }
+
+    fn plan(&self) -> DvfsPlan {
+        let mut plan = DvfsPlan::nominal();
+        plan.slowdown = self.slowdown;
+        plan
+    }
+}
+
+/// A declarative cartesian experiment matrix. [`SweepMatrix::expand`]
+/// produces the concrete [`RunSpec`] list; see the crate docs for the
+/// collapse rule (non-uniform DVFS × synchronous is skipped).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepMatrix {
+    /// Benchmark axis.
+    pub benchmarks: Vec<Benchmark>,
+    /// Clocking-mode axis (handshake durations live inside pausible
+    /// points).
+    pub modes: Vec<ModePoint>,
+    /// DVFS axis.
+    pub dvfs: Vec<DvfsPoint>,
+    /// GALS/pausible local-clock phase-seed axis (the synchronous machine
+    /// has no phases, but the seed is still recorded per run).
+    pub phase_seeds: Vec<u64>,
+    /// Workload generation seed (shared by every run: all configurations
+    /// execute identical "binaries", as in the paper).
+    pub workload_seed: u64,
+    /// Committed-instruction budget per run.
+    pub budget: u64,
+}
+
+impl SweepMatrix {
+    /// The default paper matrix: the four section-3.2 ablation benchmarks ×
+    /// {sync, FIFO-GALS, FIFO-GALS+filter, pausible @ 100/300/600 ps,
+    /// pausible @ 300 ps + coalescing} × {nominal, uniform 1.5×, FP 2×}
+    /// DVFS points × one phase seed — 80 runs, covering the handshake-
+    /// duration sweep, the DVFS energy/performance trade-off and both
+    /// wakeup-path features head-to-head.
+    pub fn paper_default(budget: u64) -> Self {
+        SweepMatrix {
+            benchmarks: vec![
+                Benchmark::Gcc,
+                Benchmark::Fpppp,
+                Benchmark::Ijpeg,
+                Benchmark::Compress,
+            ],
+            modes: vec![
+                ModePoint::Synchronous,
+                ModePoint::Gals {
+                    wakeup_filter: false,
+                },
+                ModePoint::Gals {
+                    wakeup_filter: true,
+                },
+                ModePoint::Pausible {
+                    handshake_ps: 100,
+                    coalesce: false,
+                    wakeup_filter: false,
+                },
+                ModePoint::Pausible {
+                    handshake_ps: 300,
+                    coalesce: false,
+                    wakeup_filter: false,
+                },
+                ModePoint::Pausible {
+                    handshake_ps: 600,
+                    coalesce: false,
+                    wakeup_filter: false,
+                },
+                ModePoint::Pausible {
+                    handshake_ps: 300,
+                    coalesce: true,
+                    wakeup_filter: false,
+                },
+            ],
+            dvfs: vec![
+                DvfsPoint::nominal(),
+                DvfsPoint::uniform(1.5),
+                DvfsPoint::per_domain("fp2x", [1.0, 1.0, 1.0, 2.0, 1.0]),
+            ],
+            phase_seeds: vec![PHASE_SEED],
+            workload_seed: WORKLOAD_SEED,
+            budget,
+        }
+    }
+
+    /// Expands the matrix into its concrete run list, in deterministic
+    /// matrix order (benchmark-major, then mode, DVFS, seed).
+    pub fn expand(&self) -> Vec<RunSpec> {
+        let mut specs = Vec::new();
+        for &benchmark in &self.benchmarks {
+            for mode in &self.modes {
+                for dvfs in &self.dvfs {
+                    if matches!(mode, ModePoint::Synchronous) && !dvfs.is_uniform() {
+                        continue; // a single clock cannot split domains
+                    }
+                    for &phase_seed in &self.phase_seeds {
+                        specs.push(RunSpec {
+                            index: specs.len(),
+                            benchmark,
+                            mode: *mode,
+                            dvfs: dvfs.clone(),
+                            phase_seed,
+                            workload_seed: self.workload_seed,
+                            budget: self.budget,
+                        });
+                    }
+                }
+            }
+        }
+        specs
+    }
+}
+
+/// One fully-specified simulation run of the matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Position in matrix order — the report's ordering key, independent of
+    /// worker scheduling.
+    pub index: usize,
+    /// Workload.
+    pub benchmark: Benchmark,
+    /// Clocking/feature point.
+    pub mode: ModePoint,
+    /// DVFS point.
+    pub dvfs: DvfsPoint,
+    /// Local-clock phase seed.
+    pub phase_seed: u64,
+    /// Workload generation seed.
+    pub workload_seed: u64,
+    /// Committed-instruction budget.
+    pub budget: u64,
+}
+
+impl RunSpec {
+    /// The processor configuration this spec describes.
+    pub fn config(&self) -> ProcessorConfig {
+        let base = match self.mode {
+            ModePoint::Synchronous => ProcessorConfig::synchronous_1ghz(),
+            ModePoint::Gals { .. } => ProcessorConfig::gals_equal_1ghz(self.phase_seed),
+            ModePoint::Pausible { handshake_ps, .. } => {
+                ProcessorConfig::pausible_equal_1ghz(self.phase_seed)
+                    .with_pausible_handshake(Time::from_ps(handshake_ps))
+            }
+        };
+        base.with_wakeup_filter(self.mode.wakeup_filter())
+            .with_wakeup_coalescing(self.mode.coalesce())
+            .with_dvfs(self.dvfs.plan())
+    }
+
+    /// Executes the run and summarises the report.
+    pub fn run(&self) -> RunRecord {
+        let program = generate(self.benchmark, self.workload_seed);
+        let report = simulate(&program, self.config(), SimLimits::insts(self.budget));
+        RunRecord::new(self, &report)
+    }
+}
+
+/// The per-run summary recorded in the report — the [`SimReport`] fields
+/// the paper's figures are computed from, flattened to plain numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// The spec that produced this record.
+    pub spec: RunSpec,
+    /// Committed (architectural) instructions.
+    pub committed: u64,
+    /// Total fetched (correct + wrong path).
+    pub fetched: u64,
+    /// Wrong-path fetches.
+    pub wrong_path_fetched: u64,
+    /// Simulated wall-clock time in femtoseconds.
+    pub exec_time_fs: u64,
+    /// Committed instructions per simulated nanosecond.
+    pub insts_per_ns: f64,
+    /// Mean fetch-to-commit latency in femtoseconds.
+    pub mean_slip_fs: u64,
+    /// Fraction of slip spent in inter-domain channels.
+    pub fifo_slip_fraction: f64,
+    /// Wrong-path fraction of issued instructions.
+    pub misspeculation_rate: f64,
+    /// Total channel pushes + pops.
+    pub channel_ops: u64,
+    /// Total clock-stretch events (pausible only).
+    pub total_stretches: u64,
+    /// Total stretch time across domains in femtoseconds.
+    pub stretch_time_fs: u64,
+    /// Slowest measured per-domain effective frequency in GHz.
+    pub min_effective_ghz: f64,
+    /// Total energy in relative units.
+    pub total_energy: f64,
+    /// Average power (energy units per second).
+    pub average_power: f64,
+}
+
+impl RunRecord {
+    fn new(spec: &RunSpec, r: &SimReport) -> Self {
+        RunRecord {
+            spec: spec.clone(),
+            committed: r.committed,
+            fetched: r.fetched,
+            wrong_path_fetched: r.wrong_path_fetched,
+            exec_time_fs: r.exec_time.as_fs(),
+            insts_per_ns: r.insts_per_ns(),
+            mean_slip_fs: r.mean_slip().as_fs(),
+            fifo_slip_fraction: r.fifo_slip_fraction(),
+            misspeculation_rate: r.misspeculation_rate(),
+            channel_ops: r.channel_ops,
+            total_stretches: r.total_stretches(),
+            stretch_time_fs: r.stretch_time.iter().map(|t| t.as_fs()).sum(),
+            min_effective_ghz: Domain::ALL
+                .iter()
+                .map(|&d| r.effective_ghz(d))
+                .fold(f64::INFINITY, f64::min)
+                .min(f64::MAX), // empty-run guard: never serialise inf
+            total_energy: r.total_energy(),
+            average_power: r.average_power(),
+        }
+    }
+}
+
+/// The complete result of one sweep: every run record in matrix order,
+/// plus the matrix metadata the report echoes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResults {
+    /// The matrix that was run.
+    pub matrix: SweepMatrix,
+    /// Run records, ordered by [`RunSpec::index`].
+    pub runs: Vec<RunRecord>,
+}
+
+/// Runs every point of `matrix` across a pool of `threads` workers
+/// (clamped to at least one) and returns the records in deterministic
+/// matrix order. Work is handed out through an atomic cursor; each worker
+/// stores its record at the run's matrix index, so the result — and the
+/// JSON rendered from it — is bit-identical for every thread count.
+pub fn run_sweep(matrix: &SweepMatrix, threads: usize) -> SweepResults {
+    let specs = matrix.expand();
+    let threads = threads.max(1).min(specs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; specs.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                let record = spec.run();
+                slots
+                    .lock()
+                    .expect("sweep worker panicked holding the lock")[i] = Some(record);
+            });
+        }
+    });
+    let runs: Vec<RunRecord> = slots
+        .into_inner()
+        .expect("sweep worker panicked holding the lock")
+        .into_iter()
+        .map(|r| r.expect("every matrix index must have run"))
+        .collect();
+    SweepResults {
+        matrix: matrix.clone(),
+        runs,
+    }
+}
+
+/// Geometric mean; `None` for an empty slice or non-positive values.
+fn geomean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0 || x.is_nan()) {
+        return None;
+    }
+    Some((xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp())
+}
+
+impl SweepResults {
+    /// The record of `(benchmark, mode, dvfs-label)` at the first phase
+    /// seed, if that matrix point ran.
+    fn find(&self, benchmark: Benchmark, mode: ModePoint, dvfs_label: &str) -> Option<&RunRecord> {
+        let seed = *self.matrix.phase_seeds.first()?;
+        self.runs.iter().find(|r| {
+            r.spec.benchmark == benchmark
+                && r.spec.mode == mode
+                && r.spec.dvfs.label == dvfs_label
+                && r.spec.phase_seed == seed
+        })
+    }
+
+    /// Geomean over benchmarks of a per-benchmark ratio between two modes
+    /// at nominal DVFS: `metric(mode) / metric(baseline)`.
+    fn mode_ratio(
+        &self,
+        mode: ModePoint,
+        baseline: ModePoint,
+        metric: impl Fn(&RunRecord) -> f64,
+    ) -> Option<(f64, usize)> {
+        let ratios: Vec<f64> = self
+            .matrix
+            .benchmarks
+            .iter()
+            .filter_map(|&b| {
+                let num = metric(self.find(b, mode, "nominal")?);
+                let den = metric(self.find(b, baseline, "nominal")?);
+                (den > 0.0).then_some(num / den)
+            })
+            .collect();
+        geomean(&ratios).map(|g| (g, ratios.len()))
+    }
+
+    /// Renders the schema-versioned JSON report (see the crate docs for
+    /// the schema).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"schema_version\": {SCHEMA_VERSION},");
+        let _ = writeln!(s, "  \"tool\": \"gals-sweep\",");
+        let _ = writeln!(s, "  \"budget\": {},", self.matrix.budget);
+        let _ = writeln!(s, "  \"workload_seed\": {},", self.matrix.workload_seed);
+        let _ = writeln!(s, "  \"run_count\": {},", self.runs.len());
+        s.push_str("  \"runs\": [\n");
+        for (i, r) in self.runs.iter().enumerate() {
+            let comma = if i + 1 == self.runs.len() { "" } else { "," };
+            let handshake = match r.spec.mode.handshake_ps() {
+                Some(ps) => ps.to_string(),
+                None => "null".into(),
+            };
+            let _ = writeln!(
+                s,
+                "    {{\"index\": {}, \"benchmark\": \"{}\", \"clocking\": \"{}\", \
+                 \"mode\": \"{}\", \"handshake_ps\": {}, \"wakeup_filter\": {}, \
+                 \"coalesce_wakeup\": {}, \"dvfs\": \"{}\", \"phase_seed\": {}, \
+                 \"committed\": {}, \"fetched\": {}, \"wrong_path_fetched\": {}, \
+                 \"exec_time_fs\": {}, \"insts_per_ns\": {:.6}, \"mean_slip_fs\": {}, \
+                 \"fifo_slip_fraction\": {:.6}, \"misspeculation_rate\": {:.6}, \
+                 \"channel_ops\": {}, \"total_stretches\": {}, \"stretch_time_fs\": {}, \
+                 \"min_effective_ghz\": {:.6}, \"total_energy\": {:.3}, \
+                 \"average_power\": {:.6}}}{comma}",
+                r.spec.index,
+                r.spec.benchmark.name(),
+                r.spec.mode.clocking(),
+                r.spec.mode.label(),
+                handshake,
+                r.spec.mode.wakeup_filter(),
+                r.spec.mode.coalesce(),
+                r.spec.dvfs.label,
+                r.spec.phase_seed,
+                r.committed,
+                r.fetched,
+                r.wrong_path_fetched,
+                r.exec_time_fs,
+                r.insts_per_ns,
+                r.mean_slip_fs,
+                r.fifo_slip_fraction,
+                r.misspeculation_rate,
+                r.channel_ops,
+                r.total_stretches,
+                r.stretch_time_fs,
+                r.min_effective_ghz,
+                r.total_energy,
+                r.average_power,
+            );
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"tables\": {\n");
+        self.write_handshake_table(&mut s);
+        self.write_dvfs_table(&mut s);
+        self.write_feature_table(&mut s);
+        s.push_str("  }\n}\n");
+        s
+    }
+
+    /// Figure: pausible slowdown vs handshake duration (nominal DVFS,
+    /// plain pausible points), against both the FIFO-GALS and synchronous
+    /// baselines.
+    fn write_handshake_table(&self, s: &mut String) {
+        s.push_str("    \"pausible_slowdown_vs_handshake\": [\n");
+        let mut rows = Vec::new();
+        for mode in &self.matrix.modes {
+            let ModePoint::Pausible {
+                handshake_ps,
+                coalesce: false,
+                wakeup_filter: false,
+            } = *mode
+            else {
+                continue;
+            };
+            let gals = ModePoint::Gals {
+                wakeup_filter: false,
+            };
+            let exec = |r: &RunRecord| r.exec_time_fs as f64;
+            let Some((vs_gals, n)) = self.mode_ratio(*mode, gals, exec) else {
+                continue;
+            };
+            let vs_sync = self
+                .mode_ratio(*mode, ModePoint::Synchronous, exec)
+                .map(|(g, _)| g);
+            rows.push(format!(
+                "      {{\"handshake_ps\": {handshake_ps}, \"benchmarks\": {n}, \
+                 \"geomean_slowdown_vs_gals\": {vs_gals:.6}, \
+                 \"geomean_slowdown_vs_sync\": {}}}",
+                vs_sync.map_or("null".into(), |g| format!("{g:.6}"))
+            ));
+        }
+        s.push_str(&rows.join(",\n"));
+        if !rows.is_empty() {
+            s.push('\n');
+        }
+        s.push_str("    ],\n");
+    }
+
+    /// Figure: energy/performance vs frequency point (the DVFS axis on the
+    /// plain FIFO-GALS machine, relative to its nominal point).
+    fn write_dvfs_table(&self, s: &mut String) {
+        s.push_str("    \"energy_perf_vs_frequency\": [\n");
+        let gals = ModePoint::Gals {
+            wakeup_filter: false,
+        };
+        let mut rows = Vec::new();
+        for point in &self.matrix.dvfs {
+            let mut perf = Vec::new();
+            let mut energy = Vec::new();
+            let mut power = Vec::new();
+            for &b in &self.matrix.benchmarks {
+                let (Some(run), Some(nominal)) = (
+                    self.find(b, gals, &point.label),
+                    self.find(b, gals, "nominal"),
+                ) else {
+                    continue;
+                };
+                if run.exec_time_fs == 0 || nominal.exec_time_fs == 0 {
+                    continue;
+                }
+                // Relative performance: nominal time over scaled time
+                // (1.0 = nominal speed, < 1 = slower).
+                perf.push(nominal.exec_time_fs as f64 / run.exec_time_fs as f64);
+                if nominal.total_energy > 0.0 {
+                    energy.push(run.total_energy / nominal.total_energy);
+                }
+                if nominal.average_power > 0.0 {
+                    power.push(run.average_power / nominal.average_power);
+                }
+            }
+            let (Some(p), Some(e), Some(w)) = (geomean(&perf), geomean(&energy), geomean(&power))
+            else {
+                continue;
+            };
+            rows.push(format!(
+                "      {{\"dvfs\": \"{}\", \"benchmarks\": {}, \
+                 \"geomean_relative_performance\": {p:.6}, \
+                 \"geomean_relative_energy\": {e:.6}, \
+                 \"geomean_relative_power\": {w:.6}}}",
+                point.label,
+                perf.len(),
+            ));
+        }
+        s.push_str(&rows.join(",\n"));
+        if !rows.is_empty() {
+            s.push('\n');
+        }
+        s.push_str("    ],\n");
+    }
+
+    /// Table: the wakeup-path features (producer-side filter, handshake
+    /// coalescing) against their featureless baseline mode.
+    fn write_feature_table(&self, s: &mut String) {
+        s.push_str("    \"wakeup_feature_ablation\": [\n");
+        let mut rows = Vec::new();
+        for mode in &self.matrix.modes {
+            let baseline = match *mode {
+                ModePoint::Gals {
+                    wakeup_filter: true,
+                } => ModePoint::Gals {
+                    wakeup_filter: false,
+                },
+                ModePoint::Pausible {
+                    handshake_ps,
+                    coalesce,
+                    wakeup_filter,
+                } if coalesce || wakeup_filter => ModePoint::Pausible {
+                    handshake_ps,
+                    coalesce: false,
+                    wakeup_filter: false,
+                },
+                _ => continue,
+            };
+            if !self.matrix.modes.contains(&baseline) {
+                continue;
+            }
+            let Some((ops, n)) = self.mode_ratio(*mode, baseline, |r| r.channel_ops as f64) else {
+                continue;
+            };
+            let stretch = self
+                .mode_ratio(*mode, baseline, |r| r.total_stretches as f64)
+                .map(|(g, _)| g);
+            let Some((exec, _)) = self.mode_ratio(*mode, baseline, |r| r.exec_time_fs as f64)
+            else {
+                continue;
+            };
+            rows.push(format!(
+                "      {{\"mode\": \"{}\", \"baseline_mode\": \"{}\", \"benchmarks\": {n}, \
+                 \"geomean_channel_ops_ratio\": {ops:.6}, \"geomean_stretch_ratio\": {}, \
+                 \"geomean_exec_time_ratio\": {exec:.6}}}",
+                mode.label(),
+                baseline.label(),
+                stretch.map_or("null".into(), |g| format!("{g:.6}")),
+            ));
+        }
+        s.push_str(&rows.join(",\n"));
+        if !rows.is_empty() {
+            s.push('\n');
+        }
+        s.push_str("    ]\n");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_matrix() -> SweepMatrix {
+        SweepMatrix {
+            benchmarks: vec![Benchmark::Adpcm],
+            modes: vec![
+                ModePoint::Synchronous,
+                ModePoint::Gals {
+                    wakeup_filter: false,
+                },
+            ],
+            dvfs: vec![
+                DvfsPoint::nominal(),
+                DvfsPoint::per_domain("fp2x", [1.0, 1.0, 1.0, 2.0, 1.0]),
+            ],
+            phase_seeds: vec![1],
+            workload_seed: WORKLOAD_SEED,
+            budget: 1_000,
+        }
+    }
+
+    #[test]
+    fn expand_skips_nonuniform_dvfs_on_sync() {
+        let specs = tiny_matrix().expand();
+        // sync gets only the nominal point; gals gets both.
+        assert_eq!(specs.len(), 3);
+        assert!(specs
+            .iter()
+            .all(|s| !(s.mode == ModePoint::Synchronous && s.dvfs.label == "fp2x")));
+        // Indices are dense and ordered.
+        for (i, s) in specs.iter().enumerate() {
+            assert_eq!(s.index, i);
+        }
+    }
+
+    #[test]
+    fn paper_default_covers_the_acceptance_floor() {
+        let specs = SweepMatrix::paper_default(2_000).expand();
+        assert!(specs.len() >= 24, "matrix too small: {}", specs.len());
+        // Every benchmark × clocking family appears.
+        for kind in ["sync", "gals", "pausible"] {
+            for b in [
+                Benchmark::Gcc,
+                Benchmark::Fpppp,
+                Benchmark::Ijpeg,
+                Benchmark::Compress,
+            ] {
+                assert!(
+                    specs
+                        .iter()
+                        .any(|s| s.benchmark == b && s.mode.clocking() == kind),
+                    "missing {kind}/{b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mode_labels_round_trip_the_feature_flags() {
+        let m = ModePoint::Pausible {
+            handshake_ps: 300,
+            coalesce: true,
+            wakeup_filter: false,
+        };
+        assert_eq!(m.label(), "pausible@300ps+coalesce");
+        assert_eq!(m.clocking(), "pausible");
+        assert_eq!(m.handshake_ps(), Some(300));
+        assert_eq!(
+            ModePoint::Gals {
+                wakeup_filter: true
+            }
+            .label(),
+            "gals+filter"
+        );
+        assert_eq!(ModePoint::Synchronous.label(), "sync");
+    }
+
+    #[test]
+    fn run_sweep_fills_every_slot_in_matrix_order() {
+        let results = run_sweep(&tiny_matrix(), 2);
+        assert_eq!(results.runs.len(), 3);
+        for (i, r) in results.runs.iter().enumerate() {
+            assert_eq!(r.spec.index, i);
+            assert_eq!(r.committed, 1_000);
+            assert!(r.exec_time_fs > 0);
+        }
+    }
+
+    #[test]
+    fn json_is_schema_versioned_and_balanced() {
+        let json = run_sweep(&tiny_matrix(), 1).to_json();
+        assert!(json.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
+        assert!(json.contains("\"runs\": ["));
+        assert!(json.contains("\"tables\": {"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces:\n{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+}

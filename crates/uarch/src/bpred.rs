@@ -86,8 +86,14 @@ impl BranchPredictor {
     ///
     /// Panics if table sizes are not powers of two.
     pub fn new(config: BpredConfig) -> Self {
-        assert!(config.pht_entries.is_power_of_two(), "PHT size must be a power of two");
-        assert!(config.btb_entries.is_power_of_two(), "BTB size must be a power of two");
+        assert!(
+            config.pht_entries.is_power_of_two(),
+            "PHT size must be a power of two"
+        );
+        assert!(
+            config.btb_entries.is_power_of_two(),
+            "BTB size must be a power of two"
+        );
         BranchPredictor {
             pht: vec![2; config.pht_entries],
             ghr: 0,
@@ -238,7 +244,10 @@ mod tests {
             }
             bp.update_cond(0x80, true, 0x200, p.taken);
         }
-        assert!(wrong <= 2, "{wrong} mispredictions for an always-taken branch");
+        assert!(
+            wrong <= 2,
+            "{wrong} mispredictions for an always-taken branch"
+        );
         assert!(bp.predict_cond(0x80).target == Some(0x200));
     }
 

@@ -68,7 +68,9 @@ impl Cache {
             geometry,
             sets,
             tags: vec![INVALID_TAG; slots],
-            lru: (0..slots).map(|i| (i % geometry.ways as usize) as u8).collect(),
+            lru: (0..slots)
+                .map(|i| (i % geometry.ways as usize) as u8)
+                .collect(),
             stats: CacheStats::default(),
         }
     }
@@ -169,7 +171,7 @@ mod tests {
     #[test]
     fn lru_evicts_least_recent() {
         let mut c = small(2); // 4 sets, 2 ways
-        // Three lines mapping to set 0: line numbers 0, 4, 8 (addr = line*64).
+                              // Three lines mapping to set 0: line numbers 0, 4, 8 (addr = line*64).
         assert!(!c.access(0));
         assert!(!c.access(4 * 64));
         assert!(c.access(0)); // touch line 0 so line 4*64 is LRU

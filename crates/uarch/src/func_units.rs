@@ -36,7 +36,10 @@ impl FuPool {
     ///
     /// Panics if `count` is zero.
     pub fn new(count: u32) -> Self {
-        assert!(count > 0, "functional unit pool must have at least one unit");
+        assert!(
+            count > 0,
+            "functional unit pool must have at least one unit"
+        );
         FuPool {
             free_at: vec![0; count as usize],
             issued: 0,

@@ -261,20 +261,43 @@ impl IssueQueue {
     }
 
     /// Removes every instruction younger than `age` (squash after a
-    /// mispredicted branch). Returns the removed tokens. Squashes happen
-    /// only on misprediction recovery, so the returned `Vec` is off the
-    /// steady-state path.
+    /// mispredicted branch). Returns the removed tokens.
+    ///
+    /// Convenience wrapper over [`IssueQueue::squash_younger_into`]; hot
+    /// callers should pass a reusable scratch buffer to the `_into` form so
+    /// recovery allocates nothing even when mispredicts are frequent.
     pub fn squash_younger(&mut self, age: u64) -> Vec<IqToken> {
         let mut squashed = Vec::new();
+        self.squash_younger_into(age, &mut squashed);
+        squashed
+    }
+
+    /// Allocation-free form of [`IssueQueue::squash_younger`]: clears `out`
+    /// and fills it with the removed tokens.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gals_uarch::{IssueQueue, PhysReg};
+    ///
+    /// let mut iq = IssueQueue::new(8);
+    /// let mut scratch = Vec::new();
+    /// iq.insert(1, 10, vec![PhysReg(40)]).unwrap();
+    /// iq.insert(2, 20, vec![PhysReg(40)]).unwrap();
+    /// iq.squash_younger_into(15, &mut scratch);
+    /// assert_eq!(scratch, vec![2]);
+    /// assert_eq!(iq.len(), 1);
+    /// ```
+    pub fn squash_younger_into(&mut self, age: u64, out: &mut Vec<IqToken>) {
+        out.clear();
         self.entries.retain(|e| {
             if e.age > age {
-                squashed.push(e.token);
+                out.push(e.token);
                 false
             } else {
                 true
             }
         });
-        squashed
     }
 
     /// Records an occupancy sample.
@@ -329,6 +352,20 @@ mod tests {
         let squashed = iq.squash_younger(15);
         assert_eq!(squashed, vec![2, 3]);
         assert_eq!(iq.len(), 1);
+    }
+
+    #[test]
+    fn squash_younger_into_reuses_caller_buffer() {
+        let mut iq = IssueQueue::new(8);
+        let mut scratch = vec![77]; // stale contents must be cleared
+        iq.insert(1, 10, vec![PhysReg(40)]).unwrap();
+        iq.insert(2, 20, vec![PhysReg(40)]).unwrap();
+        iq.insert(3, 30, vec![PhysReg(40)]).unwrap();
+        iq.squash_younger_into(15, &mut scratch);
+        assert_eq!(scratch, vec![2, 3]);
+        assert_eq!(iq.len(), 1);
+        iq.squash_younger_into(15, &mut scratch);
+        assert!(scratch.is_empty());
     }
 
     #[test]

@@ -65,7 +65,11 @@ impl ClassRename {
         for p in NUM_ARCH_PER_CLASS as u16..num_phys {
             free |= 1 << p;
         }
-        ClassRename { map, free, num_phys }
+        ClassRename {
+            map,
+            free,
+            num_phys,
+        }
     }
 
     fn alloc(&mut self) -> Option<PhysReg> {
@@ -160,7 +164,11 @@ impl RenameUnit {
     /// [`RenameError::OutOfRegisters`] when the class's free list is empty;
     /// the rename stage must stall this cycle.
     pub fn rename_dst(&mut self, reg: ArchReg) -> Result<RenamedDst, RenameError> {
-        let class = if reg.is_fp() { &mut self.fp } else { &mut self.int };
+        let class = if reg.is_fp() {
+            &mut self.fp
+        } else {
+            &mut self.int
+        };
         let new = class.alloc().ok_or(RenameError::OutOfRegisters)?;
         let idx = reg.index() as usize;
         let old = PhysReg(class.map[idx]);
@@ -171,7 +179,11 @@ impl RenameUnit {
     /// Undoes a `rename_dst` performed earlier in the *same cycle* (used
     /// when a later operation of a multi-dest bundle stalls).
     pub fn undo_rename(&mut self, reg: ArchReg, renamed: RenamedDst) {
-        let class = if reg.is_fp() { &mut self.fp } else { &mut self.int };
+        let class = if reg.is_fp() {
+            &mut self.fp
+        } else {
+            &mut self.int
+        };
         let idx = reg.index() as usize;
         debug_assert_eq!(class.map[idx], renamed.new.0);
         class.map[idx] = renamed.old.0;
@@ -196,7 +208,8 @@ impl RenameUnit {
             free: c.free,
             seq,
         };
-        self.checkpoints.push((seq, snap(&self.int), snap(&self.fp)));
+        self.checkpoints
+            .push((seq, snap(&self.int), snap(&self.fp)));
     }
 
     /// Restores the checkpoint taken at branch `seq`, discarding it and all
@@ -240,7 +253,11 @@ impl RenameUnit {
     /// rename is *not* covered by any restored checkpoint (used only by
     /// non-checkpoint recovery paths; unnecessary when `recover` is used).
     pub fn squash_release(&mut self, reg: ArchReg, new: PhysReg) {
-        let class = if reg.is_fp() { &mut self.fp } else { &mut self.int };
+        let class = if reg.is_fp() {
+            &mut self.fp
+        } else {
+            &mut self.int
+        };
         class.release(new);
     }
 
@@ -326,7 +343,10 @@ mod tests {
         for _ in 0..40 {
             u.rename_dst(ArchReg::int(1)).unwrap();
         }
-        assert_eq!(u.rename_dst(ArchReg::int(1)), Err(RenameError::OutOfRegisters));
+        assert_eq!(
+            u.rename_dst(ArchReg::int(1)),
+            Err(RenameError::OutOfRegisters)
+        );
         // FP class unaffected.
         assert!(u.rename_dst(ArchReg::fp(1)).is_ok());
     }

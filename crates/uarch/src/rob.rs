@@ -154,17 +154,44 @@ impl<T> Rob<T> {
 
     /// Squashes every entry with sequence strictly greater than `seq`,
     /// returning the squashed payloads youngest-last.
+    ///
+    /// Convenience wrapper over [`Rob::squash_younger_into`]; hot callers
+    /// (misprediction recovery under branchy workloads) should pass a
+    /// reusable scratch buffer to the `_into` form instead.
     pub fn squash_younger(&mut self, seq: u64) -> Vec<T> {
         let mut squashed = Vec::new();
+        self.squash_younger_into(seq, &mut squashed);
+        squashed
+    }
+
+    /// Allocation-free form of [`Rob::squash_younger`]: clears `out` and
+    /// fills it with the squashed payloads, oldest first. With a reused
+    /// `out` buffer, recovery performs no heap allocation here.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gals_uarch::Rob;
+    ///
+    /// let mut rob = Rob::new(8);
+    /// let mut scratch = Vec::new();
+    /// for s in 0u64..4 {
+    ///     rob.alloc(s, s).unwrap();
+    /// }
+    /// rob.squash_younger_into(1, &mut scratch);
+    /// assert_eq!(scratch, vec![2, 3]);
+    /// assert_eq!(rob.len(), 2);
+    /// ```
+    pub fn squash_younger_into(&mut self, seq: u64, out: &mut Vec<T>) {
+        out.clear();
         while let Some(back) = self.entries.back() {
             if back.seq > seq {
-                squashed.push(self.entries.pop_back().expect("back exists").payload);
+                out.push(self.entries.pop_back().expect("back exists").payload);
             } else {
                 break;
             }
         }
-        squashed.reverse();
-        squashed
+        out.reverse();
     }
 
     /// Iterates over `(seq, status)` of live entries, oldest first.
@@ -221,7 +248,10 @@ mod tests {
         rob.alloc(1, ()).unwrap();
         rob.complete(1);
         assert_eq!(rob.try_commit(), None);
-        assert_eq!(rob.head().map(|(s, st, _)| (s, st)), Some((0, RobStatus::InFlight)));
+        assert_eq!(
+            rob.head().map(|(s, st, _)| (s, st)),
+            Some((0, RobStatus::InFlight))
+        );
     }
 
     #[test]
@@ -244,6 +274,21 @@ mod tests {
         // Sequence numbers may repeat the squashed range afterwards.
         rob.alloc(3, 33).unwrap();
         assert_eq!(rob.len(), 4);
+    }
+
+    #[test]
+    fn squash_younger_into_reuses_caller_buffer() {
+        let mut rob = Rob::new(8);
+        let mut scratch = vec![99, 98]; // stale contents must be cleared
+        for s in 0..6 {
+            rob.alloc(s, s).unwrap();
+        }
+        rob.squash_younger_into(3, &mut scratch);
+        assert_eq!(scratch, vec![4, 5]);
+        assert_eq!(rob.len(), 4);
+        // Nothing younger: the buffer empties rather than keeping old hits.
+        rob.squash_younger_into(3, &mut scratch);
+        assert!(scratch.is_empty());
     }
 
     #[test]

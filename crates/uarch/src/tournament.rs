@@ -105,10 +105,22 @@ impl TournamentPredictor {
     /// Panics if any table size is not a power of two or `local_bits`
     /// exceeds 16.
     pub fn new(config: TournamentConfig) -> Self {
-        assert!(config.local_histories.is_power_of_two(), "local table must be a power of two");
-        assert!(config.global_entries.is_power_of_two(), "global table must be a power of two");
-        assert!(config.chooser_entries.is_power_of_two(), "chooser table must be a power of two");
-        assert!(config.local_bits <= 16, "local history wider than the register");
+        assert!(
+            config.local_histories.is_power_of_two(),
+            "local table must be a power of two"
+        );
+        assert!(
+            config.global_entries.is_power_of_two(),
+            "global table must be a power of two"
+        );
+        assert!(
+            config.chooser_entries.is_power_of_two(),
+            "chooser table must be a power of two"
+        );
+        assert!(
+            config.local_bits <= 16,
+            "local history wider than the register"
+        );
         TournamentPredictor {
             local_history: vec![0; config.local_histories],
             local_counters: vec![4; 1 << config.local_bits],

@@ -59,14 +59,18 @@ pub fn generate_profile(profile: &WorkloadProfile, seed: u64) -> Program {
     let mem_ids = build_mem_streams(&mut b, profile, &mut rng);
 
     // Derived block length: one structural branch per block.
-    let block_len = ((1.0 / profile.frac_branch).round() as usize).saturating_sub(1).max(1);
+    let block_len = ((1.0 / profile.frac_branch).round() as usize)
+        .saturating_sub(1)
+        .max(1);
 
     let mut gen = InstGen::new(profile, mem_ids);
 
     // Function bodies first; remember entries.
     let mut func_entries = Vec::new();
     for _ in 0..profile.functions {
-        func_entries.push(build_function(&mut b, profile, block_len, &mut gen, &mut rng));
+        func_entries.push(build_function(
+            &mut b, profile, block_len, &mut gen, &mut rng,
+        ));
     }
 
     // Dispatcher: c0 -> c1 -> ... -> c_{F-1} -> backedge to c0.
@@ -164,14 +168,20 @@ fn build_function(
     rng: &mut SmallRng,
 ) -> gals_isa::BlockId {
     // Trip count around the profile mean (x0.5 .. x2).
-    let trip = (profile.loop_trip as f64 * rng.gen_range(0.5..2.0)).round().max(2.0) as u32;
+    let trip = (profile.loop_trip as f64 * rng.gen_range(0.5..2.0))
+        .round()
+        .max(2.0) as u32;
     let backedge = b.add_branch_behavior(BranchBehavior::Loop { trip });
 
     let bodies: Vec<_> = (0..BLOCKS_PER_LOOP)
         .map(|i| {
             // Later blocks get slightly shorter bodies so skipping an
             // if-diamond changes path length (realistic control variance).
-            let len = if i == 0 { block_len } else { block_len.max(2) - 1 };
+            let len = if i == 0 {
+                block_len
+            } else {
+                block_len.max(2) - 1
+            };
             let mut insts = gen.straight_line(len, rng);
             let cond_src = Some(gen.recent_int());
             let branch = if i == BLOCKS_PER_LOOP - 1 {
@@ -179,7 +189,11 @@ fn build_function(
             } else {
                 let beh = if rng.gen_bool(profile.branch_bias) {
                     // Strongly biased: mostly taken or mostly not-taken.
-                    let p = if rng.gen_bool(0.5) { rng.gen_range(0.02..0.12) } else { rng.gen_range(0.88..0.98) };
+                    let p = if rng.gen_bool(0.5) {
+                        rng.gen_range(0.02..0.12)
+                    } else {
+                        rng.gen_range(0.88..0.98)
+                    };
                     BranchBehavior::TakenProb(p)
                 } else {
                     BranchBehavior::TakenProb(rng.gen_range(0.35..0.65))
@@ -272,7 +286,11 @@ impl InstGen {
     }
 
     fn pick_src(&self, fp: bool, rng: &mut SmallRng) -> ArchReg {
-        let pool = if fp { &self.recent_fp } else { &self.recent_int };
+        let pool = if fp {
+            &self.recent_fp
+        } else {
+            &self.recent_int
+        };
         let d = rng.gen_range(1..=self.dep_distance as usize);
         let idx = pool.len().saturating_sub(d).min(pool.len() - 1);
         pool[idx]
@@ -296,7 +314,11 @@ impl InstGen {
             let fp_dst = rng.gen_bool(self.fp_load_frac);
             let addr_src = Some(self.pick_src(false, rng));
             let mem = self.next_mem();
-            let dst = if fp_dst { self.next_fp_dst() } else { self.next_int_dst() };
+            let dst = if fp_dst {
+                self.next_fp_dst()
+            } else {
+                self.next_int_dst()
+            };
             return Inst::load(dst, addr_src, mem);
         }
         acc += self.frac_store;
@@ -335,7 +357,11 @@ impl InstGen {
             return Inst::alu(OpClass::IntDiv, dst, s1, s2);
         }
         let s1 = Some(self.pick_src(false, rng));
-        let s2 = if rng.gen_bool(0.5) { Some(self.pick_src(false, rng)) } else { None };
+        let s2 = if rng.gen_bool(0.5) {
+            Some(self.pick_src(false, rng))
+        } else {
+            None
+        };
         let dst = self.next_int_dst();
         Inst::alu(OpClass::IntAlu, dst, s1, s2)
     }
@@ -374,8 +400,14 @@ mod tests {
         let a = generate(Benchmark::Gcc, 3);
         let b = generate(Benchmark::Gcc, 3);
         assert_eq!(a.static_inst_count(), b.static_inst_count());
-        let sa: Vec<_> = DynStream::new(&a).take(5_000).map(|d| (d.pc, d.taken)).collect();
-        let sb: Vec<_> = DynStream::new(&b).take(5_000).map(|d| (d.pc, d.taken)).collect();
+        let sa: Vec<_> = DynStream::new(&a)
+            .take(5_000)
+            .map(|d| (d.pc, d.taken))
+            .collect();
+        let sb: Vec<_> = DynStream::new(&b)
+            .take(5_000)
+            .map(|d| (d.pc, d.taken))
+            .collect();
         assert_eq!(sa, sb);
     }
 
@@ -411,7 +443,8 @@ mod tests {
     #[test]
     fn fpppp_is_branch_poor_and_fp_rich() {
         let mix = dynamic_mix(Benchmark::Fpppp, 60_000);
-        let branch = mix.get("branch").copied().unwrap_or(0.0) + mix.get("ctl").copied().unwrap_or(0.0);
+        let branch =
+            mix.get("branch").copied().unwrap_or(0.0) + mix.get("ctl").copied().unwrap_or(0.0);
         assert!(branch < 0.03, "fpppp branch fraction {branch}");
         let fp = mix.get("fp").copied().unwrap_or(0.0);
         assert!(fp > 0.35, "fpppp fp fraction {fp}");
@@ -420,7 +453,8 @@ mod tests {
     #[test]
     fn ijpeg_memory_fraction_is_low() {
         let mix = dynamic_mix(Benchmark::Ijpeg, 60_000);
-        let mem = mix.get("load").copied().unwrap_or(0.0) + mix.get("store").copied().unwrap_or(0.0);
+        let mem =
+            mix.get("load").copied().unwrap_or(0.0) + mix.get("store").copied().unwrap_or(0.0);
         assert!(mem < 0.18, "ijpeg memory fraction {mem}");
     }
 

@@ -1,8 +1,6 @@
 //! Hand-written microbenchmark kernels for tests, examples and calibration.
 
-use gals_isa::{
-    ArchReg, BranchBehavior, Inst, MemBehavior, OpClass, Program, ProgramBuilder,
-};
+use gals_isa::{ArchReg, BranchBehavior, Inst, MemBehavior, OpClass, Program, ProgramBuilder};
 
 /// A tight counted loop of `body_len` independent integer ALU operations per
 /// iteration — the simplest possible IPC probe.
@@ -66,7 +64,12 @@ pub fn stream_loads(trips: u32, footprint: u64) -> Program {
     let blk = b.add_block(
         vec![
             Inst::load(ArchReg::int(10), Some(ArchReg::int(11)), mem),
-            Inst::alu(OpClass::IntAlu, ArchReg::int(11), Some(ArchReg::int(10)), None),
+            Inst::alu(
+                OpClass::IntAlu,
+                ArchReg::int(11),
+                Some(ArchReg::int(10)),
+                None,
+            ),
             Inst::branch(Some(ArchReg::int(11)), beh),
         ],
         None,
@@ -87,20 +90,35 @@ pub fn random_branches(trips: u32) -> Program {
     // b0: work + coin-flip branch; taken -> b2 (skip b1).
     let b0 = b.add_block(
         vec![
-            Inst::alu(OpClass::IntAlu, ArchReg::int(8), Some(ArchReg::int(8)), None),
+            Inst::alu(
+                OpClass::IntAlu,
+                ArchReg::int(8),
+                Some(ArchReg::int(8)),
+                None,
+            ),
             Inst::branch(Some(ArchReg::int(8)), coin),
         ],
         None,
         None,
     );
     let b1 = b.add_block(
-        vec![Inst::alu(OpClass::IntAlu, ArchReg::int(9), Some(ArchReg::int(9)), None)],
+        vec![Inst::alu(
+            OpClass::IntAlu,
+            ArchReg::int(9),
+            Some(ArchReg::int(9)),
+            None,
+        )],
         None,
         None,
     );
     let b2 = b.add_block(
         vec![
-            Inst::alu(OpClass::IntAlu, ArchReg::int(10), Some(ArchReg::int(10)), None),
+            Inst::alu(
+                OpClass::IntAlu,
+                ArchReg::int(10),
+                Some(ArchReg::int(10)),
+                None,
+            ),
             Inst::branch(Some(ArchReg::int(10)), backedge),
         ],
         None,
@@ -136,10 +154,20 @@ pub fn cross_cluster(trips: u32) -> Program {
         vec![
             // load -> fp -> fp -> store chain crossing mem/fp domains.
             Inst::load(ArchReg::fp(8), Some(ArchReg::int(8)), loads),
-            Inst::alu(OpClass::FpMul, ArchReg::fp(9), Some(ArchReg::fp(8)), Some(ArchReg::fp(9))),
+            Inst::alu(
+                OpClass::FpMul,
+                ArchReg::fp(9),
+                Some(ArchReg::fp(8)),
+                Some(ArchReg::fp(9)),
+            ),
             Inst::alu(OpClass::FpAdd, ArchReg::fp(10), Some(ArchReg::fp(9)), None),
             Inst::store(Some(ArchReg::fp(10)), Some(ArchReg::int(8)), stores),
-            Inst::alu(OpClass::IntAlu, ArchReg::int(8), Some(ArchReg::int(8)), None),
+            Inst::alu(
+                OpClass::IntAlu,
+                ArchReg::int(8),
+                Some(ArchReg::int(8)),
+                None,
+            ),
             Inst::branch(Some(ArchReg::int(8)), beh),
         ],
         None,
@@ -174,10 +202,20 @@ pub fn store_forward(trips: u32) -> Program {
     });
     let blk = b.add_block(
         vec![
-            Inst::alu(OpClass::IntDiv, ArchReg::int(12), Some(ArchReg::int(12)), None),
+            Inst::alu(
+                OpClass::IntDiv,
+                ArchReg::int(12),
+                Some(ArchReg::int(12)),
+                None,
+            ),
             Inst::store(Some(ArchReg::int(8)), Some(ArchReg::int(8)), stream),
             Inst::load(ArchReg::int(11), Some(ArchReg::int(8)), same_stream),
-            Inst::alu(OpClass::IntAlu, ArchReg::int(8), Some(ArchReg::int(8)), None),
+            Inst::alu(
+                OpClass::IntAlu,
+                ArchReg::int(8),
+                Some(ArchReg::int(8)),
+                None,
+            ),
             Inst::branch(Some(ArchReg::int(8)), beh),
         ],
         None,
@@ -229,9 +267,8 @@ mod tests {
     fn cross_cluster_touches_three_clusters() {
         use gals_isa::Cluster;
         let p = cross_cluster(5);
-        let clusters: std::collections::HashSet<Cluster> = DynStream::new(&p)
-            .map(|d| d.op.cluster())
-            .collect();
+        let clusters: std::collections::HashSet<Cluster> =
+            DynStream::new(&p).map(|d| d.op.cluster()).collect();
         assert!(clusters.contains(&Cluster::Int));
         assert!(clusters.contains(&Cluster::Fp));
         assert!(clusters.contains(&Cluster::Mem));

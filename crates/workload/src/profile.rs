@@ -437,9 +437,17 @@ mod tests {
         // "Only one in every 67 instructions is a branch."
         let p = Benchmark::Fpppp.profile();
         let per_branch = 1.0 / p.frac_branch;
-        assert!((60.0..75.0).contains(&per_branch), "1 branch per {per_branch}");
+        assert!(
+            (60.0..75.0).contains(&per_branch),
+            "1 branch per {per_branch}"
+        );
         // Everyone else: roughly one per five or six.
-        for b in [Benchmark::Gcc, Benchmark::Perl, Benchmark::Go, Benchmark::Li] {
+        for b in [
+            Benchmark::Gcc,
+            Benchmark::Perl,
+            Benchmark::Go,
+            Benchmark::Li,
+        ] {
             let f = b.profile().frac_branch;
             assert!((0.15..0.25).contains(&f), "{b}: branch fraction {f}");
         }
@@ -468,10 +476,7 @@ mod tests {
 
     #[test]
     fn suites_partition_benchmarks() {
-        assert_eq!(
-            Benchmark::ALL.iter().filter(|b| b.is_integer()).count(),
-            6
-        );
+        assert_eq!(Benchmark::ALL.iter().filter(|b| b.is_integer()).count(), 6);
         assert_eq!(Benchmark::Fpppp.suite(), Suite::Spec95Fp);
         assert_eq!(Benchmark::Mpeg2.suite(), Suite::MediaBench);
         assert_eq!(format!("{}", Suite::MediaBench), "MediaBench");

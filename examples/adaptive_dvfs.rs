@@ -68,7 +68,10 @@ fn main() {
         "{:<24} {:>12} {:>10} {:>10}",
         "machine", "performance", "energy", "power"
     );
-    for (label, r) in [("gals (equal clocks)", &profile), ("gals + advisor plan", &planned)] {
+    for (label, r) in [
+        ("gals (equal clocks)", &profile),
+        ("gals + advisor plan", &planned),
+    ] {
         println!(
             "{:<24} {:>11.1}% {:>10.3} {:>10.3}",
             label,

@@ -15,7 +15,9 @@ use gals::core::{simulate, DvfsPlan, ProcessorConfig, SimLimits};
 use gals::workload::{generate, Benchmark};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "perl".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "perl".to_string());
     let bench = Benchmark::ALL
         .into_iter()
         .find(|b| b.name() == name)

@@ -13,22 +13,40 @@ fn main() {
     let program = generate(bench, 42);
     let limits = SimLimits::insts(60_000);
 
-    println!("workload: {bench} ({} static instructions)", program.static_inst_count());
+    println!(
+        "workload: {bench} ({} static instructions)",
+        program.static_inst_count()
+    );
 
     let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), limits);
     let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(7), limits);
 
     println!();
     println!("{:<28} {:>14} {:>14}", "", "synchronous", "GALS");
-    println!("{:<28} {:>14.3} {:>14.3}", "throughput (insts/ns)", base.insts_per_ns(), gals.insts_per_ns());
-    println!("{:<28} {:>14.2} {:>14.2}", "mean slip (ns)", base.mean_slip().as_ns_f64(), gals.mean_slip().as_ns_f64());
+    println!(
+        "{:<28} {:>14.3} {:>14.3}",
+        "throughput (insts/ns)",
+        base.insts_per_ns(),
+        gals.insts_per_ns()
+    );
+    println!(
+        "{:<28} {:>14.2} {:>14.2}",
+        "mean slip (ns)",
+        base.mean_slip().as_ns_f64(),
+        gals.mean_slip().as_ns_f64()
+    );
     println!(
         "{:<28} {:>13.1}% {:>13.1}%",
         "mis-speculated insts",
         100.0 * base.misspeculation_rate(),
         100.0 * gals.misspeculation_rate()
     );
-    println!("{:<28} {:>14.0} {:>14.0}", "total energy (EU)", base.total_energy(), gals.total_energy());
+    println!(
+        "{:<28} {:>14.0} {:>14.0}",
+        "total energy (EU)",
+        base.total_energy(),
+        gals.total_energy()
+    );
 
     println!();
     println!(

@@ -16,7 +16,9 @@
 //! * [`uarch`] — caches, branch prediction, rename, issue queues, ROB;
 //! * [`clocks`] — clock domains, mixed-clock FIFOs, voltage scaling;
 //! * [`power`] — per-block energy accounting and clock-grid models;
-//! * [`core`] — the processor models and the `simulate` entry point.
+//! * [`core`] — the processor models and the `simulate` entry point;
+//! * [`sweep`] — the parallel scenario-sweep harness (cartesian experiment
+//!   matrices, a deterministic worker pool, schema-versioned reports).
 //!
 //! ## Quickstart
 //!
@@ -48,5 +50,6 @@ pub use gals_core as core;
 pub use gals_events as events;
 pub use gals_isa as isa;
 pub use gals_power as power;
+pub use gals_sweep as sweep;
 pub use gals_uarch as uarch;
 pub use gals_workload as workload;

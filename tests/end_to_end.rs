@@ -56,8 +56,15 @@ fn clockset_and_engine_schedulers_produce_identical_reports() {
 fn finite_program_drains_completely() {
     let program = micro::alu_loop(500, 4);
     let total = 500 * 5 + 1;
-    let r = simulate(&program, ProcessorConfig::synchronous_1ghz(), SimLimits::insts(1_000_000));
-    assert_eq!(r.committed, total, "every architectural instruction commits");
+    let r = simulate(
+        &program,
+        ProcessorConfig::synchronous_1ghz(),
+        SimLimits::insts(1_000_000),
+    );
+    assert_eq!(
+        r.committed, total,
+        "every architectural instruction commits"
+    );
 }
 
 #[test]
@@ -94,7 +101,12 @@ fn pausible_clocking_is_slower_than_fifo_gals_on_every_benchmark() {
     // cycle, so at equal nominal frequency the pausible machine's
     // throughput falls below the mixed-clock-FIFO GALS design on all four
     // benchmarks of the ablation.
-    for bench in [Benchmark::Gcc, Benchmark::Fpppp, Benchmark::Ijpeg, Benchmark::Compress] {
+    for bench in [
+        Benchmark::Gcc,
+        Benchmark::Fpppp,
+        Benchmark::Ijpeg,
+        Benchmark::Compress,
+    ] {
         let program = generate(bench, 2);
         let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS);
         let paus = simulate(&program, ProcessorConfig::pausible_equal_1ghz(1), LIMITS);
@@ -138,11 +150,116 @@ fn pausible_stretches_lower_the_effective_frequencies() {
 }
 
 #[test]
+fn wakeup_filter_cuts_channel_ops_without_changing_the_architecture() {
+    // The producer-side cross-cluster dependence filter only suppresses
+    // wakeup broadcasts to clusters that never renamed a consumer; the
+    // committed work is identical and the timing essentially so (a consumer
+    // renamed after its producer's writeback becomes ready at rename instead
+    // of at wakeup arrival, which can only help).
+    for bench in [Benchmark::Gcc, Benchmark::Fpppp] {
+        let program = generate(bench, 2);
+        let plain = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS);
+        let cfg = ProcessorConfig::gals_equal_1ghz(1).with_wakeup_filter(true);
+        let filtered = simulate(&program, cfg, LIMITS);
+        assert_eq!(plain.committed, filtered.committed);
+        assert!(
+            filtered.channel_ops < plain.channel_ops,
+            "{bench}: filter must drop consumerless remote wakeups ({} vs {})",
+            filtered.channel_ops,
+            plain.channel_ops
+        );
+        let ratio = filtered.exec_time.as_fs() as f64 / plain.exec_time.as_fs() as f64;
+        assert!(
+            ratio < 1.02,
+            "{bench}: the filter must not slow the machine down ({ratio})"
+        );
+    }
+}
+
+#[test]
+fn wakeup_filter_is_deadlock_free_on_dependence_heavy_workloads() {
+    // The filter's risk is a consumer waiting for a wakeup that was never
+    // sent; the deadlock watchdog in SimLimits turns that into a panic.
+    // Cross-cluster chains maximise remote dependences, coin-flip branches
+    // maximise squash/rename churn of the filter state.
+    let cfg = || ProcessorConfig::gals_equal_1ghz(3).with_wakeup_filter(true);
+    let chains = micro::cross_cluster(2_000);
+    let r = simulate(&chains, cfg(), SimLimits::insts(10_000));
+    assert_eq!(r.committed, 10_000);
+    let branches = micro::random_branches(3_000);
+    let r = simulate(&branches, cfg(), SimLimits::insts(8_000));
+    assert_eq!(r.committed, 8_000);
+    // Pausible machines share the filter path (stretch charges drop too).
+    let paus = ProcessorConfig::pausible_equal_1ghz(3).with_wakeup_filter(true);
+    let r = simulate(&chains, paus, SimLimits::insts(10_000));
+    assert_eq!(r.committed, 10_000);
+}
+
+#[test]
+fn wakeup_coalescing_softens_the_pausible_penalty() {
+    for bench in [Benchmark::Gcc, Benchmark::Compress] {
+        let program = generate(bench, 2);
+        let plain = simulate(&program, ProcessorConfig::pausible_equal_1ghz(1), LIMITS);
+        let cfg = ProcessorConfig::pausible_equal_1ghz(1).with_wakeup_coalescing(true);
+        let coalesced = simulate(&program, cfg, LIMITS);
+        assert_eq!(plain.committed, coalesced.committed);
+        assert!(
+            coalesced.total_stretches() < plain.total_stretches(),
+            "{bench}: coalescing must merge same-cycle wakeup handshakes \
+             ({} vs {})",
+            coalesced.total_stretches(),
+            plain.total_stretches()
+        );
+        assert!(
+            coalesced.exec_time < plain.exec_time,
+            "{bench}: fewer handshakes must run faster ({} vs {})",
+            coalesced.exec_time,
+            plain.exec_time
+        );
+    }
+    // Outside pausible mode the flag is inert: no handshakes to merge.
+    let program = generate(Benchmark::Gcc, 2);
+    let plain = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS);
+    let cfg = ProcessorConfig::gals_equal_1ghz(1).with_wakeup_coalescing(true);
+    let flagged = simulate(&program, cfg, LIMITS);
+    assert_eq!(format!("{plain:?}"), format!("{flagged:?}"));
+}
+
+#[test]
+fn schedulers_stay_bit_identical_with_wakeup_features_on() {
+    // The two-scheduler contract extends to the new feature gates.
+    let limits = SimLimits {
+        max_insts: 6_000,
+        watchdog_cycles: 200_000,
+    };
+    let program = generate(Benchmark::Gcc, 42);
+    for cfg in [
+        ProcessorConfig::gals_equal_1ghz(7).with_wakeup_filter(true),
+        ProcessorConfig::pausible_equal_1ghz(7).with_wakeup_coalescing(true),
+        ProcessorConfig::pausible_equal_1ghz(7)
+            .with_wakeup_filter(true)
+            .with_wakeup_coalescing(true),
+    ] {
+        let fast = simulate(&program, cfg.clone(), limits);
+        let oracle = simulate_with_engine(&program, cfg.clone(), limits);
+        assert_eq!(
+            format!("{fast:?}"),
+            format!("{oracle:?}"),
+            "scheduler divergence with features on {:?}",
+            cfg.clocking
+        );
+    }
+}
+
+#[test]
 fn gals_raises_slip_and_misspeculation() {
     let program = generate(Benchmark::Gcc, 2);
     let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), LIMITS);
     let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS);
-    assert!(gals.mean_slip() > base.mean_slip(), "slip must grow (Fig 6)");
+    assert!(
+        gals.mean_slip() > base.mean_slip(),
+        "slip must grow (Fig 6)"
+    );
     assert!(
         gals.misspeculation_rate() > base.misspeculation_rate(),
         "longer recovery pipeline must raise mis-speculation (Fig 8)"
@@ -158,7 +275,10 @@ fn gals_average_power_is_lower() {
         gals.relative_power(&base) < 1.0,
         "per-cycle power drops without the global grid (Fig 9)"
     );
-    assert_eq!(gals.energy.global_clock, 0.0, "GALS has no global grid energy");
+    assert_eq!(
+        gals.energy.global_clock, 0.0,
+        "GALS has no global grid energy"
+    );
     assert!(base.energy.global_clock > 0.0);
 }
 
@@ -236,7 +356,10 @@ fn phase_variation_is_small_but_nonzero() {
     let spread = (max - min) as f64 / min as f64;
     // Short runs see a few percent; full-length runs land near the
     // paper's ~0.5% (see the phase_sensitivity binary).
-    assert!(spread < 0.10, "phase-induced variation should be small ({spread})");
+    assert!(
+        spread < 0.10,
+        "phase-induced variation should be small ({spread})"
+    );
 }
 
 #[test]
@@ -244,15 +367,26 @@ fn wrong_path_instructions_never_commit() {
     // A coin-flip branch stresses recovery; committed count must still be
     // exactly the architectural prefix.
     let program = micro::random_branches(3_000);
-    let r = simulate(&program, ProcessorConfig::gals_equal_1ghz(3), SimLimits::insts(8_000));
+    let r = simulate(
+        &program,
+        ProcessorConfig::gals_equal_1ghz(3),
+        SimLimits::insts(8_000),
+    );
     assert_eq!(r.committed, 8_000);
-    assert!(r.wrong_path_fetched > 0, "coin-flip branches must cause wrong-path fetch");
+    assert!(
+        r.wrong_path_fetched > 0,
+        "coin-flip branches must cause wrong-path fetch"
+    );
 }
 
 #[test]
 fn cross_cluster_chains_run_on_all_three_clusters() {
     let program = micro::cross_cluster(2_000);
-    let r = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), SimLimits::insts(10_000));
+    let r = simulate(
+        &program,
+        ProcessorConfig::gals_equal_1ghz(1),
+        SimLimits::insts(10_000),
+    );
     assert_eq!(r.committed, 10_000);
     for (i, iq) in r.iq.iter().enumerate() {
         assert!(iq.issued > 0, "cluster {i} must issue instructions");

@@ -11,17 +11,17 @@ use proptest::prelude::*;
 /// A constrained-but-wide space of valid workload profiles.
 fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
     (
-        0.02f64..0.25,        // frac_branch
-        0.0f64..0.3,          // frac_load
-        0.0f64..0.15,         // frac_store
-        0.0f64..0.4,          // frac_fp
-        0.5f64..0.98,         // branch_bias
-        2u32..64,             // loop_trip
-        16u64..4096,          // footprint in KB
-        0.0f64..1.0,          // stride_frac
-        0.0f64..0.5,          // random_frac
-        1u32..14,             // dep_distance
-        1u32..8,              // functions
+        0.02f64..0.25, // frac_branch
+        0.0f64..0.3,   // frac_load
+        0.0f64..0.15,  // frac_store
+        0.0f64..0.4,   // frac_fp
+        0.5f64..0.98,  // branch_bias
+        2u32..64,      // loop_trip
+        16u64..4096,   // footprint in KB
+        0.0f64..1.0,   // stride_frac
+        0.0f64..0.5,   // random_frac
+        1u32..14,      // dep_distance
+        1u32..8,       // functions
     )
         .prop_filter_map("instruction mix must sum below 1", |t| {
             let (br, ld, st, fp, bias, trip, fp_kb, stride, random, dep, funcs) = t;
@@ -62,7 +62,8 @@ fn arb_domain_clocks() -> impl Strategy<Value = [ClockSpec; 5]> {
 
 fn arb_clocking() -> impl Strategy<Value = Clocking> {
     prop_oneof![
-        (800_000u64..2_000_000).prop_map(|p| Clocking::Synchronous(ClockSpec::new(Time::from_fs(p)))),
+        (800_000u64..2_000_000)
+            .prop_map(|p| Clocking::Synchronous(ClockSpec::new(Time::from_fs(p)))),
         arb_domain_clocks().prop_map(Clocking::Gals),
         (arb_domain_clocks(), 0u64..500_000).prop_map(|(clocks, handshake)| {
             Clocking::Pausible {
