@@ -5,10 +5,16 @@
 //!
 //! ```text
 //! cargo run --release --bin sweep -- [--budget N] [--threads N] [--out PATH]
+//!     [--matrix FILE]
 //! ```
 //!
 //! * `--budget N` — committed instructions per run (default 60 000; CI
-//!   smokes with `--budget 2000`).
+//!   smokes with `--budget 2000`). With `--matrix`, overrides the file's
+//!   `budget` field.
+//! * `--matrix FILE` — load a user-defined matrix from a JSON file (see
+//!   `gals_sweep::SweepMatrix::from_json` for the format) instead of the
+//!   in-code default. An unreadable or invalid file prints the problem to
+//!   stderr and exits with the uniform usage code (2).
 //! * `--threads N` — worker threads (default: host parallelism). The
 //!   report is **bit-identical for every thread count** (pinned by
 //!   `crates/sweep/tests/sweep_determinism.rs`).
@@ -32,17 +38,37 @@ use gals_sweep::{run_sweep, SweepMatrix};
 /// derived tables converge well before that.
 const SWEEP_INSTS: u64 = 60_000;
 
-const USAGE: &str = "sweep [--budget N | N] [--threads N] [--out PATH]";
+const USAGE: &str = "sweep [--budget N | N] [--threads N] [--out PATH] [--matrix FILE]";
 
 fn main() {
     let cli = BenchCli::parse_or_exit(USAGE);
-    let budget = cli.budget_or(SWEEP_INSTS);
     let threads = cli.threads_or_available();
     let out = cli
         .out
+        .clone()
         .unwrap_or_else(|| std::path::PathBuf::from("SWEEP_results.json"));
 
-    let matrix = SweepMatrix::paper_default(budget);
+    let matrix = match &cli.matrix {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read matrix file {}: {e}", path.display());
+                eprintln!("usage: {USAGE}");
+                std::process::exit(exit_code::USAGE);
+            });
+            let mut matrix = SweepMatrix::from_json(&text, SWEEP_INSTS).unwrap_or_else(|e| {
+                eprintln!("error: {} is not a valid matrix file: {e}", path.display());
+                eprintln!("usage: {USAGE}");
+                std::process::exit(exit_code::USAGE);
+            });
+            // The command line wins over the file's budget.
+            if let Some(budget) = cli.budget {
+                matrix.budget = budget;
+            }
+            matrix
+        }
+        None => SweepMatrix::paper_default(cli.budget_or(SWEEP_INSTS)),
+    };
+    let budget = matrix.budget;
     let specs = matrix.expand();
     println!(
         "sweep: {} runs ({} benchmarks x {} modes x {} DVFS points x {} seeds, \

@@ -7,8 +7,10 @@
 //!
 //! ## The scenario-sweep binary
 //!
-//! `cargo run --release --bin sweep -- [--budget N] [--threads N] [--out PATH]`
+//! `cargo run --release --bin sweep -- [--budget N] [--threads N] [--out PATH]
+//! [--matrix FILE]`
 //! runs the default cartesian experiment matrix of the `gals-sweep` crate
+//! — or, with `--matrix FILE`, a user-defined matrix loaded from JSON
 //! (benchmark × clocking mode × pausible handshake duration × DVFS point ×
 //! phase seed — see [`gals_sweep::SweepMatrix`] for the matrix format and
 //! the `gals-sweep` crate docs for the full JSON schema) and writes the
@@ -102,6 +104,9 @@ pub struct BenchCli {
     pub threads: Option<usize>,
     /// Baseline JSON to gate against (`--baseline PATH`).
     pub baseline: Option<PathBuf>,
+    /// User-defined sweep-matrix file (`--matrix PATH`; the `sweep`
+    /// binary — see `gals_sweep::SweepMatrix::from_json` for the format).
+    pub matrix: Option<PathBuf>,
     /// Relative regression tolerance for the gate (`--tolerance F`,
     /// default 0.15 = fail beyond a 15% mean regression).
     pub tolerance: f64,
@@ -146,6 +151,7 @@ impl BenchCli {
                     cli.threads = Some(n);
                 }
                 "--baseline" => cli.baseline = Some(PathBuf::from(value_of("--baseline")?)),
+                "--matrix" => cli.matrix = Some(PathBuf::from(value_of("--matrix")?)),
                 "--tolerance" => {
                     let v = value_of("--tolerance")?;
                     let t: f64 = v
@@ -334,6 +340,9 @@ mod tests {
             Some(std::path::Path::new("B.json"))
         );
         assert_eq!(cli.tolerance, 0.2);
+
+        let cli = BenchCli::parse_from(["--matrix", "m.json"]).unwrap();
+        assert_eq!(cli.matrix.as_deref(), Some(std::path::Path::new("m.json")));
     }
 
     #[test]
@@ -342,6 +351,7 @@ mod tests {
         assert!(BenchCli::parse_from(["--budget", "abc"]).is_err());
         assert!(BenchCli::parse_from(["--threads", "0"]).is_err());
         assert!(BenchCli::parse_from(["--tolerance", "1.5"]).is_err());
+        assert!(BenchCli::parse_from(["--matrix"]).is_err());
         assert!(BenchCli::parse_from(["--frobnicate"]).is_err());
         assert!(BenchCli::parse_from(["12x"]).is_err());
         // A second positional is an unknown argument, not a silent override.

@@ -1,0 +1,77 @@
+//! A counting global allocator (`bench` feature only): wraps the system
+//! allocator and counts every allocation, so tests and benchmarks can pin
+//! the simulator's zero-allocation steady-state claims.
+//!
+//! Install it in the consuming binary/test crate:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: gals_core::alloc_counter::CountingAllocator =
+//!     gals_core::alloc_counter::CountingAllocator::new();
+//! ```
+//!
+//! and diff [`CountingAllocator::allocations`] around the region under
+//! test. The counters are relaxed atomics — cheap enough to leave enabled
+//! for whole benchmark runs, and exact on a single thread.
+
+#![allow(unsafe_code)] // the GlobalAlloc contract itself
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`System`]-backed allocator that counts calls and bytes.
+#[derive(Debug, Default)]
+pub struct CountingAllocator {
+    allocations: AtomicU64,
+    allocated_bytes: AtomicU64,
+}
+
+impl CountingAllocator {
+    /// A fresh counter (all zeros).
+    pub const fn new() -> Self {
+        CountingAllocator {
+            allocations: AtomicU64::new(0),
+            allocated_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of allocation calls (`alloc`, `alloc_zeroed`, and `realloc`s
+    /// that had to move) so far.
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes requested by counted allocation calls.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated_bytes.load(Ordering::Relaxed)
+    }
+
+    fn count(&self, bytes: usize) {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.allocated_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+}
+
+// SAFETY: defers every contract obligation to `System`; the counters have
+// no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.count(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.count(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.count(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+}

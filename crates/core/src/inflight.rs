@@ -1,4 +1,40 @@
 //! In-flight instruction state and inter-domain messages.
+//!
+//! ## The handle-based instruction store
+//!
+//! An in-flight instruction lives in exactly one place — a slot of
+//! [`InFlightTable`] — and every pipeline structure (the decode buffer, the
+//! inter-domain [`gals_clocks::Channel`]s, the ROB, the issue queues, the
+//! squash scratch buffers) carries only an 8-byte [`InstrId`] handle. The
+//! table is a slab: freed slots are recycled through a free list, so its
+//! footprint tracks the *live* instruction count (bounded by ROB + channel
+//! capacities — a few hundred entries that stay resident in L1/L2) rather
+//! than the live *sequence spread* of the previous direct-mapped ring,
+//! which grew with wrong-path squash bursts.
+//!
+//! The per-instruction state is split along the hot/cold line, into two
+//! parallel arrays indexed by slot:
+//!
+//! * **Hot** fields — the ones the steady-state loop probes several times
+//!   per instruction (sequence number, op class, wrong-path / completed /
+//!   exit / mispredict flags, renamed source tags, destination rename) —
+//!   are packed into one 32-byte record per slot, so the commit scan,
+//!   issue admission and writeback touch a single cache line per probe
+//!   and the squash scan walks a dense array. (An early draft split the
+//!   hot fields into per-field columns; for this table's point-lookup
+//!   access pattern that touches *more* lines per probe, not fewer — the
+//!   split that pays is hot-record vs cold-record.)
+//! * **Cold** fields — branch info, the fetch/FIFO slip timestamps, the
+//!   memory address, the PC and the architectural operands — live in a
+//!   parallel array of [`InFlightCold`] records, written at fetch and
+//!   read back at rename, memory issue, recovery and commit.
+//!
+//! Handles are generation-checked: [`InstrId`] packs a slot index with the
+//! slot's generation, and every accessor returns `None`/`false` for a
+//! handle whose instruction has been removed (committed or squashed), even
+//! if the slot has been reused — the same "stale message is a no-op"
+//! semantics the pipeline's completion and issue paths relied on when they
+//! carried raw sequence numbers.
 
 use gals_events::Time;
 use gals_isa::{ArchReg, Cluster, OpClass};
@@ -121,9 +157,71 @@ pub struct BranchInfo {
     pub mispredicted: bool,
 }
 
-/// Everything the pipeline knows about one fetched instruction.
-#[derive(Debug, Clone)]
-pub struct InFlight {
+/// Destination rename record: `(arch, new phys tag, old phys reg)`.
+pub type DstRename = (ArchReg, Tag, PhysReg);
+
+/// Rename-stage view of one instruction:
+/// `(seq, op, arch_dst, arch_srcs)` — see [`InFlightTable::rename_view`].
+pub type RenameView = (u64, OpClass, Option<ArchReg>, [Option<ArchReg>; 2]);
+
+/// The handle to one live in-flight instruction: a slot index into
+/// [`InFlightTable`] packed with the slot's generation. 8 bytes — the only
+/// thing pipeline structures store per instruction.
+///
+/// A handle whose instruction has been removed is *stale*; every table
+/// accessor detects staleness through the generation check and treats the
+/// handle as referring to nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InstrId {
+    slot: u32,
+    gen: u32,
+}
+
+impl InstrId {
+    /// Packs the handle into a `u64` (for structures keyed by opaque
+    /// tokens, e.g. [`gals_uarch::IssueQueue`]).
+    #[inline]
+    pub fn bits(self) -> u64 {
+        (u64::from(self.gen) << 32) | u64::from(self.slot)
+    }
+
+    /// Reverses [`InstrId::bits`].
+    #[inline]
+    pub fn from_bits(bits: u64) -> Self {
+        InstrId {
+            slot: bits as u32,
+            gen: (bits >> 32) as u32,
+        }
+    }
+}
+
+/// The cold half of an in-flight instruction: fields written at fetch and
+/// read back at rename, memory issue, recovery and commit — kept out of
+/// the hot columns so the per-cycle scans never pull them into cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InFlightCold {
+    /// Byte PC.
+    pub pc: u64,
+    /// Architectural destination register (copied from the static
+    /// instruction at fetch so rename never re-locates the PC).
+    pub arch_dst: Option<ArchReg>,
+    /// Architectural source registers, same provenance.
+    pub arch_srcs: [Option<ArchReg>; 2],
+    /// Memory byte address for loads/stores.
+    pub mem_addr: Option<u64>,
+    /// Branch details.
+    pub branch: Option<BranchInfo>,
+    /// Fetch timestamp (slip starts here).
+    pub fetched_at: Time,
+    /// Accumulated channel residency (the FIFO share of slip).
+    pub fifo_time: Time,
+}
+
+/// Everything the front end knows about one fetched instruction — the
+/// argument to [`InFlightTable::insert`], written field-by-field into the
+/// hot columns and the cold record exactly once.
+#[derive(Debug, Clone, Copy)]
+pub struct FetchedInstr {
     /// Global fetch sequence number (never reused; program order among
     /// correct-path instructions).
     pub seq: u64,
@@ -133,57 +231,124 @@ pub struct InFlight {
     pub op: OpClass,
     /// True if fetched while the front end was on a mispredicted path.
     pub wrong_path: bool,
-    /// Architectural destination register (copied from the static
-    /// instruction at fetch so rename never re-locates the PC).
+    /// Architectural destination register.
     pub arch_dst: Option<ArchReg>,
-    /// Architectural source registers, same provenance.
+    /// Architectural source registers.
     pub arch_srcs: [Option<ArchReg>; 2],
-    /// Destination rename: `(arch, new phys tag, old phys reg)`.
-    pub dst: Option<(ArchReg, Tag, PhysReg)>,
-    /// Source operand tags (filled at rename).
-    pub srcs: SrcTags,
     /// Memory byte address for loads/stores.
     pub mem_addr: Option<u64>,
     /// Branch details.
     pub branch: Option<BranchInfo>,
-    /// True once the execution cluster reported completion to the ROB's
-    /// domain (checked at commit; avoids a per-completion ROB search).
-    pub completed: bool,
-    /// Fetch timestamp (slip starts here).
-    pub fetched_at: Time,
-    /// Accumulated channel residency (the FIFO share of slip).
-    pub fifo_time: Time,
     /// True once this is the program's final instruction.
     pub is_exit: bool,
+    /// Fetch timestamp.
+    pub fetched_at: Time,
 }
 
-impl InFlight {
-    /// The execution cluster this instruction issues to.
-    pub fn cluster(&self) -> Cluster {
-        self.op.cluster()
-    }
+/// Everything retirement needs from the table, returned by
+/// [`InFlightTable::remove_retired`] in one probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetiredInstr {
+    /// Operation class.
+    pub op: OpClass,
+    /// Destination rename (release the old mapping).
+    pub dst: Option<DstRename>,
+    /// True for a wrong-path instruction (must never retire).
+    pub wrong_path: bool,
+    /// True for the program's final instruction.
+    pub is_exit: bool,
+    /// Fetch timestamp.
+    pub fetched_at: Time,
+    /// Accumulated channel residency.
+    pub fifo_time: Time,
 }
 
-/// The in-flight instruction table: a direct-mapped power-of-two ring
-/// indexed by sequence number.
+/// Per-slot hot flags, packed into one byte.
+mod flag {
+    pub const LIVE: u8 = 1 << 0;
+    pub const WRONG_PATH: u8 = 1 << 1;
+    pub const COMPLETED: u8 = 1 << 2;
+    pub const IS_EXIT: u8 = 1 << 3;
+    /// Correct-path branch the front end detected as mispredicted — kept
+    /// hot so writeback never touches the cold record unless it actually
+    /// launches a recovery.
+    pub const MISPREDICT: u8 = 1 << 4;
+}
+
+/// One slot's hot record: the fields the steady-state loop probes several
+/// times per instruction, packed into 32 bytes so a probe touches a single
+/// cache line. The generation lives here too — the staleness check and the
+/// field read share the load.
+#[derive(Debug, Clone, Copy)]
+struct HotEntry {
+    /// Sequence number (program order key; valid only for live slots).
+    seq: u64,
+    /// Slot generation, bumped at each removal.
+    gen: u32,
+    /// Op class.
+    op: OpClass,
+    /// `flag::*` bits; `LIVE` distinguishes occupied slots.
+    flags: u8,
+    /// Renamed source tags (filled at rename).
+    srcs: SrcTags,
+    /// Destination rename (filled at rename).
+    dst: Option<DstRename>,
+}
+
+const EMPTY_HOT: HotEntry = HotEntry {
+    seq: 0,
+    gen: 0,
+    op: OpClass::IntAlu,
+    flags: 0,
+    srcs: SrcTags {
+        tags: [Tag(0); 2],
+        len: 0,
+    },
+    dst: None,
+};
+
+/// The slab-backed in-flight instruction store (see the module docs).
 ///
 /// The pipeline probes this table around ten times per simulated
 /// instruction (fetch insert, decode pull, rename, dispatch, issue
-/// admission, writeback, completion, commit), which made a general
-/// `HashMap` the single largest cost on the hot path. Sequence numbers are
-/// dense and monotonically increasing, so `slot = seq & mask` with a stored
-/// seq check is an exact single-probe lookup with perfect spatial locality.
+/// admission, writeback, completion, commit); each probe is a direct slot
+/// index plus a generation compare into the packed hot record, touching
+/// the cold record only where the stage genuinely needs it.
 ///
-/// The capacity must exceed the live *sequence spread* (newest minus
-/// oldest live), not just the live count: wrong-path squash bursts consume
-/// sequence numbers while an old instruction blocks at the ROB head. The
-/// spread is workload-dependent, so the table rebuilds itself at double
-/// capacity whenever an insert would alias a live instruction — amortised
-/// O(1), and after warm-up the steady state never grows again.
+/// # Examples
+///
+/// ```
+/// use gals_core::inflight::{FetchedInstr, InFlightTable};
+/// use gals_events::Time;
+/// use gals_isa::OpClass;
+///
+/// let mut t = InFlightTable::with_capacity(8);
+/// let id = t.insert(FetchedInstr {
+///     seq: 7,
+///     pc: 28,
+///     op: OpClass::IntAlu,
+///     wrong_path: false,
+///     arch_dst: None,
+///     arch_srcs: [None, None],
+///     mem_addr: None,
+///     branch: None,
+///     is_exit: false,
+///     fetched_at: Time::ZERO,
+/// });
+/// assert_eq!(t.seq_of(id), Some(7));
+/// t.set_completed(id);
+/// assert!(t.is_completed(id));
+/// assert!(t.remove(id));
+/// assert_eq!(t.seq_of(id), None); // stale handle: refers to nothing
+/// ```
 #[derive(Debug)]
 pub struct InFlightTable {
-    slots: Box<[Option<InFlight>]>,
-    mask: u64,
+    /// Hot records, indexed by slot.
+    hot: Vec<HotEntry>,
+    /// Cold records, indexed by slot.
+    cold: Vec<InFlightCold>,
+    /// Recycled slot indices.
+    free: Vec<u32>,
     live: usize,
 }
 
@@ -191,25 +356,31 @@ pub struct InFlightTable {
 /// inserted but never committed or squashed), which is a simulator bug.
 const INFLIGHT_CAP_CEILING: usize = 1 << 24;
 
+const EMPTY_COLD: InFlightCold = InFlightCold {
+    pc: 0,
+    arch_dst: None,
+    arch_srcs: [None, None],
+    mem_addr: None,
+    branch: None,
+    fetched_at: Time::ZERO,
+    fifo_time: Time::ZERO,
+};
+
 impl InFlightTable {
-    /// A table able to hold an in-flight sequence spread of at least
-    /// `window` (rounded up to a power of two, minimum 256). The table
-    /// grows automatically if the workload's spread turns out larger.
-    pub fn with_window(window: usize) -> Self {
-        let cap = window.next_power_of_two().max(256);
+    /// A table pre-sized for `capacity` simultaneously live instructions
+    /// (it grows slot-by-slot beyond that, amortised O(1); the live count
+    /// is bounded by ROB + channel capacities, so a correctly sized table
+    /// never grows after construction).
+    pub fn with_capacity(capacity: usize) -> Self {
         InFlightTable {
-            slots: (0..cap).map(|_| None).collect(),
-            mask: cap as u64 - 1,
+            hot: vec![EMPTY_HOT; capacity],
+            cold: vec![EMPTY_COLD; capacity],
+            free: (0..capacity as u32).rev().collect(),
             live: 0,
         }
     }
 
-    #[inline]
-    fn idx(&self, seq: u64) -> usize {
-        (seq & self.mask) as usize
-    }
-
-    /// Number of live entries.
+    /// Number of live instructions.
     pub fn len(&self) -> usize {
         self.live
     }
@@ -221,90 +392,292 @@ impl InFlightTable {
 
     /// Current slot capacity.
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.hot.len()
     }
 
-    /// Inserts an instruction under its own sequence number, growing the
-    /// table if the sequence spread exceeds the current capacity.
+    /// Inserts a fetched instruction and returns its handle.
     ///
     /// # Panics
     ///
     /// Panics if growth passes `INFLIGHT_CAP_CEILING` (2²⁴ slots) —
     /// instructions are leaking, which indicates a simulator bug, never a
     /// user error.
-    pub fn insert(&mut self, inf: InFlight) {
-        let i = self.idx(inf.seq);
-        if self.slots[i].is_some() {
-            self.grow_for(inf);
-            return;
-        }
-        self.slots[i] = Some(inf);
+    pub fn insert(&mut self, f: FetchedInstr) -> InstrId {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                assert!(
+                    self.hot.len() < INFLIGHT_CAP_CEILING,
+                    "in-flight table grew past {INFLIGHT_CAP_CEILING} slots: instruction leak"
+                );
+                self.hot.push(EMPTY_HOT);
+                self.cold.push(EMPTY_COLD);
+                (self.hot.len() - 1) as u32
+            }
+        };
+        let i = slot as usize;
+        let mispredict = !f.wrong_path && f.branch.is_some_and(|b| b.mispredicted);
+        let h = &mut self.hot[i];
+        debug_assert_eq!(h.flags & flag::LIVE, 0, "free list returned a live slot");
+        h.seq = f.seq;
+        h.op = f.op;
+        h.flags = flag::LIVE
+            | if f.wrong_path { flag::WRONG_PATH } else { 0 }
+            | if f.is_exit { flag::IS_EXIT } else { 0 }
+            | if mispredict { flag::MISPREDICT } else { 0 };
+        h.srcs = SrcTags::new();
+        h.dst = None;
+        let gen = h.gen;
+        self.cold[i] = InFlightCold {
+            pc: f.pc,
+            arch_dst: f.arch_dst,
+            arch_srcs: f.arch_srcs,
+            mem_addr: f.mem_addr,
+            branch: f.branch,
+            fetched_at: f.fetched_at,
+            fifo_time: Time::ZERO,
+        };
         self.live += 1;
+        InstrId { slot, gen }
     }
 
-    /// Rebuilds at the smallest doubled capacity where every live sequence
-    /// number (plus the pending insert) maps to a distinct slot.
-    #[cold]
-    fn grow_for(&mut self, pending: InFlight) {
-        let mut entries: Vec<InFlight> = self.slots.iter_mut().filter_map(|s| s.take()).collect();
-        entries.push(pending);
-        let mut cap = self.slots.len();
-        loop {
-            cap *= 2;
-            assert!(
-                cap <= INFLIGHT_CAP_CEILING,
-                "in-flight table grew past {INFLIGHT_CAP_CEILING} slots: instruction leak"
-            );
-            let mask = cap as u64 - 1;
-            let mut used = vec![false; cap];
-            if entries.iter().all(|e| {
-                let i = (e.seq & mask) as usize;
-                !std::mem::replace(&mut used[i], true)
-            }) {
-                let mut slots: Box<[Option<InFlight>]> = (0..cap).map(|_| None).collect();
-                self.live = entries.len();
-                for e in entries {
-                    let i = (e.seq & mask) as usize;
-                    slots[i] = Some(e);
-                }
-                self.slots = slots;
-                self.mask = mask;
-                return;
-            }
+    /// The hot record of a live handle, or `None` if stale. The generation
+    /// check alone is sufficient: a removal bumps the slot's generation, so
+    /// a handle matching the current generation is necessarily the live
+    /// occupant (the `LIVE` flag exists for the `remove_younger` scan).
+    #[inline]
+    fn hot(&self, id: InstrId) -> Option<&HotEntry> {
+        let h = &self.hot[id.slot as usize];
+        debug_assert!(
+            h.gen != id.gen || h.flags & flag::LIVE != 0,
+            "generation matched a freed slot"
+        );
+        (h.gen == id.gen).then_some(h)
+    }
+
+    /// Mutable form of [`InFlightTable::hot`].
+    #[inline]
+    fn hot_mut(&mut self, id: InstrId) -> Option<&mut HotEntry> {
+        let h = &mut self.hot[id.slot as usize];
+        debug_assert!(
+            h.gen != id.gen || h.flags & flag::LIVE != 0,
+            "generation matched a freed slot"
+        );
+        (h.gen == id.gen).then_some(h)
+    }
+
+    /// Slot index of a live handle, or `None` if stale.
+    #[inline]
+    fn index(&self, id: InstrId) -> Option<usize> {
+        self.hot(id).map(|_| id.slot as usize)
+    }
+
+    /// True while the handle's instruction is live.
+    #[inline]
+    pub fn contains(&self, id: InstrId) -> bool {
+        self.hot(id).is_some()
+    }
+
+    /// Sequence number, or `None` for a stale handle.
+    #[inline]
+    pub fn seq_of(&self, id: InstrId) -> Option<u64> {
+        self.hot(id).map(|h| h.seq)
+    }
+
+    /// Op class, or `None` for a stale handle.
+    #[inline]
+    pub fn op_of(&self, id: InstrId) -> Option<OpClass> {
+        self.hot(id).map(|h| h.op)
+    }
+
+    /// The execution cluster the instruction issues to.
+    #[inline]
+    pub fn cluster_of(&self, id: InstrId) -> Option<Cluster> {
+        self.op_of(id).map(|op| op.cluster())
+    }
+
+    /// True if the instruction is live and was fetched on the wrong path.
+    #[inline]
+    pub fn is_wrong_path(&self, id: InstrId) -> bool {
+        self.hot(id)
+            .is_some_and(|h| h.flags & flag::WRONG_PATH != 0)
+    }
+
+    /// True if the instruction is live and has reported completion.
+    #[inline]
+    pub fn is_completed(&self, id: InstrId) -> bool {
+        self.hot(id).is_some_and(|h| h.flags & flag::COMPLETED != 0)
+    }
+
+    /// True if the instruction is live and is the program's exit.
+    #[inline]
+    pub fn is_exit(&self, id: InstrId) -> bool {
+        self.hot(id).is_some_and(|h| h.flags & flag::IS_EXIT != 0)
+    }
+
+    /// Marks completion (no-op on a stale handle).
+    #[inline]
+    pub fn set_completed(&mut self, id: InstrId) {
+        if let Some(h) = self.hot_mut(id) {
+            h.flags |= flag::COMPLETED;
         }
     }
 
-    /// The live instruction with this sequence number, if any.
+    /// One-probe completion absorption: adds the completion channel's
+    /// residency and sets the completed flag (stale no-op).
     #[inline]
-    pub fn get(&self, seq: u64) -> Option<&InFlight> {
-        self.slots[self.idx(seq)].as_ref().filter(|i| i.seq == seq)
+    pub fn complete_with_residency(&mut self, id: InstrId, residency: Time) {
+        if let Some(i) = self.index(id) {
+            self.hot[i].flags |= flag::COMPLETED;
+            self.cold[i].fifo_time += residency;
+        }
     }
 
-    /// Mutable access to the live instruction with this sequence number.
+    /// Renamed source tags (meaningful after rename).
     #[inline]
-    pub fn get_mut(&mut self, seq: u64) -> Option<&mut InFlight> {
-        let i = self.idx(seq);
-        self.slots[i].as_mut().filter(|inf| inf.seq == seq)
+    pub fn srcs_of(&self, id: InstrId) -> Option<SrcTags> {
+        self.hot(id).map(|h| h.srcs)
     }
 
-    /// Removes and returns the instruction, if live.
-    pub fn remove(&mut self, seq: u64) -> Option<InFlight> {
-        let i = self.idx(seq);
-        match &self.slots[i] {
-            Some(inf) if inf.seq == seq => {
+    /// Destination rename (meaningful after rename); `None` also for a
+    /// stale handle.
+    #[inline]
+    pub fn dst_of(&self, id: InstrId) -> Option<DstRename> {
+        self.hot(id).and_then(|h| h.dst)
+    }
+
+    /// Stores the rename results (no-op on a stale handle).
+    #[inline]
+    pub fn set_rename(&mut self, id: InstrId, srcs: SrcTags, dst: Option<DstRename>) {
+        if let Some(h) = self.hot_mut(id) {
+            h.srcs = srcs;
+            h.dst = dst;
+        }
+    }
+
+    /// The cold record, or `None` for a stale handle.
+    #[inline]
+    pub fn cold_of(&self, id: InstrId) -> Option<&InFlightCold> {
+        self.index(id).map(|i| &self.cold[i])
+    }
+
+    /// Adds channel residency to the instruction's FIFO-slip accumulator
+    /// (no-op on a stale handle). Returns `true` if the handle was live.
+    #[inline]
+    pub fn add_fifo_time(&mut self, id: InstrId, residency: Time) -> bool {
+        match self.index(id) {
+            Some(i) => {
+                self.cold[i].fifo_time += residency;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Architectural operands captured at fetch: `(dst, [src1, src2])`.
+    #[inline]
+    pub fn arch_ops_of(&self, id: InstrId) -> Option<(Option<ArchReg>, [Option<ArchReg>; 2])> {
+        self.index(id)
+            .map(|i| (self.cold[i].arch_dst, self.cold[i].arch_srcs))
+    }
+
+    /// One-probe rename view: `(seq, op, arch_dst, arch_srcs)`.
+    #[inline]
+    pub fn rename_view(&self, id: InstrId) -> Option<RenameView> {
+        let i = self.index(id)?;
+        let h = &self.hot[i];
+        let c = &self.cold[i];
+        Some((h.seq, h.op, c.arch_dst, c.arch_srcs))
+    }
+
+    /// One-probe writeback view: `(seq, dst rename, is-mispredicted)` —
+    /// hot record only; a recovery launch reads the cold record through
+    /// [`InFlightTable::recovery_pc_of`].
+    #[inline]
+    pub fn writeback_view(&self, id: InstrId) -> Option<(u64, Option<DstRename>, bool)> {
+        self.hot(id)
+            .map(|h| (h.seq, h.dst, h.flags & flag::MISPREDICT != 0))
+    }
+
+    /// Recovery target of a mispredicted branch (cold record).
+    #[inline]
+    pub fn recovery_pc_of(&self, id: InstrId) -> Option<u64> {
+        self.index(id)
+            .and_then(|i| self.cold[i].branch.map(|b| b.recovery_pc))
+    }
+
+    /// One-probe dispatch absorption: adds the channel residency to the
+    /// instruction's FIFO-slip accumulator and returns its `(seq, renamed
+    /// source tags)`. `None` (and no accumulation) for a stale handle.
+    #[inline]
+    pub fn absorb_dispatch(&mut self, id: InstrId, residency: Time) -> Option<(u64, SrcTags)> {
+        let i = self.index(id)?;
+        self.cold[i].fifo_time += residency;
+        let h = &self.hot[i];
+        Some((h.seq, h.srcs))
+    }
+
+    /// One-probe issue view: `(seq, op, wrong_path)`.
+    #[inline]
+    pub fn issue_view(&self, id: InstrId) -> Option<(u64, OpClass, bool)> {
+        self.hot(id)
+            .map(|h| (h.seq, h.op, h.flags & flag::WRONG_PATH != 0))
+    }
+
+    /// Memory byte address (cold record; loads/stores only).
+    #[inline]
+    pub fn mem_addr_of(&self, id: InstrId) -> Option<u64> {
+        self.index(id).and_then(|i| self.cold[i].mem_addr)
+    }
+
+    /// Removes the instruction at commit, returning everything retirement
+    /// needs in one probe. `None` for a stale handle.
+    pub fn remove_retired(&mut self, id: InstrId) -> Option<RetiredInstr> {
+        let i = self.index(id)?;
+        let h = &mut self.hot[i];
+        let retired = RetiredInstr {
+            op: h.op,
+            dst: h.dst,
+            wrong_path: h.flags & flag::WRONG_PATH != 0,
+            is_exit: h.flags & flag::IS_EXIT != 0,
+            fetched_at: self.cold[i].fetched_at,
+            fifo_time: self.cold[i].fifo_time,
+        };
+        h.flags = 0;
+        h.gen = h.gen.wrapping_add(1);
+        self.free.push(id.slot);
+        self.live -= 1;
+        Some(retired)
+    }
+
+    /// Removes the instruction, freeing its slot for reuse. Returns `false`
+    /// for a stale handle.
+    pub fn remove(&mut self, id: InstrId) -> bool {
+        match self.hot_mut(id) {
+            Some(h) => {
+                h.flags = 0;
+                h.gen = h.gen.wrapping_add(1);
+                self.free.push(id.slot);
                 self.live -= 1;
-                self.slots[i].take()
+                true
             }
-            _ => None,
+            None => false,
         }
     }
 
-    /// Removes every live instruction with `seq` in `(older_than, upto)`
-    /// (exclusive / exclusive) — the squash shape: everything younger than
-    /// the mispredicted branch, bounded by the next unallocated sequence.
-    pub fn remove_younger(&mut self, older_than: u64, upto: u64) {
-        for seq in older_than + 1..upto {
-            self.remove(seq);
+    /// Removes every live instruction with `seq > older_than` — the squash
+    /// shape: everything younger than the mispredicted branch. The scan is
+    /// O(capacity), and the capacity tracks the peak live count (a few
+    /// hundred hot records, a handful of cache lines), so recovery stays
+    /// cheap and allocation-free.
+    pub fn remove_younger(&mut self, older_than: u64) {
+        for (i, h) in self.hot.iter_mut().enumerate() {
+            if h.flags & flag::LIVE != 0 && h.seq > older_than {
+                h.flags = 0;
+                h.gen = h.gen.wrapping_add(1);
+                self.free.push(i as u32);
+                self.live -= 1;
+            }
         }
     }
 }
@@ -312,7 +685,9 @@ impl InFlightTable {
 /// A fetch-redirect message (mispredicted branch resolved).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Redirect {
-    /// Sequence number of the mispredicted branch.
+    /// Handle of the mispredicted branch (for slip attribution).
+    pub branch: InstrId,
+    /// Sequence number of the mispredicted branch (the squash bound).
     pub branch_seq: u64,
     /// PC fetch must resume from.
     pub target_pc: u64,
@@ -322,68 +697,109 @@ pub struct Redirect {
 mod tests {
     use super::*;
 
-    fn dummy(seq: u64) -> InFlight {
-        InFlight {
+    fn dummy(seq: u64) -> FetchedInstr {
+        FetchedInstr {
             seq,
             pc: seq * 4,
             op: OpClass::IntAlu,
             wrong_path: false,
             arch_dst: None,
             arch_srcs: [None, None],
-            dst: None,
-            srcs: SrcTags::new(),
             mem_addr: None,
             branch: None,
-            completed: false,
-            fetched_at: Time::ZERO,
-            fifo_time: Time::ZERO,
             is_exit: false,
+            fetched_at: Time::ZERO,
         }
     }
 
     #[test]
     fn inflight_table_round_trips() {
-        let mut t = InFlightTable::with_window(8);
+        let mut t = InFlightTable::with_capacity(8);
         assert!(t.is_empty());
-        t.insert(dummy(5));
-        t.insert(dummy(6));
+        let a = t.insert(dummy(5));
+        let b = t.insert(dummy(6));
         assert_eq!(t.len(), 2);
-        assert_eq!(t.get(5).map(|i| i.pc), Some(20));
-        assert!(t.get(7).is_none());
-        t.get_mut(6).unwrap().completed = true;
-        assert!(t.get(6).unwrap().completed);
-        assert_eq!(t.remove(5).map(|i| i.seq), Some(5));
-        assert_eq!(t.remove(5).map(|i| i.seq), None);
+        assert_eq!(t.cold_of(a).map(|c| c.pc), Some(20));
+        assert_eq!(t.seq_of(b), Some(6));
+        t.set_completed(b);
+        assert!(t.is_completed(b));
+        assert!(!t.is_completed(a));
+        assert!(t.remove(a));
+        assert!(!t.remove(a), "double remove is a stale no-op");
         assert_eq!(t.len(), 1);
+        assert_eq!(t.seq_of(a), None);
     }
 
     #[test]
-    fn inflight_table_grows_on_sequence_spread() {
-        let mut t = InFlightTable::with_window(8);
-        let initial_cap = t.capacity();
-        // Two live seqs whose spread exceeds any initial capacity.
-        t.insert(dummy(1));
-        t.insert(dummy(1 + initial_cap as u64)); // aliases slot of seq 1
-        assert!(t.capacity() > initial_cap);
-        assert_eq!(t.len(), 2);
-        assert_eq!(t.get(1).map(|i| i.seq), Some(1));
-        assert_eq!(
-            t.get(1 + initial_cap as u64).map(|i| i.seq),
-            Some(1 + initial_cap as u64)
-        );
+    fn stale_handles_survive_slot_reuse() {
+        let mut t = InFlightTable::with_capacity(1);
+        let a = t.insert(dummy(1));
+        t.remove(a);
+        let b = t.insert(dummy(2));
+        // `b` reuses `a`'s slot; the generation check keeps them distinct.
+        assert_ne!(a, b);
+        assert_eq!(t.seq_of(a), None);
+        assert!(!t.is_completed(a));
+        t.set_completed(a); // stale no-op
+        assert!(!t.is_completed(b));
+        assert_eq!(t.seq_of(b), Some(2));
     }
 
     #[test]
-    fn inflight_table_remove_younger_squashes_range() {
-        let mut t = InFlightTable::with_window(8);
-        for seq in 0..10 {
-            t.insert(dummy(seq));
+    fn table_grows_past_its_initial_capacity() {
+        let mut t = InFlightTable::with_capacity(2);
+        let ids: Vec<InstrId> = (0..10).map(|s| t.insert(dummy(s))).collect();
+        assert_eq!(t.len(), 10);
+        assert!(t.capacity() >= 10);
+        for (s, id) in ids.iter().enumerate() {
+            assert_eq!(t.seq_of(*id), Some(s as u64));
         }
-        t.remove_younger(3, 10);
+    }
+
+    #[test]
+    fn remove_younger_squashes_by_sequence() {
+        let mut t = InFlightTable::with_capacity(8);
+        let ids: Vec<InstrId> = (0..10).map(|s| t.insert(dummy(s))).collect();
+        t.remove_younger(3);
         assert_eq!(t.len(), 4);
-        assert!(t.get(3).is_some());
-        assert!(t.get(4).is_none());
-        assert!(t.get(9).is_none());
+        assert!(t.contains(ids[3]));
+        assert!(!t.contains(ids[4]));
+        assert!(!t.contains(ids[9]));
+    }
+
+    #[test]
+    fn rename_fields_are_stored_on_the_hot_side() {
+        let mut t = InFlightTable::with_capacity(4);
+        let id = t.insert(dummy(3));
+        let mut srcs = SrcTags::new();
+        srcs.push(Tag(17));
+        let dst = Some((ArchReg::int(1), Tag(40), PhysReg(9)));
+        t.set_rename(id, srcs, dst);
+        assert_eq!(
+            t.srcs_of(id).unwrap().iter().collect::<Vec<_>>(),
+            vec![Tag(17)]
+        );
+        assert_eq!(t.dst_of(id), dst);
+    }
+
+    #[test]
+    fn fifo_time_accumulates_in_the_cold_record() {
+        let mut t = InFlightTable::with_capacity(4);
+        let id = t.insert(dummy(3));
+        assert!(t.add_fifo_time(id, Time::from_ns(2)));
+        assert!(t.add_fifo_time(id, Time::from_ns(1)));
+        assert_eq!(t.cold_of(id).unwrap().fifo_time, Time::from_ns(3));
+        t.remove(id);
+        assert!(!t.add_fifo_time(id, Time::from_ns(1)));
+    }
+
+    #[test]
+    fn instr_id_bits_round_trip() {
+        let id = InstrId {
+            slot: 123,
+            gen: 456,
+        };
+        assert_eq!(InstrId::from_bits(id.bits()), id);
     }
 
     #[test]

@@ -30,19 +30,28 @@
 //! assert!(gals.exec_time > base.exec_time);
 //! ```
 
-#![forbid(unsafe_code)]
+// The counting global allocator (`bench` feature) is the one place that
+// needs `unsafe` (the `GlobalAlloc` trait contract); everything else stays
+// forbidden either way.
+#![cfg_attr(not(feature = "bench"), forbid(unsafe_code))]
+#![cfg_attr(feature = "bench", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 mod advisor;
+#[cfg(feature = "bench")]
+pub mod alloc_counter;
 mod config;
-mod inflight;
+pub mod inflight;
 mod pipeline;
 mod report;
 mod sim;
 
 pub use advisor::{AdvisorConfig, DomainUtilisation, DvfsAdvisor};
 pub use config::{Clocking, DvfsPlan, ProcessorConfig, SimLimits};
-pub use inflight::{BranchInfo, InFlight, InFlightTable, Redirect, SrcTags, Tag};
+pub use inflight::{
+    BranchInfo, FetchedInstr, InFlightCold, InFlightTable, InstrId, Redirect, RetiredInstr,
+    SrcTags, Tag,
+};
 pub use pipeline::Pipeline;
 pub use report::{DomainCycles, SimReport};
 pub use sim::{simulate, simulate_with_engine};

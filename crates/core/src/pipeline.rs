@@ -19,6 +19,27 @@
 //! behaviour is byte-identical between the two models, which is what makes
 //! the paper's comparison meaningful.
 //!
+//! ## The handle-based instruction store
+//!
+//! Instruction state lives once, in the slab-backed [`InFlightTable`];
+//! everything that flows between stages — the decode buffer, the ROB, the
+//! issue-queue tokens, every inter-domain channel — is an 8-byte
+//! [`InstrId`] handle. See `crate::inflight` for the hot/cold
+//! struct-of-arrays layout and the stale-handle semantics.
+//!
+//! ## Quiescence and idle-tick elision
+//!
+//! [`Pipeline::quiescent`] reports when a domain's next tick is provably a
+//! pure *idle tick* — advancing only its cycle counter, idle energy and
+//! occupancy samples, all of which [`Pipeline::replay_idle`] can apply
+//! later in bulk, bit-identically. The `ClockSet` driver in `crate::sim`
+//! uses this to park quiescent domain clocks and fast-forward them to the
+//! next wake event; [`Pipeline::take_wake_mask`] surfaces the wake edges
+//! (channel pushes into the domain, a fetch-side L2 touch for the memory
+//! cluster). The general-engine oracle never elides, and the differential
+//! tests pin that the two reports stay bit-identical — see the idle-tick
+//! elision contract in `gals_events`.
+//!
 //! ## Modelling notes (divergences from RTL truth)
 //!
 //! * Branch predictor training happens at fetch (immediate update) rather
@@ -41,7 +62,9 @@ use gals_power::{MacroBlock, PowerAccountant};
 use gals_uarch::{BranchPredictor, Cache, FuPool, IssueQueue, RenameUnit, Rob, StoreBuffer};
 
 use crate::config::{Clocking, ProcessorConfig, SimLimits};
-use crate::inflight::{BranchInfo, InFlight, InFlightTable, Redirect, SrcTags, Tag, TAG_SPACE};
+use crate::inflight::{
+    BranchInfo, FetchedInstr, InFlightTable, InstrId, Redirect, SrcTags, Tag, TAG_SPACE,
+};
 use crate::report::SimReport;
 
 /// Salt mixed into wrong-path memory-address hashing so speculative loads
@@ -55,37 +78,68 @@ const CLUSTER_DOMAINS: [Domain; 3] = [Domain::IntCluster, Domain::FpCluster, Dom
 /// writeback broadcast (bits 0..=2 hold per-cluster consumer interest).
 const WAKEUP_DONE: u8 = 1 << 7;
 
+/// A `TAG_SPACE`-wide bitset: cluster-local operand availability packed
+/// 64 tags per word (two cache lines instead of a 1 KB byte array — the
+/// rename stage writes one bit in every cluster's view per destination,
+/// so density matters).
+struct ReadyBits([u64; TAG_SPACE / 64]);
+
+impl ReadyBits {
+    fn all_ready() -> Self {
+        ReadyBits([u64::MAX; TAG_SPACE / 64])
+    }
+
+    #[inline]
+    fn get(&self, idx: usize) -> bool {
+        self.0[idx >> 6] & (1 << (idx & 63)) != 0
+    }
+
+    #[inline]
+    fn set(&mut self, idx: usize) {
+        self.0[idx >> 6] |= 1 << (idx & 63);
+    }
+
+    #[inline]
+    fn clear(&mut self, idx: usize) {
+        self.0[idx >> 6] &= !(1 << (idx & 63));
+    }
+}
+
 /// One execution cluster (domains 3, 4, 5).
 struct ClusterState {
     domain: Domain,
     iq: IssueQueue,
     fus: FuPool,
     /// Cluster-local operand availability, indexed by `Tag::index`.
-    ready: Vec<bool>,
-    /// `(done_at_local_cycle, seq)` of instructions in execution.
-    executing: Vec<(u64, u64)>,
+    ready: ReadyBits,
+    /// `(done_at_local_cycle, seq, id)` of instructions in execution.
+    executing: Vec<(u64, u64, InstrId)>,
     /// Local cycle counter.
     cycle: u64,
-    /// Per-tick scratch: sequence numbers finishing execution this cycle.
-    /// Hoisted out of `tick_cluster` so the steady-state path allocates
-    /// nothing.
-    finished_scratch: Vec<u64>,
+    /// Per-tick scratch: instructions finishing execution this cycle,
+    /// `(seq, id)`. Hoisted out of `tick_cluster` so the steady-state path
+    /// allocates nothing.
+    finished_scratch: Vec<(u64, InstrId)>,
     /// Per-tick scratch: tokens picked by issue selection.
     picked_scratch: Vec<u64>,
-    /// Per-tick scratch: `(seq, latency)` of admitted instructions.
-    latency_scratch: Vec<(u64, u64)>,
+    /// Per-tick scratch: `(token, seq, latency)` of admitted instructions.
+    latency_scratch: Vec<(u64, u64, u64)>,
 }
 
 impl ClusterState {
-    fn new(domain: Domain, iq_size: usize, fu_count: u32) -> Self {
+    fn new(domain: Domain, iq_size: usize, fu_count: u32, rob_size: usize) -> Self {
         ClusterState {
             domain,
             iq: IssueQueue::new(iq_size),
             fus: FuPool::new(fu_count),
-            ready: vec![true; TAG_SPACE],
-            executing: Vec::new(),
+            ready: ReadyBits::all_ready(),
+            // In-flight executions are bounded by the ROB (everything
+            // executing holds a ROB entry); sizing to that bound keeps the
+            // steady-state loop allocation-free even when a burst of
+            // long-latency misses piles up.
+            executing: Vec::with_capacity(rob_size),
             cycle: 0,
-            finished_scratch: Vec::with_capacity(2 * fu_count as usize),
+            finished_scratch: Vec::with_capacity(rob_size),
             picked_scratch: Vec::with_capacity(2 * fu_count as usize),
             latency_scratch: Vec::with_capacity(2 * fu_count as usize),
         }
@@ -111,16 +165,19 @@ pub struct Pipeline<'p> {
     icache: Cache,
     bpred: BranchPredictor,
     icache_stall: u32,
+    /// `log2(l1i line bytes)` — the per-fetch line-boundary check is a
+    /// shift, not a division.
+    l1i_line_shift: u32,
 
     // ---- decode/rename/commit (domain 2) ----
-    decode_buf: VecDeque<u64>,
+    decode_buf: VecDeque<InstrId>,
     rename: RenameUnit,
     /// Enforces program order only: completion is tracked on the in-flight
-    /// table (`InFlight::completed`), so `Rob::complete`/`RobStatus` are
+    /// table (the `completed` hot flag), so `Rob::complete`/`RobStatus` are
     /// deliberately not driven here — the head is popped with
     /// [`Rob::pop_head`] once its in-flight entry reports complete. Do not
     /// read this ROB's per-entry status.
-    rob: Rob<u64>,
+    rob: Rob<InstrId>,
     decode_cycle: u64,
 
     // ---- clusters (domains 3, 4, 5) ----
@@ -131,9 +188,9 @@ pub struct Pipeline<'p> {
     l2_touched: bool,
 
     // ---- channels ----
-    ch_fetch_decode: Channel<u64>,
-    ch_dispatch: [Channel<u64>; 3],
-    ch_complete: [Channel<u64>; 3],
+    ch_fetch_decode: Channel<InstrId>,
+    ch_dispatch: [Channel<InstrId>; 3],
+    ch_complete: [Channel<InstrId>; 3],
     /// Wakeup tag channels `[from][to]` (diagonal unused).
     ch_wakeup: [[Channel<Tag>; 3]; 3],
     ch_redirect: Channel<Redirect>,
@@ -147,8 +204,10 @@ pub struct Pipeline<'p> {
     committed: u64,
     fetched: u64,
     wrong_path_fetched: u64,
-    /// Reusable recovery scratch for the ROB/IQ squash walks, so branch
+    /// Reusable recovery scratch for the ROB squash walk, so branch
     /// recovery allocates nothing even under branchy sweep workloads.
+    rob_squash_scratch: Vec<InstrId>,
+    /// Reusable recovery scratch for the IQ squash walks (opaque tokens).
     squash_scratch: Vec<u64>,
     slip_total: Time,
     slip_fifo: Time,
@@ -189,9 +248,58 @@ pub struct Pipeline<'p> {
     wakeup_interest: Box<[u8]>,
     halted: bool,
     last_commit_time: Time,
+    /// Precomputed watchdog window (`max domain period × watchdog_cycles`);
+    /// `Time::MAX` disables (the per-tick check is a compare, not a scan).
+    watchdog_span: Time,
     fetch_cycles: u64,
     pub(crate) accountant: PowerAccountant,
     now: Time,
+
+    // ---- idle-tick elision (ClockSet driver only; see module docs) ----
+    /// Domains whose parked clock must wake now, as a `1 << Domain::index`
+    /// mask. Raised by channel pushes into the domain and by the fetch-side
+    /// L2 touch; drained by the driver after every tick.
+    wake_mask: u8,
+    /// Domains whose tick just ended quiescent, as a `1 << Domain::index`
+    /// mask: each tick re-evaluates its own cheap quiescence conditions on
+    /// the way out (the activity flags are already at hand), so the driver
+    /// parks on the first idle tick instead of polling
+    /// [`Pipeline::quiescent`].
+    quiesced_mask: u8,
+    /// Driver-maintained mirror of which domain clocks are parked.
+    parked: [bool; 5],
+    /// Why fetch parked (see [`Pipeline::set_parked`]): `true` when it was
+    /// blocked on a full fetch→decode channel, so elided ticks replay as
+    /// repeated I-cache hits instead of idle cycles.
+    fetch_park_blocked: bool,
+    /// ROB and RAT occupancies frozen when decode parked: the elided
+    /// decode ticks sample these values (a recovery squash in the very
+    /// instant decode is woken mutates both, but strictly after every
+    /// elided tick).
+    decode_park_occ: (usize, u32),
+    /// Per-channel cursors over a *parked* cluster's virtual edge grid —
+    /// `[from][to]`, the next edge at or after the channel's last replayed
+    /// wakeup pop. Each channel's pops replay in time order (cross-channel
+    /// interleaving is irrelevant: only the per-pop edge matters), so
+    /// advancing a cursor by whole periods replaces a ceiling division
+    /// per pop.
+    virtual_edge: [[Time; 3]; 3],
+    /// Fetch-side L2 touches charged while the memory cluster is parked:
+    /// the number of distinct (elided) memory-cluster edges that would
+    /// have consumed the `l2_touched` flag, and the last such edge. The
+    /// accountant is count-based, so replaying these as active-L2 cycles
+    /// at unpark is bit-identical to the unelided schedule (see
+    /// `replay_idle`).
+    parked_l2_charges: u64,
+    parked_l2_last_edge: Time,
+    /// Per-domain `(first edge, period)` when the clock grids are static
+    /// (synchronous and FIFO-GALS machines); `None` under pausible
+    /// clocking, whose stretches shift the grids. A static grid lets a
+    /// *parked* cluster keep absorbing broadcast wakeup tags exactly: the
+    /// elided pop times are computable, so tag pops are replayed at decode
+    /// ticks (before any rename touches the ready bits) instead of waking
+    /// the cluster — see [`Pipeline::catch_up_parked_wakeups`].
+    static_grid: Option<[(Time, Time); 5]>,
 }
 
 impl<'p> Pipeline<'p> {
@@ -204,13 +312,13 @@ impl<'p> Pipeline<'p> {
         cfg.validate()
             .unwrap_or_else(|e| panic!("invalid processor configuration: {e}"));
         let u = &cfg.uarch;
-        let mk_data_channel = |from: Domain, to: Domain, cap: usize| -> Channel<u64> {
+        let mk_data_channel = |from: Domain, to: Domain, cap: usize| -> Channel<InstrId> {
             Self::make_channel(&cfg, from, to, cap)
         };
         let clusters = [
-            ClusterState::new(Domain::IntCluster, u.int_iq_size, u.int_alus),
-            ClusterState::new(Domain::FpCluster, u.fp_iq_size, u.fp_alus),
-            ClusterState::new(Domain::MemCluster, u.mem_iq_size, u.mem_ports),
+            ClusterState::new(Domain::IntCluster, u.int_iq_size, u.int_alus, u.rob_size),
+            ClusterState::new(Domain::FpCluster, u.fp_iq_size, u.fp_alus, u.rob_size),
+            ClusterState::new(Domain::MemCluster, u.mem_iq_size, u.mem_ports, u.rob_size),
         ];
         let ch_dispatch = std::array::from_fn(|i| {
             mk_data_channel(Domain::Decode, CLUSTER_DOMAINS[i], cfg.channel_capacity)
@@ -247,6 +355,13 @@ impl<'p> Pipeline<'p> {
         let mut stream = DynStream::new(program);
         let peeked = stream.next();
         let fetch_pc = peeked.as_ref().map_or(EXIT_PC, |d| d.pc);
+        let static_grid = match &cfg.clocking {
+            Clocking::Pausible { .. } => None,
+            _ => Some(std::array::from_fn(|i| {
+                let clock = cfg.clocking.domain_clock(Domain::ALL[i]);
+                (clock.phase, clock.period)
+            })),
+        };
 
         Pipeline {
             ch_fetch_decode: mk_data_channel(Domain::Fetch, Domain::Decode, cfg.channel_capacity),
@@ -262,6 +377,7 @@ impl<'p> Pipeline<'p> {
             icache: Cache::new(u.l1i),
             bpred: BranchPredictor::new(u.bpred),
             icache_stall: 0,
+            l1i_line_shift: u.l1i.line_bytes.trailing_zeros(),
             decode_buf: VecDeque::with_capacity(2 * u.decode_width as usize),
             rename: RenameUnit::new(u.int_phys_regs, u.fp_phys_regs, u.max_branches),
             rob: Rob::new(u.rob_size),
@@ -271,7 +387,7 @@ impl<'p> Pipeline<'p> {
             dcache: Cache::new(u.l1d),
             l2: Cache::new(u.l2),
             l2_touched: false,
-            inflight: InFlightTable::with_window(
+            inflight: InFlightTable::with_capacity(
                 u.rob_size
                     + 2 * u.decode_width as usize
                     + cfg.channel_capacity
@@ -283,7 +399,8 @@ impl<'p> Pipeline<'p> {
             committed: 0,
             fetched: 0,
             wrong_path_fetched: 0,
-            squash_scratch: Vec::new(),
+            rob_squash_scratch: Vec::with_capacity(u.rob_size),
+            squash_scratch: Vec::with_capacity(u.int_iq_size.max(u.fp_iq_size).max(u.mem_iq_size)),
             slip_total: Time::ZERO,
             slip_fifo: Time::ZERO,
             store_forwards_total: 0,
@@ -301,6 +418,11 @@ impl<'p> Pipeline<'p> {
             wakeup_interest: vec![0u8; TAG_SPACE].into_boxed_slice(),
             halted: false,
             last_commit_time: Time::ZERO,
+            watchdog_span: if limits.watchdog_cycles > 0 {
+                cfg.clocking.max_period() * limits.watchdog_cycles
+            } else {
+                Time::MAX
+            },
             fetch_cycles: 0,
             accountant,
             stream,
@@ -313,6 +435,15 @@ impl<'p> Pipeline<'p> {
             cfg,
             limits,
             now: Time::ZERO,
+            wake_mask: 0,
+            quiesced_mask: 0,
+            parked: [false; 5],
+            fetch_park_blocked: false,
+            decode_park_occ: (0, 0),
+            virtual_edge: [[Time::ZERO; 3]; 3],
+            parked_l2_charges: 0,
+            parked_l2_last_edge: Time::MAX,
+            static_grid,
         }
     }
 
@@ -328,6 +459,16 @@ impl<'p> Pipeline<'p> {
             // with both clocks held, so the channel is an ordinary latch and
             // the cost is paid as clock stretch (see `note_transfer`).
             Clocking::Pausible { .. } => Channel::sync_latch(cap),
+        }
+    }
+
+    /// Raises the wake edge of a domain. Gated on the domain actually
+    /// being parked, so the steady-state (nothing parked) cost is one
+    /// predictable branch and the driver's wake drain stays empty.
+    #[inline]
+    fn note_wake(&mut self, domain: Domain) {
+        if self.parked[domain.index()] {
+            self.wake_mask |= 1 << domain.index();
         }
     }
 
@@ -384,6 +525,24 @@ impl<'p> Pipeline<'p> {
         Some(std::mem::take(&mut self.pending_stretch))
     }
 
+    /// Drains the wake edges raised since the last call, as a
+    /// `1 << Domain::index` mask. The `ClockSet` driver unparks (and
+    /// back-fills, via [`Pipeline::replay_idle`]) any parked domain whose
+    /// bit is set; bits for running domains are meaningless and ignored.
+    #[inline]
+    pub fn take_wake_mask(&mut self) -> u8 {
+        std::mem::take(&mut self.wake_mask)
+    }
+
+    /// Drains the quiescent-tick reports raised since the last call, as a
+    /// `1 << Domain::index` mask (see `quiesced_mask`). A set bit means
+    /// the domain's most recent tick ended with [`Pipeline::quiescent`]
+    /// true — the driver may park its clock.
+    #[inline]
+    pub fn take_quiesced_mask(&mut self) -> u8 {
+        std::mem::take(&mut self.quiesced_mask)
+    }
+
     /// True once the run is finished (instruction budget met or program
     /// fully drained).
     pub fn done(&self) -> bool {
@@ -393,6 +552,353 @@ impl<'p> Pipeline<'p> {
     /// Committed instructions so far.
     pub fn committed(&self) -> u64 {
         self.committed
+    }
+
+    // ------------------------------------------------------------------
+    // Quiescence, parking and idle-tick replay (ClockSet driver support)
+    // ------------------------------------------------------------------
+
+    /// True when `domain`'s next tick is provably a pure idle tick — and
+    /// will stay one until a wake edge ([`Pipeline::take_wake_mask`])
+    /// arrives from another domain. The driver may then park the domain's
+    /// clock and later replay the elided ticks with
+    /// [`Pipeline::replay_idle`].
+    ///
+    /// This is the conservative core predicate. The actual park decisions
+    /// come from each tick's own quiescence report
+    /// ([`Pipeline::take_quiesced_mask`]): the fetch and cluster ticks
+    /// report exactly this predicate, while the decode tick reports a
+    /// *wider* condition — it may also park with a non-empty ROB or
+    /// decode buffer when this tick did nothing and the stalled rename
+    /// head waits on a resource only another domain's (wake-raising)
+    /// push or pop can release; see `decode_stall_is_external` in
+    /// `tick_decode`.
+    ///
+    /// The conditions here are conservative by construction:
+    ///
+    /// * every domain: no pending (undrained) pausible stretch;
+    /// * fetch: no redirect in flight, no I-cache fill counting down, and
+    ///   nothing to fetch (front end halted, recovery pending, or the
+    ///   cursor parked at the exit sentinel) — a fetch stalled on a *full*
+    ///   output channel still probes the I-cache every cycle, so it is
+    ///   never quiescent;
+    /// * decode: ROB, decode buffer and every inbound channel empty;
+    /// * clusters: issue queue, execution list and inbound dispatch
+    ///   channel empty — plus, for the memory cluster, no store-buffer
+    ///   residue and no pending fetch-side L2 touch. Inbound *wakeup-tag*
+    ///   channels must also be empty under pausible clocking; with static
+    ///   clock grids the elided tag pops are replayed exactly instead
+    ///   (see `Pipeline::catch_up_parked_wakeups`).
+    pub fn quiescent(&self, domain: Domain) -> bool {
+        if self.pending_stretch[domain.index()] > Time::ZERO {
+            return false;
+        }
+        match domain {
+            Domain::Fetch => {
+                let pc = if self.wrong_path {
+                    self.wrong_pc
+                } else {
+                    self.fetch_pc
+                };
+                self.ch_redirect.is_empty()
+                    && self.icache_stall == 0
+                    && (self.fetch_halted
+                        || self.pending_recovery.is_some()
+                        || pc == EXIT_PC
+                        // Blocked on a full output channel: occupancy alone
+                        // blocks the producer (no full-flag sync can clear
+                        // without a pop, which wakes us), and each blocked
+                        // tick is a repeated same-line I-cache hit — pure,
+                        // replayable activity as long as the line is
+                        // resident.
+                        || (self.ch_fetch_decode.len() >= self.ch_fetch_decode.capacity()
+                            && self.icache.probe(pc)))
+            }
+            Domain::Decode => {
+                self.rob.is_empty()
+                    && self.decode_buf.is_empty()
+                    && self.ch_fetch_decode.is_empty()
+                    && self.ch_complete.iter().all(|c| c.is_empty())
+            }
+            Domain::IntCluster | Domain::FpCluster | Domain::MemCluster => {
+                let ci = domain.index() - 2;
+                let cl = &self.clusters[ci];
+                cl.iq.is_empty()
+                    && cl.executing.is_empty()
+                    && self.ch_dispatch[ci].is_empty()
+                    && (self.static_grid.is_some()
+                        || (0..3).all(|from| from == ci || self.ch_wakeup[from][ci].is_empty()))
+                    && (ci != 2 || (!self.l2_touched && self.store_buffer.is_empty()))
+            }
+        }
+    }
+
+    /// Records that the driver parked / unparked `domain`'s clock (the
+    /// pipeline needs the mirror to route broadcast wakeup tags around a
+    /// parked cluster — see `Pipeline::catch_up_parked_wakeups`).
+    pub fn set_parked(&mut self, domain: Domain, parked: bool) {
+        self.parked[domain.index()] = parked;
+        if parked && domain.index() >= 2 {
+            if let Some(grids) = self.static_grid {
+                // First elided edge: parking happens at the cluster's own
+                // tick, so its next edge is strictly after `now`.
+                let (phase, period) = grids[domain.index()];
+                let first = grid_ceil(phase, period, self.now + Time::from_fs(1));
+                let ci = domain.index() - 2;
+                for from in 0..3 {
+                    self.virtual_edge[from][ci] = first;
+                }
+            }
+        }
+        if domain == Domain::Decode && parked {
+            self.decode_park_occ = (
+                self.rob.len(),
+                self.rename.int_occupancy() + self.rename.fp_occupancy(),
+            );
+        }
+        if domain == Domain::Fetch && parked {
+            // Remember *why* fetch parked: a fetch blocked on a full
+            // output channel replays active (repeat-hit) I-cache cycles,
+            // an empty front end replays idle ones. The state this reads
+            // cannot change while the clock is parked.
+            let pc = if self.wrong_path {
+                self.wrong_pc
+            } else {
+                self.fetch_pc
+            };
+            self.fetch_park_blocked =
+                !(self.fetch_halted || self.pending_recovery.is_some() || pc == EXIT_PC);
+        }
+    }
+
+    /// Number of fetch ticks that are provably pure I-cache-fill countdown
+    /// — the whole remaining stall, when no redirect can arrive during it
+    /// (no misprediction is outstanding, so nothing can be pushed into the
+    /// redirect channel). The driver may skip that many fetch edges
+    /// wholesale and apply them through [`Pipeline::replay_fetch_stall`];
+    /// each skipped tick would only have decremented the stall counter and
+    /// charged one active-I-cache cycle. Returns 0 when the next fetch
+    /// tick does anything else.
+    pub fn fetch_stall_skip(&self) -> u32 {
+        if self.icache_stall > 1
+            && !self.wrong_path
+            && self.pending_recovery.is_none()
+            && self.ch_redirect.is_empty()
+            && self.pending_stretch[Domain::Fetch.index()] == Time::ZERO
+        {
+            // Leave the final countdown tick to run live: it is the edge
+            // whose successor resumes real fetching, and running it keeps
+            // the skip logic trivially off the resume path.
+            self.icache_stall - 1
+        } else {
+            0
+        }
+    }
+
+    /// Applies `ticks` skipped I-cache-stall fetch ticks in O(1): the
+    /// stall counter advances and each tick charges exactly what the live
+    /// countdown tick charges (domain + global grids, *active* I-cache,
+    /// idle branch predictor). Exact-integer counts, so the bulk
+    /// application is bit-identical to the live schedule.
+    pub fn replay_fetch_stall(&mut self, ticks: u32) {
+        if ticks == 0 {
+            return;
+        }
+        debug_assert!(ticks < self.icache_stall, "skip must leave a live tick");
+        self.icache_stall -= ticks;
+        let n = u64::from(ticks);
+        self.fetch_cycles += n;
+        self.accountant.tick_domain_n(Domain::Fetch, n);
+        if self.cfg.clocking.is_synchronous() {
+            self.accountant.tick_global_n(n);
+        }
+        self.accountant.block_cycles_n(MacroBlock::ICache, true, n);
+        self.accountant
+            .block_cycles_n(MacroBlock::BranchPredictor, false, n);
+    }
+
+    /// Replays `ticks` elided idle ticks of a parked domain in O(1):
+    /// exactly the counter, idle-energy and occupancy-sample updates the
+    /// real ticks would have performed while the domain was quiescent.
+    /// All of these are exact integer counts (the accountant defers the
+    /// energy arithmetic to report time), so the bulk application is
+    /// bit-identical to the unelided schedule.
+    ///
+    /// `next_edge` is the first edge that will dispatch live (from
+    /// `ClockSet::unpark`/`drain_parked`): the memory cluster uses it to
+    /// decide whether the last deferred fetch-side L2 charge belongs to an
+    /// elided edge or to the live tick about to run.
+    pub fn replay_idle(&mut self, domain: Domain, ticks: u64, next_edge: Time) {
+        if domain == Domain::MemCluster {
+            // Deferred fetch-side L2 touches: every deferred charge whose
+            // consuming edge was elided becomes an active-L2 cycle in the
+            // replay; a charge pinned to `next_edge` (or later) is handed
+            // back to the live tick through the still-set `l2_touched`
+            // flag. Counts, not floats — bit-identical either way.
+            let mut active = self.parked_l2_charges;
+            if active > 0 {
+                if self.parked_l2_last_edge >= next_edge {
+                    active -= 1; // consumed by the live tick via l2_touched
+                } else {
+                    self.l2_touched = false; // all consumed among elided
+                }
+            }
+            self.parked_l2_charges = 0;
+            self.parked_l2_last_edge = Time::MAX;
+            debug_assert!(active <= ticks, "more L2 charges than elided edges");
+            if ticks == 0 {
+                return;
+            }
+            self.clusters[2].cycle += ticks;
+            self.accountant.tick_domain_n(domain, ticks);
+            self.clusters[2].iq.sample_occupancy_n(ticks);
+            self.accountant
+                .block_cycles_n(MacroBlock::MemIssueWindow, false, ticks);
+            self.accountant
+                .block_cycles_n(MacroBlock::DCache, false, ticks);
+            self.accountant
+                .block_cycles_n(MacroBlock::L2Cache, true, active);
+            self.accountant
+                .block_cycles_n(MacroBlock::L2Cache, false, ticks - active);
+            self.store_buffer.sample_occupancy_n(ticks);
+            return;
+        }
+        if ticks == 0 {
+            return;
+        }
+        match domain {
+            Domain::Fetch => {
+                self.fetch_cycles += ticks;
+                self.accountant.tick_domain_n(Domain::Fetch, ticks);
+                if self.cfg.clocking.is_synchronous() {
+                    self.accountant.tick_global_n(ticks);
+                }
+                if self.fetch_park_blocked {
+                    // Blocked-on-full-channel flavour: every elided tick
+                    // re-accessed the resident line and charged an active
+                    // I-cache cycle.
+                    let pc = if self.wrong_path {
+                        self.wrong_pc
+                    } else {
+                        self.fetch_pc
+                    };
+                    self.icache.record_repeat_hits(pc, ticks);
+                    self.accountant
+                        .block_cycles_n(MacroBlock::ICache, true, ticks);
+                } else {
+                    self.accountant
+                        .block_cycles_n(MacroBlock::ICache, false, ticks);
+                }
+                self.accountant
+                    .block_cycles_n(MacroBlock::BranchPredictor, false, ticks);
+            }
+            Domain::Decode => {
+                self.decode_cycle += ticks;
+                self.accountant.tick_domain_n(Domain::Decode, ticks);
+                self.accountant
+                    .block_cycles_n(MacroBlock::RenameLogic, false, ticks);
+                self.accountant
+                    .block_cycles_n(MacroBlock::RegisterFile, false, ticks);
+                // Occupancies frozen at park time: the live values may
+                // already reflect the squash of the recovery that woke us,
+                // which lands strictly after every elided tick.
+                let (rob_occ, rat_occ) = self.decode_park_occ;
+                self.rename.sample_occupancy_n_at(rat_occ, ticks);
+                self.rob.sample_occupancy_n_at(rob_occ, ticks);
+            }
+            Domain::IntCluster | Domain::FpCluster => {
+                let ci = domain.index() - 2;
+                let (iq_block, alu_block) = if ci == 0 {
+                    (MacroBlock::IntIssueWindow, MacroBlock::IntAlus)
+                } else {
+                    (MacroBlock::FpIssueWindow, MacroBlock::FpAlus)
+                };
+                self.clusters[ci].cycle += ticks;
+                self.accountant.tick_domain_n(domain, ticks);
+                self.clusters[ci].iq.sample_occupancy_n(ticks);
+                self.accountant.block_cycles_n(iq_block, false, ticks);
+                self.accountant.block_cycles_n(alu_block, false, ticks);
+            }
+            Domain::MemCluster => unreachable!("handled above"),
+        }
+    }
+
+    /// Replays the broadcast wakeup-tag pops a parked cluster's elided
+    /// ticks would have performed, at their exact unelided pop times.
+    ///
+    /// With static clock grids (synchronous / FIFO-GALS) a parked
+    /// cluster's edge times are known, so for each pending tag the first
+    /// edge at which the real tick would have popped it is computable:
+    /// the channel supplies the pop-legality bound
+    /// ([`Channel::front_pop_bound`]) and a per-channel cursor walks the
+    /// cluster's virtual edge grid to the first edge at or past it (the
+    /// single-shot closed form is [`Channel::front_pop_time`]). The pop
+    /// is replayed with that timestamp, making the channel statistics and
+    /// the `ready` bit interleaving bit-identical to the unelided
+    /// schedule. Called at the
+    /// top of every decode tick — the only other writer of the clusters'
+    /// `ready` arrays — with `cutoff = now` (exclusive), and once more at
+    /// the end of the run by the driver. A tag popping at an edge *at or
+    /// after* the cutoff is left for the next catch-up (or the cluster's
+    /// own re-armed tick, which pops it live).
+    fn catch_up_parked_wakeups(&mut self, cutoff: Time) {
+        if self.static_grid.is_none() {
+            return; // pausible: wakeup pushes wake the cluster instead
+        }
+        for ci in 0..3 {
+            if self.parked[ci + 2] {
+                self.catch_up_cluster_wakeups(ci, cutoff, false);
+            }
+        }
+    }
+
+    fn catch_up_cluster_wakeups(&mut self, ci: usize, cutoff: Time, inclusive: bool) {
+        let Some(grids) = self.static_grid else {
+            return;
+        };
+        let (_, period) = grids[ci + 2];
+        for from in 0..3 {
+            if from == ci {
+                continue;
+            }
+            loop {
+                // Division-free pre-check: if the front tag could not pop
+                // before the cutoff on *any* grid, skip the edge walk (the
+                // common case on every decode tick).
+                let bound = match self.ch_wakeup[from][ci].front_pop_bound() {
+                    Some(bound) if bound <= cutoff => bound,
+                    _ => break,
+                };
+                // The pop edge: the first virtual edge at or after the
+                // legality bound. Pops replay in time order, so the
+                // cursor only ever steps forward — typically by zero or
+                // one period.
+                let mut e = self.virtual_edge[from][ci];
+                while e < bound {
+                    e += period;
+                }
+                self.virtual_edge[from][ci] = e;
+                if e > cutoff || (e == cutoff && !inclusive) {
+                    break;
+                }
+                let tag = self.ch_wakeup[from][ci]
+                    .try_pop(e)
+                    .expect("cursor edge satisfies the pop bound");
+                let cl = &mut self.clusters[ci];
+                cl.ready.set(tag.index());
+                cl.iq.wakeup(tag.as_iq_tag());
+            }
+        }
+    }
+
+    /// End-of-run flush for a still-parked cluster: replays the wakeup-tag
+    /// pops of its elided edges up to the final timestamp (`inclusive`
+    /// when the cluster's edge at that instant was ordered before the
+    /// stopping edge). No-op for non-cluster domains.
+    pub fn flush_parked_wakeups(&mut self, domain: Domain, until: Time, inclusive: bool) {
+        if domain.index() >= 2 {
+            self.catch_up_cluster_wakeups(domain.index() - 2, until, inclusive);
+        }
     }
 
     /// Advances one clock edge of `domain` at absolute time `now`.
@@ -413,6 +919,7 @@ impl<'p> Pipeline<'p> {
 
     fn tick_fetch(&mut self) {
         let now = self.now;
+        self.check_watchdog(now);
         self.fetch_cycles += 1;
         self.accountant.tick_domain(Domain::Fetch);
         // The base machine's global grid toggles once per (shared) cycle;
@@ -425,9 +932,7 @@ impl<'p> Pipeline<'p> {
         while let Some((r, res)) = self.ch_redirect.try_pop_timed(now) {
             // The redirect's residency is pipeline recovery latency; it is
             // charged to the mispredicted branch for slip accounting.
-            if let Some(inf) = self.inflight.get_mut(r.branch_seq) {
-                inf.fifo_time += res;
-            }
+            self.inflight.add_fifo_time(r.branch, res);
             self.process_redirect(r);
         }
 
@@ -452,14 +957,14 @@ impl<'p> Pipeline<'p> {
                 if self.icache.access(pc) {
                     // One I-cache line per cycle: the fetch group ends at
                     // the line boundary (and at predicted-taken branches).
-                    let line = pc / self.cfg.uarch.l1i.line_bytes;
+                    let line = pc >> self.l1i_line_shift;
                     for _ in 0..self.cfg.uarch.fetch_width {
                         let cur = if self.wrong_path {
                             self.wrong_pc
                         } else {
                             self.fetch_pc
                         };
-                        if cur == EXIT_PC || cur / self.cfg.uarch.l1i.line_bytes != line {
+                        if cur == EXIT_PC || cur >> self.l1i_line_shift != line {
                             break;
                         }
                         match self.fetch_one(&mut bpred_active) {
@@ -476,6 +981,9 @@ impl<'p> Pipeline<'p> {
             .block_cycle(MacroBlock::ICache, icache_active);
         self.accountant
             .block_cycle(MacroBlock::BranchPredictor, bpred_active);
+        if self.icache_stall == 0 && self.quiescent(Domain::Fetch) {
+            self.quiesced_mask |= 1 << Domain::Fetch.index();
+        }
     }
 
     /// Latency charged for an L1 miss: L2 hit latency, plus memory latency
@@ -500,6 +1008,27 @@ impl<'p> Pipeline<'p> {
         } else {
             self.fetch_pc
         };
+        // A fetch-side L2 touch is consumed by the memory cluster's next
+        // tick (it charges the L2 block's activity and resets the flag).
+        // With a static clock grid the consuming edge of a *parked* memory
+        // cluster is computable, so the charge is deferred and the cluster
+        // stays parked; under pausible clocking it must wake instead.
+        match self.static_grid {
+            Some(grids) => {
+                if self.parked[Domain::MemCluster.index()] {
+                    let (phase, period) = grids[Domain::MemCluster.index()];
+                    // First memory-cluster edge at or after `now`: the
+                    // memory cluster's priority orders it after fetch, so
+                    // a same-instant edge would consume the flag.
+                    let e = grid_ceil(phase, period, self.now);
+                    if e != self.parked_l2_last_edge {
+                        self.parked_l2_charges += 1;
+                        self.parked_l2_last_edge = e;
+                    }
+                }
+            }
+            None => self.note_wake(Domain::MemCluster),
+        }
         Self::l2_fill_latency_for(
             &mut self.l2,
             &mut self.l2_touched,
@@ -581,7 +1110,7 @@ impl<'p> Pipeline<'p> {
         let seq = self.alloc_seq();
         let static_inst = &self.program.block(d.block).insts[d.index as usize];
         let is_exit = d.is_exit();
-        let inf = self.make_inflight(
+        self.push_fetched(Self::make_fetched(
             seq,
             d.pc,
             static_inst,
@@ -589,8 +1118,8 @@ impl<'p> Pipeline<'p> {
             d.mem_addr,
             branch_info,
             is_exit,
-        );
-        self.push_fetched(inf);
+            self.now,
+        ));
 
         // Advance the architectural cursor.
         self.fetch_pc = d.next_pc;
@@ -664,8 +1193,16 @@ impl<'p> Pipeline<'p> {
             recovery_pc: EXIT_PC,
             mispredicted: false,
         });
-        let inf = self.make_inflight(seq, pc, inst, true, mem_addr, branch_info, false);
-        self.push_fetched(inf);
+        self.push_fetched(Self::make_fetched(
+            seq,
+            pc,
+            inst,
+            true,
+            mem_addr,
+            branch_info,
+            false,
+            self.now,
+        ));
 
         if stop_after {
             FetchOutcome::Stop
@@ -681,8 +1218,7 @@ impl<'p> Pipeline<'p> {
     }
 
     #[allow(clippy::too_many_arguments)] // one field per argument, built in one place
-    fn make_inflight(
-        &mut self,
+    fn make_fetched(
         seq: u64,
         pc: u64,
         inst: &Inst,
@@ -690,32 +1226,29 @@ impl<'p> Pipeline<'p> {
         mem_addr: Option<u64>,
         branch: Option<BranchInfo>,
         is_exit: bool,
-    ) -> InFlight {
-        InFlight {
+        fetched_at: Time,
+    ) -> FetchedInstr {
+        FetchedInstr {
             seq,
             pc,
             op: inst.op,
             wrong_path,
             arch_dst: inst.dst,
             arch_srcs: [inst.src1, inst.src2],
-            dst: None,
-            srcs: SrcTags::new(),
             mem_addr,
             branch,
-            completed: false,
-            fetched_at: self.now,
-            fifo_time: Time::ZERO,
             is_exit,
+            fetched_at,
         }
     }
 
-    fn push_fetched(&mut self, inf: InFlight) {
-        let seq = inf.seq;
-        let wrong = inf.wrong_path;
-        self.inflight.insert(inf);
+    fn push_fetched(&mut self, f: FetchedInstr) {
+        let wrong = f.wrong_path;
+        let id = self.inflight.insert(f);
         self.ch_fetch_decode
-            .try_push(seq, self.now)
+            .try_push(id, self.now)
             .expect("push guarded by can_push");
+        self.note_wake(Domain::Decode);
         self.note_transfer(Domain::Fetch, Domain::Decode);
         self.fetched += 1;
         if wrong {
@@ -731,32 +1264,45 @@ impl<'p> Pipeline<'p> {
         let now = self.now;
         let bseq = r.branch_seq;
 
-        // Squash younger state everywhere. The walks write into one reused
-        // scratch buffer: recovery allocates nothing even when mispredicts
+        // Squash younger state everywhere. The walks write into reused
+        // scratch buffers: recovery allocates nothing even when mispredicts
         // are frequent (sweep workloads run branchy configurations hot).
-        let mut scratch = std::mem::take(&mut self.squash_scratch);
-        self.rob.squash_younger_into(bseq, &mut scratch);
-        debug_assert!(scratch.iter().all(|&s| s > bseq));
+        let mut ids = std::mem::take(&mut self.rob_squash_scratch);
+        self.rob.squash_younger_into(bseq, &mut ids);
+        ids.clear();
+        self.rob_squash_scratch = ids;
         let recovered = self.rename.recover(bseq);
         debug_assert!(recovered, "mispredicted branch must hold a checkpoint");
+        let mut scratch = std::mem::take(&mut self.squash_scratch);
         for cl in &mut self.clusters {
             cl.iq.squash_younger_into(bseq, &mut scratch);
-            cl.executing.retain(|&(_, s)| s <= bseq);
+            cl.executing.retain(|&(_, s, _)| s <= bseq);
         }
         scratch.clear();
         self.squash_scratch = scratch;
         self.store_buffer.squash_younger(bseq);
-        self.decode_buf.retain(|&s| s <= bseq);
-        self.ch_fetch_decode.flush_where(now, |&s| s <= bseq);
+        // Flush the handles of squashed instructions out of the decode
+        // buffer and the data channels (their table entries are still live
+        // here, so the age test reads straight through the handle; a stale
+        // handle — impossible today — would flush as squashed too).
+        let inflight = &self.inflight;
+        let keep = |id: &InstrId| inflight.seq_of(*id).is_some_and(|s| s <= bseq);
+        self.decode_buf.retain(keep);
+        self.ch_fetch_decode.flush_where(now, keep);
         for ch in &mut self.ch_dispatch {
-            ch.flush_where(now, |&s| s <= bseq);
+            ch.flush_where(now, keep);
         }
         for ch in &mut self.ch_complete {
-            ch.flush_where(now, |&s| s <= bseq);
+            ch.flush_where(now, keep);
         }
-        // Wakeup channels carry register tags, not sequence numbers; stale
-        // tags are tolerated (module docs).
-        self.inflight.remove_younger(bseq, self.next_seq);
+        // Wakeup channels carry register tags, not handles; stale tags are
+        // tolerated (module docs).
+        self.inflight.remove_younger(bseq);
+
+        // Recovery mutates the ROB and the rename state: a decode parked on
+        // a checkpoint/register stall must wake (and back-fill its elided
+        // ticks at the pre-squash occupancies it froze when parking).
+        self.note_wake(Domain::Decode);
 
         // Resume correct-path fetch.
         self.wrong_path = false;
@@ -778,14 +1324,17 @@ impl<'p> Pipeline<'p> {
         self.decode_cycle += 1;
         self.accountant.tick_domain(Domain::Decode);
 
+        // 0. Replay the wakeup-tag pops of parked clusters that fall
+        // strictly before this tick: the rename stage below writes the
+        // clusters' ready bits, and the elided pops must land first (in
+        // the unelided schedule they did).
+        self.catch_up_parked_wakeups(now);
+
         // 1. Absorb completions.
         for ci in 0..3 {
-            while let Some((seq, res)) = self.ch_complete[ci].try_pop_timed(now) {
+            while let Some((id, res)) = self.ch_complete[ci].try_pop_timed(now) {
                 // Stale messages for squashed instructions are no-ops.
-                if let Some(inf) = self.inflight.get_mut(seq) {
-                    inf.fifo_time += res;
-                    inf.completed = true;
-                }
+                self.inflight.complete_with_residency(id, res);
             }
         }
 
@@ -793,7 +1342,7 @@ impl<'p> Pipeline<'p> {
         // at exactly equal committed counts for paired comparisons.)
         let mut commits = 0;
         while commits < self.cfg.uarch.commit_width && self.committed < self.limits.max_insts {
-            let Some((head_seq, _, _)) = self.rob.head() else {
+            let Some((head_seq, _, &head_id)) = self.rob.head() else {
                 break;
             };
             // Hold a mispredicted branch at the head until its recovery has
@@ -802,73 +1351,55 @@ impl<'p> Pipeline<'p> {
             if self.pending_recovery == Some(head_seq) {
                 break;
             }
-            // Completion is tracked on the in-flight entry (O(1) ring probe
-            // instead of a ROB search per completion message).
-            if !self.inflight.get(head_seq).is_some_and(|i| i.completed) {
+            // Completion is tracked on the in-flight entry (O(1) hot-flag
+            // probe instead of a ROB search per completion message).
+            if !self.inflight.is_completed(head_id) {
                 break;
             }
-            let (seq, _) = self.rob.pop_head().expect("head exists");
-            let inf = self
+            let (seq, id) = self.rob.pop_head().expect("head exists");
+            let retired = self
                 .inflight
-                .remove(seq)
+                .remove_retired(id)
                 .expect("committing unknown instruction");
-            debug_assert!(!inf.wrong_path, "wrong-path instruction reached commit");
-            if let Some((arch, new_tag, old)) = inf.dst {
-                let _ = new_tag;
+            debug_assert!(!retired.wrong_path, "wrong-path instruction reached commit");
+            if let Some((arch, _new_tag, old)) = retired.dst {
                 self.rename.commit_release(arch, old);
             }
-            if inf.op.is_branch() {
+            if retired.op.is_branch() {
                 self.rename.release_checkpoint(seq);
             }
-            if inf.op == OpClass::Store {
+            if retired.op == OpClass::Store {
                 self.store_buffer.retire_through(seq);
             }
-            self.slip_total += now - inf.fetched_at;
-            self.slip_fifo += inf.fifo_time;
+            self.slip_total += now - retired.fetched_at;
+            self.slip_fifo += retired.fifo_time;
             self.committed += 1;
             self.last_commit_time = now;
-            if inf.is_exit {
+            if retired.is_exit {
                 self.halted = true;
             }
             commits += 1;
         }
 
         // Deadlock watchdog (development aid).
-        let wd = self.limits.watchdog_cycles;
-        if wd > 0 && !self.done() {
-            let span = self.cfg.clocking.max_period() * wd;
-            assert!(
-                now.saturating_sub(self.last_commit_time) < span,
-                "no commit for {wd} cycles at {now}: committed={} rob={} iq=[{},{},{}] \
-                 pending_recovery={:?} fetch_halted={} wrong_path={}",
-                self.committed,
-                self.rob.len(),
-                self.clusters[0].iq.len(),
-                self.clusters[1].iq.len(),
-                self.clusters[2].iq.len(),
-                self.pending_recovery,
-                self.fetch_halted,
-                self.wrong_path,
-            );
-        }
+        self.check_watchdog(now);
 
         // 3. Rename + dispatch, in order, stalling at the first hazard.
         let mut renamed = 0;
         while renamed < self.cfg.uarch.decode_width {
-            let Some(&seq) = self.decode_buf.front() else {
+            let Some(&id) = self.decode_buf.front() else {
                 break;
             };
             if !self.rob.has_space() {
                 break;
             }
-            // One in-flight probe covers the whole rename: the borrow of
-            // `self.inflight` coexists with the disjoint borrows of the
-            // rename unit, ROB, store buffer and channels below.
-            let inf = self
+            // One hot-column probe covers the whole rename setup; the
+            // architectural operands were captured at fetch, so rename
+            // needs no PC re-locate.
+            let (seq, op, arch_dst, arch_srcs) = self
                 .inflight
-                .get_mut(seq)
+                .rename_view(id)
                 .expect("decoded instruction vanished");
-            let op = inf.op;
             let is_branch = op.is_branch();
             if is_branch && !self.rename.can_checkpoint() {
                 break;
@@ -879,19 +1410,18 @@ impl<'p> Pipeline<'p> {
             if op == OpClass::Store && !self.store_buffer.has_space() {
                 break;
             }
-            let ci = cluster_index(inf.cluster());
+            let ci = cluster_index(op.cluster());
             if !self.ch_dispatch[ci].can_push(now) {
                 break;
             }
             // Rename sources first (RAW within the group resolves to the
             // younger mapping naturally because older group members already
-            // updated the RAT this cycle). The architectural operands were
-            // captured at fetch, so rename needs no PC re-locate.
+            // updated the RAT this cycle).
             let mut src_tags = SrcTags::new();
-            for r in inf.arch_srcs.into_iter().flatten() {
+            for r in arch_srcs.into_iter().flatten() {
                 src_tags.push(Tag::new(self.rename.lookup(r), r.is_fp()));
             }
-            let dst = if let Some(d) = inf.arch_dst {
+            let dst = if let Some(d) = arch_dst {
                 match self.rename.rename_dst(d) {
                     Ok(renamed_dst) => {
                         Some((d, Tag::new(renamed_dst.new, d.is_fp()), renamed_dst.old))
@@ -904,8 +1434,7 @@ impl<'p> Pipeline<'p> {
             if is_branch {
                 self.rename.checkpoint(seq);
             }
-            inf.srcs = src_tags;
-            inf.dst = dst;
+            self.inflight.set_rename(id, src_tags, dst);
             // Producer-side wakeup filter: register this consumer's cluster
             // against each source tag, or — when the producer has already
             // broadcast — mark the operand ready in this cluster's view now
@@ -913,27 +1442,31 @@ impl<'p> Pipeline<'p> {
             if self.cfg.cross_cluster_wakeup_filter {
                 for t in src_tags.iter() {
                     if self.wakeup_interest[t.index()] & WAKEUP_DONE != 0 {
-                        self.clusters[ci].ready[t.index()] = true;
+                        self.clusters[ci].ready.set(t.index());
                     } else {
                         self.wakeup_interest[t.index()] |= 1 << ci;
                     }
                 }
             }
             // Mark the destination not-ready in every cluster view (and
-            // reset the filter state of the tag's fresh allocation).
+            // reset the filter state of the tag's fresh allocation — the
+            // interest table is only touched when the filter is active).
             if let Some((_, tag, _)) = dst {
-                self.wakeup_interest[tag.index()] = 0;
+                if self.cfg.cross_cluster_wakeup_filter {
+                    self.wakeup_interest[tag.index()] = 0;
+                }
                 for cl in &mut self.clusters {
-                    cl.ready[tag.index()] = false;
+                    cl.ready.clear(tag.index());
                 }
             }
             if op == OpClass::Store {
                 self.store_buffer.reserve(seq).expect("space checked above");
             }
-            self.rob.alloc(seq, seq).expect("space checked above");
+            self.rob.alloc(seq, id).expect("space checked above");
             self.ch_dispatch[ci]
-                .try_push(seq, now)
+                .try_push(id, now)
                 .expect("push guarded by can_push");
+            self.note_wake(CLUSTER_DOMAINS[ci]);
             self.note_transfer(Domain::Decode, CLUSTER_DOMAINS[ci]);
             self.decode_buf.pop_front();
             renamed += 1;
@@ -944,14 +1477,16 @@ impl<'p> Pipeline<'p> {
         while decoded < self.cfg.uarch.decode_width
             && self.decode_buf.len() < 2 * self.cfg.uarch.decode_width as usize
         {
-            let Some((seq, res)) = self.ch_fetch_decode.try_pop_timed(now) else {
+            let Some((id, res)) = self.ch_fetch_decode.try_pop_timed(now) else {
                 break;
             };
-            if let Some(inf) = self.inflight.get_mut(seq) {
-                inf.fifo_time += res;
-                self.decode_buf.push_back(seq);
+            // A freed slot is what un-blocks a fetch parked on the full
+            // channel (see the fetch arm of `quiescent`).
+            self.note_wake(Domain::Fetch);
+            if self.inflight.add_fifo_time(id, res) {
+                self.decode_buf.push_back(id);
             }
-            // (A flushed-but-raced seq simply evaporates.)
+            // (A flushed-but-raced handle simply evaporates.)
             decoded += 1;
         }
 
@@ -961,6 +1496,84 @@ impl<'p> Pipeline<'p> {
             .block_cycle(MacroBlock::RegisterFile, renamed > 0 || commits > 0);
         self.rename.sample_occupancy();
         self.rob.sample_occupancy();
+        // Quiescence: this tick did nothing, its inbound channels carry
+        // nothing it could consume, and whatever stalls the rename head
+        // (if any) can only be released by another domain's push or pop —
+        // each of which raises a decode wake. An in-flight-but-not-yet-
+        // visible fetch group (a mixed-clock FIFO synchronising) blocks
+        // parking: its visibility arrives by time, not by an event.
+        if commits == 0
+            && renamed == 0
+            && decoded == 0
+            && self.ch_complete.iter().all(|c| c.is_empty())
+            && (self.ch_fetch_decode.is_empty()
+                || self.decode_buf.len() >= 2 * self.cfg.uarch.decode_width as usize)
+            && self.pending_stretch[Domain::Decode.index()] == Time::ZERO
+            && self.decode_stall_is_external()
+        {
+            self.quiesced_mask |= 1 << Domain::Decode.index();
+        }
+    }
+
+    /// True when the rename head (if any) is stalled on a resource only
+    /// another domain's activity can release — a commit enabled by a
+    /// completion push, a recovery, or a dispatch-channel pop, all of
+    /// which wake a parked decode. Returns `false` for the one stall whose
+    /// release is time-driven: a dispatch channel whose *slots* are free
+    /// but whose full-flag synchronisation has not yet expired.
+    fn decode_stall_is_external(&self) -> bool {
+        let Some(&id) = self.decode_buf.front() else {
+            return true; // nothing to rename
+        };
+        if !self.rob.has_space() {
+            return true; // waits on commit (completion push wakes)
+        }
+        let Some((_, op, arch_dst, _)) = self.inflight.rename_view(id) else {
+            return true; // squashed out from under the buffer (defensive)
+        };
+        if op.is_branch() && !self.rename.can_checkpoint() {
+            return true; // waits on commit or recovery
+        }
+        if op == OpClass::Store && !self.store_buffer.has_space() {
+            return true; // waits on commit
+        }
+        if let Some(d) = arch_dst {
+            let (int_free, fp_free) = self.rename.free_counts();
+            let free = if d.is_fp() { fp_free } else { int_free };
+            if free == 0 {
+                return true; // waits on commit (or recovery)
+            }
+        }
+        let ci = cluster_index(op.cluster());
+        // Saturated dispatch channel: only a consumer pop (which wakes
+        // us) can unblock. Anything less than slot-saturation could
+        // unblock by a full-flag sync expiring — time-driven, no park.
+        self.ch_dispatch[ci].len() >= self.ch_dispatch[ci].capacity()
+    }
+
+    /// Deadlock watchdog (development aid): panics when no instruction has
+    /// committed for the configured window. Checked from every *live* tick
+    /// path — with idle-tick elision a hung simulator may have parked some
+    /// domains (their elided ticks never run this), but at least one
+    /// domain keeps ticking in any hang that is not the all-parked case
+    /// (which `ClockSet` panics on itself), so the trap still springs.
+    #[inline]
+    fn check_watchdog(&self, now: Time) {
+        if now.saturating_sub(self.last_commit_time) >= self.watchdog_span && !self.done() {
+            panic!(
+                "no commit for {} cycles at {now}: committed={} rob={} iq=[{},{},{}] \
+                 pending_recovery={:?} fetch_halted={} wrong_path={}",
+                self.limits.watchdog_cycles,
+                self.committed,
+                self.rob.len(),
+                self.clusters[0].iq.len(),
+                self.clusters[1].iq.len(),
+                self.clusters[2].iq.len(),
+                self.pending_recovery,
+                self.fetch_halted,
+                self.wrong_path,
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -969,6 +1582,7 @@ impl<'p> Pipeline<'p> {
 
     fn tick_cluster(&mut self, ci: usize) {
         let now = self.now;
+        self.check_watchdog(now);
         self.clusters[ci].cycle += 1;
         let domain = self.clusters[ci].domain;
         self.accountant.tick_domain(domain);
@@ -980,7 +1594,7 @@ impl<'p> Pipeline<'p> {
             }
             while let Some(tag) = self.ch_wakeup[from][ci].try_pop(now) {
                 let cl = &mut self.clusters[ci];
-                cl.ready[tag.index()] = true;
+                cl.ready.set(tag.index());
                 cl.iq.wakeup(tag.as_iq_tag());
             }
         }
@@ -991,17 +1605,17 @@ impl<'p> Pipeline<'p> {
         let cycle = self.clusters[ci].cycle;
         let mut finished = std::mem::take(&mut self.clusters[ci].finished_scratch);
         finished.clear();
-        self.clusters[ci].executing.retain(|&(done, seq)| {
+        self.clusters[ci].executing.retain(|&(done, seq, id)| {
             if done <= cycle {
-                finished.push(seq);
+                finished.push((seq, id));
                 false
             } else {
                 true
             }
         });
-        finished.sort_unstable();
-        for &seq in &finished {
-            self.writeback(ci, seq);
+        finished.sort_unstable_by_key(|&(seq, _)| seq);
+        for &(_, id) in &finished {
+            self.writeback(ci, id);
         }
         self.clusters[ci].finished_scratch = finished;
 
@@ -1013,20 +1627,21 @@ impl<'p> Pipeline<'p> {
         // per-instruction `Vec`.
         let mut inserted = 0;
         while self.clusters[ci].iq.has_space() {
-            let Some((seq, res)) = self.ch_dispatch[ci].try_pop_timed(now) else {
+            let Some((id, res)) = self.ch_dispatch[ci].try_pop_timed(now) else {
                 break;
             };
-            let Some(inf) = self.inflight.get_mut(seq) else {
+            // A freed dispatch slot is what un-blocks a decode parked on a
+            // saturated dispatch channel (see `decode_stall_is_external`).
+            self.note_wake(Domain::Decode);
+            let Some((age, srcs)) = self.inflight.absorb_dispatch(id, res) else {
                 continue;
             };
-            inf.fifo_time += res;
             let ClusterState { iq, ready, .. } = &mut self.clusters[ci];
             iq.insert(
-                seq,
-                seq,
-                inf.srcs
-                    .iter()
-                    .filter(|t| !ready[t.index()])
+                id.bits(),
+                age,
+                srcs.iter()
+                    .filter(|t| !ready.get(t.index()))
                     .map(|t| t.as_iq_tag()),
             )
             .expect("space checked by has_space");
@@ -1058,6 +1673,9 @@ impl<'p> Pipeline<'p> {
         if ci == 2 {
             self.store_buffer.sample_occupancy();
         }
+        if !iq_active && !alu_active && self.quiescent(CLUSTER_DOMAINS[ci]) {
+            self.quiesced_mask |= 1 << CLUSTER_DOMAINS[ci].index();
+        }
     }
 
     fn issue(&mut self, ci: usize) -> u32 {
@@ -1065,10 +1683,12 @@ impl<'p> Pipeline<'p> {
         let width = self.cfg.uarch.issue_width;
         let cycle = self.clusters[ci].cycle;
         // Reused per-tick scratch, moved out so the split borrows below
-        // stay disjoint.
-        let mut latencies = std::mem::take(&mut self.clusters[ci].latency_scratch);
+        // stay disjoint. Each admitted instruction records everything the
+        // post-selection loop needs — `(token, seq, latency, wrong_path)` —
+        // so issue re-probes nothing.
+        let mut admitted = std::mem::take(&mut self.clusters[ci].latency_scratch);
         let mut picked = std::mem::take(&mut self.clusters[ci].picked_scratch);
-        latencies.clear();
+        admitted.clear();
         // Split borrows: the IQ needs &mut independent of the rest.
         let ClusterState { iq, fus, .. } = &mut self.clusters[ci];
         let inflight = &self.inflight;
@@ -1078,31 +1698,32 @@ impl<'p> Pipeline<'p> {
         let l2_touched = &mut self.l2_touched;
         let mem_latency = self.cfg.uarch.mem_latency;
         let mut store_forwards = 0u64;
+        let mut wrong_path_issues = 0u64;
 
         iq.select_into(
             width,
-            |seq| {
-                let Some(inf) = inflight.get(seq) else {
+            |token| {
+                let id = InstrId::from_bits(token);
+                let Some((seq, op, wrong)) = inflight.issue_view(id) else {
                     return true; /* squash race: drop */
                 };
-                let base_lat = inf.op.exec_latency();
-                match inf.op {
+                let base_lat = op.exec_latency();
+                let lat = match op {
                     OpClass::Store => {
                         if !fus.try_issue(cycle, base_lat, true) {
                             return false;
                         }
-                        let addr = inf.mem_addr.expect("stores carry addresses");
+                        let addr = inflight.mem_addr_of(id).expect("stores carry addresses");
                         // Slot reserved at dispatch; fill the address now.
                         store_buffer.fill(seq, addr);
-                        latencies.push((seq, u64::from(base_lat)));
-                        true
+                        u64::from(base_lat)
                     }
                     OpClass::Load => {
                         if !fus.try_issue(cycle, base_lat, true) {
                             return false;
                         }
-                        let addr = inf.mem_addr.expect("loads carry addresses");
-                        let lat = if store_buffer.forwards_to(addr) {
+                        let addr = inflight.mem_addr_of(id).expect("loads carry addresses");
+                        if store_buffer.forwards_to(addr) {
                             store_forwards += 1;
                             u64::from(dcache.latency())
                         } else if dcache.access(addr) {
@@ -1115,78 +1736,74 @@ impl<'p> Pipeline<'p> {
                                     addr,
                                     mem_latency,
                                 ))
-                        };
-                        latencies.push((seq, lat));
-                        true
+                        }
                     }
                     op => {
                         if !fus.try_issue(cycle, op.exec_latency(), op.is_pipelined()) {
                             return false;
                         }
-                        latencies.push((seq, u64::from(op.exec_latency())));
-                        true
+                        u64::from(op.exec_latency())
                     }
+                };
+                if wrong {
+                    wrong_path_issues += 1;
                 }
+                admitted.push((token, seq, lat));
+                true
             },
             &mut picked,
         );
         self.store_forwards_total += store_forwards;
         let issued = picked.len() as u32;
         self.issued_total += u64::from(issued);
-        for &seq in &picked {
-            if self
-                .inflight
-                .get(seq)
-                .map(|i| i.wrong_path)
-                .unwrap_or(false)
-            {
-                self.issued_wrong_path += 1;
-            }
+        self.issued_wrong_path += wrong_path_issues;
+        for &(token, seq, lat) in &admitted {
+            self.clusters[ci]
+                .executing
+                .push((cycle + lat.max(1), seq, InstrId::from_bits(token)));
         }
-        for &seq in &picked {
-            let lat = latencies
-                .iter()
-                .find(|(s, _)| *s == seq)
-                .map(|&(_, l)| l)
-                .unwrap_or(1);
-            self.clusters[ci].executing.push((cycle + lat.max(1), seq));
-        }
-        latencies.clear();
+        admitted.clear();
         picked.clear();
-        self.clusters[ci].latency_scratch = latencies;
+        self.clusters[ci].latency_scratch = admitted;
         self.clusters[ci].picked_scratch = picked;
         let _ = now;
         issued
     }
 
-    fn writeback(&mut self, ci: usize, seq: u64) {
+    fn writeback(&mut self, ci: usize, id: InstrId) {
         let now = self.now;
-        let Some(inf) = self.inflight.get(seq) else {
+        let Some((seq, dst, is_mispredict)) = self.inflight.writeback_view(id) else {
             return;
         };
-        let dst = inf.dst;
-        let is_mispredict = inf
-            .branch
-            .map(|b| b.mispredicted && !inf.wrong_path)
-            .unwrap_or(false);
-        let recovery_pc = inf.branch.map(|b| b.recovery_pc).unwrap_or(EXIT_PC);
 
         // Local + remote wakeup. With the producer-side filter on, remote
         // clusters receive the tag only when they registered a consumer at
         // rename; later consumers take the WAKEUP_DONE path instead.
         if let Some((_, tag, _)) = dst {
             let cl = &mut self.clusters[ci];
-            cl.ready[tag.index()] = true;
+            cl.ready.set(tag.index());
             cl.iq.wakeup(tag.as_iq_tag());
             let filter = self.cfg.cross_cluster_wakeup_filter;
-            let interest = self.wakeup_interest[tag.index()];
-            for to in 0..CLUSTER_DOMAINS.len() {
+            let broadcast_wakes = self.static_grid.is_none();
+            let interest = if filter {
+                self.wakeup_interest[tag.index()]
+            } else {
+                0
+            };
+            for (to, &to_domain) in CLUSTER_DOMAINS.iter().enumerate() {
                 if to == ci || (filter && interest & (1 << to) == 0) {
                     continue;
                 }
                 self.ch_wakeup[ci][to]
                     .try_push(tag, now)
                     .expect("wakeup channel sized to never fill");
+                if broadcast_wakes {
+                    // Pausible grids stretch, so a parked consumer cannot
+                    // replay the pop later: wake it instead. With static
+                    // grids the pop is replayed exactly and the consumer
+                    // stays parked (see catch_up_parked_wakeups).
+                    self.note_wake(to_domain);
+                }
                 self.note_wakeup_transfer(ci, to);
             }
             if filter {
@@ -1200,23 +1817,30 @@ impl<'p> Pipeline<'p> {
                 self.pending_recovery.is_none(),
                 "only one correct-path misprediction can be outstanding"
             );
+            let recovery_pc = self
+                .inflight
+                .recovery_pc_of(id)
+                .expect("mispredicted instruction carries branch info");
             self.pending_recovery = Some(seq);
             self.ch_redirect
                 .try_push(
                     Redirect {
+                        branch: id,
                         branch_seq: seq,
                         target_pc: recovery_pc,
                     },
                     now,
                 )
                 .expect("redirect channel sized to never fill");
+            self.note_wake(Domain::Fetch);
             self.note_transfer(CLUSTER_DOMAINS[ci], Domain::Fetch);
         }
 
         // Completion notice to the ROB.
         self.ch_complete[ci]
-            .try_push(seq, now)
+            .try_push(id, now)
             .expect("completion channel sized to never fill");
+        self.note_wake(Domain::Decode);
         self.note_transfer(CLUSTER_DOMAINS[ci], Domain::Decode);
     }
 
@@ -1305,6 +1929,15 @@ impl<'p> Pipeline<'p> {
 enum FetchOutcome {
     Continue,
     Stop,
+}
+
+/// First edge of the grid `(phase + k·period)` at or after `bound`.
+fn grid_ceil(phase: Time, period: Time, bound: Time) -> Time {
+    if bound <= phase {
+        return phase;
+    }
+    let delta = bound.as_fs() - phase.as_fs();
+    phase + period * delta.div_ceil(period.as_fs())
 }
 
 fn cluster_index(c: Cluster) -> usize {

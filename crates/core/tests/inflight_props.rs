@@ -1,0 +1,175 @@
+//! Property test for the slab-backed instruction store: under arbitrary
+//! interleavings of insert (fetch), remove (commit) and `remove_younger`
+//! (squash) — including streams that force the slab to grow past its
+//! initial capacity and to recycle freed slots — every *live* handle keeps
+//! returning exactly the hot and cold fields it was inserted with, and
+//! every *stale* handle keeps reading as nothing.
+
+#![allow(clippy::manual_is_multiple_of)] // seq % k patterns mirror the derivation rules
+
+use gals_core::inflight::{FetchedInstr, InFlightTable, InstrId, SrcTags, Tag};
+use gals_core::BranchInfo;
+use gals_events::Time;
+use gals_isa::{ArchReg, OpClass};
+use proptest::prelude::*;
+
+/// One step of the random op stream, decoded from two raw integers.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Insert the next instruction (sequence numbers are allocated
+    /// monotonically, like the pipeline's fetch stage).
+    Insert,
+    /// Remove the k-th oldest live instruction (commit-shaped for k = 0,
+    /// and an out-of-order removal stress otherwise).
+    Remove(usize),
+    /// Squash everything younger than the k-th oldest live sequence.
+    Squash(usize),
+}
+
+fn decode(kind: u8, arg: usize) -> Op {
+    match kind % 4 {
+        // Insert twice as often as the others so streams grow.
+        0 | 1 => Op::Insert,
+        2 => Op::Remove(arg),
+        _ => Op::Squash(arg),
+    }
+}
+
+/// The fetch-time record for sequence `seq`, with every field derived from
+/// the sequence so the reference model needs to store nothing.
+fn instr(seq: u64) -> FetchedInstr {
+    let branchy = seq % 5 == 0;
+    FetchedInstr {
+        seq,
+        pc: seq * 4 + 0x1000,
+        op: match seq % 4 {
+            0 => OpClass::IntAlu,
+            1 => OpClass::Load,
+            2 => OpClass::FpMul,
+            _ => OpClass::BranchCond,
+        },
+        wrong_path: seq % 3 == 0,
+        arch_dst: (seq % 2 == 0).then(|| ArchReg::int((seq % 31) as u8)),
+        arch_srcs: [Some(ArchReg::int(((seq + 7) % 31) as u8)), None],
+        mem_addr: (seq % 4 == 1).then_some(seq * 64),
+        branch: branchy.then_some(BranchInfo {
+            predicted_taken: seq % 2 == 0,
+            actual_taken: seq % 3 == 0,
+            recovery_pc: seq * 4 + 0x1004,
+            // Only correct-path instructions may carry a misprediction.
+            mispredicted: seq % 3 != 0,
+        }),
+        is_exit: false,
+        fetched_at: Time::from_fs(seq * 1_000),
+    }
+}
+
+/// Checks one live handle against the derived reference values, including
+/// the post-rename hot fields when `renamed`.
+fn check_live(t: &InFlightTable, seq: u64, id: InstrId, renamed: bool) {
+    let f = instr(seq);
+    assert_eq!(t.seq_of(id), Some(seq));
+    assert_eq!(t.op_of(id), Some(f.op));
+    assert_eq!(t.is_wrong_path(id), f.wrong_path);
+    assert!(!t.is_exit(id));
+    // Completion tracks seq parity (set at insert time below).
+    assert_eq!(t.is_completed(id), seq % 2 == 1);
+    let cold = t.cold_of(id).expect("live handle has a cold record");
+    assert_eq!(cold.pc, f.pc);
+    assert_eq!(cold.arch_dst, f.arch_dst);
+    assert_eq!(cold.arch_srcs, f.arch_srcs);
+    assert_eq!(cold.mem_addr, f.mem_addr);
+    assert_eq!(cold.branch, f.branch);
+    assert_eq!(cold.fetched_at, f.fetched_at);
+    // Every live instruction accumulated exactly one residency grain.
+    assert_eq!(cold.fifo_time, Time::from_fs(7));
+    if renamed {
+        let srcs: Vec<Tag> = t.srcs_of(id).expect("live").iter().collect();
+        assert_eq!(srcs, vec![Tag((seq % 512) as u16)]);
+        assert_eq!(
+            t.dst_of(id).map(|(_, tag, _)| tag),
+            f.arch_dst.map(|_| Tag(((seq + 1) % 512) as u16)),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random insert/commit/squash streams over a deliberately tiny
+    /// initial table: slab growth and slot recycling must preserve every
+    /// live handle's hot and cold fields, and stale handles must read as
+    /// nothing forever.
+    #[test]
+    fn slab_growth_preserves_live_handles(
+        ops in prop::collection::vec((0u8..255, 0usize..32), 1..200),
+        initial_capacity in 0usize..4,
+    ) {
+        let mut t = InFlightTable::with_capacity(initial_capacity);
+        // Reference model: the live set as (seq, id, renamed), oldest
+        // first, plus every handle ever retired.
+        let mut live: Vec<(u64, InstrId, bool)> = Vec::new();
+        let mut dead: Vec<(u64, InstrId)> = Vec::new();
+        let mut next_seq = 0u64;
+
+        for &(kind, arg) in &ops {
+            match decode(kind, arg) {
+                Op::Insert => {
+                    let seq = next_seq;
+                    next_seq += 1;
+                    let id = t.insert(instr(seq));
+                    // Exercise the hot-side mutators immediately: rename
+                    // on even seqs' dst pattern, completion on odd seqs,
+                    // one slip grain for everyone.
+                    let mut srcs = SrcTags::new();
+                    srcs.push(Tag((seq % 512) as u16));
+                    let dst = instr(seq).arch_dst.map(|a| {
+                        (a, Tag(((seq + 1) % 512) as u16), gals_uarch::PhysReg(3))
+                    });
+                    t.set_rename(id, srcs, dst);
+                    if seq % 2 == 1 {
+                        t.set_completed(id);
+                    }
+                    prop_assert!(t.add_fifo_time(id, Time::from_fs(7)));
+                    live.push((seq, id, true));
+                }
+                Op::Remove(k) if !live.is_empty() => {
+                    let (seq, id, _) = live.remove(k % live.len());
+                    let retired = t.remove_retired(id);
+                    prop_assert!(retired.is_some(), "live handle must retire");
+                    let retired = retired.unwrap();
+                    let f = instr(seq);
+                    prop_assert_eq!(retired.op, f.op);
+                    prop_assert_eq!(retired.wrong_path, f.wrong_path);
+                    prop_assert_eq!(retired.fetched_at, f.fetched_at);
+                    prop_assert_eq!(retired.fifo_time, Time::from_fs(7));
+                    dead.push((seq, id));
+                }
+                Op::Squash(k) if !live.is_empty() => {
+                    let pivot = live[k % live.len()].0;
+                    t.remove_younger(pivot);
+                    let (kept, squashed): (Vec<_>, Vec<_>) =
+                        live.drain(..).partition(|&(s, _, _)| s <= pivot);
+                    live = kept;
+                    dead.extend(squashed.into_iter().map(|(s, id, _)| (s, id)));
+                }
+                _ => {} // remove/squash on an empty table: no-op step
+            }
+
+            // Invariants after every step.
+            prop_assert_eq!(t.len(), live.len());
+            for &(seq, id, renamed) in &live {
+                check_live(&t, seq, id, renamed);
+            }
+            for &(_, id) in &dead {
+                prop_assert!(!t.contains(id), "stale handle came back to life");
+                prop_assert_eq!(t.seq_of(id), None);
+                prop_assert!(t.cold_of(id).is_none());
+                prop_assert!(t.remove_retired(id).is_none());
+            }
+        }
+        // The slab never leaks: capacity tracks the peak live count, not
+        // the total inserted.
+        prop_assert!(t.capacity() <= next_seq.max(4) as usize);
+    }
+}

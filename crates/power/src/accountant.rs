@@ -58,6 +58,14 @@ impl EnergyBreakdown {
 /// clock, we eliminated the switching capacitance of the global clock
 /// grid").
 ///
+/// Internally the accountant stores exact integer *cycle counts* and
+/// defers the energy arithmetic to [`PowerAccountant::breakdown`]: the
+/// per-tick charge is a counter increment, not a float multiply-add, and
+/// bulk charges (`*_n` methods — e.g. the idle-tick back-fill of a parked
+/// clock domain) are a single addition that yields bit-identical totals to
+/// the same cycles charged one at a time. Voltage factors must therefore
+/// be configured before simulation starts, as the pipeline does.
+///
 /// # Examples
 ///
 /// ```
@@ -80,10 +88,11 @@ pub struct PowerAccountant {
     domain_factor: [f64; 5],
     /// Multiplier for the global grid (base machine's single supply).
     global_factor: f64,
-    blocks: [f64; MacroBlock::ALL.len()],
-    global_clock: f64,
-    local_clocks: [f64; 5],
-    /// Cycle counters per domain (diagnostics).
+    /// `(active, idle)` cycle counts per block.
+    block_cycles: [(u64, u64); MacroBlock::ALL.len()],
+    /// Stretched nominal-cycle equivalents per domain (pausible clocking).
+    stretched_cycles: [f64; 5],
+    /// Cycle counters per domain.
     domain_cycles: [u64; 5],
     global_cycles: u64,
     fifo_accesses: u64,
@@ -101,9 +110,8 @@ impl PowerAccountant {
             params,
             domain_factor: [1.0; 5],
             global_factor: 1.0,
-            blocks: [0.0; MacroBlock::ALL.len()],
-            global_clock: 0.0,
-            local_clocks: [0.0; 5],
+            block_cycles: [(0, 0); MacroBlock::ALL.len()],
+            stretched_cycles: [0.0; 5],
             domain_cycles: [0; 5],
             global_cycles: 0,
             fifo_accesses: 0,
@@ -116,7 +124,9 @@ impl PowerAccountant {
     }
 
     /// Sets the dynamic-energy multiplier of one domain — `(V/Vnom)²` from
-    /// [`gals_clocks::VoltageScaling::energy_factor_for_slowdown`].
+    /// [`gals_clocks::VoltageScaling::energy_factor_for_slowdown`]. Must be
+    /// configured before activity is charged (factors apply to the whole
+    /// run at [`PowerAccountant::breakdown`]).
     ///
     /// # Panics
     ///
@@ -137,29 +147,53 @@ impl PowerAccountant {
     }
 
     /// Charges one cycle of the global clock grid.
+    #[inline]
     pub fn tick_global(&mut self) {
-        self.global_clock += self.params.global_grid * self.global_factor;
         self.global_cycles += 1;
     }
 
+    /// Charges `n` cycles of the global clock grid at once.
+    #[inline]
+    pub fn tick_global_n(&mut self, n: u64) {
+        self.global_cycles += n;
+    }
+
     /// Charges one cycle of a domain's local clock grid.
+    #[inline]
     pub fn tick_domain(&mut self, domain: Domain) {
-        let i = domain.index();
-        self.local_clocks[i] += self.params.grid(domain) * self.domain_factor[i];
-        self.domain_cycles[i] += 1;
+        self.domain_cycles[domain.index()] += 1;
+    }
+
+    /// Charges `n` cycles of a domain's local clock grid at once.
+    #[inline]
+    pub fn tick_domain_n(&mut self, domain: Domain, n: u64) {
+        self.domain_cycles[domain.index()] += n;
     }
 
     /// Charges one local cycle of a block: full energy when `active`, the
     /// idle fraction otherwise (Wattch-style conditional clocking, the
     /// paper's "unused modules … consuming 10 % of their full power").
+    #[inline]
     pub fn block_cycle(&mut self, block: MacroBlock, active: bool) {
-        let e = if active {
-            self.params.active(block)
+        let slot = &mut self.block_cycles[block.index()];
+        if active {
+            slot.0 += 1;
         } else {
-            self.params.idle(block)
-        };
-        let factor = self.domain_factor[block.domain().index()];
-        self.blocks[block.index()] += e * factor;
+            slot.1 += 1;
+        }
+    }
+
+    /// Charges `n` local cycles of a block at once, all active or all idle
+    /// — bit-identical to `n` individual [`PowerAccountant::block_cycle`]
+    /// calls (the counts are exact integers).
+    #[inline]
+    pub fn block_cycles_n(&mut self, block: MacroBlock, active: bool, n: u64) {
+        let slot = &mut self.block_cycles[block.index()];
+        if active {
+            slot.0 += n;
+        } else {
+            slot.1 += n;
+        }
     }
 
     /// Charges `extra_cycles` nominal-cycle equivalents of one domain's
@@ -176,15 +210,11 @@ impl PowerAccountant {
             extra_cycles.is_finite() && extra_cycles >= 0.0,
             "implausible stretched-cycle count {extra_cycles}"
         );
-        let i = domain.index();
-        self.local_clocks[i] += self.params.grid(domain) * extra_cycles * self.domain_factor[i];
+        self.stretched_cycles[domain.index()] += extra_cycles;
     }
 
     /// Charges `count` FIFO push/pop operations.
     pub fn fifo_access(&mut self, count: u64) {
-        // FIFOs straddle domains; charge at the nominal supply (level
-        // converters isolate them from scaled domains).
-        self.blocks[MacroBlock::Fifos.index()] += self.params.fifo_access * count as f64;
         self.fifo_accesses += count;
     }
 
@@ -203,12 +233,31 @@ impl PowerAccountant {
         self.fifo_accesses
     }
 
-    /// The accumulated energy breakdown.
+    /// The accumulated energy breakdown, computed from the exact cycle
+    /// counts: `active·E_active + idle·E_idle` per block, `cycles·E_grid`
+    /// per clock grid (the paper's Wattch-style model), voltage factors
+    /// applied per domain. FIFOs straddle domains and charge at the
+    /// nominal supply (level converters isolate them from scaled domains).
     pub fn breakdown(&self) -> EnergyBreakdown {
+        let mut blocks = [0.0; MacroBlock::ALL.len()];
+        for b in MacroBlock::ALL {
+            let (active, idle) = self.block_cycles[b.index()];
+            let factor = self.domain_factor[b.domain().index()];
+            blocks[b.index()] = (active as f64 * self.params.active(b)
+                + idle as f64 * self.params.idle(b))
+                * factor;
+        }
+        blocks[MacroBlock::Fifos.index()] += self.params.fifo_access * self.fifo_accesses as f64;
+        let local_clocks = std::array::from_fn(|i| {
+            let d = Domain::ALL[i];
+            (self.domain_cycles[i] as f64 + self.stretched_cycles[i])
+                * self.params.grid(d)
+                * self.domain_factor[i]
+        });
         EnergyBreakdown {
-            blocks: self.blocks,
-            global_clock: self.global_clock,
-            local_clocks: self.local_clocks,
+            blocks,
+            global_clock: self.global_cycles as f64 * self.params.global_grid * self.global_factor,
+            local_clocks,
         }
     }
 

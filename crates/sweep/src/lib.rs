@@ -39,7 +39,7 @@
 //!
 //! ```text
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "tool": "gals-sweep",
 //!   "budget": <u64>,            // committed-instruction budget per run
 //!   "workload_seed": <u64>,
@@ -56,23 +56,38 @@
 //!   ],
 //!   "tables": {                 // derived paper-figure tables
 //!     "pausible_slowdown_vs_handshake": [
-//!       { "handshake_ps", "benchmarks", "geomean_slowdown_vs_gals",
-//!         "geomean_slowdown_vs_sync" }, ... ],
+//!       { "handshake_ps", "benchmarks", "seeds",
+//!         "geomean_slowdown_vs_gals" (+ "_min"/"_max"),
+//!         "geomean_slowdown_vs_sync" (+ "_min"/"_max") }, ... ],
 //!     "energy_perf_vs_frequency": [
-//!       { "dvfs", "benchmarks", "geomean_relative_performance",
-//!         "geomean_relative_energy", "geomean_relative_power" }, ... ],
+//!       { "dvfs", "benchmarks", "seeds",
+//!         "geomean_relative_performance" (+ "_min"/"_max"),
+//!         "geomean_relative_energy" (+ "_min"/"_max"),
+//!         "geomean_relative_power" (+ "_min"/"_max") }, ... ],
 //!     "wakeup_feature_ablation": [
-//!       { "mode", "baseline_mode", "benchmarks",
-//!         "geomean_channel_ops_ratio", "geomean_stretch_ratio",
-//!         "geomean_exec_time_ratio" }, ... ]
+//!       { "mode", "baseline_mode", "benchmarks", "seeds",
+//!         "geomean_channel_ops_ratio" (+ "_min"/"_max"),
+//!         "geomean_stretch_ratio" (+ "_min"/"_max"),
+//!         "geomean_exec_time_ratio" (+ "_min"/"_max") }, ... ]
 //!   }
 //! }
 //! ```
 //!
-//! The derived tables are computed from runs at the **nominal DVFS point
-//! and the first phase seed**; axes missing from a matrix simply produce
-//! empty tables (an empty or singleton matrix still renders a valid,
-//! schema-versioned report).
+//! The derived tables are computed from runs at the **nominal DVFS
+//! point**, aggregated over the **phase-seed axis**: each metric is the
+//! per-seed geomean over benchmarks, reported as the mean across seeds
+//! with `_min`/`_max` spread fields (confidence intervals for the paper
+//! figures; all three coincide for a single-seed matrix). Axes missing
+//! from a matrix simply produce empty tables (an empty or singleton
+//! matrix still renders a valid, schema-versioned report).
+//!
+//! ## User-defined matrices
+//!
+//! `sweep --matrix FILE` loads a matrix from a JSON file instead of the
+//! in-code builder — see [`SweepMatrix::from_json`] and the
+//! `matrix_file` module docs for the format;
+//! [`SweepMatrix::to_matrix_json`] renders the same format back
+//! (round-trip pinned by a test).
 //!
 //! ```
 //! use gals_sweep::{run_sweep, SweepMatrix};
@@ -86,6 +101,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod matrix_file;
+
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -96,9 +113,13 @@ use gals_events::Time;
 use gals_workload::{generate, Benchmark};
 
 /// Version of the `SWEEP_results.json` schema produced by
-/// [`SweepResults::to_json`]. Bump on any field rename/removal; additions
-/// are backward-compatible and keep the version.
-pub const SCHEMA_VERSION: u32 = 1;
+/// [`SweepResults::to_json`]. Bump on any field rename/removal or meaning
+/// change; additions are backward-compatible and keep the version.
+///
+/// v2: derived tables aggregate across the phase-seed axis — each metric
+/// reports the mean across seeds (identical to v1 for single-seed
+/// matrices) plus `*_min`/`*_max` spread fields and a `seeds` count.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Default workload seed (matches the bench harness's "input set").
 pub const WORKLOAD_SEED: u64 = 0x5EC9_5201;
@@ -308,6 +329,77 @@ impl SweepMatrix {
         }
     }
 
+    /// Parses a user-defined matrix file (the `sweep --matrix FILE`
+    /// format; see the `matrix_file` module source for the schema).
+    /// `default_budget` fills in when the file carries no `budget`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the first problem (malformed JSON,
+    /// unknown benchmark/mode/dvfs, missing or empty axis).
+    pub fn from_json(text: &str, default_budget: u64) -> Result<Self, String> {
+        matrix_file::matrix_from_json(text, default_budget)
+    }
+
+    /// Renders the matrix in the `--matrix FILE` format;
+    /// [`SweepMatrix::from_json`] parses it back to an equal matrix (the
+    /// round-trip is pinned by a test). User-supplied DVFS labels are
+    /// escaped; benchmark and mode names come from fixed ASCII sets.
+    pub fn to_matrix_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let quoted_list = |items: Vec<String>| -> String {
+            items
+                .into_iter()
+                .map(|i| format!("\"{i}\""))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let _ = writeln!(
+            s,
+            "  \"benchmarks\": [{}],",
+            quoted_list(
+                self.benchmarks
+                    .iter()
+                    .map(|b| b.name().to_string())
+                    .collect()
+            )
+        );
+        let _ = writeln!(
+            s,
+            "  \"modes\": [{}],",
+            quoted_list(self.modes.iter().map(|m| m.label()).collect())
+        );
+        s.push_str("  \"dvfs\": [\n");
+        for (i, d) in self.dvfs.iter().enumerate() {
+            let comma = if i + 1 == self.dvfs.len() { "" } else { "," };
+            let slowdown = d
+                .slowdown
+                .iter()
+                .map(|f| format!("{f}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(
+                s,
+                "    {{\"label\": \"{}\", \"slowdown\": [{slowdown}]}}{comma}",
+                json_escape(&d.label)
+            );
+        }
+        s.push_str("  ],\n");
+        let _ = writeln!(
+            s,
+            "  \"phase_seeds\": [{}],",
+            self.phase_seeds
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(s, "  \"workload_seed\": {},", self.workload_seed);
+        let _ = writeln!(s, "  \"budget\": {}", self.budget);
+        s.push_str("}\n");
+        s
+    }
+
     /// Expands the matrix into its concrete run list, in deterministic
     /// matrix order (benchmark-major, then mode, DVFS, seed).
     pub fn expand(&self) -> Vec<RunSpec> {
@@ -486,6 +578,22 @@ pub fn run_sweep(matrix: &SweepMatrix, threads: usize) -> SweepResults {
     }
 }
 
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes and the control characters the matrix parser understands).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
 /// Geometric mean; `None` for an empty slice or non-positive values.
 fn geomean(xs: &[f64]) -> Option<f64> {
     if xs.is_empty() || xs.iter().any(|&x| x <= 0.0 || x.is_nan()) {
@@ -494,11 +602,54 @@ fn geomean(xs: &[f64]) -> Option<f64> {
     Some((xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp())
 }
 
+/// Min/mean/max of a per-seed metric across the phase-seed axis (equal
+/// values for a single-seed matrix).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SeedSpread {
+    min: f64,
+    mean: f64,
+    max: f64,
+}
+
+fn spread(values: &[f64]) -> Option<SeedSpread> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(SeedSpread {
+        min: values.iter().copied().fold(f64::INFINITY, f64::min),
+        mean: values.iter().sum::<f64>() / values.len() as f64,
+        max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    })
+}
+
+fn spread_fields(s: &mut String, name: &str, v: Option<SeedSpread>) {
+    match v {
+        Some(sp) => {
+            let _ = write!(
+                s,
+                "\"{name}\": {:.6}, \"{name}_min\": {:.6}, \"{name}_max\": {:.6}",
+                sp.mean, sp.min, sp.max
+            );
+        }
+        None => {
+            let _ = write!(
+                s,
+                "\"{name}\": null, \"{name}_min\": null, \"{name}_max\": null"
+            );
+        }
+    }
+}
+
 impl SweepResults {
-    /// The record of `(benchmark, mode, dvfs-label)` at the first phase
-    /// seed, if that matrix point ran.
-    fn find(&self, benchmark: Benchmark, mode: ModePoint, dvfs_label: &str) -> Option<&RunRecord> {
-        let seed = *self.matrix.phase_seeds.first()?;
+    /// The record of `(benchmark, mode, dvfs-label)` at one phase seed, if
+    /// that matrix point ran.
+    fn find(
+        &self,
+        benchmark: Benchmark,
+        mode: ModePoint,
+        dvfs_label: &str,
+        seed: u64,
+    ) -> Option<&RunRecord> {
         self.runs.iter().find(|r| {
             r.spec.benchmark == benchmark
                 && r.spec.mode == mode
@@ -507,25 +658,54 @@ impl SweepResults {
         })
     }
 
-    /// Geomean over benchmarks of a per-benchmark ratio between two modes
-    /// at nominal DVFS: `metric(mode) / metric(baseline)`.
-    fn mode_ratio(
+    /// Geomean over benchmarks, at one phase seed, of a per-benchmark
+    /// ratio between two modes at nominal DVFS:
+    /// `metric(mode) / metric(baseline)`.
+    fn mode_ratio_at(
         &self,
+        seed: u64,
         mode: ModePoint,
         baseline: ModePoint,
-        metric: impl Fn(&RunRecord) -> f64,
+        metric: &impl Fn(&RunRecord) -> f64,
     ) -> Option<(f64, usize)> {
         let ratios: Vec<f64> = self
             .matrix
             .benchmarks
             .iter()
             .filter_map(|&b| {
-                let num = metric(self.find(b, mode, "nominal")?);
-                let den = metric(self.find(b, baseline, "nominal")?);
+                let num = metric(self.find(b, mode, "nominal", seed)?);
+                let den = metric(self.find(b, baseline, "nominal", seed)?);
                 (den > 0.0).then_some(num / den)
             })
             .collect();
         geomean(&ratios).map(|g| (g, ratios.len()))
+    }
+
+    /// Min/mean/max across phase seeds of the per-seed
+    /// [`SweepResults::mode_ratio_at`] geomean, with the benchmark count
+    /// of the first contributing seed.
+    fn mode_ratio(
+        &self,
+        mode: ModePoint,
+        baseline: ModePoint,
+        metric: impl Fn(&RunRecord) -> f64,
+    ) -> Option<(SeedSpread, usize)> {
+        let mut per_seed = Vec::new();
+        let mut benchmarks = 0;
+        for &seed in &self.matrix.phase_seeds {
+            if let Some((g, n)) = self.mode_ratio_at(seed, mode, baseline, &metric) {
+                per_seed.push(g);
+                if benchmarks == 0 {
+                    benchmarks = n;
+                }
+            }
+        }
+        spread(&per_seed).map(|sp| (sp, benchmarks))
+    }
+
+    /// Number of phase seeds in the matrix (echoed into the tables).
+    fn seed_count(&self) -> usize {
+        self.matrix.phase_seeds.len()
     }
 
     /// Renders the schema-versioned JSON report (see the crate docs for
@@ -591,7 +771,7 @@ impl SweepResults {
 
     /// Figure: pausible slowdown vs handshake duration (nominal DVFS,
     /// plain pausible points), against both the FIFO-GALS and synchronous
-    /// baselines.
+    /// baselines; min/mean/max across phase seeds.
     fn write_handshake_table(&self, s: &mut String) {
         s.push_str("    \"pausible_slowdown_vs_handshake\": [\n");
         let mut rows = Vec::new();
@@ -614,12 +794,16 @@ impl SweepResults {
             let vs_sync = self
                 .mode_ratio(*mode, ModePoint::Synchronous, exec)
                 .map(|(g, _)| g);
-            rows.push(format!(
+            let mut row = format!(
                 "      {{\"handshake_ps\": {handshake_ps}, \"benchmarks\": {n}, \
-                 \"geomean_slowdown_vs_gals\": {vs_gals:.6}, \
-                 \"geomean_slowdown_vs_sync\": {}}}",
-                vs_sync.map_or("null".into(), |g| format!("{g:.6}"))
-            ));
+                 \"seeds\": {}, ",
+                self.seed_count()
+            );
+            spread_fields(&mut row, "geomean_slowdown_vs_gals", Some(vs_gals));
+            row.push_str(", ");
+            spread_fields(&mut row, "geomean_slowdown_vs_sync", vs_sync);
+            row.push('}');
+            rows.push(row);
         }
         s.push_str(&rows.join(",\n"));
         if !rows.is_empty() {
@@ -629,7 +813,8 @@ impl SweepResults {
     }
 
     /// Figure: energy/performance vs frequency point (the DVFS axis on the
-    /// plain FIFO-GALS machine, relative to its nominal point).
+    /// plain FIFO-GALS machine, relative to its nominal point); min/mean/
+    /// max across phase seeds.
     fn write_dvfs_table(&self, s: &mut String) {
         s.push_str("    \"energy_perf_vs_frequency\": [\n");
         let gals = ModePoint::Gals {
@@ -637,41 +822,65 @@ impl SweepResults {
         };
         let mut rows = Vec::new();
         for point in &self.matrix.dvfs {
-            let mut perf = Vec::new();
-            let mut energy = Vec::new();
-            let mut power = Vec::new();
-            for &b in &self.matrix.benchmarks {
-                let (Some(run), Some(nominal)) = (
-                    self.find(b, gals, &point.label),
-                    self.find(b, gals, "nominal"),
-                ) else {
+            let mut perf_seeds = Vec::new();
+            let mut energy_seeds = Vec::new();
+            let mut power_seeds = Vec::new();
+            let mut benchmarks = 0;
+            for &seed in &self.matrix.phase_seeds {
+                let mut perf = Vec::new();
+                let mut energy = Vec::new();
+                let mut power = Vec::new();
+                for &b in &self.matrix.benchmarks {
+                    let (Some(run), Some(nominal)) = (
+                        self.find(b, gals, &point.label, seed),
+                        self.find(b, gals, "nominal", seed),
+                    ) else {
+                        continue;
+                    };
+                    if run.exec_time_fs == 0 || nominal.exec_time_fs == 0 {
+                        continue;
+                    }
+                    // Relative performance: nominal time over scaled time
+                    // (1.0 = nominal speed, < 1 = slower).
+                    perf.push(nominal.exec_time_fs as f64 / run.exec_time_fs as f64);
+                    if nominal.total_energy > 0.0 {
+                        energy.push(run.total_energy / nominal.total_energy);
+                    }
+                    if nominal.average_power > 0.0 {
+                        power.push(run.average_power / nominal.average_power);
+                    }
+                }
+                let (Some(p), Some(e), Some(w)) =
+                    (geomean(&perf), geomean(&energy), geomean(&power))
+                else {
                     continue;
                 };
-                if run.exec_time_fs == 0 || nominal.exec_time_fs == 0 {
-                    continue;
-                }
-                // Relative performance: nominal time over scaled time
-                // (1.0 = nominal speed, < 1 = slower).
-                perf.push(nominal.exec_time_fs as f64 / run.exec_time_fs as f64);
-                if nominal.total_energy > 0.0 {
-                    energy.push(run.total_energy / nominal.total_energy);
-                }
-                if nominal.average_power > 0.0 {
-                    power.push(run.average_power / nominal.average_power);
+                perf_seeds.push(p);
+                energy_seeds.push(e);
+                power_seeds.push(w);
+                if benchmarks == 0 {
+                    benchmarks = perf.len();
                 }
             }
-            let (Some(p), Some(e), Some(w)) = (geomean(&perf), geomean(&energy), geomean(&power))
-            else {
+            let (Some(p), Some(e), Some(w)) = (
+                spread(&perf_seeds),
+                spread(&energy_seeds),
+                spread(&power_seeds),
+            ) else {
                 continue;
             };
-            rows.push(format!(
-                "      {{\"dvfs\": \"{}\", \"benchmarks\": {}, \
-                 \"geomean_relative_performance\": {p:.6}, \
-                 \"geomean_relative_energy\": {e:.6}, \
-                 \"geomean_relative_power\": {w:.6}}}",
+            let mut row = format!(
+                "      {{\"dvfs\": \"{}\", \"benchmarks\": {benchmarks}, \"seeds\": {}, ",
                 point.label,
-                perf.len(),
-            ));
+                self.seed_count()
+            );
+            spread_fields(&mut row, "geomean_relative_performance", Some(p));
+            row.push_str(", ");
+            spread_fields(&mut row, "geomean_relative_energy", Some(e));
+            row.push_str(", ");
+            spread_fields(&mut row, "geomean_relative_power", Some(w));
+            row.push('}');
+            rows.push(row);
         }
         s.push_str(&rows.join(",\n"));
         if !rows.is_empty() {
@@ -681,7 +890,8 @@ impl SweepResults {
     }
 
     /// Table: the wakeup-path features (producer-side filter, handshake
-    /// coalescing) against their featureless baseline mode.
+    /// coalescing) against their featureless baseline mode; min/mean/max
+    /// across phase seeds.
     fn write_feature_table(&self, s: &mut String) {
         s.push_str("    \"wakeup_feature_ablation\": [\n");
         let mut rows = Vec::new();
@@ -716,14 +926,20 @@ impl SweepResults {
             else {
                 continue;
             };
-            rows.push(format!(
-                "      {{\"mode\": \"{}\", \"baseline_mode\": \"{}\", \"benchmarks\": {n}, \
-                 \"geomean_channel_ops_ratio\": {ops:.6}, \"geomean_stretch_ratio\": {}, \
-                 \"geomean_exec_time_ratio\": {exec:.6}}}",
+            let mut row = format!(
+                "      {{\"mode\": \"{}\", \"baseline_mode\": \"{}\", \
+                 \"benchmarks\": {n}, \"seeds\": {}, ",
                 mode.label(),
                 baseline.label(),
-                stretch.map_or("null".into(), |g| format!("{g:.6}")),
-            ));
+                self.seed_count()
+            );
+            spread_fields(&mut row, "geomean_channel_ops_ratio", Some(ops));
+            row.push_str(", ");
+            spread_fields(&mut row, "geomean_stretch_ratio", stretch);
+            row.push_str(", ");
+            spread_fields(&mut row, "geomean_exec_time_ratio", Some(exec));
+            row.push('}');
+            rows.push(row);
         }
         s.push_str(&rows.join(",\n"));
         if !rows.is_empty() {
@@ -754,6 +970,85 @@ mod tests {
             workload_seed: WORKLOAD_SEED,
             budget: 1_000,
         }
+    }
+
+    #[test]
+    fn matrix_file_round_trips() {
+        let mut matrix = SweepMatrix::paper_default(2_000);
+        matrix.phase_seeds = vec![PHASE_SEED, 7, 99];
+        matrix.dvfs.push(DvfsPoint::per_domain(
+            "2\u{00d7} \"mem\"",
+            [1.0, 1.0, 1.0, 1.0, 2.0],
+        ));
+        let rendered = matrix.to_matrix_json();
+        let parsed = SweepMatrix::from_json(&rendered, 0).expect("rendered matrix parses");
+        assert_eq!(parsed, matrix);
+    }
+
+    #[test]
+    fn matrix_file_defaults_and_overrides() {
+        let text = r#"{
+            "benchmarks": ["gcc"],
+            "modes": ["gals"],
+            "dvfs": ["uniform1.5x"],
+            "phase_seeds": [3]
+        }"#;
+        let m = SweepMatrix::from_json(text, 4_321).expect("valid file");
+        assert_eq!(m.budget, 4_321, "missing budget falls back to the default");
+        assert_eq!(m.workload_seed, WORKLOAD_SEED);
+        assert_eq!(m.dvfs[0], DvfsPoint::uniform(1.5));
+        assert_eq!(
+            m.modes[0],
+            ModePoint::Gals {
+                wakeup_filter: false
+            }
+        );
+        assert!(SweepMatrix::from_json("not json", 1).is_err());
+    }
+
+    #[test]
+    fn multi_seed_tables_report_min_mean_max() {
+        let mut matrix = tiny_matrix();
+        matrix.modes = vec![
+            ModePoint::Synchronous,
+            ModePoint::Gals {
+                wakeup_filter: false,
+            },
+            ModePoint::Gals {
+                wakeup_filter: true,
+            },
+        ];
+        matrix.phase_seeds = vec![1, 2, 3];
+        let results = run_sweep(&matrix, 2);
+        let json = results.to_json();
+        assert!(json.contains("\"seeds\": 3"), "{json}");
+        assert!(json.contains("geomean_channel_ops_ratio_min"), "{json}");
+        assert!(json.contains("geomean_channel_ops_ratio_max"), "{json}");
+        // Spread fields must bracket the mean.
+        let get = |key: &str| -> f64 {
+            let needle = format!("\"{key}\": ");
+            let at = json
+                .find(&needle)
+                .unwrap_or_else(|| panic!("{key} missing"))
+                + needle.len();
+            json[at..]
+                .split([',', '}'])
+                .next()
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("{key} not a number"))
+        };
+        let (lo, mid, hi) = (
+            get("geomean_channel_ops_ratio_min"),
+            get("geomean_channel_ops_ratio"),
+            get("geomean_channel_ops_ratio_max"),
+        );
+        assert!(
+            lo <= mid && mid <= hi,
+            "spread must bracket the mean: {lo} {mid} {hi}"
+        );
+        assert!(lo > 0.0);
     }
 
     #[test]

@@ -1,0 +1,503 @@
+//! The user-defined matrix file: a small JSON schema describing a
+//! [`SweepMatrix`](crate::SweepMatrix), loaded by `sweep --matrix FILE`
+//! as an alternative to the in-code builder.
+//!
+//! ## File format
+//!
+//! ```json
+//! {
+//!   "benchmarks": ["gcc", "fpppp"],
+//!   "modes": ["sync", "gals+filter", "pausible@300ps+coalesce"],
+//!   "dvfs": [
+//!     "nominal",
+//!     "uniform1.5x",
+//!     { "label": "fp2x", "slowdown": [1.0, 1.0, 1.0, 2.0, 1.0] }
+//!   ],
+//!   "phase_seeds": [2002, 7],
+//!   "workload_seed": 1590088705,
+//!   "budget": 60000
+//! }
+//! ```
+//!
+//! * `benchmarks` — lower-case names from [`Benchmark::name`].
+//! * `modes` — [`ModePoint::label`](crate::ModePoint::label) strings:
+//!   `sync`, `gals[+filter]`, `pausible@<N>ps[+coalesce][+filter]`.
+//! * `dvfs` — `"nominal"`, `"uniform<F>x"`, or an object with `label` and
+//!   five per-domain `slowdown` factors.
+//! * `workload_seed` and `budget` are optional (defaults:
+//!   [`WORKLOAD_SEED`](crate::WORKLOAD_SEED) and 60 000; the `sweep`
+//!   binary's `--budget` flag overrides the file).
+//!
+//! [`SweepMatrix::to_matrix_json`](crate::SweepMatrix::to_matrix_json)
+//! renders this format back, and the loader/renderer pair round-trips
+//! every representable matrix (pinned by a test).
+//!
+//! The parser is a self-contained minimal JSON reader (the workspace
+//! carries no serde); errors are human-readable strings the binary routes
+//! to stderr with the uniform usage exit code.
+
+use gals_workload::Benchmark;
+
+use crate::{DvfsPoint, ModePoint, SweepMatrix, WORKLOAD_SEED};
+
+/// A parsed JSON value (just enough of the grammar for matrix files).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("matrix JSON error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {word:?}")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = Vec::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    // The input is a &str, so unescaped content is valid
+                    // UTF-8 byte-for-byte; collecting bytes (not
+                    // byte-as-char, which would Latin-1-mangle multi-byte
+                    // sequences) preserves it.
+                    return String::from_utf8(out).map_err(|_| self.err("malformed UTF-8"));
+                }
+                Some(b'\\') => {
+                    // Matrix files carry benchmark/mode names; the escapes
+                    // that can appear are the simple ones.
+                    let esc = *self
+                        .bytes
+                        .get(self.pos + 1)
+                        .ok_or_else(|| self.err("dangling escape"))?;
+                    out.push(match esc {
+                        b'"' => b'"',
+                        b'\\' => b'\\',
+                        b'/' => b'/',
+                        b'n' => b'\n',
+                        b't' => b'\t',
+                        other => {
+                            return Err(self.err(&format!("unsupported escape \\{}", other as char)))
+                        }
+                    });
+                    self.pos += 2;
+                }
+                Some(&c) => {
+                    out.push(c);
+                    self.pos += 1;
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(c) if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("malformed number"))
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn benchmark_by_name(name: &str) -> Result<Benchmark, String> {
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| {
+            format!(
+                "unknown benchmark {name:?} (expected one of: {})",
+                Benchmark::ALL.map(|b| b.name()).join(", ")
+            )
+        })
+}
+
+/// Parses a [`ModePoint::label`] string back into the mode point.
+pub(crate) fn mode_from_label(label: &str) -> Result<ModePoint, String> {
+    let (base, features) = match label.find('+') {
+        Some(i) => (&label[..i], &label[i + 1..]),
+        None => (label, ""),
+    };
+    let mut coalesce = false;
+    let mut wakeup_filter = false;
+    for feature in features.split('+').filter(|f| !f.is_empty()) {
+        match feature {
+            "coalesce" => coalesce = true,
+            "filter" => wakeup_filter = true,
+            other => return Err(format!("unknown mode feature {other:?} in {label:?}")),
+        }
+    }
+    match base {
+        "sync" => {
+            if coalesce || wakeup_filter {
+                return Err(format!("{label:?}: the synchronous mode takes no features"));
+            }
+            Ok(ModePoint::Synchronous)
+        }
+        "gals" => {
+            if coalesce {
+                return Err(format!("{label:?}: +coalesce needs pausible clocking"));
+            }
+            Ok(ModePoint::Gals { wakeup_filter })
+        }
+        _ => {
+            let ps = base
+                .strip_prefix("pausible@")
+                .and_then(|rest| rest.strip_suffix("ps"))
+                .ok_or_else(|| {
+                    format!(
+                        "unknown mode {label:?} (expected sync, gals[+filter] or \
+                         pausible@<N>ps[+coalesce][+filter])"
+                    )
+                })?;
+            let handshake_ps: u64 = ps
+                .parse()
+                .map_err(|_| format!("bad handshake duration in {label:?}"))?;
+            Ok(ModePoint::Pausible {
+                handshake_ps,
+                coalesce,
+                wakeup_filter,
+            })
+        }
+    }
+}
+
+fn dvfs_from_json(v: &Json) -> Result<DvfsPoint, String> {
+    match v {
+        Json::Str(s) if s == "nominal" => Ok(DvfsPoint::nominal()),
+        Json::Str(s) => {
+            let factor = s
+                .strip_prefix("uniform")
+                .and_then(|rest| rest.strip_suffix('x'))
+                .and_then(|f| f.parse::<f64>().ok())
+                .ok_or_else(|| {
+                    format!("unknown dvfs point {s:?} (expected nominal or uniform<F>x)")
+                })?;
+            Ok(DvfsPoint::uniform(factor))
+        }
+        Json::Obj(_) => {
+            let label = match v.get("label") {
+                Some(Json::Str(s)) => s.clone(),
+                _ => return Err("dvfs object needs a string \"label\"".into()),
+            };
+            let Some(Json::Arr(items)) = v.get("slowdown") else {
+                return Err(format!("dvfs {label:?} needs a \"slowdown\" array"));
+            };
+            if items.len() != 5 {
+                return Err(format!(
+                    "dvfs {label:?}: slowdown needs 5 per-domain factors, got {}",
+                    items.len()
+                ));
+            }
+            let mut slowdown = [0.0; 5];
+            for (i, item) in items.iter().enumerate() {
+                match item {
+                    Json::Num(f) if *f >= 1.0 => slowdown[i] = *f,
+                    Json::Num(f) => return Err(format!("dvfs {label:?}: slowdown {f} below 1.0")),
+                    other => {
+                        return Err(format!(
+                            "dvfs {label:?}: slowdown entries must be numbers, got {}",
+                            other.type_name()
+                        ))
+                    }
+                }
+            }
+            Ok(DvfsPoint::per_domain(label, slowdown))
+        }
+        other => Err(format!(
+            "dvfs entries must be strings or objects, got {}",
+            other.type_name()
+        )),
+    }
+}
+
+fn u64_field(v: &Json, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(f)) if *f >= 0.0 && f.fract() == 0.0 => Ok(Some(*f as u64)),
+        Some(other) => Err(format!(
+            "{key} must be a non-negative integer, got {}",
+            other.type_name()
+        )),
+    }
+}
+
+/// Parses a matrix file (see the module docs for the format).
+///
+/// # Errors
+///
+/// A human-readable message naming the first problem — malformed JSON, an
+/// unknown benchmark/mode/dvfs name, a missing axis, or an empty one.
+pub(crate) fn matrix_from_json(text: &str, default_budget: u64) -> Result<SweepMatrix, String> {
+    let mut parser = Parser::new(text);
+    let root = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing data after the matrix object"));
+    }
+    if !matches!(root, Json::Obj(_)) {
+        return Err(format!(
+            "matrix file must be a JSON object, got {}",
+            root.type_name()
+        ));
+    }
+
+    let list = |key: &str| -> Result<&Vec<Json>, String> {
+        match root.get(key) {
+            Some(Json::Arr(items)) if !items.is_empty() => Ok(items),
+            Some(Json::Arr(_)) => Err(format!("{key} must not be empty")),
+            Some(other) => Err(format!("{key} must be an array, got {}", other.type_name())),
+            None => Err(format!("matrix file is missing the {key:?} axis")),
+        }
+    };
+
+    let mut benchmarks = Vec::new();
+    for item in list("benchmarks")? {
+        match item {
+            Json::Str(name) => benchmarks.push(benchmark_by_name(name)?),
+            other => {
+                return Err(format!(
+                    "benchmarks entries must be strings, got {}",
+                    other.type_name()
+                ))
+            }
+        }
+    }
+    let mut modes = Vec::new();
+    for item in list("modes")? {
+        match item {
+            Json::Str(label) => modes.push(mode_from_label(label)?),
+            other => {
+                return Err(format!(
+                    "modes entries must be strings, got {}",
+                    other.type_name()
+                ))
+            }
+        }
+    }
+    let mut dvfs = Vec::new();
+    for item in list("dvfs")? {
+        dvfs.push(dvfs_from_json(item)?);
+    }
+    let mut phase_seeds = Vec::new();
+    for item in list("phase_seeds")? {
+        match item {
+            Json::Num(f) if *f >= 0.0 && f.fract() == 0.0 => phase_seeds.push(*f as u64),
+            other => {
+                return Err(format!(
+                    "phase_seeds entries must be non-negative integers, got {}",
+                    other.type_name()
+                ))
+            }
+        }
+    }
+
+    Ok(SweepMatrix {
+        benchmarks,
+        modes,
+        dvfs,
+        phase_seeds,
+        workload_seed: u64_field(&root, "workload_seed")?.unwrap_or(WORKLOAD_SEED),
+        budget: u64_field(&root, "budget")?.unwrap_or(default_budget),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_labels_parse_back() {
+        for mode in [
+            ModePoint::Synchronous,
+            ModePoint::Gals {
+                wakeup_filter: false,
+            },
+            ModePoint::Gals {
+                wakeup_filter: true,
+            },
+            ModePoint::Pausible {
+                handshake_ps: 300,
+                coalesce: true,
+                wakeup_filter: true,
+            },
+            ModePoint::Pausible {
+                handshake_ps: 100,
+                coalesce: false,
+                wakeup_filter: false,
+            },
+        ] {
+            assert_eq!(mode_from_label(&mode.label()).unwrap(), mode);
+        }
+        assert!(mode_from_label("sync+filter").is_err());
+        assert!(mode_from_label("gals+coalesce").is_err());
+        assert!(mode_from_label("pausible@ps").is_err());
+        assert!(mode_from_label("warp").is_err());
+    }
+
+    #[test]
+    fn strings_preserve_utf8_and_escapes() {
+        let text = r#"{
+            "benchmarks": ["gcc"], "modes": ["gals"],
+            "dvfs": [{"label": "2\u00d7mem \"fast\"", "slowdown": [1, 1, 1, 1, 2]}],
+            "phase_seeds": [1]
+        }"#
+        .replace("\\u00d7", "\u{00d7}");
+        let m = matrix_from_json(&text, 1).expect("valid file");
+        assert_eq!(m.dvfs[0].label, "2\u{00d7}mem \"fast\"");
+    }
+
+    #[test]
+    fn loader_reports_bad_axes() {
+        let e = matrix_from_json("[]", 1).unwrap_err();
+        assert!(e.contains("object"), "{e}");
+        let e = matrix_from_json(r#"{"benchmarks": []}"#, 1).unwrap_err();
+        assert!(e.contains("must not be empty"), "{e}");
+        let e = matrix_from_json(
+            r#"{"benchmarks": ["gcc"], "modes": ["sync"], "dvfs": ["nominal"]}"#,
+            1,
+        )
+        .unwrap_err();
+        assert!(e.contains("phase_seeds"), "{e}");
+        let e = matrix_from_json(
+            r#"{"benchmarks": ["notabench"], "modes": ["sync"],
+                "dvfs": ["nominal"], "phase_seeds": [1]}"#,
+            1,
+        )
+        .unwrap_err();
+        assert!(e.contains("unknown benchmark"), "{e}");
+        let e = matrix_from_json("{", 1).unwrap_err();
+        assert!(e.contains("JSON error"), "{e}");
+    }
+}

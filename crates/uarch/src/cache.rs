@@ -43,7 +43,12 @@ impl CacheStats {
 #[derive(Debug, Clone)]
 pub struct Cache {
     geometry: CacheGeometry,
-    sets: u64,
+    /// `log2(line_bytes)` — geometry is validated power-of-two, so the
+    /// per-access index/tag split is two shifts and a mask, not three
+    /// divisions (this runs for every fetch tick and every load).
+    line_shift: u32,
+    set_mask: u64,
+    set_shift: u32,
     /// `tags[set * ways + way]`; `u64::MAX` = invalid.
     tags: Vec<u64>,
     /// LRU ordering per set: lower = more recently used rank. `lru[set*ways + way]`.
@@ -64,9 +69,15 @@ impl Cache {
         let sets = geometry.sets();
         assert!(geometry.ways <= 255, "associativity above 255 unsupported");
         let slots = (sets * u64::from(geometry.ways)) as usize;
+        assert!(
+            geometry.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         Cache {
             geometry,
-            sets,
+            line_shift: geometry.line_bytes.trailing_zeros(),
+            set_mask: sets - 1,
+            set_shift: sets.trailing_zeros(),
             tags: vec![INVALID_TAG; slots],
             lru: (0..slots)
                 .map(|i| (i % geometry.ways as usize) as u8)
@@ -97,8 +108,8 @@ impl Cache {
 
     #[inline]
     fn index_tag(&self, addr: u64) -> (u64, u64) {
-        let line = addr / self.geometry.line_bytes;
-        (line % self.sets, line / self.sets)
+        let line = addr >> self.line_shift;
+        (line & self.set_mask, line >> self.set_shift)
     }
 
     /// Looks up `addr`; on miss the line is filled (allocate-on-miss for
@@ -122,6 +133,21 @@ impl Cache {
         self.tags[base + victim] = tag;
         self.touch(base, ways, victim);
         false
+    }
+
+    /// Records `n` repeated hit accesses to a resident line — the bulk
+    /// form of [`Cache::access`] for a front end replaying elided
+    /// stalled-fetch cycles. A repeated hit to the line an access just
+    /// touched changes nothing but the access count (the line is already
+    /// most-recently-used), so the bulk application is bit-identical to
+    /// `n` individual accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the line is not resident.
+    pub fn record_repeat_hits(&mut self, addr: u64, n: u64) {
+        debug_assert!(self.probe(addr), "repeat-hit replay on a missing line");
+        self.stats.accesses += n;
     }
 
     /// Probes without modifying state or statistics. Returns `true` if the

@@ -81,6 +81,10 @@ impl IssueQueueStats {
 /// source tags, wake them as producers complete, select the oldest ready
 /// ones each cycle.
 ///
+/// Entries are kept in **age order** (dispatch inserts in program order and
+/// removals preserve order), so oldest-first selection is a single forward
+/// scan — no per-cycle sort.
+///
 /// # Examples
 ///
 /// ```
@@ -98,10 +102,8 @@ pub struct IssueQueue {
     capacity: usize,
     entries: Vec<IqEntry>,
     stats: IssueQueueStats,
-    /// Selection scratch (`(age, index)` of ready entries), reused across
-    /// cycles so steady-state selection allocates nothing.
-    ready_scratch: Vec<(u64, usize)>,
-    /// Selection scratch (indices picked this cycle).
+    /// Selection scratch (indices picked this cycle), reused across cycles
+    /// so steady-state selection allocates nothing.
     chosen_scratch: Vec<usize>,
 }
 
@@ -117,7 +119,6 @@ impl IssueQueue {
             capacity,
             entries: Vec::with_capacity(capacity),
             stats: IssueQueueStats::default(),
-            ready_scratch: Vec::with_capacity(capacity),
             chosen_scratch: Vec::with_capacity(capacity),
         }
     }
@@ -161,7 +162,11 @@ impl IssueQueue {
     /// # Panics
     ///
     /// Panics if `waiting` yields more than four tags (the ISA has at most
-    /// two register sources).
+    /// two register sources), or if `age` is not strictly greater than
+    /// every age already queued — insertion must be in program order, the
+    /// invariant that lets selection scan instead of sort (dispatch
+    /// naturally satisfies it; see [`Rob::alloc`](crate::Rob::alloc) for
+    /// the same contract).
     pub fn insert(
         &mut self,
         token: IqToken,
@@ -170,6 +175,9 @@ impl IssueQueue {
     ) -> Result<(), IqToken> {
         if !self.has_space() {
             return Err(token);
+        }
+        if let Some(tail) = self.entries.last() {
+            assert!(age > tail.age, "issue queue insertion out of program order");
         }
         self.stats.inserted += 1;
         let mut entry = IqEntry {
@@ -222,26 +230,21 @@ impl IssueQueue {
         out: &mut Vec<IqToken>,
     ) {
         out.clear();
-        // Scratch buffers are moved out for the duration of the scan so the
-        // borrow checker allows indexing `entries` inside the loop.
-        let mut ready = std::mem::take(&mut self.ready_scratch);
+        // The entries are age-ordered (see the type docs), so one forward
+        // scan visits ready instructions oldest-first. The chosen scratch
+        // is moved out so the borrow checker allows `admit` to run while
+        // indices are collected.
         let mut chosen = std::mem::take(&mut self.chosen_scratch);
-        ready.clear();
         chosen.clear();
-        ready.extend(
-            self.entries
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| e.is_ready())
-                .map(|(i, e)| (e.age, i)),
-        );
-        ready.sort_unstable();
-        for &(_, i) in &ready {
+        for (i, e) in self.entries.iter().enumerate() {
+            if !e.is_ready() {
+                continue;
+            }
             if chosen.len() == width as usize {
                 self.stats.width_stalls += 1;
                 break;
             }
-            if admit(self.entries[i].token) {
+            if admit(e.token) {
                 chosen.push(i);
             }
         }
@@ -250,13 +253,11 @@ impl IssueQueue {
         for &i in &chosen {
             out.push(self.entries[i].token);
         }
-        // Remove from the back so indices stay valid.
-        chosen.sort_unstable_by(|a, b| b.cmp(a));
-        for &i in &chosen {
-            self.entries.swap_remove(i);
+        // Remove back-to-front, preserving the age order of the rest.
+        for &i in chosen.iter().rev() {
+            self.entries.remove(i);
         }
         self.stats.issued += out.len() as u64;
-        self.ready_scratch = ready;
         self.chosen_scratch = chosen;
     }
 
@@ -302,8 +303,19 @@ impl IssueQueue {
 
     /// Records an occupancy sample.
     pub fn sample_occupancy(&mut self) {
-        self.stats.occupancy_samples += 1;
-        self.stats.occupancy_sum += self.entries.len() as u64;
+        self.sample_occupancy_n(1);
+    }
+
+    /// Records `n` occupancy samples at the current occupancy — exactly
+    /// equivalent to `n` calls to [`IssueQueue::sample_occupancy`] while
+    /// the queue is untouched (the idle-tick back-fill of a parked clock
+    /// domain).
+    pub fn sample_occupancy_n(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.stats.occupancy_samples += n;
+        self.stats.occupancy_sum += self.entries.len() as u64 * n;
         self.stats.occupancy_peak = self.stats.occupancy_peak.max(self.entries.len());
     }
 }
@@ -315,12 +327,21 @@ mod tests {
     #[test]
     fn ready_instructions_issue_oldest_first() {
         let mut iq = IssueQueue::new(8);
-        iq.insert(10, 5, vec![]).unwrap();
         iq.insert(11, 3, vec![]).unwrap();
         iq.insert(12, 4, vec![]).unwrap();
+        iq.insert(10, 5, vec![PhysReg(40)]).unwrap();
         assert_eq!(iq.select(2), vec![11, 12]);
+        iq.wakeup(PhysReg(40));
         assert_eq!(iq.select(2), vec![10]);
         assert!(iq.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "program order")]
+    fn out_of_order_insert_panics() {
+        let mut iq = IssueQueue::new(8);
+        iq.insert(1, 5, vec![]).unwrap();
+        let _ = iq.insert(2, 3, vec![]);
     }
 
     #[test]

@@ -17,10 +17,13 @@ pub const NUM_ARCH_PER_CLASS: usize = 32;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PhysReg(pub u16);
 
-/// A saved RAT + free-list snapshot taken at a branch.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A saved RAT + free-list snapshot taken at a branch. Plain value — the
+/// RAT is a fixed 32-entry array, so taking or restoring a checkpoint
+/// performs no heap allocation (the steady-state zero-allocation claim
+/// covers branchy code too).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Checkpoint {
-    map: Vec<u16>,
+    map: [u16; NUM_ARCH_PER_CLASS],
     free: u128,
     seq: u64,
 }
@@ -47,7 +50,7 @@ impl std::error::Error for RenameError {}
 #[derive(Debug, Clone)]
 struct ClassRename {
     /// arch index -> physical register.
-    map: Vec<u16>,
+    map: [u16; NUM_ARCH_PER_CLASS],
     /// Bitset of free physical registers (supports up to 128).
     free: u128,
     num_phys: u16,
@@ -60,7 +63,7 @@ impl ClassRename {
             "physical register count {num_phys} out of supported range"
         );
         // p0..p31 initially hold architectural state; the rest are free.
-        let map: Vec<u16> = (0..NUM_ARCH_PER_CLASS as u16).collect();
+        let map: [u16; NUM_ARCH_PER_CLASS] = std::array::from_fn(|i| i as u16);
         let mut free: u128 = 0;
         for p in NUM_ARCH_PER_CLASS as u16..num_phys {
             free |= 1 << p;
@@ -204,7 +207,7 @@ impl RenameUnit {
     pub fn checkpoint(&mut self, seq: u64) {
         assert!(self.can_checkpoint(), "checkpoint stack full");
         let snap = |c: &ClassRename| Checkpoint {
-            map: c.map.to_vec(),
+            map: c.map,
             free: c.free,
             seq,
         };
@@ -219,10 +222,10 @@ impl RenameUnit {
         let Some(pos) = self.checkpoints.iter().position(|(s, _, _)| *s == seq) else {
             return false;
         };
-        let (_, int_cp, fp_cp) = self.checkpoints[pos].clone();
-        self.int.map.copy_from_slice(&int_cp.map);
+        let (_, int_cp, fp_cp) = self.checkpoints[pos];
+        self.int.map = int_cp.map;
         self.int.free = int_cp.free;
-        self.fp.map.copy_from_slice(&fp_cp.map);
+        self.fp.map = fp_cp.map;
         self.fp.free = fp_cp.free;
         self.checkpoints.truncate(pos);
         true
@@ -285,10 +288,28 @@ impl RenameUnit {
 
     /// Records an occupancy sample for statistics.
     pub fn sample_occupancy(&mut self) {
-        let occ = self.int_occupancy() + self.fp_occupancy();
-        self.occupancy_samples += 1;
-        self.occupancy_sum += u64::from(occ);
-        self.occupancy_peak = self.occupancy_peak.max(occ);
+        self.sample_occupancy_n(1);
+    }
+
+    /// Records `n` occupancy samples at the current occupancy — exactly
+    /// equivalent to `n` calls to [`RenameUnit::sample_occupancy`] while
+    /// the table is untouched (the idle-tick back-fill of a parked clock
+    /// domain; all counters are exact integers).
+    pub fn sample_occupancy_n(&mut self, n: u64) {
+        self.sample_occupancy_n_at(self.int_occupancy() + self.fp_occupancy(), n);
+    }
+
+    /// Records `n` occupancy samples at an explicit occupancy — the
+    /// back-fill form for a caller that froze the occupancy when the
+    /// domain parked (the table may have changed in the same instant the
+    /// domain was woken, strictly after the elided ticks).
+    pub fn sample_occupancy_n_at(&mut self, occupancy: u32, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.occupancy_samples += n;
+        self.occupancy_sum += u64::from(occupancy) * n;
+        self.occupancy_peak = self.occupancy_peak.max(occupancy);
     }
 
     /// Mean sampled occupancy.
