@@ -18,7 +18,7 @@
 //! Pass an instruction budget as the first argument for a smoke run:
 //! `cargo run --release --bin ablation_pausible -- 2000`.
 
-use gals_bench::{pct, run_base, run_gals, run_pausible, BenchCli, RUN_INSTS};
+use gals_bench::{pct, run_base, run_gals, run_pausible, run_rendezvous, BenchCli, RUN_INSTS};
 use gals_clocks::{ClockSpec, Domain, PausibleClockModel};
 use gals_events::Time;
 use gals_workload::Benchmark;
@@ -29,8 +29,8 @@ fn main() {
     println!("Ablation: pausible clocking vs mixed-clock FIFOs (measured, {insts} insts)");
     println!();
     println!(
-        "{:<10} {:>12} {:>14} {:>16} {:>14}",
-        "bench", "fifo slowdn", "pausible slowdn", "min eff freq", "stretches/inst"
+        "{:<10} {:>12} {:>14} {:>12} {:>13} {:>14}",
+        "bench", "fifo slowdn", "pausible slowdn", "rdv slowdn", "min eff freq", "stretches/inst"
     );
     for bench in [
         Benchmark::Gcc,
@@ -41,17 +41,23 @@ fn main() {
         let base = run_base(bench, insts);
         let gals = run_gals(bench, insts);
         let paus = run_pausible(bench, insts);
+        // The rendezvous (unbuffered) pausible machine: latch capacity is
+        // gone too, so producers block until the consumer pops — the
+        // capacity cost of handshakes on top of their timing cost.
+        let rdv = run_rendezvous(bench, insts);
         let fifo_slowdown = 1.0 / gals.relative_performance(&base);
         let paus_slowdown = 1.0 / paus.relative_performance(&base);
+        let rdv_slowdown = 1.0 / rdv.relative_performance(&base);
         let min_ghz = Domain::ALL
             .iter()
             .map(|&d| paus.effective_ghz(d))
             .fold(f64::INFINITY, f64::min);
         println!(
-            "{:<10} {:>12} {:>15} {:>13.3} GHz {:>14.2}",
+            "{:<10} {:>12} {:>15} {:>12} {:>10.3} GHz {:>14.2}",
             bench.name(),
             pct(fifo_slowdown - 1.0),
             pct(paus_slowdown - 1.0),
+            pct(rdv_slowdown - 1.0),
             min_ghz,
             paus.total_stretches() as f64 / paus.committed as f64,
         );
@@ -77,6 +83,9 @@ fn main() {
     println!();
     println!("with transactions nearly every cycle, pausible clocks stretch nearly");
     println!("every cycle and the oscillator no longer sets the frequency — the");
-    println!("FIFO design's measured slowdown is far smaller. (Section 3.2, now a");
-    println!("simulated result; see also pausible tests in tests/end_to_end.rs.)");
+    println!("FIFO design's measured slowdown is far smaller. The rdv column");
+    println!("drops the latch capacity too (rendezvous ports: producers block");
+    println!("until the consumer pops), charging the full cost of unbuffered");
+    println!("handshakes. (Section 3.2, now a simulated result; see also the");
+    println!("pausible and rendezvous tests in tests/end_to_end.rs.)");
 }

@@ -34,8 +34,9 @@ use gals_bench::{exit_code, BenchCli};
 use gals_sweep::{run_sweep, SweepMatrix};
 
 /// Default committed-instruction budget per run. Smaller than the figure
-/// binaries' 120k: the default matrix runs 80 configurations, and the
-/// derived tables converge well before that.
+/// binaries' 120k: the default matrix runs 116 configurations (since the
+/// latched-vs-rendezvous axis joined), and the derived tables converge
+/// well before that.
 const SWEEP_INSTS: u64 = 60_000;
 
 const USAGE: &str = "sweep [--budget N | N] [--threads N] [--out PATH] [--matrix FILE]";

@@ -80,6 +80,19 @@ pub fn run_pausible(bench: Benchmark, insts: u64) -> SimReport {
     )
 }
 
+/// Runs one benchmark on the *rendezvous* pausible machine: the same
+/// clocks, phases and handshake as [`run_pausible`], but every
+/// inter-domain crossing is a single-entry rendezvous port (the capacity
+/// cost of unbuffered handshakes is charged on top of the timing cost).
+pub fn run_rendezvous(bench: Benchmark, insts: u64) -> SimReport {
+    let program = generate(bench, WORKLOAD_SEED);
+    simulate(
+        &program,
+        ProcessorConfig::pausible_rendezvous_1ghz(PHASE_SEED),
+        SimLimits::insts(insts),
+    )
+}
+
 /// Uniform process exit codes of the experiment binaries.
 pub mod exit_code {
     /// Success.

@@ -87,6 +87,8 @@ pub struct Channel<T> {
     fwd_delay: Time,
     /// Backward (full-flag) synchronisation delay.
     bwd_delay: Time,
+    /// True for single-entry rendezvous ports (see [`Channel::rendezvous`]).
+    rendezvous: bool,
     stats: ChannelStats,
 }
 
@@ -107,6 +109,44 @@ impl<T> Channel<T> {
         Self::with_delays(capacity, fwd_delay, bwd_delay)
     }
 
+    /// A single-entry **rendezvous port**: the unbuffered crossing of a
+    /// pausible-clock interface (`PausibleModel::Rendezvous`).
+    ///
+    /// The port holds at most one item and has no synchronisation delays —
+    /// the handshake cost is charged to the participating *clocks*, not to
+    /// the channel. Producer-block/consumer-release semantics fall out of
+    /// the occupancy rule: a push against an occupied port fails
+    /// ([`Channel::try_push`] returns the item, [`Channel::can_push`] is
+    /// `false`) until the consumer pops, so the producer must park or
+    /// retry; the freeing pop is the release event. A stored item still
+    /// obeys the strictly-after-push read rule, exactly like a latch.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gals_clocks::Channel;
+    /// use gals_events::Time;
+    ///
+    /// let mut port: Channel<u32> = Channel::rendezvous();
+    /// assert!(port.is_rendezvous());
+    /// port.try_push(1, Time::from_ns(1)).unwrap();
+    /// // Occupied: the producer blocks until the consumer pops.
+    /// assert_eq!(port.try_push(2, Time::from_ns(2)), Err(2));
+    /// assert_eq!(port.try_pop(Time::from_ns(2)), Some(1));
+    /// port.try_push(2, Time::from_ns(2)).unwrap();
+    /// ```
+    pub fn rendezvous() -> Self {
+        Channel {
+            rendezvous: true,
+            ..Self::with_delays(1, Time::ZERO, Time::ZERO)
+        }
+    }
+
+    /// True for a single-entry rendezvous port ([`Channel::rendezvous`]).
+    pub fn is_rendezvous(&self) -> bool {
+        self.rendezvous
+    }
+
     fn with_delays(capacity: usize, fwd_delay: Time, bwd_delay: Time) -> Self {
         assert!(capacity > 0, "channel capacity must be non-zero");
         Channel {
@@ -116,6 +156,7 @@ impl<T> Channel<T> {
             capacity,
             fwd_delay,
             bwd_delay,
+            rendezvous: false,
             stats: ChannelStats::default(),
         }
     }
@@ -358,6 +399,27 @@ mod tests {
         assert_eq!(ch.try_push(2, Time::from_fs(2 * NS)), Err(2));
         assert!(ch.can_push(Time::from_fs(3 * NS)));
         ch.try_push(2, Time::from_fs(3 * NS)).unwrap();
+    }
+
+    #[test]
+    fn rendezvous_port_blocks_until_the_consuming_pop() {
+        let mut port: Channel<u32> = Channel::rendezvous();
+        assert!(port.is_rendezvous());
+        assert_eq!(port.capacity(), 1);
+        port.try_push(1, Time::from_fs(NS)).unwrap();
+        // Same-edge reads are still forbidden (latch rule)...
+        assert_eq!(port.try_pop(Time::from_fs(NS)), None);
+        // ...and the occupied port rejects the producer until the pop.
+        assert!(!port.can_push(Time::from_fs(2 * NS)));
+        assert_eq!(port.try_push(2, Time::from_fs(2 * NS)), Err(2));
+        assert_eq!(port.stats().full_stalls, 1);
+        assert_eq!(port.try_pop(Time::from_fs(2 * NS)), Some(1));
+        // The pop releases the port immediately (no backward delay).
+        assert!(port.can_push(Time::from_fs(2 * NS)));
+        port.try_push(2, Time::from_fs(2 * NS)).unwrap();
+        // Latches and FIFOs are not rendezvous ports.
+        assert!(!Channel::<u32>::sync_latch(1).is_rendezvous());
+        assert!(!Channel::<u32>::mixed_clock_fifo(1, Time::ZERO, Time::ZERO).is_rendezvous());
     }
 
     #[test]

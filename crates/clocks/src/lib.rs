@@ -26,7 +26,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod channel;
 mod domain;
@@ -36,4 +36,4 @@ mod pausible;
 pub use channel::{Channel, ChannelStats};
 pub use domain::{ClockSpec, Domain};
 pub use dvfs::VoltageScaling;
-pub use pausible::PausibleClockModel;
+pub use pausible::{PausibleClockModel, PausibleModel};

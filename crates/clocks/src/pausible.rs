@@ -18,6 +18,32 @@ use gals_events::Time;
 
 use crate::domain::ClockSpec;
 
+/// How the pausible machine models the *capacity* of an inter-domain
+/// channel — the second half of the section-3.2 cost account, next to the
+/// handshake timing of [`PausibleClockModel`].
+///
+/// A pausible interface has no synchronisers and therefore, in its purest
+/// form, no buffering either: the transfer is a rendezvous between the two
+/// held clocks. [`PausibleModel::Latched`] keeps the simulator's full latch
+/// capacity on every crossing (charging only the handshake *timing*);
+/// [`PausibleModel::Rendezvous`] strips the crossings down to single-entry
+/// rendezvous ports ([`crate::Channel::rendezvous`]), so a producer whose
+/// port is still occupied blocks until the consumer actually pops —
+/// charging the capacity cost too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PausibleModel {
+    /// Inter-domain channels keep their full latch capacity; only the
+    /// handshake timing is charged. The optimistic reading of the paper's
+    /// pausible machine, and the default.
+    #[default]
+    Latched,
+    /// Inter-domain channels are single-entry rendezvous ports: a push
+    /// requires the previous item to have been popped, so producers block
+    /// (park-and-retry) on occupied ports and the capacity cost of
+    /// unbuffered handshakes is charged alongside the timing cost.
+    Rendezvous,
+}
+
 /// First-order timing model of a pausible-clock interface.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PausibleClockModel {

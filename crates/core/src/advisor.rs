@@ -185,6 +185,7 @@ mod tests {
             channel_ops: 50_000,
             stretches: [0; 5],
             stretch_time: [Time::ZERO; 5],
+            rendezvous_blocked: [0; 5],
             energy: EnergyBreakdown {
                 blocks: [0.0; 12],
                 global_clock: 0.0,

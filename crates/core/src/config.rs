@@ -1,7 +1,7 @@
 //! Processor configuration: clocking style, microarchitecture, energy
 //! parameters and per-domain voltage/frequency scaling.
 
-use gals_clocks::{ClockSpec, Domain, PausibleClockModel, VoltageScaling};
+use gals_clocks::{ClockSpec, Domain, PausibleClockModel, PausibleModel, VoltageScaling};
 use gals_events::Time;
 use gals_power::EnergyParams;
 use gals_uarch::UarchConfig;
@@ -23,11 +23,21 @@ pub enum Clocking {
     /// FIFOs. Channels behave as plain latches with no synchronisation
     /// delay; every inter-domain transfer delays the next edge of the
     /// producer's and consumer's clocks by the model's handshake time.
+    ///
+    /// The `transfer` field selects the capacity model of the crossings:
+    /// [`PausibleModel::Latched`] keeps full latch capacity (only the
+    /// handshake timing is charged), [`PausibleModel::Rendezvous`] strips
+    /// every crossing to a single-entry rendezvous port, so producers
+    /// block — park-and-retry, woken by the consuming pop — while a port
+    /// is occupied, charging the capacity cost of unbuffered handshakes
+    /// too (reported per domain in `SimReport::rendezvous_blocked`).
     Pausible {
         /// The five local clocks, indexed by [`Domain::index`].
         clocks: [ClockSpec; 5],
         /// Handshake timing of the pausible interface.
         model: PausibleClockModel,
+        /// Capacity model of the inter-domain crossings.
+        transfer: PausibleModel,
     },
 }
 
@@ -204,8 +214,37 @@ impl ProcessorConfig {
             clocking: Clocking::Pausible {
                 clocks,
                 model: PausibleClockModel::new(Time::from_ps(300)),
+                transfer: PausibleModel::Latched,
             },
             ..gals
+        }
+    }
+
+    /// The rendezvous (unbuffered) pausible machine: exactly
+    /// [`ProcessorConfig::pausible_equal_1ghz`], but every inter-domain
+    /// crossing is a single-entry rendezvous port instead of a latch —
+    /// producers block until the consumer pops, charging the *capacity*
+    /// cost of pausible handshakes on top of their timing cost.
+    pub fn pausible_rendezvous_1ghz(phase_seed: u64) -> Self {
+        Self::pausible_equal_1ghz(phase_seed).with_pausible_model(PausibleModel::Rendezvous)
+    }
+
+    /// Sets the pausible transfer-capacity model (builder style) — the
+    /// latched-vs-rendezvous axis of the section-3.2 comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is not pausible: the transfer model is
+    /// a property of the pausible interface, so setting it on a FIFO or
+    /// synchronous machine would silently measure nothing.
+    #[must_use]
+    pub fn with_pausible_model(mut self, transfer: PausibleModel) -> Self {
+        match &mut self.clocking {
+            Clocking::Pausible { transfer: t, .. } => {
+                *t = transfer;
+                self
+            }
+            other => panic!("transfer model only applies to pausible clocking, not {other:?}"),
         }
     }
 
@@ -409,13 +448,52 @@ mod tests {
     fn dvfs_slows_pausible_clocks_per_domain() {
         let plan = DvfsPlan::nominal().with_slowdown(Domain::MemCluster, 2.0);
         let cfg = ProcessorConfig::pausible_equal_1ghz(1).with_dvfs(plan);
-        if let Clocking::Pausible { clocks, model } = &cfg.clocking {
+        if let Clocking::Pausible { clocks, model, .. } = &cfg.clocking {
             assert_eq!(clocks[Domain::MemCluster.index()].period, Time::from_ns(2));
             assert_eq!(clocks[Domain::Fetch.index()].period, Time::from_ns(1));
             assert_eq!(model.handshake, Time::from_ps(300));
         } else {
             panic!("pausible clocking expected");
         }
+    }
+
+    #[test]
+    fn pausible_transfer_model_defaults_latched_and_builds_rendezvous() {
+        let latched = ProcessorConfig::pausible_equal_1ghz(7);
+        let Clocking::Pausible { transfer, .. } = latched.clocking else {
+            panic!("pausible clocking expected");
+        };
+        assert_eq!(transfer, PausibleModel::Latched);
+
+        let rdv = ProcessorConfig::pausible_rendezvous_1ghz(7);
+        rdv.validate().unwrap();
+        let Clocking::Pausible {
+            clocks,
+            model,
+            transfer,
+        } = rdv.clocking
+        else {
+            panic!("pausible clocking expected");
+        };
+        assert_eq!(transfer, PausibleModel::Rendezvous);
+        // Everything except the transfer model matches the latched machine
+        // (paired comparisons share clocks, phases and handshake).
+        let Clocking::Pausible {
+            clocks: lclocks,
+            model: lmodel,
+            ..
+        } = latched.clocking
+        else {
+            unreachable!()
+        };
+        assert_eq!(clocks, lclocks);
+        assert_eq!(model, lmodel);
+    }
+
+    #[test]
+    #[should_panic(expected = "pausible")]
+    fn transfer_model_builder_rejects_fifo_gals() {
+        let _ = ProcessorConfig::gals_equal_1ghz(1).with_pausible_model(PausibleModel::Rendezvous);
     }
 
     #[test]

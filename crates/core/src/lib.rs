@@ -12,7 +12,12 @@
 //! * **pausible** — the section-3.2 ablation: the same five local clocks,
 //!   but every domain crossing stretches both participating clocks for an
 //!   arbiter handshake instead of buffering through a FIFO, so measured
-//!   effective frequencies are set by communication rates.
+//!   effective frequencies are set by communication rates. Two transfer
+//!   models ([`gals_clocks::PausibleModel`]): *latched* keeps full channel
+//!   capacity (timing cost only), *rendezvous* strips every crossing to a
+//!   single-entry port, so producers block until the consumer pops and the
+//!   capacity cost of unbuffered handshakes is charged too (reported in
+//!   [`SimReport::rendezvous_blocked`]).
 //!
 //! Both machines share all pipeline code; they differ only in channel
 //! construction and clock wiring (see [`ProcessorConfig`]), mirroring how

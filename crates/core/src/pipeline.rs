@@ -55,7 +55,7 @@
 
 use std::collections::VecDeque;
 
-use gals_clocks::{Channel, Domain};
+use gals_clocks::{Channel, Domain, PausibleModel};
 use gals_events::Time;
 use gals_isa::{Cluster, DynStream, Inst, OpClass, Program, EXIT_PC};
 use gals_power::{MacroBlock, PowerAccountant};
@@ -124,6 +124,11 @@ struct ClusterState {
     picked_scratch: Vec<u64>,
     /// Per-tick scratch: `(token, seq, latency)` of admitted instructions.
     latency_scratch: Vec<(u64, u64, u64)>,
+    /// Rendezvous mode only: finished executions whose writeback is parked
+    /// on an occupied outbound port (completion, wakeup or redirect), as
+    /// `(seq, id)` in program order. Retried every tick; always empty in
+    /// the latched machines.
+    writeback_pending: Vec<(u64, InstrId)>,
 }
 
 impl ClusterState {
@@ -142,6 +147,7 @@ impl ClusterState {
             finished_scratch: Vec::with_capacity(rob_size),
             picked_scratch: Vec::with_capacity(2 * fu_count as usize),
             latency_scratch: Vec::with_capacity(2 * fu_count as usize),
+            writeback_pending: Vec::with_capacity(rob_size),
         }
     }
 }
@@ -218,6 +224,16 @@ pub struct Pipeline<'p> {
     /// clocks per inter-domain transfer; `None` in the synchronous and
     /// FIFO-GALS machines.
     stretch_handshake: Option<Time>,
+    /// Rendezvous pausible mode (`PausibleModel::Rendezvous`): every
+    /// inter-domain channel is a single-entry rendezvous port and the push
+    /// sites park-and-retry against an occupied port. `false` everywhere
+    /// else (the counters below then stay zero).
+    rendezvous: bool,
+    /// Cycles in which a domain's stage made *no* progress because its
+    /// rendezvous port was occupied (fetch pushed nothing, decode renamed
+    /// nothing, a cluster wrote back nothing — at most one per domain per
+    /// tick), indexed by [`Domain::index`]. Rendezvous mode only.
+    rendezvous_blocked: [u64; 5],
     /// Stretch time accumulated since the driver last drained it, indexed
     /// by [`Domain::index`].
     pending_stretch: [Time; 5],
@@ -277,6 +293,11 @@ pub struct Pipeline<'p> {
     /// instant decode is woken mutates both, but strictly after every
     /// elided tick).
     decode_park_occ: (usize, u32),
+    /// Why decode parked (rendezvous mode only): `true` when the rename
+    /// head was blocked on a saturated dispatch rendezvous port, so every
+    /// elided decode tick replays one `rendezvous_blocked` cycle (the live
+    /// tick's rename loop would have broken at the port).
+    decode_park_blocked: bool,
     /// Per-channel cursors over a *parked* cluster's virtual edge grid —
     /// `[from][to]`, the next edge at or after the channel's last replayed
     /// wakeup pop. Each channel's pops replay in time order (cross-channel
@@ -410,6 +431,14 @@ impl<'p> Pipeline<'p> {
                 Clocking::Pausible { model, .. } => Some(model.handshake),
                 _ => None,
             },
+            rendezvous: matches!(
+                &cfg.clocking,
+                Clocking::Pausible {
+                    transfer: PausibleModel::Rendezvous,
+                    ..
+                }
+            ),
+            rendezvous_blocked: [0; 5],
             pending_stretch: [Time::ZERO; 5],
             stretch_pending: false,
             stretch_events: [0; 5],
@@ -440,6 +469,7 @@ impl<'p> Pipeline<'p> {
             parked: [false; 5],
             fetch_park_blocked: false,
             decode_park_occ: (0, 0),
+            decode_park_blocked: false,
             virtual_edge: [[Time::ZERO; 3]; 3],
             parked_l2_charges: 0,
             parked_l2_last_edge: Time::MAX,
@@ -456,9 +486,15 @@ impl<'p> Pipeline<'p> {
                 Channel::mixed_clock_fifo(cap, fwd, bwd)
             }
             // Pausible clocking has no synchronisers: the transfer happens
-            // with both clocks held, so the channel is an ordinary latch and
-            // the cost is paid as clock stretch (see `note_transfer`).
-            Clocking::Pausible { .. } => Channel::sync_latch(cap),
+            // with both clocks held, so the timing cost is paid as clock
+            // stretch (see `note_transfer`). The latched model keeps the
+            // full latch capacity (only timing is charged); the rendezvous
+            // model strips every crossing to a single-entry port, so the
+            // capacity cost of unbuffered handshakes is charged too.
+            Clocking::Pausible { transfer, .. } => match transfer {
+                PausibleModel::Latched => Channel::sync_latch(cap),
+                PausibleModel::Rendezvous => Channel::rendezvous(),
+            },
         }
     }
 
@@ -583,7 +619,8 @@ impl<'p> Pipeline<'p> {
     ///   output channel still probes the I-cache every cycle, so it is
     ///   never quiescent;
     /// * decode: ROB, decode buffer and every inbound channel empty;
-    /// * clusters: issue queue, execution list and inbound dispatch
+    /// * clusters: issue queue, execution list, port-parked writeback
+    ///   list (rendezvous mode) and inbound dispatch
     ///   channel empty — plus, for the memory cluster, no store-buffer
     ///   residue and no pending fetch-side L2 touch. Inbound *wakeup-tag*
     ///   channels must also be empty under pausible clocking; with static
@@ -625,6 +662,7 @@ impl<'p> Pipeline<'p> {
                 let cl = &self.clusters[ci];
                 cl.iq.is_empty()
                     && cl.executing.is_empty()
+                    && cl.writeback_pending.is_empty()
                     && self.ch_dispatch[ci].is_empty()
                     && (self.static_grid.is_some()
                         || (0..3).all(|from| from == ci || self.ch_wakeup[from][ci].is_empty()))
@@ -655,6 +693,12 @@ impl<'p> Pipeline<'p> {
                 self.rob.len(),
                 self.rename.int_occupancy() + self.rename.fp_occupancy(),
             );
+            // Remember whether the rename head parked on a saturated
+            // dispatch rendezvous port: every elided decode tick would
+            // have broken at that port and charged one blocked cycle.
+            // The state this reads cannot change while the clock is
+            // parked (the releasing pop raises a decode wake).
+            self.decode_park_blocked = self.rendezvous && self.decode_head_blocked_on_port();
         }
         if domain == Domain::Fetch && parked {
             // Remember *why* fetch parked: a fetch blocked on a full
@@ -776,7 +820,11 @@ impl<'p> Pipeline<'p> {
                 if self.fetch_park_blocked {
                     // Blocked-on-full-channel flavour: every elided tick
                     // re-accessed the resident line and charged an active
-                    // I-cache cycle.
+                    // I-cache cycle — and, on a rendezvous port, counted
+                    // one blocked cycle at the failed `can_push`.
+                    if self.rendezvous {
+                        self.rendezvous_blocked[Domain::Fetch.index()] += ticks;
+                    }
                     let pc = if self.wrong_path {
                         self.wrong_pc
                     } else {
@@ -794,6 +842,12 @@ impl<'p> Pipeline<'p> {
             }
             Domain::Decode => {
                 self.decode_cycle += ticks;
+                // Parked on a saturated dispatch rendezvous port: each
+                // elided tick's rename loop would have broken at the port
+                // and counted one blocked cycle.
+                if self.decode_park_blocked {
+                    self.rendezvous_blocked[Domain::Decode.index()] += ticks;
+                }
                 self.accountant.tick_domain_n(Domain::Decode, ticks);
                 self.accountant
                     .block_cycles_n(MacroBlock::RenameLogic, false, ticks);
@@ -958,6 +1012,8 @@ impl<'p> Pipeline<'p> {
                     // One I-cache line per cycle: the fetch group ends at
                     // the line boundary (and at predicted-taken branches).
                     let line = pc >> self.l1i_line_shift;
+                    let fetched_before = self.fetched;
+                    let mut port_blocked = false;
                     for _ in 0..self.cfg.uarch.fetch_width {
                         let cur = if self.wrong_path {
                             self.wrong_pc
@@ -967,10 +1023,17 @@ impl<'p> Pipeline<'p> {
                         if cur == EXIT_PC || cur >> self.l1i_line_shift != line {
                             break;
                         }
-                        match self.fetch_one(&mut bpred_active) {
+                        match self.fetch_one(&mut bpred_active, &mut port_blocked) {
                             FetchOutcome::Continue => {}
                             FetchOutcome::Stop => break,
                         }
+                    }
+                    // Rendezvous mode: a blocked cycle is a tick in which
+                    // fetch produced *nothing* because its output port was
+                    // occupied. A parked blocked fetch replays exactly
+                    // these (zero-push) ticks — see `replay_idle`.
+                    if self.rendezvous && port_blocked && self.fetched == fetched_before {
+                        self.rendezvous_blocked[Domain::Fetch.index()] += 1;
                     }
                 } else {
                     self.icache_stall = self.l2_fill_latency();
@@ -1037,9 +1100,13 @@ impl<'p> Pipeline<'p> {
         )
     }
 
-    fn fetch_one(&mut self, bpred_active: &mut bool) -> FetchOutcome {
+    fn fetch_one(&mut self, bpred_active: &mut bool, port_blocked: &mut bool) -> FetchOutcome {
         let now = self.now;
         if !self.ch_fetch_decode.can_push(now) {
+            // The occupied output port stops the group; the caller counts
+            // a rendezvous-blocked cycle only when the whole tick fetched
+            // nothing (a partially fetched group made progress).
+            *port_blocked = true;
             return FetchOutcome::Stop;
         }
         if self.wrong_path {
@@ -1277,6 +1344,9 @@ impl<'p> Pipeline<'p> {
         for cl in &mut self.clusters {
             cl.iq.squash_younger_into(bseq, &mut scratch);
             cl.executing.retain(|&(_, s, _)| s <= bseq);
+            // Rendezvous mode: port-parked writebacks of squashed
+            // instructions evaporate too (the list is empty otherwise).
+            cl.writeback_pending.retain(|&(s, _)| s <= bseq);
         }
         scratch.clear();
         self.squash_scratch = scratch;
@@ -1412,6 +1482,15 @@ impl<'p> Pipeline<'p> {
             }
             let ci = cluster_index(op.cluster());
             if !self.ch_dispatch[ci].can_push(now) {
+                // Rendezvous mode: a blocked cycle is a tick whose rename
+                // stage moved *nothing* because the head's dispatch port
+                // was occupied (breaking after some renames is progress,
+                // not a stall). The cluster's consuming pop wakes a parked
+                // decode, whose elided — necessarily zero-rename — blocked
+                // ticks replay in `replay_idle`.
+                if self.rendezvous && renamed == 0 {
+                    self.rendezvous_blocked[Domain::Decode.index()] += 1;
+                }
                 break;
             }
             // Rename sources first (RAW within the group resolves to the
@@ -1515,40 +1594,65 @@ impl<'p> Pipeline<'p> {
         }
     }
 
-    /// True when the rename head (if any) is stalled on a resource only
-    /// another domain's activity can release — a commit enabled by a
-    /// completion push, a recovery, or a dispatch-channel pop, all of
-    /// which wake a parked decode. Returns `false` for the one stall whose
-    /// release is time-driven: a dispatch channel whose *slots* are free
-    /// but whose full-flag synchronisation has not yet expired.
-    fn decode_stall_is_external(&self) -> bool {
+    /// Classifies the binding stall of the rename head, testing hazards in
+    /// the same order the live rename loop in `tick_decode` does (ROB
+    /// space, checkpoint, store-buffer slot, dispatch port, physical
+    /// registers). The loop is the semantics; this is the one shared,
+    /// side-effect-free mirror of it that the park predicates below are
+    /// derived from — extend both the loop and this classification
+    /// together when adding a rename hazard.
+    fn rename_head_stall(&self) -> RenameHeadStall {
         let Some(&id) = self.decode_buf.front() else {
-            return true; // nothing to rename
+            return RenameHeadStall::Empty;
         };
         if !self.rob.has_space() {
-            return true; // waits on commit (completion push wakes)
+            return RenameHeadStall::RobFull;
         }
         let Some((_, op, arch_dst, _)) = self.inflight.rename_view(id) else {
-            return true; // squashed out from under the buffer (defensive)
+            return RenameHeadStall::Vanished;
         };
         if op.is_branch() && !self.rename.can_checkpoint() {
-            return true; // waits on commit or recovery
+            return RenameHeadStall::Checkpoint;
         }
         if op == OpClass::Store && !self.store_buffer.has_space() {
-            return true; // waits on commit
+            return RenameHeadStall::StoreBuffer;
+        }
+        let ci = cluster_index(op.cluster());
+        if self.ch_dispatch[ci].len() >= self.ch_dispatch[ci].capacity() {
+            return RenameHeadStall::PortSaturated;
         }
         if let Some(d) = arch_dst {
             let (int_free, fp_free) = self.rename.free_counts();
             let free = if d.is_fp() { fp_free } else { int_free };
             if free == 0 {
-                return true; // waits on commit (or recovery)
+                return RenameHeadStall::Registers;
             }
         }
-        let ci = cluster_index(op.cluster());
-        // Saturated dispatch channel: only a consumer pop (which wakes
-        // us) can unblock. Anything less than slot-saturation could
-        // unblock by a full-flag sync expiring — time-driven, no park.
-        self.ch_dispatch[ci].len() >= self.ch_dispatch[ci].capacity()
+        RenameHeadStall::Ready
+    }
+
+    /// True when the rename head (if any) is stalled on a resource only
+    /// another domain's activity can release — a commit enabled by a
+    /// completion push, a recovery, or a dispatch-channel pop, all of
+    /// which wake a parked decode. Returns `false` for the one stall whose
+    /// release is time-driven: a dispatch channel whose *slots* are free
+    /// but whose full-flag synchronisation has not yet expired (that case
+    /// classifies as `Ready` — the synchronisation is invisible to the
+    /// side-effect-free classifier, and `Ready` with nothing renamed this
+    /// tick is precisely it).
+    fn decode_stall_is_external(&self) -> bool {
+        self.rename_head_stall() != RenameHeadStall::Ready
+    }
+
+    /// Rendezvous mode: true when the live rename loop would break at the
+    /// `can_push` check of the head's dispatch port, so parked-decode
+    /// replay charges blocked cycles if and only if the live ticks would
+    /// have. (Rendezvous ports have no backward delay, so slot-saturation
+    /// is exactly `!can_push`; the loop checks the port before renaming
+    /// the destination, so a saturated port binds even when registers are
+    /// also scarce.)
+    fn decode_head_blocked_on_port(&self) -> bool {
+        self.rename_head_stall() == RenameHeadStall::PortSaturated
     }
 
     /// Deadlock watchdog (development aid): panics when no instruction has
@@ -1614,8 +1718,38 @@ impl<'p> Pipeline<'p> {
             }
         });
         finished.sort_unstable_by_key(|&(seq, _)| seq);
-        for &(_, id) in &finished {
-            self.writeback(ci, id);
+        if self.rendezvous {
+            // Rendezvous mode: a writeback pushes into single-entry ports
+            // (wakeup broadcasts, the completion notice, possibly the
+            // redirect), so it runs only when *every* port it needs can
+            // accept — an atomic rendezvous. Blocked writebacks park in
+            // program order on the pending list and retry next tick (the
+            // non-empty list keeps the cluster from quiescing); one blocked
+            // cycle is charged per tick that ends with the head parked.
+            let mut pending = std::mem::take(&mut self.clusters[ci].writeback_pending);
+            pending.extend_from_slice(&finished);
+            // Seqs are unique, so the merged order is deterministic.
+            pending.sort_unstable_by_key(|&(seq, _)| seq);
+            let mut done = 0;
+            while let Some(&(_, id)) = pending.get(done) {
+                if !self.writeback_ports_free(ci, id) {
+                    // A blocked cycle is a tick in which *no* writeback got
+                    // through — a partially drained pending list made
+                    // progress.
+                    if done == 0 {
+                        self.rendezvous_blocked[CLUSTER_DOMAINS[ci].index()] += 1;
+                    }
+                    break;
+                }
+                self.writeback(ci, id);
+                done += 1;
+            }
+            pending.drain(..done);
+            self.clusters[ci].writeback_pending = pending;
+        } else {
+            for &(_, id) in &finished {
+                self.writeback(ci, id);
+            }
         }
         self.clusters[ci].finished_scratch = finished;
 
@@ -1770,6 +1904,42 @@ impl<'p> Pipeline<'p> {
         issued
     }
 
+    /// Rendezvous mode: true when every rendezvous port this instruction's
+    /// writeback will push into — the completion notice, the redirect for
+    /// a mispredicted branch, and each wakeup link the broadcast (or the
+    /// producer-side filter) selects — can accept an item at `now`. The
+    /// check mirrors [`Pipeline::writeback`] exactly, so a `true` here
+    /// guarantees the writeback's pushes all succeed.
+    fn writeback_ports_free(&mut self, ci: usize, id: InstrId) -> bool {
+        let now = self.now;
+        let Some((_, dst, is_mispredict)) = self.inflight.writeback_view(id) else {
+            return true; // squashed under us: the writeback is a no-op
+        };
+        if !self.ch_complete[ci].can_push(now) {
+            return false;
+        }
+        if is_mispredict && !self.ch_redirect.can_push(now) {
+            return false;
+        }
+        if let Some((_, tag, _)) = dst {
+            let filter = self.cfg.cross_cluster_wakeup_filter;
+            let interest = if filter {
+                self.wakeup_interest[tag.index()]
+            } else {
+                0
+            };
+            for to in 0..3 {
+                if to == ci || (filter && interest & (1 << to) == 0) {
+                    continue;
+                }
+                if !self.ch_wakeup[ci][to].can_push(now) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
     fn writeback(&mut self, ci: usize, id: InstrId) {
         let now = self.now;
         let Some((seq, dst, is_mispredict)) = self.inflight.writeback_view(id) else {
@@ -1920,6 +2090,7 @@ impl<'p> Pipeline<'p> {
             channel_ops,
             stretches: self.stretch_events,
             stretch_time: self.stretch_time,
+            rendezvous_blocked: self.rendezvous_blocked,
             energy: self.accountant.breakdown(),
         }
     }
@@ -1929,6 +2100,33 @@ impl<'p> Pipeline<'p> {
 enum FetchOutcome {
     Continue,
     Stop,
+}
+
+/// The binding stall of the rename head, as classified by
+/// `Pipeline::rename_head_stall` (hazards in the live rename loop's test
+/// order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RenameHeadStall {
+    /// Decode buffer empty — nothing to rename.
+    Empty,
+    /// ROB full: waits on a commit (a completion push wakes decode).
+    RobFull,
+    /// The head vanished under the buffer (defensive squash race).
+    Vanished,
+    /// Branch with no free checkpoint: waits on commit or recovery.
+    Checkpoint,
+    /// Store with no buffer slot: waits on commit.
+    StoreBuffer,
+    /// Dispatch channel slot-saturated: waits on a consumer pop.
+    PortSaturated,
+    /// Out of physical registers: waits on commit or recovery.
+    Registers,
+    /// No stall visible to a side-effect-free classification: the head
+    /// would rename — unless the dispatch channel's full-flag
+    /// synchronisation is still pending, the one time-driven wait, which
+    /// also lands here and which park decisions must treat as
+    /// not-parkable.
+    Ready,
 }
 
 /// First edge of the grid `(phase + k·period)` at or after `bound`.

@@ -62,6 +62,14 @@ pub struct SimReport {
     /// Total stretch time inserted into each domain's clock (pausible
     /// clocking only).
     pub stretch_time: [Time; 5],
+    /// Cycles in which a domain's pipeline stage made *no* progress
+    /// because its rendezvous port was occupied — fetch pushed nothing,
+    /// decode renamed nothing, a cluster wrote back nothing (rendezvous
+    /// pausible clocking only; the *capacity* cost of unbuffered
+    /// handshakes; all zero in every other machine). At most one blocked
+    /// cycle is counted per domain per tick, and ticks that moved some
+    /// work before hitting the occupied port are progress, not stalls.
+    pub rendezvous_blocked: [u64; 5],
     /// Energy breakdown.
     pub energy: EnergyBreakdown,
 }
@@ -103,6 +111,12 @@ impl SimReport {
     /// pausible clocking).
     pub fn total_stretches(&self) -> u64 {
         self.stretches.iter().sum()
+    }
+
+    /// Total rendezvous-blocked cycles across all domains (non-zero only
+    /// under rendezvous pausible clocking).
+    pub fn total_rendezvous_blocked(&self) -> u64 {
+        self.rendezvous_blocked.iter().sum()
     }
 
     /// Mean slip (fetch-to-commit latency) per committed instruction.
@@ -264,6 +278,13 @@ impl SimReport {
                 total_stretch
             );
         }
+        if self.total_rendezvous_blocked() > 0 {
+            let _ = writeln!(
+                s,
+                "rendezvous blocks    {:>12}   (producer cycles parked on full ports)",
+                self.total_rendezvous_blocked()
+            );
+        }
         let _ = writeln!(s, "total energy         {:>12.0} EU", self.total_energy());
         let _ = writeln!(
             s,
@@ -305,6 +326,7 @@ mod tests {
             channel_ops: 0,
             stretches: [0; 5],
             stretch_time: [Time::ZERO; 5],
+            rendezvous_blocked: [0; 5],
             energy: EnergyBreakdown {
                 blocks: [0.0; MacroBlock::ALL.len()],
                 global_clock: 0.0,
@@ -360,5 +382,15 @@ mod tests {
         let mut r = empty_report();
         r.stretches = [1, 2, 3, 4, 5];
         assert_eq!(r.total_stretches(), 15);
+    }
+
+    #[test]
+    fn rendezvous_blocked_sums_domains_and_gates_the_summary_line() {
+        let mut r = empty_report();
+        assert_eq!(r.total_rendezvous_blocked(), 0);
+        assert!(!r.summary().contains("rendezvous blocks"));
+        r.rendezvous_blocked = [10, 0, 5, 0, 1];
+        assert_eq!(r.total_rendezvous_blocked(), 16);
+        assert!(r.summary().contains("rendezvous blocks"));
     }
 }

@@ -9,13 +9,14 @@
 //!
 //! ## The matrix
 //!
-//! A [`SweepMatrix`] is the cartesian product of five axes:
+//! A [`SweepMatrix`] is the cartesian product of six axes:
 //!
 //! | axis | values |
 //! |------|--------|
 //! | benchmark | any subset of [`gals_workload::Benchmark`] |
 //! | clocking mode | [`ModePoint`]: synchronous, FIFO-GALS, or pausible — each optionally with the wakeup-filter / wakeup-coalescing features |
 //! | handshake duration | carried inside pausible [`ModePoint`]s (one mode point per duration) |
+//! | pausible transfer model | carried inside pausible [`ModePoint`]s: latched (full channel capacity) or rendezvous (single-entry ports, producers block) |
 //! | DVFS point | [`DvfsPoint`]: per-domain slowdown factors with voltage tracking |
 //! | phase seed | the GALS local-clock phase seed |
 //!
@@ -39,7 +40,7 @@
 //!
 //! ```text
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "tool": "gals-sweep",
 //!   "budget": <u64>,            // committed-instruction budget per run
 //!   "workload_seed": <u64>,
@@ -47,11 +48,13 @@
 //!   "runs": [                   // one object per RunSpec, in matrix order
 //!     { "index", "benchmark", "clocking", "mode",
 //!       "handshake_ps",         // null outside pausible modes
+//!       "pausible_model",       // "latched"/"rendezvous"; null otherwise
 //!       "wakeup_filter", "coalesce_wakeup", "dvfs", "phase_seed",
 //!       "committed", "fetched", "wrong_path_fetched", "exec_time_fs",
 //!       "insts_per_ns", "mean_slip_fs", "fifo_slip_fraction",
 //!       "misspeculation_rate", "channel_ops", "total_stretches",
-//!       "stretch_time_fs", "min_effective_ghz", "total_energy",
+//!       "stretch_time_fs", "rendezvous_block_cycles",
+//!       "min_effective_ghz", "total_energy",
 //!       "average_power" }, ...
 //!   ],
 //!   "tables": {                 // derived paper-figure tables
@@ -59,6 +62,9 @@
 //!       { "handshake_ps", "benchmarks", "seeds",
 //!         "geomean_slowdown_vs_gals" (+ "_min"/"_max"),
 //!         "geomean_slowdown_vs_sync" (+ "_min"/"_max") }, ... ],
+//!     "rendezvous_vs_latched": [
+//!       { "handshake_ps", "benchmarks", "seeds",
+//!         "geomean_slowdown_vs_latched" (+ "_min"/"_max") }, ... ],
 //!     "energy_perf_vs_frequency": [
 //!       { "dvfs", "benchmarks", "seeds",
 //!         "geomean_relative_performance" (+ "_min"/"_max"),
@@ -107,7 +113,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use gals_clocks::Domain;
+use gals_clocks::{Domain, PausibleModel};
 use gals_core::{simulate, DvfsPlan, ProcessorConfig, SimLimits, SimReport};
 use gals_events::Time;
 use gals_workload::{generate, Benchmark};
@@ -119,7 +125,15 @@ use gals_workload::{generate, Benchmark};
 /// v2: derived tables aggregate across the phase-seed axis — each metric
 /// reports the mean across seeds (identical to v1 for single-seed
 /// matrices) plus `*_min`/`*_max` spread fields and a `seeds` count.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3: the pausible transfer-capacity axis. Each run gains
+/// `pausible_model` (`"latched"`/`"rendezvous"`, `null` outside pausible
+/// modes) and `rendezvous_block_cycles`; the plain-pausible selection rule
+/// of `pausible_slowdown_vs_handshake` now means *latched* plain points
+/// (the v2 meaning, stated explicitly), and a new
+/// `rendezvous_vs_latched` table derives the latched-to-rendezvous
+/// slowdown per handshake duration. See `docs/SWEEP_FORMAT.md`.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Default workload seed (matches the bench harness's "input set").
 pub const WORKLOAD_SEED: u64 = 0x5EC9_5201;
@@ -150,6 +164,12 @@ pub enum ModePoint {
         coalesce: bool,
         /// Producer-side cross-cluster wakeup filter.
         wakeup_filter: bool,
+        /// Transfer-capacity model: `false` keeps full latch capacity on
+        /// every crossing ([`gals_clocks::PausibleModel::Latched`]),
+        /// `true` strips the crossings to single-entry rendezvous ports
+        /// ([`gals_clocks::PausibleModel::Rendezvous`]) so producers
+        /// block until the consumer pops.
+        rendezvous: bool,
     },
 }
 
@@ -174,8 +194,10 @@ impl ModePoint {
                 handshake_ps,
                 coalesce,
                 wakeup_filter,
+                rendezvous,
             } => format!(
-                "pausible@{handshake_ps}ps{}{}",
+                "pausible@{handshake_ps}ps{}{}{}",
+                if rendezvous { "+rendezvous" } else { "" },
                 if coalesce { "+coalesce" } else { "" },
                 if wakeup_filter { "+filter" } else { "" }
             ),
@@ -200,6 +222,18 @@ impl ModePoint {
 
     fn coalesce(&self) -> bool {
         matches!(self, ModePoint::Pausible { coalesce: true, .. })
+    }
+
+    /// The pausible transfer-capacity model (`"latched"`/`"rendezvous"`
+    /// for pausible points, `None` otherwise) — the report's
+    /// `pausible_model` field.
+    pub fn pausible_model(&self) -> Option<&'static str> {
+        match self {
+            ModePoint::Pausible { rendezvous, .. } => {
+                Some(if *rendezvous { "rendezvous" } else { "latched" })
+            }
+            _ => None,
+        }
     }
 }
 
@@ -276,11 +310,12 @@ pub struct SweepMatrix {
 
 impl SweepMatrix {
     /// The default paper matrix: the four section-3.2 ablation benchmarks ×
-    /// {sync, FIFO-GALS, FIFO-GALS+filter, pausible @ 100/300/600 ps,
-    /// pausible @ 300 ps + coalescing} × {nominal, uniform 1.5×, FP 2×}
-    /// DVFS points × one phase seed — 80 runs, covering the handshake-
-    /// duration sweep, the DVFS energy/performance trade-off and both
-    /// wakeup-path features head-to-head.
+    /// {sync, FIFO-GALS, FIFO-GALS+filter, pausible @ 100/300/600 ps in
+    /// both transfer models (latched and rendezvous), pausible @ 300 ps +
+    /// coalescing} × {nominal, uniform 1.5×, FP 2×} DVFS points × one
+    /// phase seed — covering the handshake-duration sweep, the
+    /// latched-vs-rendezvous capacity axis, the DVFS energy/performance
+    /// trade-off and both wakeup-path features head-to-head.
     pub fn paper_default(budget: u64) -> Self {
         SweepMatrix {
             benchmarks: vec![
@@ -301,21 +336,43 @@ impl SweepMatrix {
                     handshake_ps: 100,
                     coalesce: false,
                     wakeup_filter: false,
+                    rendezvous: false,
                 },
                 ModePoint::Pausible {
                     handshake_ps: 300,
                     coalesce: false,
                     wakeup_filter: false,
+                    rendezvous: false,
                 },
                 ModePoint::Pausible {
                     handshake_ps: 600,
                     coalesce: false,
                     wakeup_filter: false,
+                    rendezvous: false,
+                },
+                ModePoint::Pausible {
+                    handshake_ps: 100,
+                    coalesce: false,
+                    wakeup_filter: false,
+                    rendezvous: true,
+                },
+                ModePoint::Pausible {
+                    handshake_ps: 300,
+                    coalesce: false,
+                    wakeup_filter: false,
+                    rendezvous: true,
+                },
+                ModePoint::Pausible {
+                    handshake_ps: 600,
+                    coalesce: false,
+                    wakeup_filter: false,
+                    rendezvous: true,
                 },
                 ModePoint::Pausible {
                     handshake_ps: 300,
                     coalesce: true,
                     wakeup_filter: false,
+                    rendezvous: false,
                 },
             ],
             dvfs: vec![
@@ -454,10 +511,17 @@ impl RunSpec {
         let base = match self.mode {
             ModePoint::Synchronous => ProcessorConfig::synchronous_1ghz(),
             ModePoint::Gals { .. } => ProcessorConfig::gals_equal_1ghz(self.phase_seed),
-            ModePoint::Pausible { handshake_ps, .. } => {
-                ProcessorConfig::pausible_equal_1ghz(self.phase_seed)
-                    .with_pausible_handshake(Time::from_ps(handshake_ps))
-            }
+            ModePoint::Pausible {
+                handshake_ps,
+                rendezvous,
+                ..
+            } => ProcessorConfig::pausible_equal_1ghz(self.phase_seed)
+                .with_pausible_handshake(Time::from_ps(handshake_ps))
+                .with_pausible_model(if rendezvous {
+                    PausibleModel::Rendezvous
+                } else {
+                    PausibleModel::Latched
+                }),
         };
         base.with_wakeup_filter(self.mode.wakeup_filter())
             .with_wakeup_coalescing(self.mode.coalesce())
@@ -500,6 +564,9 @@ pub struct RunRecord {
     pub total_stretches: u64,
     /// Total stretch time across domains in femtoseconds.
     pub stretch_time_fs: u64,
+    /// Total producer cycles blocked on occupied rendezvous ports
+    /// (rendezvous pausible points only; zero everywhere else).
+    pub rendezvous_block_cycles: u64,
     /// Slowest measured per-domain effective frequency in GHz.
     pub min_effective_ghz: f64,
     /// Total energy in relative units.
@@ -523,6 +590,7 @@ impl RunRecord {
             channel_ops: r.channel_ops,
             total_stretches: r.total_stretches(),
             stretch_time_fs: r.stretch_time.iter().map(|t| t.as_fs()).sum(),
+            rendezvous_block_cycles: r.total_rendezvous_blocked(),
             min_effective_ghz: Domain::ALL
                 .iter()
                 .map(|&d| r.effective_ghz(d))
@@ -724,15 +792,21 @@ impl SweepResults {
                 Some(ps) => ps.to_string(),
                 None => "null".into(),
             };
+            let pausible_model = match r.spec.mode.pausible_model() {
+                Some(m) => format!("\"{m}\""),
+                None => "null".into(),
+            };
             let _ = writeln!(
                 s,
                 "    {{\"index\": {}, \"benchmark\": \"{}\", \"clocking\": \"{}\", \
-                 \"mode\": \"{}\", \"handshake_ps\": {}, \"wakeup_filter\": {}, \
+                 \"mode\": \"{}\", \"handshake_ps\": {}, \"pausible_model\": {}, \
+                 \"wakeup_filter\": {}, \
                  \"coalesce_wakeup\": {}, \"dvfs\": \"{}\", \"phase_seed\": {}, \
                  \"committed\": {}, \"fetched\": {}, \"wrong_path_fetched\": {}, \
                  \"exec_time_fs\": {}, \"insts_per_ns\": {:.6}, \"mean_slip_fs\": {}, \
                  \"fifo_slip_fraction\": {:.6}, \"misspeculation_rate\": {:.6}, \
                  \"channel_ops\": {}, \"total_stretches\": {}, \"stretch_time_fs\": {}, \
+                 \"rendezvous_block_cycles\": {}, \
                  \"min_effective_ghz\": {:.6}, \"total_energy\": {:.3}, \
                  \"average_power\": {:.6}}}{comma}",
                 r.spec.index,
@@ -740,6 +814,7 @@ impl SweepResults {
                 r.spec.mode.clocking(),
                 r.spec.mode.label(),
                 handshake,
+                pausible_model,
                 r.spec.mode.wakeup_filter(),
                 r.spec.mode.coalesce(),
                 r.spec.dvfs.label,
@@ -755,6 +830,7 @@ impl SweepResults {
                 r.channel_ops,
                 r.total_stretches,
                 r.stretch_time_fs,
+                r.rendezvous_block_cycles,
                 r.min_effective_ghz,
                 r.total_energy,
                 r.average_power,
@@ -763,6 +839,7 @@ impl SweepResults {
         s.push_str("  ],\n");
         s.push_str("  \"tables\": {\n");
         self.write_handshake_table(&mut s);
+        self.write_rendezvous_table(&mut s);
         self.write_dvfs_table(&mut s);
         self.write_feature_table(&mut s);
         s.push_str("  }\n}\n");
@@ -770,8 +847,8 @@ impl SweepResults {
     }
 
     /// Figure: pausible slowdown vs handshake duration (nominal DVFS,
-    /// plain pausible points), against both the FIFO-GALS and synchronous
-    /// baselines; min/mean/max across phase seeds.
+    /// plain *latched* pausible points), against both the FIFO-GALS and
+    /// synchronous baselines; min/mean/max across phase seeds.
     fn write_handshake_table(&self, s: &mut String) {
         s.push_str("    \"pausible_slowdown_vs_handshake\": [\n");
         let mut rows = Vec::new();
@@ -780,6 +857,7 @@ impl SweepResults {
                 handshake_ps,
                 coalesce: false,
                 wakeup_filter: false,
+                rendezvous: false,
             } = *mode
             else {
                 continue;
@@ -802,6 +880,53 @@ impl SweepResults {
             spread_fields(&mut row, "geomean_slowdown_vs_gals", Some(vs_gals));
             row.push_str(", ");
             spread_fields(&mut row, "geomean_slowdown_vs_sync", vs_sync);
+            row.push('}');
+            rows.push(row);
+        }
+        s.push_str(&rows.join(",\n"));
+        if !rows.is_empty() {
+            s.push('\n');
+        }
+        s.push_str("    ],\n");
+    }
+
+    /// Table: the capacity cost of unbuffered pausible transfers — for
+    /// each handshake duration with both plain transfer-model points in
+    /// the matrix, the execution-time ratio of the rendezvous machine
+    /// over the latched one (nominal DVFS, geomean over benchmarks,
+    /// min/mean/max across phase seeds).
+    fn write_rendezvous_table(&self, s: &mut String) {
+        s.push_str("    \"rendezvous_vs_latched\": [\n");
+        let mut rows = Vec::new();
+        for mode in &self.matrix.modes {
+            let ModePoint::Pausible {
+                handshake_ps,
+                coalesce: false,
+                wakeup_filter: false,
+                rendezvous: true,
+            } = *mode
+            else {
+                continue;
+            };
+            let latched = ModePoint::Pausible {
+                handshake_ps,
+                coalesce: false,
+                wakeup_filter: false,
+                rendezvous: false,
+            };
+            if !self.matrix.modes.contains(&latched) {
+                continue;
+            }
+            let Some((vs_latched, n)) = self.mode_ratio(*mode, latched, |r| r.exec_time_fs as f64)
+            else {
+                continue;
+            };
+            let mut row = format!(
+                "      {{\"handshake_ps\": {handshake_ps}, \"benchmarks\": {n}, \
+                 \"seeds\": {}, ",
+                self.seed_count()
+            );
+            spread_fields(&mut row, "geomean_slowdown_vs_latched", Some(vs_latched));
             row.push('}');
             rows.push(row);
         }
@@ -906,10 +1031,12 @@ impl SweepResults {
                     handshake_ps,
                     coalesce,
                     wakeup_filter,
+                    rendezvous,
                 } if coalesce || wakeup_filter => ModePoint::Pausible {
                     handshake_ps,
                     coalesce: false,
                     wakeup_filter: false,
+                    rendezvous,
                 },
                 _ => continue,
             };
@@ -1093,10 +1220,21 @@ mod tests {
             handshake_ps: 300,
             coalesce: true,
             wakeup_filter: false,
+            rendezvous: false,
         };
         assert_eq!(m.label(), "pausible@300ps+coalesce");
         assert_eq!(m.clocking(), "pausible");
         assert_eq!(m.handshake_ps(), Some(300));
+        assert_eq!(m.pausible_model(), Some("latched"));
+        let rdv = ModePoint::Pausible {
+            handshake_ps: 600,
+            coalesce: false,
+            wakeup_filter: false,
+            rendezvous: true,
+        };
+        assert_eq!(rdv.label(), "pausible@600ps+rendezvous");
+        assert_eq!(rdv.pausible_model(), Some("rendezvous"));
+        assert_eq!(ModePoint::Synchronous.pausible_model(), None);
         assert_eq!(
             ModePoint::Gals {
                 wakeup_filter: true

@@ -21,7 +21,9 @@
 //!
 //! * `benchmarks` — lower-case names from [`Benchmark::name`].
 //! * `modes` — [`ModePoint::label`](crate::ModePoint::label) strings:
-//!   `sync`, `gals[+filter]`, `pausible@<N>ps[+coalesce][+filter]`.
+//!   `sync`, `gals[+filter]`,
+//!   `pausible@<N>ps[+rendezvous][+coalesce][+filter]` (`+rendezvous`
+//!   selects the unbuffered transfer-capacity model).
 //! * `dvfs` — `"nominal"`, `"uniform<F>x"`, or an object with `label` and
 //!   five per-domain `slowdown` factors.
 //! * `workload_seed` and `budget` are optional (defaults:
@@ -251,23 +253,27 @@ pub(crate) fn mode_from_label(label: &str) -> Result<ModePoint, String> {
     };
     let mut coalesce = false;
     let mut wakeup_filter = false;
+    let mut rendezvous = false;
     for feature in features.split('+').filter(|f| !f.is_empty()) {
         match feature {
             "coalesce" => coalesce = true,
             "filter" => wakeup_filter = true,
+            "rendezvous" => rendezvous = true,
             other => return Err(format!("unknown mode feature {other:?} in {label:?}")),
         }
     }
     match base {
         "sync" => {
-            if coalesce || wakeup_filter {
+            if coalesce || wakeup_filter || rendezvous {
                 return Err(format!("{label:?}: the synchronous mode takes no features"));
             }
             Ok(ModePoint::Synchronous)
         }
         "gals" => {
-            if coalesce {
-                return Err(format!("{label:?}: +coalesce needs pausible clocking"));
+            if coalesce || rendezvous {
+                return Err(format!(
+                    "{label:?}: +coalesce/+rendezvous need pausible clocking"
+                ));
             }
             Ok(ModePoint::Gals { wakeup_filter })
         }
@@ -278,7 +284,7 @@ pub(crate) fn mode_from_label(label: &str) -> Result<ModePoint, String> {
                 .ok_or_else(|| {
                     format!(
                         "unknown mode {label:?} (expected sync, gals[+filter] or \
-                         pausible@<N>ps[+coalesce][+filter])"
+                         pausible@<N>ps[+rendezvous][+coalesce][+filter])"
                     )
                 })?;
             let handshake_ps: u64 = ps
@@ -288,6 +294,7 @@ pub(crate) fn mode_from_label(label: &str) -> Result<ModePoint, String> {
                 handshake_ps,
                 coalesce,
                 wakeup_filter,
+                rendezvous,
             })
         }
     }
@@ -451,17 +458,33 @@ mod tests {
                 handshake_ps: 300,
                 coalesce: true,
                 wakeup_filter: true,
+                rendezvous: false,
             },
             ModePoint::Pausible {
                 handshake_ps: 100,
                 coalesce: false,
                 wakeup_filter: false,
+                rendezvous: false,
+            },
+            ModePoint::Pausible {
+                handshake_ps: 300,
+                coalesce: false,
+                wakeup_filter: false,
+                rendezvous: true,
+            },
+            ModePoint::Pausible {
+                handshake_ps: 600,
+                coalesce: true,
+                wakeup_filter: true,
+                rendezvous: true,
             },
         ] {
             assert_eq!(mode_from_label(&mode.label()).unwrap(), mode);
         }
         assert!(mode_from_label("sync+filter").is_err());
         assert!(mode_from_label("gals+coalesce").is_err());
+        assert!(mode_from_label("gals+rendezvous").is_err());
+        assert!(mode_from_label("sync+rendezvous").is_err());
         assert!(mode_from_label("pausible@ps").is_err());
         assert!(mode_from_label("warp").is_err());
     }

@@ -1,0 +1,52 @@
+//! The checked-in example matrix file (`examples/sweep_matrix.json`,
+//! referenced from `docs/SWEEP_FORMAT.md`) must stay loadable and must
+//! round-trip through the renderer — so the documented format and the
+//! parser can never drift apart silently.
+
+use gals_sweep::{ModePoint, SweepMatrix};
+use gals_workload::Benchmark;
+
+const EXAMPLE: &str = include_str!("../../../examples/sweep_matrix.json");
+
+#[test]
+fn example_matrix_file_parses_and_round_trips() {
+    let matrix = SweepMatrix::from_json(EXAMPLE, 1_000).expect("example matrix must parse");
+    // The file carries its own budget; the default must not leak in.
+    assert_eq!(matrix.budget, 60_000);
+
+    // It exercises every axis the docs describe: all three clocking
+    // families, both pausible transfer models, a featured mode, and a
+    // per-domain DVFS object next to the string forms.
+    assert!(matrix.benchmarks.contains(&Benchmark::Gcc));
+    assert!(matrix.modes.contains(&ModePoint::Synchronous));
+    assert!(matrix.modes.iter().any(|m| matches!(
+        m,
+        ModePoint::Pausible {
+            rendezvous: true,
+            ..
+        }
+    )));
+    assert!(matrix.modes.iter().any(|m| matches!(
+        m,
+        ModePoint::Pausible {
+            rendezvous: false,
+            coalesce: false,
+            ..
+        }
+    )));
+    assert!(matrix.dvfs.iter().any(|d| d.label == "fp2x"));
+
+    // Round-trip: render -> parse -> equal matrix.
+    let rendered = matrix.to_matrix_json();
+    let reparsed = SweepMatrix::from_json(&rendered, 0).expect("rendered matrix must parse");
+    assert_eq!(reparsed, matrix);
+
+    // The example expands to a real run list (sanity: the collapse rule
+    // only drops non-uniform DVFS on sync).
+    let specs = matrix.expand();
+    assert!(!specs.is_empty());
+    let sync_nonuniform = specs
+        .iter()
+        .any(|s| s.mode == ModePoint::Synchronous && !s.dvfs.is_uniform());
+    assert!(!sync_nonuniform);
+}

@@ -35,6 +35,11 @@ fn arb_matrix() -> impl Strategy<Value = SweepMatrix> {
                         handshake_ps,
                         coalesce,
                         wakeup_filter: false,
+                        // Cover both transfer-capacity models (the bool
+                        // is independent of the pausible point's own
+                        // feature axis, so roughly half the generated
+                        // matrices carry a rendezvous point).
+                        rendezvous: filter,
                     },
                 ];
                 if sync {

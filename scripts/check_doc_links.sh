@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link in README.md and docs/*.md
+# points at a file or directory that exists in the repo. No network, no
+# dependencies beyond grep/sed — external (http/https/mailto) links and
+# pure #anchors are skipped. Run from anywhere; paths resolve against the
+# repo root (the script's parent directory).
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+fail=0
+checked=0
+
+for file in "$root"/README.md "$root"/docs/*.md; do
+    [ -f "$file" ] || continue
+    dir="$(dirname "$file")"
+    # Extract the (target) of every [text](target) markdown link.
+    # grep -o keeps one match per output line even with several per line.
+    while IFS= read -r target; do
+        case "$target" in
+            http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        # Strip a trailing #anchor, if any.
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$path" ]; then
+            echo "BROKEN: $file -> $target" >&2
+            fail=1
+        fi
+    done < <(grep -o ']([^)]*)' "$file" | sed 's/^](//; s/)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "doc link check failed" >&2
+    exit 1
+fi
+echo "doc link check ok ($checked relative links resolve)"

@@ -3,10 +3,15 @@
 //! A from-scratch Rust reproduction of *"Power and Performance Evaluation
 //! of Globally Asynchronous Locally Synchronous Processors"* (Iyer &
 //! Marculescu, ISCA 2002): a cycle-level, event-driven simulation of a
-//! 4-wide out-of-order superscalar processor in two clocking styles —
-//! fully synchronous, and GALS with five locally synchronous clock domains
-//! communicating through mixed-clock FIFOs — with Wattch-style power
-//! modelling and per-domain dynamic voltage/frequency scaling.
+//! 4-wide out-of-order superscalar processor in three clocking styles —
+//! fully synchronous; GALS with five locally synchronous clock domains
+//! communicating through mixed-clock FIFOs; and the section-3.2 pausible
+//! (stretchable-clock) ablation machine, with both latched and rendezvous
+//! (unbuffered) transfer models — with Wattch-style power modelling and
+//! per-domain dynamic voltage/frequency scaling.
+//!
+//! New here? Start with the repository `README.md` and
+//! `docs/ARCHITECTURE.md` (the paper-to-code map).
 //!
 //! This crate is a facade re-exporting the workspace's public API:
 //!

@@ -38,6 +38,7 @@ fn clockset_and_engine_schedulers_produce_identical_reports() {
             ProcessorConfig::synchronous_1ghz(),
             ProcessorConfig::gals_equal_1ghz(7),
             ProcessorConfig::pausible_equal_1ghz(7),
+            ProcessorConfig::pausible_rendezvous_1ghz(7),
         ] {
             let fast = simulate(&program, cfg.clone(), limits);
             let oracle = simulate_with_engine(&program, cfg.clone(), limits);
@@ -117,6 +118,73 @@ fn pausible_clocking_is_slower_than_fifo_gals_on_every_benchmark() {
              ({} vs {} insts/ns)",
             paus.insts_per_ns(),
             gals.insts_per_ns()
+        );
+    }
+}
+
+#[test]
+fn rendezvous_pausible_is_slower_than_latched_on_every_benchmark() {
+    // Section 3.2, second half: the latched pausible machine charges only
+    // the *timing* cost of handshakes; with rendezvous (unbuffered)
+    // transfers every crossing is a single-entry port, producers block
+    // until the consumer pops, and the *capacity* cost lands too — so the
+    // rendezvous machine must measure slower than the latched one on all
+    // four ablation benchmarks, at identical committed work.
+    for bench in [
+        Benchmark::Gcc,
+        Benchmark::Fpppp,
+        Benchmark::Ijpeg,
+        Benchmark::Compress,
+    ] {
+        let program = generate(bench, 2);
+        let latched = simulate(&program, ProcessorConfig::pausible_equal_1ghz(1), LIMITS);
+        let rdv = simulate(
+            &program,
+            ProcessorConfig::pausible_rendezvous_1ghz(1),
+            LIMITS,
+        );
+        assert_eq!(latched.committed, rdv.committed, "{bench}: unequal budgets");
+        assert!(
+            rdv.insts_per_ns() < latched.insts_per_ns(),
+            "{bench}: rendezvous must be slower than latched pausible \
+             ({} vs {} insts/ns)",
+            rdv.insts_per_ns(),
+            latched.insts_per_ns()
+        );
+        // The capacity cost is visible as producer cycles parked on
+        // occupied ports — and only the rendezvous machine pays it.
+        assert!(
+            rdv.total_rendezvous_blocked() > 0,
+            "{bench}: rendezvous ports must block producers"
+        );
+        assert_eq!(latched.total_rendezvous_blocked(), 0);
+    }
+}
+
+#[test]
+fn rendezvous_reports_are_bit_identical_across_schedulers_on_all_benchmarks() {
+    // The acceptance bar for the rendezvous mode: ClockSet (with idle-tick
+    // elision and park-and-retry producers) and the never-eliding Engine
+    // oracle agree on every report field, on all four ablation benchmarks.
+    let limits = SimLimits {
+        max_insts: 6_000,
+        watchdog_cycles: 200_000,
+    };
+    for bench in [
+        Benchmark::Gcc,
+        Benchmark::Fpppp,
+        Benchmark::Ijpeg,
+        Benchmark::Compress,
+    ] {
+        let program = generate(bench, 42);
+        let cfg = ProcessorConfig::pausible_rendezvous_1ghz(7);
+        let fast = simulate(&program, cfg.clone(), limits);
+        let oracle = simulate_with_engine(&program, cfg, limits);
+        assert_eq!(
+            format!("{fast:?}"),
+            format!("{oracle:?}"),
+            "scheduler divergence in rendezvous mode on {}",
+            bench.name()
         );
     }
 }

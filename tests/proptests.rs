@@ -2,8 +2,8 @@
 //! profiles and clock configurations must simulate without panicking and
 //! uphold the architectural invariants.
 
-use gals::clocks::{ClockSpec, Domain, PausibleClockModel};
-use gals::core::{simulate, Clocking, DvfsPlan, ProcessorConfig, SimLimits};
+use gals::clocks::{ClockSpec, Domain, PausibleClockModel, PausibleModel};
+use gals::core::{simulate, simulate_with_engine, Clocking, DvfsPlan, ProcessorConfig, SimLimits};
 use gals::events::Time;
 use gals::workload::{generate_profile, WorkloadProfile};
 use proptest::prelude::*;
@@ -60,17 +60,28 @@ fn arb_domain_clocks() -> impl Strategy<Value = [ClockSpec; 5]> {
         })
 }
 
+/// A random pausible clocking: arbitrary clocks, handshake duration and
+/// transfer-capacity model (latched or rendezvous).
+fn arb_pausible() -> impl Strategy<Value = Clocking> {
+    (arb_domain_clocks(), 0u64..500_000, any::<bool>()).prop_map(
+        |(clocks, handshake, rendezvous)| Clocking::Pausible {
+            clocks,
+            model: PausibleClockModel::new(Time::from_fs(handshake)),
+            transfer: if rendezvous {
+                PausibleModel::Rendezvous
+            } else {
+                PausibleModel::Latched
+            },
+        },
+    )
+}
+
 fn arb_clocking() -> impl Strategy<Value = Clocking> {
     prop_oneof![
         (800_000u64..2_000_000)
             .prop_map(|p| Clocking::Synchronous(ClockSpec::new(Time::from_fs(p)))),
         arb_domain_clocks().prop_map(Clocking::Gals),
-        (arb_domain_clocks(), 0u64..500_000).prop_map(|(clocks, handshake)| {
-            Clocking::Pausible {
-                clocks,
-                model: PausibleClockModel::new(Time::from_fs(handshake)),
-            }
-        }),
+        arb_pausible(),
     ]
 }
 
@@ -127,6 +138,29 @@ proptest! {
             "slowing a domain cannot make the machine significantly faster ({} vs {})",
             scaled.exec_time, nominal.exec_time
         );
+    }
+
+    /// The two-scheduler contract under random *pausible* clockings —
+    /// both transfer models. Random clocks, phases and handshake
+    /// durations generate arbitrary clock-stretch streams, and the
+    /// rendezvous arm additionally generates arbitrary producer-block /
+    /// consumer-release (park-and-retry) streams on every single-entry
+    /// port; the static `ClockSet` fast path (with idle-tick elision) and
+    /// the general `Engine` oracle must still agree on every report field,
+    /// bit for bit.
+    #[test]
+    fn schedulers_bit_identical_under_random_stretch_and_block_streams(
+        profile in arb_profile(),
+        clocking in arb_pausible(),
+        seed in 0u64..1_000,
+    ) {
+        let program = generate_profile(&profile, seed);
+        let mut cfg = ProcessorConfig::synchronous_1ghz();
+        cfg.clocking = clocking;
+        let limits = SimLimits { max_insts: 1_200, watchdog_cycles: 300_000 };
+        let fast = simulate(&program, cfg.clone(), limits);
+        let oracle = simulate_with_engine(&program, cfg, limits);
+        prop_assert_eq!(format!("{fast:?}"), format!("{oracle:?}"));
     }
 
     /// The same (profile, seed, config) is bit-reproducible.
