@@ -15,20 +15,26 @@ fn bench_end_to_end(c: &mut Criterion) {
         let program = generate(bench, 42);
         group.bench_with_input(BenchmarkId::new("base", bench.name()), &program, |b, p| {
             b.iter(|| {
-                black_box(simulate(
-                    p,
-                    ProcessorConfig::synchronous_1ghz(),
-                    SimLimits::insts(INSTS),
-                ))
+                black_box(
+                    simulate(
+                        p,
+                        ProcessorConfig::synchronous_1ghz(),
+                        SimLimits::insts(INSTS),
+                    )
+                    .expect("simulation failed"),
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("gals", bench.name()), &program, |b, p| {
             b.iter(|| {
-                black_box(simulate(
-                    p,
-                    ProcessorConfig::gals_equal_1ghz(1),
-                    SimLimits::insts(INSTS),
-                ))
+                black_box(
+                    simulate(
+                        p,
+                        ProcessorConfig::gals_equal_1ghz(1),
+                        SimLimits::insts(INSTS),
+                    )
+                    .expect("simulation failed"),
+                )
             })
         });
     }

@@ -62,11 +62,14 @@ fn bench_sim_throughput(c: &mut Criterion) {
     let program = generate(Benchmark::Gcc, 42);
     c.bench_function("sim/throughput_insts_per_sec", |b| {
         b.iter(|| {
-            black_box(simulate(
-                &program,
-                ProcessorConfig::synchronous_1ghz(),
-                SimLimits::insts(10_000),
-            ))
+            black_box(
+                simulate(
+                    &program,
+                    ProcessorConfig::synchronous_1ghz(),
+                    SimLimits::insts(10_000),
+                )
+                .expect("simulation failed"),
+            )
         })
     });
 }

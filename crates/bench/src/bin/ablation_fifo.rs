@@ -23,7 +23,7 @@ fn main() {
     for sync in [0.5, 1.0, 1.5, 2.0, 3.0] {
         let mut cfg = ProcessorConfig::gals_equal_1ghz(gals_bench::PHASE_SEED);
         cfg.fifo_sync_periods = sync;
-        let r = simulate(&program, cfg, limits);
+        let r = simulate(&program, cfg, limits).expect("simulation failed");
         println!(
             "{:>11}T {:>12} {:>10.3}",
             sync,
@@ -38,7 +38,7 @@ fn main() {
     for cap in [2usize, 4, 8, 12, 24] {
         let mut cfg = ProcessorConfig::gals_equal_1ghz(gals_bench::PHASE_SEED);
         cfg.channel_capacity = cap;
-        let r = simulate(&program, cfg, limits);
+        let r = simulate(&program, cfg, limits).expect("simulation failed");
         println!(
             "{:>12} {:>12} {:>10.3}",
             cap,

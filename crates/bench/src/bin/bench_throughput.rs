@@ -25,7 +25,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use gals_bench::{exit_code, extract_json_numbers, BenchCli};
+use gals_bench::{exit_code, extract_json_numbers, write_atomic, BenchCli};
 use gals_core::{simulate, simulate_with_engine, ProcessorConfig, SimLimits};
 use gals_workload::{generate, Benchmark};
 
@@ -117,12 +117,18 @@ fn main() {
             let fast = {
                 let cfg = cfg.clone();
                 let program = &program;
-                best_insts_per_sec(move || simulate(program, cfg.clone(), limits).committed)
+                best_insts_per_sec(move || {
+                    simulate(program, cfg.clone(), limits)
+                        .expect("simulation failed")
+                        .committed
+                })
             };
             let oracle = {
                 let program = &program;
                 best_insts_per_sec(move || {
-                    simulate_with_engine(program, cfg.clone(), limits).committed
+                    simulate_with_engine(program, cfg.clone(), limits)
+                        .expect("simulation failed")
+                        .committed
                 })
             };
             let seed_ips = SEED_BASELINE_IPS[rows.len()];
@@ -178,8 +184,7 @@ fn main() {
     json.push_str("  ]\n}\n");
 
     if let Some(out) = &cli.out {
-        std::fs::write(out, &json)
-            .unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
+        write_atomic(out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
         println!("wrote {}", out.display());
     }
     if smoke {
@@ -187,7 +192,10 @@ fn main() {
         // the recorded trajectory are only meaningful at the full budget.
         println!("smoke budget {insts}: not touching BENCH_throughput.json");
     } else if cli.out.is_none() {
-        std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
+        // Atomic (tmp + rename): this is the checked-in baseline the CI
+        // perf gate reads — it must never be observable half-written.
+        write_atomic(std::path::Path::new("BENCH_throughput.json"), &json)
+            .expect("write BENCH_throughput.json");
         println!("wrote BENCH_throughput.json");
     }
 

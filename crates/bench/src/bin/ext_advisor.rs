@@ -33,7 +33,8 @@ fn main() {
             .collect::<Vec<_>>()
             .join(",");
         let cfg = ProcessorConfig::gals_equal_1ghz(gals_bench::PHASE_SEED).with_dvfs(plan);
-        let planned = simulate(&program, cfg, SimLimits::insts(RUN_INSTS));
+        let planned =
+            simulate(&program, cfg, SimLimits::insts(RUN_INSTS)).expect("simulation failed");
         let perf = planned.relative_performance(&base);
         let energy = planned.relative_energy(&base);
         perfs.push(perf);

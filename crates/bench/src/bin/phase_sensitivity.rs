@@ -18,7 +18,7 @@ fn main() {
     println!("{:>6} {:>12}", "seed", "insts/ns");
     for seed in 1..=10u64 {
         let cfg = ProcessorConfig::gals_equal_1ghz(seed);
-        let r = simulate(&program, cfg, limits);
+        let r = simulate(&program, cfg, limits).expect("simulation failed");
         println!("{:>6} {:>12.4}", seed, r.insts_per_ns());
         rates.push(r.insts_per_ns());
     }

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! cargo run --release --bin sweep -- [--budget N] [--threads N] [--out PATH]
-//!     [--matrix FILE]
+//!     [--matrix FILE] [--journal PATH [--resume]] [--retries N]
+//!     [--run-timeout-ms N]
 //! ```
 //!
 //! * `--budget N` — committed instructions per run (default 60 000; CI
@@ -18,20 +19,47 @@
 //! * `--threads N` — worker threads (default: host parallelism). The
 //!   report is **bit-identical for every thread count** (pinned by
 //!   `crates/sweep/tests/sweep_determinism.rs`).
-//! * `--out PATH` — report path (default `SWEEP_results.json`). The
-//!   report is gitignored: unlike `BENCH_throughput.json` it is not a
-//!   checked-in comparison baseline, so runs at any budget are free to
-//!   (re)write it — CI uploads its smoke report as a workflow artifact.
+//! * `--out PATH` — report path (default `SWEEP_results.json`), written
+//!   atomically (tmp + rename). The report is gitignored: unlike
+//!   `BENCH_throughput.json` it is not a checked-in comparison baseline,
+//!   so runs at any budget are free to (re)write it — CI uploads its smoke
+//!   report as a workflow artifact.
+//!
+//! ## Fault tolerance
+//!
+//! Every matrix point runs isolated on its own thread under a wall-clock
+//! watchdog: a point that panics, deadlocks, or stalls is recorded with a
+//! structured `status` (`panicked` / `deadlocked` / `timed_out`) while the
+//! rest of the sweep completes bit-identically. Any failed point turns the
+//! exit code into 3 (`exit_code::FAILED_RUNS`) after the report is
+//! written.
+//!
+//! * `--journal PATH` — write-ahead JSONL journal: one line per completed
+//!   run, appended atomically, so a killed sweep loses at most the line
+//!   being written.
+//! * `--resume` — replay the journal and re-run only failed or missing
+//!   points. The journal records the matrix identity hash; resuming
+//!   against a different matrix is a loud error, while execution-policy
+//!   changes (`--retries`, `--run-timeout-ms`, `--threads`) are fine.
+//! * `--retries N` — extra in-process attempts per failed point
+//!   (overrides the matrix file's `retries`; default 0).
+//! * `--run-timeout-ms N` — per-run deadline (overrides the matrix file's
+//!   `run_timeout_ms`; default 60 s + 1 ms per budgeted instruction).
+//! * `--chaos-panic I[,J..]` / `--chaos-wedge I[,J..]` /
+//!   `--chaos-stall I:MS` — deterministic fault injection at the given
+//!   matrix indices, for exercising the failure path end-to-end (the CI
+//!   chaos smoke job). Only available when built with `--features chaos`;
+//!   a plain build rejects them with a pointer to the feature.
 //!
 //! See the `gals-sweep` crate docs for the matrix format and the full JSON
 //! schema, and `gals_sweep::SweepMatrix::paper_default` for what the
 //! default matrix covers (the section-3.2 handshake sweep, the DVFS
 //! energy/performance points, and the wakeup filter/coalescing ablations).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use gals_bench::{exit_code, BenchCli};
-use gals_sweep::{run_sweep, SweepMatrix};
+use gals_bench::{exit_code, write_atomic, BenchCli};
+use gals_sweep::{run_sweep_with, RunStatus, SweepMatrix, SweepOptions};
 
 /// Default committed-instruction budget per run. Smaller than the figure
 /// binaries' 120k: the default matrix runs 116 configurations (since the
@@ -39,11 +67,52 @@ use gals_sweep::{run_sweep, SweepMatrix};
 /// well before that.
 const SWEEP_INSTS: u64 = 60_000;
 
-const USAGE: &str = "sweep [--budget N | N] [--threads N] [--out PATH] [--matrix FILE]";
+const USAGE: &str = "sweep [--budget N | N] [--threads N] [--out PATH] [--matrix FILE] \
+     [--journal PATH [--resume]] [--retries N] [--run-timeout-ms N] \
+     [--chaos-panic I] [--chaos-wedge I] [--chaos-stall I:MS]";
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: {USAGE}");
+    std::process::exit(exit_code::USAGE);
+}
+
+/// Builds the harness options from the command line; the chaos flags only
+/// arm a fault plan when the binary was built with the `chaos` feature.
+fn sweep_options(cli: &BenchCli, matrix: &SweepMatrix) -> SweepOptions {
+    let chaos_armed =
+        !(cli.chaos_panic.is_empty() && cli.chaos_wedge.is_empty() && cli.chaos_stall.is_empty());
+    #[cfg(not(feature = "chaos"))]
+    if chaos_armed {
+        usage_exit(
+            "the --chaos-* flags need a fault-injection build: \
+             rebuild with --features chaos",
+        );
+    }
+    #[cfg(feature = "chaos")]
+    let faults = gals_sweep::FaultPlan {
+        panic_at: cli.chaos_panic.clone(),
+        wedge_at: cli.chaos_wedge.clone(),
+        stall_at: cli.chaos_stall.clone(),
+        ..gals_sweep::FaultPlan::default()
+    };
+    let _ = chaos_armed;
+    SweepOptions {
+        threads: cli.threads_or_available(),
+        retries: cli.retries.unwrap_or(matrix.retries),
+        run_timeout: cli
+            .run_timeout_ms
+            .or(matrix.run_timeout_ms)
+            .map(Duration::from_millis),
+        journal: cli.journal.clone(),
+        resume: cli.resume,
+        #[cfg(feature = "chaos")]
+        faults,
+    }
+}
 
 fn main() {
     let cli = BenchCli::parse_or_exit(USAGE);
-    let threads = cli.threads_or_available();
     let out = cli
         .out
         .clone()
@@ -52,14 +121,13 @@ fn main() {
     let matrix = match &cli.matrix {
         Some(path) => {
             let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                eprintln!("error: cannot read matrix file {}: {e}", path.display());
-                eprintln!("usage: {USAGE}");
-                std::process::exit(exit_code::USAGE);
+                usage_exit(&format!("cannot read matrix file {}: {e}", path.display()))
             });
             let mut matrix = SweepMatrix::from_json(&text, SWEEP_INSTS).unwrap_or_else(|e| {
-                eprintln!("error: {} is not a valid matrix file: {e}", path.display());
-                eprintln!("usage: {USAGE}");
-                std::process::exit(exit_code::USAGE);
+                usage_exit(&format!(
+                    "{} is not a valid matrix file: {e}",
+                    path.display()
+                ))
             });
             // The command line wins over the file's budget.
             if let Some(budget) = cli.budget {
@@ -69,20 +137,23 @@ fn main() {
         }
         None => SweepMatrix::paper_default(cli.budget_or(SWEEP_INSTS)),
     };
+    let opts = sweep_options(&cli, &matrix);
     let budget = matrix.budget;
     let specs = matrix.expand();
     println!(
         "sweep: {} runs ({} benchmarks x {} modes x {} DVFS points x {} seeds, \
-         budget {budget}) on {threads} threads",
+         budget {budget}) on {} threads{}",
         specs.len(),
         matrix.benchmarks.len(),
         matrix.modes.len(),
         matrix.dvfs.len(),
         matrix.phase_seeds.len(),
+        opts.threads,
+        if opts.resume { " (resuming)" } else { "" },
     );
 
     let start = Instant::now();
-    let results = run_sweep(&matrix, threads);
+    let results = run_sweep_with(&matrix, &opts).unwrap_or_else(|e| usage_exit(&e));
     let elapsed = start.elapsed();
     let simulated: u64 = results.runs.iter().map(|r| r.committed).sum();
     println!(
@@ -93,7 +164,29 @@ fn main() {
     );
 
     let json = results.to_json();
-    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
+    write_atomic(&out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
     println!("wrote {} ({} bytes)", out.display(), json.len());
+
+    let failed = results.failed_count();
+    if failed > 0 {
+        eprintln!("sweep: {failed} of {} runs FAILED:", results.runs.len());
+        for r in &results.runs {
+            match &r.status {
+                RunStatus::Ok => {}
+                status => eprintln!(
+                    "  point {} ({} {} {}): {}",
+                    r.spec.index,
+                    r.spec.benchmark.name(),
+                    r.spec.mode.label(),
+                    r.spec.dvfs.label,
+                    status.label(),
+                ),
+            }
+        }
+        if cli.journal.is_some() {
+            eprintln!("  re-run with --resume to retry only the failed points");
+        }
+        std::process::exit(exit_code::FAILED_RUNS);
+    }
     std::process::exit(exit_code::OK);
 }

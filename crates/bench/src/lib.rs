@@ -8,7 +8,8 @@
 //! ## The scenario-sweep binary
 //!
 //! `cargo run --release --bin sweep -- [--budget N] [--threads N] [--out PATH]
-//! [--matrix FILE]`
+//! [--matrix FILE] [--journal PATH [--resume]] [--retries N]
+//! [--run-timeout-ms N]`
 //! runs the default cartesian experiment matrix of the `gals-sweep` crate
 //! — or, with `--matrix FILE`, a user-defined matrix loaded from JSON
 //! (benchmark × clocking mode × pausible handshake duration × DVFS point ×
@@ -17,16 +18,28 @@
 //! schema-versioned report to `SWEEP_results.json`. The report is
 //! bit-identical for every `--threads` value.
 //!
+//! Runs are fault-isolated: a matrix point that panics, deadlocks, or
+//! exceeds the per-run wall-clock deadline is recorded with a structured
+//! `status` while every other point completes normally; any failure turns
+//! the exit code into [`exit_code::FAILED_RUNS`]. `--journal PATH` keeps a
+//! write-ahead record of finished runs and `--resume` re-runs only the
+//! failed/missing ones. A `--features chaos` build adds deterministic
+//! fault injection (`--chaos-panic`/`--chaos-wedge`/`--chaos-stall`) for
+//! smoke-testing the whole failure path.
+//!
 //! ## Common CLI
 //!
 //! Every experiment binary accepts `--budget N` (or a bare positional `N`,
 //! the historical smoke form) to override its committed-instruction budget;
 //! binaries that write files accept `--out PATH`; parallel binaries accept
 //! `--threads N`; `bench_throughput` additionally accepts
-//! `--baseline PATH --tolerance F` for the CI perf-regression gate. Exit
-//! codes are uniform across binaries: [`exit_code::OK`],
+//! `--baseline PATH --tolerance F` for the CI perf-regression gate; the
+//! `sweep` binary additionally accepts the fault-tolerance options above.
+//! Exit codes are uniform across binaries: [`exit_code::OK`],
 //! [`exit_code::REGRESSION`] (a gated comparison failed),
-//! [`exit_code::USAGE`] (bad command line).
+//! [`exit_code::USAGE`] (bad command line), [`exit_code::FAILED_RUNS`]
+//! (a sweep finished with failed points). JSON artifacts are written
+//! atomically ([`write_atomic`]): tmp file + rename, never a torn report.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,6 +69,7 @@ pub fn run_base(bench: Benchmark, insts: u64) -> SimReport {
         ProcessorConfig::synchronous_1ghz(),
         SimLimits::insts(insts),
     )
+    .expect("simulation failed")
 }
 
 /// Runs one benchmark on the GALS machine (equal 1 GHz clocks, random
@@ -67,6 +81,7 @@ pub fn run_gals(bench: Benchmark, insts: u64) -> SimReport {
         ProcessorConfig::gals_equal_1ghz(PHASE_SEED),
         SimLimits::insts(insts),
     )
+    .expect("simulation failed")
 }
 
 /// Runs one benchmark on the pausible-clock ablation machine (equal 1 GHz
@@ -78,6 +93,7 @@ pub fn run_pausible(bench: Benchmark, insts: u64) -> SimReport {
         ProcessorConfig::pausible_equal_1ghz(PHASE_SEED),
         SimLimits::insts(insts),
     )
+    .expect("simulation failed")
 }
 
 /// Runs one benchmark on the *rendezvous* pausible machine: the same
@@ -91,6 +107,7 @@ pub fn run_rendezvous(bench: Benchmark, insts: u64) -> SimReport {
         ProcessorConfig::pausible_rendezvous_1ghz(PHASE_SEED),
         SimLimits::insts(insts),
     )
+    .expect("simulation failed")
 }
 
 /// Uniform process exit codes of the experiment binaries.
@@ -101,6 +118,29 @@ pub mod exit_code {
     pub const REGRESSION: i32 = 1;
     /// Bad command line — printed usage to stderr.
     pub const USAGE: i32 = 2;
+    /// The sweep completed but one or more matrix points failed (panicked,
+    /// timed out, or deadlocked); the report was still written and records
+    /// every failure's status, so `--resume` can re-run just those points.
+    pub const FAILED_RUNS: i32 = 3;
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in a `.tmp`
+/// sibling first and are `rename`d into place, so a crash (or a concurrent
+/// reader) can never observe a half-written artifact. Every JSON artifact
+/// the experiment binaries produce goes through here — in particular the
+/// checked-in `BENCH_throughput.json` baseline, which the CI perf gate
+/// reads back.
+///
+/// # Errors
+///
+/// Any I/O error from the write or the rename; the `.tmp` file is left
+/// behind on a failed rename for post-mortem inspection.
+pub fn write_atomic(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
 }
 
 /// The common command line of the experiment binaries: an instruction
@@ -123,6 +163,28 @@ pub struct BenchCli {
     /// Relative regression tolerance for the gate (`--tolerance F`,
     /// default 0.15 = fail beyond a 15% mean regression).
     pub tolerance: f64,
+    /// Write-ahead journal path for resumable sweeps (`--journal PATH`;
+    /// the `sweep` binary).
+    pub journal: Option<PathBuf>,
+    /// Resume from the journal instead of starting clean (`--resume`;
+    /// requires `--journal`).
+    pub resume: bool,
+    /// Re-run attempts per failed matrix point (`--retries N`; overrides
+    /// the matrix file's `retries`).
+    pub retries: Option<u32>,
+    /// Per-run wall-clock deadline in milliseconds (`--run-timeout-ms N`;
+    /// overrides the matrix file's `run_timeout_ms`).
+    pub run_timeout_ms: Option<u64>,
+    /// Matrix indices to panic by fault injection (`--chaos-panic N[,N..]`,
+    /// repeatable; needs a `--features chaos` build).
+    pub chaos_panic: Vec<usize>,
+    /// Matrix indices to wedge into a deadlock (`--chaos-wedge N[,N..]`,
+    /// repeatable; needs a `--features chaos` build).
+    pub chaos_wedge: Vec<usize>,
+    /// `(matrix index, stall milliseconds)` pairs to stall past the run
+    /// watchdog (`--chaos-stall INDEX:MS`, repeatable; needs a
+    /// `--features chaos` build).
+    pub chaos_stall: Vec<(usize, u64)>,
 }
 
 impl BenchCli {
@@ -165,6 +227,38 @@ impl BenchCli {
                 }
                 "--baseline" => cli.baseline = Some(PathBuf::from(value_of("--baseline")?)),
                 "--matrix" => cli.matrix = Some(PathBuf::from(value_of("--matrix")?)),
+                "--journal" => cli.journal = Some(PathBuf::from(value_of("--journal")?)),
+                "--resume" => cli.resume = true,
+                "--retries" => {
+                    let v = value_of("--retries")?;
+                    cli.retries = Some(parse_num(&v, "--retries")?);
+                }
+                "--run-timeout-ms" => {
+                    let v = value_of("--run-timeout-ms")?;
+                    let ms: u64 = parse_num(&v, "--run-timeout-ms")?;
+                    if ms == 0 {
+                        return Err("--run-timeout-ms must be at least 1".into());
+                    }
+                    cli.run_timeout_ms = Some(ms);
+                }
+                "--chaos-panic" => {
+                    let v = value_of("--chaos-panic")?;
+                    parse_index_list(&v, "--chaos-panic", &mut cli.chaos_panic)?;
+                }
+                "--chaos-wedge" => {
+                    let v = value_of("--chaos-wedge")?;
+                    parse_index_list(&v, "--chaos-wedge", &mut cli.chaos_wedge)?;
+                }
+                "--chaos-stall" => {
+                    let v = value_of("--chaos-stall")?;
+                    let (index, ms) = v
+                        .split_once(':')
+                        .ok_or_else(|| format!("--chaos-stall wants INDEX:MS, got {v:?}"))?;
+                    cli.chaos_stall.push((
+                        parse_num(index, "--chaos-stall index")?,
+                        parse_num(ms, "--chaos-stall milliseconds")?,
+                    ));
+                }
                 "--tolerance" => {
                     let v = value_of("--tolerance")?;
                     let t: f64 = v
@@ -213,6 +307,15 @@ fn parse_num<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, String> {
     v.parse().map_err(|_| format!("invalid {what} value {v:?}"))
 }
 
+/// Parses a comma-separated matrix-index list (the repeatable
+/// `--chaos-panic`/`--chaos-wedge` value form) into `out`.
+fn parse_index_list(v: &str, what: &str, out: &mut Vec<usize>) -> Result<(), String> {
+    for part in v.split(',') {
+        out.push(parse_num(part.trim(), what)?);
+    }
+    Ok(())
+}
+
 /// The committed-instruction budget from the binary's command line
 /// (`--budget N` or a bare positional `N`), falling back to `default`
 /// (typically [`RUN_INSTS`]) when no budget is given. Lets CI smoke-run
@@ -251,7 +354,7 @@ pub fn extract_json_numbers(json: &str, key: &str) -> Vec<f64> {
 pub fn run_gals_dvfs(bench: Benchmark, insts: u64, plan: DvfsPlan) -> SimReport {
     let program = generate(bench, WORKLOAD_SEED);
     let cfg = ProcessorConfig::gals_equal_1ghz(PHASE_SEED).with_dvfs(plan);
-    simulate(&program, cfg, SimLimits::insts(insts))
+    simulate(&program, cfg, SimLimits::insts(insts)).expect("simulation failed")
 }
 
 /// Runs one benchmark on the base machine uniformly slowed (and voltage
@@ -261,7 +364,7 @@ pub fn run_base_scaled(bench: Benchmark, insts: u64, factor: f64) -> SimReport {
     let mut plan = DvfsPlan::nominal();
     plan.slowdown = [factor; 5];
     let cfg = ProcessorConfig::synchronous_1ghz().with_dvfs(plan);
-    simulate(&program, cfg, SimLimits::insts(insts))
+    simulate(&program, cfg, SimLimits::insts(insts)).expect("simulation failed")
 }
 
 /// A DVFS plan from per-domain slowdown factors in paper order
@@ -356,6 +459,77 @@ mod tests {
 
         let cli = BenchCli::parse_from(["--matrix", "m.json"]).unwrap();
         assert_eq!(cli.matrix.as_deref(), Some(std::path::Path::new("m.json")));
+    }
+
+    #[test]
+    fn cli_parses_fault_tolerance_flags() {
+        let cli = BenchCli::parse_from([
+            "--journal",
+            "sweep.jsonl",
+            "--resume",
+            "--retries",
+            "2",
+            "--run-timeout-ms",
+            "120000",
+        ])
+        .unwrap();
+        assert_eq!(
+            cli.journal.as_deref(),
+            Some(std::path::Path::new("sweep.jsonl"))
+        );
+        assert!(cli.resume);
+        assert_eq!(cli.retries, Some(2));
+        assert_eq!(cli.run_timeout_ms, Some(120_000));
+
+        // Defaults: no journal, no resume, policy left to the matrix file.
+        let cli = BenchCli::parse_from([] as [&str; 0]).unwrap();
+        assert!(cli.journal.is_none() && !cli.resume);
+        assert_eq!(cli.retries, None);
+        assert_eq!(cli.run_timeout_ms, None);
+    }
+
+    #[test]
+    fn cli_parses_chaos_injection_flags() {
+        // Repeatable and comma-separated forms combine.
+        let cli = BenchCli::parse_from([
+            "--chaos-panic",
+            "3",
+            "--chaos-panic",
+            "7,9",
+            "--chaos-wedge",
+            "1",
+            "--chaos-stall",
+            "4:250",
+        ])
+        .unwrap();
+        assert_eq!(cli.chaos_panic, vec![3, 7, 9]);
+        assert_eq!(cli.chaos_wedge, vec![1]);
+        assert_eq!(cli.chaos_stall, vec![(4, 250)]);
+    }
+
+    #[test]
+    fn cli_rejects_malformed_fault_tolerance_flags() {
+        assert!(BenchCli::parse_from(["--retries", "-1"]).is_err());
+        assert!(BenchCli::parse_from(["--run-timeout-ms", "0"]).is_err());
+        assert!(BenchCli::parse_from(["--chaos-panic", "x"]).is_err());
+        assert!(BenchCli::parse_from(["--chaos-stall", "4"]).is_err());
+        assert!(BenchCli::parse_from(["--chaos-stall", "a:b"]).is_err());
+        assert!(BenchCli::parse_from(["--journal"]).is_err());
+    }
+
+    #[test]
+    fn atomic_write_lands_the_full_contents() {
+        let path =
+            std::env::temp_dir().join(format!("gals-bench-atomic-{}.json", std::process::id()));
+        write_atomic(&path, "{\"a\": 1}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"a\": 1}\n");
+        // Overwrite through the same path: the tmp sibling must be gone.
+        write_atomic(&path, "{\"a\": 2}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"a\": 2}\n");
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!std::path::Path::new(&tmp).exists());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -343,27 +343,56 @@ pub struct SimLimits {
     /// Stop after committing this many instructions (or at program exit,
     /// whichever is first).
     pub max_insts: u64,
-    /// Abort (panic) if no instruction commits for this many slow-domain
-    /// periods — a deadlock watchdog for development.
+    /// End the run with [`SimError::Deadlock`](crate::SimError) if no
+    /// instruction commits for this many slow-domain periods — a deadlock
+    /// watchdog; `0` disables it.
     pub watchdog_cycles: u64,
+    /// Deterministic fault injection (chaos mode), for exercising the
+    /// failure-handling layer end-to-end. Compiled in only with the
+    /// `chaos` feature; defaults to no faults, under which the simulation
+    /// is bit-identical to a build without the feature.
+    #[cfg(feature = "chaos")]
+    pub chaos: ChaosFaults,
+}
+
+/// Chaos-mode fault plan carried by [`SimLimits`] (feature `chaos`).
+#[cfg(feature = "chaos")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosFaults {
+    /// Withhold the writeback of every instruction with a sequence number
+    /// at or past this one: the first correct-path instruction past the
+    /// threshold never completes, commit wedges behind it, and the
+    /// deadlock layer must surface a structured report. (A `>=` threshold
+    /// rather than an exact seq match, so the wedge cannot be defused by
+    /// the targeted seq landing on a squashed wrong path.) `None` injects
+    /// nothing.
+    pub withhold_writeback: Option<u64>,
 }
 
 impl Default for SimLimits {
     fn default() -> Self {
-        SimLimits {
-            max_insts: 100_000,
-            watchdog_cycles: 200_000,
-        }
+        Self::insts(100_000)
     }
 }
 
 impl SimLimits {
-    /// Limits with the given committed-instruction budget.
-    pub fn insts(max_insts: u64) -> Self {
+    /// Limits with the given committed-instruction budget and the default
+    /// watchdog window.
+    pub const fn insts(max_insts: u64) -> Self {
         SimLimits {
             max_insts,
-            ..Self::default()
+            watchdog_cycles: 200_000,
+            #[cfg(feature = "chaos")]
+            chaos: ChaosFaults {
+                withhold_writeback: None,
+            },
         }
+    }
+
+    /// Same limits with the watchdog window replaced (`0` disables it).
+    pub const fn with_watchdog_cycles(mut self, cycles: u64) -> Self {
+        self.watchdog_cycles = cycles;
+        self
     }
 }
 

@@ -29,8 +29,8 @@
 //!
 //! let program = generate(Benchmark::Gcc, 42);
 //! let limits = SimLimits::insts(20_000);
-//! let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), limits);
-//! let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), limits);
+//! let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), limits).expect("baseline");
+//! let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), limits).expect("gals");
 //! // GALS is slower on the same work at the same frequencies (paper Fig 5).
 //! assert!(gals.exec_time > base.exec_time);
 //! ```
@@ -46,13 +46,17 @@ mod advisor;
 #[cfg(feature = "bench")]
 pub mod alloc_counter;
 mod config;
+mod error;
 pub mod inflight;
 mod pipeline;
 mod report;
 mod sim;
 
 pub use advisor::{AdvisorConfig, DomainUtilisation, DvfsAdvisor};
+#[cfg(feature = "chaos")]
+pub use config::ChaosFaults;
 pub use config::{Clocking, DvfsPlan, ProcessorConfig, SimLimits};
+pub use error::{DeadlockReport, DeadlockTrigger, PortState, SimError};
 pub use inflight::{
     BranchInfo, FetchedInstr, InFlightCold, InFlightTable, InstrId, Redirect, RetiredInstr,
     SrcTags, Tag,

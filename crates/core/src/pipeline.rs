@@ -62,6 +62,7 @@ use gals_power::{MacroBlock, PowerAccountant};
 use gals_uarch::{BranchPredictor, Cache, FuPool, IssueQueue, RenameUnit, Rob, StoreBuffer};
 
 use crate::config::{Clocking, ProcessorConfig, SimLimits};
+use crate::error::{DeadlockReport, DeadlockTrigger, PortState};
 use crate::inflight::{
     BranchInfo, FetchedInstr, InFlightTable, InstrId, Redirect, SrcTags, Tag, TAG_SPACE,
 };
@@ -267,6 +268,12 @@ pub struct Pipeline<'p> {
     /// Precomputed watchdog window (`max domain period × watchdog_cycles`);
     /// `Time::MAX` disables (the per-tick check is a compare, not a scan).
     watchdog_span: Time,
+    /// Set (once) when the machine is detected wedged — by the commit
+    /// watchdog or by the driver's all-parked check. [`Pipeline::done`]
+    /// then reports the run finished so both drivers exit their loops, and
+    /// they surface the report as `SimError::Deadlock` instead of a
+    /// `SimReport`.
+    deadlock: Option<Box<DeadlockReport>>,
     fetch_cycles: u64,
     pub(crate) accountant: PowerAccountant,
     now: Time,
@@ -452,6 +459,7 @@ impl<'p> Pipeline<'p> {
             } else {
                 Time::MAX
             },
+            deadlock: None,
             fetch_cycles: 0,
             accountant,
             stream,
@@ -579,10 +587,11 @@ impl<'p> Pipeline<'p> {
         std::mem::take(&mut self.quiesced_mask)
     }
 
-    /// True once the run is finished (instruction budget met or program
-    /// fully drained).
+    /// True once the run is finished (instruction budget met, program
+    /// fully drained, or a deadlock was detected — see
+    /// [`Pipeline::take_deadlock`]).
     pub fn done(&self) -> bool {
-        self.halted || self.committed >= self.limits.max_insts
+        self.halted || self.committed >= self.limits.max_insts || self.deadlock.is_some()
     }
 
     /// Committed instructions so far.
@@ -1655,29 +1664,80 @@ impl<'p> Pipeline<'p> {
         self.rename_head_stall() == RenameHeadStall::PortSaturated
     }
 
-    /// Deadlock watchdog (development aid): panics when no instruction has
-    /// committed for the configured window. Checked from every *live* tick
-    /// path — with idle-tick elision a hung simulator may have parked some
-    /// domains (their elided ticks never run this), but at least one
-    /// domain keeps ticking in any hang that is not the all-parked case
-    /// (which `ClockSet` panics on itself), so the trap still springs.
+    /// Deadlock watchdog: records a [`DeadlockReport`] when no instruction
+    /// has committed for the configured window. Checked from every *live*
+    /// tick path — with idle-tick elision a hung simulator may have parked
+    /// some domains (their elided ticks never run this), but any hang that
+    /// is not the all-parked case (caught by the driver through
+    /// [`Pipeline::note_all_parked`]) keeps at least one domain ticking,
+    /// so the trap still springs. Once the report is recorded,
+    /// [`Pipeline::done`] is true and the check never re-fires.
     #[inline]
-    fn check_watchdog(&self, now: Time) {
+    fn check_watchdog(&mut self, now: Time) {
         if now.saturating_sub(self.last_commit_time) >= self.watchdog_span && !self.done() {
-            panic!(
-                "no commit for {} cycles at {now}: committed={} rob={} iq=[{},{},{}] \
-                 pending_recovery={:?} fetch_halted={} wrong_path={}",
-                self.limits.watchdog_cycles,
-                self.committed,
-                self.rob.len(),
-                self.clusters[0].iq.len(),
-                self.clusters[1].iq.len(),
-                self.clusters[2].iq.len(),
-                self.pending_recovery,
-                self.fetch_halted,
-                self.wrong_path,
-            );
+            self.deadlock = Some(self.build_deadlock_report(DeadlockTrigger::Watchdog, now));
         }
+    }
+
+    /// Driver hook for the elision-aware deadlock case: every domain clock
+    /// is parked but the run is unfinished. Wakes only come from ticks, so
+    /// no progress is possible; record the report (making
+    /// [`Pipeline::done`] true) so the driver exits and surfaces it.
+    pub fn note_all_parked(&mut self, now: Time) {
+        if !self.done() {
+            self.deadlock = Some(self.build_deadlock_report(DeadlockTrigger::AllParked, now));
+        }
+    }
+
+    /// Takes the deadlock report, if the run wedged. Drivers call this
+    /// after their event loop exits; `Some` means the run failed and no
+    /// [`SimReport`] exists.
+    pub fn take_deadlock(&mut self) -> Option<Box<DeadlockReport>> {
+        self.deadlock.take()
+    }
+
+    /// True when every domain clock is parked (ClockSet driver's mirror).
+    pub fn all_parked(&self) -> bool {
+        self.parked == [true; 5]
+    }
+
+    /// Snapshots the stuck machine. Every field is a pure function of the
+    /// configuration and workload, so re-running the same point rebuilds
+    /// the same report bit-for-bit.
+    fn build_deadlock_report(&self, trigger: DeadlockTrigger, now: Time) -> Box<DeadlockReport> {
+        let port = |ch: &Channel<InstrId>| PortState {
+            len: ch.len(),
+            capacity: ch.capacity(),
+            rendezvous: ch.is_rendezvous(),
+        };
+        Box::new(DeadlockReport {
+            trigger,
+            now,
+            last_commit_time: self.last_commit_time,
+            watchdog_cycles: self.limits.watchdog_cycles,
+            committed: self.committed,
+            parked: self.parked,
+            rob_len: self.rob.len(),
+            rob_head_seq: self.rob.head().map(|(seq, _, _)| seq),
+            decode_buf_len: self.decode_buf.len(),
+            iq_len: std::array::from_fn(|ci| self.clusters[ci].iq.len()),
+            writeback_pending_len: std::array::from_fn(|ci| {
+                self.clusters[ci].writeback_pending.len()
+            }),
+            ch_fetch_decode: port(&self.ch_fetch_decode),
+            ch_dispatch: std::array::from_fn(|ci| port(&self.ch_dispatch[ci])),
+            ch_complete: std::array::from_fn(|ci| port(&self.ch_complete[ci])),
+            ch_redirect: PortState {
+                len: self.ch_redirect.len(),
+                capacity: self.ch_redirect.capacity(),
+                rendezvous: self.ch_redirect.is_rendezvous(),
+            },
+            ch_wakeup_total: self.ch_wakeup.iter().flatten().map(|ch| ch.len()).sum(),
+            rendezvous_blocked: self.rendezvous_blocked,
+            pending_recovery: self.pending_recovery,
+            fetch_halted: self.fetch_halted,
+            wrong_path: self.wrong_path,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -1945,6 +2005,22 @@ impl<'p> Pipeline<'p> {
         let Some((seq, dst, is_mispredict)) = self.inflight.writeback_view(id) else {
             return;
         };
+
+        // Chaos mode: drop this writeback on the floor. The threshold is a
+        // `>=` (not an exact match) so the wedge survives the targeted seq
+        // being a squashed wrong-path instruction: the first *correct-path*
+        // instruction past it never completes, commit wedges behind it,
+        // and the deadlock layer must turn the hang into a structured
+        // report.
+        #[cfg(feature = "chaos")]
+        if self
+            .limits
+            .chaos
+            .withhold_writeback
+            .is_some_and(|n| seq >= n)
+        {
+            return;
+        }
 
         // Local + remote wakeup. With the producer-side filter on, remote
         // clusters receive the tag only when they registered a consumer at

@@ -216,7 +216,8 @@ impl SimReport {
     /// use gals_workload::{generate, Benchmark};
     ///
     /// let program = generate(Benchmark::Adpcm, 1);
-    /// let r = simulate(&program, ProcessorConfig::synchronous_1ghz(), SimLimits::insts(5_000));
+    /// let r = simulate(&program, ProcessorConfig::synchronous_1ghz(), SimLimits::insts(5_000))
+    ///     .expect("valid config, no deadlock");
     /// let text = r.summary();
     /// assert!(text.contains("committed"));
     /// assert!(text.contains("slip"));

@@ -41,6 +41,7 @@ use gals_events::{ClockSet, Control, Engine, EventId, Time};
 use gals_isa::Program;
 
 use crate::config::{ProcessorConfig, SimLimits};
+use crate::error::SimError;
 use crate::pipeline::Pipeline;
 use crate::report::SimReport;
 
@@ -58,16 +59,26 @@ use crate::report::SimReport;
 /// use gals_workload::micro;
 ///
 /// let program = micro::alu_loop(2_000, 4);
-/// let report = simulate(&program, ProcessorConfig::synchronous_1ghz(), SimLimits::insts(5_000));
+/// let report = simulate(&program, ProcessorConfig::synchronous_1ghz(), SimLimits::insts(5_000))
+///     .expect("valid config, no deadlock");
 /// assert_eq!(report.committed, 5_000);
 /// assert!(report.insts_per_ns() > 1.0); // superscalar on independent ALU work
 /// ```
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the configuration is invalid, or if the deadlock watchdog in
-/// [`SimLimits`] fires (which indicates a simulator bug, not a user error).
-pub fn simulate(program: &Program, config: ProcessorConfig, limits: SimLimits) -> SimReport {
+/// [`SimError::InvalidConfig`] if the configuration fails validation
+/// (checked before any simulation state is built);
+/// [`SimError::Deadlock`] if the machine stops making progress — the
+/// commit watchdog in [`SimLimits`] fires, or idle-tick elision parks all
+/// five clocks with the run unfinished. The report inside is a
+/// deterministic snapshot of the stuck machine.
+pub fn simulate(
+    program: &Program,
+    config: ProcessorConfig,
+    limits: SimLimits,
+) -> Result<SimReport, SimError> {
+    config.validate().map_err(SimError::InvalidConfig)?;
     let clocking = config.clocking.clone();
     let mut pipeline = Pipeline::new(program, config, limits);
     let mut clocks = ClockSet::new();
@@ -146,10 +157,19 @@ pub fn simulate(program: &Program, config: ProcessorConfig, limits: SimLimits) -
                 quiet_streak[slot] = 0;
                 clocks.park(slot);
                 pipeline.set_parked(domain, true);
+                // All five clocks parked with the run unfinished: wakes
+                // only come from ticks, so the machine can never advance.
+                // Record the deadlock (making `done()` true) and exit.
+                if pipeline.all_parked() {
+                    pipeline.note_all_parked(exec_time);
+                }
             }
         } else {
             quiet_streak[slot] = 0;
         }
+    }
+    if let Some(report) = pipeline.take_deadlock() {
+        return Err(SimError::Deadlock(report));
     }
     // Final drain: domains still parked at the stopping edge replay the
     // idle ticks (and, for clusters, the elided wakeup-tag pops) that the
@@ -163,7 +183,7 @@ pub fn simulate(program: &Program, config: ProcessorConfig, limits: SimLimits) -
             pipeline.replay_idle(d, elided, next_edge);
         }
     }
-    pipeline.into_report(exec_time)
+    Ok(pipeline.into_report(exec_time))
 }
 
 /// Runs the identical simulation through the general [`Engine`] — the
@@ -173,14 +193,21 @@ pub fn simulate(program: &Program, config: ProcessorConfig, limits: SimLimits) -
 /// edge) but able to host aperiodic events alongside the clocks. The
 /// production [`simulate`] must match it bit-for-bit on every report field.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Same conditions as [`simulate`].
+/// Same conditions as [`simulate`]. (A deadlocked run's [`DeadlockReport`]
+/// is deterministic per driver but may differ *between* drivers — the
+/// engine never parks clocks, so its snapshot can be taken at an earlier
+/// edge than the eliding driver's. The bit-identity contract covers
+/// successful reports.)
+///
+/// [`DeadlockReport`]: crate::DeadlockReport
 pub fn simulate_with_engine(
     program: &Program,
     config: ProcessorConfig,
     limits: SimLimits,
-) -> SimReport {
+) -> Result<SimReport, SimError> {
+    config.validate().map_err(SimError::InvalidConfig)?;
     let clocking = config.clocking.clone();
     let mut pipeline = Pipeline::new(program, config, limits);
     let mut engine: Engine<Pipeline<'_>> = Engine::new();
@@ -221,5 +248,8 @@ pub fn simulate_with_engine(
     }
     engine.run_while(&mut pipeline, |p| !p.done());
     let exec_time = engine.now();
-    pipeline.into_report(exec_time)
+    if let Some(report) = pipeline.take_deadlock() {
+        return Err(SimError::Deadlock(report));
+    }
+    Ok(pipeline.into_report(exec_time))
 }

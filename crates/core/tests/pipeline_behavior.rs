@@ -10,7 +10,7 @@ fn sync() -> ProcessorConfig {
 }
 
 fn run_ipc(program: &gals_isa::Program, insts: u64) -> f64 {
-    let r = simulate(program, sync(), SimLimits::insts(insts));
+    let r = simulate(program, sync(), SimLimits::insts(insts)).expect("simulation failed");
     r.ipc(Time::from_ns(1))
 }
 
@@ -61,12 +61,14 @@ fn cache_miss_rates_track_footprint() {
         &micro::stream_loads(200_000, 8 << 10),
         sync(),
         SimLimits::insts(30_000),
-    );
+    )
+    .expect("simulation failed");
     let large = simulate(
         &micro::stream_loads(200_000, 4 << 20),
         sync(),
         SimLimits::insts(30_000),
-    );
+    )
+    .expect("simulation failed");
     assert!(
         small.dcache.miss_rate() < 0.05,
         "8 KB stream should be L1-resident"
@@ -92,8 +94,9 @@ fn random_branches_are_costly() {
 fn misprediction_penalty_is_larger_on_gals() {
     let program = micro::random_branches(100_000);
     let limits = SimLimits::insts(30_000);
-    let base = simulate(&program, sync(), limits);
-    let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), limits);
+    let base = simulate(&program, sync(), limits).expect("simulation failed");
+    let gals =
+        simulate(&program, ProcessorConfig::gals_equal_1ghz(1), limits).expect("simulation failed");
     // The redirect travels through a FIFO: recovery is strictly longer, so
     // more wrong-path work gets in.
     assert!(gals.exec_time > base.exec_time);
@@ -109,7 +112,7 @@ fn misprediction_penalty_is_larger_on_gals() {
 #[test]
 fn store_load_forwarding_happens() {
     let program = micro::store_forward(50_000);
-    let r = simulate(&program, sync(), SimLimits::insts(30_000));
+    let r = simulate(&program, sync(), SimLimits::insts(30_000)).expect("simulation failed");
     assert!(
         r.store_forwards > 0,
         "same-address store->load pairs must forward"
@@ -128,7 +131,7 @@ fn store_load_forwarding_happens() {
 fn slip_has_a_pipeline_floor() {
     // Even the friendliest workload cannot beat the 8-stage pipe transit.
     let program = micro::alu_loop(100_000, 7);
-    let r = simulate(&program, sync(), SimLimits::insts(30_000));
+    let r = simulate(&program, sync(), SimLimits::insts(30_000)).expect("simulation failed");
     assert!(
         r.mean_slip() >= Time::from_ns(6),
         "slip {} below the pipeline transit floor",
@@ -139,7 +142,7 @@ fn slip_has_a_pipeline_floor() {
 #[test]
 fn domain_cycle_counts_follow_the_clocks() {
     let program = micro::alu_loop(50_000, 4);
-    let r = simulate(&program, sync(), SimLimits::insts(20_000));
+    let r = simulate(&program, sync(), SimLimits::insts(20_000)).expect("simulation failed");
     // One shared clock: all five domains tick the same number of times +-1.
     let min = r.domain_cycles.iter().min().expect("five domains");
     let max = r.domain_cycles.iter().max().expect("five domains");
@@ -157,7 +160,7 @@ fn gals_domains_tick_independently() {
     let program = micro::cross_cluster(50_000);
     let plan = DvfsPlan::nominal().with_slowdown(Domain::FpCluster, 2.0);
     let cfg = ProcessorConfig::gals_equal_1ghz(1).with_dvfs(plan);
-    let r = simulate(&program, cfg, SimLimits::insts(20_000));
+    let r = simulate(&program, cfg, SimLimits::insts(20_000)).expect("simulation failed");
     let fp = r.domain_cycles[Domain::FpCluster.index()];
     let fetch = r.domain_cycles[Domain::Fetch.index()];
     let ratio = fetch as f64 / fp as f64;
@@ -170,8 +173,8 @@ fn gals_domains_tick_independently() {
 #[test]
 fn energy_grows_monotonically_with_work() {
     let program = micro::alu_loop(200_000, 4);
-    let short = simulate(&program, sync(), SimLimits::insts(10_000));
-    let long = simulate(&program, sync(), SimLimits::insts(30_000));
+    let short = simulate(&program, sync(), SimLimits::insts(10_000)).expect("simulation failed");
+    let long = simulate(&program, sync(), SimLimits::insts(30_000)).expect("simulation failed");
     assert!(long.total_energy() > short.total_energy() * 2.0);
     assert!(long.exec_time > short.exec_time * 2);
 }
@@ -181,7 +184,7 @@ fn icache_misses_stall_fetch() {
     // Any program bigger than the 16 KB L1I forces instruction misses; the
     // micro kernels are tiny, so use a generated benchmark.
     let program = gals_workload::generate(gals_workload::Benchmark::Gcc, 4);
-    let r = simulate(&program, sync(), SimLimits::insts(20_000));
+    let r = simulate(&program, sync(), SimLimits::insts(20_000)).expect("simulation failed");
     assert!(r.icache.accesses > 0);
     assert!(
         r.icache.misses > 0,
@@ -192,7 +195,7 @@ fn icache_misses_stall_fetch() {
 #[test]
 fn issue_queue_stats_are_consistent() {
     let program = micro::cross_cluster(50_000);
-    let r = simulate(&program, sync(), SimLimits::insts(25_000));
+    let r = simulate(&program, sync(), SimLimits::insts(25_000)).expect("simulation failed");
     let issued: u64 = r.iq.iter().map(|q| q.issued).sum();
     let inserted: u64 = r.iq.iter().map(|q| q.inserted).sum();
     assert!(inserted >= issued, "cannot issue more than was inserted");

@@ -26,7 +26,7 @@ static ALLOC: CountingAllocator = CountingAllocator::new();
 /// excluded — the program is built by the caller).
 fn allocs_for(program: &gals_isa::Program, cfg: &ProcessorConfig, insts: u64) -> u64 {
     let before = ALLOC.allocations();
-    let r = simulate(program, cfg.clone(), SimLimits::insts(insts));
+    let r = simulate(program, cfg.clone(), SimLimits::insts(insts)).expect("run failed");
     assert_eq!(r.committed, insts, "budget must be reached");
     ALLOC.allocations() - before
 }

@@ -141,18 +141,19 @@ impl ClockSet {
     ///
     /// # Panics
     ///
-    /// Panics if `period` is zero or the set already holds [`MAX_CLOCKS`]
-    /// clocks. In debug builds, also panics on a `priority` already held by
-    /// another clock: duplicate priorities silently diverge the
-    /// ClockSet-vs-Engine ordering contract (see the module docs), so the
-    /// violation is made loud where it is introduced.
+    /// Panics if `period` is zero, the set already holds [`MAX_CLOCKS`]
+    /// clocks, or `priority` is already held by another clock: duplicate
+    /// priorities silently diverge the ClockSet-vs-Engine ordering contract
+    /// (see the module docs), so the violation is made loud — in every build
+    /// profile — where it is introduced, before any simulation runs on the
+    /// mis-configured set.
     pub fn add_clock(&mut self, phase: Time, period: Time, priority: Priority) -> usize {
         assert!(period > Time::ZERO, "clock period must be non-zero");
         assert!(
             self.len < MAX_CLOCKS,
             "ClockSet holds at most {MAX_CLOCKS} clocks"
         );
-        debug_assert!(
+        assert!(
             self.entries[..self.len]
                 .iter()
                 .all(|e| e.priority != priority),
@@ -621,7 +622,6 @@ mod tests {
         assert_eq!(order, vec![1, 2, 0]);
     }
 
-    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "duplicate clock priority")]
     fn duplicate_priorities_are_loud() {

@@ -114,8 +114,8 @@ pub struct Engine<W> {
     stretches: HashMap<EventId, Vec<(Time, Time)>>,
     /// Priorities of live periodic events, kept to make duplicate-priority
     /// registrations (which silently break the ClockSet-vs-Engine ordering
-    /// contract) loud in debug builds. Left empty in release builds, where
-    /// the assertion compiles out.
+    /// contract) loud in every build profile. At most one entry per clock,
+    /// so the linear scan on registration is negligible.
     periodic_priorities: Vec<(EventId, Priority)>,
     now: Time,
     seq: u64,
@@ -236,12 +236,14 @@ impl<W> Engine<W> {
     ///
     /// # Panics
     ///
-    /// Panics if `period` is zero (the simulation would never advance) or if
-    /// `start` is in the past. In debug builds, also panics if another live
-    /// periodic event already carries `priority`: periodic events model the
-    /// two-scheduler contract's clocks, and duplicate priorities silently
-    /// diverge the [`ClockSet`](crate::ClockSet) oracle (ties fall through
-    /// to insertion sequence here but to slot order there).
+    /// Panics if `period` is zero (the simulation would never advance), if
+    /// `start` is in the past, or if another live periodic event already
+    /// carries `priority`: periodic events model the two-scheduler
+    /// contract's clocks, and duplicate priorities silently diverge the
+    /// [`ClockSet`](crate::ClockSet) oracle (ties fall through to insertion
+    /// sequence here but to slot order there). The check runs in every
+    /// build profile so a mis-configured clock tree fails before the
+    /// simulation starts rather than diverging quietly.
     pub fn schedule_periodic(
         &mut self,
         start: Time,
@@ -258,15 +260,13 @@ impl<W> Engine<W> {
             "cannot schedule an event in the past (at {start}, now {now})",
             now = self.now
         );
-        debug_assert!(
+        assert!(
             self.periodic_priorities.iter().all(|&(_, p)| p != priority),
             "duplicate periodic priority {priority}: the two-scheduler ordering \
              contract requires a distinct priority per clock"
         );
         let id = self.fresh_id();
-        if cfg!(debug_assertions) {
-            self.periodic_priorities.push((id, priority));
-        }
+        self.periodic_priorities.push((id, priority));
         self.push(
             start,
             priority,
@@ -679,7 +679,6 @@ mod tests {
         assert!(engine.is_idle());
     }
 
-    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "duplicate periodic priority")]
     fn duplicate_periodic_priorities_are_loud() {

@@ -32,7 +32,8 @@
 //! contract, not a convention: duplicate clock priorities would fall
 //! through to scheduler-private tie-breaks (insertion sequence in the
 //! engine, slot order in the clock set) and silently diverge the oracle, so
-//! both registration paths reject them with a debug assertion.
+//! both registration paths reject them with an always-on assertion that
+//! fires at registration time, before any simulation runs.
 //!
 //! ## Idle-tick elision (parked clocks)
 //!

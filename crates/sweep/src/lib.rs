@@ -33,6 +33,43 @@
 //! therefore **bit-identical to the serial sweep** — including the rendered
 //! JSON — which `tests/sweep_determinism.rs` pins with a property test.
 //!
+//! ## Failure isolation
+//!
+//! One bad matrix point must not cost the other hundred: each run executes
+//! on its own thread behind `catch_unwind` and a wall-clock deadline, and
+//! its outcome is a [`RunStatus`] recorded *in* the report instead of an
+//! abort. A panic becomes [`RunStatus::Panicked`] with the payload
+//! message; a run that exceeds its deadline (default: 60 s + 1 ms per
+//! budgeted instruction, override via [`SweepOptions::run_timeout`])
+//! becomes [`RunStatus::TimedOut`] and its thread is detached; a machine
+//! that stops making progress surfaces the simulator's structured
+//! [`SimError::Deadlock`](gals_core::SimError) as
+//! [`RunStatus::Deadlocked`] carrying the deterministic
+//! [`gals_core::DeadlockReport`]. Failed records zero
+//! their metrics, are excluded from the derived tables, and leave every
+//! surviving run bit-identical to a failure-free sweep (pinned by
+//! `tests/fault_tolerance.rs` under the `chaos` feature).
+//!
+//! ## Journal and resume
+//!
+//! With [`SweepOptions::journal`] set, the harness appends one JSONL line
+//! per completed run (write-ahead, atomically appended, content-hash
+//! keyed); [`SweepOptions::resume`] replays the journal, skips the runs
+//! that already succeeded, and re-runs only the failed or missing points
+//! — converging to output bit-identical to a clean sweep. Resuming
+//! against a different matrix is a loud error (the journal header hashes
+//! the matrix identity). [`SweepOptions::retries`] re-attempts failed
+//! points in-process. See the `journal` module source for the format.
+//!
+//! ## Deterministic fault injection (`chaos` feature)
+//!
+//! Built with `--features chaos`, a `FaultPlan` forces chosen matrix
+//! points to panic, wedge (a withheld writeback deadlocks the pipeline,
+//! exercising the real watchdog path), or stall past the deadline — so
+//! the whole failure-handling layer is testable end-to-end. With the
+//! feature compiled in but no faults armed, output is bit-identical to a
+//! build without it.
+//!
 //! ## Report schema (`SWEEP_results.json`)
 //!
 //! Hand-rolled JSON (the workspace carries no serde), versioned by
@@ -40,11 +77,12 @@
 //!
 //! ```text
 //! {
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "tool": "gals-sweep",
 //!   "budget": <u64>,            // committed-instruction budget per run
 //!   "workload_seed": <u64>,
 //!   "run_count": <usize>,
+//!   "failed_count": <usize>,    // runs whose status is not "ok"
 //!   "runs": [                   // one object per RunSpec, in matrix order
 //!     { "index", "benchmark", "clocking", "mode",
 //!       "handshake_ps",         // null outside pausible modes
@@ -55,7 +93,12 @@
 //!       "misspeculation_rate", "channel_ops", "total_stretches",
 //!       "stretch_time_fs", "rendezvous_block_cycles",
 //!       "min_effective_ghz", "total_energy",
-//!       "average_power" }, ...
+//!       "average_power",
+//!       "status",               // "ok"/"panicked"/"timed_out"/"deadlocked"
+//!       "panic_msg",            // panicked runs only
+//!       "deadlock" }, ...       // deadlocked runs only: the structured
+//!                               // DeadlockReport (trigger, parked clocks,
+//!                               // channel occupancy, ROB/IQ heads, ...)
 //!   ],
 //!   "tables": {                 // derived paper-figure tables
 //!     "pausible_slowdown_vs_handshake": [
@@ -107,14 +150,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod journal;
 mod matrix_file;
 
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
 
 use gals_clocks::{Domain, PausibleModel};
-use gals_core::{simulate, DvfsPlan, ProcessorConfig, SimLimits, SimReport};
+use gals_core::{
+    simulate, DeadlockReport, DvfsPlan, PortState, ProcessorConfig, SimError, SimLimits, SimReport,
+};
 use gals_events::Time;
 use gals_workload::{generate, Benchmark};
 
@@ -133,7 +183,15 @@ use gals_workload::{generate, Benchmark};
 /// (the v2 meaning, stated explicitly), and a new
 /// `rendezvous_vs_latched` table derives the latched-to-rendezvous
 /// slowdown per handshake duration. See `docs/SWEEP_FORMAT.md`.
-pub const SCHEMA_VERSION: u32 = 3;
+///
+/// v4: fault-tolerant execution. The top level gains `failed_count`;
+/// each run gains `status` (`"ok"`/`"panicked"`/`"timed_out"`/
+/// `"deadlocked"`), plus `panic_msg` on panicked runs and the structured
+/// `deadlock` object (the simulator's [`DeadlockReport`]) on deadlocked
+/// runs. Failed runs zero their metric fields and are excluded from the
+/// derived tables; a failure-free v4 report differs from v3 only by the
+/// two new always-present fields.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Default workload seed (matches the bench harness's "input set").
 pub const WORKLOAD_SEED: u64 = 0x5EC9_5201;
@@ -306,6 +364,14 @@ pub struct SweepMatrix {
     pub workload_seed: u64,
     /// Committed-instruction budget per run.
     pub budget: u64,
+    /// Default extra attempts for failed points (execution policy, not
+    /// matrix identity: excluded from the journal's matrix hash; the
+    /// `sweep` binary's `--retries` flag overrides it).
+    pub retries: u32,
+    /// Default per-run wall-clock deadline in milliseconds (`None` = the
+    /// harness's budget-scaled default). Execution policy, like
+    /// [`SweepMatrix::retries`]; `--run-timeout-ms` overrides it.
+    pub run_timeout_ms: Option<u64>,
 }
 
 impl SweepMatrix {
@@ -383,6 +449,8 @@ impl SweepMatrix {
             phase_seeds: vec![PHASE_SEED],
             workload_seed: WORKLOAD_SEED,
             budget,
+            retries: 0,
+            run_timeout_ms: None,
         }
     }
 
@@ -452,7 +520,16 @@ impl SweepMatrix {
                 .join(", ")
         );
         let _ = writeln!(s, "  \"workload_seed\": {},", self.workload_seed);
-        let _ = writeln!(s, "  \"budget\": {}", self.budget);
+        let _ = writeln!(s, "  \"budget\": {},", self.budget);
+        match self.run_timeout_ms {
+            Some(ms) => {
+                let _ = writeln!(s, "  \"retries\": {},", self.retries);
+                let _ = writeln!(s, "  \"run_timeout_ms\": {ms}");
+            }
+            None => {
+                let _ = writeln!(s, "  \"retries\": {}", self.retries);
+            }
+        }
         s.push_str("}\n");
         s
     }
@@ -528,11 +605,65 @@ impl RunSpec {
             .with_dvfs(self.dvfs.plan())
     }
 
-    /// Executes the run and summarises the report.
+    /// Executes the run and summarises the report. A point that deadlocks
+    /// (or fails configuration validation) returns a failed record with
+    /// the appropriate [`RunStatus`] instead of aborting; panic and
+    /// wall-clock isolation live one layer up, in [`run_sweep_with`].
     pub fn run(&self) -> RunRecord {
+        self.run_with_limits(SimLimits::insts(self.budget))
+    }
+
+    fn run_with_limits(&self, limits: SimLimits) -> RunRecord {
         let program = generate(self.benchmark, self.workload_seed);
-        let report = simulate(&program, self.config(), SimLimits::insts(self.budget));
-        RunRecord::new(self, &report)
+        match simulate(&program, self.config(), limits) {
+            Ok(report) => RunRecord::new(self, &report),
+            Err(SimError::Deadlock(report)) => {
+                RunRecord::failed(self, RunStatus::Deadlocked { report })
+            }
+            Err(e @ SimError::InvalidConfig(_)) => {
+                RunRecord::failed(self, RunStatus::Panicked { msg: e.to_string() })
+            }
+        }
+    }
+}
+
+/// How one matrix point ended — recorded per run in the report, so one
+/// bad point cannot cost the rest of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunStatus {
+    /// The run completed and its metrics are valid.
+    Ok,
+    /// The run panicked; the record's metrics are zeroed.
+    Panicked {
+        /// The panic payload (or the configuration error), verbatim.
+        msg: String,
+    },
+    /// The run exceeded its wall-clock deadline and was abandoned
+    /// (its thread is detached; metrics are zeroed).
+    TimedOut,
+    /// The simulated machine stopped making progress; the boxed report is
+    /// the simulator's deterministic snapshot of the stuck state.
+    Deadlocked {
+        /// Structured diagnostics — deterministic for a given point, so
+        /// the wedge is reproducible from the report alone.
+        report: Box<DeadlockReport>,
+    },
+}
+
+impl RunStatus {
+    /// True for a completed run with valid metrics.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RunStatus::Ok)
+    }
+
+    /// The report's stable `status` label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunStatus::Ok => "ok",
+            RunStatus::Panicked { .. } => "panicked",
+            RunStatus::TimedOut => "timed_out",
+            RunStatus::Deadlocked { .. } => "deadlocked",
+        }
     }
 }
 
@@ -542,6 +673,9 @@ impl RunSpec {
 pub struct RunRecord {
     /// The spec that produced this record.
     pub spec: RunSpec,
+    /// How the run ended. Every metric below is zero unless this is
+    /// [`RunStatus::Ok`].
+    pub status: RunStatus,
     /// Committed (architectural) instructions.
     pub committed: u64,
     /// Total fetched (correct + wrong path).
@@ -579,6 +713,7 @@ impl RunRecord {
     fn new(spec: &RunSpec, r: &SimReport) -> Self {
         RunRecord {
             spec: spec.clone(),
+            status: RunStatus::Ok,
             committed: r.committed,
             fetched: r.fetched,
             wrong_path_fetched: r.wrong_path_fetched,
@@ -600,6 +735,30 @@ impl RunRecord {
             average_power: r.average_power(),
         }
     }
+
+    /// A failed run: the status carries the diagnostics, every metric is
+    /// zeroed (failed records are excluded from the derived tables).
+    fn failed(spec: &RunSpec, status: RunStatus) -> Self {
+        RunRecord {
+            spec: spec.clone(),
+            status,
+            committed: 0,
+            fetched: 0,
+            wrong_path_fetched: 0,
+            exec_time_fs: 0,
+            insts_per_ns: 0.0,
+            mean_slip_fs: 0,
+            fifo_slip_fraction: 0.0,
+            misspeculation_rate: 0.0,
+            channel_ops: 0,
+            total_stretches: 0,
+            stretch_time_fs: 0,
+            rendezvous_block_cycles: 0,
+            min_effective_ghz: 0.0,
+            total_energy: 0.0,
+            average_power: 0.0,
+        }
+    }
 }
 
 /// The complete result of one sweep: every run record in matrix order,
@@ -612,38 +771,312 @@ pub struct SweepResults {
     pub runs: Vec<RunRecord>,
 }
 
+/// Execution policy for [`run_sweep_with`]: worker count, failure
+/// handling, and the journal. The matrix stays purely declarative — these
+/// knobs change how a sweep executes, never what it simulates.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker threads (0 or 1 = serial). The result is bit-identical for
+    /// every value.
+    pub threads: usize,
+    /// Extra in-process attempts for a failed point (the last attempt's
+    /// outcome is recorded).
+    pub retries: u32,
+    /// Per-run wall-clock deadline; `None` uses the budget-scaled default
+    /// (60 s + 1 ms per budgeted instruction).
+    pub run_timeout: Option<Duration>,
+    /// Write-ahead journal path: one atomically-appended JSONL line per
+    /// completed run (see the `journal` module source for the format).
+    pub journal: Option<PathBuf>,
+    /// Replay the journal first and re-run only failed or missing points.
+    /// Requires [`SweepOptions::journal`]; a journal written for a
+    /// different matrix is a loud error. A missing journal file starts a
+    /// fresh (fully journaled) sweep.
+    pub resume: bool,
+    /// Deterministic fault injection (the `chaos` feature).
+    #[cfg(feature = "chaos")]
+    pub faults: FaultPlan,
+}
+
+/// Deterministic fault injection: which matrix points to sabotage, and
+/// how. Only compiled under the `chaos` feature; an empty (default) plan
+/// leaves the sweep bit-identical to a non-chaos build.
+#[cfg(feature = "chaos")]
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Matrix indices that panic (message:
+    /// `chaos: injected panic at matrix point <i>`).
+    pub panic_at: Vec<usize>,
+    /// Matrix indices whose pipeline wedges: the completion of one chosen
+    /// instruction is withheld ([`gals_core::ChaosFaults`]), so the ROB
+    /// head never retires and the real deadlock detectors fire.
+    pub wedge_at: Vec<usize>,
+    /// `(index, milliseconds)` pairs: stall the run past its wall-clock
+    /// deadline to force [`RunStatus::TimedOut`].
+    pub stall_at: Vec<(usize, u64)>,
+    /// Sequence-number threshold past which a wedged run withholds every
+    /// writeback ([`gals_core::ChaosFaults::withhold_writeback`]). Must be
+    /// at or below the run budget — sequence numbers grow at least as
+    /// fast as commits, so that guarantees a correct-path instruction
+    /// trips the threshold and wedges commit before the budget is met;
+    /// past the budget the fault may never arm (then a no-op).
+    pub wedge_after_seq: u64,
+    /// Watchdog window (slow-domain cycles) applied to wedged runs so the
+    /// wedge is detected promptly even when a domain keeps ticking.
+    pub wedge_watchdog_cycles: u64,
+}
+
+#[cfg(feature = "chaos")]
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            panic_at: Vec::new(),
+            wedge_at: Vec::new(),
+            stall_at: Vec::new(),
+            wedge_after_seq: 200,
+            wedge_watchdog_cycles: 5_000,
+        }
+    }
+}
+
+#[cfg(feature = "chaos")]
+impl FaultPlan {
+    /// True when no fault is armed.
+    pub fn is_empty(&self) -> bool {
+        self.panic_at.is_empty() && self.wedge_at.is_empty() && self.stall_at.is_empty()
+    }
+
+    /// A seeded plan choosing `panics` + `wedges` distinct victim indices
+    /// out of `run_count` (splitmix64; deterministic for a given seed).
+    pub fn seeded(seed: u64, run_count: usize, panics: usize, wedges: usize) -> Self {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut chosen: Vec<usize> = Vec::new();
+        let want = (panics + wedges).min(run_count);
+        while chosen.len() < want {
+            let i = (next() % run_count.max(1) as u64) as usize;
+            if !chosen.contains(&i) {
+                chosen.push(i);
+            }
+        }
+        let panic_at: Vec<usize> = chosen.iter().copied().take(panics).collect();
+        let wedge_at: Vec<usize> = chosen.iter().copied().skip(panics).collect();
+        FaultPlan {
+            panic_at,
+            wedge_at,
+            ..FaultPlan::default()
+        }
+    }
+
+    fn stall_ms(&self, index: usize) -> u64 {
+        self.stall_at
+            .iter()
+            .find(|(i, _)| *i == index)
+            .map_or(0, |&(_, ms)| ms)
+    }
+}
+
+/// The budget-scaled default per-run deadline: a generous floor plus a
+/// term linear in the simulated work.
+fn default_run_timeout(budget: u64) -> Duration {
+    Duration::from_millis(60_000 + budget)
+}
+
+/// Locks a mutex, recovering from poisoning: a worker panic mid-update
+/// can only leave a slot `None` (re-runnable), never torn, because slot
+/// assignment is a single `Option` store.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).into()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// One fully isolated run attempt: its own thread (panics cannot take the
+/// worker down), `catch_unwind` (the payload becomes the record), and a
+/// wall-clock deadline (an overrunning thread is detached, not joined).
+fn run_isolated(
+    spec: &RunSpec,
+    limits: SimLimits,
+    timeout: Duration,
+    inject_panic: bool,
+    stall_ms: u64,
+) -> RunRecord {
+    let (tx, rx) = mpsc::channel();
+    let spec_owned = spec.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("sweep-run-{}", spec.index))
+        .spawn(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if stall_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(stall_ms));
+                }
+                if inject_panic {
+                    panic!("chaos: injected panic at matrix point {}", spec_owned.index);
+                }
+                spec_owned.run_with_limits(limits)
+            }));
+            // The receiver may be gone already (deadline hit): that run
+            // was recorded as timed out; its late result is dropped.
+            let _ = tx.send(outcome);
+        })
+        .expect("cannot spawn sweep run thread");
+    match rx.recv_timeout(timeout) {
+        Ok(Ok(record)) => {
+            let _ = handle.join();
+            record
+        }
+        Ok(Err(payload)) => {
+            let _ = handle.join();
+            RunRecord::failed(
+                spec,
+                RunStatus::Panicked {
+                    msg: panic_message(payload.as_ref()),
+                },
+            )
+        }
+        Err(_) => RunRecord::failed(spec, RunStatus::TimedOut),
+    }
+}
+
+/// One matrix point end to end: fault arming (chaos builds), the isolated
+/// attempt, and the retry loop. Returns the final outcome.
+fn run_point(spec: &RunSpec, opts: &SweepOptions, timeout: Duration) -> RunRecord {
+    #[cfg_attr(not(feature = "chaos"), allow(unused_mut))]
+    let mut limits = SimLimits::insts(spec.budget);
+    #[cfg(feature = "chaos")]
+    let (inject_panic, stall_ms) = {
+        let plan = &opts.faults;
+        if plan.wedge_at.contains(&spec.index) {
+            limits.chaos.withhold_writeback = Some(plan.wedge_after_seq);
+            limits.watchdog_cycles = plan.wedge_watchdog_cycles;
+        }
+        (
+            plan.panic_at.contains(&spec.index),
+            plan.stall_ms(spec.index),
+        )
+    };
+    #[cfg(not(feature = "chaos"))]
+    let (inject_panic, stall_ms) = (false, 0u64);
+
+    let mut attempt = 0;
+    loop {
+        let record = run_isolated(spec, limits, timeout, inject_panic, stall_ms);
+        if record.status.is_ok() || attempt >= opts.retries {
+            return record;
+        }
+        attempt += 1;
+    }
+}
+
 /// Runs every point of `matrix` across a pool of `threads` workers
 /// (clamped to at least one) and returns the records in deterministic
 /// matrix order. Work is handed out through an atomic cursor; each worker
 /// stores its record at the run's matrix index, so the result — and the
 /// JSON rendered from it — is bit-identical for every thread count.
+///
+/// Equivalent to [`run_sweep_with`] with default options (no journal, no
+/// retries, the budget-scaled deadline); failed points are still isolated
+/// and recorded per run rather than aborting the sweep.
 pub fn run_sweep(matrix: &SweepMatrix, threads: usize) -> SweepResults {
+    run_sweep_with(
+        matrix,
+        &SweepOptions {
+            threads,
+            ..SweepOptions::default()
+        },
+    )
+    .expect("a journal-less sweep has no fallible I/O")
+}
+
+/// [`run_sweep`] with full execution policy: panic/timeout isolation per
+/// run, in-process retries, the write-ahead journal, and `resume`.
+///
+/// Every surviving run is bit-identical to the same run in a serial,
+/// failure-free sweep; a resumed sweep that converges (all points `ok`)
+/// renders JSON bit-identical to a clean sweep's.
+///
+/// # Errors
+///
+/// Journal I/O problems, and on `resume`: a journal whose matrix hash,
+/// schema version, or entry keys do not match the current matrix (a
+/// journal from a different sweep must never silently merge), or `resume`
+/// without a journal path. Simulation failures are *not* errors — they
+/// are per-run [`RunStatus`] records.
+pub fn run_sweep_with(matrix: &SweepMatrix, opts: &SweepOptions) -> Result<SweepResults, String> {
     let specs = matrix.expand();
-    let threads = threads.max(1).min(specs.len().max(1));
+    let hash = journal::matrix_hash(&specs);
+    let mut prefilled: Vec<Option<RunRecord>> = vec![None; specs.len()];
+    let writer = match &opts.journal {
+        Some(path) => {
+            if opts.resume && path.exists() {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read journal {}: {e}", path.display()))?;
+                prefilled = journal::load_journal(&text, hash, &specs)?;
+                Some(journal::JournalWriter::append_existing(path)?)
+            } else {
+                Some(journal::JournalWriter::create(path, hash, specs.len())?)
+            }
+        }
+        None if opts.resume => {
+            return Err("resume needs a journal path (set SweepOptions::journal)".into())
+        }
+        None => None,
+    };
+    let threads = opts.threads.max(1).min(specs.len().max(1));
+    let timeout = opts
+        .run_timeout
+        .unwrap_or_else(|| default_run_timeout(matrix.budget));
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; specs.len()]);
+    let slots = Mutex::new(prefilled);
+    let journal_error: Mutex<Option<String>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = specs.get(i) else { break };
-                let record = spec.run();
-                slots
-                    .lock()
-                    .expect("sweep worker panicked holding the lock")[i] = Some(record);
+                if lock_unpoisoned(&slots)[i].is_some() {
+                    continue; // journaled as ok by a previous invocation
+                }
+                let record = run_point(spec, opts, timeout);
+                if let Some(w) = &writer {
+                    if let Err(e) = w.append(&record, journal::run_key(spec)) {
+                        let mut slot = lock_unpoisoned(&journal_error);
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                    }
+                }
+                lock_unpoisoned(&slots)[i] = Some(record);
             });
         }
     });
+    if let Some(e) = lock_unpoisoned(&journal_error).take() {
+        return Err(e);
+    }
     let runs: Vec<RunRecord> = slots
         .into_inner()
-        .expect("sweep worker panicked holding the lock")
+        .unwrap_or_else(|p| p.into_inner())
         .into_iter()
         .map(|r| r.expect("every matrix index must have run"))
         .collect();
-    SweepResults {
+    Ok(SweepResults {
         matrix: matrix.clone(),
         runs,
-    }
+    })
 }
 
 /// Escapes a string for embedding in a JSON string literal (quotes,
@@ -660,6 +1093,57 @@ fn json_escape(s: &str) -> String {
         }
     }
     out
+}
+
+/// Renders a [`DeadlockReport`] as the report's structured `deadlock`
+/// object. Channel/port occupancies use the simulator's compact
+/// `len/capacity[r]` notation (`r` marks a rendezvous port).
+fn deadlock_json(r: &DeadlockReport) -> String {
+    fn nums<T: std::fmt::Display>(xs: &[T]) -> String {
+        xs.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+    fn ports(ps: &[PortState]) -> String {
+        ps.iter()
+            .map(|p| format!("\"{p}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+    fn opt(o: Option<u64>) -> String {
+        o.map_or_else(|| "null".into(), |v| v.to_string())
+    }
+    format!(
+        "{{\"trigger\": \"{}\", \"time_fs\": {}, \"last_commit_fs\": {}, \
+         \"watchdog_cycles\": {}, \"committed\": {}, \"parked\": [{}], \
+         \"rob_len\": {}, \"rob_head_seq\": {}, \"decode_buf_len\": {}, \
+         \"iq_len\": [{}], \"writeback_pending_len\": [{}], \
+         \"ch_fetch_decode\": \"{}\", \"ch_dispatch\": [{}], \
+         \"ch_complete\": [{}], \"ch_redirect\": \"{}\", \
+         \"ch_wakeup_total\": {}, \"rendezvous_blocked\": [{}], \
+         \"pending_recovery\": {}, \"fetch_halted\": {}, \"wrong_path\": {}}}",
+        r.trigger.as_str(),
+        r.now.as_fs(),
+        r.last_commit_time.as_fs(),
+        r.watchdog_cycles,
+        r.committed,
+        nums(&r.parked),
+        r.rob_len,
+        opt(r.rob_head_seq),
+        r.decode_buf_len,
+        nums(&r.iq_len),
+        nums(&r.writeback_pending_len),
+        r.ch_fetch_decode,
+        ports(&r.ch_dispatch),
+        ports(&r.ch_complete),
+        r.ch_redirect,
+        r.ch_wakeup_total,
+        nums(&r.rendezvous_blocked),
+        opt(r.pending_recovery),
+        r.fetch_halted,
+        r.wrong_path,
+    )
 }
 
 /// Geometric mean; `None` for an empty slice or non-positive values.
@@ -710,7 +1194,8 @@ fn spread_fields(s: &mut String, name: &str, v: Option<SeedSpread>) {
 
 impl SweepResults {
     /// The record of `(benchmark, mode, dvfs-label)` at one phase seed, if
-    /// that matrix point ran.
+    /// that matrix point ran *and succeeded* — failed runs carry zeroed
+    /// metrics and must never contribute to a derived table.
     fn find(
         &self,
         benchmark: Benchmark,
@@ -719,11 +1204,18 @@ impl SweepResults {
         seed: u64,
     ) -> Option<&RunRecord> {
         self.runs.iter().find(|r| {
-            r.spec.benchmark == benchmark
+            r.status.is_ok()
+                && r.spec.benchmark == benchmark
                 && r.spec.mode == mode
                 && r.spec.dvfs.label == dvfs_label
                 && r.spec.phase_seed == seed
         })
+    }
+
+    /// Number of runs that did not end [`RunStatus::Ok`] (the report's
+    /// `failed_count`; the `sweep` binary exits non-zero when positive).
+    pub fn failed_count(&self) -> usize {
+        self.runs.iter().filter(|r| !r.status.is_ok()).count()
     }
 
     /// Geomean over benchmarks, at one phase seed, of a per-benchmark
@@ -785,6 +1277,7 @@ impl SweepResults {
         let _ = writeln!(s, "  \"budget\": {},", self.matrix.budget);
         let _ = writeln!(s, "  \"workload_seed\": {},", self.matrix.workload_seed);
         let _ = writeln!(s, "  \"run_count\": {},", self.runs.len());
+        let _ = writeln!(s, "  \"failed_count\": {},", self.failed_count());
         s.push_str("  \"runs\": [\n");
         for (i, r) in self.runs.iter().enumerate() {
             let comma = if i + 1 == self.runs.len() { "" } else { "," };
@@ -796,7 +1289,7 @@ impl SweepResults {
                 Some(m) => format!("\"{m}\""),
                 None => "null".into(),
             };
-            let _ = writeln!(
+            let _ = write!(
                 s,
                 "    {{\"index\": {}, \"benchmark\": \"{}\", \"clocking\": \"{}\", \
                  \"mode\": \"{}\", \"handshake_ps\": {}, \"pausible_model\": {}, \
@@ -808,7 +1301,7 @@ impl SweepResults {
                  \"channel_ops\": {}, \"total_stretches\": {}, \"stretch_time_fs\": {}, \
                  \"rendezvous_block_cycles\": {}, \
                  \"min_effective_ghz\": {:.6}, \"total_energy\": {:.3}, \
-                 \"average_power\": {:.6}}}{comma}",
+                 \"average_power\": {:.6}",
                 r.spec.index,
                 r.spec.benchmark.name(),
                 r.spec.mode.clocking(),
@@ -835,6 +1328,17 @@ impl SweepResults {
                 r.total_energy,
                 r.average_power,
             );
+            let _ = write!(s, ", \"status\": \"{}\"", r.status.label());
+            match &r.status {
+                RunStatus::Panicked { msg } => {
+                    let _ = write!(s, ", \"panic_msg\": \"{}\"", json_escape(msg));
+                }
+                RunStatus::Deadlocked { report } => {
+                    let _ = write!(s, ", \"deadlock\": {}", deadlock_json(report));
+                }
+                RunStatus::Ok | RunStatus::TimedOut => {}
+            }
+            let _ = writeln!(s, "}}{comma}");
         }
         s.push_str("  ],\n");
         s.push_str("  \"tables\": {\n");
@@ -1096,6 +1600,8 @@ mod tests {
             phase_seeds: vec![1],
             workload_seed: WORKLOAD_SEED,
             budget: 1_000,
+            retries: 0,
+            run_timeout_ms: None,
         }
     }
 
@@ -1107,7 +1613,17 @@ mod tests {
             "2\u{00d7} \"mem\"",
             [1.0, 1.0, 1.0, 1.0, 2.0],
         ));
+        // The execution-policy fields round-trip too.
+        matrix.retries = 2;
+        matrix.run_timeout_ms = Some(120_000);
         let rendered = matrix.to_matrix_json();
+        let parsed = SweepMatrix::from_json(&rendered, 0).expect("rendered matrix parses");
+        assert_eq!(parsed, matrix);
+
+        // And the no-timeout form (the field is omitted, not null).
+        matrix.run_timeout_ms = None;
+        let rendered = matrix.to_matrix_json();
+        assert!(!rendered.contains("run_timeout_ms"));
         let parsed = SweepMatrix::from_json(&rendered, 0).expect("rendered matrix parses");
         assert_eq!(parsed, matrix);
     }
@@ -1123,6 +1639,8 @@ mod tests {
         let m = SweepMatrix::from_json(text, 4_321).expect("valid file");
         assert_eq!(m.budget, 4_321, "missing budget falls back to the default");
         assert_eq!(m.workload_seed, WORKLOAD_SEED);
+        assert_eq!(m.retries, 0, "missing retries defaults to none");
+        assert_eq!(m.run_timeout_ms, None);
         assert_eq!(m.dvfs[0], DvfsPoint::uniform(1.5));
         assert_eq!(
             m.modes[0],
@@ -1269,5 +1787,147 @@ mod tests {
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(!json.contains("NaN") && !json.contains("inf"));
+        assert!(json.contains("\"failed_count\": 0"));
+        assert!(json.contains("\"status\": \"ok\""));
+    }
+
+    /// A unique temp path per call (tests share one process).
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        std::env::temp_dir().join(format!(
+            "gals-sweep-test-{}-{}-{tag}.jsonl",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn journaled_sweep_resumes_to_identical_output() {
+        let matrix = tiny_matrix();
+        let path = temp_path("resume");
+        let opts = SweepOptions {
+            journal: Some(path.clone()),
+            ..SweepOptions::default()
+        };
+        let clean = run_sweep_with(&matrix, &opts).expect("journaled sweep");
+        let journal_text = std::fs::read_to_string(&path).expect("journal written");
+        assert_eq!(
+            journal_text.lines().count(),
+            1 + clean.runs.len(),
+            "header + one line per run:\n{journal_text}"
+        );
+
+        // Resume over a complete journal re-runs nothing and renders
+        // bit-identical JSON.
+        let resumed = run_sweep_with(
+            &matrix,
+            &SweepOptions {
+                journal: Some(path.clone()),
+                resume: true,
+                ..SweepOptions::default()
+            },
+        )
+        .expect("resumed sweep");
+        assert_eq!(resumed.to_json(), clean.to_json());
+
+        // A torn tail (killed mid-append) re-runs only that point and
+        // still converges to identical output.
+        let torn: String = journal_text[..journal_text.len() - 20].to_string();
+        std::fs::write(&path, torn).expect("truncate journal");
+        let resumed = run_sweep_with(
+            &matrix,
+            &SweepOptions {
+                journal: Some(path.clone()),
+                resume: true,
+                ..SweepOptions::default()
+            },
+        )
+        .expect("resumed sweep over torn journal");
+        assert_eq!(resumed.to_json(), clean.to_json());
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_a_journal_from_a_different_matrix() {
+        let matrix = tiny_matrix();
+        let path = temp_path("mismatch");
+        run_sweep_with(
+            &matrix,
+            &SweepOptions {
+                journal: Some(path.clone()),
+                ..SweepOptions::default()
+            },
+        )
+        .expect("journaled sweep");
+
+        let mut other = matrix.clone();
+        other.budget += 1;
+        let err = run_sweep_with(
+            &other,
+            &SweepOptions {
+                journal: Some(path.clone()),
+                resume: true,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("does not match the current matrix"), "{err}");
+
+        // Changing only execution policy is NOT an identity change.
+        let mut policy = matrix.clone();
+        policy.retries = 3;
+        policy.run_timeout_ms = Some(999_999);
+        run_sweep_with(
+            &policy,
+            &SweepOptions {
+                journal: Some(path.clone()),
+                resume: true,
+                ..SweepOptions::default()
+            },
+        )
+        .expect("policy-only change resumes fine");
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_without_a_journal_is_an_error() {
+        let err = run_sweep_with(
+            &tiny_matrix(),
+            &SweepOptions {
+                resume: true,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("journal"), "{err}");
+    }
+
+    #[test]
+    fn failed_records_zero_metrics_and_render_with_status() {
+        let specs = tiny_matrix().expand();
+        let failed = RunRecord::failed(
+            &specs[0],
+            RunStatus::Panicked {
+                msg: "boom with \"quotes\"".into(),
+            },
+        );
+        assert_eq!(failed.committed, 0);
+        assert!(!failed.status.is_ok());
+        let mut results = run_sweep(&tiny_matrix(), 1);
+        results.runs[0] = failed;
+        let json = results.to_json();
+        assert!(json.contains("\"failed_count\": 1"), "{json}");
+        assert!(
+            json.contains("\"status\": \"panicked\", \"panic_msg\": \"boom with \\\"quotes\\\"\""),
+            "{json}"
+        );
+        // Balanced even with the escaped payload embedded.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        // The timed-out label renders too.
+        results.runs[1] = RunRecord::failed(&specs[1], RunStatus::TimedOut);
+        assert!(results.to_json().contains("\"status\": \"timed_out\""));
     }
 }

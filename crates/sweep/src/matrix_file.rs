@@ -15,7 +15,9 @@
 //!   ],
 //!   "phase_seeds": [2002, 7],
 //!   "workload_seed": 1590088705,
-//!   "budget": 60000
+//!   "budget": 60000,
+//!   "retries": 1,
+//!   "run_timeout_ms": 120000
 //! }
 //! ```
 //!
@@ -29,6 +31,13 @@
 //! * `workload_seed` and `budget` are optional (defaults:
 //!   [`WORKLOAD_SEED`](crate::WORKLOAD_SEED) and 60 000; the `sweep`
 //!   binary's `--budget` flag overrides the file).
+//! * `retries` and `run_timeout_ms` are optional execution-policy
+//!   defaults (extra attempts for failed points, and the per-run
+//!   wall-clock deadline): defaults 0 and unset (the harness then uses
+//!   its budget-scaled deadline), overridable by the `sweep` binary's
+//!   `--retries`/`--run-timeout-ms` flags. They do not change *what* is
+//!   simulated, only how failures are handled, so they are excluded from
+//!   the journal's matrix identity hash.
 //!
 //! [`SweepMatrix::to_matrix_json`](crate::SweepMatrix::to_matrix_json)
 //! renders this format back, and the loader/renderer pair round-trips
@@ -42,9 +51,10 @@ use gals_workload::Benchmark;
 
 use crate::{DvfsPoint, ModePoint, SweepMatrix, WORKLOAD_SEED};
 
-/// A parsed JSON value (just enough of the grammar for matrix files).
+/// A parsed JSON value (just enough of the grammar for matrix files and
+/// the sweep journal, which shares this reader).
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     Null,
     Bool(bool),
     Num(f64),
@@ -54,7 +64,7 @@ enum Json {
 }
 
 impl Json {
-    fn type_name(&self) -> &'static str {
+    pub(crate) fn type_name(&self) -> &'static str {
         match self {
             Json::Null => "null",
             Json::Bool(_) => "bool",
@@ -65,7 +75,7 @@ impl Json {
         }
     }
 
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+    pub(crate) fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
@@ -73,13 +83,13 @@ impl Json {
     }
 }
 
-struct Parser<'a> {
+pub(crate) struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
+    pub(crate) fn new(text: &'a str) -> Self {
         Parser {
             bytes: text.as_bytes(),
             pos: 0,
@@ -110,7 +120,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    pub(crate) fn value(&mut self) -> Result<Json, String> {
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
@@ -349,7 +359,7 @@ fn dvfs_from_json(v: &Json) -> Result<DvfsPoint, String> {
     }
 }
 
-fn u64_field(v: &Json, key: &str) -> Result<Option<u64>, String> {
+pub(crate) fn u64_field(v: &Json, key: &str) -> Result<Option<u64>, String> {
     match v.get(key) {
         None | Some(Json::Null) => Ok(None),
         Some(Json::Num(f)) if *f >= 0.0 && f.fract() == 0.0 => Ok(Some(*f as u64)),
@@ -430,6 +440,11 @@ pub(crate) fn matrix_from_json(text: &str, default_budget: u64) -> Result<SweepM
         }
     }
 
+    let retries = match u64_field(&root, "retries")? {
+        None => 0,
+        Some(n) => u32::try_from(n).map_err(|_| format!("retries {n} is out of range"))?,
+    };
+
     Ok(SweepMatrix {
         benchmarks,
         modes,
@@ -437,6 +452,8 @@ pub(crate) fn matrix_from_json(text: &str, default_budget: u64) -> Result<SweepM
         phase_seeds,
         workload_seed: u64_field(&root, "workload_seed")?.unwrap_or(WORKLOAD_SEED),
         budget: u64_field(&root, "budget")?.unwrap_or(default_budget),
+        retries,
+        run_timeout_ms: u64_field(&root, "run_timeout_ms")?,
     })
 }
 

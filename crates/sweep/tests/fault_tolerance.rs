@@ -1,0 +1,209 @@
+//! Fault-tolerant execution, proven end-to-end with deterministic fault
+//! injection (`--features chaos`): injected panics, wedges and stalls must
+//! be isolated to their own matrix point, surface as structured
+//! [`RunStatus`] records, leave every *surviving* run bit-identical to a
+//! failure-free serial sweep, and converge to a bit-identical clean report
+//! through the journal's kill-and-resume path.
+
+#![cfg(feature = "chaos")]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use gals_sweep::{
+    run_sweep, run_sweep_with, DvfsPoint, FaultPlan, ModePoint, RunStatus, SweepMatrix,
+    SweepOptions, WORKLOAD_SEED,
+};
+use gals_workload::Benchmark;
+use proptest::prelude::*;
+
+fn small_matrix(seed: u64, budget: u64) -> SweepMatrix {
+    SweepMatrix {
+        benchmarks: vec![Benchmark::Adpcm, Benchmark::Compress],
+        modes: vec![
+            ModePoint::Synchronous,
+            ModePoint::Gals {
+                wakeup_filter: false,
+            },
+            ModePoint::Pausible {
+                handshake_ps: 300,
+                coalesce: false,
+                wakeup_filter: false,
+                rendezvous: true,
+            },
+        ],
+        dvfs: vec![DvfsPoint::nominal()],
+        phase_seeds: vec![seed],
+        workload_seed: WORKLOAD_SEED,
+        budget,
+        retries: 0,
+        run_timeout_ms: None,
+    }
+}
+
+/// A unique temp path per call (tests share one process).
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "gals-sweep-chaos-{}-{}-{tag}.jsonl",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Injected panics and wedges at arbitrary points must not disturb a
+    /// single bit of any surviving run, across thread counts.
+    #[test]
+    fn survivors_are_bit_identical_to_a_clean_serial_sweep(
+        fault_seed in 0u64..1_000,
+        phase_seed in 1u64..5,
+        threads in 1usize..5,
+    ) {
+        let matrix = small_matrix(phase_seed, 600);
+        let clean = run_sweep(&matrix, 1);
+        let faults = FaultPlan::seeded(fault_seed, clean.runs.len(), 1, 1);
+        let chaotic = run_sweep_with(
+            &matrix,
+            &SweepOptions { threads, faults: faults.clone(), ..SweepOptions::default() },
+        ).expect("chaotic sweep still completes");
+
+        prop_assert_eq!(chaotic.runs.len(), clean.runs.len());
+        prop_assert_eq!(chaotic.failed_count(), 2);
+        for (got, want) in chaotic.runs.iter().zip(clean.runs.iter()) {
+            let i = want.spec.index;
+            if faults.panic_at.contains(&i) {
+                prop_assert!(
+                    matches!(&got.status, RunStatus::Panicked { msg }
+                        if msg.contains(&format!("matrix point {i}"))),
+                    "point {i}: {:?}", got.status
+                );
+                prop_assert_eq!(got.committed, 0);
+            } else if faults.wedge_at.contains(&i) {
+                prop_assert!(
+                    matches!(got.status, RunStatus::Deadlocked { .. }),
+                    "point {i}: {:?}", got.status
+                );
+            } else {
+                // Survivors: bit-identical, metrics included.
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+}
+
+#[test]
+fn wedged_point_reports_a_deterministic_structured_deadlock() {
+    let matrix = small_matrix(1, 600);
+    let wedge_index = 1; // the adpcm FIFO-GALS point
+    let faults = FaultPlan {
+        wedge_at: vec![wedge_index],
+        ..FaultPlan::default()
+    };
+    let opts = SweepOptions {
+        faults,
+        ..SweepOptions::default()
+    };
+    let a = run_sweep_with(&matrix, &opts).expect("sweep a");
+    let b = run_sweep_with(&matrix, &opts).expect("sweep b");
+    let RunStatus::Deadlocked { report: ra } = &a.runs[wedge_index].status else {
+        panic!("expected deadlock, got {:?}", a.runs[wedge_index].status);
+    };
+    let RunStatus::Deadlocked { report: rb } = &b.runs[wedge_index].status else {
+        panic!("expected deadlock, got {:?}", b.runs[wedge_index].status);
+    };
+    assert_eq!(ra, rb, "deadlock diagnostics must be deterministic");
+    // The stuck machine really is stuck behind the withheld writeback.
+    assert!(ra.committed < matrix.budget);
+    assert_eq!(ra.rob_head_seq, Some(200), "head is the withheld seq");
+
+    // The structured report lands in the JSON artifact.
+    let json = a.to_json();
+    assert!(json.contains("\"status\": \"deadlocked\""), "{json}");
+    assert!(json.contains("\"deadlock\": {\"trigger\": \""), "{json}");
+    assert!(json.contains("\"rob_head_seq\": 200"), "{json}");
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
+
+#[test]
+fn stalled_point_times_out_without_poisoning_the_sweep() {
+    let matrix = small_matrix(1, 400);
+    let opts = SweepOptions {
+        run_timeout: Some(Duration::from_millis(100)),
+        faults: FaultPlan {
+            stall_at: vec![(0, 60_000)],
+            ..FaultPlan::default()
+        },
+        ..SweepOptions::default()
+    };
+    let results = run_sweep_with(&matrix, &opts).expect("sweep completes");
+    assert_eq!(results.runs[0].status, RunStatus::TimedOut);
+    assert_eq!(results.failed_count(), 1);
+    let clean = run_sweep(&matrix, 1);
+    for (got, want) in results.runs.iter().zip(clean.runs.iter()).skip(1) {
+        assert_eq!(got, want, "non-stalled runs are untouched");
+    }
+}
+
+#[test]
+fn killed_sweep_resumes_to_a_bit_identical_clean_report() {
+    let matrix = small_matrix(2, 600);
+    let clean = run_sweep(&matrix, 1);
+    let path = temp_path("kill-resume");
+
+    // First invocation: one panic + one wedge, journaled.
+    let faulted = run_sweep_with(
+        &matrix,
+        &SweepOptions {
+            journal: Some(path.clone()),
+            faults: FaultPlan {
+                panic_at: vec![1],
+                wedge_at: vec![4],
+                ..FaultPlan::default()
+            },
+            ..SweepOptions::default()
+        },
+    )
+    .expect("faulted sweep completes");
+    assert_eq!(faulted.failed_count(), 2);
+
+    // Simulate dying mid-append: tear the journal's final line.
+    let text = std::fs::read_to_string(&path).expect("journal exists");
+    std::fs::write(&path, &text[..text.len() - 15]).expect("tear journal");
+
+    // Resume without faults: only failed/missing points re-run, and the
+    // converged report is bit-identical to a clean sweep's.
+    let resumed = run_sweep_with(
+        &matrix,
+        &SweepOptions {
+            journal: Some(path.clone()),
+            resume: true,
+            retries: 1,
+            ..SweepOptions::default()
+        },
+    )
+    .expect("resumed sweep");
+    assert_eq!(resumed.failed_count(), 0);
+    assert_eq!(resumed.to_json(), clean.to_json());
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn an_unarmed_fault_plan_changes_nothing() {
+    let matrix = small_matrix(3, 500);
+    let plain = run_sweep(&matrix, 2);
+    let chaos_built = run_sweep_with(
+        &matrix,
+        &SweepOptions {
+            threads: 2,
+            faults: FaultPlan::default(),
+            ..SweepOptions::default()
+        },
+    )
+    .expect("sweep");
+    assert!(FaultPlan::default().is_empty());
+    assert_eq!(plain.to_json(), chaos_built.to_json());
+}

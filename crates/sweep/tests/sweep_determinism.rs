@@ -56,6 +56,8 @@ fn arb_matrix() -> impl Strategy<Value = SweepMatrix> {
                     phase_seeds: vec![seed],
                     workload_seed: WORKLOAD_SEED,
                     budget,
+                    retries: 0,
+                    run_timeout_ms: None,
                 }
             },
         )
@@ -119,6 +121,8 @@ fn empty_matrix_still_emits_a_valid_schema_versioned_report() {
         phase_seeds: vec![],
         workload_seed: WORKLOAD_SEED,
         budget: 1_000,
+        retries: 0,
+        run_timeout_ms: None,
     };
     let results = run_sweep(&matrix, 4);
     assert!(results.runs.is_empty());
@@ -136,6 +140,8 @@ fn singleton_matrix_emits_one_run_and_empty_tables() {
         phase_seeds: vec![1],
         workload_seed: WORKLOAD_SEED,
         budget: 500,
+        retries: 0,
+        run_timeout_ms: None,
     };
     let results = run_sweep(&matrix, 4);
     assert_eq!(results.runs.len(), 1);
@@ -160,6 +166,8 @@ fn more_threads_than_runs_is_fine() {
         phase_seeds: vec![1, 2],
         workload_seed: WORKLOAD_SEED,
         budget: 500,
+        retries: 0,
+        run_timeout_ms: None,
     };
     let a = run_sweep(&matrix, 64);
     let b = run_sweep(&matrix, 1);

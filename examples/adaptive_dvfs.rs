@@ -23,8 +23,10 @@ fn main() {
     let limits = SimLimits::insts(60_000);
 
     // 1. Reference + profiling runs.
-    let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), limits);
-    let profile = simulate(&program, ProcessorConfig::gals_equal_1ghz(7), limits);
+    let base =
+        simulate(&program, ProcessorConfig::synchronous_1ghz(), limits).expect("simulation failed");
+    let profile =
+        simulate(&program, ProcessorConfig::gals_equal_1ghz(7), limits).expect("simulation failed");
 
     println!("profiling {bench} on the plain GALS machine:");
     println!();
@@ -61,7 +63,7 @@ fn main() {
 
     // 3. Measure the planned machine.
     let planned_cfg = ProcessorConfig::gals_equal_1ghz(7).with_dvfs(plan);
-    let planned = simulate(&program, planned_cfg, limits);
+    let planned = simulate(&program, planned_cfg, limits).expect("simulation failed");
 
     println!();
     println!(

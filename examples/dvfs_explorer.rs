@@ -28,8 +28,10 @@ fn main() {
 
     let program = generate(bench, 42);
     let limits = SimLimits::insts(60_000);
-    let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), limits);
-    let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(7), limits);
+    let base =
+        simulate(&program, ProcessorConfig::synchronous_1ghz(), limits).expect("simulation failed");
+    let gals =
+        simulate(&program, ProcessorConfig::gals_equal_1ghz(7), limits).expect("simulation failed");
 
     println!("DVFS explorer: {bench}");
     println!();
@@ -49,7 +51,7 @@ fn main() {
     for domain in Domain::ALL {
         let plan = DvfsPlan::nominal().with_slowdown(domain, 2.0);
         let cfg = ProcessorConfig::gals_equal_1ghz(7).with_dvfs(plan);
-        let r = simulate(&program, cfg, limits);
+        let r = simulate(&program, cfg, limits).expect("simulation failed");
         let perf = r.relative_performance(&base);
         let energy = r.relative_energy(&base);
         println!(

@@ -18,8 +18,10 @@ fn main() {
         program.static_inst_count()
     );
 
-    let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), limits);
-    let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(7), limits);
+    let base =
+        simulate(&program, ProcessorConfig::synchronous_1ghz(), limits).expect("simulation failed");
+    let gals =
+        simulate(&program, ProcessorConfig::gals_equal_1ghz(7), limits).expect("simulation failed");
 
     println!();
     println!("{:<28} {:>14} {:>14}", "", "synchronous", "GALS");

@@ -34,8 +34,8 @@
 //! let program = generate(Benchmark::Gcc, 42);
 //! let limits = SimLimits::insts(20_000);
 //!
-//! let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), limits);
-//! let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(7), limits);
+//! let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), limits).expect("run");
+//! let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(7), limits).expect("run");
 //!
 //! // The paper's headline: GALS is slower at equal clock rates...
 //! assert!(gals.exec_time > base.exec_time);

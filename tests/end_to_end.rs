@@ -6,15 +6,13 @@ use gals::core::{simulate, simulate_with_engine, Clocking, DvfsPlan, ProcessorCo
 use gals::events::Time;
 use gals::workload::{generate, micro, Benchmark};
 
-const LIMITS: SimLimits = SimLimits {
-    max_insts: 20_000,
-    watchdog_cycles: 200_000,
-};
+const LIMITS: SimLimits = SimLimits::insts(20_000);
 
 #[test]
 fn base_commits_exactly_the_requested_budget() {
     let program = generate(Benchmark::Perl, 1);
-    let r = simulate(&program, ProcessorConfig::synchronous_1ghz(), LIMITS);
+    let r =
+        simulate(&program, ProcessorConfig::synchronous_1ghz(), LIMITS).expect("simulation failed");
     assert_eq!(r.committed, LIMITS.max_insts);
     assert!(r.exec_time > Time::ZERO);
     assert!(r.fetched >= r.committed);
@@ -28,10 +26,7 @@ fn clockset_and_engine_schedulers_produce_identical_reports() {
     // cycles, caches, energy — must match bit for bit, on all three clocking
     // styles (pausible mode additionally exercises the clock-stretch path of
     // both schedulers) and across distinct workloads.
-    let limits = SimLimits {
-        max_insts: 8_000,
-        watchdog_cycles: 200_000,
-    };
+    let limits = SimLimits::insts(8_000);
     for bench in [Benchmark::Gcc, Benchmark::Fpppp] {
         let program = generate(bench, 42);
         for cfg in [
@@ -40,8 +35,9 @@ fn clockset_and_engine_schedulers_produce_identical_reports() {
             ProcessorConfig::pausible_equal_1ghz(7),
             ProcessorConfig::pausible_rendezvous_1ghz(7),
         ] {
-            let fast = simulate(&program, cfg.clone(), limits);
-            let oracle = simulate_with_engine(&program, cfg.clone(), limits);
+            let fast = simulate(&program, cfg.clone(), limits).expect("simulation failed");
+            let oracle =
+                simulate_with_engine(&program, cfg.clone(), limits).expect("simulation failed");
             assert_eq!(
                 format!("{fast:?}"),
                 format!("{oracle:?}"),
@@ -61,7 +57,8 @@ fn finite_program_drains_completely() {
         &program,
         ProcessorConfig::synchronous_1ghz(),
         SimLimits::insts(1_000_000),
-    );
+    )
+    .expect("simulation failed");
     assert_eq!(
         r.committed, total,
         "every architectural instruction commits"
@@ -71,8 +68,10 @@ fn finite_program_drains_completely() {
 #[test]
 fn simulation_is_deterministic() {
     let program = generate(Benchmark::Go, 3);
-    let a = simulate(&program, ProcessorConfig::gals_equal_1ghz(5), LIMITS);
-    let b = simulate(&program, ProcessorConfig::gals_equal_1ghz(5), LIMITS);
+    let a =
+        simulate(&program, ProcessorConfig::gals_equal_1ghz(5), LIMITS).expect("simulation failed");
+    let b =
+        simulate(&program, ProcessorConfig::gals_equal_1ghz(5), LIMITS).expect("simulation failed");
     assert_eq!(a.exec_time, b.exec_time);
     assert_eq!(a.fetched, b.fetched);
     assert_eq!(a.wrong_path_fetched, b.wrong_path_fetched);
@@ -84,8 +83,10 @@ fn simulation_is_deterministic() {
 fn gals_is_slower_at_equal_clocks_across_the_suite() {
     for bench in [Benchmark::Gcc, Benchmark::Fpppp, Benchmark::Adpcm] {
         let program = generate(bench, 2);
-        let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), LIMITS);
-        let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS);
+        let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), LIMITS)
+            .expect("simulation failed");
+        let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS)
+            .expect("simulation failed");
         assert!(
             gals.exec_time > base.exec_time,
             "{bench}: GALS must be slower (base {}, gals {})",
@@ -109,8 +110,10 @@ fn pausible_clocking_is_slower_than_fifo_gals_on_every_benchmark() {
         Benchmark::Compress,
     ] {
         let program = generate(bench, 2);
-        let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS);
-        let paus = simulate(&program, ProcessorConfig::pausible_equal_1ghz(1), LIMITS);
+        let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS)
+            .expect("simulation failed");
+        let paus = simulate(&program, ProcessorConfig::pausible_equal_1ghz(1), LIMITS)
+            .expect("simulation failed");
         assert_eq!(gals.committed, paus.committed, "{bench}: unequal budgets");
         assert!(
             paus.insts_per_ns() < gals.insts_per_ns(),
@@ -137,12 +140,14 @@ fn rendezvous_pausible_is_slower_than_latched_on_every_benchmark() {
         Benchmark::Compress,
     ] {
         let program = generate(bench, 2);
-        let latched = simulate(&program, ProcessorConfig::pausible_equal_1ghz(1), LIMITS);
+        let latched = simulate(&program, ProcessorConfig::pausible_equal_1ghz(1), LIMITS)
+            .expect("simulation failed");
         let rdv = simulate(
             &program,
             ProcessorConfig::pausible_rendezvous_1ghz(1),
             LIMITS,
-        );
+        )
+        .expect("simulation failed");
         assert_eq!(latched.committed, rdv.committed, "{bench}: unequal budgets");
         assert!(
             rdv.insts_per_ns() < latched.insts_per_ns(),
@@ -166,10 +171,7 @@ fn rendezvous_reports_are_bit_identical_across_schedulers_on_all_benchmarks() {
     // The acceptance bar for the rendezvous mode: ClockSet (with idle-tick
     // elision and park-and-retry producers) and the never-eliding Engine
     // oracle agree on every report field, on all four ablation benchmarks.
-    let limits = SimLimits {
-        max_insts: 6_000,
-        watchdog_cycles: 200_000,
-    };
+    let limits = SimLimits::insts(6_000);
     for bench in [
         Benchmark::Gcc,
         Benchmark::Fpppp,
@@ -178,8 +180,8 @@ fn rendezvous_reports_are_bit_identical_across_schedulers_on_all_benchmarks() {
     ] {
         let program = generate(bench, 42);
         let cfg = ProcessorConfig::pausible_rendezvous_1ghz(7);
-        let fast = simulate(&program, cfg.clone(), limits);
-        let oracle = simulate_with_engine(&program, cfg, limits);
+        let fast = simulate(&program, cfg.clone(), limits).expect("simulation failed");
+        let oracle = simulate_with_engine(&program, cfg, limits).expect("simulation failed");
         assert_eq!(
             format!("{fast:?}"),
             format!("{oracle:?}"),
@@ -193,7 +195,8 @@ fn rendezvous_reports_are_bit_identical_across_schedulers_on_all_benchmarks() {
 fn pausible_stretches_lower_the_effective_frequencies() {
     use gals::power::MacroBlock;
     let program = generate(Benchmark::Gcc, 2);
-    let paus = simulate(&program, ProcessorConfig::pausible_equal_1ghz(1), LIMITS);
+    let paus = simulate(&program, ProcessorConfig::pausible_equal_1ghz(1), LIMITS)
+        .expect("simulation failed");
     assert!(paus.total_stretches() > 0, "transfers must stretch clocks");
     for d in Domain::ALL {
         let i = d.index();
@@ -211,8 +214,10 @@ fn pausible_stretches_lower_the_effective_frequencies() {
     assert_eq!(paus.energy.block(MacroBlock::Fifos), 0.0);
     assert_eq!(paus.energy.global_clock, 0.0);
     // The other two machines never stretch.
-    let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS);
-    let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), LIMITS);
+    let gals =
+        simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS).expect("simulation failed");
+    let base =
+        simulate(&program, ProcessorConfig::synchronous_1ghz(), LIMITS).expect("simulation failed");
     assert_eq!(gals.total_stretches(), 0);
     assert_eq!(base.total_stretches(), 0);
 }
@@ -226,9 +231,10 @@ fn wakeup_filter_cuts_channel_ops_without_changing_the_architecture() {
     // of at wakeup arrival, which can only help).
     for bench in [Benchmark::Gcc, Benchmark::Fpppp] {
         let program = generate(bench, 2);
-        let plain = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS);
+        let plain = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS)
+            .expect("simulation failed");
         let cfg = ProcessorConfig::gals_equal_1ghz(1).with_wakeup_filter(true);
-        let filtered = simulate(&program, cfg, LIMITS);
+        let filtered = simulate(&program, cfg, LIMITS).expect("simulation failed");
         assert_eq!(plain.committed, filtered.committed);
         assert!(
             filtered.channel_ops < plain.channel_ops,
@@ -247,19 +253,20 @@ fn wakeup_filter_cuts_channel_ops_without_changing_the_architecture() {
 #[test]
 fn wakeup_filter_is_deadlock_free_on_dependence_heavy_workloads() {
     // The filter's risk is a consumer waiting for a wakeup that was never
-    // sent; the deadlock watchdog in SimLimits turns that into a panic.
+    // sent; the deadlock watchdog in SimLimits turns that into a
+    // SimError::Deadlock.
     // Cross-cluster chains maximise remote dependences, coin-flip branches
     // maximise squash/rename churn of the filter state.
     let cfg = || ProcessorConfig::gals_equal_1ghz(3).with_wakeup_filter(true);
     let chains = micro::cross_cluster(2_000);
-    let r = simulate(&chains, cfg(), SimLimits::insts(10_000));
+    let r = simulate(&chains, cfg(), SimLimits::insts(10_000)).expect("simulation failed");
     assert_eq!(r.committed, 10_000);
     let branches = micro::random_branches(3_000);
-    let r = simulate(&branches, cfg(), SimLimits::insts(8_000));
+    let r = simulate(&branches, cfg(), SimLimits::insts(8_000)).expect("simulation failed");
     assert_eq!(r.committed, 8_000);
     // Pausible machines share the filter path (stretch charges drop too).
     let paus = ProcessorConfig::pausible_equal_1ghz(3).with_wakeup_filter(true);
-    let r = simulate(&chains, paus, SimLimits::insts(10_000));
+    let r = simulate(&chains, paus, SimLimits::insts(10_000)).expect("simulation failed");
     assert_eq!(r.committed, 10_000);
 }
 
@@ -267,9 +274,10 @@ fn wakeup_filter_is_deadlock_free_on_dependence_heavy_workloads() {
 fn wakeup_coalescing_softens_the_pausible_penalty() {
     for bench in [Benchmark::Gcc, Benchmark::Compress] {
         let program = generate(bench, 2);
-        let plain = simulate(&program, ProcessorConfig::pausible_equal_1ghz(1), LIMITS);
+        let plain = simulate(&program, ProcessorConfig::pausible_equal_1ghz(1), LIMITS)
+            .expect("simulation failed");
         let cfg = ProcessorConfig::pausible_equal_1ghz(1).with_wakeup_coalescing(true);
-        let coalesced = simulate(&program, cfg, LIMITS);
+        let coalesced = simulate(&program, cfg, LIMITS).expect("simulation failed");
         assert_eq!(plain.committed, coalesced.committed);
         assert!(
             coalesced.total_stretches() < plain.total_stretches(),
@@ -287,19 +295,17 @@ fn wakeup_coalescing_softens_the_pausible_penalty() {
     }
     // Outside pausible mode the flag is inert: no handshakes to merge.
     let program = generate(Benchmark::Gcc, 2);
-    let plain = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS);
+    let plain =
+        simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS).expect("simulation failed");
     let cfg = ProcessorConfig::gals_equal_1ghz(1).with_wakeup_coalescing(true);
-    let flagged = simulate(&program, cfg, LIMITS);
+    let flagged = simulate(&program, cfg, LIMITS).expect("simulation failed");
     assert_eq!(format!("{plain:?}"), format!("{flagged:?}"));
 }
 
 #[test]
 fn schedulers_stay_bit_identical_with_wakeup_features_on() {
     // The two-scheduler contract extends to the new feature gates.
-    let limits = SimLimits {
-        max_insts: 6_000,
-        watchdog_cycles: 200_000,
-    };
+    let limits = SimLimits::insts(6_000);
     let program = generate(Benchmark::Gcc, 42);
     for cfg in [
         ProcessorConfig::gals_equal_1ghz(7).with_wakeup_filter(true),
@@ -308,8 +314,9 @@ fn schedulers_stay_bit_identical_with_wakeup_features_on() {
             .with_wakeup_filter(true)
             .with_wakeup_coalescing(true),
     ] {
-        let fast = simulate(&program, cfg.clone(), limits);
-        let oracle = simulate_with_engine(&program, cfg.clone(), limits);
+        let fast = simulate(&program, cfg.clone(), limits).expect("simulation failed");
+        let oracle =
+            simulate_with_engine(&program, cfg.clone(), limits).expect("simulation failed");
         assert_eq!(
             format!("{fast:?}"),
             format!("{oracle:?}"),
@@ -322,8 +329,10 @@ fn schedulers_stay_bit_identical_with_wakeup_features_on() {
 #[test]
 fn gals_raises_slip_and_misspeculation() {
     let program = generate(Benchmark::Gcc, 2);
-    let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), LIMITS);
-    let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS);
+    let base =
+        simulate(&program, ProcessorConfig::synchronous_1ghz(), LIMITS).expect("simulation failed");
+    let gals =
+        simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS).expect("simulation failed");
     assert!(
         gals.mean_slip() > base.mean_slip(),
         "slip must grow (Fig 6)"
@@ -337,8 +346,10 @@ fn gals_raises_slip_and_misspeculation() {
 #[test]
 fn gals_average_power_is_lower() {
     let program = generate(Benchmark::Perl, 2);
-    let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), LIMITS);
-    let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS);
+    let base =
+        simulate(&program, ProcessorConfig::synchronous_1ghz(), LIMITS).expect("simulation failed");
+    let gals =
+        simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS).expect("simulation failed");
     assert!(
         gals.relative_power(&base) < 1.0,
         "per-cycle power drops without the global grid (Fig 9)"
@@ -354,8 +365,10 @@ fn gals_average_power_is_lower() {
 fn fifo_energy_appears_only_in_gals() {
     use gals::power::MacroBlock;
     let program = generate(Benchmark::Li, 2);
-    let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), LIMITS);
-    let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS);
+    let base =
+        simulate(&program, ProcessorConfig::synchronous_1ghz(), LIMITS).expect("simulation failed");
+    let gals =
+        simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS).expect("simulation failed");
     assert_eq!(base.energy.block(MacroBlock::Fifos), 0.0);
     assert!(gals.energy.block(MacroBlock::Fifos) > 0.0);
 }
@@ -365,10 +378,11 @@ fn slowing_an_idle_fp_domain_saves_energy_cheaply() {
     // perl has (virtually) no FP work: slowing the FP domain 3x must cost
     // almost nothing in time but save energy (paper section 5.2).
     let program = generate(Benchmark::Perl, 2);
-    let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS);
+    let gals =
+        simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS).expect("simulation failed");
     let plan = DvfsPlan::nominal().with_slowdown(Domain::FpCluster, 3.0);
     let scaled_cfg = ProcessorConfig::gals_equal_1ghz(1).with_dvfs(plan);
-    let scaled = simulate(&program, scaled_cfg, LIMITS);
+    let scaled = simulate(&program, scaled_cfg, LIMITS).expect("simulation failed");
     let slowdown = scaled.exec_time.as_fs() as f64 / gals.exec_time.as_fs() as f64;
     assert!(slowdown < 1.05, "idle-domain slowdown cost {slowdown}");
     assert!(
@@ -380,10 +394,11 @@ fn slowing_an_idle_fp_domain_saves_energy_cheaply() {
 #[test]
 fn slowing_the_integer_domain_hurts_integer_code() {
     let program = generate(Benchmark::Gcc, 2);
-    let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS);
+    let gals =
+        simulate(&program, ProcessorConfig::gals_equal_1ghz(1), LIMITS).expect("simulation failed");
     let plan = DvfsPlan::nominal().with_slowdown(Domain::IntCluster, 2.0);
     let cfg = ProcessorConfig::gals_equal_1ghz(1).with_dvfs(plan);
-    let slowed = simulate(&program, cfg, LIMITS);
+    let slowed = simulate(&program, cfg, LIMITS).expect("simulation failed");
     let slowdown = slowed.exec_time.as_fs() as f64 / gals.exec_time.as_fs() as f64;
     assert!(
         slowdown > 1.1,
@@ -394,11 +409,12 @@ fn slowing_the_integer_domain_hurts_integer_code() {
 #[test]
 fn uniformly_slowed_base_scales_time_linearly() {
     let program = generate(Benchmark::Mpeg2, 2);
-    let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), LIMITS);
+    let base =
+        simulate(&program, ProcessorConfig::synchronous_1ghz(), LIMITS).expect("simulation failed");
     let mut plan = DvfsPlan::nominal();
     plan.slowdown = [1.5; 5];
     let cfg = ProcessorConfig::synchronous_1ghz().with_dvfs(plan);
-    let slowed = simulate(&program, cfg, LIMITS);
+    let slowed = simulate(&program, cfg, LIMITS).expect("simulation failed");
     let ratio = slowed.exec_time.as_fs() as f64 / base.exec_time.as_fs() as f64;
     assert!(
         (ratio - 1.5).abs() < 0.01,
@@ -415,7 +431,8 @@ fn phase_variation_is_small_but_nonzero() {
     let program = generate(Benchmark::Ijpeg, 2);
     let mut times = Vec::new();
     for seed in 1..=5 {
-        let r = simulate(&program, ProcessorConfig::gals_equal_1ghz(seed), LIMITS);
+        let r = simulate(&program, ProcessorConfig::gals_equal_1ghz(seed), LIMITS)
+            .expect("simulation failed");
         times.push(r.exec_time.as_fs());
     }
     let max = *times.iter().max().expect("non-empty");
@@ -439,7 +456,8 @@ fn wrong_path_instructions_never_commit() {
         &program,
         ProcessorConfig::gals_equal_1ghz(3),
         SimLimits::insts(8_000),
-    );
+    )
+    .expect("simulation failed");
     assert_eq!(r.committed, 8_000);
     assert!(
         r.wrong_path_fetched > 0,
@@ -454,7 +472,8 @@ fn cross_cluster_chains_run_on_all_three_clusters() {
         &program,
         ProcessorConfig::gals_equal_1ghz(1),
         SimLimits::insts(10_000),
-    );
+    )
+    .expect("simulation failed");
     assert_eq!(r.committed, 10_000);
     for (i, iq) in r.iq.iter().enumerate() {
         assert!(iq.issued > 0, "cluster {i} must issue instructions");

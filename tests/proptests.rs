@@ -99,8 +99,8 @@ proptest! {
         let program = generate_profile(&profile, seed);
         let mut cfg = ProcessorConfig::synchronous_1ghz();
         cfg.clocking = clocking;
-        let limits = SimLimits { max_insts: 3_000, watchdog_cycles: 300_000 };
-        let r = simulate(&program, cfg, limits);
+        let limits = SimLimits::insts(3_000).with_watchdog_cycles(300_000);
+        let r = simulate(&program, cfg, limits).expect("simulation failed");
         prop_assert_eq!(r.committed, 3_000);
         prop_assert!(r.fetched >= r.committed);
         prop_assert!(r.issued >= r.committed);
@@ -122,11 +122,11 @@ proptest! {
         factor in 1.0f64..3.0,
     ) {
         let program = generate_profile(&profile, 7);
-        let limits = SimLimits { max_insts: 2_000, watchdog_cycles: 300_000 };
-        let nominal = simulate(&program, ProcessorConfig::gals_equal_1ghz(3), limits);
+        let limits = SimLimits::insts(2_000).with_watchdog_cycles(300_000);
+        let nominal = simulate(&program, ProcessorConfig::gals_equal_1ghz(3), limits).expect("simulation failed");
         let plan = DvfsPlan::nominal().with_slowdown(Domain::ALL[which], factor);
         let cfg = ProcessorConfig::gals_equal_1ghz(3).with_dvfs(plan);
-        let scaled = simulate(&program, cfg, limits);
+        let scaled = simulate(&program, cfg, limits).expect("simulation failed");
         prop_assert_eq!(scaled.committed, nominal.committed);
         // Strict monotonicity does not hold in a GALS machine: slowing
         // the fetch domain slightly can *help* by throttling wrong-path
@@ -157,9 +157,9 @@ proptest! {
         let program = generate_profile(&profile, seed);
         let mut cfg = ProcessorConfig::synchronous_1ghz();
         cfg.clocking = clocking;
-        let limits = SimLimits { max_insts: 1_200, watchdog_cycles: 300_000 };
-        let fast = simulate(&program, cfg.clone(), limits);
-        let oracle = simulate_with_engine(&program, cfg, limits);
+        let limits = SimLimits::insts(1_200).with_watchdog_cycles(300_000);
+        let fast = simulate(&program, cfg.clone(), limits).expect("simulation failed");
+        let oracle = simulate_with_engine(&program, cfg, limits).expect("simulation failed");
         prop_assert_eq!(format!("{fast:?}"), format!("{oracle:?}"));
     }
 
@@ -167,9 +167,9 @@ proptest! {
     #[test]
     fn simulation_reproducibility(profile in arb_profile(), seed in 0u64..100) {
         let program = generate_profile(&profile, seed);
-        let limits = SimLimits { max_insts: 1_500, watchdog_cycles: 300_000 };
-        let a = simulate(&program, ProcessorConfig::gals_equal_1ghz(11), limits);
-        let b = simulate(&program, ProcessorConfig::gals_equal_1ghz(11), limits);
+        let limits = SimLimits::insts(1_500).with_watchdog_cycles(300_000);
+        let a = simulate(&program, ProcessorConfig::gals_equal_1ghz(11), limits).expect("simulation failed");
+        let b = simulate(&program, ProcessorConfig::gals_equal_1ghz(11), limits).expect("simulation failed");
         prop_assert_eq!(a.exec_time, b.exec_time);
         prop_assert_eq!(a.fetched, b.fetched);
         prop_assert_eq!(a.channel_ops, b.channel_ops);
