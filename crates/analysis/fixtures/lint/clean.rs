@@ -1,0 +1,27 @@
+// Fixture: idiomatic workspace code that must produce zero findings under
+// any pretend path — integer counts, BTreeMap for ordered output, errors
+// returned instead of process kills, and a test-tail module whose
+// contents are exempt (the gate stops the scan).
+use std::collections::BTreeMap;
+
+pub fn to_json(counts: &BTreeMap<String, u64>) -> String {
+    let mut out = String::from("{");
+    for (k, v) in counts {
+        out.push_str(&format!("\"{k}\": {v},"));
+    }
+    out.push('}');
+    out
+}
+
+pub fn tally(events: &[u64]) -> u64 {
+    let mut total: u64 = 0;
+    for e in events {
+        total += e;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: even a std::process::exit(1) here would not be flagged.
+}

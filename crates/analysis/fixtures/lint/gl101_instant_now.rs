@@ -1,0 +1,6 @@
+// Fixture: a wall-clock read inside a simulation crate. Scanned by the
+// self-test under the pretend path `crates/core/src/bad.rs`; must trigger
+// exactly one GL101 finding (this comment is stripped before matching).
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,6 @@
+// Fixture: ambient entropy inside a simulation crate. Scanned under the
+// pretend path `crates/workload/src/bad.rs`; exactly one GL102 finding.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

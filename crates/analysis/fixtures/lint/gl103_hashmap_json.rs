@@ -1,0 +1,12 @@
+// Fixture: the classic bit-identity bug — serializing a HashMap's
+// iteration order straight into a JSON report. Scanned under the pretend
+// path `crates/sweep/src/bad.rs`; exactly one GL103 finding (the single
+// type mention below — the loop itself names no banned type).
+pub fn to_json(counts: &std::collections::HashMap<String, u64>) -> String {
+    let mut out = String::from("{");
+    for (k, v) in counts {
+        out.push_str(&format!("\"{k}\": {v},"));
+    }
+    out.push('}');
+    out
+}

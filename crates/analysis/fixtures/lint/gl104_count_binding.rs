@@ -1,0 +1,11 @@
+// Fixture: a count-named binding typed as a float. Scanned under the
+// pretend path `crates/power/src/bad.rs`; exactly one GL104 finding (the
+// `cycle_total` declaration; the increment adds an integer-typed cast so
+// the `+=` float-literal matcher stays quiet).
+pub fn drift(samples: &[u64]) -> f64 {
+    let mut cycle_total: f64 = 0.0;
+    for s in samples {
+        cycle_total += *s as f64;
+    }
+    cycle_total
+}

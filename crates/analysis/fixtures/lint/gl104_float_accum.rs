@@ -1,0 +1,13 @@
+// Fixture: accumulating an event tally in floating point. Scanned under
+// the pretend path `crates/uarch/src/bad.rs`; exactly one GL104 finding
+// (the `+=` float-literal line; the field declaration uses a name the
+// count-binding matcher does not flag).
+pub struct Tally {
+    pub weight: f64,
+}
+
+impl Tally {
+    pub fn bump(&mut self) {
+        self.weight += 1.0;
+    }
+}

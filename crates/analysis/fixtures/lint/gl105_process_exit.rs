@@ -1,0 +1,7 @@
+// Fixture: killing the process from library code. Scanned under the
+// pretend path `crates/sweep/src/bad.rs` (anywhere but crates/bench);
+// exactly one GL105 finding.
+pub fn bail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1)
+}

@@ -1,0 +1,90 @@
+//! `gals-lint` — the workspace determinism lint, CI-gating entry point.
+//!
+//! Usage: `gals-lint [--root DIR]`
+//!
+//! Scans every lintable `.rs` file under the workspace root (found by
+//! walking up from the current directory unless `--root` is given) and
+//! prints findings. Exit status: 0 clean, 1 findings or stale waivers,
+//! 2 usage/setup error. See `docs/ANALYSIS.md` for the rule table and
+//! the `analysis/lint_allow.toml` waiver format.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gals_analysis::lint::{find_workspace_root, lint_tree};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("gals-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: gals-lint [--root DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("gals-lint: unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(dir) => dir,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("gals-lint: cannot read current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(d) => d,
+                None => {
+                    eprintln!(
+                        "gals-lint: no workspace Cargo.toml above {}; pass --root",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    match lint_tree(&root) {
+        Ok(outcome) => {
+            for f in &outcome.findings {
+                println!("{f}");
+            }
+            for w in &outcome.stale_waivers {
+                println!(
+                    "analysis/lint_allow.toml: stale waiver {} / {} matches no \
+                     finding; remove it",
+                    w.path, w.rule
+                );
+            }
+            println!(
+                "gals-lint: {} files scanned, {} findings, {} waived, {} stale waivers",
+                outcome.files_scanned,
+                outcome.findings.len(),
+                outcome.waived,
+                outcome.stale_waivers.len()
+            );
+            if outcome.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("gals-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

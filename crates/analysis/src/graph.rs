@@ -1,0 +1,580 @@
+//! Inter-domain communication graph and its structural verifier.
+//!
+//! The graph is plain data — node names, scheduler priorities, clock
+//! periods, and edges carrying channel capacities and rendezvous flags —
+//! so any front end (today `gals-core`'s five-domain pipeline, tomorrow
+//! the many-domain meshes of ROADMAP item 5) can build one and run the
+//! same checks. [`CommGraph::verify`] performs the purely structural
+//! passes: rendezvous-cycle detection (GA001), wedged-producer
+//! propagation (GA002), hold-and-wait analysis over port groups (GA003),
+//! distinct-priority verification (GA004), per-edge capacity sanity
+//! (GA005) and data-path reachability (GA008). Parameter-range checks
+//! that need no topology live in [`crate::checks`].
+
+use crate::finding::{codes, AnalysisReport, Finding};
+
+/// What an edge carries; only `Data` edges define forward reachability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Instruction flow (fetch→decode, dispatch): defines reachability.
+    Data,
+    /// Writeback/completion results flowing back up the pipe.
+    Completion,
+    /// Cross-cluster operand wakeup links.
+    Wakeup,
+    /// Branch-redirect side channel back to fetch.
+    Redirect,
+}
+
+impl EdgeKind {
+    /// Short label used in finding messages.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EdgeKind::Data => "data",
+            EdgeKind::Completion => "completion",
+            EdgeKind::Wakeup => "wakeup",
+            EdgeKind::Redirect => "redirect",
+        }
+    }
+}
+
+/// One clock domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Human-readable domain name used in finding messages.
+    pub name: String,
+    /// Scheduler priority (same-edge tie-break); must be unique.
+    pub priority: i32,
+    /// Clock period in femtoseconds (informational; 0 = unknown).
+    pub period_fs: u64,
+    /// Statically known to stop producing (e.g. an armed chaos wedge).
+    pub wedged: bool,
+}
+
+/// A set of ports one producer claims together for a single transaction.
+/// `atomic` means the claim is all-or-nothing (the PR 5 writeback
+/// pattern); a non-atomic multi-port claim is hold-and-wait (GA003).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortGroup {
+    /// Label used in finding messages, e.g. `"writeback(int)"`.
+    pub label: String,
+    /// Whether the group's ports are claimed atomically.
+    pub atomic: bool,
+}
+
+/// One directed channel between two domains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Producer node index.
+    pub from: usize,
+    /// Consumer node index.
+    pub to: usize,
+    /// Buffer capacity in entries (1 for a rendezvous port).
+    pub capacity: usize,
+    /// True for an unbuffered rendezvous (pausible-clock) port: the
+    /// producer blocks until the consumer takes the transfer.
+    pub rendezvous: bool,
+    /// True when the consumer drains this channel unconditionally every
+    /// ready cycle (completion/wakeup/redirect sinks): the producer can
+    /// stall on it transiently but never as part of a sustained wait.
+    pub drained_unconditionally: bool,
+    /// What the edge carries.
+    pub kind: EdgeKind,
+    /// Port group this edge is claimed under, if any.
+    pub group: Option<usize>,
+}
+
+/// The whole inter-domain communication graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommGraph {
+    /// Domains, in insertion order (order fixes finding determinism).
+    pub nodes: Vec<Node>,
+    /// Channels.
+    pub edges: Vec<Edge>,
+    /// Port groups referenced by `Edge::group`.
+    pub groups: Vec<PortGroup>,
+    /// Node where instructions enter (reachability root), default 0.
+    pub entry: usize,
+}
+
+impl CommGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        CommGraph::default()
+    }
+
+    /// Adds a domain and returns its index.
+    pub fn add_node(&mut self, name: impl Into<String>, priority: i32, period_fs: u64) -> usize {
+        self.nodes.push(Node {
+            name: name.into(),
+            priority,
+            period_fs,
+            wedged: false,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Marks a domain as statically wedged (it will stop producing).
+    pub fn set_wedged(&mut self, node: usize) {
+        self.nodes[node].wedged = true;
+    }
+
+    /// Adds a port group and returns its index.
+    pub fn add_group(&mut self, label: impl Into<String>, atomic: bool) -> usize {
+        self.groups.push(PortGroup {
+            label: label.into(),
+            atomic,
+        });
+        self.groups.len() - 1
+    }
+
+    /// Adds a channel.
+    pub fn add_edge(&mut self, edge: Edge) {
+        self.edges.push(edge);
+    }
+
+    /// Runs every structural check and returns the combined report.
+    pub fn verify(&self) -> AnalysisReport {
+        let mut report = AnalysisReport::new();
+        self.check_priorities(&mut report);
+        self.check_capacities(&mut report);
+        self.check_hold_and_wait(&mut report);
+        self.check_rendezvous_cycles(&mut report);
+        self.check_wedged(&mut report);
+        self.check_reachability(&mut report);
+        report
+    }
+
+    /// GA004: every domain must own a distinct scheduler priority,
+    /// otherwise same-edge event order is unspecified. This is the
+    /// static twin of the always-on `add_clock` assert.
+    fn check_priorities(&self, report: &mut AnalysisReport) {
+        for (i, a) in self.nodes.iter().enumerate() {
+            for b in self.nodes.iter().skip(i + 1) {
+                if a.priority == b.priority {
+                    report.push(Finding::error(
+                        codes::DUPLICATE_CLOCK_PRIORITY,
+                        format!(
+                            "domains {:?} and {:?} share scheduler priority {}; \
+                             same-edge event order would be unspecified",
+                            a.name, b.name, a.priority
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// GA005: capacities must be positive, and a rendezvous port holds
+    /// exactly one in-flight transfer by construction.
+    fn check_capacities(&self, report: &mut AnalysisReport) {
+        for e in &self.edges {
+            let label = self.edge_label(e);
+            if e.capacity == 0 {
+                report.push(Finding::error(
+                    codes::CHANNEL_CAPACITY,
+                    format!("channel {label} has capacity 0; nothing can ever transfer"),
+                ));
+            } else if e.rendezvous && e.capacity != 1 {
+                report.push(Finding::error(
+                    codes::CHANNEL_CAPACITY,
+                    format!(
+                        "rendezvous channel {label} declares capacity {}; \
+                         an unbuffered port holds exactly 1 in-flight transfer",
+                        e.capacity
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// GA003: a port group claimed non-atomically with two or more
+    /// rendezvous members is hold-and-wait — the producer can block on
+    /// one port while holding another, and two such producers deadlock
+    /// under contention. Ungrouped edges are claimed one transaction at
+    /// a time and are safe by construction.
+    fn check_hold_and_wait(&self, report: &mut AnalysisReport) {
+        for (gi, group) in self.groups.iter().enumerate() {
+            if group.atomic {
+                continue;
+            }
+            let members: Vec<&Edge> = self
+                .edges
+                .iter()
+                .filter(|e| e.group == Some(gi) && e.rendezvous)
+                .collect();
+            if members.len() >= 2 {
+                let ports: Vec<String> = members.iter().map(|e| self.edge_label(e)).collect();
+                report.push(Finding::error(
+                    codes::HOLD_AND_WAIT,
+                    format!(
+                        "port group {:?} claims {} rendezvous ports ({}) without an \
+                         atomic all-or-nothing claim: hold-and-wait deadlocks under \
+                         contention",
+                        group.label,
+                        members.len(),
+                        ports.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// GA001: a cycle of rendezvous edges none of which is drained
+    /// unconditionally is a circular wait no runtime mechanism breaks.
+    /// Edges whose consumer always drains them cannot sustain a wait,
+    /// so they are excluded from the wait graph.
+    fn check_rendezvous_cycles(&self, report: &mut AnalysisReport) {
+        // Wait graph: producer -> consumer for each sustained-wait edge.
+        let n = self.nodes.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut self_loop = vec![false; n];
+        for e in &self.edges {
+            if e.rendezvous && !e.drained_unconditionally {
+                if e.from == e.to {
+                    self_loop[e.from] = true;
+                } else {
+                    adj[e.from].push(e.to);
+                }
+            }
+        }
+        for scc in strongly_connected(&adj)
+            .into_iter()
+            .filter(|scc| scc.len() >= 2)
+        {
+            let names: Vec<&str> = scc.iter().map(|&v| self.nodes[v].name.as_str()).collect();
+            report.push(Finding::error(
+                codes::RENDEZVOUS_CYCLE,
+                format!(
+                    "rendezvous wait cycle among domains [{}]: every member blocks \
+                     on the next with no unconditional drain to break the wait",
+                    names.join(", ")
+                ),
+            ));
+        }
+        for (v, node) in self.nodes.iter().enumerate() {
+            if self_loop[v] {
+                report.push(Finding::error(
+                    codes::RENDEZVOUS_CYCLE,
+                    format!(
+                        "domain {:?} rendezvous-blocks on itself: a self-wait can \
+                         never complete",
+                        node.name
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// GA002: a statically wedged producer starves every domain behind a
+    /// blocking edge from it; the runtime watchdog will fire after
+    /// burning its whole window. Warning, not error: the run is legal,
+    /// just doomed.
+    fn check_wedged(&self, report: &mut AnalysisReport) {
+        for node in self.nodes.iter().filter(|n| n.wedged) {
+            report.push(Finding::warning(
+                codes::WEDGED_PRODUCER,
+                format!(
+                    "domain {:?} is statically wedged (stops producing); downstream \
+                     domains will starve and the watchdog will end the run",
+                    node.name
+                ),
+            ));
+        }
+    }
+
+    /// GA008: a domain no instruction can reach along data edges from
+    /// the entry node does no work; almost certainly a topology bug.
+    fn check_reachability(&self, report: &mut AnalysisReport) {
+        let n = self.nodes.len();
+        if n == 0 || self.entry >= n {
+            return;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![self.entry];
+        seen[self.entry] = true;
+        while let Some(v) = stack.pop() {
+            for e in &self.edges {
+                if e.from == v && e.kind == EdgeKind::Data && !seen[e.to] {
+                    seen[e.to] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        for (v, node) in self.nodes.iter().enumerate() {
+            if !seen[v] {
+                report.push(Finding::warning(
+                    codes::UNREACHABLE_DOMAIN,
+                    format!(
+                        "domain {:?} is unreachable along data edges from {:?}; \
+                         it can never receive work",
+                        node.name, self.nodes[self.entry].name
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// `"fetch->decode (data)"` style label for finding messages.
+    fn edge_label(&self, e: &Edge) -> String {
+        format!(
+            "{}->{} ({})",
+            self.nodes[e.from].name,
+            self.nodes[e.to].name,
+            e.kind.as_str()
+        )
+    }
+}
+
+/// Kosaraju's algorithm; returns strongly connected components in a
+/// deterministic order (by smallest member, members ascending).
+fn strongly_connected(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (v, outs) in adj.iter().enumerate() {
+        for &w in outs {
+            rev[w].push(v);
+        }
+    }
+    // First pass: finish order on the forward graph (iterative DFS).
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for root in 0..n {
+        if seen[root] {
+            continue;
+        }
+        let mut stack = vec![(root, 0usize)];
+        seen[root] = true;
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            if *i < adj[v].len() {
+                let w = adj[v][*i];
+                *i += 1;
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push((w, 0));
+                }
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+    }
+    // Second pass: components on the reverse graph in reverse finish order.
+    let mut comp = vec![usize::MAX; n];
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    for &root in order.iter().rev() {
+        if comp[root] != usize::MAX {
+            continue;
+        }
+        let id = sccs.len();
+        let mut members = vec![root];
+        comp[root] = id;
+        let mut stack = vec![root];
+        while let Some(v) = stack.pop() {
+            for &w in &rev[v] {
+                if comp[w] == usize::MAX {
+                    comp[w] = id;
+                    members.push(w);
+                    stack.push(w);
+                }
+            }
+        }
+        members.sort_unstable();
+        sccs.push(members);
+    }
+    sccs.sort_by_key(|scc| scc[0]);
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-node helper: `a -> b` rendezvous, drain configurable.
+    fn two_node(drained_ab: bool, drained_ba: bool) -> CommGraph {
+        let mut g = CommGraph::new();
+        let a = g.add_node("a", 0, 1_000_000);
+        let b = g.add_node("b", 1, 1_000_000);
+        for (from, to, drained) in [(a, b, drained_ab), (b, a, drained_ba)] {
+            g.add_edge(Edge {
+                from,
+                to,
+                capacity: 1,
+                rendezvous: true,
+                drained_unconditionally: drained,
+                kind: EdgeKind::Data,
+                group: None,
+            });
+        }
+        g
+    }
+
+    fn codes_of(report: &AnalysisReport) -> Vec<&'static str> {
+        report.findings.iter().map(|f| f.code).collect()
+    }
+
+    #[test]
+    fn an_undrained_rendezvous_cycle_is_ga001() {
+        let report = two_node(false, false).verify();
+        assert_eq!(codes_of(&report), vec![codes::RENDEZVOUS_CYCLE]);
+        assert!(report.findings[0].message.contains("a, b"));
+    }
+
+    #[test]
+    fn one_unconditional_drain_breaks_the_cycle() {
+        assert!(two_node(false, true).verify().is_clean());
+        assert!(two_node(true, false).verify().is_clean());
+    }
+
+    #[test]
+    fn a_rendezvous_self_loop_is_ga001() {
+        let mut g = CommGraph::new();
+        let a = g.add_node("solo", 0, 1);
+        g.add_edge(Edge {
+            from: a,
+            to: a,
+            capacity: 1,
+            rendezvous: true,
+            drained_unconditionally: false,
+            kind: EdgeKind::Data,
+            group: None,
+        });
+        let report = g.verify();
+        assert_eq!(codes_of(&report), vec![codes::RENDEZVOUS_CYCLE]);
+        assert!(report.findings[0].message.contains("itself"));
+    }
+
+    #[test]
+    fn buffered_cycles_are_fine() {
+        let mut g = two_node(false, false);
+        for e in &mut g.edges {
+            e.rendezvous = false;
+            e.capacity = 4;
+        }
+        assert!(g.verify().is_clean());
+    }
+
+    #[test]
+    fn nonatomic_multiport_claim_is_ga003_and_atomic_is_clean() {
+        for (atomic, expect_clean) in [(true, true), (false, false)] {
+            let mut g = CommGraph::new();
+            let p = g.add_node("producer", 0, 1);
+            let c1 = g.add_node("sink1", 1, 1);
+            let c2 = g.add_node("sink2", 2, 1);
+            let grp = g.add_group("writeback", atomic);
+            for to in [c1, c2] {
+                g.add_edge(Edge {
+                    from: p,
+                    to,
+                    capacity: 1,
+                    rendezvous: true,
+                    drained_unconditionally: true,
+                    kind: EdgeKind::Data,
+                    group: Some(grp),
+                });
+            }
+            let report = g.verify();
+            if expect_clean {
+                assert!(report.is_clean(), "{report:?}");
+            } else {
+                assert_eq!(codes_of(&report), vec![codes::HOLD_AND_WAIT]);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_priorities_are_ga004() {
+        let mut g = CommGraph::new();
+        let a = g.add_node("a", 3, 1);
+        let b = g.add_node("b", 3, 1);
+        g.add_edge(Edge {
+            from: a,
+            to: b,
+            capacity: 4,
+            rendezvous: false,
+            drained_unconditionally: false,
+            kind: EdgeKind::Data,
+            group: None,
+        });
+        let report = g.verify();
+        assert_eq!(codes_of(&report), vec![codes::DUPLICATE_CLOCK_PRIORITY]);
+    }
+
+    #[test]
+    fn capacity_zero_and_fat_rendezvous_are_ga005() {
+        let mut g = CommGraph::new();
+        let a = g.add_node("a", 0, 1);
+        let b = g.add_node("b", 1, 1);
+        g.add_edge(Edge {
+            from: a,
+            to: b,
+            capacity: 0,
+            rendezvous: false,
+            drained_unconditionally: false,
+            kind: EdgeKind::Data,
+            group: None,
+        });
+        g.add_edge(Edge {
+            from: a,
+            to: b,
+            capacity: 2,
+            rendezvous: true,
+            drained_unconditionally: true,
+            kind: EdgeKind::Completion,
+            group: None,
+        });
+        let report = g.verify();
+        assert_eq!(
+            codes_of(&report),
+            vec![codes::CHANNEL_CAPACITY, codes::CHANNEL_CAPACITY]
+        );
+    }
+
+    #[test]
+    fn a_wedged_node_is_ga002() {
+        let mut g = two_node(false, true);
+        g.set_wedged(1);
+        let report = g.verify();
+        assert_eq!(codes_of(&report), vec![codes::WEDGED_PRODUCER]);
+        assert!(report.findings[0].message.contains("\"b\""));
+    }
+
+    #[test]
+    fn a_domain_off_the_data_path_is_ga008() {
+        let mut g = CommGraph::new();
+        let a = g.add_node("a", 0, 1);
+        let b = g.add_node("b", 1, 1);
+        let c = g.add_node("island", 2, 1);
+        g.add_edge(Edge {
+            from: a,
+            to: b,
+            capacity: 4,
+            rendezvous: false,
+            drained_unconditionally: false,
+            kind: EdgeKind::Data,
+            group: None,
+        });
+        // A completion edge does not make `island` reachable.
+        g.add_edge(Edge {
+            from: c,
+            to: a,
+            capacity: 4,
+            rendezvous: false,
+            drained_unconditionally: true,
+            kind: EdgeKind::Completion,
+            group: None,
+        });
+        let report = g.verify();
+        assert_eq!(codes_of(&report), vec![codes::UNREACHABLE_DOMAIN]);
+        assert!(report.findings[0].message.contains("island"));
+    }
+
+    #[test]
+    fn scc_finds_the_three_cycle_once() {
+        // a -> b -> c -> a plus a dangling d.
+        let adj = vec![vec![1], vec![2], vec![0], vec![]];
+        let sccs = strongly_connected(&adj);
+        assert!(sccs.contains(&vec![0, 1, 2]));
+        assert!(sccs.contains(&vec![3]));
+    }
+}

@@ -1,0 +1,519 @@
+//! `gals-lint`: the workspace determinism lint.
+//!
+//! A hand-rolled, offline line scan over the workspace's `.rs` files (no
+//! rustc plugin, no syn) enforcing repo contracts clippy cannot express:
+//!
+//! - **GL101** — no wall-clock reads (`Instant::now`, `SystemTime`) in
+//!   simulation crates; simulated time is the only time.
+//! - **GL102** — no ambient randomness (`thread_rng`, `from_entropy`,
+//!   `rand::random`) in simulation crates; all streams are seeded.
+//! - **GL103** — no `HashMap`/`HashSet` in crates whose state feeds
+//!   reports, derived tables or JSON (iteration order is unspecified and
+//!   breaks bit-identity); lookup-only uses need a justified waiver.
+//! - **GL104** — no floating-point accumulation in cycle/instruction
+//!   *counting* paths (counts are integers; only derived metrics float).
+//! - **GL105** — no `std::process::exit` outside `crates/bench` bins
+//!   (library code must return errors, not kill the process).
+//!
+//! Waivers live in `analysis/lint_allow.toml` at the workspace root and
+//! carry a mandatory justification; a waiver that matches nothing is
+//! itself an error, so the allowlist can never rot.
+//!
+//! The scanner's own needles are assembled from split tokens at runtime
+//! so this file (and the fixtures manifest) never contains a pattern
+//! that would flag itself.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Simulation crates: deterministic, no wall clock, no ambient entropy,
+/// integer event counts.
+const SIM_CRATES: [&str; 7] = [
+    "isa", "events", "clocks", "uarch", "power", "workload", "core",
+];
+
+/// Crates whose data structures end up in reports/JSON (GL103 scope):
+/// the simulation crates plus the sweep harness and the bench CLI.
+const OUTPUT_CRATES: [&str; 9] = [
+    "isa", "events", "clocks", "uarch", "power", "workload", "core", "sweep", "bench",
+];
+
+/// One lint finding at a specific file/line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule code, e.g. `"GL103"`.
+    pub rule: &'static str,
+    /// What was matched and why it matters.
+    pub message: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One allowlist entry: waives every finding of `rule` in `path`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Workspace-relative path the waiver applies to.
+    pub path: String,
+    /// Rule code being waived.
+    pub rule: String,
+    /// Mandatory human-readable reason; empty is a parse error.
+    pub justification: String,
+}
+
+/// Result of a full-tree lint run.
+#[derive(Debug, Clone, Default)]
+pub struct LintOutcome {
+    /// Unwaived findings (the build-breaking set).
+    pub findings: Vec<LintFinding>,
+    /// Waivers that matched no finding — stale entries, also breaking.
+    pub stale_waivers: Vec<Waiver>,
+    /// How many findings were suppressed by waivers.
+    pub waived: usize,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+impl LintOutcome {
+    /// True when the tree is clean: no findings, no stale waivers.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.stale_waivers.is_empty()
+    }
+}
+
+/// Crate name for `crates/<name>/...` paths.
+fn crate_of(rel: &str) -> Option<&str> {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+}
+
+/// Needles are split so the scanner never matches its own source.
+fn needle(parts: &[&str]) -> String {
+    parts.concat()
+}
+
+/// Scans one file's source. `rel` must be the workspace-relative path
+/// with `/` separators — it selects which rules apply. Pure function so
+/// fixtures can be tested under a pretend path.
+pub fn scan_file(rel: &str, source: &str) -> Vec<LintFinding> {
+    let krate = crate_of(rel);
+    let in_sim = krate.is_some_and(|k| SIM_CRATES.contains(&k));
+    let in_output = krate.is_some_and(|k| OUTPUT_CRATES.contains(&k));
+    let exit_banned = krate != Some("bench");
+
+    let wall_clock = [needle(&["Instant", "::now"]), needle(&["System", "Time"])];
+    let entropy = [
+        needle(&["thread", "_rng"]),
+        needle(&["from_", "entropy"]),
+        needle(&["rand::", "random"]),
+    ];
+    let hashed = [needle(&["Hash", "Map"]), needle(&["Hash", "Set"])];
+    let exit = needle(&["process", "::exit"]);
+    let test_gate = needle(&["#[cfg", "(test)]"]);
+
+    let mut out = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        let trimmed = raw.trim_start();
+        // Repo convention: the `#[cfg(test)]` module is the tail of the
+        // file, so everything after the gate is test-only and exempt.
+        if trimmed.starts_with(&test_gate) {
+            break;
+        }
+        let line = strip_line_comment(raw);
+        let lineno = i + 1;
+        if in_sim {
+            for n in &wall_clock {
+                if line.contains(n.as_str()) {
+                    out.push(LintFinding {
+                        path: rel.to_string(),
+                        line: lineno,
+                        rule: "GL101",
+                        message: format!(
+                            "wall-clock read `{n}` in a simulation crate; \
+                             simulated time is the only time source"
+                        ),
+                    });
+                }
+            }
+            for n in &entropy {
+                if line.contains(n.as_str()) {
+                    out.push(LintFinding {
+                        path: rel.to_string(),
+                        line: lineno,
+                        rule: "GL102",
+                        message: format!(
+                            "ambient randomness `{n}` in a simulation crate; \
+                             every stream must be explicitly seeded"
+                        ),
+                    });
+                }
+            }
+            out.extend(scan_float_counting(rel, lineno, line));
+        }
+        if in_output {
+            for n in &hashed {
+                if line.contains(n.as_str()) {
+                    out.push(LintFinding {
+                        path: rel.to_string(),
+                        line: lineno,
+                        rule: "GL103",
+                        message: format!(
+                            "`{n}` in an output-feeding crate: iteration order is \
+                             unspecified and breaks bit-identity; use a sorted/indexed \
+                             structure, or waive with a lookup-only justification"
+                        ),
+                    });
+                }
+            }
+        }
+        if exit_banned && line.contains(exit.as_str()) {
+            out.push(LintFinding {
+                path: rel.to_string(),
+                line: lineno,
+                rule: "GL105",
+                message: "process exit outside crates/bench; library code must \
+                          return errors, not kill the process"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// GL104: float accumulation/declaration in counting paths. Two
+/// matchers: `x += <float literal>` and a `f64`/`f32` binding whose
+/// identifier names a count (`cycle`, `count`, `committed`, `fetched`).
+fn scan_float_counting(rel: &str, lineno: usize, line: &str) -> Vec<LintFinding> {
+    let mut out = Vec::new();
+    if let Some(pos) = line.find("+=") {
+        let rhs = line[pos + 2..].split(';').next().unwrap_or("").trim();
+        if is_float_literal(rhs) {
+            out.push(LintFinding {
+                path: rel.to_string(),
+                line: lineno,
+                rule: "GL104",
+                message: format!(
+                    "floating-point accumulation `+= {rhs}`: event counts are \
+                     integers (derive ratios at report time)"
+                ),
+            });
+        }
+    }
+    for ty in [": f64", ": f32"] {
+        let mut start = 0;
+        while let Some(found) = line[start..].find(ty) {
+            let at = start + found;
+            let ident: String = line[..at]
+                .chars()
+                .rev()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect::<String>()
+                .chars()
+                .rev()
+                .collect();
+            let lower = ident.to_ascii_lowercase();
+            if ["cycle", "count", "committed", "fetched"]
+                .iter()
+                .any(|k| lower.contains(k))
+            {
+                out.push(LintFinding {
+                    path: rel.to_string(),
+                    line: lineno,
+                    rule: "GL104",
+                    message: format!(
+                        "count-like binding `{ident}{ty}`: cycle/instruction counts \
+                         are integers (the integer-count invariant)"
+                    ),
+                });
+            }
+            start = at + ty.len();
+        }
+    }
+    out
+}
+
+/// `"1.0"`, `"0.5"`, `"1_000.25"` — digits and underscores around one dot.
+fn is_float_literal(s: &str) -> bool {
+    let mut dots = 0;
+    if s.is_empty() {
+        return false;
+    }
+    for c in s.chars() {
+        match c {
+            '.' => dots += 1,
+            '0'..='9' | '_' => {}
+            _ => return false,
+        }
+    }
+    dots == 1 && !s.starts_with('.') && !s.ends_with('.')
+}
+
+/// Cuts a line at its `//` comment. Naive about `//` inside string
+/// literals, which the workspace's style makes a non-issue.
+fn strip_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Parses `analysis/lint_allow.toml` (a deliberate TOML subset:
+/// `[[allow]]` tables with `path`/`rule`/`justification` string keys,
+/// `#` comments, blank lines).
+pub fn parse_allowlist(text: &str) -> Result<Vec<Waiver>, String> {
+    let mut out: Vec<Waiver> = Vec::new();
+    let mut current: Option<Waiver> = None;
+    let finalize = |w: Option<Waiver>, out: &mut Vec<Waiver>| -> Result<(), String> {
+        if let Some(w) = w {
+            if w.path.is_empty() || w.rule.is_empty() {
+                return Err(format!(
+                    "allowlist entry missing path or rule (path={:?}, rule={:?})",
+                    w.path, w.rule
+                ));
+            }
+            if w.justification.trim().is_empty() {
+                return Err(format!(
+                    "allowlist entry for {} / {} has no justification; every waiver \
+                     must say why it is sound",
+                    w.path, w.rule
+                ));
+            }
+            if !w.rule.starts_with("GL") || !w.rule[2..].chars().all(|c| c.is_ascii_digit()) {
+                return Err(format!("allowlist rule {:?} is not a GL code", w.rule));
+            }
+            out.push(w);
+        }
+        Ok(())
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finalize(current.take(), &mut out)?;
+            current = Some(Waiver {
+                path: String::new(),
+                rule: String::new(),
+                justification: String::new(),
+            });
+            continue;
+        }
+        let entry = current
+            .as_mut()
+            .ok_or_else(|| format!("line {}: key outside an [[allow]] table", i + 1))?;
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected `key = \"value\"`", i + 1))?;
+        let value = value.trim();
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("line {}: value must be a double-quoted string", i + 1))?;
+        match key.trim() {
+            "path" => entry.path = value.to_string(),
+            "rule" => entry.rule = value.to_string(),
+            "justification" => entry.justification = value.to_string(),
+            other => return Err(format!("line {}: unknown key {other:?}", i + 1)),
+        }
+    }
+    finalize(current.take(), &mut out)?;
+    Ok(out)
+}
+
+/// Directory names never scanned: build output, VCS, the offline stub
+/// crates, test/bench/example code, and lint fixtures themselves.
+const SKIP_DIRS: [&str; 7] = [
+    "target", ".git", "stubs", "fixtures", "tests", "benches", "examples",
+];
+
+/// Collects workspace-relative paths of all lintable `.rs` files.
+fn collect_rs_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![PathBuf::new()];
+    while let Some(rel_dir) = stack.pop() {
+        let dir = root.join(&rel_dir);
+        let entries = fs::read_dir(&dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let rel = if rel_dir.as_os_str().is_empty() {
+                PathBuf::from(&name)
+            } else {
+                rel_dir.join(&name)
+            };
+            let ftype = entry
+                .file_type()
+                .map_err(|e| format!("{}: {e}", rel.display()))?;
+            if ftype.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_str()) {
+                    stack.push(rel);
+                }
+            } else if name.ends_with(".rs") {
+                let unix: Vec<String> = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect();
+                out.push(unix.join("/"));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints the whole workspace rooted at `root`, applying the allowlist at
+/// `<root>/analysis/lint_allow.toml` when present.
+pub fn lint_tree(root: &Path) -> Result<LintOutcome, String> {
+    let allow_path = root.join("analysis").join("lint_allow.toml");
+    let waivers = match fs::read_to_string(&allow_path) {
+        Ok(text) => parse_allowlist(&text).map_err(|e| format!("{}: {e}", allow_path.display()))?,
+        Err(_) => Vec::new(),
+    };
+    let mut outcome = LintOutcome::default();
+    let mut used = vec![false; waivers.len()];
+    for rel in collect_rs_files(root)? {
+        let source = fs::read_to_string(root.join(&rel)).map_err(|e| format!("{rel}: {e}"))?;
+        outcome.files_scanned += 1;
+        'finding: for finding in scan_file(&rel, &source) {
+            for (wi, w) in waivers.iter().enumerate() {
+                if w.path == finding.path && w.rule == finding.rule {
+                    used[wi] = true;
+                    outcome.waived += 1;
+                    continue 'finding;
+                }
+            }
+            outcome.findings.push(finding);
+        }
+    }
+    outcome.stale_waivers = waivers
+        .into_iter()
+        .zip(used)
+        .filter_map(|(w, u)| (!u).then_some(w))
+        .collect();
+    Ok(outcome)
+}
+
+/// Finds the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_flags_only_in_sim_crates() {
+        let bad = format!("let t = {}();", needle(&["Instant", "::now"]));
+        let hits = scan_file("crates/core/src/sim.rs", &bad);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "GL101");
+        assert_eq!(hits[0].line, 1);
+        assert!(scan_file("crates/bench/src/lib.rs", &bad).is_empty());
+    }
+
+    #[test]
+    fn entropy_flags_in_sim_crates() {
+        let bad = format!("let mut rng = {}();", needle(&["thread", "_rng"]));
+        let hits = scan_file("crates/clocks/src/domain.rs", &bad);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "GL102");
+    }
+
+    #[test]
+    fn hashed_collections_flag_in_output_crates_only() {
+        let bad = format!("use std::collections::{};", needle(&["Hash", "Map"]));
+        assert_eq!(scan_file("crates/sweep/src/lib.rs", &bad)[0].rule, "GL103");
+        assert_eq!(
+            scan_file("crates/events/src/engine.rs", &bad)[0].rule,
+            "GL103"
+        );
+        assert!(scan_file("crates/analysis/src/lint.rs", &bad).is_empty());
+    }
+
+    #[test]
+    fn float_accumulation_and_count_bindings_flag_gl104() {
+        let hits = scan_file("crates/uarch/src/rob.rs", "self.cycles += 1.0;");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "GL104");
+        let hits = scan_file("crates/power/src/acc.rs", "pub committed_count: f64,");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "GL104");
+        // Integer accumulation and non-count floats are fine.
+        assert!(scan_file("crates/uarch/src/rob.rs", "self.cycles += 1;").is_empty());
+        assert!(scan_file("crates/power/src/acc.rs", "pub slowdown: f64,").is_empty());
+    }
+
+    #[test]
+    fn process_exit_is_fine_only_in_bench() {
+        let bad = format!("std::{}(2);", needle(&["process", "::exit"]));
+        assert_eq!(scan_file("crates/core/src/sim.rs", &bad)[0].rule, "GL105");
+        assert_eq!(scan_file("src/lib.rs", &bad)[0].rule, "GL105");
+        assert!(scan_file("crates/bench/src/bin/sweep.rs", &bad).is_empty());
+    }
+
+    #[test]
+    fn comments_and_test_modules_are_exempt() {
+        let gate = needle(&["#[cfg", "(test)]"]);
+        let n = needle(&["Instant", "::now"]);
+        let source = format!("// {n}\nlet a = 1;\n{gate}\nmod tests {{ {n} }}\n");
+        assert!(scan_file("crates/core/src/sim.rs", &source).is_empty());
+    }
+
+    #[test]
+    fn allowlist_roundtrip_and_rejections() {
+        let good = "# comment\n[[allow]]\npath = \"crates/events/src/engine.rs\"\n\
+                    rule = \"GL103\"\njustification = \"lookup only\"\n";
+        let waivers = parse_allowlist(good).unwrap();
+        assert_eq!(waivers.len(), 1);
+        assert_eq!(waivers[0].rule, "GL103");
+
+        let missing_just = "[[allow]]\npath = \"a.rs\"\nrule = \"GL103\"\n";
+        assert!(parse_allowlist(missing_just)
+            .unwrap_err()
+            .contains("justification"));
+        let empty_just = "[[allow]]\npath = \"a.rs\"\nrule = \"GL103\"\njustification = \"  \"\n";
+        assert!(parse_allowlist(empty_just).is_err());
+        let bad_rule = "[[allow]]\npath = \"a.rs\"\nrule = \"XX9\"\njustification = \"x\"\n";
+        assert!(parse_allowlist(bad_rule).unwrap_err().contains("GL code"));
+        assert!(parse_allowlist("path = \"a\"\n").is_err());
+    }
+
+    #[test]
+    fn float_literal_detector_is_strict() {
+        assert!(is_float_literal("1.0"));
+        assert!(is_float_literal("0.25"));
+        assert!(is_float_literal("1_000.5"));
+        assert!(!is_float_literal("1"));
+        assert!(!is_float_literal("delta"));
+        assert!(!is_float_literal("1.0 * x"));
+        assert!(!is_float_literal(".5"));
+        assert!(!is_float_literal("5."));
+        assert!(!is_float_literal(""));
+    }
+}

@@ -1,0 +1,92 @@
+//! Static/runtime agreement on wedge deadlocks: a configuration the
+//! analyzer flags GA002 for must actually deadlock under the runtime
+//! watchdog, and the structured `DeadlockReport` must carry the static
+//! verdict back (`static_finding`), closing the loop both ways.
+//!
+//! The dev-dependency on `gals-core` enables the `chaos` feature, so the
+//! wedge knobs are unconditionally available here.
+
+use gals_analysis::codes;
+use gals_core::{analyze, simulate, ProcessorConfig, SimError, SimLimits};
+use gals_workload::{generate, Benchmark};
+
+/// The wedge from `crates/core/tests/deadlock.rs`: withhold one
+/// writeback so the ROB head never retires, on a tight watchdog.
+fn wedged_limits(seq: u64) -> SimLimits {
+    let mut limits = SimLimits::insts(2_000).with_watchdog_cycles(500);
+    limits.chaos.withhold_writeback = Some(seq);
+    limits
+}
+
+#[test]
+fn the_analyzer_flags_what_the_watchdog_catches() {
+    let cfg = ProcessorConfig::gals_equal_1ghz(1);
+    let limits = wedged_limits(150);
+
+    // Static side: the pre-flight analyzer calls the wedge before any
+    // simulation happens, and GA002 is the overall verdict.
+    let analysis = analyze(&cfg, &limits);
+    let verdict = analysis.static_verdict().expect("a wedge is never clean");
+    assert_eq!(verdict.code, codes::WEDGED_PRODUCER);
+
+    // Runtime side: the same configuration really does deadlock, and the
+    // report cross-references the static verdict.
+    let program = generate(Benchmark::Adpcm, 1);
+    match simulate(&program, cfg, limits) {
+        Err(SimError::Deadlock(report)) => {
+            assert_eq!(report.rob_head_seq, Some(150));
+            assert_eq!(
+                report.static_finding.as_deref(),
+                Some(codes::WEDGED_PRODUCER),
+                "the deadlock report must carry the analyzer's verdict"
+            );
+            let shown = format!("{report}");
+            assert!(
+                shown.contains("static_finding=GA002"),
+                "Display must surface the pre-flight verdict: {shown}"
+            );
+        }
+        other => panic!("expected a deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn a_wedge_beyond_the_budget_is_statically_and_dynamically_clean() {
+    // Withholding a writeback the run never reaches is a no-op on both
+    // sides: no GA002, no deadlock, and no static_finding to report.
+    let cfg = ProcessorConfig::gals_equal_1ghz(1);
+    let mut limits = SimLimits::insts(1_000).with_watchdog_cycles(500);
+    limits.chaos.withhold_writeback = Some(1_000_000);
+
+    let analysis = analyze(&cfg, &limits);
+    assert!(
+        !analysis
+            .findings
+            .iter()
+            .any(|f| f.code == codes::WEDGED_PRODUCER),
+        "unreachable wedge must not be flagged: {:?}",
+        analysis.findings
+    );
+
+    let program = generate(Benchmark::Adpcm, 1);
+    let report = simulate(&program, cfg, limits).expect("unreachable wedge runs clean");
+    assert_eq!(report.committed, 1_000);
+}
+
+#[test]
+fn a_healthy_config_deadlock_still_reports_no_static_finding() {
+    // An impossibly tight watchdog on a *clean* config deadlocks at
+    // runtime with no static verdict — the analyzer only warns on an
+    // armed watchdog, never errors, so `static_finding` stays None and
+    // the two detectors disagree exactly when they should: the analyzer
+    // sees configurations, not workloads.
+    let program = generate(Benchmark::Adpcm, 1);
+    let limits = SimLimits::insts(5_000).with_watchdog_cycles(1);
+    match simulate(&program, ProcessorConfig::gals_equal_1ghz(1), limits) {
+        Err(SimError::Deadlock(report)) => {
+            assert_eq!(report.static_finding, None);
+            assert!(!format!("{report}").contains("static_finding"));
+        }
+        other => panic!("expected a watchdog deadlock, got {other:?}"),
+    }
+}

@@ -1,0 +1,93 @@
+//! gals-lint self-test: every known-bad fixture in `fixtures/lint/`
+//! triggers exactly one finding of its advertised rule, the clean
+//! fixture triggers none, and the real workspace tree lints green (the
+//! allowlist in `analysis/lint_allow.toml` carries every waiver).
+
+use std::path::Path;
+
+use gals_analysis::lint::{find_workspace_root, lint_tree, scan_file};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures/lint")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
+}
+
+/// Each bad fixture, the path it pretends to live at (which selects the
+/// rules in force), and the one rule it must trip.
+const BAD: [(&str, &str, &str); 5] = [
+    ("gl101_instant_now.rs", "crates/core/src/bad.rs", "GL101"),
+    ("gl102_thread_rng.rs", "crates/workload/src/bad.rs", "GL102"),
+    ("gl103_hashmap_json.rs", "crates/sweep/src/bad.rs", "GL103"),
+    ("gl104_float_accum.rs", "crates/uarch/src/bad.rs", "GL104"),
+    ("gl105_process_exit.rs", "crates/sweep/src/bad.rs", "GL105"),
+];
+
+#[test]
+fn each_bad_fixture_trips_exactly_its_rule() {
+    for (file, pretend, rule) in BAD {
+        let findings = scan_file(pretend, &fixture(file));
+        assert_eq!(
+            findings.len(),
+            1,
+            "{file} under {pretend}: expected exactly one finding, got {findings:?}"
+        );
+        assert_eq!(findings[0].rule, rule, "{file}: wrong rule");
+        assert_eq!(findings[0].path, pretend);
+        assert!(findings[0].line > 0);
+    }
+}
+
+#[test]
+fn count_binding_fixture_trips_gl104() {
+    // The second GL104 form: a count-named f64 binding (no float-literal
+    // accumulation anywhere in the snippet).
+    let findings = scan_file(
+        "crates/power/src/bad.rs",
+        &fixture("gl104_count_binding.rs"),
+    );
+    assert_eq!(findings.len(), 1, "got {findings:?}");
+    assert_eq!(findings[0].rule, "GL104");
+    assert!(findings[0].message.contains("cycle_total"));
+}
+
+#[test]
+fn fixtures_out_of_scope_paths_are_quiet() {
+    // Rules are scoped: a wall-clock read outside the simulation crates
+    // is fine (the sweep watchdog needs one), and a process exit inside
+    // crates/bench is the sanctioned place for it.
+    assert!(scan_file("crates/bench/src/bad.rs", &fixture("gl101_instant_now.rs")).is_empty());
+    assert!(scan_file("crates/bench/src/bad.rs", &fixture("gl105_process_exit.rs")).is_empty());
+}
+
+#[test]
+fn clean_fixture_is_clean_everywhere() {
+    for pretend in [
+        "crates/core/src/good.rs",
+        "crates/sweep/src/good.rs",
+        "crates/bench/src/good.rs",
+    ] {
+        let findings = scan_file(pretend, &fixture("clean.rs"));
+        assert!(findings.is_empty(), "{pretend}: {findings:?}");
+    }
+}
+
+#[test]
+fn workspace_tree_lints_green() {
+    // The CI gate in test form: the real tree, with the real allowlist,
+    // has zero unwaived findings and zero stale waivers. Every waiver in
+    // analysis/lint_allow.toml must keep matching a live finding.
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above the analysis crate");
+    let outcome = lint_tree(&root).expect("lint run");
+    assert!(outcome.files_scanned > 50, "suspiciously small scan");
+    assert!(
+        outcome.is_clean(),
+        "tree not clean: findings={:?} stale={:?}",
+        outcome.findings,
+        outcome.stale_waivers,
+    );
+    assert!(outcome.waived > 0, "the allowlist should be exercised");
+}

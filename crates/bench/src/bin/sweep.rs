@@ -5,8 +5,8 @@
 //!
 //! ```text
 //! cargo run --release --bin sweep -- [--budget N] [--threads N] [--out PATH]
-//!     [--matrix FILE] [--journal PATH [--resume]] [--retries N]
-//!     [--run-timeout-ms N]
+//!     [--matrix FILE | --check FILE] [--journal PATH [--resume]]
+//!     [--retries N] [--run-timeout-ms N]
 //! ```
 //!
 //! * `--budget N` — committed instructions per run (default 60 000; CI
@@ -16,6 +16,13 @@
 //!   `gals_sweep::SweepMatrix::from_json` for the format) instead of the
 //!   in-code default. An unreadable or invalid file prints the problem to
 //!   stderr and exits with the uniform usage code (2).
+//! * `--check FILE` — **run nothing**: expand the matrix file and run
+//!   the static pre-flight analyzer (`gals-analysis`) over every point,
+//!   printing a per-point finding table. Exits 4 (`exit_code::ANALYSIS`)
+//!   on any warning-or-worse finding, 0 on a clean matrix; combining
+//!   `--check` with `--matrix` is a usage error. The chaos flags compose:
+//!   `--check M --chaos-wedge I` vets the *faulted* runs, so a wedge the
+//!   runtime watchdog would deadlock on is flagged GA002 statically.
 //! * `--threads N` — worker threads (default: host parallelism). The
 //!   report is **bit-identical for every thread count** (pinned by
 //!   `crates/sweep/tests/sweep_determinism.rs`).
@@ -59,7 +66,7 @@
 use std::time::{Duration, Instant};
 
 use gals_bench::{exit_code, write_atomic, BenchCli};
-use gals_sweep::{run_sweep_with, RunStatus, SweepMatrix, SweepOptions};
+use gals_sweep::{run_sweep_with, RunStatus, Severity, SweepMatrix, SweepOptions};
 
 /// Default committed-instruction budget per run. Smaller than the figure
 /// binaries' 120k: the default matrix runs 116 configurations (since the
@@ -67,7 +74,8 @@ use gals_sweep::{run_sweep_with, RunStatus, SweepMatrix, SweepOptions};
 /// well before that.
 const SWEEP_INSTS: u64 = 60_000;
 
-const USAGE: &str = "sweep [--budget N | N] [--threads N] [--out PATH] [--matrix FILE] \
+const USAGE: &str = "sweep [--budget N | N] [--threads N] [--out PATH] \
+     [--matrix FILE | --check FILE] \
      [--journal PATH [--resume]] [--retries N] [--run-timeout-ms N] \
      [--chaos-panic I] [--chaos-wedge I] [--chaos-stall I:MS]";
 
@@ -111,30 +119,80 @@ fn sweep_options(cli: &BenchCli, matrix: &SweepMatrix) -> SweepOptions {
     }
 }
 
+/// Loads a matrix file, routing problems through [`usage_exit`]; the
+/// command line's `--budget` wins over the file's.
+fn load_matrix(path: &std::path::Path, cli: &BenchCli) -> SweepMatrix {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        usage_exit(&format!("cannot read matrix file {}: {e}", path.display()))
+    });
+    let mut matrix = SweepMatrix::from_json(&text, SWEEP_INSTS).unwrap_or_else(|e| {
+        usage_exit(&format!(
+            "{} is not a valid matrix file: {e}",
+            path.display()
+        ))
+    });
+    if let Some(budget) = cli.budget {
+        matrix.budget = budget;
+    }
+    matrix
+}
+
+/// The `--check FILE` mode: static pre-flight analysis of every matrix
+/// point, zero simulation. Prints one line per finding and a summary;
+/// exits with [`exit_code::ANALYSIS`] on any warning-or-worse finding.
+fn check_exit(path: &std::path::Path, cli: &BenchCli) -> ! {
+    let matrix = load_matrix(path, cli);
+    let opts = sweep_options(cli, &matrix);
+    let start = Instant::now();
+    let checked = gals_sweep::check_matrix(&matrix, &opts);
+    let elapsed = start.elapsed();
+
+    let mut blocking = 0usize;
+    let mut total = 0usize;
+    for (spec, findings) in &checked {
+        for f in findings {
+            total += 1;
+            if f.severity >= Severity::Warning {
+                blocking += 1;
+            }
+            println!(
+                "point {:>3} ({} {} {}): {f}",
+                spec.index,
+                spec.benchmark.name(),
+                spec.mode.label(),
+                spec.dvfs.label,
+            );
+        }
+    }
+    println!(
+        "check: {} points vetted in {:.0} ms — {total} finding{} ({blocking} blocking)",
+        checked.len(),
+        elapsed.as_secs_f64() * 1e3,
+        if total == 1 { "" } else { "s" },
+    );
+    if blocking > 0 {
+        std::process::exit(exit_code::ANALYSIS);
+    }
+    std::process::exit(exit_code::OK);
+}
+
 fn main() {
     let cli = BenchCli::parse_or_exit(USAGE);
+    if let Some(check) = &cli.check {
+        if cli.matrix.is_some() {
+            usage_exit(
+                "--check runs nothing; pass the matrix file to --check itself, not --matrix",
+            );
+        }
+        check_exit(check, &cli);
+    }
     let out = cli
         .out
         .clone()
         .unwrap_or_else(|| std::path::PathBuf::from("SWEEP_results.json"));
 
     let matrix = match &cli.matrix {
-        Some(path) => {
-            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                usage_exit(&format!("cannot read matrix file {}: {e}", path.display()))
-            });
-            let mut matrix = SweepMatrix::from_json(&text, SWEEP_INSTS).unwrap_or_else(|e| {
-                usage_exit(&format!(
-                    "{} is not a valid matrix file: {e}",
-                    path.display()
-                ))
-            });
-            // The command line wins over the file's budget.
-            if let Some(budget) = cli.budget {
-                matrix.budget = budget;
-            }
-            matrix
-        }
+        Some(path) => load_matrix(path, &cli),
         None => SweepMatrix::paper_default(cli.budget_or(SWEEP_INSTS)),
     };
     let opts = sweep_options(&cli, &matrix);

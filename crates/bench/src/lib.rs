@@ -34,11 +34,10 @@
 //! binaries that write files accept `--out PATH`; parallel binaries accept
 //! `--threads N`; `bench_throughput` additionally accepts
 //! `--baseline PATH --tolerance F` for the CI perf-regression gate; the
-//! `sweep` binary additionally accepts the fault-tolerance options above.
-//! Exit codes are uniform across binaries: [`exit_code::OK`],
-//! [`exit_code::REGRESSION`] (a gated comparison failed),
-//! [`exit_code::USAGE`] (bad command line), [`exit_code::FAILED_RUNS`]
-//! (a sweep finished with failed points). JSON artifacts are written
+//! `sweep` binary additionally accepts the fault-tolerance options above
+//! and `--check FILE` (static pre-flight analysis of a matrix file, no
+//! simulation). Exit codes are uniform across binaries — the full
+//! contract lives on [`exit_code`]. JSON artifacts are written
 //! atomically ([`write_atomic`]): tmp file + rename, never a torn report.
 
 #![forbid(unsafe_code)]
@@ -110,7 +109,22 @@ pub fn run_rendezvous(bench: Benchmark, insts: u64) -> SimReport {
     .expect("simulation failed")
 }
 
-/// Uniform process exit codes of the experiment binaries.
+/// Uniform process exit codes of the experiment binaries — the one place
+/// the full 0/1/2/3/4 contract is defined (mirrored prose in
+/// `docs/SWEEP_FORMAT.md`):
+///
+/// | code | meaning |
+/// |------|---------|
+/// | 0    | success — everything ran and every gate passed |
+/// | 1    | a gated comparison failed (CI perf-regression gate) |
+/// | 2    | bad command line — usage printed to stderr |
+/// | 3    | sweep finished but ≥1 matrix point failed at *runtime* |
+/// | 4    | static analysis found a blocking issue — nothing was run |
+///
+/// 2 vs 4 matters: a usage error (2) means the invocation itself is
+/// malformed (unknown flag, unreadable matrix file); an analysis failure
+/// (4) means the invocation was fine but `--check` statically rejected
+/// the *configurations* — the per-point finding table on stdout says why.
 pub mod exit_code {
     /// Success.
     pub const OK: i32 = 0;
@@ -122,6 +136,11 @@ pub mod exit_code {
     /// timed out, or deadlocked); the report was still written and records
     /// every failure's status, so `--resume` can re-run just those points.
     pub const FAILED_RUNS: i32 = 3;
+    /// Static pre-flight analysis (`sweep --check FILE`) flagged at least
+    /// one matrix point with a warning-or-worse finding; no simulation
+    /// was performed. The finding table (one `GA…` code per line) was
+    /// printed to stdout.
+    pub const ANALYSIS: i32 = 4;
 }
 
 /// Writes `contents` to `path` atomically: the bytes land in a `.tmp`
@@ -160,6 +179,10 @@ pub struct BenchCli {
     /// User-defined sweep-matrix file (`--matrix PATH`; the `sweep`
     /// binary — see `gals_sweep::SweepMatrix::from_json` for the format).
     pub matrix: Option<PathBuf>,
+    /// Statically analyze a matrix file instead of running it
+    /// (`--check PATH`; the `sweep` binary). Exits with
+    /// [`exit_code::ANALYSIS`] on any warning-or-worse finding.
+    pub check: Option<PathBuf>,
     /// Relative regression tolerance for the gate (`--tolerance F`,
     /// default 0.15 = fail beyond a 15% mean regression).
     pub tolerance: f64,
@@ -227,6 +250,7 @@ impl BenchCli {
                 }
                 "--baseline" => cli.baseline = Some(PathBuf::from(value_of("--baseline")?)),
                 "--matrix" => cli.matrix = Some(PathBuf::from(value_of("--matrix")?)),
+                "--check" => cli.check = Some(PathBuf::from(value_of("--check")?)),
                 "--journal" => cli.journal = Some(PathBuf::from(value_of("--journal")?)),
                 "--resume" => cli.resume = true,
                 "--retries" => {
@@ -459,6 +483,18 @@ mod tests {
 
         let cli = BenchCli::parse_from(["--matrix", "m.json"]).unwrap();
         assert_eq!(cli.matrix.as_deref(), Some(std::path::Path::new("m.json")));
+    }
+
+    #[test]
+    fn cli_parses_check_flag() {
+        let cli = BenchCli::parse_from(["--check", "m.json"]).unwrap();
+        assert_eq!(cli.check.as_deref(), Some(std::path::Path::new("m.json")));
+        assert!(cli.matrix.is_none());
+        assert!(BenchCli::parse_from(["--check"]).is_err());
+        // --check and --matrix are distinct options at the parse layer;
+        // the sweep binary rejects the combination (check is run-nothing).
+        let cli = BenchCli::parse_from(["--check", "a.json", "--matrix", "b.json"]).unwrap();
+        assert!(cli.check.is_some() && cli.matrix.is_some());
     }
 
     #[test]

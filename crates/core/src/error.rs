@@ -17,6 +17,7 @@
 
 use std::fmt;
 
+use gals_analysis::Finding;
 use gals_events::Time;
 
 /// What ended a deadlocked run.
@@ -118,6 +119,11 @@ pub struct DeadlockReport {
     pub fetch_halted: bool,
     /// Whether fetch was on the wrong path.
     pub wrong_path: bool,
+    /// The static analyzer's pre-flight verdict on this run, if it
+    /// flagged anything (the code of the worst warning-level finding,
+    /// e.g. `"GA002"` for an armed chaos wedge): a deadlock that was
+    /// statically predictable says so in its own report.
+    pub static_finding: Option<String>,
 }
 
 impl fmt::Display for DeadlockReport {
@@ -172,15 +178,24 @@ impl fmt::Display for DeadlockReport {
             f,
             "  rendezvous_blocked={:?} pending_recovery={:?} fetch_halted={} wrong_path={}",
             self.rendezvous_blocked, self.pending_recovery, self.fetch_halted, self.wrong_path,
-        )
+        )?;
+        if let Some(code) = &self.static_finding {
+            write!(
+                f,
+                "\n  static_finding={code} (flagged by pre-flight analysis at submit)"
+            )?;
+        }
+        Ok(())
     }
 }
 
 /// Why a simulation run failed to produce a report.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
-    /// The configuration failed validation; the simulation never started.
-    InvalidConfig(String),
+    /// The configuration failed static analysis; the simulation never
+    /// started. The boxed [`Finding`] carries the stable code (`GA…`),
+    /// severity and message of the first error-level finding.
+    InvalidConfig(Box<Finding>),
     /// The machine stopped making progress; the boxed report is a
     /// deterministic snapshot of the stuck state.
     Deadlock(Box<DeadlockReport>),
@@ -189,7 +204,9 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::InvalidConfig(msg) => write!(f, "invalid processor configuration: {msg}"),
+            SimError::InvalidConfig(finding) => {
+                write!(f, "invalid processor configuration: {finding}")
+            }
             SimError::Deadlock(report) => write!(f, "{report}"),
         }
     }

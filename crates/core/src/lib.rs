@@ -45,6 +45,7 @@
 mod advisor;
 #[cfg(feature = "bench")]
 pub mod alloc_counter;
+mod analysis;
 mod config;
 mod error;
 pub mod inflight;
@@ -53,10 +54,12 @@ mod report;
 mod sim;
 
 pub use advisor::{AdvisorConfig, DomainUtilisation, DvfsAdvisor};
+pub use analysis::{analyze, comm_graph};
 #[cfg(feature = "chaos")]
 pub use config::ChaosFaults;
 pub use config::{Clocking, DvfsPlan, ProcessorConfig, SimLimits};
 pub use error::{DeadlockReport, DeadlockTrigger, PortState, SimError};
+pub use gals_analysis::{codes, AnalysisReport, Finding, Severity};
 pub use inflight::{
     BranchInfo, FetchedInstr, InFlightCold, InFlightTable, InstrId, Redirect, RetiredInstr,
     SrcTags, Tag,

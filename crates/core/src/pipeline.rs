@@ -274,6 +274,10 @@ pub struct Pipeline<'p> {
     /// they surface the report as `SimError::Deadlock` instead of a
     /// `SimReport`.
     deadlock: Option<Box<DeadlockReport>>,
+    /// The static analyzer's pre-flight verdict (worst warning's code),
+    /// stamped by the drivers so a deadlock report can cross-reference
+    /// it. Cold: read only when a report is built.
+    static_finding: Option<String>,
     fetch_cycles: u64,
     pub(crate) accountant: PowerAccountant,
     now: Time,
@@ -460,6 +464,7 @@ impl<'p> Pipeline<'p> {
                 Time::MAX
             },
             deadlock: None,
+            static_finding: None,
             fetch_cycles: 0,
             accountant,
             stream,
@@ -1696,6 +1701,13 @@ impl<'p> Pipeline<'p> {
         self.deadlock.take()
     }
 
+    /// Stamps the static analyzer's pre-flight verdict (see
+    /// [`crate::analyze`]) so any deadlock report built later can say
+    /// "this wedge was flagged at submit".
+    pub fn set_static_finding(&mut self, finding: Option<String>) {
+        self.static_finding = finding;
+    }
+
     /// True when every domain clock is parked (ClockSet driver's mirror).
     pub fn all_parked(&self) -> bool {
         self.parked == [true; 5]
@@ -1737,6 +1749,7 @@ impl<'p> Pipeline<'p> {
             pending_recovery: self.pending_recovery,
             fetch_halted: self.fetch_halted,
             wrong_path: self.wrong_path,
+            static_finding: self.static_finding.clone(),
         })
     }
 

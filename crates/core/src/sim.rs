@@ -45,6 +45,17 @@ use crate::error::SimError;
 use crate::pipeline::Pipeline;
 use crate::report::SimReport;
 
+/// Shared driver prologue: run the static analyzer, refuse error-level
+/// findings, and hand back the static verdict (worst warning's code) for
+/// the pipeline to stamp into any eventual deadlock report.
+fn preflight(config: &ProcessorConfig, limits: &SimLimits) -> Result<Option<String>, SimError> {
+    let analysis = crate::analysis::analyze(config, limits);
+    if let Some(finding) = analysis.first_error() {
+        return Err(SimError::InvalidConfig(Box::new(finding.clone())));
+    }
+    Ok(analysis.static_verdict().map(|f| f.code.to_string()))
+}
+
 /// Runs one processor over one program and returns the measurements.
 ///
 /// For the synchronous machine the five domain events share one period and
@@ -67,20 +78,23 @@ use crate::report::SimReport;
 ///
 /// # Errors
 ///
-/// [`SimError::InvalidConfig`] if the configuration fails validation
-/// (checked before any simulation state is built);
+/// [`SimError::InvalidConfig`] if the configuration fails the static
+/// pre-flight analysis ([`crate::analyze`], run before any simulation
+/// state is built — the boxed finding carries the stable `GA…` code);
 /// [`SimError::Deadlock`] if the machine stops making progress — the
 /// commit watchdog in [`SimLimits`] fires, or idle-tick elision parks all
 /// five clocks with the run unfinished. The report inside is a
-/// deterministic snapshot of the stuck machine.
+/// deterministic snapshot of the stuck machine, cross-referencing the
+/// analyzer's static verdict when the wedge was flagged at submit.
 pub fn simulate(
     program: &Program,
     config: ProcessorConfig,
     limits: SimLimits,
 ) -> Result<SimReport, SimError> {
-    config.validate().map_err(SimError::InvalidConfig)?;
+    let static_finding = preflight(&config, &limits)?;
     let clocking = config.clocking.clone();
     let mut pipeline = Pipeline::new(program, config, limits);
+    pipeline.set_static_finding(static_finding);
     let mut clocks = ClockSet::new();
     for d in Domain::ALL {
         let clock = clocking.domain_clock(d);
@@ -207,9 +221,10 @@ pub fn simulate_with_engine(
     config: ProcessorConfig,
     limits: SimLimits,
 ) -> Result<SimReport, SimError> {
-    config.validate().map_err(SimError::InvalidConfig)?;
+    let static_finding = preflight(&config, &limits)?;
     let clocking = config.clocking.clone();
     let mut pipeline = Pipeline::new(program, config, limits);
+    pipeline.set_static_finding(static_finding);
     let mut engine: Engine<Pipeline<'_>> = Engine::new();
     // Every domain handler needs all five clock ids to forward pausible
     // stretch requests, but ids only exist once scheduled — so they are

@@ -332,6 +332,9 @@ fn parse_entry(
     let record = RunRecord {
         spec: spec.clone(),
         status: RunStatus::Ok,
+        // Not journaled: a pure function of the spec, recomputed so the
+        // resumed record is bit-identical to a fresh run's.
+        analysis: spec.static_findings(),
         committed: parse_u64(entry, "committed", line_no)?,
         fetched: parse_u64(entry, "fetched", line_no)?,
         wrong_path_fetched: parse_u64(entry, "wrong_path_fetched", line_no)?,

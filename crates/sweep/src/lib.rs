@@ -161,12 +161,15 @@ use std::sync::mpsc;
 use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
+use gals_analysis::checks;
 use gals_clocks::{Domain, PausibleModel};
 use gals_core::{
     simulate, DeadlockReport, DvfsPlan, PortState, ProcessorConfig, SimError, SimLimits, SimReport,
 };
 use gals_events::Time;
 use gals_workload::{generate, Benchmark};
+
+pub use gals_analysis::{Finding, Severity};
 
 /// Version of the `SWEEP_results.json` schema produced by
 /// [`SweepResults::to_json`]. Bump on any field rename/removal or meaning
@@ -191,7 +194,16 @@ use gals_workload::{generate, Benchmark};
 /// runs. Failed runs zero their metric fields and are excluded from the
 /// derived tables; a failure-free v4 report differs from v3 only by the
 /// two new always-present fields.
-pub const SCHEMA_VERSION: u32 = 4;
+///
+/// v5: static analysis. Each run gains an optional `analysis` array (the
+/// pre-flight [`Finding`]s for that point — omitted when clean, which is
+/// every paper-matrix point), the `deadlock` object gains
+/// `static_finding` (the analyzer's verdict code when the wedge was
+/// flagged at submit, else `null`), and configuration rejections carry
+/// the stable `GA…` finding code in their `panic_msg`. See
+/// `docs/ANALYSIS.md` for the code table and `sweep --check` for the
+/// zero-simulation matrix vetting path.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Default workload seed (matches the bench harness's "input set").
 pub const WORKLOAD_SEED: u64 = 0x5EC9_5201;
@@ -606,11 +618,37 @@ impl RunSpec {
     }
 
     /// Executes the run and summarises the report. A point that deadlocks
-    /// (or fails configuration validation) returns a failed record with
-    /// the appropriate [`RunStatus`] instead of aborting; panic and
+    /// (or fails static analysis) returns a failed record with the
+    /// appropriate [`RunStatus`] instead of aborting; panic and
     /// wall-clock isolation live one layer up, in [`run_sweep_with`].
     pub fn run(&self) -> RunRecord {
         self.run_with_limits(SimLimits::insts(self.budget))
+    }
+
+    /// Static pre-flight findings for this point under its default run
+    /// limits — a pure function of the spec (no simulation, no chaos
+    /// arming), so it is recomputable from a journal line and identical
+    /// across worker schedules.
+    pub fn static_findings(&self) -> Vec<Finding> {
+        self.static_findings_with(&SimLimits::insts(self.budget))
+    }
+
+    /// Static pre-flight findings under explicit limits (the `--check`
+    /// path passes the chaos-armed limits so a planned wedge shows up in
+    /// the finding table). DVFS range errors are caught *before* the
+    /// config is built — the clock constructors assert on factors below
+    /// 1.0, and an analysis pass must out-run the assert.
+    pub fn static_findings_with(&self, limits: &SimLimits) -> Vec<Finding> {
+        let plan = self.dvfs.plan();
+        let mut pre = checks::dvfs(&plan.slowdown);
+        pre.extend(checks::dvfs_uniform_on_sync(
+            matches!(self.mode, ModePoint::Synchronous),
+            &plan.slowdown,
+        ));
+        if !pre.is_empty() {
+            return pre;
+        }
+        gals_core::analyze(&self.config(), limits).findings
     }
 
     fn run_with_limits(&self, limits: SimLimits) -> RunRecord {
@@ -676,6 +714,11 @@ pub struct RunRecord {
     /// How the run ended. Every metric below is zero unless this is
     /// [`RunStatus::Ok`].
     pub status: RunStatus,
+    /// Static pre-flight findings for this point
+    /// ([`RunSpec::static_findings`]) — empty for every clean config,
+    /// which is the whole paper matrix. A pure function of the spec, so
+    /// journal resume recomputes it bit-identically.
+    pub analysis: Vec<Finding>,
     /// Committed (architectural) instructions.
     pub committed: u64,
     /// Total fetched (correct + wrong path).
@@ -714,6 +757,7 @@ impl RunRecord {
         RunRecord {
             spec: spec.clone(),
             status: RunStatus::Ok,
+            analysis: spec.static_findings(),
             committed: r.committed,
             fetched: r.fetched,
             wrong_path_fetched: r.wrong_path_fetched,
@@ -742,6 +786,7 @@ impl RunRecord {
         RunRecord {
             spec: spec.clone(),
             status,
+            analysis: spec.static_findings(),
             committed: 0,
             fetched: 0,
             wrong_path_fetched: 0,
@@ -952,23 +997,50 @@ fn run_isolated(
     }
 }
 
+/// The limits one matrix point actually runs under: the spec's budget,
+/// with any armed chaos faults applied (chaos builds only). Shared by
+/// the execution path ([`run_point`]) and the static path
+/// ([`check_matrix`]), so `sweep --check` vets exactly the limits the
+/// sweep would simulate with — a planned wedge shows up in the table.
+fn armed_limits(spec: &RunSpec, opts: &SweepOptions) -> SimLimits {
+    #[cfg_attr(not(feature = "chaos"), allow(unused_mut))]
+    let mut limits = SimLimits::insts(spec.budget);
+    #[cfg(not(feature = "chaos"))]
+    let _ = opts;
+    #[cfg(feature = "chaos")]
+    if opts.faults.wedge_at.contains(&spec.index) {
+        limits.chaos.withhold_writeback = Some(opts.faults.wedge_after_seq);
+        limits.watchdog_cycles = opts.faults.wedge_watchdog_cycles;
+    }
+    limits
+}
+
+/// Statically vets every point of a matrix without simulating a cycle:
+/// each spec is analyzed under the limits it would actually run with
+/// (including any armed chaos faults) and its findings returned in
+/// matrix order — milliseconds for the full paper matrix. Powers
+/// `sweep --check` (exit code 4 on any warning-or-worse finding).
+pub fn check_matrix(matrix: &SweepMatrix, opts: &SweepOptions) -> Vec<(RunSpec, Vec<Finding>)> {
+    matrix
+        .expand()
+        .into_iter()
+        .map(|spec| {
+            let limits = armed_limits(&spec, opts);
+            let findings = spec.static_findings_with(&limits);
+            (spec, findings)
+        })
+        .collect()
+}
+
 /// One matrix point end to end: fault arming (chaos builds), the isolated
 /// attempt, and the retry loop. Returns the final outcome.
 fn run_point(spec: &RunSpec, opts: &SweepOptions, timeout: Duration) -> RunRecord {
-    #[cfg_attr(not(feature = "chaos"), allow(unused_mut))]
-    let mut limits = SimLimits::insts(spec.budget);
+    let limits = armed_limits(spec, opts);
     #[cfg(feature = "chaos")]
-    let (inject_panic, stall_ms) = {
-        let plan = &opts.faults;
-        if plan.wedge_at.contains(&spec.index) {
-            limits.chaos.withhold_writeback = Some(plan.wedge_after_seq);
-            limits.watchdog_cycles = plan.wedge_watchdog_cycles;
-        }
-        (
-            plan.panic_at.contains(&spec.index),
-            plan.stall_ms(spec.index),
-        )
-    };
+    let (inject_panic, stall_ms) = (
+        opts.faults.panic_at.contains(&spec.index),
+        opts.faults.stall_ms(spec.index),
+    );
     #[cfg(not(feature = "chaos"))]
     let (inject_panic, stall_ms) = (false, 0u64);
 
@@ -1122,7 +1194,8 @@ fn deadlock_json(r: &DeadlockReport) -> String {
          \"ch_fetch_decode\": \"{}\", \"ch_dispatch\": [{}], \
          \"ch_complete\": [{}], \"ch_redirect\": \"{}\", \
          \"ch_wakeup_total\": {}, \"rendezvous_blocked\": [{}], \
-         \"pending_recovery\": {}, \"fetch_halted\": {}, \"wrong_path\": {}}}",
+         \"pending_recovery\": {}, \"fetch_halted\": {}, \"wrong_path\": {}, \
+         \"static_finding\": {}}}",
         r.trigger.as_str(),
         r.now.as_fs(),
         r.last_commit_time.as_fs(),
@@ -1143,6 +1216,9 @@ fn deadlock_json(r: &DeadlockReport) -> String {
         opt(r.pending_recovery),
         r.fetch_halted,
         r.wrong_path,
+        r.static_finding
+            .as_ref()
+            .map_or_else(|| "null".into(), |c| format!("\"{}\"", json_escape(c))),
     )
 }
 
@@ -1337,6 +1413,12 @@ impl SweepResults {
                     let _ = write!(s, ", \"deadlock\": {}", deadlock_json(report));
                 }
                 RunStatus::Ok | RunStatus::TimedOut => {}
+            }
+            // v5: the static analyzer's pre-flight findings, omitted when
+            // clean so a clean sweep's report shape matches v4 plus nothing.
+            if !r.analysis.is_empty() {
+                let list: Vec<String> = r.analysis.iter().map(|f| f.json()).collect();
+                let _ = write!(s, ", \"analysis\": [{}]", list.join(", "));
             }
             let _ = writeln!(s, "}}{comma}");
         }

@@ -128,6 +128,49 @@ fn wedged_point_reports_a_deterministic_structured_deadlock() {
 }
 
 #[test]
+fn static_check_flags_exactly_the_points_the_runtime_wedges() {
+    // The `sweep --check` contract end-to-end: with a chaos wedge armed,
+    // check_matrix flags GA002 at the wedged index and nowhere else, and
+    // the real sweep's deadlock report for that point carries the same
+    // verdict in `static_finding` (cross-referenced into the JSON).
+    let matrix = small_matrix(1, 600);
+    let wedge_index = 2;
+    let opts = SweepOptions {
+        faults: FaultPlan {
+            wedge_at: vec![wedge_index],
+            ..FaultPlan::default()
+        },
+        ..SweepOptions::default()
+    };
+
+    let checked = gals_sweep::check_matrix(&matrix, &opts);
+    assert_eq!(checked.len(), matrix.expand().len());
+    for (spec, findings) in &checked {
+        if spec.index == wedge_index {
+            assert_eq!(findings.len(), 1, "point {}: {findings:?}", spec.index);
+            assert_eq!(findings[0].code, "GA002");
+        } else {
+            assert!(findings.is_empty(), "point {}: {findings:?}", spec.index);
+        }
+    }
+
+    let results = run_sweep_with(&matrix, &opts).expect("sweep");
+    let RunStatus::Deadlocked { report } = &results.runs[wedge_index].status else {
+        panic!(
+            "expected deadlock, got {:?}",
+            results.runs[wedge_index].status
+        );
+    };
+    assert_eq!(report.static_finding.as_deref(), Some("GA002"));
+    let json = results.to_json();
+    assert!(json.contains("\"static_finding\": \"GA002\""), "{json}");
+    // The spec-level `analysis` arrays stay empty: the wedge is an
+    // execution-policy fault, not a property of the matrix point, so
+    // journaled resumes recompute records bit-identically.
+    assert!(!json.contains("\"analysis\""), "{json}");
+}
+
+#[test]
 fn stalled_point_times_out_without_poisoning_the_sweep() {
     let matrix = small_matrix(1, 400);
     let opts = SweepOptions {
