@@ -5,8 +5,8 @@
 //!
 //! ```text
 //! cargo run --release --bin sweep -- [--budget N] [--threads N] [--out PATH]
-//!     [--matrix FILE | --check FILE] [--journal PATH [--resume]]
-//!     [--retries N] [--run-timeout-ms N]
+//!     [--matrix FILE | --check FILE | --serve ADDR] [--journal PATH [--resume]]
+//!     [--retries N] [--run-timeout-ms N] [--cache DIR [--cache-cap N]]
 //! ```
 //!
 //! * `--budget N` — committed instructions per run (default 60 000; CI
@@ -58,6 +58,23 @@
 //!   chaos smoke job). Only available when built with `--features chaos`;
 //!   a plain build rejects them with a pointer to the feature.
 //!
+//! ## Cache & serve
+//!
+//! * `--cache DIR` — content-addressed result cache: each successful run
+//!   is stored under its `RunKey` (a stable content hash of everything
+//!   that determines its output) and looked up before simulating, so a
+//!   warm rerun of an unchanged matrix simulates nothing and a sweep
+//!   sharing points with any previous one simulates only the novel ones.
+//!   The report stays bit-identical either way. A `cache:` summary line
+//!   reports hits/misses (CI pins it). `--cache-cap N` bounds the blob
+//!   count with deterministic eviction.
+//! * `--serve ADDR` — **run no sweep**: bind `ADDR` (e.g.
+//!   `127.0.0.1:4601`) and answer newline-delimited JSON sweep requests
+//!   until a `{"request": "shutdown"}` arrives, sharing one cache across
+//!   all requests. Incompatible with `--matrix`/`--check`/`--journal` and
+//!   the chaos flags; see `gals_sweep::SweepServer` and
+//!   docs/SWEEP_FORMAT.md §"Cache & serve" for the framing.
+//!
 //! See the `gals-sweep` crate docs for the matrix format and the full JSON
 //! schema, and `gals_sweep::SweepMatrix::paper_default` for what the
 //! default matrix covers (the section-3.2 handshake sweep, the DVFS
@@ -66,7 +83,9 @@
 use std::time::{Duration, Instant};
 
 use gals_bench::{exit_code, write_atomic, BenchCli};
-use gals_sweep::{run_sweep_with, RunStatus, Severity, SweepMatrix, SweepOptions};
+use gals_sweep::{
+    sweep, RunStatus, Severity, SweepMatrix, SweepOptions, SweepRequest, SweepServer,
+};
 
 /// Default committed-instruction budget per run. Smaller than the figure
 /// binaries' 120k: the default matrix runs 116 configurations (since the
@@ -75,8 +94,9 @@ use gals_sweep::{run_sweep_with, RunStatus, Severity, SweepMatrix, SweepOptions}
 const SWEEP_INSTS: u64 = 60_000;
 
 const USAGE: &str = "sweep [--budget N | N] [--threads N] [--out PATH] \
-     [--matrix FILE | --check FILE] \
+     [--matrix FILE | --check FILE | --serve ADDR] \
      [--journal PATH [--resume]] [--retries N] [--run-timeout-ms N] \
+     [--cache DIR [--cache-cap N]] \
      [--chaos-panic I] [--chaos-wedge I] [--chaos-stall I:MS]";
 
 fn usage_exit(msg: &str) -> ! {
@@ -105,18 +125,27 @@ fn sweep_options(cli: &BenchCli, matrix: &SweepMatrix) -> SweepOptions {
         ..gals_sweep::FaultPlan::default()
     };
     let _ = chaos_armed;
-    SweepOptions {
-        threads: cli.threads_or_available(),
-        retries: cli.retries.unwrap_or(matrix.retries),
-        run_timeout: cli
-            .run_timeout_ms
-            .or(matrix.run_timeout_ms)
-            .map(Duration::from_millis),
-        journal: cli.journal.clone(),
-        resume: cli.resume,
-        #[cfg(feature = "chaos")]
-        faults,
+    let mut opts = SweepOptions::new()
+        .threads(cli.threads_or_available())
+        .retries(cli.retries.unwrap_or(matrix.retries))
+        .resume(cli.resume);
+    if let Some(ms) = cli.run_timeout_ms.or(matrix.run_timeout_ms) {
+        opts = opts.run_timeout(Duration::from_millis(ms));
     }
+    if let Some(path) = &cli.journal {
+        opts = opts.journal(path.clone());
+    }
+    if let Some(dir) = &cli.cache {
+        opts = opts.cache(dir.clone());
+    }
+    if let Some(cap) = cli.cache_cap {
+        opts = opts.cache_capacity(cap);
+    }
+    #[cfg(feature = "chaos")]
+    {
+        opts = opts.faults(faults);
+    }
+    opts
 }
 
 /// Loads a matrix file, routing problems through [`usage_exit`]; the
@@ -176,8 +205,47 @@ fn check_exit(path: &std::path::Path, cli: &BenchCli) -> ! {
     std::process::exit(exit_code::OK);
 }
 
+/// The `--serve ADDR` mode: bind, then answer requests until shutdown.
+/// The server owns the cache (if any) across every request; per-request
+/// execution policy arrives in the requests themselves.
+fn serve_exit(addr: &str, cli: &BenchCli) -> ! {
+    if cli.matrix.is_some() || cli.check.is_some() {
+        usage_exit("--serve answers requests; pass matrices over the socket, not --matrix/--check");
+    }
+    if cli.journal.is_some() || cli.resume {
+        usage_exit("--serve is incompatible with --journal/--resume (a journal describes one matrix; the cache is the server's memory)");
+    }
+    if !(cli.chaos_panic.is_empty() && cli.chaos_wedge.is_empty() && cli.chaos_stall.is_empty()) {
+        usage_exit("--serve is incompatible with the --chaos-* flags");
+    }
+    let mut opts = SweepOptions::new().threads(cli.threads_or_available());
+    if let Some(dir) = &cli.cache {
+        opts = opts.cache(dir.clone());
+    }
+    if let Some(cap) = cli.cache_cap {
+        opts = opts.cache_capacity(cap);
+    }
+    let server = SweepServer::bind(addr, cli.budget_or(SWEEP_INSTS), opts)
+        .unwrap_or_else(|e| usage_exit(&e));
+    let bound = server.local_addr().unwrap_or_else(|e| usage_exit(&e));
+    println!("sweep: serving on {bound}");
+    match server.serve() {
+        Ok(()) => {
+            println!("sweep: shutdown requested, exiting");
+            std::process::exit(exit_code::OK);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(exit_code::USAGE);
+        }
+    }
+}
+
 fn main() {
     let cli = BenchCli::parse_or_exit(USAGE);
+    if let Some(addr) = &cli.serve {
+        serve_exit(addr, &cli);
+    }
     if let Some(check) = &cli.check {
         if cli.matrix.is_some() {
             usage_exit(
@@ -211,15 +279,24 @@ fn main() {
     );
 
     let start = Instant::now();
-    let results = run_sweep_with(&matrix, &opts).unwrap_or_else(|e| usage_exit(&e));
+    let cache_armed = opts.cache.is_some();
+    let request = SweepRequest::new(matrix).with_options(opts);
+    let response = sweep(&request).unwrap_or_else(|e| usage_exit(&e));
+    let results = &response.results;
     let elapsed = start.elapsed();
-    let simulated: u64 = results.runs.iter().map(|r| r.committed).sum();
+    let insts: u64 = results.runs.iter().map(|r| r.committed).sum();
     println!(
-        "sweep: {} runs ({simulated} insts) in {:.2}s ({:.0} insts/s aggregate)",
+        "sweep: {} runs ({insts} insts) in {:.2}s ({:.0} insts/s aggregate)",
         results.runs.len(),
         elapsed.as_secs_f64(),
-        simulated as f64 / elapsed.as_secs_f64().max(1e-9),
+        insts as f64 / elapsed.as_secs_f64().max(1e-9),
     );
+    if cache_armed {
+        println!(
+            "cache: {} hits, {} misses, {} stored ({} simulated)",
+            response.cache.hits, response.cache.misses, response.cache.stores, response.simulated,
+        );
+    }
 
     let json = results.to_json();
     write_atomic(&out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));

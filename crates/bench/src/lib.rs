@@ -9,7 +9,7 @@
 //!
 //! `cargo run --release --bin sweep -- [--budget N] [--threads N] [--out PATH]
 //! [--matrix FILE] [--journal PATH [--resume]] [--retries N]
-//! [--run-timeout-ms N]`
+//! [--run-timeout-ms N] [--cache DIR [--cache-cap N]]`
 //! runs the default cartesian experiment matrix of the `gals-sweep` crate
 //! — or, with `--matrix FILE`, a user-defined matrix loaded from JSON
 //! (benchmark × clocking mode × pausible handshake duration × DVFS point ×
@@ -26,6 +26,13 @@
 //! failed/missing ones. A `--features chaos` build adds deterministic
 //! fault injection (`--chaos-panic`/`--chaos-wedge`/`--chaos-stall`) for
 //! smoke-testing the whole failure path.
+//!
+//! `--cache DIR` arms the content-addressed result cache (points already
+//! simulated under the same `RunKey` are served from disk), and
+//! `sweep --serve ADDR` turns the binary into a resident service
+//! answering newline-delimited JSON sweep requests over a local socket —
+//! see `gals_sweep::SweepServer` and docs/SWEEP_FORMAT.md §"Cache &
+//! serve" for the protocol.
 //!
 //! ## Common CLI
 //!
@@ -208,6 +215,16 @@ pub struct BenchCli {
     /// watchdog (`--chaos-stall INDEX:MS`, repeatable; needs a
     /// `--features chaos` build).
     pub chaos_stall: Vec<(usize, u64)>,
+    /// Content-addressed result-cache directory (`--cache DIR`; the
+    /// `sweep` binary — see `gals_sweep::ResultCache`).
+    pub cache: Option<PathBuf>,
+    /// Bound on the number of cached blobs (`--cache-cap N`; needs
+    /// `--cache`).
+    pub cache_cap: Option<usize>,
+    /// Serve newline-delimited JSON sweep requests on this address
+    /// instead of running one sweep (`--serve ADDR`; the `sweep` binary —
+    /// see `gals_sweep::SweepServer` for the protocol).
+    pub serve: Option<String>,
 }
 
 impl BenchCli {
@@ -265,6 +282,16 @@ impl BenchCli {
                     }
                     cli.run_timeout_ms = Some(ms);
                 }
+                "--cache" => cli.cache = Some(PathBuf::from(value_of("--cache")?)),
+                "--cache-cap" => {
+                    let v = value_of("--cache-cap")?;
+                    let n: usize = parse_num(&v, "--cache-cap")?;
+                    if n == 0 {
+                        return Err("--cache-cap must be at least 1".into());
+                    }
+                    cli.cache_cap = Some(n);
+                }
+                "--serve" => cli.serve = Some(value_of("--serve")?),
                 "--chaos-panic" => {
                     let v = value_of("--chaos-panic")?;
                     parse_index_list(&v, "--chaos-panic", &mut cli.chaos_panic)?;
@@ -541,6 +568,26 @@ mod tests {
         assert_eq!(cli.chaos_panic, vec![3, 7, 9]);
         assert_eq!(cli.chaos_wedge, vec![1]);
         assert_eq!(cli.chaos_stall, vec![(4, 250)]);
+    }
+
+    #[test]
+    fn cli_parses_cache_and_serve_flags() {
+        let cli = BenchCli::parse_from(["--cache", "cachedir", "--cache-cap", "500"]).unwrap();
+        assert_eq!(cli.cache.as_deref(), Some(std::path::Path::new("cachedir")));
+        assert_eq!(cli.cache_cap, Some(500));
+        assert!(cli.serve.is_none());
+
+        let cli = BenchCli::parse_from(["--serve", "127.0.0.1:4601"]).unwrap();
+        assert_eq!(cli.serve.as_deref(), Some("127.0.0.1:4601"));
+
+        // Defaults: no cache, unbounded, no server.
+        let cli = BenchCli::parse_from([] as [&str; 0]).unwrap();
+        assert!(cli.cache.is_none() && cli.cache_cap.is_none() && cli.serve.is_none());
+
+        assert!(BenchCli::parse_from(["--cache"]).is_err());
+        assert!(BenchCli::parse_from(["--cache-cap", "0"]).is_err());
+        assert!(BenchCli::parse_from(["--cache-cap", "x"]).is_err());
+        assert!(BenchCli::parse_from(["--serve"]).is_err());
     }
 
     #[test]

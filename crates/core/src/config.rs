@@ -312,6 +312,22 @@ impl ProcessorConfig {
         self
     }
 
+    /// A canonical string capturing everything about this configuration
+    /// that can affect simulation output — the processor-config
+    /// contribution to the sweep harness's `RunKey` content hash.
+    ///
+    /// Built on the derived `Debug` rendering (complete by construction:
+    /// every field participates, including clock periods and phases,
+    /// handshake duration, transfer model, microarchitecture and energy
+    /// parameters), prefixed with an identity-format version tag. Any
+    /// semantic change to a config therefore changes the identity; a
+    /// field *rename* changes it too, which over-invalidates caches — the
+    /// safe direction. Silent under-invalidation is impossible because
+    /// `Debug` is derived and exhaustive.
+    pub fn stable_identity(&self) -> String {
+        format!("pcfg-v1|{self:?}")
+    }
+
     /// Validates the composite configuration.
     ///
     /// # Errors
@@ -571,5 +587,23 @@ mod tests {
         let mut c = ProcessorConfig::synchronous_1ghz();
         c.channel_capacity = 1;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn stable_identity_separates_semantic_points_and_repeats_exactly() {
+        let base = ProcessorConfig::pausible_equal_1ghz(7);
+        assert_eq!(base.stable_identity(), base.stable_identity());
+        assert!(base.stable_identity().starts_with("pcfg-v1|"));
+        // Every semantic axis must perturb the identity.
+        for other in [
+            ProcessorConfig::synchronous_1ghz(),
+            ProcessorConfig::gals_equal_1ghz(7),
+            ProcessorConfig::pausible_equal_1ghz(8),
+            ProcessorConfig::pausible_rendezvous_1ghz(7),
+            ProcessorConfig::pausible_equal_1ghz(7).with_pausible_handshake(Time::from_ps(999)),
+            ProcessorConfig::pausible_equal_1ghz(7).with_wakeup_filter(true),
+        ] {
+            assert_ne!(base.stable_identity(), other.stable_identity());
+        }
     }
 }

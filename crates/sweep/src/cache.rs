@@ -1,0 +1,318 @@
+//! The content-addressed result cache: a directory of one-line JSON
+//! blobs, one per *successful* run, named by the run's [`RunKey`].
+//!
+//! ## Blob layout
+//!
+//! `<dir>/<16 hex digits>.json` holds exactly the journal's entry-line
+//! rendering for that run (see the `journal` module) plus a trailing
+//! newline. Reusing the journal's line format means the exact-float
+//! round-trip proof there covers cache blobs too, and a blob is
+//! self-describing enough to `cat`.
+//!
+//! ## Semantics
+//!
+//! * **Atomic writes.** A blob is written to a temporary name in the same
+//!   directory and renamed into place, so a killed sweep can never leave
+//!   a half-written blob under a valid key.
+//! * **Corruption is a miss, never an error.** Anything unreadable,
+//!   unparsable, truncated, or carrying the wrong embedded key counts as
+//!   `corrupt` in [`CacheStats`] and simply re-simulates. The only loud
+//!   cache failures are *write* failures — silently dropping results
+//!   would defeat the cache without telling anyone.
+//! * **Only `ok` records are stored.** Failures (panic/timeout/deadlock)
+//!   are execution accidents, not content; they must re-run.
+//! * **Deterministic eviction.** With a capacity bound, a store that
+//!   pushes the blob count past it removes the lexicographically smallest
+//!   blob names (never the one just written) until the bound holds — no
+//!   wall-clock LRU, so two identical sweeps leave identical directories.
+//!
+//! Keys already include the report schema version, so a schema bump
+//! simply misses against old blobs rather than misreading them; stale
+//! blobs age out via the capacity bound (or `rm -r` — the directory holds
+//! nothing else).
+
+use std::fs;
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{journal, RunKey, RunRecord, RunSpec};
+
+/// Cache-traffic counters for one sweep (a snapshot of [`ResultCache`]'s
+/// internal counters; all-zero when no cache is configured).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct CacheStats {
+    /// Lookups served from a blob.
+    pub hits: u64,
+    /// Lookups that found no usable blob (includes `corrupt`).
+    pub misses: u64,
+    /// Blobs written.
+    pub stores: u64,
+    /// Blobs removed by the capacity bound.
+    pub evictions: u64,
+    /// Misses caused by an unreadable or invalid blob.
+    pub corrupt: u64,
+}
+
+/// A handle on one cache directory. Shared by reference across sweep
+/// workers; every operation is a single filesystem action, so no internal
+/// lock is needed beyond the atomic counters.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+    capacity: Option<usize>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    evictions: AtomicU64,
+    corrupt: AtomicU64,
+    tmp_seq: AtomicU64,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache directory. A `capacity` of
+    /// `Some(n)` bounds the directory to `n` blobs (clamped to at least
+    /// one); `None` is unbounded.
+    ///
+    /// # Errors
+    ///
+    /// The directory cannot be created.
+    pub fn open(dir: &Path, capacity: Option<usize>) -> Result<ResultCache, String> {
+        fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create cache directory {}: {e}", dir.display()))?;
+        Ok(ResultCache {
+            dir: dir.to_path_buf(),
+            capacity: capacity.map(|c| c.max(1)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    fn blob_name(key: RunKey) -> String {
+        format!("{}.json", key.to_hex())
+    }
+
+    /// Looks `key` up, reconstructing the record for `spec`. Any defect in
+    /// the blob — unreadable, truncated, wrong embedded key, a non-`ok`
+    /// status — is a miss (counted `corrupt` where the blob existed but
+    /// was unusable), never an error: the point simply re-simulates.
+    pub fn load(&self, key: RunKey, spec: &RunSpec) -> Option<RunRecord> {
+        let path = self.dir.join(Self::blob_name(key));
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                if e.kind() != ErrorKind::NotFound {
+                    self.corrupt.fetch_add(1, Ordering::Relaxed);
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match journal::parse_blob(&text, spec, key) {
+            Ok(Some(record)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(record)
+            }
+            Ok(None) | Err(_) => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a *successful* record under `key` (atomically: temp file in
+    /// the cache directory, then rename), then enforces the capacity
+    /// bound. Non-`ok` records are ignored — failures are not content.
+    ///
+    /// # Errors
+    ///
+    /// Write failures are loud (a cache that silently drops results is
+    /// worse than no cache); the sweep surfaces them like journal errors.
+    pub fn store(&self, record: &RunRecord, key: RunKey) -> Result<(), String> {
+        if !record.status.is_ok() {
+            return Ok(());
+        }
+        let name = Self::blob_name(key);
+        let tmp = self.dir.join(format!(
+            "{name}.tmp-{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut line = journal::entry_line(record, key);
+        line.push('\n');
+        fs::write(&tmp, line.as_bytes())
+            .map_err(|e| format!("cannot write cache blob {}: {e}", tmp.display()))?;
+        fs::rename(&tmp, self.dir.join(&name))
+            .map_err(|e| format!("cannot commit cache blob {name}: {e}"))?;
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        self.enforce_capacity(&name);
+        Ok(())
+    }
+
+    /// Removes the lexicographically smallest blobs (sparing `keep`, the
+    /// one just stored) until the directory fits the capacity bound.
+    /// Best-effort: eviction failures only mean a larger directory.
+    fn enforce_capacity(&self, keep: &str) {
+        let Some(cap) = self.capacity else { return };
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut names: Vec<String> = entries
+            .filter_map(|e| e.ok()?.file_name().into_string().ok())
+            .filter(|n| n.len() == 21 && n.ends_with(".json"))
+            .collect();
+        if names.len() <= cap {
+            return;
+        }
+        names.sort_unstable();
+        let mut excess = names.len() - cap;
+        for name in names {
+            if excess == 0 {
+                break;
+            }
+            if name == keep {
+                continue;
+            }
+            if fs::remove_file(self.dir.join(&name)).is_ok() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                excess -= 1;
+            }
+        }
+    }
+
+    /// A snapshot of this handle's traffic counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DvfsPoint, ModePoint, SweepMatrix, WORKLOAD_SEED};
+    use gals_workload::Benchmark;
+
+    fn specs() -> Vec<crate::RunSpec> {
+        SweepMatrix {
+            benchmarks: vec![Benchmark::Adpcm],
+            modes: vec![
+                ModePoint::Synchronous,
+                ModePoint::Gals {
+                    wakeup_filter: false,
+                },
+            ],
+            dvfs: vec![DvfsPoint::nominal()],
+            phase_seeds: vec![1],
+            workload_seed: WORKLOAD_SEED,
+            budget: 400,
+            retries: 0,
+            run_timeout_ms: None,
+        }
+        .expand()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::AtomicUsize;
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        std::env::temp_dir().join(format!(
+            "gals-sweep-cache-{}-{}-{tag}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn store_then_load_round_trips_and_counts() {
+        let dir = temp_dir("round-trip");
+        let cache = ResultCache::open(&dir, None).expect("open");
+        let specs = specs();
+        let record = specs[0].run();
+        let key = RunKey::of(&specs[0]);
+        assert_eq!(cache.load(key, &specs[0]), None, "cold miss");
+        cache.store(&record, key).expect("store");
+        assert_eq!(cache.load(key, &specs[0]), Some(record), "warm hit");
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                stores: 1,
+                evictions: 0,
+                corrupt: 0,
+            }
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_blobs_are_misses_never_errors() {
+        let dir = temp_dir("corrupt");
+        let cache = ResultCache::open(&dir, None).expect("open");
+        let specs = specs();
+        let record = specs[0].run();
+        let key = RunKey::of(&specs[0]);
+        cache.store(&record, key).expect("store");
+        let blob = dir.join(ResultCache::blob_name(key));
+
+        // Truncated mid-line.
+        let text = fs::read_to_string(&blob).expect("blob");
+        fs::write(&blob, &text[..text.len() / 2]).expect("truncate");
+        assert_eq!(cache.load(key, &specs[0]), None);
+        // Not JSON at all.
+        fs::write(&blob, "not json\n").expect("garbage");
+        assert_eq!(cache.load(key, &specs[0]), None);
+        // A valid blob filed under the wrong name.
+        let other = RunKey::of(&specs[1]);
+        fs::write(&blob, {
+            let mut l = crate::journal::entry_line(&specs[1].run(), other);
+            l.push('\n');
+            l
+        })
+        .expect("mismatched");
+        assert_eq!(cache.load(key, &specs[0]), None);
+        assert_eq!(cache.stats().corrupt, 3);
+        assert_eq!(cache.stats().hits, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_records_are_never_stored() {
+        let dir = temp_dir("failed");
+        let cache = ResultCache::open(&dir, None).expect("open");
+        let specs = specs();
+        let failed = RunRecord::failed(&specs[0], crate::RunStatus::TimedOut);
+        let key = RunKey::of(&specs[0]);
+        cache.store(&failed, key).expect("no-op store");
+        assert_eq!(cache.stats().stores, 0);
+        assert_eq!(cache.load(key, &specs[0]), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn capacity_evicts_deterministically_sparing_the_new_blob() {
+        let dir = temp_dir("evict");
+        let cache = ResultCache::open(&dir, Some(1)).expect("open");
+        let specs = specs();
+        let (a, b) = (RunKey::of(&specs[0]), RunKey::of(&specs[1]));
+        cache.store(&specs[0].run(), a).expect("store a");
+        cache.store(&specs[1].run(), b).expect("store b");
+        // Exactly one blob survives, and it is the one just written —
+        // regardless of how the two keys happen to sort.
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.load(b, &specs[1]).is_some());
+        assert_eq!(cache.load(a, &specs[0]), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -13,7 +13,7 @@
 //! ```
 //!
 //! Every further line is one run outcome, keyed by the run's content hash
-//! (see [`run_key`]):
+//! (see [`RunKey`]):
 //!
 //! ```text
 //! {"index": 3, "key": "...", "status": "ok", "committed": ..., <metrics>}
@@ -52,58 +52,12 @@ use std::path::Path;
 use std::sync::Mutex;
 
 use crate::matrix_file::{u64_field, Json, Parser};
-use crate::{RunRecord, RunSpec, RunStatus, SCHEMA_VERSION};
+use crate::stable_hash::hex16;
+use crate::{RunKey, RunRecord, RunSpec, RunStatus, SCHEMA_VERSION};
 
 /// Journal file-format version (independent of the report schema, but the
 /// header records both).
 pub(crate) const JOURNAL_VERSION: u32 = 1;
-
-/// FNV-1a 64-bit over a byte string (the workspace carries no external
-/// hash crates; collision resistance is not a goal — the hash guards
-/// against honest mistakes, not adversaries).
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-fn hex(h: u64) -> String {
-    format!("{h:016x}")
-}
-
-/// Content hash of one run: everything that determines its simulation
-/// output (schema version, workload identity, configuration point,
-/// budget). Two specs with equal keys produce bit-identical records.
-pub(crate) fn run_key(spec: &RunSpec) -> u64 {
-    let canon = format!(
-        "v{}|{}|{}|{}|{:?}|{}|{}|{}",
-        SCHEMA_VERSION,
-        spec.benchmark.name(),
-        spec.mode.label(),
-        spec.dvfs.label,
-        spec.dvfs.slowdown,
-        spec.phase_seed,
-        spec.workload_seed,
-        spec.budget,
-    );
-    fnv1a(canon.as_bytes())
-}
-
-/// Identity hash of the whole matrix: the schema version plus every
-/// expanded run's content key, in matrix order. Execution policy
-/// (`retries`, `run_timeout_ms`, thread count) is excluded — it changes
-/// how failures are handled, not what is simulated.
-pub(crate) fn matrix_hash(specs: &[RunSpec]) -> u64 {
-    let mut canon = format!("v{}|{}", SCHEMA_VERSION, specs.len());
-    for spec in specs {
-        canon.push('|');
-        canon.push_str(&hex(run_key(spec)));
-    }
-    fnv1a(canon.as_bytes())
-}
 
 /// Shortest f64 representation that parses back to the same bits (Rust's
 /// `{:?}` float formatting); non-finite values — which the report layer
@@ -116,12 +70,14 @@ fn fmt_f64(x: f64) -> String {
     }
 }
 
-/// Renders one journal entry line (without the trailing newline).
-pub(crate) fn entry_line(record: &RunRecord, key: u64) -> String {
+/// Renders one journal entry line (without the trailing newline). The
+/// same rendering is the result cache's blob body ([`crate::cache`]), so
+/// the metric round-trip proof below covers both formats.
+pub(crate) fn entry_line(record: &RunRecord, key: RunKey) -> String {
     let head = format!(
         "{{\"index\": {}, \"key\": \"{}\", \"status\": \"{}\"",
         record.spec.index,
-        hex(key),
+        key.to_hex(),
         record.status.label()
     );
     match &record.status {
@@ -172,7 +128,7 @@ impl JournalWriter {
             "{{\"journal\": \"gals-sweep\", \"journal_version\": {JOURNAL_VERSION}, \
              \"schema_version\": {SCHEMA_VERSION}, \"matrix_hash\": \"{}\", \
              \"run_count\": {run_count}}}\n",
-            hex(matrix_hash)
+            hex16(matrix_hash)
         );
         file.write_all(header.as_bytes())
             .and_then(|()| file.flush())
@@ -196,7 +152,7 @@ impl JournalWriter {
 
     /// Appends one completed-run line. A poisoned lock is recovered — a
     /// journal write must never be lost to an unrelated panic.
-    pub(crate) fn append(&self, record: &RunRecord, key: u64) -> Result<(), String> {
+    pub(crate) fn append(&self, record: &RunRecord, key: RunKey) -> Result<(), String> {
         let mut line = entry_line(record, key);
         line.push('\n');
         let mut file = self.file.lock().unwrap_or_else(|p| p.into_inner());
@@ -266,12 +222,12 @@ pub(crate) fn load_journal(
         ));
     }
     let hash = parse_str(&header, "matrix_hash", 1)?;
-    if hash != hex(expect_hash) {
+    if hash != hex16(expect_hash) {
         return Err(format!(
             "journal matrix_hash {hash} does not match the current matrix ({}) — \
              the journal belongs to a different sweep; re-run without --resume \
              or point --journal elsewhere",
-            hex(expect_hash)
+            hex16(expect_hash)
         ));
     }
     let run_count = parse_u64(&header, "run_count", 1)? as usize;
@@ -318,7 +274,7 @@ fn parse_entry(
         ));
     };
     let key = parse_str(entry, "key", line_no)?;
-    if key != hex(run_key(spec)) {
+    if key != RunKey::of(spec).to_hex() {
         return Err(format!(
             "journal line {line_no}: key {key} does not match matrix point {index} — \
              the journal belongs to a different sweep"
@@ -329,7 +285,18 @@ fn parse_entry(
         // Failed outcomes re-run on resume; nothing to reconstruct.
         return Ok((index, None));
     }
-    let record = RunRecord {
+    Ok((index, Some(parse_ok_record(entry, spec, line_no)?)))
+}
+
+/// Reconstructs the [`RunRecord`] of an `"ok"` entry from its parsed JSON
+/// object. Shared by journal replay and the result cache's blob reader —
+/// both store the [`entry_line`] rendering.
+pub(crate) fn parse_ok_record(
+    entry: &Json,
+    spec: &RunSpec,
+    line_no: usize,
+) -> Result<RunRecord, String> {
+    Ok(RunRecord {
         spec: spec.clone(),
         status: RunStatus::Ok,
         // Not journaled: a pure function of the spec, recomputed so the
@@ -350,8 +317,33 @@ fn parse_entry(
         min_effective_ghz: parse_f64(entry, "min_effective_ghz", line_no)?,
         total_energy: parse_f64(entry, "total_energy", line_no)?,
         average_power: parse_f64(entry, "average_power", line_no)?,
-    };
-    Ok((index, Some(record)))
+    })
+}
+
+/// Parses one cache blob (a single [`entry_line`] rendering) for `spec`,
+/// verifying its `key` field against the expected [`RunKey`].
+///
+/// Returns `Ok(Some(record))` for a well-formed `"ok"` entry,
+/// `Ok(None)` for a well-formed non-ok entry (a failed run must never be
+/// served from cache), and `Err` for anything malformed — the cache
+/// treats every `Err` as a corrupt blob, i.e. a miss.
+pub(crate) fn parse_blob(
+    text: &str,
+    spec: &RunSpec,
+    key: RunKey,
+) -> Result<Option<RunRecord>, String> {
+    let line = text.lines().next().ok_or("empty blob")?;
+    let entry = Parser::new(line)
+        .value()
+        .map_err(|e| format!("blob: {e}"))?;
+    let got = parse_str(&entry, "key", 1)?;
+    if got != key.to_hex() {
+        return Err(format!("blob key {got} does not match {}", key.to_hex()));
+    }
+    if parse_str(&entry, "status", 1)? != "ok" {
+        return Ok(None);
+    }
+    Ok(Some(parse_ok_record(&entry, spec, 1)?))
 }
 
 #[cfg(test)]
@@ -379,22 +371,29 @@ mod tests {
         .expand()
     }
 
-    #[test]
-    fn fnv1a_matches_reference_vectors() {
-        // Published FNV-1a 64 test vectors.
-        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
-        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    fn identity(specs: &[RunSpec]) -> u64 {
+        let keys: Vec<RunKey> = specs.iter().map(RunKey::of).collect();
+        crate::stable_hash::matrix_identity(&keys)
+    }
+
+    fn header(specs: &[RunSpec]) -> String {
+        format!(
+            "{{\"journal\": \"gals-sweep\", \"journal_version\": 1, \
+             \"schema_version\": {SCHEMA_VERSION}, \"matrix_hash\": \"{}\", \
+             \"run_count\": {}}}",
+            hex16(identity(specs)),
+            specs.len()
+        )
     }
 
     #[test]
     fn run_keys_separate_matrix_points_and_hash_is_stable() {
         let specs = specs();
-        assert_ne!(run_key(&specs[0]), run_key(&specs[1]));
-        assert_eq!(matrix_hash(&specs), matrix_hash(&specs));
+        assert_ne!(RunKey::of(&specs[0]), RunKey::of(&specs[1]));
+        assert_eq!(identity(&specs), identity(&specs));
         let mut other = specs.clone();
         other[1].budget += 1;
-        assert_ne!(matrix_hash(&specs), matrix_hash(&other));
+        assert_ne!(identity(&specs), identity(&other));
     }
 
     #[test]
@@ -402,16 +401,9 @@ mod tests {
         let specs = specs();
         let record = specs[0].run();
         assert!(record.status.is_ok());
-        let key = run_key(&specs[0]);
-        let header = format!(
-            "{{\"journal\": \"gals-sweep\", \"journal_version\": 1, \
-             \"schema_version\": {SCHEMA_VERSION}, \"matrix_hash\": \"{}\", \
-             \"run_count\": {}}}",
-            hex(matrix_hash(&specs)),
-            specs.len()
-        );
-        let text = format!("{header}\n{}\n", entry_line(&record, key));
-        let slots = load_journal(&text, matrix_hash(&specs), &specs).expect("valid journal");
+        let key = RunKey::of(&specs[0]);
+        let text = format!("{}\n{}\n", header(&specs), entry_line(&record, key));
+        let slots = load_journal(&text, identity(&specs), &specs).expect("valid journal");
         assert_eq!(slots[0].as_ref(), Some(&record), "exact metric round-trip");
         assert!(slots[1].is_none());
     }
@@ -420,39 +412,54 @@ mod tests {
     fn torn_final_line_is_ignored_but_inner_corruption_is_loud() {
         let specs = specs();
         let record = specs[0].run();
-        let key = run_key(&specs[0]);
-        let header = format!(
-            "{{\"journal\": \"gals-sweep\", \"journal_version\": 1, \
-             \"schema_version\": {SCHEMA_VERSION}, \"matrix_hash\": \"{}\", \
-             \"run_count\": {}}}",
-            hex(matrix_hash(&specs)),
-            specs.len()
-        );
+        let key = RunKey::of(&specs[0]);
         let full = entry_line(&record, key);
         let torn = &full[..full.len() / 2];
-        let text = format!("{header}\n{torn}");
-        let slots = load_journal(&text, matrix_hash(&specs), &specs).expect("torn tail tolerated");
+        let text = format!("{}\n{torn}", header(&specs));
+        let slots = load_journal(&text, identity(&specs), &specs).expect("torn tail tolerated");
         assert!(slots.iter().all(Option::is_none));
 
-        let text = format!("{header}\n{torn}\n{full}\n");
-        let err = load_journal(&text, matrix_hash(&specs), &specs).unwrap_err();
+        let text = format!("{}\n{torn}\n{full}\n", header(&specs));
+        let err = load_journal(&text, identity(&specs), &specs).unwrap_err();
         assert!(err.contains("line 2"), "{err}");
     }
 
     #[test]
     fn mismatched_matrix_is_a_loud_error() {
         let specs = specs();
-        let header = format!(
-            "{{\"journal\": \"gals-sweep\", \"journal_version\": 1, \
-             \"schema_version\": {SCHEMA_VERSION}, \"matrix_hash\": \"{}\", \
-             \"run_count\": {}}}",
-            hex(matrix_hash(&specs)),
-            specs.len()
-        );
         let mut other = specs.clone();
         other[0].budget += 1;
-        let err = load_journal(&format!("{header}\n"), matrix_hash(&other), &other).unwrap_err();
+        let err =
+            load_journal(&format!("{}\n", header(&specs)), identity(&other), &other).unwrap_err();
         assert!(err.contains("does not match the current matrix"), "{err}");
-        assert!(load_journal("", matrix_hash(&specs), &specs).is_err());
+        assert!(load_journal("", identity(&specs), &specs).is_err());
+    }
+
+    #[test]
+    fn blobs_round_trip_and_reject_mismatched_keys_and_failed_runs() {
+        let specs = specs();
+        let record = specs[0].run();
+        let key = RunKey::of(&specs[0]);
+        let blob = format!("{}\n", entry_line(&record, key));
+        assert_eq!(
+            parse_blob(&blob, &specs[0], key).expect("valid blob"),
+            Some(record.clone())
+        );
+        // A blob stored under one key never deserialises for another.
+        let other = RunKey::of(&specs[1]);
+        assert!(parse_blob(&blob, &specs[1], other).is_err());
+        // Failed outcomes are well-formed but never served from cache.
+        let failed = RunRecord {
+            status: RunStatus::TimedOut,
+            ..record
+        };
+        let blob = format!("{}\n", entry_line(&failed, key));
+        assert_eq!(
+            parse_blob(&blob, &specs[0], key).expect("well-formed"),
+            None
+        );
+        // Truncation is an error (which the cache treats as a miss).
+        assert!(parse_blob("", &specs[0], key).is_err());
+        assert!(parse_blob("{\"ind", &specs[0], key).is_err());
     }
 }

@@ -138,27 +138,65 @@
 //! [`SweepMatrix::to_matrix_json`] renders the same format back
 //! (round-trip pinned by a test).
 //!
+//! ## Entry point: requests and responses
+//!
+//! The one public entry point is [`sweep`], taking a [`SweepRequest`]
+//! (*what* to simulate: the matrix; *how* to execute: [`SweepOptions`])
+//! and returning a [`SweepResponse`] (the results plus how the answer
+//! was produced: points actually simulated, cache hit/miss counters).
+//! [`run_sweep`] and [`run_sweep_with`] survive as thin wrappers for the
+//! historical signatures; new code should prefer [`sweep`].
+//!
 //! ```
-//! use gals_sweep::{run_sweep, SweepMatrix};
+//! use gals_sweep::{sweep, run_sweep, SweepMatrix, SweepRequest};
 //!
 //! let matrix = SweepMatrix::paper_default(500);
 //! let serial = run_sweep(&matrix, 1);
-//! let parallel = run_sweep(&matrix, 4);
-//! assert_eq!(serial.to_json(), parallel.to_json());
+//! let response = sweep(&SweepRequest::new(matrix)).unwrap();
+//! assert_eq!(serial.to_json(), response.results.to_json());
 //! ```
+//!
+//! ## Content-addressed result cache
+//!
+//! Every matrix point is a pure function of its spec, so each run has a
+//! canonical identity — a [`RunKey`], the FNV-1a content hash of the
+//! semantic run inputs (benchmark, mode point, DVFS, seeds, budget,
+//! schema version, and the [`ProcessorConfig`] identity), explicitly
+//! *excluding* execution policy (threads, retries, timeouts). With
+//! [`SweepOptions::cache`] set, completed runs are stored as
+//! atomically-written JSON blobs keyed by their `RunKey` and looked up
+//! before simulating: a 116-point matrix sharing 100 points with a
+//! previous run simulates only 16. A corrupt or truncated blob is a
+//! miss, never an error. See the [`cache`] module ([`ResultCache`]) and
+//! `docs/SWEEP_FORMAT.md` § "Cache & serve".
+//!
+//! ## Sweep as a service (`sweep --serve`)
+//!
+//! [`SweepServer`] runs the harness as a resident process: clients send
+//! newline-delimited JSON sweep requests over a local TCP socket, the
+//! server shards cache misses across the worker pool and streams per-run
+//! records back incrementally (in matrix order) followed by the derived
+//! tables — the payload is bit-identical whether served from cache or
+//! freshly simulated. See the [`server`] module docs for the framing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod journal;
 mod matrix_file;
+pub mod server;
+pub mod stable_hash;
+
+pub use cache::{CacheStats, ResultCache};
+pub use server::SweepServer;
 
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 use gals_analysis::checks;
@@ -663,6 +701,97 @@ impl RunSpec {
             }
         }
     }
+
+    /// The canonical content identity of this run — [`RunKey::of`].
+    pub fn key(&self) -> RunKey {
+        RunKey::of(self)
+    }
+
+    /// The [`ProcessorConfig::stable_identity`] contribution to the run
+    /// key. Mirrors [`RunSpec::static_findings_with`]'s pre-check: an
+    /// invalid DVFS point would assert inside the clock constructors,
+    /// and a key must be computable for *every* spec (the matrix hash
+    /// covers points that will fail at run time too), so a statically
+    /// rejected config is keyed by its rejection code instead.
+    fn config_identity(&self) -> String {
+        let plan = self.dvfs.plan();
+        let mut pre = checks::dvfs(&plan.slowdown);
+        pre.extend(checks::dvfs_uniform_on_sync(
+            matches!(self.mode, ModePoint::Synchronous),
+            &plan.slowdown,
+        ));
+        match pre.first() {
+            None => self.config().stable_identity(),
+            Some(f) => format!("invalid:{}", f.code),
+        }
+    }
+}
+
+/// The canonical content identity of one matrix point: an FNV-1a hash
+/// (see [`stable_hash`]) of everything that determines the run's
+/// simulation output — schema version, benchmark, mode point (clocking
+/// family, handshake duration, transfer model, wakeup features), DVFS
+/// label and per-domain slowdowns, phase seed, workload seed, budget, and
+/// the [`ProcessorConfig::stable_identity`] of the configuration the spec
+/// builds. Two specs with equal keys produce bit-identical records.
+///
+/// Execution policy — thread count, retries, timeouts, journal paths —
+/// is deliberately **excluded**: it changes how failures are handled and
+/// how fast the answer arrives, never what is simulated. That split is
+/// what makes the key safe to use as a cache address: the result cache
+/// ([`ResultCache`]) names its blobs by `RunKey`, and the journal keys
+/// its entries the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RunKey(u64);
+
+impl RunKey {
+    /// Computes the content key of a run spec.
+    pub fn of(spec: &RunSpec) -> RunKey {
+        let canon = format!(
+            "v{}|{}|{}|{}|{:?}|{}|{}|{}|{}",
+            SCHEMA_VERSION,
+            spec.benchmark.name(),
+            spec.mode.label(),
+            spec.dvfs.label,
+            spec.dvfs.slowdown,
+            spec.phase_seed,
+            spec.workload_seed,
+            spec.budget,
+            spec.config_identity(),
+        );
+        RunKey(stable_hash::fnv1a(canon.as_bytes()))
+    }
+
+    /// The raw 64-bit hash value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The canonical on-disk rendering: 16 lower-case hex digits
+    /// ([`stable_hash::hex16`]) — the journal's `key` field and the
+    /// cache's blob file stem.
+    pub fn to_hex(self) -> String {
+        stable_hash::hex16(self.0)
+    }
+
+    /// Parses the canonical 16-hex-digit rendering back; `None` for
+    /// anything that is not exactly what [`RunKey::to_hex`] produces.
+    pub fn from_hex(s: &str) -> Option<RunKey> {
+        if s.len() != 16
+            || !s
+                .bytes()
+                .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+        {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(RunKey)
+    }
+
+    /// A key from a raw hash value (tests and the matrix-identity hash).
+    #[cfg(test)]
+    pub(crate) fn from_raw(raw: u64) -> RunKey {
+        RunKey(raw)
+    }
 }
 
 /// How one matrix point ended — recorded per run in the report, so one
@@ -804,6 +933,80 @@ impl RunRecord {
             average_power: 0.0,
         }
     }
+
+    /// One run as a single-line JSON object — exactly the element the
+    /// report's `runs` array contains (the report adds only indentation
+    /// and commas), and the `"run"` payload a `sweep --serve` response
+    /// streams. One rendering path means cached, resumed, fresh and
+    /// served records are bit-identical by construction.
+    pub fn to_json_object(&self) -> String {
+        let mut s = String::new();
+        let handshake = match self.spec.mode.handshake_ps() {
+            Some(ps) => ps.to_string(),
+            None => "null".into(),
+        };
+        let pausible_model = match self.spec.mode.pausible_model() {
+            Some(m) => format!("\"{m}\""),
+            None => "null".into(),
+        };
+        let _ = write!(
+            s,
+            "{{\"index\": {}, \"benchmark\": \"{}\", \"clocking\": \"{}\", \
+             \"mode\": \"{}\", \"handshake_ps\": {}, \"pausible_model\": {}, \
+             \"wakeup_filter\": {}, \
+             \"coalesce_wakeup\": {}, \"dvfs\": \"{}\", \"phase_seed\": {}, \
+             \"committed\": {}, \"fetched\": {}, \"wrong_path_fetched\": {}, \
+             \"exec_time_fs\": {}, \"insts_per_ns\": {:.6}, \"mean_slip_fs\": {}, \
+             \"fifo_slip_fraction\": {:.6}, \"misspeculation_rate\": {:.6}, \
+             \"channel_ops\": {}, \"total_stretches\": {}, \"stretch_time_fs\": {}, \
+             \"rendezvous_block_cycles\": {}, \
+             \"min_effective_ghz\": {:.6}, \"total_energy\": {:.3}, \
+             \"average_power\": {:.6}",
+            self.spec.index,
+            self.spec.benchmark.name(),
+            self.spec.mode.clocking(),
+            self.spec.mode.label(),
+            handshake,
+            pausible_model,
+            self.spec.mode.wakeup_filter(),
+            self.spec.mode.coalesce(),
+            self.spec.dvfs.label,
+            self.spec.phase_seed,
+            self.committed,
+            self.fetched,
+            self.wrong_path_fetched,
+            self.exec_time_fs,
+            self.insts_per_ns,
+            self.mean_slip_fs,
+            self.fifo_slip_fraction,
+            self.misspeculation_rate,
+            self.channel_ops,
+            self.total_stretches,
+            self.stretch_time_fs,
+            self.rendezvous_block_cycles,
+            self.min_effective_ghz,
+            self.total_energy,
+            self.average_power,
+        );
+        let _ = write!(s, ", \"status\": \"{}\"", self.status.label());
+        match &self.status {
+            RunStatus::Panicked { msg } => {
+                let _ = write!(s, ", \"panic_msg\": \"{}\"", json_escape(msg));
+            }
+            RunStatus::Deadlocked { report } => {
+                let _ = write!(s, ", \"deadlock\": {}", deadlock_json(report));
+            }
+            RunStatus::Ok | RunStatus::TimedOut => {}
+        }
+        // v5: the static analyzer's pre-flight findings, omitted when
+        // clean so a clean sweep's report shape matches v4 plus nothing.
+        if !self.analysis.is_empty() {
+            let list: Vec<String> = self.analysis.iter().map(|f| f.json()).collect();
+            let _ = write!(s, ", \"analysis\": [{}]", list.join(", "));
+        }
+        s.push('}');
+        s
+    }
 }
 
 /// The complete result of one sweep: every run record in matrix order,
@@ -816,10 +1019,16 @@ pub struct SweepResults {
     pub runs: Vec<RunRecord>,
 }
 
-/// Execution policy for [`run_sweep_with`]: worker count, failure
-/// handling, and the journal. The matrix stays purely declarative — these
-/// knobs change how a sweep executes, never what it simulates.
+/// Execution policy for a sweep: worker count, failure handling, the
+/// journal, and the result cache. The matrix stays purely declarative —
+/// these knobs change how a sweep executes, never what it simulates
+/// (none of them reaches a [`RunKey`]).
+///
+/// `#[non_exhaustive]`: construct through the builder —
+/// `SweepOptions::new().threads(8).cache(dir)` — so future policy fields
+/// stop being breaking changes.
 #[derive(Debug, Clone, Default)]
+#[non_exhaustive]
 pub struct SweepOptions {
     /// Worker threads (0 or 1 = serial). The result is bit-identical for
     /// every value.
@@ -838,9 +1047,82 @@ pub struct SweepOptions {
     /// different matrix is a loud error. A missing journal file starts a
     /// fresh (fully journaled) sweep.
     pub resume: bool,
+    /// Content-addressed result cache directory ([`ResultCache`]): looked
+    /// up before simulating, written after every completed run. `None`
+    /// disables caching. Composes with [`SweepOptions::resume`] — the
+    /// journal pre-fills first, the cache covers the rest.
+    pub cache: Option<PathBuf>,
+    /// Bound on the number of cached blobs; storing past it evicts
+    /// deterministically ([`ResultCache`] docs). `None` = unbounded.
+    pub cache_capacity: Option<usize>,
     /// Deterministic fault injection (the `chaos` feature).
     #[cfg(feature = "chaos")]
     pub faults: FaultPlan,
+}
+
+impl SweepOptions {
+    /// Default options: host-serial, no retries, budget-scaled deadline,
+    /// no journal, no cache. The start of every builder chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the extra in-process attempts per failed point.
+    #[must_use]
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the per-run wall-clock deadline.
+    #[must_use]
+    pub fn run_timeout(mut self, timeout: Duration) -> Self {
+        self.run_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the write-ahead journal path.
+    #[must_use]
+    pub fn journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Enables (or disables) resuming from the journal.
+    #[must_use]
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Sets the content-addressed result cache directory.
+    #[must_use]
+    pub fn cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache = Some(dir.into());
+        self
+    }
+
+    /// Bounds the cache to at most `capacity` blobs.
+    #[must_use]
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan (the `chaos` feature).
+    #[cfg(feature = "chaos")]
+    #[must_use]
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 /// Deterministic fault injection: which matrix points to sabotage, and
@@ -1054,28 +1336,79 @@ fn run_point(spec: &RunSpec, opts: &SweepOptions, timeout: Duration) -> RunRecor
     }
 }
 
+/// A complete sweep request: the declarative matrix (what to simulate)
+/// plus the execution policy (how to run it). The one public entry point
+/// — [`sweep`] and [`sweep_streaming`] consume it, and `sweep --serve`
+/// accepts its JSON rendering over a socket.
+///
+/// `#[non_exhaustive]`: construct with
+/// `SweepRequest::new(matrix).with_options(...)`.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SweepRequest {
+    /// The matrix to run. Only this (plus the schema version) reaches a
+    /// [`RunKey`] — two requests with equal matrices share cache entries
+    /// regardless of policy.
+    pub matrix: SweepMatrix,
+    /// Execution policy: threads, retries, deadline, journal, cache.
+    pub options: SweepOptions,
+}
+
+impl SweepRequest {
+    /// A request for `matrix` under default [`SweepOptions`].
+    pub fn new(matrix: SweepMatrix) -> Self {
+        SweepRequest {
+            matrix,
+            options: SweepOptions::default(),
+        }
+    }
+
+    /// Replaces the execution policy.
+    #[must_use]
+    pub fn with_options(mut self, options: SweepOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+/// What a sweep produced, and how: the results themselves plus the
+/// provenance split between freshly simulated points and cache traffic.
+/// [`SweepResponse::results`] is bit-identical however the records were
+/// obtained (fresh, cached, journal-resumed, any thread count).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SweepResponse {
+    /// Every run record in matrix order, plus the derived tables
+    /// (rendered via [`SweepResults::to_json`] / `tables_json`).
+    pub results: SweepResults,
+    /// Points actually simulated by this call (neither journal-prefilled
+    /// nor served from cache).
+    pub simulated: usize,
+    /// Result-cache traffic for this call; all-zero when no cache is
+    /// configured.
+    pub cache: CacheStats,
+}
+
 /// Runs every point of `matrix` across a pool of `threads` workers
 /// (clamped to at least one) and returns the records in deterministic
 /// matrix order. Work is handed out through an atomic cursor; each worker
 /// stores its record at the run's matrix index, so the result — and the
 /// JSON rendered from it — is bit-identical for every thread count.
 ///
-/// Equivalent to [`run_sweep_with`] with default options (no journal, no
-/// retries, the budget-scaled deadline); failed points are still isolated
-/// and recorded per run rather than aborting the sweep.
+/// Thin wrapper over [`sweep`], kept for convenience; new callers should
+/// prefer building a [`SweepRequest`]. Failed points are isolated and
+/// recorded per run rather than aborting the sweep.
 pub fn run_sweep(matrix: &SweepMatrix, threads: usize) -> SweepResults {
-    run_sweep_with(
-        matrix,
-        &SweepOptions {
-            threads,
-            ..SweepOptions::default()
-        },
-    )
-    .expect("a journal-less sweep has no fallible I/O")
+    run_sweep_with(matrix, &SweepOptions::new().threads(threads))
+        .expect("a journal-less, cache-less sweep has no fallible I/O")
 }
 
 /// [`run_sweep`] with full execution policy: panic/timeout isolation per
-/// run, in-process retries, the write-ahead journal, and `resume`.
+/// run, in-process retries, the write-ahead journal, `resume`, and the
+/// result cache.
+///
+/// Thin wrapper over [`sweep`] that drops the provenance counters; new
+/// callers should prefer [`sweep`], which also reports cache traffic.
 ///
 /// Every surviving run is bit-identical to the same run in a serial,
 /// failure-free sweep; a resumed sweep that converges (all points `ok`)
@@ -1083,14 +1416,47 @@ pub fn run_sweep(matrix: &SweepMatrix, threads: usize) -> SweepResults {
 ///
 /// # Errors
 ///
-/// Journal I/O problems, and on `resume`: a journal whose matrix hash,
-/// schema version, or entry keys do not match the current matrix (a
+/// See [`sweep`].
+pub fn run_sweep_with(matrix: &SweepMatrix, opts: &SweepOptions) -> Result<SweepResults, String> {
+    sweep(&SweepRequest::new(matrix.clone()).with_options(opts.clone())).map(|r| r.results)
+}
+
+/// Executes a [`SweepRequest`] and returns the complete [`SweepResponse`].
+/// Equivalent to [`sweep_streaming`] with a no-op sink.
+///
+/// # Errors
+///
+/// Journal or cache I/O problems, and on `resume`: a journal whose matrix
+/// hash, schema version, or entry keys do not match the current matrix (a
 /// journal from a different sweep must never silently merge), or `resume`
 /// without a journal path. Simulation failures are *not* errors — they
 /// are per-run [`RunStatus`] records.
-pub fn run_sweep_with(matrix: &SweepMatrix, opts: &SweepOptions) -> Result<SweepResults, String> {
+pub fn sweep(request: &SweepRequest) -> Result<SweepResponse, String> {
+    sweep_streaming(request, &mut |_| {})
+}
+
+/// Executes a [`SweepRequest`], handing each completed [`RunRecord`] to
+/// `sink` *in matrix order* as soon as it (and every record before it) is
+/// available — the streaming backbone of `sweep --serve`. The sink runs
+/// on the calling thread and never blocks the worker pool: records are
+/// cloned out under the slot lock, then delivered outside it.
+///
+/// Record provenance is invisible to the sink: a cached or
+/// journal-prefilled record is bit-identical to a freshly simulated one.
+///
+/// # Errors
+///
+/// See [`sweep`]. The sink is infallible; socket-level write errors are
+/// the server's concern.
+pub fn sweep_streaming(
+    request: &SweepRequest,
+    sink: &mut dyn FnMut(&RunRecord),
+) -> Result<SweepResponse, String> {
+    let matrix = &request.matrix;
+    let opts = &request.options;
     let specs = matrix.expand();
-    let hash = journal::matrix_hash(&specs);
+    let keys: Vec<RunKey> = specs.iter().map(RunKey::of).collect();
+    let hash = stable_hash::matrix_identity(&keys);
     let mut prefilled: Vec<Option<RunRecord>> = vec![None; specs.len()];
     let writer = match &opts.journal {
         Some(path) => {
@@ -1108,35 +1474,84 @@ pub fn run_sweep_with(matrix: &SweepMatrix, opts: &SweepOptions) -> Result<Sweep
         }
         None => None,
     };
+    let cache = match &opts.cache {
+        Some(dir) => Some(ResultCache::open(dir, opts.cache_capacity)?),
+        None => None,
+    };
+    if let Some(cache) = &cache {
+        // Journal pre-fill wins (it is this sweep's own prior progress);
+        // the cache covers the remaining slots. Hits are journaled so a
+        // later --resume of the same journal converges without the cache.
+        for (i, slot) in prefilled.iter_mut().enumerate() {
+            if slot.is_some() {
+                continue;
+            }
+            if let Some(record) = cache.load(keys[i], &specs[i]) {
+                if let Some(w) = &writer {
+                    w.append(&record, keys[i])?;
+                }
+                *slot = Some(record);
+            }
+        }
+    }
     let threads = opts.threads.max(1).min(specs.len().max(1));
     let timeout = opts
         .run_timeout
         .unwrap_or_else(|| default_run_timeout(matrix.budget));
     let next = AtomicUsize::new(0);
+    let simulated = AtomicUsize::new(0);
     let slots = Mutex::new(prefilled);
-    let journal_error: Mutex<Option<String>> = Mutex::new(None);
+    let stored = Condvar::new();
+    let io_error: Mutex<Option<String>> = Mutex::new(None);
+    let report_io_error = |e: String| {
+        let mut slot = lock_unpoisoned(&io_error);
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    };
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = specs.get(i) else { break };
                 if lock_unpoisoned(&slots)[i].is_some() {
-                    continue; // journaled as ok by a previous invocation
+                    continue; // pre-filled from the journal or the cache
                 }
                 let record = run_point(spec, opts, timeout);
-                if let Some(w) = &writer {
-                    if let Err(e) = w.append(&record, journal::run_key(spec)) {
-                        let mut slot = lock_unpoisoned(&journal_error);
-                        if slot.is_none() {
-                            *slot = Some(e);
+                simulated.fetch_add(1, Ordering::Relaxed);
+                if record.status.is_ok() {
+                    if let Some(c) = &cache {
+                        if let Err(e) = c.store(&record, keys[i]) {
+                            report_io_error(e);
                         }
                     }
                 }
+                if let Some(w) = &writer {
+                    if let Err(e) = w.append(&record, keys[i]) {
+                        report_io_error(e);
+                    }
+                }
                 lock_unpoisoned(&slots)[i] = Some(record);
+                stored.notify_all();
             });
         }
+        // In-order emitter on the calling thread: a slot can only go from
+        // `None` to `Some` under the lock this loop holds while deciding
+        // to wait, so no store can slip past unnoticed.
+        for i in 0..specs.len() {
+            let record = {
+                let mut guard = lock_unpoisoned(&slots);
+                loop {
+                    if let Some(r) = &guard[i] {
+                        break r.clone();
+                    }
+                    guard = stored.wait(guard).unwrap_or_else(|p| p.into_inner());
+                }
+            };
+            sink(&record);
+        }
     });
-    if let Some(e) = lock_unpoisoned(&journal_error).take() {
+    if let Some(e) = lock_unpoisoned(&io_error).take() {
         return Err(e);
     }
     let runs: Vec<RunRecord> = slots
@@ -1145,9 +1560,13 @@ pub fn run_sweep_with(matrix: &SweepMatrix, opts: &SweepOptions) -> Result<Sweep
         .into_iter()
         .map(|r| r.expect("every matrix index must have run"))
         .collect();
-    Ok(SweepResults {
-        matrix: matrix.clone(),
-        runs,
+    Ok(SweepResponse {
+        results: SweepResults {
+            matrix: matrix.clone(),
+            runs,
+        },
+        simulated: simulated.into_inner(),
+        cache: cache.map(|c| c.stats()).unwrap_or_default(),
     })
 }
 
@@ -1357,79 +1776,40 @@ impl SweepResults {
         s.push_str("  \"runs\": [\n");
         for (i, r) in self.runs.iter().enumerate() {
             let comma = if i + 1 == self.runs.len() { "" } else { "," };
-            let handshake = match r.spec.mode.handshake_ps() {
-                Some(ps) => ps.to_string(),
-                None => "null".into(),
-            };
-            let pausible_model = match r.spec.mode.pausible_model() {
-                Some(m) => format!("\"{m}\""),
-                None => "null".into(),
-            };
-            let _ = write!(
-                s,
-                "    {{\"index\": {}, \"benchmark\": \"{}\", \"clocking\": \"{}\", \
-                 \"mode\": \"{}\", \"handshake_ps\": {}, \"pausible_model\": {}, \
-                 \"wakeup_filter\": {}, \
-                 \"coalesce_wakeup\": {}, \"dvfs\": \"{}\", \"phase_seed\": {}, \
-                 \"committed\": {}, \"fetched\": {}, \"wrong_path_fetched\": {}, \
-                 \"exec_time_fs\": {}, \"insts_per_ns\": {:.6}, \"mean_slip_fs\": {}, \
-                 \"fifo_slip_fraction\": {:.6}, \"misspeculation_rate\": {:.6}, \
-                 \"channel_ops\": {}, \"total_stretches\": {}, \"stretch_time_fs\": {}, \
-                 \"rendezvous_block_cycles\": {}, \
-                 \"min_effective_ghz\": {:.6}, \"total_energy\": {:.3}, \
-                 \"average_power\": {:.6}",
-                r.spec.index,
-                r.spec.benchmark.name(),
-                r.spec.mode.clocking(),
-                r.spec.mode.label(),
-                handshake,
-                pausible_model,
-                r.spec.mode.wakeup_filter(),
-                r.spec.mode.coalesce(),
-                r.spec.dvfs.label,
-                r.spec.phase_seed,
-                r.committed,
-                r.fetched,
-                r.wrong_path_fetched,
-                r.exec_time_fs,
-                r.insts_per_ns,
-                r.mean_slip_fs,
-                r.fifo_slip_fraction,
-                r.misspeculation_rate,
-                r.channel_ops,
-                r.total_stretches,
-                r.stretch_time_fs,
-                r.rendezvous_block_cycles,
-                r.min_effective_ghz,
-                r.total_energy,
-                r.average_power,
-            );
-            let _ = write!(s, ", \"status\": \"{}\"", r.status.label());
-            match &r.status {
-                RunStatus::Panicked { msg } => {
-                    let _ = write!(s, ", \"panic_msg\": \"{}\"", json_escape(msg));
-                }
-                RunStatus::Deadlocked { report } => {
-                    let _ = write!(s, ", \"deadlock\": {}", deadlock_json(report));
-                }
-                RunStatus::Ok | RunStatus::TimedOut => {}
-            }
-            // v5: the static analyzer's pre-flight findings, omitted when
-            // clean so a clean sweep's report shape matches v4 plus nothing.
-            if !r.analysis.is_empty() {
-                let list: Vec<String> = r.analysis.iter().map(|f| f.json()).collect();
-                let _ = write!(s, ", \"analysis\": [{}]", list.join(", "));
-            }
-            let _ = writeln!(s, "}}{comma}");
+            s.push_str("    ");
+            s.push_str(&r.to_json_object());
+            s.push_str(comma);
+            s.push('\n');
         }
         s.push_str("  ],\n");
         s.push_str("  \"tables\": {\n");
-        self.write_handshake_table(&mut s);
-        self.write_rendezvous_table(&mut s);
-        self.write_dvfs_table(&mut s);
-        self.write_feature_table(&mut s);
+        self.tables_body(&mut s);
         s.push_str("  }\n}\n");
         s
+    }
+
+    /// The four derived tables as one compact (single-line) JSON object —
+    /// the `"tables"` payload of a `sweep --serve` response. Rendered by
+    /// the same code as [`SweepResults::to_json`]'s `tables` member, so
+    /// the two can never disagree.
+    pub fn tables_json(&self) -> String {
+        let mut body = String::new();
+        self.tables_body(&mut body);
+        let mut out = String::from("{");
+        for line in body.lines() {
+            out.push_str(line.trim_start());
+        }
+        out.push('}');
+        out
+    }
+
+    /// Writes the members of the report's `tables` object (indented
+    /// multi-line form, no surrounding braces).
+    fn tables_body(&self, s: &mut String) {
+        self.write_handshake_table(s);
+        self.write_rendezvous_table(s);
+        self.write_dvfs_table(s);
+        self.write_feature_table(s);
     }
 
     /// Figure: pausible slowdown vs handshake duration (nominal DVFS,
@@ -1887,10 +2267,7 @@ mod tests {
     fn journaled_sweep_resumes_to_identical_output() {
         let matrix = tiny_matrix();
         let path = temp_path("resume");
-        let opts = SweepOptions {
-            journal: Some(path.clone()),
-            ..SweepOptions::default()
-        };
+        let opts = SweepOptions::new().journal(path.clone());
         let clean = run_sweep_with(&matrix, &opts).expect("journaled sweep");
         let journal_text = std::fs::read_to_string(&path).expect("journal written");
         assert_eq!(
@@ -1903,11 +2280,7 @@ mod tests {
         // bit-identical JSON.
         let resumed = run_sweep_with(
             &matrix,
-            &SweepOptions {
-                journal: Some(path.clone()),
-                resume: true,
-                ..SweepOptions::default()
-            },
+            &SweepOptions::new().journal(path.clone()).resume(true),
         )
         .expect("resumed sweep");
         assert_eq!(resumed.to_json(), clean.to_json());
@@ -1918,11 +2291,7 @@ mod tests {
         std::fs::write(&path, torn).expect("truncate journal");
         let resumed = run_sweep_with(
             &matrix,
-            &SweepOptions {
-                journal: Some(path.clone()),
-                resume: true,
-                ..SweepOptions::default()
-            },
+            &SweepOptions::new().journal(path.clone()).resume(true),
         )
         .expect("resumed sweep over torn journal");
         assert_eq!(resumed.to_json(), clean.to_json());
@@ -1934,24 +2303,14 @@ mod tests {
     fn resume_rejects_a_journal_from_a_different_matrix() {
         let matrix = tiny_matrix();
         let path = temp_path("mismatch");
-        run_sweep_with(
-            &matrix,
-            &SweepOptions {
-                journal: Some(path.clone()),
-                ..SweepOptions::default()
-            },
-        )
-        .expect("journaled sweep");
+        run_sweep_with(&matrix, &SweepOptions::new().journal(path.clone()))
+            .expect("journaled sweep");
 
         let mut other = matrix.clone();
         other.budget += 1;
         let err = run_sweep_with(
             &other,
-            &SweepOptions {
-                journal: Some(path.clone()),
-                resume: true,
-                ..SweepOptions::default()
-            },
+            &SweepOptions::new().journal(path.clone()).resume(true),
         )
         .unwrap_err();
         assert!(err.contains("does not match the current matrix"), "{err}");
@@ -1962,11 +2321,7 @@ mod tests {
         policy.run_timeout_ms = Some(999_999);
         run_sweep_with(
             &policy,
-            &SweepOptions {
-                journal: Some(path.clone()),
-                resume: true,
-                ..SweepOptions::default()
-            },
+            &SweepOptions::new().journal(path.clone()).resume(true),
         )
         .expect("policy-only change resumes fine");
 
@@ -1975,14 +2330,7 @@ mod tests {
 
     #[test]
     fn resume_without_a_journal_is_an_error() {
-        let err = run_sweep_with(
-            &tiny_matrix(),
-            &SweepOptions {
-                resume: true,
-                ..SweepOptions::default()
-            },
-        )
-        .unwrap_err();
+        let err = run_sweep_with(&tiny_matrix(), &SweepOptions::new().resume(true)).unwrap_err();
         assert!(err.contains("journal"), "{err}");
     }
 

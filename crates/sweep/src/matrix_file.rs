@@ -383,6 +383,12 @@ pub(crate) fn matrix_from_json(text: &str, default_budget: u64) -> Result<SweepM
     if parser.pos != parser.bytes.len() {
         return Err(parser.err("trailing data after the matrix object"));
     }
+    matrix_from_value(&root, default_budget)
+}
+
+/// Converts an already-parsed matrix object (a file's root, or the
+/// `"matrix"` member of a `sweep --serve` request) into a [`SweepMatrix`].
+pub(crate) fn matrix_from_value(root: &Json, default_budget: u64) -> Result<SweepMatrix, String> {
     if !matches!(root, Json::Obj(_)) {
         return Err(format!(
             "matrix file must be a JSON object, got {}",
@@ -440,7 +446,7 @@ pub(crate) fn matrix_from_json(text: &str, default_budget: u64) -> Result<SweepM
         }
     }
 
-    let retries = match u64_field(&root, "retries")? {
+    let retries = match u64_field(root, "retries")? {
         None => 0,
         Some(n) => u32::try_from(n).map_err(|_| format!("retries {n} is out of range"))?,
     };
@@ -450,10 +456,10 @@ pub(crate) fn matrix_from_json(text: &str, default_budget: u64) -> Result<SweepM
         modes,
         dvfs,
         phase_seeds,
-        workload_seed: u64_field(&root, "workload_seed")?.unwrap_or(WORKLOAD_SEED),
-        budget: u64_field(&root, "budget")?.unwrap_or(default_budget),
+        workload_seed: u64_field(root, "workload_seed")?.unwrap_or(WORKLOAD_SEED),
+        budget: u64_field(root, "budget")?.unwrap_or(default_budget),
         retries,
-        run_timeout_ms: u64_field(&root, "run_timeout_ms")?,
+        run_timeout_ms: u64_field(root, "run_timeout_ms")?,
     })
 }
 

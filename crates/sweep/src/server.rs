@@ -1,0 +1,252 @@
+//! Sweep as a service: a long-lived process that answers newline-delimited
+//! JSON sweep requests over a local TCP socket, sharding cache misses
+//! across the worker pool and streaming records back as they complete.
+//!
+//! ## Framing
+//!
+//! One JSON object per `\n`-terminated line, in both directions. Requests:
+//!
+//! ```text
+//! {"request": "ping"}
+//! {"request": "sweep", "matrix": {...}, "threads": 4}
+//! {"request": "shutdown"}
+//! ```
+//!
+//! The `"matrix"` member uses exactly the matrix-file format (including
+//! its optional `budget`, `retries` and `run_timeout_ms` members — the
+//! server's default budget fills in like the CLI's `--budget`); `"threads"`
+//! optionally overrides the server's worker count for this request.
+//!
+//! A sweep response streams, in order:
+//!
+//! ```text
+//! {"response": "sweep", "schema_version": 5, "run_count": R}
+//! {"run": {...}}                    × R, in matrix order
+//! {"tables": {...}}
+//! {"done": true, "failed_count": F, "simulated": S,
+//!  "cache_hits": H, "cache_misses": M}
+//! ```
+//!
+//! Every `run` line is [`RunRecord::to_json_object`] and the `tables`
+//! line is [`SweepResults::tables_json`](crate::SweepResults::tables_json)
+//! — the same renderings the file report uses — so the payload lines of a
+//! fully cached response are byte-identical to a freshly simulated one.
+//! Only the `done` trailer says how the answer was produced. A `ping`
+//! answers `{"ok": "pong", "schema_version": 5}`; a `shutdown` answers
+//! `{"ok": "shutdown"}` and makes [`SweepServer::serve`] return.
+//!
+//! A malformed or unserviceable request answers one `{"error": "..."}`
+//! line and leaves the connection usable. Connections are handled one at
+//! a time (the worker pool already saturates the machine); a dropped
+//! client aborts nothing — the sweep finishes and its results stay cached
+//! for the retry.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+use crate::matrix_file::{matrix_from_value, u64_field, Json, Parser};
+use crate::{json_escape, sweep_streaming, RunRecord, SweepOptions, SweepRequest, SCHEMA_VERSION};
+
+/// The resident sweep front end: bind once, then [`SweepServer::serve`]
+/// until a `shutdown` request.
+#[derive(Debug)]
+pub struct SweepServer {
+    listener: TcpListener,
+    budget: u64,
+    options: SweepOptions,
+}
+
+/// What one request line did to the connection.
+enum Reply {
+    /// Keep reading request lines.
+    Continue,
+    /// A `shutdown` request: stop accepting entirely.
+    Shutdown,
+    /// The client vanished mid-write: drop this connection, keep serving.
+    ClientGone,
+}
+
+fn send(out: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    out.write_all(line.as_bytes())?;
+    out.write_all(b"\n")?;
+    out.flush()
+}
+
+impl SweepServer {
+    /// Binds `addr` (e.g. `127.0.0.1:4601`; port 0 picks a free port).
+    /// `default_budget` fills in for matrices that carry no `budget`;
+    /// `options` is the per-request execution-policy base — its `journal`
+    /// and `resume` are ignored (a journal describes exactly one matrix,
+    /// a server answers many; the cache is the cross-request memory).
+    ///
+    /// # Errors
+    ///
+    /// The address cannot be bound.
+    pub fn bind(addr: &str, default_budget: u64, options: SweepOptions) -> Result<Self, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        let mut options = options;
+        options.journal = None;
+        options.resume = false;
+        Ok(SweepServer {
+            listener,
+            budget: default_budget,
+            options,
+        })
+    }
+
+    /// The bound address (the OS-chosen port when bound to port 0).
+    ///
+    /// # Errors
+    ///
+    /// The socket cannot report its address.
+    pub fn local_addr(&self) -> Result<SocketAddr, String> {
+        self.listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))
+    }
+
+    /// Accepts and serves connections, one at a time, until a client sends
+    /// `{"request": "shutdown"}`. Client-side failures (disconnects,
+    /// malformed requests) never end the loop.
+    ///
+    /// # Errors
+    ///
+    /// Listener-level `accept` failures only; everything request-scoped is
+    /// answered in-band as an `error` line.
+    pub fn serve(&self) -> Result<(), String> {
+        loop {
+            let (stream, _) = self
+                .listener
+                .accept()
+                .map_err(|e| format!("accept failed: {e}"))?;
+            if self.handle_connection(stream) {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Reads request lines until the client disconnects or asks for
+    /// shutdown. Returns `true` on shutdown.
+    fn handle_connection(&self, stream: TcpStream) -> bool {
+        let Ok(reading) = stream.try_clone() else {
+            return false;
+        };
+        let mut out = stream;
+        for line in BufReader::new(reading).lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            match self.handle_line(&line, &mut out) {
+                Reply::Continue => {}
+                Reply::Shutdown => return true,
+                Reply::ClientGone => break,
+            }
+        }
+        false
+    }
+
+    /// Parses and answers one request line. Request-level problems are
+    /// answered as an `{"error": ...}` line on the same connection.
+    fn handle_line(&self, line: &str, out: &mut TcpStream) -> Reply {
+        match self.dispatch(line, out) {
+            Ok(reply) => reply,
+            Err(msg) => {
+                let err = format!("{{\"error\": \"{}\"}}", json_escape(&msg));
+                match send(out, &err) {
+                    Ok(()) => Reply::Continue,
+                    Err(_) => Reply::ClientGone,
+                }
+            }
+        }
+    }
+
+    fn dispatch(&self, line: &str, out: &mut TcpStream) -> Result<Reply, String> {
+        let root = Parser::new(line)
+            .value()
+            .map_err(|e| format!("bad request: {e}"))?;
+        let kind = match root.get("request") {
+            Some(Json::Str(s)) => s.clone(),
+            Some(other) => {
+                return Err(format!(
+                    "bad request: \"request\" must be a string, got {}",
+                    other.type_name()
+                ))
+            }
+            None => return Err("bad request: missing \"request\"".into()),
+        };
+        match kind.as_str() {
+            "ping" => {
+                let pong = format!("{{\"ok\": \"pong\", \"schema_version\": {SCHEMA_VERSION}}}");
+                Ok(match send(out, &pong) {
+                    Ok(()) => Reply::Continue,
+                    Err(_) => Reply::ClientGone,
+                })
+            }
+            "shutdown" => {
+                let _ = send(out, "{\"ok\": \"shutdown\"}");
+                Ok(Reply::Shutdown)
+            }
+            "sweep" => self.handle_sweep(&root, out),
+            other => Err(format!("bad request: unknown request {other:?}")),
+        }
+    }
+
+    /// Runs one sweep request, streaming the response as records land.
+    fn handle_sweep(&self, root: &Json, out: &mut TcpStream) -> Result<Reply, String> {
+        let matrix_value = root
+            .get("matrix")
+            .ok_or("bad request: sweep needs a \"matrix\"")?;
+        let matrix =
+            matrix_from_value(matrix_value, self.budget).map_err(|e| format!("bad matrix: {e}"))?;
+        let mut opts = self.options.clone();
+        if let Some(threads) =
+            u64_field(root, "threads").map_err(|e| format!("bad request: {e}"))?
+        {
+            opts.threads = threads as usize;
+        }
+        opts.retries = matrix.retries;
+        if let Some(ms) = matrix.run_timeout_ms {
+            opts.run_timeout = Some(std::time::Duration::from_millis(ms));
+        }
+
+        let run_count = matrix.expand().len();
+        let header = format!(
+            "{{\"response\": \"sweep\", \"schema_version\": {SCHEMA_VERSION}, \
+             \"run_count\": {run_count}}}"
+        );
+        if send(out, &header).is_err() {
+            return Ok(Reply::ClientGone);
+        }
+        // The sink is infallible by signature; a vanished client mutes
+        // further writes (the sweep still completes — its records are
+        // cached for the client's retry) and drops the connection after.
+        let mut gone = false;
+        let request = SweepRequest::new(matrix).with_options(opts);
+        let response = sweep_streaming(&request, &mut |record: &RunRecord| {
+            if !gone {
+                let line = format!("{{\"run\": {}}}", record.to_json_object());
+                gone = send(out, &line).is_err();
+            }
+        })?;
+        if gone {
+            return Ok(Reply::ClientGone);
+        }
+        let tables = format!("{{\"tables\": {}}}", response.results.tables_json());
+        if send(out, &tables).is_err() {
+            return Ok(Reply::ClientGone);
+        }
+        let trailer = format!(
+            "{{\"done\": true, \"failed_count\": {}, \"simulated\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}}}",
+            response.results.failed_count(),
+            response.simulated,
+            response.cache.hits,
+            response.cache.misses,
+        );
+        Ok(match send(out, &trailer) {
+            Ok(()) => Reply::Continue,
+            Err(_) => Reply::ClientGone,
+        })
+    }
+}

@@ -1,0 +1,255 @@
+//! The content-addressed result cache, end to end: a warm rerun is
+//! bit-identical with zero simulated points, corruption degrades to a
+//! miss (never an error, never a wrong bit), policy changes never touch a
+//! `RunKey`, and the cache composes with journaled resume.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use gals_sweep::{
+    sweep, DvfsPoint, ModePoint, RunKey, SweepMatrix, SweepOptions, SweepRequest, WORKLOAD_SEED,
+};
+use gals_workload::Benchmark;
+use proptest::prelude::*;
+
+fn small_matrix(seed: u64, budget: u64) -> SweepMatrix {
+    SweepMatrix {
+        benchmarks: vec![Benchmark::Adpcm, Benchmark::Compress],
+        modes: vec![
+            ModePoint::Synchronous,
+            ModePoint::Gals {
+                wakeup_filter: false,
+            },
+            ModePoint::Pausible {
+                handshake_ps: 300,
+                coalesce: false,
+                wakeup_filter: false,
+                rendezvous: false,
+            },
+        ],
+        dvfs: vec![DvfsPoint::nominal()],
+        phase_seeds: vec![seed],
+        workload_seed: WORKLOAD_SEED,
+        budget,
+        retries: 0,
+        run_timeout_ms: None,
+    }
+}
+
+/// A unique temp dir per call (tests share one process).
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "gals-sweep-cachetest-{}-{}-{tag}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Cold run, then warm run: the warm pass simulates nothing, serves
+    /// every point from cache, and renders byte-identical JSON — across
+    /// seeds, budgets, and thread counts.
+    #[test]
+    fn warm_rerun_is_bit_identical_with_zero_simulated_points(
+        seed in 1u64..5,
+        budget in 300u64..700,
+        threads in 1usize..5,
+    ) {
+        let dir = temp_dir("warm");
+        let matrix = small_matrix(seed, budget);
+        let opts = SweepOptions::new().threads(threads).cache(dir.clone());
+        let request = SweepRequest::new(matrix).with_options(opts);
+
+        let cold = sweep(&request).expect("cold sweep");
+        prop_assert_eq!(cold.simulated, cold.results.runs.len());
+        prop_assert_eq!(cold.cache.hits, 0);
+        prop_assert_eq!(cold.cache.stores as usize, cold.results.runs.len());
+
+        let warm = sweep(&request).expect("warm sweep");
+        prop_assert_eq!(warm.simulated, 0);
+        prop_assert_eq!(warm.cache.hits as usize, warm.results.runs.len());
+        prop_assert_eq!(warm.cache.misses, 0);
+        prop_assert_eq!(warm.results.to_json(), cold.results.to_json());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn corrupted_blobs_degrade_to_misses_and_the_output_stays_identical() {
+    let dir = temp_dir("corrupt");
+    let matrix = small_matrix(1, 500);
+    let request =
+        SweepRequest::new(matrix).with_options(SweepOptions::new().threads(2).cache(dir.clone()));
+    let cold = sweep(&request).expect("cold sweep");
+
+    // Sabotage every blob a different way: truncate one, garble one,
+    // delete one; leave the rest intact.
+    let mut blobs: Vec<_> = std::fs::read_dir(&dir)
+        .expect("cache dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    blobs.sort();
+    assert_eq!(blobs.len(), cold.results.runs.len());
+    let text = std::fs::read_to_string(&blobs[0]).expect("blob");
+    std::fs::write(&blobs[0], &text[..text.len() / 3]).expect("truncate");
+    std::fs::write(&blobs[1], "{\"not\": \"a record\"}\n").expect("garble");
+    std::fs::remove_file(&blobs[2]).expect("delete");
+
+    let warm = sweep(&request).expect("sweep over damaged cache");
+    assert_eq!(warm.simulated, 3, "only the damaged points re-simulate");
+    assert_eq!(warm.cache.hits as usize, cold.results.runs.len() - 3);
+    assert_eq!(warm.cache.misses, 3);
+    assert_eq!(
+        warm.cache.corrupt, 2,
+        "truncated + garbled; deleted is a plain miss"
+    );
+    assert_eq!(
+        warm.results.to_json(),
+        cold.results.to_json(),
+        "damage may cost time, never bits"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_keys_ignore_execution_policy_and_separate_content() {
+    let matrix = small_matrix(1, 500);
+    let base: Vec<RunKey> = matrix.expand().iter().map(RunKey::of).collect();
+
+    // Execution policy — threads, retries, timeouts — never reaches a key.
+    let mut policy = matrix.clone();
+    policy.retries = 7;
+    policy.run_timeout_ms = Some(123_456);
+    let policy_keys: Vec<RunKey> = policy.expand().iter().map(RunKey::of).collect();
+    assert_eq!(base, policy_keys);
+
+    // Content — budget, seed, mode set — always does.
+    let mut budget = matrix.clone();
+    budget.budget += 1;
+    assert!(budget
+        .expand()
+        .iter()
+        .map(RunKey::of)
+        .zip(&base)
+        .all(|(k, b)| k != *b));
+    let mut seed = matrix.clone();
+    seed.phase_seeds = vec![2];
+    assert!(seed
+        .expand()
+        .iter()
+        .map(RunKey::of)
+        .zip(&base)
+        .all(|(k, b)| k != *b));
+
+    // And the keys of distinct points are distinct.
+    let mut sorted = base.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(sorted.len(), base.len());
+
+    // Hex round-trip.
+    for key in &base {
+        assert_eq!(RunKey::from_hex(&key.to_hex()), Some(*key));
+    }
+    assert_eq!(RunKey::from_hex("nope"), None);
+    assert_eq!(
+        RunKey::from_hex("ABCDEF0123456789"),
+        None,
+        "upper case rejected"
+    );
+}
+
+#[test]
+fn overlapping_matrices_share_cache_entries() {
+    let dir = temp_dir("overlap");
+    let mut first = small_matrix(1, 500);
+    first.modes.truncate(2); // sync + gals
+    let first_runs = first.expand().len();
+    let cold =
+        sweep(&SweepRequest::new(first).with_options(SweepOptions::new().cache(dir.clone())))
+            .expect("first sweep");
+    assert_eq!(cold.simulated, first_runs);
+
+    // The full matrix shares the first two modes' points; only the
+    // pausible points are novel.
+    let full = small_matrix(1, 500);
+    let full_runs = full.expand().len();
+    let warm = sweep(&SweepRequest::new(full).with_options(SweepOptions::new().cache(dir.clone())))
+        .expect("overlapping sweep");
+    assert_eq!(warm.cache.hits as usize, first_runs);
+    assert_eq!(warm.simulated, full_runs - first_runs);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_composes_with_journaled_resume() {
+    let dir = temp_dir("resume");
+    let journal = dir.join("sweep.jsonl");
+    let matrix = small_matrix(2, 500);
+    let run_count = matrix.expand().len();
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    // Journal-only first pass.
+    let plain = sweep(
+        &SweepRequest::new(matrix.clone())
+            .with_options(SweepOptions::new().journal(journal.clone())),
+    )
+    .expect("journaled sweep");
+
+    // Tear the journal's tail, then resume WITH the cache armed: the torn
+    // point is a cache miss (nothing cached yet) and re-simulates; the
+    // rest pre-fill from the journal without touching the cache.
+    let text = std::fs::read_to_string(&journal).expect("journal");
+    std::fs::write(&journal, &text[..text.len() - 20]).expect("tear");
+    let resumed = sweep(
+        &SweepRequest::new(matrix.clone()).with_options(
+            SweepOptions::new()
+                .journal(journal.clone())
+                .resume(true)
+                .cache(dir.clone()),
+        ),
+    )
+    .expect("resumed sweep");
+    assert_eq!(resumed.simulated, 1, "only the torn point re-runs");
+    assert_eq!(
+        resumed.cache.hits, 0,
+        "journal pre-fill wins over the cache"
+    );
+    assert_eq!(resumed.results.to_json(), plain.results.to_json());
+
+    // A fresh journal next to a warm cache: everything is a hit, and the
+    // journal converges (a later journal-only resume re-runs nothing).
+    let journal2 = dir.join("sweep2.jsonl");
+    let cached = sweep(
+        &SweepRequest::new(matrix.clone()).with_options(
+            SweepOptions::new()
+                .journal(journal2.clone())
+                .cache(dir.clone()),
+        ),
+    )
+    .expect("cached+journaled sweep");
+    assert_eq!(
+        cached.simulated,
+        run_count - 1,
+        "one point was never cached"
+    );
+    assert_eq!(
+        cached.cache.hits, 1,
+        "the torn point was cached by the resume"
+    );
+    let converged = sweep(
+        &SweepRequest::new(matrix)
+            .with_options(SweepOptions::new().journal(journal2.clone()).resume(true)),
+    )
+    .expect("journal-only resume");
+    assert_eq!(converged.simulated, 0, "cache hits were journaled");
+    assert_eq!(converged.results.to_json(), plain.results.to_json());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

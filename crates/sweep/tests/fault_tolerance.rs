@@ -67,7 +67,7 @@ proptest! {
         let faults = FaultPlan::seeded(fault_seed, clean.runs.len(), 1, 1);
         let chaotic = run_sweep_with(
             &matrix,
-            &SweepOptions { threads, faults: faults.clone(), ..SweepOptions::default() },
+            &SweepOptions::new().threads(threads).faults(faults.clone()),
         ).expect("chaotic sweep still completes");
 
         prop_assert_eq!(chaotic.runs.len(), clean.runs.len());
@@ -102,10 +102,7 @@ fn wedged_point_reports_a_deterministic_structured_deadlock() {
         wedge_at: vec![wedge_index],
         ..FaultPlan::default()
     };
-    let opts = SweepOptions {
-        faults,
-        ..SweepOptions::default()
-    };
+    let opts = SweepOptions::new().faults(faults);
     let a = run_sweep_with(&matrix, &opts).expect("sweep a");
     let b = run_sweep_with(&matrix, &opts).expect("sweep b");
     let RunStatus::Deadlocked { report: ra } = &a.runs[wedge_index].status else {
@@ -135,13 +132,10 @@ fn static_check_flags_exactly_the_points_the_runtime_wedges() {
     // verdict in `static_finding` (cross-referenced into the JSON).
     let matrix = small_matrix(1, 600);
     let wedge_index = 2;
-    let opts = SweepOptions {
-        faults: FaultPlan {
-            wedge_at: vec![wedge_index],
-            ..FaultPlan::default()
-        },
-        ..SweepOptions::default()
-    };
+    let opts = SweepOptions::new().faults(FaultPlan {
+        wedge_at: vec![wedge_index],
+        ..FaultPlan::default()
+    });
 
     let checked = gals_sweep::check_matrix(&matrix, &opts);
     assert_eq!(checked.len(), matrix.expand().len());
@@ -173,14 +167,12 @@ fn static_check_flags_exactly_the_points_the_runtime_wedges() {
 #[test]
 fn stalled_point_times_out_without_poisoning_the_sweep() {
     let matrix = small_matrix(1, 400);
-    let opts = SweepOptions {
-        run_timeout: Some(Duration::from_millis(100)),
-        faults: FaultPlan {
+    let opts = SweepOptions::new()
+        .run_timeout(Duration::from_millis(100))
+        .faults(FaultPlan {
             stall_at: vec![(0, 60_000)],
             ..FaultPlan::default()
-        },
-        ..SweepOptions::default()
-    };
+        });
     let results = run_sweep_with(&matrix, &opts).expect("sweep completes");
     assert_eq!(results.runs[0].status, RunStatus::TimedOut);
     assert_eq!(results.failed_count(), 1);
@@ -199,15 +191,11 @@ fn killed_sweep_resumes_to_a_bit_identical_clean_report() {
     // First invocation: one panic + one wedge, journaled.
     let faulted = run_sweep_with(
         &matrix,
-        &SweepOptions {
-            journal: Some(path.clone()),
-            faults: FaultPlan {
-                panic_at: vec![1],
-                wedge_at: vec![4],
-                ..FaultPlan::default()
-            },
-            ..SweepOptions::default()
-        },
+        &SweepOptions::new().journal(path.clone()).faults(FaultPlan {
+            panic_at: vec![1],
+            wedge_at: vec![4],
+            ..FaultPlan::default()
+        }),
     )
     .expect("faulted sweep completes");
     assert_eq!(faulted.failed_count(), 2);
@@ -220,12 +208,10 @@ fn killed_sweep_resumes_to_a_bit_identical_clean_report() {
     // converged report is bit-identical to a clean sweep's.
     let resumed = run_sweep_with(
         &matrix,
-        &SweepOptions {
-            journal: Some(path.clone()),
-            resume: true,
-            retries: 1,
-            ..SweepOptions::default()
-        },
+        &SweepOptions::new()
+            .journal(path.clone())
+            .resume(true)
+            .retries(1),
     )
     .expect("resumed sweep");
     assert_eq!(resumed.failed_count(), 0);
@@ -240,11 +226,7 @@ fn an_unarmed_fault_plan_changes_nothing() {
     let plain = run_sweep(&matrix, 2);
     let chaos_built = run_sweep_with(
         &matrix,
-        &SweepOptions {
-            threads: 2,
-            faults: FaultPlan::default(),
-            ..SweepOptions::default()
-        },
+        &SweepOptions::new().threads(2).faults(FaultPlan::default()),
     )
     .expect("sweep");
     assert!(FaultPlan::default().is_empty());

@@ -1,0 +1,201 @@
+//! `sweep --serve` behind its library face: NDJSON framing, in-order
+//! streaming, byte-identical cached-vs-fresh payloads, overlap requests
+//! that simulate only novel points, and graceful error/shutdown handling.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use gals_sweep::{SweepOptions, SweepServer, SCHEMA_VERSION};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "gals-sweep-servetest-{}-{}-{tag}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Starts a server on an OS-chosen port with a cache, returning the
+/// address and the serving thread (joined after a shutdown request).
+fn start_server(tag: &str) -> (String, std::thread::JoinHandle<()>, std::path::PathBuf) {
+    let dir = temp_dir(tag);
+    let options = SweepOptions::new().threads(2).cache(dir.clone());
+    let server = SweepServer::bind("127.0.0.1:0", 400, options).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+    (addr, handle, dir)
+}
+
+/// Sends one request line and reads reply lines until `stop` says done.
+fn transact(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    request: &str,
+    stop: impl Fn(&str) -> bool,
+) -> Vec<String> {
+    stream
+        .write_all(format!("{request}\n").as_bytes())
+        .expect("send");
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("read") > 0,
+            "server hung up"
+        );
+        let line = line.trim_end().to_string();
+        let done = stop(&line);
+        lines.push(line);
+        if done {
+            return lines;
+        }
+    }
+}
+
+const SMALL_MATRIX: &str = "{\"request\": \"sweep\", \"matrix\": {\
+     \"benchmarks\": [\"adpcm\"], \
+     \"modes\": [\"sync\", \"gals\"], \
+     \"dvfs\": [\"nominal\"], \
+     \"phase_seeds\": [1]}}";
+
+#[test]
+fn serves_ping_sweep_overlap_errors_and_shutdown() {
+    let (addr, handle, dir) = start_server("full");
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    // Ping.
+    let pong = transact(&mut stream, &mut reader, "{\"request\": \"ping\"}", |l| {
+        l.contains("pong")
+    });
+    assert_eq!(
+        pong,
+        vec![format!(
+            "{{\"ok\": \"pong\", \"schema_version\": {SCHEMA_VERSION}}}"
+        )]
+    );
+
+    // A malformed request answers an error and keeps the connection.
+    let err = transact(
+        &mut stream,
+        &mut reader,
+        "{\"request\": \"frobnicate\"}",
+        |_| true,
+    );
+    assert!(err[0].starts_with("{\"error\": "), "{err:?}");
+    let err = transact(&mut stream, &mut reader, "not json", |_| true);
+    assert!(err[0].starts_with("{\"error\": "), "{err:?}");
+    let err = transact(&mut stream, &mut reader, "{\"request\": \"sweep\"}", |_| {
+        true
+    });
+    assert!(err[0].contains("needs a \\\"matrix\\\""), "{err:?}");
+
+    // A fresh sweep: header, R runs in matrix order, tables, trailer.
+    let fresh = transact(&mut stream, &mut reader, SMALL_MATRIX, |l| {
+        l.starts_with("{\"done\": ")
+    });
+    assert_eq!(fresh.len(), 1 + 2 + 1 + 1);
+    assert_eq!(
+        fresh[0],
+        format!(
+            "{{\"response\": \"sweep\", \"schema_version\": {SCHEMA_VERSION}, \"run_count\": 2}}"
+        )
+    );
+    assert!(
+        fresh[1].starts_with("{\"run\": {\"index\": 0, \"benchmark\": \"adpcm\""),
+        "{}",
+        fresh[1]
+    );
+    assert!(
+        fresh[2].starts_with("{\"run\": {\"index\": 1, "),
+        "{}",
+        fresh[2]
+    );
+    assert!(
+        fresh[3].starts_with("{\"tables\": {\"pausible_slowdown_vs_handshake\": ["),
+        "{}",
+        fresh[3]
+    );
+    assert_eq!(
+        fresh[4],
+        "{\"done\": true, \"failed_count\": 0, \"simulated\": 2, \
+         \"cache_hits\": 0, \"cache_misses\": 2}"
+    );
+
+    // The identical request again: payload lines byte-identical, trailer
+    // reports pure cache traffic.
+    let cached = transact(&mut stream, &mut reader, SMALL_MATRIX, |l| {
+        l.starts_with("{\"done\": ")
+    });
+    assert_eq!(
+        cached[..4],
+        fresh[..4],
+        "cached-vs-fresh payloads are bit-identical"
+    );
+    assert_eq!(
+        cached[4],
+        "{\"done\": true, \"failed_count\": 0, \"simulated\": 0, \
+         \"cache_hits\": 2, \"cache_misses\": 0}"
+    );
+
+    // An overlapping request (one extra mode) simulates only the novelty.
+    let overlap = SMALL_MATRIX.replace(
+        "\"sync\", \"gals\"",
+        "\"sync\", \"gals\", \"pausible@300ps\"",
+    );
+    let third = transact(&mut stream, &mut reader, &overlap, |l| {
+        l.starts_with("{\"done\": ")
+    });
+    assert!(third[0].ends_with("\"run_count\": 3}"), "{}", third[0]);
+    assert_eq!(
+        third[5],
+        "{\"done\": true, \"failed_count\": 0, \"simulated\": 1, \
+         \"cache_hits\": 2, \"cache_misses\": 1}"
+    );
+    // The shared points' payload lines are bit-identical to the first
+    // response's (the novel pausible mode lands at a later index).
+    assert_eq!(third[1], fresh[1]);
+    assert_eq!(third[2], fresh[2]);
+
+    // Shutdown ends serve() and the thread joins.
+    let bye = transact(
+        &mut stream,
+        &mut reader,
+        "{\"request\": \"shutdown\"}",
+        |_| true,
+    );
+    assert_eq!(bye, vec!["{\"ok\": \"shutdown\"}".to_string()]);
+    handle.join().expect("server thread");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_dropped_client_does_not_kill_the_server() {
+    let (addr, handle, dir) = start_server("drop");
+    // Connect, say nothing valid, and vanish.
+    {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream
+            .write_all(b"{\"request\": \"ping\"}\n")
+            .expect("send");
+        // Drop without reading.
+    }
+    // The server still answers the next client.
+    let mut stream = TcpStream::connect(&addr).expect("reconnect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let pong = transact(&mut stream, &mut reader, "{\"request\": \"ping\"}", |l| {
+        l.contains("pong")
+    });
+    assert!(pong[0].contains("pong"));
+    let _ = transact(
+        &mut stream,
+        &mut reader,
+        "{\"request\": \"shutdown\"}",
+        |_| true,
+    );
+    handle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
