@@ -70,10 +70,27 @@
 //!   count with deterministic eviction.
 //! * `--serve ADDR` — **run no sweep**: bind `ADDR` (e.g.
 //!   `127.0.0.1:4601`) and answer newline-delimited JSON sweep requests
-//!   until a `{"request": "shutdown"}` arrives, sharing one cache across
-//!   all requests. Incompatible with `--matrix`/`--check`/`--journal` and
-//!   the chaos flags; see `gals_sweep::SweepServer` and
-//!   docs/SWEEP_FORMAT.md §"Cache & serve" for the framing.
+//!   until a `{"request": "shutdown"}` arrives — concurrently, one
+//!   handler thread per client, all sharing one worker pool and one
+//!   cache. `--max-clients N` / `--max-pending-runs N` bound admission
+//!   (excess work is shed with retryable in-band errors); shutdown
+//!   drains in-flight responses to their `done` trailers before exiting.
+//!   Incompatible with `--matrix`/`--check`/`--journal` and the chaos
+//!   run-fault flags; see `gals_sweep::SweepServer` and
+//!   docs/SWEEP_FORMAT.md §"Cache & serve" for the framing. A
+//!   `--features chaos` build additionally accepts
+//!   `--chaos-drop-after N [--chaos-drop-times C]` — hard-close C sweep
+//!   response streams after N `run` lines, for exercising client retry.
+//! * `--submit ADDR` — **simulate nothing locally**: frame the
+//!   `--matrix` file as one request to the server at `ADDR`, stream the
+//!   response payload (header, `run` lines, `tables` line) to `--out`
+//!   or stdout, and retry with capped exponential backoff on connect
+//!   failure, admission shedding, or a mid-stream disconnect
+//!   (`--submit-retries N` attempts, default 5). `--deadline-ms N`
+//!   forwards a per-request deadline the server enforces. The merged
+//!   payload is byte-identical to an uninterrupted session; the `done`
+//!   trailer's counters go to stderr. Exits 3 if the sweep reported
+//!   failed runs, 2 on exhausted retries or a server-side rejection.
 //!
 //! See the `gals-sweep` crate docs for the matrix format and the full JSON
 //! schema, and `gals_sweep::SweepMatrix::paper_default` for what the
@@ -82,7 +99,7 @@
 
 use std::time::{Duration, Instant};
 
-use gals_bench::{exit_code, write_atomic, BenchCli};
+use gals_bench::{exit_code, submit, write_atomic, BenchCli};
 use gals_sweep::{
     sweep, RunStatus, Severity, SweepMatrix, SweepOptions, SweepRequest, SweepServer,
 };
@@ -94,10 +111,13 @@ use gals_sweep::{
 const SWEEP_INSTS: u64 = 60_000;
 
 const USAGE: &str = "sweep [--budget N | N] [--threads N] [--out PATH] \
-     [--matrix FILE | --check FILE | --serve ADDR] \
+     [--matrix FILE | --check FILE | --serve ADDR | --submit ADDR --matrix FILE] \
      [--journal PATH [--resume]] [--retries N] [--run-timeout-ms N] \
      [--cache DIR [--cache-cap N]] \
-     [--chaos-panic I] [--chaos-wedge I] [--chaos-stall I:MS]";
+     [--max-clients N] [--max-pending-runs N] \
+     [--submit-retries N] [--deadline-ms N] \
+     [--chaos-panic I] [--chaos-wedge I] [--chaos-stall I:MS] \
+     [--chaos-drop-after N [--chaos-drop-times C]]";
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -216,7 +236,21 @@ fn serve_exit(addr: &str, cli: &BenchCli) -> ! {
         usage_exit("--serve is incompatible with --journal/--resume (a journal describes one matrix; the cache is the server's memory)");
     }
     if !(cli.chaos_panic.is_empty() && cli.chaos_wedge.is_empty() && cli.chaos_stall.is_empty()) {
-        usage_exit("--serve is incompatible with the --chaos-* flags");
+        usage_exit(
+            "--serve is incompatible with the --chaos-panic/--chaos-wedge/--chaos-stall flags",
+        );
+    }
+    if cli.submit_retries.is_some() || cli.deadline_ms.is_some() {
+        usage_exit("--submit-retries/--deadline-ms belong to --submit, not --serve");
+    }
+    #[cfg(not(feature = "chaos"))]
+    if cli.chaos_drop_after.is_some() || cli.chaos_drop_times.is_some() {
+        usage_exit(
+            "--chaos-drop-after needs a fault-injection build: rebuild with --features chaos",
+        );
+    }
+    if cli.chaos_drop_times.is_some() && cli.chaos_drop_after.is_none() {
+        usage_exit("--chaos-drop-times needs --chaos-drop-after");
     }
     let mut opts = SweepOptions::new().threads(cli.threads_or_available());
     if let Some(dir) = &cli.cache {
@@ -225,8 +259,21 @@ fn serve_exit(addr: &str, cli: &BenchCli) -> ! {
     if let Some(cap) = cli.cache_cap {
         opts = opts.cache_capacity(cap);
     }
-    let server = SweepServer::bind(addr, cli.budget_or(SWEEP_INSTS), opts)
+    let mut server = SweepServer::bind(addr, cli.budget_or(SWEEP_INSTS), opts)
         .unwrap_or_else(|e| usage_exit(&e));
+    if let Some(limit) = cli.max_clients {
+        server = server.max_clients(limit);
+    }
+    if let Some(limit) = cli.max_pending_runs {
+        server = server.max_pending_runs(limit);
+    }
+    #[cfg(feature = "chaos")]
+    if cli.chaos_drop_after.is_some() {
+        server = server.chaos(gals_sweep::ServerChaos {
+            drop_after_runs: cli.chaos_drop_after,
+            drop_times: cli.chaos_drop_times.unwrap_or(1),
+        });
+    }
     let bound = server.local_addr().unwrap_or_else(|e| usage_exit(&e));
     println!("sweep: serving on {bound}");
     match server.serve() {
@@ -241,10 +288,106 @@ fn serve_exit(addr: &str, cli: &BenchCli) -> ! {
     }
 }
 
+/// The `--submit ADDR` mode: frame the `--matrix` file as one request
+/// to a running server, merge the (possibly retried) response, and
+/// write the payload. The matrix is validated locally first, so a typo
+/// earns a usage error here instead of a round trip.
+fn submit_exit(addr: &str, cli: &BenchCli) -> ! {
+    let Some(path) = &cli.matrix else {
+        usage_exit("--submit sends a matrix file: add --matrix FILE");
+    };
+    if cli.check.is_some() || cli.journal.is_some() || cli.resume {
+        usage_exit("--submit is incompatible with --check/--journal/--resume");
+    }
+    if cli.cache.is_some() || cli.cache_cap.is_some() {
+        usage_exit("--submit is incompatible with --cache/--cache-cap (the server owns the cache)");
+    }
+    if cli.budget.is_some() || cli.threads.is_some() {
+        usage_exit(
+            "--submit is incompatible with --budget/--threads; set the matrix file's \
+             own budget (execution policy is the server's)",
+        );
+    }
+    if !(cli.chaos_panic.is_empty() && cli.chaos_wedge.is_empty() && cli.chaos_stall.is_empty())
+        || cli.chaos_drop_after.is_some()
+        || cli.chaos_drop_times.is_some()
+    {
+        usage_exit("--submit is incompatible with the --chaos-* flags");
+    }
+    if cli.max_clients.is_some() || cli.max_pending_runs.is_some() {
+        usage_exit("--max-clients/--max-pending-runs belong to --serve, not --submit");
+    }
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        usage_exit(&format!("cannot read matrix file {}: {e}", path.display()))
+    });
+    // Validate locally before bothering the server — same parser, same
+    // default budget, so anything we accept here the server accepts too.
+    SweepMatrix::from_json(&text, SWEEP_INSTS).unwrap_or_else(|e| {
+        usage_exit(&format!(
+            "{} is not a valid matrix file: {e}",
+            path.display()
+        ))
+    });
+    let matrix_json: String = text
+        .chars()
+        .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+        .collect();
+    let mut request = submit::SubmitRequest::new(addr, matrix_json);
+    request.deadline_ms = cli.deadline_ms;
+    if let Some(attempts) = cli.submit_retries {
+        request.attempts = attempts;
+    }
+    let outcome = submit::submit(&request).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(exit_code::USAGE);
+    });
+    match &cli.out {
+        Some(out) => {
+            write_atomic(out, &outcome.payload)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
+            eprintln!(
+                "submit: wrote {} ({} bytes)",
+                out.display(),
+                outcome.payload.len()
+            );
+        }
+        None => print!("{}", outcome.payload),
+    }
+    eprintln!(
+        "submit: {} failed, {} simulated, {} cache hits, {} misses ({} attempt{})",
+        outcome.failed_count,
+        outcome.simulated,
+        outcome.cache_hits,
+        outcome.cache_misses,
+        outcome.attempts_used,
+        if outcome.attempts_used == 1 { "" } else { "s" },
+    );
+    if outcome.failed_count > 0 {
+        std::process::exit(exit_code::FAILED_RUNS);
+    }
+    std::process::exit(exit_code::OK);
+}
+
 fn main() {
     let cli = BenchCli::parse_or_exit(USAGE);
+    if cli.serve.is_some() && cli.submit.is_some() {
+        usage_exit("--serve and --submit are different ends of the socket; pick one");
+    }
     if let Some(addr) = &cli.serve {
         serve_exit(addr, &cli);
+    }
+    if let Some(addr) = &cli.submit {
+        submit_exit(addr, &cli);
+    }
+    if cli.max_clients.is_some()
+        || cli.max_pending_runs.is_some()
+        || cli.chaos_drop_after.is_some()
+        || cli.chaos_drop_times.is_some()
+    {
+        usage_exit("--max-clients/--max-pending-runs/--chaos-drop-* need --serve");
+    }
+    if cli.submit_retries.is_some() || cli.deadline_ms.is_some() {
+        usage_exit("--submit-retries/--deadline-ms need --submit ADDR");
     }
     if let Some(check) = &cli.check {
         if cli.matrix.is_some() {

@@ -31,8 +31,14 @@
 //! simulated under the same `RunKey` are served from disk), and
 //! `sweep --serve ADDR` turns the binary into a resident service
 //! answering newline-delimited JSON sweep requests over a local socket —
-//! see `gals_sweep::SweepServer` and docs/SWEEP_FORMAT.md §"Cache &
-//! serve" for the protocol.
+//! concurrently, with per-request deadlines, in-band cancellation and a
+//! graceful drain on shutdown (`--max-clients`/`--max-pending-runs`
+//! bound admission). `sweep --submit ADDR --matrix FILE` is the matching
+//! thin client: it frames the matrix as one request, streams the
+//! response to stdout or `--out`, and retries with capped exponential
+//! backoff on connect failure or a mid-stream disconnect (see the
+//! [`submit`] module). See `gals_sweep::SweepServer` and
+//! docs/SWEEP_FORMAT.md §"Cache & serve" for the protocol.
 //!
 //! ## Common CLI
 //!
@@ -51,6 +57,8 @@
 #![warn(missing_docs)]
 
 use std::path::PathBuf;
+
+pub mod submit;
 
 use gals_clocks::Domain;
 use gals_core::{simulate, DvfsPlan, ProcessorConfig, SimLimits, SimReport};
@@ -225,6 +233,32 @@ pub struct BenchCli {
     /// instead of running one sweep (`--serve ADDR`; the `sweep` binary —
     /// see `gals_sweep::SweepServer` for the protocol).
     pub serve: Option<String>,
+    /// Submit the `--matrix` file to a running server instead of
+    /// simulating locally (`--submit ADDR`; the `sweep` binary — see the
+    /// [`submit`] module for the retry contract).
+    pub submit: Option<String>,
+    /// Total connection attempts for `--submit` before giving up
+    /// (`--submit-retries N`, default 5, minimum 1).
+    pub submit_retries: Option<u32>,
+    /// Per-request wall-clock deadline in milliseconds, sent with the
+    /// submitted sweep (`--deadline-ms N`; needs `--submit`). The server
+    /// cancels the request when it expires.
+    pub deadline_ms: Option<u64>,
+    /// Bound on concurrently served connections (`--max-clients N`;
+    /// needs `--serve`). Excess clients are shed with a retryable error.
+    pub max_clients: Option<usize>,
+    /// Bound on the server worker pool's queued+running runs
+    /// (`--max-pending-runs N`; needs `--serve`). Oversized sweeps are
+    /// refused with a retryable error.
+    pub max_pending_runs: Option<usize>,
+    /// Server-side fault injection: hard-close a sweep response after
+    /// this many streamed `run` lines (`--chaos-drop-after N`; needs
+    /// `--serve` and a `--features chaos` build).
+    pub chaos_drop_after: Option<usize>,
+    /// How many response streams the injected drop sabotages before
+    /// disarming (`--chaos-drop-times N`, default 1; needs
+    /// `--chaos-drop-after`).
+    pub chaos_drop_times: Option<usize>,
 }
 
 impl BenchCli {
@@ -292,6 +326,47 @@ impl BenchCli {
                     cli.cache_cap = Some(n);
                 }
                 "--serve" => cli.serve = Some(value_of("--serve")?),
+                "--submit" => cli.submit = Some(value_of("--submit")?),
+                "--submit-retries" => {
+                    let v = value_of("--submit-retries")?;
+                    let n: u32 = parse_num(&v, "--submit-retries")?;
+                    if n == 0 {
+                        return Err("--submit-retries must be at least 1".into());
+                    }
+                    cli.submit_retries = Some(n);
+                }
+                "--deadline-ms" => {
+                    let v = value_of("--deadline-ms")?;
+                    cli.deadline_ms = Some(parse_num(&v, "--deadline-ms")?);
+                }
+                "--max-clients" => {
+                    let v = value_of("--max-clients")?;
+                    let n: usize = parse_num(&v, "--max-clients")?;
+                    if n == 0 {
+                        return Err("--max-clients must be at least 1".into());
+                    }
+                    cli.max_clients = Some(n);
+                }
+                "--max-pending-runs" => {
+                    let v = value_of("--max-pending-runs")?;
+                    let n: usize = parse_num(&v, "--max-pending-runs")?;
+                    if n == 0 {
+                        return Err("--max-pending-runs must be at least 1".into());
+                    }
+                    cli.max_pending_runs = Some(n);
+                }
+                "--chaos-drop-after" => {
+                    let v = value_of("--chaos-drop-after")?;
+                    cli.chaos_drop_after = Some(parse_num(&v, "--chaos-drop-after")?);
+                }
+                "--chaos-drop-times" => {
+                    let v = value_of("--chaos-drop-times")?;
+                    let n: usize = parse_num(&v, "--chaos-drop-times")?;
+                    if n == 0 {
+                        return Err("--chaos-drop-times must be at least 1".into());
+                    }
+                    cli.chaos_drop_times = Some(n);
+                }
                 "--chaos-panic" => {
                     let v = value_of("--chaos-panic")?;
                     parse_index_list(&v, "--chaos-panic", &mut cli.chaos_panic)?;
@@ -588,6 +663,54 @@ mod tests {
         assert!(BenchCli::parse_from(["--cache-cap", "0"]).is_err());
         assert!(BenchCli::parse_from(["--cache-cap", "x"]).is_err());
         assert!(BenchCli::parse_from(["--serve"]).is_err());
+    }
+
+    #[test]
+    fn cli_parses_submit_and_service_flags() {
+        let cli = BenchCli::parse_from([
+            "--submit",
+            "127.0.0.1:4601",
+            "--submit-retries",
+            "3",
+            "--deadline-ms",
+            "250",
+        ])
+        .unwrap();
+        assert_eq!(cli.submit.as_deref(), Some("127.0.0.1:4601"));
+        assert_eq!(cli.submit_retries, Some(3));
+        assert_eq!(cli.deadline_ms, Some(250));
+
+        let cli = BenchCli::parse_from([
+            "--serve",
+            "127.0.0.1:0",
+            "--max-clients",
+            "4",
+            "--max-pending-runs",
+            "64",
+            "--chaos-drop-after",
+            "2",
+            "--chaos-drop-times",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(cli.max_clients, Some(4));
+        assert_eq!(cli.max_pending_runs, Some(64));
+        assert_eq!(cli.chaos_drop_after, Some(2));
+        assert_eq!(cli.chaos_drop_times, Some(3));
+
+        // Defaults: everything off.
+        let cli = BenchCli::parse_from([] as [&str; 0]).unwrap();
+        assert!(cli.submit.is_none() && cli.submit_retries.is_none());
+        assert!(cli.deadline_ms.is_none());
+        assert!(cli.max_clients.is_none() && cli.max_pending_runs.is_none());
+        assert!(cli.chaos_drop_after.is_none() && cli.chaos_drop_times.is_none());
+
+        assert!(BenchCli::parse_from(["--submit"]).is_err());
+        assert!(BenchCli::parse_from(["--submit-retries", "0"]).is_err());
+        assert!(BenchCli::parse_from(["--max-clients", "0"]).is_err());
+        assert!(BenchCli::parse_from(["--max-pending-runs", "0"]).is_err());
+        assert!(BenchCli::parse_from(["--chaos-drop-times", "0"]).is_err());
+        assert!(BenchCli::parse_from(["--deadline-ms", "x"]).is_err());
     }
 
     #[test]

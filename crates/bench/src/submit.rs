@@ -1,0 +1,394 @@
+//! The thin `sweep --submit` client: frame one sweep request to a
+//! running `sweep --serve` server, collect the streamed response, and
+//! retry around transient failures.
+//!
+//! ## Retry contract
+//!
+//! A submission makes up to [`SubmitRequest::attempts`] connection
+//! attempts. An attempt is **retried** (after a capped exponential
+//! backoff with deterministic jitter) when:
+//!
+//! * the TCP connect fails (server not up yet, listen backlog full);
+//! * the server sheds the connection with a `"retryable": true` error
+//!   line (`--max-clients` / `--max-pending-runs` admission control);
+//! * the stream ends (EOF or read error) before the `done` trailer —
+//!   a crashed or restarted server, or an injected mid-stream drop.
+//!
+//! An attempt is **fatal** (no retry) when the server answers a
+//! non-retryable `error` line (malformed matrix), cancels the request
+//! (`{"done": false, ...}` — the submitted deadline expired), or the
+//! response contradicts an earlier attempt (different `run_count`, or a
+//! re-streamed record whose bytes differ from the one already held —
+//! a determinism violation worth failing loudly on).
+//!
+//! Records already received survive a retry: each attempt re-requests
+//! the full matrix (completed runs come back as cache hits), and
+//! re-received records are byte-compared against the held copy rather
+//! than overwriting it. The merged [`SubmitOutcome::payload`] — header,
+//! every `run` line in matrix order, `tables` line — is therefore
+//! byte-identical to an uninterrupted single-attempt session. The
+//! `done` trailer is *not* part of the payload (its cache counters
+//! legitimately differ across attempts); its fields are surfaced as
+//! [`SubmitOutcome`] members instead.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// First backoff step after a failed attempt.
+const BACKOFF_BASE_MS: u64 = 100;
+/// Backoff ceiling — attempts never wait longer than this.
+const BACKOFF_CAP_MS: u64 = 2_000;
+
+/// One sweep submission: where to send it, what to send, how hard to
+/// try.
+#[derive(Debug, Clone)]
+pub struct SubmitRequest {
+    /// Server address (`HOST:PORT`, as given to `--submit`).
+    pub addr: String,
+    /// The matrix in matrix-file JSON, flattened to a single line (the
+    /// request framing is one object per line).
+    pub matrix_json: String,
+    /// Optional per-request wall-clock deadline forwarded to the server
+    /// (`--deadline-ms`).
+    pub deadline_ms: Option<u64>,
+    /// Total connection attempts before giving up (`--submit-retries`,
+    /// minimum 1).
+    pub attempts: u32,
+}
+
+impl SubmitRequest {
+    /// A submission with the default retry budget (5 attempts).
+    pub fn new(addr: impl Into<String>, matrix_json: impl Into<String>) -> Self {
+        SubmitRequest {
+            addr: addr.into(),
+            matrix_json: matrix_json.into(),
+            deadline_ms: None,
+            attempts: 5,
+        }
+    }
+}
+
+/// A completed submission: the byte-stable payload plus the trailer's
+/// bookkeeping.
+#[derive(Debug, Clone)]
+pub struct SubmitOutcome {
+    /// Header line, every `run` line in matrix order, `tables` line —
+    /// each `\n`-terminated. Byte-identical to an uninterrupted session
+    /// regardless of how many attempts it took.
+    pub payload: String,
+    /// `failed_count` from the `done` trailer.
+    pub failed_count: u64,
+    /// `simulated` from the `done` trailer (final successful attempt).
+    pub simulated: u64,
+    /// `cache_hits` from the `done` trailer (final successful attempt).
+    pub cache_hits: u64,
+    /// `cache_misses` from the `done` trailer (final successful attempt).
+    pub cache_misses: u64,
+    /// How many connection attempts were used (1 = no retries needed).
+    pub attempts_used: u32,
+}
+
+/// Why an attempt stopped: worth retrying, or not.
+#[derive(Debug)]
+enum TryError {
+    /// Transient — back off and reconnect if attempts remain.
+    Retry(String),
+    /// Permanent — surface immediately.
+    Fatal(String),
+}
+
+/// Partial response state carried across attempts, so records received
+/// before a mid-stream disconnect are kept, not re-earned.
+#[derive(Default)]
+struct Collected {
+    header: Option<String>,
+    runs: Vec<Option<String>>,
+    tables: Option<String>,
+}
+
+/// The `done` trailer's counters.
+struct Trailer {
+    failed_count: u64,
+    simulated: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Submits the request, retrying per the module-level contract.
+///
+/// # Errors
+///
+/// A human-readable message when the retry budget is exhausted or the
+/// server answers with a fatal (non-retryable) condition.
+pub fn submit(req: &SubmitRequest) -> Result<SubmitOutcome, String> {
+    let attempts = req.attempts.max(1);
+    let mut collected = Collected::default();
+    let mut last_transient = String::new();
+    for attempt in 1..=attempts {
+        if attempt > 1 {
+            std::thread::sleep(backoff(attempt));
+        }
+        match try_once(req, &mut collected) {
+            Ok(trailer) => {
+                let mut payload = String::new();
+                let header = collected
+                    .header
+                    .take()
+                    .ok_or("submit: response ended without a header")?;
+                payload.push_str(&header);
+                payload.push('\n');
+                for (index, run) in collected.runs.iter().enumerate() {
+                    match run {
+                        Some(line) => {
+                            payload.push_str(line);
+                            payload.push('\n');
+                        }
+                        None => {
+                            return Err(format!(
+                                "submit: server sent its done trailer but run {index} \
+                                 never arrived"
+                            ))
+                        }
+                    }
+                }
+                let tables = collected
+                    .tables
+                    .take()
+                    .ok_or("submit: response ended without a tables line")?;
+                payload.push_str(&tables);
+                payload.push('\n');
+                return Ok(SubmitOutcome {
+                    payload,
+                    failed_count: trailer.failed_count,
+                    simulated: trailer.simulated,
+                    cache_hits: trailer.cache_hits,
+                    cache_misses: trailer.cache_misses,
+                    attempts_used: attempt,
+                });
+            }
+            Err(TryError::Fatal(msg)) => return Err(msg),
+            Err(TryError::Retry(msg)) => {
+                eprintln!("submit: attempt {attempt}/{attempts} failed: {msg}");
+                last_transient = msg;
+            }
+        }
+    }
+    Err(format!(
+        "submit: gave up after {attempts} attempts; last error: {last_transient}"
+    ))
+}
+
+/// One connection attempt: send the request, fold the streamed lines
+/// into `collected`, return the trailer on a clean finish.
+fn try_once(req: &SubmitRequest, collected: &mut Collected) -> Result<Trailer, TryError> {
+    let stream = TcpStream::connect(&req.addr)
+        .map_err(|e| TryError::Retry(format!("connect {}: {e}", req.addr)))?;
+    let mut out = stream
+        .try_clone()
+        .map_err(|e| TryError::Retry(format!("clone stream: {e}")))?;
+    let mut request = format!(
+        "{{\"request\": \"sweep\", \"matrix\": {}",
+        req.matrix_json.trim()
+    );
+    if let Some(ms) = req.deadline_ms {
+        use std::fmt::Write as _;
+        let _ = write!(request, ", \"deadline_ms\": {ms}");
+    }
+    request.push_str("}\n");
+    out.write_all(request.as_bytes())
+        .and_then(|()| out.flush())
+        .map_err(|e| TryError::Retry(format!("send request: {e}")))?;
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| TryError::Retry(format!("read response: {e}")))?;
+        if n == 0 {
+            return Err(TryError::Retry(
+                "stream ended before the done trailer".into(),
+            ));
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("{\"error\": ") {
+            if line.contains("\"retryable\": true") {
+                return Err(TryError::Retry(format!("server shed the request: {rest}")));
+            }
+            return Err(TryError::Fatal(format!(
+                "server rejected the request: {rest}"
+            )));
+        }
+        if line.starts_with("{\"response\": \"sweep\"") {
+            let count = scan_u64(line, "run_count")
+                .ok_or_else(|| TryError::Fatal(format!("header without run_count: {line}")))?;
+            accept_header(collected, line, count as usize)?;
+        } else if line.starts_with("{\"run\": ") {
+            let index = scan_u64(line, "index")
+                .ok_or_else(|| TryError::Fatal(format!("run line without index: {line}")))?;
+            accept_run(collected, line, index as usize)?;
+        } else if line.starts_with("{\"tables\": ") {
+            accept_exact(&mut collected.tables, line, "tables")?;
+        } else if line.starts_with("{\"done\": true") {
+            return Ok(Trailer {
+                failed_count: scan_u64(line, "failed_count").unwrap_or(0),
+                simulated: scan_u64(line, "simulated").unwrap_or(0),
+                cache_hits: scan_u64(line, "cache_hits").unwrap_or(0),
+                cache_misses: scan_u64(line, "cache_misses").unwrap_or(0),
+            });
+        } else if line.starts_with("{\"done\": false") {
+            return Err(TryError::Fatal(format!(
+                "server cancelled the request (deadline expired?): {line}"
+            )));
+        } else {
+            return Err(TryError::Fatal(format!(
+                "unrecognized response line: {line}"
+            )));
+        }
+    }
+}
+
+/// Records the header, cross-checking `run_count` against any earlier
+/// attempt.
+fn accept_header(collected: &mut Collected, line: &str, count: usize) -> Result<(), TryError> {
+    if collected.runs.is_empty() {
+        collected.runs.resize(count, None);
+    } else if collected.runs.len() != count {
+        return Err(TryError::Fatal(format!(
+            "server changed its mind: run_count {} then {count}",
+            collected.runs.len()
+        )));
+    }
+    accept_exact(&mut collected.header, line, "header")
+}
+
+/// Stores a run line by its record index; a re-streamed record must be
+/// byte-identical to the held copy.
+fn accept_run(collected: &mut Collected, line: &str, index: usize) -> Result<(), TryError> {
+    let slot = collected.runs.get_mut(index).ok_or_else(|| {
+        TryError::Fatal(format!("run index {index} outside the announced run_count"))
+    })?;
+    accept_exact(slot, line, "run")
+}
+
+/// First sighting stores the line; later sightings (a retried attempt
+/// re-streaming) must match byte-for-byte — the server's determinism
+/// guarantee, enforced client-side.
+fn accept_exact(slot: &mut Option<String>, line: &str, what: &str) -> Result<(), TryError> {
+    match slot {
+        None => {
+            *slot = Some(line.to_string());
+            Ok(())
+        }
+        Some(held) if held == line => Ok(()),
+        Some(held) => Err(TryError::Fatal(format!(
+            "retried attempt re-streamed a different {what} line:\n  held: {held}\n  got:  {line}"
+        ))),
+    }
+}
+
+/// The integer following `"key": ` in a single-line JSON object, if any.
+fn scan_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\": ");
+    let at = line.find(&needle)? + needle.len();
+    let digits: String = line[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Capped exponential backoff before attempt `attempt` (≥ 2), jittered
+/// into the upper half of the step so synchronized clients spread out.
+/// The jitter is a pure function of the process id and the attempt
+/// number — deterministic per process, different across processes.
+fn backoff(attempt: u32) -> Duration {
+    let exp = attempt.saturating_sub(2).min(16);
+    let full = BACKOFF_CAP_MS.min(BACKOFF_BASE_MS << exp);
+    let half = full / 2;
+    let roll = splitmix64(u64::from(std::process::id()) ^ (u64::from(attempt) << 32));
+    Duration::from_millis(half + roll % (half + 1))
+}
+
+/// SplitMix64 — the workspace's standard seed scrambler, here for
+/// backoff jitter only (never anything simulation-visible).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_u64_reads_single_line_objects() {
+        let line = "{\"response\": \"sweep\", \"schema_version\": 5, \"run_count\": 12}";
+        assert_eq!(scan_u64(line, "run_count"), Some(12));
+        assert_eq!(scan_u64(line, "schema_version"), Some(5));
+        assert_eq!(scan_u64(line, "absent"), None);
+        let run = "{\"run\": {\"index\": 3, \"benchmark\": \"adpcm\"}}";
+        assert_eq!(scan_u64(run, "index"), Some(3));
+    }
+
+    #[test]
+    fn backoff_is_capped_and_jitter_stays_in_the_upper_half() {
+        for attempt in 2..12 {
+            let d = backoff(attempt).as_millis() as u64;
+            assert!(d <= BACKOFF_CAP_MS, "attempt {attempt}: {d} over cap");
+            let exp = attempt.saturating_sub(2).min(16);
+            let full = BACKOFF_CAP_MS.min(BACKOFF_BASE_MS << exp);
+            assert!(d >= full / 2, "attempt {attempt}: {d} below half of {full}");
+        }
+        // Deterministic per (pid, attempt).
+        assert_eq!(backoff(3), backoff(3));
+    }
+
+    #[test]
+    fn re_streamed_lines_must_match_exactly() {
+        let mut slot = None;
+        accept_exact(&mut slot, "{\"run\": 1}", "run").unwrap();
+        assert!(accept_exact(&mut slot, "{\"run\": 1}", "run").is_ok());
+        assert!(matches!(
+            accept_exact(&mut slot, "{\"run\": 2}", "run"),
+            Err(TryError::Fatal(_))
+        ));
+    }
+
+    #[test]
+    fn header_pins_run_count_across_attempts() {
+        let mut c = Collected::default();
+        let h = "{\"response\": \"sweep\", \"schema_version\": 5, \"run_count\": 2}";
+        accept_header(&mut c, h, 2).unwrap();
+        assert_eq!(c.runs.len(), 2);
+        // Same header on a retried attempt: fine.
+        accept_header(&mut c, h, 2).unwrap();
+        // A different run_count is a protocol violation.
+        assert!(accept_header(&mut c, h, 3).is_err());
+        // Out-of-range run index is fatal, in-range lands in its slot.
+        assert!(accept_run(&mut c, "{\"run\": {\"index\": 9}}", 9).is_err());
+        accept_run(&mut c, "{\"run\": {\"index\": 1}}", 1).unwrap();
+        assert!(c.runs[1].is_some() && c.runs[0].is_none());
+    }
+
+    #[test]
+    fn connect_refusal_is_a_transient_error() {
+        // Port 1 on localhost is essentially never listening; the
+        // attempt must classify the refusal as retryable.
+        let req = SubmitRequest::new("127.0.0.1:1", "{}");
+        let mut c = Collected::default();
+        match try_once(&req, &mut c) {
+            Err(TryError::Retry(msg)) => assert!(msg.contains("connect")),
+            Err(TryError::Fatal(msg)) => panic!("refusal classified fatal: {msg}"),
+            Ok(_) => panic!("connect to a dead port succeeded"),
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The `sweep --submit` client against a real in-process server: clean
+//! round trips reuse the server's cache, exhausted retries fail with
+//! the last transient error, and (chaos builds) an injected mid-stream
+//! disconnect is retried to a byte-identical merged payload.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use gals_bench::submit::{submit, SubmitRequest};
+use gals_sweep::{SweepOptions, SweepServer};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "gals-bench-submittest-{}-{}-{tag}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn start(
+    tag: &str,
+    build: impl FnOnce(SweepServer) -> SweepServer,
+) -> (String, std::thread::JoinHandle<()>, std::path::PathBuf) {
+    let dir = temp_dir(tag);
+    let options = SweepOptions::new().threads(2).cache(dir.clone());
+    let server = build(SweepServer::bind("127.0.0.1:0", 400, options).expect("bind"));
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+    (addr, handle, dir)
+}
+
+fn shutdown(addr: &str) {
+    let mut stream = TcpStream::connect(addr).expect("connect for shutdown");
+    stream
+        .write_all(b"{\"request\": \"shutdown\"}\n")
+        .expect("send shutdown");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read shutdown ack");
+    assert_eq!(line.trim_end(), "{\"ok\": \"shutdown\"}");
+}
+
+const MATRIX: &str = "{\"benchmarks\": [\"adpcm\"], \
+     \"modes\": [\"sync\", \"gals\"], \
+     \"dvfs\": [\"nominal\"], \
+     \"phase_seeds\": [1]}";
+
+#[test]
+fn submit_round_trips_and_the_second_submission_is_all_cache_hits() {
+    let (addr, handle, dir) = start("roundtrip", |s| s);
+
+    let request = SubmitRequest::new(&addr, MATRIX);
+    let first = submit(&request).expect("first submission");
+    assert_eq!(first.attempts_used, 1);
+    assert_eq!(first.failed_count, 0);
+    assert_eq!(first.cache_misses, 2);
+
+    let lines: Vec<&str> = first.payload.lines().collect();
+    assert_eq!(lines.len(), 1 + 2 + 1, "header, 2 runs, tables");
+    assert!(
+        lines[0].starts_with("{\"response\": \"sweep\""),
+        "{}",
+        lines[0]
+    );
+    assert!(
+        lines[1].starts_with("{\"run\": {\"index\": 0, ") && lines[2].contains("\"index\": 1, "),
+        "runs out of order: {lines:?}"
+    );
+    assert!(lines[3].starts_with("{\"tables\": "), "{}", lines[3]);
+
+    // Resubmitting the same matrix: pure cache traffic, identical bytes.
+    let second = submit(&request).expect("second submission");
+    assert_eq!(second.cache_hits, 2);
+    assert_eq!(second.cache_misses, 0);
+    assert_eq!(second.simulated, 0);
+    assert_eq!(second.payload, first.payload);
+
+    shutdown(&addr);
+    handle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exhausted_retries_surface_the_last_transient_error() {
+    // Nothing listens here; both attempts fail at connect.
+    let mut request = SubmitRequest::new("127.0.0.1:1", MATRIX);
+    request.attempts = 2;
+    let err = submit(&request).expect_err("no server");
+    assert!(err.contains("gave up after 2 attempts"), "{err}");
+    assert!(err.contains("connect"), "{err}");
+}
+
+/// The tentpole's end-to-end retry story: the server hard-closes the
+/// first response after one `run` line; the client reconnects, the
+/// re-streamed records are merged, and the payload is byte-identical
+/// to one from an unsabotaged server.
+#[cfg(feature = "chaos")]
+#[test]
+fn a_mid_stream_drop_is_retried_to_a_byte_identical_payload() {
+    let (addr, handle, dir) = start("baseline", |s| s);
+    let baseline = submit(&SubmitRequest::new(&addr, MATRIX)).expect("baseline submission");
+    shutdown(&addr);
+    handle.join().expect("baseline server");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (addr, handle, dir) = start("dropper", |s| {
+        s.chaos(gals_sweep::ServerChaos {
+            drop_after_runs: Some(1),
+            drop_times: 1,
+        })
+    });
+    let outcome = submit(&SubmitRequest::new(&addr, MATRIX)).expect("retried submission");
+    assert!(
+        outcome.attempts_used >= 2,
+        "the injected drop should have forced a retry, used {} attempt(s)",
+        outcome.attempts_used
+    );
+    assert_eq!(outcome.failed_count, 0);
+    assert_eq!(
+        outcome.payload, baseline.payload,
+        "merged retried payload differs from an uninterrupted session"
+    );
+
+    shutdown(&addr);
+    handle.join().expect("dropper server");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -55,9 +55,28 @@ pub struct CacheStats {
     pub corrupt: u64,
 }
 
-/// A handle on one cache directory. Shared by reference across sweep
-/// workers; every operation is a single filesystem action, so no internal
-/// lock is needed beyond the atomic counters.
+/// What one cache lookup found. The counter-updating twin of a plain
+/// `Option`: callers that tally per-request traffic (the shared-handle
+/// server path) need to distinguish a clean miss from a corrupt one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lookup {
+    /// A usable blob; the reconstructed record (boxed — a `RunRecord`
+    /// is large, and the misses carry nothing).
+    Hit(Box<RunRecord>),
+    /// No blob under this key.
+    Absent,
+    /// A blob existed but was unreadable, truncated, key-mismatched or
+    /// non-`ok` — a miss, never an error.
+    Corrupt,
+}
+
+/// A handle on one cache directory. Shared across sweep workers *and*
+/// across concurrent server requests (behind an `Arc`); every operation
+/// is a single filesystem action — atomic rename for stores, unlink for
+/// evictions — so no internal lock is needed beyond the atomic
+/// counters, and a peer handle (same process or another) racing on the
+/// same directory is always safe: a blob deleted under us is a miss on
+/// load and an already-done eviction on evict.
 #[derive(Debug)]
 pub struct ResultCache {
     dir: PathBuf,
@@ -102,26 +121,37 @@ impl ResultCache {
     /// status — is a miss (counted `corrupt` where the blob existed but
     /// was unusable), never an error: the point simply re-simulates.
     pub fn load(&self, key: RunKey, spec: &RunSpec) -> Option<RunRecord> {
+        match self.lookup(key, spec) {
+            Lookup::Hit(record) => Some(*record),
+            Lookup::Absent | Lookup::Corrupt => None,
+        }
+    }
+
+    /// [`ResultCache::load`] with the miss kind surfaced (see
+    /// [`Lookup`]). Updates this handle's counters identically.
+    pub fn lookup(&self, key: RunKey, spec: &RunSpec) -> Lookup {
         let path = self.dir.join(Self::blob_name(key));
         let text = match fs::read_to_string(&path) {
             Ok(text) => text,
             Err(e) => {
-                if e.kind() != ErrorKind::NotFound {
-                    self.corrupt.fetch_add(1, Ordering::Relaxed);
-                }
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                return None;
+                return if e.kind() == ErrorKind::NotFound {
+                    Lookup::Absent
+                } else {
+                    self.corrupt.fetch_add(1, Ordering::Relaxed);
+                    Lookup::Corrupt
+                };
             }
         };
         match journal::parse_blob(&text, spec, key) {
             Ok(Some(record)) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(record)
+                Lookup::Hit(Box::new(record))
             }
             Ok(None) | Err(_) => {
                 self.corrupt.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                Lookup::Corrupt
             }
         }
     }
@@ -129,14 +159,16 @@ impl ResultCache {
     /// Stores a *successful* record under `key` (atomically: temp file in
     /// the cache directory, then rename), then enforces the capacity
     /// bound. Non-`ok` records are ignored — failures are not content.
+    /// Returns how many blobs the capacity bound evicted (for callers
+    /// keeping per-request tallies against a shared handle).
     ///
     /// # Errors
     ///
     /// Write failures are loud (a cache that silently drops results is
     /// worse than no cache); the sweep surfaces them like journal errors.
-    pub fn store(&self, record: &RunRecord, key: RunKey) -> Result<(), String> {
+    pub fn store(&self, record: &RunRecord, key: RunKey) -> Result<u64, String> {
         if !record.status.is_ok() {
-            return Ok(());
+            return Ok(0);
         }
         let name = Self::blob_name(key);
         let tmp = self.dir.join(format!(
@@ -151,27 +183,42 @@ impl ResultCache {
         fs::rename(&tmp, self.dir.join(&name))
             .map_err(|e| format!("cannot commit cache blob {name}: {e}"))?;
         self.stores.fetch_add(1, Ordering::Relaxed);
-        self.enforce_capacity(&name);
-        Ok(())
+        Ok(self.enforce_capacity(&name))
     }
 
-    /// Removes the lexicographically smallest blobs (sparing `keep`, the
-    /// one just stored) until the directory fits the capacity bound.
-    /// Best-effort: eviction failures only mean a larger directory.
-    fn enforce_capacity(&self, keep: &str) {
-        let Some(cap) = self.capacity else { return };
+    /// Lists the directory and hands the names to [`Self::evict_excess`].
+    /// Returns the number of blobs this call actually removed.
+    fn enforce_capacity(&self, keep: &str) -> u64 {
+        let Some(cap) = self.capacity else { return 0 };
         let Ok(entries) = fs::read_dir(&self.dir) else {
-            return;
+            return 0;
         };
-        let mut names: Vec<String> = entries
+        let names: Vec<String> = entries
             .filter_map(|e| e.ok()?.file_name().into_string().ok())
             .filter(|n| n.len() == 21 && n.ends_with(".json"))
             .collect();
+        self.evict_excess(names, cap, keep)
+    }
+
+    /// Removes the lexicographically smallest of `names` (sparing `keep`,
+    /// the blob just stored) until at most `cap` remain. Best-effort:
+    /// eviction failures only mean a larger directory.
+    ///
+    /// Concurrent-writer safety: the listing is a snapshot, so a peer
+    /// handle enforcing the same bound may delete a listed blob first.
+    /// That `NotFound` is not a failure — the directory shrank all the
+    /// same, so it consumes excess without counting as an eviction
+    /// *here* (the peer already counted it); any other unlink error
+    /// skips to the next candidate. Counters therefore stay consistent:
+    /// summed across handles, `evictions` equals the number of blobs
+    /// actually removed.
+    fn evict_excess(&self, mut names: Vec<String>, cap: usize, keep: &str) -> u64 {
         if names.len() <= cap {
-            return;
+            return 0;
         }
         names.sort_unstable();
         let mut excess = names.len() - cap;
+        let mut evicted = 0u64;
         for name in names {
             if excess == 0 {
                 break;
@@ -179,11 +226,17 @@ impl ResultCache {
             if name == keep {
                 continue;
             }
-            if fs::remove_file(self.dir.join(&name)).is_ok() {
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-                excess -= 1;
+            match fs::remove_file(self.dir.join(&name)) {
+                Ok(()) => {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    evicted += 1;
+                    excess -= 1;
+                }
+                Err(e) if e.kind() == ErrorKind::NotFound => excess -= 1,
+                Err(_) => {}
             }
         }
+        evicted
     }
 
     /// A snapshot of this handle's traffic counters.
@@ -313,6 +366,33 @@ mod tests {
         assert_eq!(cache.stats().evictions, 1);
         assert!(cache.load(b, &specs[1]).is_some());
         assert_eq!(cache.load(a, &specs[0]), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_tolerates_a_blob_deleted_by_a_peer() {
+        let dir = temp_dir("peer-evict");
+        let cache = ResultCache::open(&dir, Some(1)).expect("open");
+        let specs = specs();
+        let key = RunKey::of(&specs[1]);
+        cache.store(&specs[1].run(), key).expect("store");
+        let keep = ResultCache::blob_name(key);
+        // A directory snapshot listing two phantom blobs a peer already
+        // removed, plus the real one: the phantoms' NotFound must consume
+        // the excess (the directory did shrink) without inflating the
+        // eviction counter or touching the surviving blob.
+        let stale = vec![
+            "0000000000000000.json".to_string(),
+            "0000000000000001.json".to_string(),
+            keep.clone(),
+        ];
+        let removed = cache.evict_excess(stale, 1, &keep);
+        assert_eq!(removed, 0, "phantom deletions are not our evictions");
+        assert_eq!(cache.stats().evictions, 0);
+        assert!(
+            cache.load(key, &specs[1]).is_some(),
+            "the real blob survives"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -114,6 +114,14 @@ pub(crate) fn entry_line(record: &RunRecord, key: RunKey) -> String {
 /// The append-side of the journal: create (or reopen) the file, then emit
 /// one line per completed run. Shared across sweep workers through an
 /// internal mutex; each line is written and flushed in a single call.
+///
+/// Concurrent-writer safety: the file is always held in append mode
+/// (`O_APPEND`), so every `write` positions at end-of-file atomically in
+/// the kernel. Within one process the mutex already serializes lines;
+/// the append mode additionally keeps whole lines intact even if a
+/// second writer (another handle or process, against advice) shares the
+/// path — interleaved lines, never torn ones, which the replay side's
+/// last-line-wins rule then resolves.
 pub(crate) struct JournalWriter {
     file: Mutex<File>,
 }
@@ -122,20 +130,23 @@ impl JournalWriter {
     /// Starts a fresh journal (truncating any previous file) and writes
     /// the header line.
     pub(crate) fn create(path: &Path, matrix_hash: u64, run_count: usize) -> Result<Self, String> {
-        let mut file = File::create(path)
-            .map_err(|e| format!("cannot create journal {}: {e}", path.display()))?;
+        // Truncate first, then reopen in append mode: one flag set for
+        // every subsequent write (see the struct docs for why O_APPEND).
+        File::create(path).map_err(|e| format!("cannot create journal {}: {e}", path.display()))?;
+        let writer = Self::append_existing(path)?;
         let header = format!(
             "{{\"journal\": \"gals-sweep\", \"journal_version\": {JOURNAL_VERSION}, \
              \"schema_version\": {SCHEMA_VERSION}, \"matrix_hash\": \"{}\", \
              \"run_count\": {run_count}}}\n",
             hex16(matrix_hash)
         );
-        file.write_all(header.as_bytes())
-            .and_then(|()| file.flush())
-            .map_err(|e| format!("cannot write journal {}: {e}", path.display()))?;
-        Ok(JournalWriter {
-            file: Mutex::new(file),
-        })
+        {
+            let mut file = writer.file.lock().unwrap_or_else(|p| p.into_inner());
+            file.write_all(header.as_bytes())
+                .and_then(|()| file.flush())
+                .map_err(|e| format!("cannot write journal {}: {e}", path.display()))?;
+        }
+        Ok(writer)
     }
 
     /// Reopens an existing journal (validated separately by

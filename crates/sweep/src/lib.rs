@@ -177,26 +177,35 @@
 //! server shards cache misses across the worker pool and streams per-run
 //! records back incrementally (in matrix order) followed by the derived
 //! tables — the payload is bit-identical whether served from cache or
-//! freshly simulated. See the [`server`] module docs for the framing.
+//! freshly simulated. The server is concurrent: every connection gets
+//! its own handler, all requests share one [`WorkerPool`] and one
+//! [`ResultCache`] handle (the [`exec`] module's [`SweepExecutor`]),
+//! requests carry optional deadlines and can be cancelled in-band, and
+//! shutdown drains in-flight streams to their `done` trailers. See the
+//! [`server`] module docs for the framing and the [`exec`] module for
+//! the concurrency model.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod exec;
 mod journal;
 mod matrix_file;
 pub mod server;
 pub mod stable_hash;
 
-pub use cache::{CacheStats, ResultCache};
+pub use cache::{CacheStats, Lookup, ResultCache};
+pub use exec::{RunControl, ServedSweep, SweepExecutor, WorkerPool};
+#[cfg(feature = "chaos")]
+pub use server::ServerChaos;
 pub use server::SweepServer;
 
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
 use gals_analysis::checks;
@@ -934,6 +943,20 @@ impl RunRecord {
         }
     }
 
+    /// The same metrics attributed to another spec with the same
+    /// [`RunKey`]: equal keys mean equal semantic inputs, so the metric
+    /// fields are bit-identical by the cache contract — only the spec
+    /// (matrix index) and its static findings belong to the new owner.
+    /// How the in-flight table shares one simulation across concurrent
+    /// overlapping requests.
+    pub(crate) fn rebase(&self, spec: &RunSpec) -> RunRecord {
+        RunRecord {
+            spec: spec.clone(),
+            analysis: spec.static_findings(),
+            ..self.clone()
+        }
+    }
+
     /// One run as a single-line JSON object — exactly the element the
     /// report's `runs` array contains (the report adds only indentation
     /// and commas), and the `"run"` payload a `sweep --serve` response
@@ -1452,122 +1475,21 @@ pub fn sweep_streaming(
     request: &SweepRequest,
     sink: &mut dyn FnMut(&RunRecord),
 ) -> Result<SweepResponse, String> {
-    let matrix = &request.matrix;
-    let opts = &request.options;
-    let specs = matrix.expand();
-    let keys: Vec<RunKey> = specs.iter().map(RunKey::of).collect();
-    let hash = stable_hash::matrix_identity(&keys);
-    let mut prefilled: Vec<Option<RunRecord>> = vec![None; specs.len()];
-    let writer = match &opts.journal {
-        Some(path) => {
-            if opts.resume && path.exists() {
-                let text = std::fs::read_to_string(path)
-                    .map_err(|e| format!("cannot read journal {}: {e}", path.display()))?;
-                prefilled = journal::load_journal(&text, hash, &specs)?;
-                Some(journal::JournalWriter::append_existing(path)?)
-            } else {
-                Some(journal::JournalWriter::create(path, hash, specs.len())?)
-            }
-        }
-        None if opts.resume => {
-            return Err("resume needs a journal path (set SweepOptions::journal)".into())
-        }
-        None => None,
-    };
-    let cache = match &opts.cache {
-        Some(dir) => Some(ResultCache::open(dir, opts.cache_capacity)?),
-        None => None,
-    };
-    if let Some(cache) = &cache {
-        // Journal pre-fill wins (it is this sweep's own prior progress);
-        // the cache covers the remaining slots. Hits are journaled so a
-        // later --resume of the same journal converges without the cache.
-        for (i, slot) in prefilled.iter_mut().enumerate() {
-            if slot.is_some() {
-                continue;
-            }
-            if let Some(record) = cache.load(keys[i], &specs[i]) {
-                if let Some(w) = &writer {
-                    w.append(&record, keys[i])?;
-                }
-                *slot = Some(record);
-            }
-        }
-    }
-    let threads = opts.threads.max(1).min(specs.len().max(1));
-    let timeout = opts
-        .run_timeout
-        .unwrap_or_else(|| default_run_timeout(matrix.budget));
-    let next = AtomicUsize::new(0);
-    let simulated = AtomicUsize::new(0);
-    let slots = Mutex::new(prefilled);
-    let stored = Condvar::new();
-    let io_error: Mutex<Option<String>> = Mutex::new(None);
-    let report_io_error = |e: String| {
-        let mut slot = lock_unpoisoned(&io_error);
-        if slot.is_none() {
-            *slot = Some(e);
-        }
-    };
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(spec) = specs.get(i) else { break };
-                if lock_unpoisoned(&slots)[i].is_some() {
-                    continue; // pre-filled from the journal or the cache
-                }
-                let record = run_point(spec, opts, timeout);
-                simulated.fetch_add(1, Ordering::Relaxed);
-                if record.status.is_ok() {
-                    if let Some(c) = &cache {
-                        if let Err(e) = c.store(&record, keys[i]) {
-                            report_io_error(e);
-                        }
-                    }
-                }
-                if let Some(w) = &writer {
-                    if let Err(e) = w.append(&record, keys[i]) {
-                        report_io_error(e);
-                    }
-                }
-                lock_unpoisoned(&slots)[i] = Some(record);
-                stored.notify_all();
-            });
-        }
-        // In-order emitter on the calling thread: a slot can only go from
-        // `None` to `Some` under the lock this loop holds while deciding
-        // to wait, so no store can slip past unnoticed.
-        for i in 0..specs.len() {
-            let record = {
-                let mut guard = lock_unpoisoned(&slots);
-                loop {
-                    if let Some(r) = &guard[i] {
-                        break r.clone();
-                    }
-                    guard = stored.wait(guard).unwrap_or_else(|p| p.into_inner());
-                }
-            };
-            sink(&record);
-        }
-    });
-    if let Some(e) = lock_unpoisoned(&io_error).take() {
-        return Err(e);
-    }
-    let runs: Vec<RunRecord> = slots
-        .into_inner()
-        .unwrap_or_else(|p| p.into_inner())
-        .into_iter()
-        .map(|r| r.expect("every matrix index must have run"))
-        .collect();
-    Ok(SweepResponse {
-        results: SweepResults {
-            matrix: matrix.clone(),
-            runs,
-        },
-        simulated: simulated.into_inner(),
-        cache: cache.map(|c| c.stats()).unwrap_or_default(),
-    })
+    let threads = request
+        .options
+        .threads
+        .max(1)
+        .min(request.matrix.expand().len().max(1));
+    // A transient executor: the same engine `sweep --serve` keeps
+    // resident, torn down (pool joined) when this call returns. With
+    // one request and a fresh cache handle, its per-request tallies are
+    // exactly the handle's own counters, so the response is identical
+    // to the pre-pool implementation's.
+    let executor = exec::SweepExecutor::new(threads, None);
+    let served = executor.run(request, sink, &exec::RunControl::unbounded())?;
+    Ok(served
+        .response
+        .expect("an unbounded RunControl never cancels"))
 }
 
 /// Escapes a string for embedding in a JSON string literal (quotes,
@@ -2045,6 +1967,7 @@ impl SweepResults {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn tiny_matrix() -> SweepMatrix {
         SweepMatrix {

@@ -1,6 +1,7 @@
 //! Sweep as a service: a long-lived process that answers newline-delimited
 //! JSON sweep requests over a local TCP socket, sharding cache misses
-//! across the worker pool and streaming records back as they complete.
+//! across one shared worker pool and streaming records back as they
+//! complete.
 //!
 //! ## Framing
 //!
@@ -8,14 +9,18 @@
 //!
 //! ```text
 //! {"request": "ping"}
-//! {"request": "sweep", "matrix": {...}, "threads": 4}
+//! {"request": "sweep", "matrix": {...}, "deadline_ms": 30000}
+//! {"request": "cancel"}
 //! {"request": "shutdown"}
 //! ```
 //!
 //! The `"matrix"` member uses exactly the matrix-file format (including
 //! its optional `budget`, `retries` and `run_timeout_ms` members — the
-//! server's default budget fills in like the CLI's `--budget`); `"threads"`
-//! optionally overrides the server's worker count for this request.
+//! server's default budget fills in like the CLI's `--budget`).
+//! `"deadline_ms"` bounds the request's wall clock: when it expires the
+//! stream ends early with a cancelled trailer (below). A legacy
+//! `"threads"` member is accepted and ignored — every request shares the
+//! server's one worker pool.
 //!
 //! A sweep response streams, in order:
 //!
@@ -30,22 +35,93 @@
 //! Every `run` line is [`RunRecord::to_json_object`] and the `tables`
 //! line is [`SweepResults::tables_json`](crate::SweepResults::tables_json)
 //! — the same renderings the file report uses — so the payload lines of a
-//! fully cached response are byte-identical to a freshly simulated one.
-//! Only the `done` trailer says how the answer was produced. A `ping`
-//! answers `{"ok": "pong", "schema_version": 5}`; a `shutdown` answers
+//! fully cached response are byte-identical to a freshly simulated one,
+//! and byte-identical across concurrent clients. Only the `done` trailer
+//! says how the answer was produced. A `ping` answers
+//! `{"ok": "pong", "schema_version": 5}`; a `shutdown` answers
 //! `{"ok": "shutdown"}` and makes [`SweepServer::serve`] return.
 //!
+//! ## Concurrency
+//!
+//! Every accepted connection gets its own handler thread; all handlers
+//! share one [`SweepExecutor`] — one worker pool whose queue interleaves
+//! runs from concurrent requests, one [`ResultCache`] handle, and one
+//! in-flight table so overlapping matrices simulate each distinct
+//! [`RunKey`](crate::RunKey) at most once. Failure isolation is
+//! per-request: one client's panicking point, deadline, or disconnect
+//! never perturbs another client's stream (its payload stays
+//! byte-identical to a serial single-client session).
+//!
+//! ## Cancellation
+//!
+//! `{"request": "cancel"}` sent while a sweep response is streaming stops
+//! scheduling that request's remaining runs (runs already simulating
+//! complete and stay cached) and ends the stream with:
+//!
+//! ```text
+//! {"done": false, "cancelled": true, "streamed": K}
+//! ```
+//!
+//! after the `K` records that were already delivered (always a
+//! matrix-order prefix; no `tables` line). The connection stays usable.
+//! A cancel with no sweep streaming is a no-op. Client disconnect
+//! mid-stream cancels the same way (nobody is reading), and a deadline
+//! expiry produces the same trailer.
+//!
+//! ## Admission control & errors
+//!
 //! A malformed or unserviceable request answers one `{"error": "..."}`
-//! line and leaves the connection usable. Connections are handled one at
-//! a time (the worker pool already saturates the machine); a dropped
-//! client aborts nothing — the sweep finishes and its results stay cached
-//! for the retry.
+//! line and leaves the connection usable. Overload shedding adds
+//! `"retryable": true` to the error object — the `sweep --submit`
+//! client backs off and retries exactly these:
+//!
+//! * `--max-clients N`: a connection past the limit is answered with one
+//!   retryable error line and closed;
+//! * `--max-pending-runs N`: a sweep whose runs would push the pool's
+//!   queued+running total past the limit is refused with a retryable
+//!   error (the connection stays open).
+//!
+//! ## Shutdown
+//!
+//! `{"request": "shutdown"}` stops accepting new connections, lets every
+//! in-flight sweep stream to its `done` trailer, then closes the
+//! remaining connections and returns from [`SweepServer::serve`].
+//! Requests queued on a connection but not yet started are dropped (the
+//! client sees EOF and may retry elsewhere). Transient `accept` failures
+//! (`ECONNABORTED`, `EMFILE`, interrupts) are logged and served around —
+//! only a fatal listener error ends `serve` with `Err`.
 
 use std::io::{BufRead as _, BufReader, Write as _};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
+use crate::cache::ResultCache;
+use crate::exec::{RunControl, SweepExecutor};
 use crate::matrix_file::{matrix_from_value, u64_field, Json, Parser};
-use crate::{json_escape, sweep_streaming, RunRecord, SweepOptions, SweepRequest, SCHEMA_VERSION};
+use crate::{json_escape, lock_unpoisoned, RunRecord, SweepOptions, SweepRequest, SCHEMA_VERSION};
+
+/// How often an idle connection handler re-checks the shutdown flag
+/// while waiting for its reader thread to forward a request line.
+const DRAIN_POLL: Duration = Duration::from_millis(100);
+
+/// Server-side fault injection (chaos builds only): sabotage for the
+/// *response* path, so client retry behaviour is testable against a
+/// real server instead of a mock.
+#[cfg(feature = "chaos")]
+#[derive(Debug, Clone, Default)]
+pub struct ServerChaos {
+    /// After streaming this many `run` lines of a sweep response, hard-
+    /// close the connection mid-stream (the client sees a torn stream
+    /// with no `done` trailer and must retry).
+    pub drop_after_runs: Option<usize>,
+    /// How many streams to sabotage before the fault disarms (so a
+    /// retrying client eventually succeeds). `0` behaves as `1`.
+    pub drop_times: usize,
+}
 
 /// The resident sweep front end: bind once, then [`SweepServer::serve`]
 /// until a `shutdown` request.
@@ -54,6 +130,10 @@ pub struct SweepServer {
     listener: TcpListener,
     budget: u64,
     options: SweepOptions,
+    max_clients: Option<usize>,
+    max_pending_runs: Option<usize>,
+    #[cfg(feature = "chaos")]
+    chaos: ServerChaos,
 }
 
 /// What one request line did to the connection.
@@ -72,12 +152,150 @@ fn send(out: &mut TcpStream, line: &str) -> std::io::Result<()> {
     out.flush()
 }
 
+fn send_error(out: &mut TcpStream, msg: &str, retryable: bool) -> Reply {
+    let line = if retryable {
+        format!(
+            "{{\"error\": \"{}\", \"retryable\": true}}",
+            json_escape(msg)
+        )
+    } else {
+        format!("{{\"error\": \"{}\"}}", json_escape(msg))
+    };
+    match send(out, &line) {
+        Ok(()) => Reply::Continue,
+        Err(_) => Reply::ClientGone,
+    }
+}
+
+/// `accept` errors worth serving around: the *connection* failed, not
+/// the listener. `ECONNABORTED`/reset (client gave up in the backlog),
+/// interrupts, and descriptor exhaustion (`EMFILE`/`ENFILE` — shedding
+/// one client beats killing the server for all of them).
+fn transient_accept_error(e: &std::io::Error) -> bool {
+    use std::io::ErrorKind;
+    if matches!(
+        e.kind(),
+        ErrorKind::ConnectionAborted
+            | ErrorKind::ConnectionReset
+            | ErrorKind::Interrupted
+            | ErrorKind::WouldBlock
+            | ErrorKind::TimedOut
+    ) {
+        return true;
+    }
+    // EMFILE (24) / ENFILE (23) have no stable ErrorKind mapping.
+    matches!(e.raw_os_error(), Some(23) | Some(24))
+}
+
+/// State shared between the accept loop and every connection handler.
+struct Shared {
+    exec: SweepExecutor,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    addr: SocketAddr,
+    budget: u64,
+    base: SweepOptions,
+    max_pending_runs: Option<usize>,
+    #[cfg(feature = "chaos")]
+    chaos_drop_after: Option<usize>,
+    #[cfg(feature = "chaos")]
+    chaos_drops_left: AtomicUsize,
+}
+
+#[cfg(feature = "chaos")]
+impl Shared {
+    /// Consumes one armed mid-stream drop, if any remain.
+    fn take_chaos_drop(&self) -> bool {
+        self.chaos_drops_left
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok()
+    }
+}
+
+/// Per-connection cancellation bookkeeping, shared between the reader
+/// thread (which sees `cancel` lines and EOF) and the handler (which
+/// runs sweeps). Stream order decides what a cancel applies to: each
+/// forwarded request line is tagged with the count of cancel lines seen
+/// *before* it, and a sweep is cancelled exactly when the count has
+/// grown past its tag (or the client dropped). All transitions happen
+/// under one mutex, so a cancel racing the start of its sweep is never
+/// lost.
+#[derive(Default)]
+struct ConnControl {
+    state: Mutex<ConnState>,
+}
+
+#[derive(Default)]
+struct ConnState {
+    /// Cancel lines seen on this connection so far.
+    cancels: usize,
+    /// The streaming sweep's (tag, cancel flag), if one is active.
+    active: Option<(usize, Arc<AtomicBool>)>,
+    /// The client hung up (EOF or read error).
+    dropped: bool,
+}
+
+impl ConnControl {
+    /// The tag for a request line forwarded now.
+    fn tag(&self) -> usize {
+        lock_unpoisoned(&self.state).cancels
+    }
+
+    /// A `cancel` line arrived: it applies to any sweep whose request
+    /// line preceded it.
+    fn on_cancel(&self) {
+        let mut st = lock_unpoisoned(&self.state);
+        st.cancels += 1;
+        if let Some((tag, flag)) = &st.active {
+            if st.cancels > *tag {
+                flag.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The client vanished: cancel whatever is streaming.
+    fn on_drop(&self) {
+        let mut st = lock_unpoisoned(&self.state);
+        st.dropped = true;
+        if let Some((_, flag)) = &st.active {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Registers a sweep that is about to stream; pre-cancels it if its
+    /// cancel (or the disconnect) already arrived.
+    fn begin(&self, tag: usize, flag: &Arc<AtomicBool>) {
+        let mut st = lock_unpoisoned(&self.state);
+        if st.dropped || st.cancels > tag {
+            flag.store(true, Ordering::Relaxed);
+        }
+        st.active = Some((tag, Arc::clone(flag)));
+    }
+
+    fn end(&self) {
+        lock_unpoisoned(&self.state).active = None;
+    }
+}
+
+/// Detects `{"request": "cancel"}` in the reader thread without a full
+/// dispatch round-trip (a cancel must take effect while the handler is
+/// busy streaming). Unparsable lines are not cancels — they forward and
+/// answer an error like any other request.
+fn is_cancel_line(line: &str) -> bool {
+    matches!(
+        Parser::new(line).value().ok().as_ref().and_then(|v| v.get("request")),
+        Some(Json::Str(s)) if s == "cancel"
+    )
+}
+
 impl SweepServer {
     /// Binds `addr` (e.g. `127.0.0.1:4601`; port 0 picks a free port).
     /// `default_budget` fills in for matrices that carry no `budget`;
     /// `options` is the per-request execution-policy base — its `journal`
     /// and `resume` are ignored (a journal describes exactly one matrix,
-    /// a server answers many; the cache is the cross-request memory).
+    /// a server answers many; the cache is the cross-request memory), its
+    /// `threads` sizes the one shared worker pool, and its `cache` opens
+    /// the one shared [`ResultCache`] handle.
     ///
     /// # Errors
     ///
@@ -91,7 +309,37 @@ impl SweepServer {
             listener,
             budget: default_budget,
             options,
+            max_clients: None,
+            max_pending_runs: None,
+            #[cfg(feature = "chaos")]
+            chaos: ServerChaos::default(),
         })
+    }
+
+    /// Bounds concurrently served connections; a connection past the
+    /// limit is answered with one retryable `error` line and closed.
+    /// `None` (the default) is unbounded.
+    #[must_use]
+    pub fn max_clients(mut self, limit: usize) -> Self {
+        self.max_clients = Some(limit.max(1));
+        self
+    }
+
+    /// Bounds the worker pool's queued+running total; a sweep that would
+    /// exceed it is refused with a retryable `error` line (the
+    /// connection stays open). `None` (the default) is unbounded.
+    #[must_use]
+    pub fn max_pending_runs(mut self, limit: usize) -> Self {
+        self.max_pending_runs = Some(limit.max(1));
+        self
+    }
+
+    /// Arms server-side fault injection (chaos builds only).
+    #[cfg(feature = "chaos")]
+    #[must_use]
+    pub fn chaos(mut self, chaos: ServerChaos) -> Self {
+        self.chaos = chaos;
+        self
     }
 
     /// The bound address (the OS-chosen port when bound to port 0).
@@ -105,148 +353,337 @@ impl SweepServer {
             .map_err(|e| format!("cannot read bound address: {e}"))
     }
 
-    /// Accepts and serves connections, one at a time, until a client sends
-    /// `{"request": "shutdown"}`. Client-side failures (disconnects,
-    /// malformed requests) never end the loop.
+    /// Accepts connections concurrently until a client sends
+    /// `{"request": "shutdown"}`, then drains in-flight streams to their
+    /// `done` trailers before returning. Client-side failures
+    /// (disconnects, malformed requests, panicking runs) never end the
+    /// loop; transient `accept` errors are logged and skipped.
     ///
     /// # Errors
     ///
-    /// Listener-level `accept` failures only; everything request-scoped is
+    /// Binding-level failures only: a fatal listener `accept` error or
+    /// an unopenable cache directory. Everything request-scoped is
     /// answered in-band as an `error` line.
     pub fn serve(&self) -> Result<(), String> {
-        loop {
-            let (stream, _) = self
-                .listener
-                .accept()
-                .map_err(|e| format!("accept failed: {e}"))?;
-            if self.handle_connection(stream) {
-                return Ok(());
-            }
-        }
-    }
-
-    /// Reads request lines until the client disconnects or asks for
-    /// shutdown. Returns `true` on shutdown.
-    fn handle_connection(&self, stream: TcpStream) -> bool {
-        let Ok(reading) = stream.try_clone() else {
-            return false;
+        let cache = match &self.options.cache {
+            Some(dir) => Some(Arc::new(ResultCache::open(
+                dir,
+                self.options.cache_capacity,
+            )?)),
+            None => None,
         };
-        let mut out = stream;
-        for line in BufReader::new(reading).lines() {
-            let Ok(line) = line else { break };
-            if line.trim().is_empty() {
-                continue;
+        let addr = self.local_addr()?;
+        let mut base = self.options.clone();
+        // The executor owns the one shared cache handle; a per-request
+        // open would split the counters and re-stat the directory.
+        base.cache = None;
+        base.cache_capacity = None;
+        let shared = Arc::new(Shared {
+            exec: SweepExecutor::new(self.options.threads.max(1), cache),
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            addr,
+            budget: self.budget,
+            base,
+            max_pending_runs: self.max_pending_runs,
+            #[cfg(feature = "chaos")]
+            chaos_drop_after: self.chaos.drop_after_runs,
+            #[cfg(feature = "chaos")]
+            chaos_drops_left: AtomicUsize::new(if self.chaos.drop_after_runs.is_some() {
+                self.chaos.drop_times.max(1)
+            } else {
+                0
+            }),
+        });
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        let result = loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if transient_accept_error(&e) => {
+                    eprintln!("sweep-serve: transient accept error ({e}); continuing");
+                    // Descriptor exhaustion clears only when a client
+                    // leaves; don't spin at full speed waiting.
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                }
+                Err(e) => break Err(format!("accept failed: {e}")),
+            };
+            if shared.shutdown.load(Ordering::Relaxed) {
+                break Ok(());
             }
-            match self.handle_line(&line, &mut out) {
-                Reply::Continue => {}
-                Reply::Shutdown => return true,
-                Reply::ClientGone => break,
-            }
-        }
-        false
-    }
-
-    /// Parses and answers one request line. Request-level problems are
-    /// answered as an `{"error": ...}` line on the same connection.
-    fn handle_line(&self, line: &str, out: &mut TcpStream) -> Reply {
-        match self.dispatch(line, out) {
-            Ok(reply) => reply,
-            Err(msg) => {
-                let err = format!("{{\"error\": \"{}\"}}", json_escape(&msg));
-                match send(out, &err) {
-                    Ok(()) => Reply::Continue,
-                    Err(_) => Reply::ClientGone,
+            if let Some(limit) = self.max_clients {
+                if shared.active.load(Ordering::Relaxed) >= limit {
+                    let mut stream = stream;
+                    let _ = send_error(
+                        &mut stream,
+                        &format!("server busy: too many clients (limit {limit}); retry later"),
+                        true,
+                    );
+                    continue;
                 }
             }
-        }
-    }
-
-    fn dispatch(&self, line: &str, out: &mut TcpStream) -> Result<Reply, String> {
-        let root = Parser::new(line)
-            .value()
-            .map_err(|e| format!("bad request: {e}"))?;
-        let kind = match root.get("request") {
-            Some(Json::Str(s)) => s.clone(),
-            Some(other) => {
-                return Err(format!(
-                    "bad request: \"request\" must be a string, got {}",
-                    other.type_name()
-                ))
+            handlers.retain(|h| !h.is_finished());
+            shared.active.fetch_add(1, Ordering::Relaxed);
+            let conn_shared = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name("sweep-conn".into())
+                .spawn(move || handle_connection(&conn_shared, stream))
+            {
+                Ok(handle) => handlers.push(handle),
+                Err(e) => {
+                    shared.active.fetch_sub(1, Ordering::Relaxed);
+                    eprintln!("sweep-serve: cannot spawn connection handler ({e}); client dropped");
+                }
             }
-            None => return Err("bad request: missing \"request\"".into()),
         };
-        match kind.as_str() {
-            "ping" => {
-                let pong = format!("{{\"ok\": \"pong\", \"schema_version\": {SCHEMA_VERSION}}}");
-                Ok(match send(out, &pong) {
-                    Ok(()) => Reply::Continue,
-                    Err(_) => Reply::ClientGone,
-                })
+        // Drain: no new requests start past this flag; handlers finish
+        // their in-flight streams (to the done trailer) and exit.
+        shared.shutdown.store(true, Ordering::Relaxed);
+        for handle in handlers {
+            let _ = handle.join();
+        }
+        result
+    }
+}
+
+/// One connection, start to finish: spawn the reader thread, serve
+/// forwarded request lines until disconnect or shutdown, then tear both
+/// halves down.
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    connection_loop(shared, stream);
+    shared.active.fetch_sub(1, Ordering::Relaxed);
+}
+
+fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let control = Arc::new(ConnControl::default());
+    let (tx, rx) = mpsc::channel::<(String, usize)>();
+    let reader_control = Arc::clone(&control);
+    let reader = std::thread::Builder::new()
+        .name("sweep-conn-reader".into())
+        .spawn(move || {
+            for line in BufReader::new(read_half).lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if is_cancel_line(&line) {
+                    reader_control.on_cancel();
+                    continue;
+                }
+                let tag = reader_control.tag();
+                if tx.send((line, tag)).is_err() {
+                    break;
+                }
             }
-            "shutdown" => {
-                let _ = send(out, "{\"ok\": \"shutdown\"}");
-                Ok(Reply::Shutdown)
+            // EOF or read error: nobody is reading responses anymore.
+            reader_control.on_drop();
+        });
+    let mut out = stream;
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        let (line, tag) = match rx.recv_timeout(DRAIN_POLL) {
+            Ok(forwarded) => forwarded,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        match handle_line(shared, &control, &line, tag, &mut out) {
+            Reply::Continue => {}
+            Reply::Shutdown => {
+                shared.shutdown.store(true, Ordering::Relaxed);
+                // Wake the accept loop so it observes the flag.
+                let _ = TcpStream::connect(shared.addr);
+                break;
             }
-            "sweep" => self.handle_sweep(&root, out),
-            other => Err(format!("bad request: unknown request {other:?}")),
+            Reply::ClientGone => break,
         }
     }
+    // Closing the write half also unblocks the reader thread's read.
+    let _ = out.shutdown(Shutdown::Both);
+    if let Ok(reader) = reader {
+        let _ = reader.join();
+    }
+}
 
-    /// Runs one sweep request, streaming the response as records land.
-    fn handle_sweep(&self, root: &Json, out: &mut TcpStream) -> Result<Reply, String> {
-        let matrix_value = root
-            .get("matrix")
-            .ok_or("bad request: sweep needs a \"matrix\"")?;
-        let matrix =
-            matrix_from_value(matrix_value, self.budget).map_err(|e| format!("bad matrix: {e}"))?;
-        let mut opts = self.options.clone();
-        if let Some(threads) =
-            u64_field(root, "threads").map_err(|e| format!("bad request: {e}"))?
-        {
-            opts.threads = threads as usize;
-        }
-        opts.retries = matrix.retries;
-        if let Some(ms) = matrix.run_timeout_ms {
-            opts.run_timeout = Some(std::time::Duration::from_millis(ms));
-        }
+/// Parses and answers one request line. Request-level problems are
+/// answered as an `{"error": ...}` line on the same connection.
+fn handle_line(
+    shared: &Arc<Shared>,
+    control: &Arc<ConnControl>,
+    line: &str,
+    tag: usize,
+    out: &mut TcpStream,
+) -> Reply {
+    match dispatch(shared, control, line, tag, out) {
+        Ok(reply) => reply,
+        Err(msg) => send_error(out, &msg, false),
+    }
+}
 
-        let run_count = matrix.expand().len();
-        let header = format!(
-            "{{\"response\": \"sweep\", \"schema_version\": {SCHEMA_VERSION}, \
-             \"run_count\": {run_count}}}"
-        );
-        if send(out, &header).is_err() {
-            return Ok(Reply::ClientGone);
+fn dispatch(
+    shared: &Arc<Shared>,
+    control: &Arc<ConnControl>,
+    line: &str,
+    tag: usize,
+    out: &mut TcpStream,
+) -> Result<Reply, String> {
+    let root = Parser::new(line)
+        .value()
+        .map_err(|e| format!("bad request: {e}"))?;
+    let kind = match root.get("request") {
+        Some(Json::Str(s)) => s.clone(),
+        Some(other) => {
+            return Err(format!(
+                "bad request: \"request\" must be a string, got {}",
+                other.type_name()
+            ))
         }
-        // The sink is infallible by signature; a vanished client mutes
-        // further writes (the sweep still completes — its records are
-        // cached for the client's retry) and drops the connection after.
-        let mut gone = false;
-        let request = SweepRequest::new(matrix).with_options(opts);
-        let response = sweep_streaming(&request, &mut |record: &RunRecord| {
-            if !gone {
+        None => return Err("bad request: missing \"request\"".into()),
+    };
+    match kind.as_str() {
+        "ping" => {
+            let pong = format!("{{\"ok\": \"pong\", \"schema_version\": {SCHEMA_VERSION}}}");
+            Ok(match send(out, &pong) {
+                Ok(()) => Reply::Continue,
+                Err(_) => Reply::ClientGone,
+            })
+        }
+        "shutdown" => {
+            let _ = send(out, "{\"ok\": \"shutdown\"}");
+            Ok(Reply::Shutdown)
+        }
+        "sweep" => handle_sweep(shared, control, &root, tag, out),
+        // The reader intercepts cancel lines; one reaching dispatch was
+        // sent with no sweep to cancel, which is a harmless no-op.
+        "cancel" => Ok(Reply::Continue),
+        other => Err(format!("bad request: unknown request {other:?}")),
+    }
+}
+
+/// Runs one sweep request on the shared executor, streaming the
+/// response as records land.
+fn handle_sweep(
+    shared: &Arc<Shared>,
+    control: &Arc<ConnControl>,
+    root: &Json,
+    tag: usize,
+    out: &mut TcpStream,
+) -> Result<Reply, String> {
+    let matrix_value = root
+        .get("matrix")
+        .ok_or("bad request: sweep needs a \"matrix\"")?;
+    let matrix =
+        matrix_from_value(matrix_value, shared.budget).map_err(|e| format!("bad matrix: {e}"))?;
+    // Accepted for wire compatibility, deliberately ignored: the pool is
+    // shared, so no single request may resize it.
+    let _ = u64_field(root, "threads").map_err(|e| format!("bad request: {e}"))?;
+    let deadline = u64_field(root, "deadline_ms")
+        .map_err(|e| format!("bad request: {e}"))?
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let mut opts = shared.base.clone();
+    opts.retries = matrix.retries;
+    if let Some(ms) = matrix.run_timeout_ms {
+        opts.run_timeout = Some(Duration::from_millis(ms));
+    }
+    let run_count = matrix.expand().len();
+    if let Some(limit) = shared.max_pending_runs {
+        let pending = shared.exec.pending();
+        if pending + run_count > limit {
+            return Ok(send_error(
+                out,
+                &format!(
+                    "server busy: run queue full ({pending} pending + {run_count} requested \
+                     > limit {limit}); retry later"
+                ),
+                true,
+            ));
+        }
+    }
+    let header = format!(
+        "{{\"response\": \"sweep\", \"schema_version\": {SCHEMA_VERSION}, \
+         \"run_count\": {run_count}}}"
+    );
+    if send(out, &header).is_err() {
+        return Ok(Reply::ClientGone);
+    }
+    let run_control = match deadline {
+        Some(deadline) => RunControl::with_deadline(deadline),
+        None => RunControl::unbounded(),
+    };
+    control.begin(tag, &run_control.cancel);
+    // The sink is infallible by signature; a vanished client mutes
+    // further writes *and* cancels the request's remaining runs (nobody
+    // is reading — completed records are already cached for the retry).
+    let mut gone = false;
+    let mut emitted = 0usize;
+    #[cfg(feature = "chaos")]
+    let drop_after = shared.chaos_drop_after;
+    let request = SweepRequest::new(matrix).with_options(opts);
+    let served = {
+        let cancel = &run_control.cancel;
+        let sink_out: &mut TcpStream = out;
+        let served = shared.exec.run(
+            &request,
+            &mut |record: &RunRecord| {
+                if gone {
+                    return;
+                }
+                #[cfg(feature = "chaos")]
+                if drop_after == Some(emitted) && shared.take_chaos_drop() {
+                    // Injected mid-stream drop: hard-close so the next
+                    // write fails like a real torn connection.
+                    let _ = sink_out.shutdown(Shutdown::Both);
+                }
                 let line = format!("{{\"run\": {}}}", record.to_json_object());
-                gone = send(out, &line).is_err();
-            }
-        })?;
+                if send(sink_out, &line).is_err() {
+                    gone = true;
+                    cancel.store(true, Ordering::Relaxed);
+                } else {
+                    emitted += 1;
+                }
+            },
+            &run_control,
+        );
+        control.end();
+        served?
+    };
+    if served.cancelled {
         if gone {
             return Ok(Reply::ClientGone);
         }
-        let tables = format!("{{\"tables\": {}}}", response.results.tables_json());
-        if send(out, &tables).is_err() {
-            return Ok(Reply::ClientGone);
-        }
         let trailer = format!(
-            "{{\"done\": true, \"failed_count\": {}, \"simulated\": {}, \
-             \"cache_hits\": {}, \"cache_misses\": {}}}",
-            response.results.failed_count(),
-            response.simulated,
-            response.cache.hits,
-            response.cache.misses,
+            "{{\"done\": false, \"cancelled\": true, \"streamed\": {}}}",
+            served.streamed
         );
-        Ok(match send(out, &trailer) {
+        return Ok(match send(out, &trailer) {
             Ok(()) => Reply::Continue,
             Err(_) => Reply::ClientGone,
-        })
+        });
     }
+    let response = served
+        .response
+        .expect("an uncancelled sweep has a response");
+    if gone {
+        return Ok(Reply::ClientGone);
+    }
+    let tables = format!("{{\"tables\": {}}}", response.results.tables_json());
+    if send(out, &tables).is_err() {
+        return Ok(Reply::ClientGone);
+    }
+    let trailer = format!(
+        "{{\"done\": true, \"failed_count\": {}, \"simulated\": {}, \
+         \"cache_hits\": {}, \"cache_misses\": {}}}",
+        response.results.failed_count(),
+        response.simulated,
+        response.cache.hits,
+        response.cache.misses,
+    );
+    Ok(match send(out, &trailer) {
+        Ok(()) => Reply::Continue,
+        Err(_) => Reply::ClientGone,
+    })
 }

@@ -1,0 +1,384 @@
+//! The concurrent face of `sweep --serve`: N clients with overlapping
+//! matrices get byte-identical payloads while sharing one cache and one
+//! in-flight table; deadlines and in-band cancels stop exactly one
+//! request; shutdown drains in-flight streams; admission control sheds
+//! with retryable in-band errors; and (chaos builds) one client's
+//! panicking point never leaks into another client's stream.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use gals_sweep::{SweepOptions, SweepServer};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "gals-sweep-concurrent-{}-{}-{tag}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Binds a server built by `build` on an OS-chosen port and serves it on
+/// a background thread.
+fn start(
+    tag: &str,
+    threads: usize,
+    build: impl FnOnce(SweepServer) -> SweepServer,
+) -> (String, std::thread::JoinHandle<()>, std::path::PathBuf) {
+    let dir = temp_dir(tag);
+    let options = SweepOptions::new().threads(threads).cache(dir.clone());
+    let server = build(SweepServer::bind("127.0.0.1:0", 400, options).expect("bind"));
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+    (addr, handle, dir)
+}
+
+/// Connects, sends one sweep request, and reads lines until a `done`
+/// trailer (either kind); returns every line.
+fn run_client(addr: &str, request: &str) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    transact(&mut stream, &mut reader, request, |l| {
+        l.starts_with("{\"done\": ")
+    })
+}
+
+fn transact(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    request: &str,
+    stop: impl Fn(&str) -> bool,
+) -> Vec<String> {
+    stream
+        .write_all(format!("{request}\n").as_bytes())
+        .expect("send");
+    read_until(reader, stop)
+}
+
+fn read_until(reader: &mut BufReader<TcpStream>, stop: impl Fn(&str) -> bool) -> Vec<String> {
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("read") > 0,
+            "server hung up after {lines:?}"
+        );
+        let line = line.trim_end().to_string();
+        let done = stop(&line);
+        lines.push(line);
+        if done {
+            return lines;
+        }
+    }
+}
+
+fn shutdown(addr: &str) {
+    let mut stream = TcpStream::connect(addr).expect("connect for shutdown");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let bye = transact(
+        &mut stream,
+        &mut reader,
+        "{\"request\": \"shutdown\"}",
+        |_| true,
+    );
+    assert_eq!(bye, vec!["{\"ok\": \"shutdown\"}".to_string()]);
+}
+
+/// A one-benchmark request whose mode list is the overlap axis.
+fn sweep_request(modes: &str) -> String {
+    format!(
+        "{{\"request\": \"sweep\", \"matrix\": {{\
+         \"benchmarks\": [\"adpcm\"], \
+         \"modes\": [{modes}], \
+         \"dvfs\": [\"nominal\"], \
+         \"phase_seeds\": [1]}}}}"
+    )
+}
+
+/// The trailer's `"key": N` value.
+fn trailer_u64(line: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\": ");
+    let at = line.find(&needle).expect(key) + needle.len();
+    line[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect(key)
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_payloads_and_share_the_cache() {
+    // Three overlapping matrices: their union is {sync, gals,
+    // pausible@300ps} — three distinct RunKeys.
+    let requests = [
+        sweep_request("\"sync\", \"gals\""),
+        sweep_request("\"gals\", \"pausible@300ps\""),
+        sweep_request("\"sync\", \"pausible@300ps\""),
+    ];
+
+    // Serial baselines, each against its own fresh single-client server.
+    let mut baselines = Vec::new();
+    for (i, request) in requests.iter().enumerate() {
+        let (addr, handle, dir) = start(&format!("baseline{i}"), 2, |s| s);
+        baselines.push(run_client(&addr, request));
+        shutdown(&addr);
+        handle.join().expect("baseline server");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // The same three requests, concurrently, against one shared server.
+    let (addr, handle, dir) = start("shared", 2, |s| s);
+    let clients: Vec<_> = requests
+        .iter()
+        .map(|request| {
+            let addr = addr.clone();
+            let request = request.clone();
+            std::thread::spawn(move || run_client(&addr, &request))
+        })
+        .collect();
+    let responses: Vec<Vec<String>> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+    shutdown(&addr);
+    handle.join().expect("shared server");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut total_simulated = 0;
+    for (i, (concurrent, baseline)) in responses.iter().zip(&baselines).enumerate() {
+        let (payload, trailer) = concurrent.split_at(concurrent.len() - 1);
+        let (base_payload, _) = baseline.split_at(baseline.len() - 1);
+        assert_eq!(
+            payload, base_payload,
+            "client {i}: concurrent payload differs from its serial baseline"
+        );
+        assert!(trailer[0].starts_with("{\"done\": true"), "{}", trailer[0]);
+        assert_eq!(trailer_u64(&trailer[0], "failed_count"), 0);
+        total_simulated += trailer_u64(&trailer[0], "simulated");
+    }
+    // The cache and the in-flight table are shared: three clients ask
+    // for six runs, but only the three distinct points ever simulate.
+    assert!(
+        total_simulated <= 3,
+        "expected at most 3 simulated runs across all clients, got {total_simulated}"
+    );
+}
+
+#[test]
+fn deadline_and_in_band_cancel_stop_only_their_own_request() {
+    let (addr, handle, dir) = start("cancel", 1, |s| s);
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    // An already-expired deadline: the stream ends with a cancelled
+    // trailer (a matrix-order prefix, no tables line) and the
+    // connection stays usable.
+    let expired = sweep_request("\"sync\", \"gals\"").replace(
+        "\"phase_seeds\": [1]}",
+        "\"phase_seeds\": [1]}, \"deadline_ms\": 0",
+    );
+    let cancelled = transact(&mut stream, &mut reader, &expired, |l| {
+        l.starts_with("{\"done\": ")
+    });
+    let trailer = cancelled.last().expect("trailer");
+    assert!(
+        trailer.starts_with("{\"done\": false, \"cancelled\": true, \"streamed\": "),
+        "{trailer}"
+    );
+    assert!(
+        cancelled.iter().all(|l| !l.starts_with("{\"tables\"")),
+        "a cancelled response must not carry tables: {cancelled:?}"
+    );
+
+    // An in-band cancel mid-stream: a slow 4-run sweep on 1 worker, the
+    // cancel sent right after the header. The queued points are never
+    // simulated; the next request on the same connection completes.
+    let slow = "{\"request\": \"sweep\", \"matrix\": {\
+         \"budget\": 150000, \
+         \"benchmarks\": [\"adpcm\"], \
+         \"modes\": [\"sync\", \"gals\"], \
+         \"dvfs\": [\"nominal\"], \
+         \"phase_seeds\": [1, 2]}}";
+    stream
+        .write_all(format!("{slow}\n").as_bytes())
+        .expect("send slow sweep");
+    let header = read_until(&mut reader, |l| l.starts_with("{\"response\": "));
+    assert!(header[0].ends_with("\"run_count\": 4}"), "{}", header[0]);
+    stream
+        .write_all(b"{\"request\": \"cancel\"}\n")
+        .expect("send cancel");
+    let rest = read_until(&mut reader, |l| l.starts_with("{\"done\": "));
+    let trailer = rest.last().expect("trailer");
+    assert!(
+        trailer.starts_with("{\"done\": false, \"cancelled\": true"),
+        "{trailer}"
+    );
+    let streamed = trailer_u64(trailer, "streamed");
+    assert!(
+        streamed < 4,
+        "cancel arrived after the whole sweep: {trailer}"
+    );
+
+    // Same connection, post-cancel: a fast request completes normally.
+    let after = transact(&mut stream, &mut reader, &sweep_request("\"sync\""), |l| {
+        l.starts_with("{\"done\": ")
+    });
+    assert!(
+        after
+            .last()
+            .expect("trailer")
+            .starts_with("{\"done\": true"),
+        "{after:?}"
+    );
+
+    shutdown(&addr);
+    handle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_drains_an_in_flight_stream_to_its_trailer() {
+    let (addr, handle, dir) = start("drain", 1, |s| s);
+
+    // Client A starts a non-trivial sweep and reads its header, so the
+    // request is demonstrably in flight...
+    let mut a = TcpStream::connect(&addr).expect("connect A");
+    let mut a_reader = BufReader::new(a.try_clone().expect("clone"));
+    let slow = "{\"request\": \"sweep\", \"matrix\": {\
+         \"budget\": 60000, \
+         \"benchmarks\": [\"adpcm\"], \
+         \"modes\": [\"sync\", \"gals\"], \
+         \"dvfs\": [\"nominal\"], \
+         \"phase_seeds\": [1]}}";
+    a.write_all(format!("{slow}\n").as_bytes()).expect("send");
+    let header = read_until(&mut a_reader, |l| l.starts_with("{\"response\": "));
+    assert!(header[0].ends_with("\"run_count\": 2}"), "{}", header[0]);
+
+    // ...then client B asks for shutdown. A's stream must still drain
+    // to a successful trailer before serve() returns.
+    shutdown(&addr);
+    let rest = read_until(&mut a_reader, |l| l.starts_with("{\"done\": "));
+    let trailer = rest.last().expect("trailer");
+    assert!(
+        trailer.starts_with("{\"done\": true, \"failed_count\": 0"),
+        "shutdown tore an in-flight stream: {trailer}"
+    );
+    handle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn admission_control_sheds_excess_clients_and_oversized_sweeps() {
+    // --max-clients 1: the second concurrent connection is shed with
+    // one retryable error line, then closed; the first keeps working.
+    let (addr, handle, dir) = start("maxclients", 1, |s| s.max_clients(1));
+    let mut a = TcpStream::connect(&addr).expect("connect A");
+    let mut a_reader = BufReader::new(a.try_clone().expect("clone"));
+    let pong = transact(&mut a, &mut a_reader, "{\"request\": \"ping\"}", |l| {
+        l.contains("pong")
+    });
+    assert!(pong[0].contains("pong"));
+
+    let b = TcpStream::connect(&addr).expect("connect B");
+    let mut b_reader = BufReader::new(b);
+    let mut shed = String::new();
+    assert!(b_reader.read_line(&mut shed).expect("read shed line") > 0);
+    assert!(
+        shed.contains("\"error\": ") && shed.contains("\"retryable\": true"),
+        "{shed}"
+    );
+    let mut rest = String::new();
+    assert_eq!(
+        b_reader.read_line(&mut rest).expect("read EOF"),
+        0,
+        "the shed connection must be closed, got {rest:?}"
+    );
+
+    // The surviving client still gets served — including shutdown (a
+    // fresh connection could itself be shed by the limit).
+    let pong = transact(&mut a, &mut a_reader, "{\"request\": \"ping\"}", |l| {
+        l.contains("pong")
+    });
+    assert!(pong[0].contains("pong"));
+    let bye = transact(&mut a, &mut a_reader, "{\"request\": \"shutdown\"}", |_| {
+        true
+    });
+    assert_eq!(bye, vec!["{\"ok\": \"shutdown\"}".to_string()]);
+    handle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --max-pending-runs 1: a two-run sweep is refused in-band with a
+    // retryable error; a one-run sweep on the same connection passes.
+    let (addr, handle, dir) = start("maxpending", 1, |s| s.max_pending_runs(1));
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let refused = transact(
+        &mut stream,
+        &mut reader,
+        &sweep_request("\"sync\", \"gals\""),
+        |_| true,
+    );
+    assert!(
+        refused[0].contains("\"error\": ") && refused[0].contains("\"retryable\": true"),
+        "{refused:?}"
+    );
+    let ok = transact(&mut stream, &mut reader, &sweep_request("\"sync\""), |l| {
+        l.starts_with("{\"done\": ")
+    });
+    assert!(
+        ok.last().expect("trailer").starts_with("{\"done\": true"),
+        "{ok:?}"
+    );
+    shutdown(&addr);
+    handle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One client's injected panic is isolated: its own trailer reports the
+/// failure, the other concurrent client's stream is clean.
+#[cfg(feature = "chaos")]
+#[test]
+fn one_clients_panic_never_reaches_anothers_stream() {
+    let dir = temp_dir("panic-isolation");
+    let faults = gals_sweep::FaultPlan {
+        panic_at: vec![1],
+        ..gals_sweep::FaultPlan::default()
+    };
+    let options = SweepOptions::new()
+        .threads(2)
+        .cache(dir.clone())
+        .faults(faults);
+    let server = SweepServer::bind("127.0.0.1:0", 400, options).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+
+    // A's matrix has an index 1 (which panics); B's is a single run.
+    let a_req = sweep_request("\"sync\", \"gals\"");
+    let b_req = sweep_request("\"sync\"");
+    let a_addr = addr.clone();
+    let b_addr = addr.clone();
+    let a = std::thread::spawn(move || run_client(&a_addr, &a_req));
+    let b = std::thread::spawn(move || run_client(&b_addr, &b_req));
+    let a_lines = a.join().expect("client A");
+    let b_lines = b.join().expect("client B");
+    shutdown(&addr);
+    handle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let a_trailer = a_lines.last().expect("A trailer");
+    assert_eq!(trailer_u64(a_trailer, "failed_count"), 1, "{a_trailer}");
+    assert!(
+        a_lines.iter().any(|l| l.contains("panicked")),
+        "A's own stream must carry its panicked record: {a_lines:?}"
+    );
+
+    let b_trailer = b_lines.last().expect("B trailer");
+    assert_eq!(trailer_u64(b_trailer, "failed_count"), 0, "{b_trailer}");
+    assert!(
+        b_lines.iter().all(|l| !l.contains("panicked")),
+        "A's panic leaked into B's stream: {b_lines:?}"
+    );
+}
