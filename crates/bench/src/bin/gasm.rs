@@ -1,0 +1,88 @@
+//! `gasm` — parse, verify and functionally execute `.gasm` programs.
+//!
+//! ```text
+//! gasm [--seed N] [--fuel N] FILE...
+//! ```
+//!
+//! For each file: parses the module, runs the functional executor, and
+//! prints a one-line summary of the executed-trace statistics (dynamic
+//! instruction count, op-class mix, branch bias, mean loop trip). Exits
+//! non-zero on the first parse/verify/execution error, printing the typed
+//! diagnostic with its line:column — this is the CI smoke gate over
+//! `examples/programs/`.
+
+use std::process::ExitCode;
+
+use gals_isa::OpClass;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: gasm [--seed N] [--fuel N] FILE...");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut seed: u64 = 0;
+    let mut fuel: u64 = 8_000_000;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--fuel" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => fuel = v,
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        return usage();
+    }
+
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let module = match gals_isa::parse(&text) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("{path}:{e}");
+                return ExitCode::from(2);
+            }
+        };
+        let execution = match module.execute(seed, fuel) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let s = &execution.stats;
+        println!(
+            "{path}: blocks={} static={} dyn={} br={:.4} taken={:.4} ld={:.4} st={:.4} \
+             fp={:.4} mul={:.4} div={:.4} trip={:.2} depth={}",
+            module.block_count(),
+            module.static_inst_count(),
+            s.executed,
+            s.branch_frac(),
+            s.taken_rate(),
+            s.load_frac(),
+            s.store_frac(),
+            s.fp_frac(),
+            s.int_mul_frac(),
+            s.frac(OpClass::IntDiv),
+            s.mean_trip(),
+            s.max_call_depth,
+        );
+    }
+    ExitCode::SUCCESS
+}

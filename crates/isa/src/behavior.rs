@@ -35,6 +35,15 @@ pub enum BranchBehavior {
     /// A fixed repeating taken/not-taken pattern (e.g. data-dependent but
     /// periodic control, common in media kernels).
     Pattern(Vec<bool>),
+    /// Replay of a recorded outcome stream: execution `n` resolves to the
+    /// `n`-th recorded bit, and `false` past the end of the recording.
+    ///
+    /// Produced by the `.gasm` executor (`gals_isa::exec`) for
+    /// *architectural* conditional branches, whose outcomes were computed
+    /// from real register values: the committed-path walk replays the
+    /// recording exactly, while wrong-path fetches past the end see a
+    /// well-defined (not-taken) answer.
+    Trace(Vec<bool>),
 }
 
 impl BranchBehavior {
@@ -56,6 +65,10 @@ impl BranchBehavior {
                     pattern[(n % pattern.len() as u64) as usize]
                 }
             }
+            BranchBehavior::Trace(trace) => usize::try_from(n)
+                .ok()
+                .and_then(|i| trace.get(i).copied())
+                .unwrap_or(false),
         }
     }
 
@@ -67,7 +80,7 @@ impl BranchBehavior {
                 let t = f64::from((*trip).max(1));
                 (t - 1.0) / t
             }
-            BranchBehavior::Pattern(p) => {
+            BranchBehavior::Pattern(p) | BranchBehavior::Trace(p) => {
                 if p.is_empty() {
                     0.0
                 } else {
@@ -103,6 +116,12 @@ pub enum MemBehavior {
         /// Region size in bytes.
         footprint: u64,
     },
+    /// Replay of a recorded address stream (from executed `.gasm` loads and
+    /// stores whose effective addresses came from real register values).
+    /// Execution `n` reads entry `n % len`; the wrap keeps the behaviour
+    /// total so wrong-path address queries past the end of the recording
+    /// stay well defined. An empty recording answers address 0.
+    Trace(Vec<u64>),
     /// 90/10-style hot/cold mix: probability `hot_frac` of touching a small
     /// hot region, else a large cold region. Models stack+heap mixtures.
     HotCold {
@@ -132,6 +151,13 @@ impl MemBehavior {
             MemBehavior::Random { base, footprint } => {
                 let fp = (*footprint).max(1);
                 base + hash3(seed, stream, n) % fp
+            }
+            MemBehavior::Trace(trace) => {
+                if trace.is_empty() {
+                    0
+                } else {
+                    trace[(n % trace.len() as u64) as usize]
+                }
             }
             MemBehavior::HotCold {
                 base,
@@ -224,6 +250,25 @@ mod tests {
         let hot_hits = (0..n).filter(|&i| m.address(5, 11, i) < 64).count();
         let frac = hot_hits as f64 / n as f64;
         assert!((frac - 0.9).abs() < 0.02, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn trace_branch_replays_then_defaults_not_taken() {
+        let b = BranchBehavior::Trace(vec![true, false, true]);
+        let outs: Vec<bool> = (0..5).map(|n| b.outcome(9, 9, n)).collect();
+        assert_eq!(outs, [true, false, true, false, false]);
+        assert!((b.taken_rate() - 2.0 / 3.0).abs() < 1e-12);
+        let empty = BranchBehavior::Trace(vec![]);
+        assert!(!empty.outcome(0, 0, 0));
+        assert_eq!(empty.taken_rate(), 0.0);
+    }
+
+    #[test]
+    fn trace_mem_wraps_and_empty_answers_zero() {
+        let m = MemBehavior::Trace(vec![0x10, 0x20, 0x30]);
+        let addrs: Vec<u64> = (0..5).map(|n| m.address(1, 2, n)).collect();
+        assert_eq!(addrs, [0x10, 0x20, 0x30, 0x10, 0x20]);
+        assert_eq!(MemBehavior::Trace(vec![]).address(1, 2, 99), 0);
     }
 
     #[test]

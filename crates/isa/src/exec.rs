@@ -1,0 +1,637 @@
+//! Functional execution of `.gasm` modules.
+//!
+//! [`AsmModule::execute`] interprets a parsed module with a real
+//! architectural state — 32 integer registers (`r0` hardwired to zero), 32
+//! FP registers, a sparse word memory and a shadow call stack — so
+//! *architectural* conditional branches and effective addresses resolve
+//! from computed register values rather than behaviour draws. The executed
+//! outcome/address streams are recorded and compiled into the returned
+//! [`Program`] as [`BranchBehavior::Trace`](crate::BranchBehavior::Trace) /
+//! [`MemBehavior::Trace`](crate::MemBehavior::Trace) entries, giving a
+//! program whose
+//! [`DynStream`](crate::stream::DynStream) walk replays the executed
+//! dynamic trace exactly — through the same stream interface the pipeline
+//! models already consume for synthetic workloads. Behavioral ops embedded
+//! in the module keep their declared behaviours and draw with the same
+//! `(seed, flat-index, execution)` hashing as the stream walk, so mixed
+//! modules stay bit-identical too.
+//!
+//! ## Semantics
+//!
+//! Integer arithmetic is 64-bit two's-complement with wrapping overflow;
+//! shift counts take the low 6 bits; `div`/`rem` by zero produce `0` and
+//! the dividend respectively (no traps). FP registers hold `f64`. Memory
+//! maps one 64-bit cell per byte address (`ld`/`st` move whole cells at
+//! the exact effective address; unwritten cells read zero). Behavioral ops
+//! that name a destination write `0`/`0.0` — their latency, not their
+//! value, is the point. `ret` with an empty shadow stack exits, like
+//! returning from `main`.
+
+use std::collections::BTreeMap;
+
+use crate::asm::{AsmError, AsmModule};
+use crate::op::OpClass;
+use crate::program::Program;
+
+use crate::asm::{AsmOp, BrKind, CmpKind, FpKind, IntKind};
+
+/// Why a functional execution stopped without the program exiting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The fuel budget ran out before the program exited: the module loops
+    /// too long (or forever) for the given bound.
+    OutOfFuel {
+        /// Instructions executed before giving up (== the fuel budget).
+        executed: u64,
+    },
+    /// Compiling the executed module back to a [`Program`] failed (the
+    /// parser's verifier makes this unreachable for [`crate::asm::parse`]d
+    /// modules; surfaced rather than panicking).
+    Link(AsmError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::OutOfFuel { executed } => {
+                write!(f, "out of fuel after {executed} executed instructions")
+            }
+            ExecError::Link(e) => write!(f, "linking executed module failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Number of [`OpClass`] variants (the dense stats table size).
+pub const NUM_OP_CLASSES: usize = 13;
+
+/// The operation class a parsed instruction occupies in the pipeline.
+fn op_class_of(op: &AsmOp) -> OpClass {
+    match op {
+        AsmOp::Beh(inst) => inst.op,
+        AsmOp::BehBranch { .. } | AsmOp::BrZ { .. } | AsmOp::BrCmp { .. } => OpClass::BranchCond,
+        AsmOp::Jump => OpClass::Jump,
+        AsmOp::Call => OpClass::Call,
+        AsmOp::Ret => OpClass::Ret,
+        AsmOp::Li { .. } => OpClass::IntAlu,
+        AsmOp::Fli { .. } | AsmOp::FpCmp { .. } => OpClass::FpAdd,
+        AsmOp::Int3 { kind, .. } | AsmOp::IntImm { kind, .. } => kind.class(),
+        AsmOp::Fp3 { kind, .. } => kind.class(),
+        AsmOp::MemArch { store, .. } => {
+            if *store {
+                OpClass::Store
+            } else {
+                OpClass::Load
+            }
+        }
+    }
+}
+
+/// Dense table slot of an operation class.
+fn slot(op: OpClass) -> usize {
+    match op {
+        OpClass::IntAlu => 0,
+        OpClass::IntMul => 1,
+        OpClass::IntDiv => 2,
+        OpClass::FpAdd => 3,
+        OpClass::FpMul => 4,
+        OpClass::FpDiv => 5,
+        OpClass::Load => 6,
+        OpClass::Store => 7,
+        OpClass::BranchCond => 8,
+        OpClass::Jump => 9,
+        OpClass::Call => 10,
+        OpClass::Ret => 11,
+        OpClass::Nop => 12,
+    }
+}
+
+/// Aggregate statistics of one executed dynamic trace.
+///
+/// These are the quantities the synthetic [`Profile`
+/// knobs](../../gals_workload/struct.WorkloadProfile.html) target — op-class
+/// mix, branch bias, loop trip counts, memory share — measured from a real
+/// execution, so the trace-validation suite can pin kernels against their
+/// reference profiles.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceStats {
+    /// Total executed (committed-path) instructions.
+    pub executed: u64,
+    /// Executed instructions per operation class, indexed by declaration
+    /// order of [`OpClass`] (see [`NUM_OP_CLASSES`]).
+    pub class_counts: [u64; NUM_OP_CLASSES],
+    /// Dynamic executions of conditional branches.
+    pub cond_execs: u64,
+    /// How many of those resolved taken.
+    pub cond_taken: u64,
+    /// Dynamic executions of loop back-edges (conditional branches whose
+    /// taken target does not come after their own block).
+    pub backedge_execs: u64,
+    /// How many back-edge executions were taken.
+    pub backedge_taken: u64,
+    /// Deepest shadow-call-stack depth reached.
+    pub max_call_depth: u64,
+}
+
+impl TraceStats {
+    /// Fraction of executed instructions in the given class.
+    pub fn frac(&self, op: OpClass) -> f64 {
+        if self.executed == 0 {
+            0.0
+        } else {
+            self.class_counts[slot(op)] as f64 / self.executed as f64
+        }
+    }
+
+    /// Conditional-branch share of the trace.
+    pub fn branch_frac(&self) -> f64 {
+        self.frac(OpClass::BranchCond)
+    }
+
+    /// Load share of the trace.
+    pub fn load_frac(&self) -> f64 {
+        self.frac(OpClass::Load)
+    }
+
+    /// Store share of the trace.
+    pub fn store_frac(&self) -> f64 {
+        self.frac(OpClass::Store)
+    }
+
+    /// Share of FP-cluster operations (add + mul + div).
+    pub fn fp_frac(&self) -> f64 {
+        self.frac(OpClass::FpAdd) + self.frac(OpClass::FpMul) + self.frac(OpClass::FpDiv)
+    }
+
+    /// Integer-multiply share of the trace.
+    pub fn int_mul_frac(&self) -> f64 {
+        self.frac(OpClass::IntMul)
+    }
+
+    /// Fraction of conditional-branch executions that were taken.
+    pub fn taken_rate(&self) -> f64 {
+        if self.cond_execs == 0 {
+            0.0
+        } else {
+            self.cond_taken as f64 / self.cond_execs as f64
+        }
+    }
+
+    /// Mean loop trip count implied by back-edge statistics: every loop
+    /// completion is one not-taken back-edge execution, so the mean number
+    /// of body executions per completion is `execs / (execs - taken)`
+    /// (infinite if no back-edge ever fell through).
+    pub fn mean_trip(&self) -> f64 {
+        let exits = self.backedge_execs - self.backedge_taken;
+        if exits == 0 {
+            f64::INFINITY
+        } else {
+            self.backedge_execs as f64 / exits as f64
+        }
+    }
+}
+
+/// The result of functionally executing a `.gasm` module: the compiled
+/// trace-replay [`Program`] plus the executed-trace statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Execution {
+    /// The module compiled against the recorded traces; its
+    /// [`DynStream`](crate::stream::DynStream) walk replays the executed
+    /// dynamic instruction sequence exactly.
+    pub program: Program,
+    /// Statistics of the executed trace.
+    pub stats: TraceStats,
+}
+
+/// Architectural machine state of the functional executor.
+struct Machine {
+    /// Integer registers; `r0` reads zero and ignores writes.
+    iregs: [i64; 32],
+    fregs: [f64; 32],
+    /// Sparse memory: one 64-bit cell per byte address.
+    mem: BTreeMap<u64, u64>,
+}
+
+impl Machine {
+    fn new() -> Self {
+        Machine {
+            iregs: [0; 32],
+            fregs: [0.0; 32],
+            mem: BTreeMap::new(),
+        }
+    }
+
+    fn geti(&self, r: u8) -> i64 {
+        if r == 0 {
+            0
+        } else {
+            self.iregs[r as usize]
+        }
+    }
+
+    fn seti(&mut self, r: u8, v: i64) {
+        if r != 0 {
+            self.iregs[r as usize] = v;
+        }
+    }
+
+    fn int3(&self, kind: IntKind, s1: u8, s2: i64) -> i64 {
+        let a = self.geti(s1);
+        let b = s2;
+        match kind {
+            IntKind::Add => a.wrapping_add(b),
+            IntKind::Sub => a.wrapping_sub(b),
+            IntKind::And => a & b,
+            IntKind::Or => a | b,
+            IntKind::Xor => a ^ b,
+            IntKind::Sll => a.wrapping_shl(b as u32 & 63),
+            IntKind::Srl => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
+            IntKind::Sra => a.wrapping_shr(b as u32 & 63),
+            IntKind::Slt => i64::from(a < b),
+            IntKind::Sltu => i64::from((a as u64) < (b as u64)),
+            IntKind::Mul => a.wrapping_mul(b),
+            IntKind::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            IntKind::Rem => {
+                if b == 0 {
+                    a
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+        }
+    }
+}
+
+impl AsmModule {
+    /// Functionally executes the module and compiles the recorded trace
+    /// into a replayable [`Program`] (see the module docs for the machine
+    /// semantics).
+    ///
+    /// `seed` becomes the program seed (behavioral ops draw from it, and
+    /// it feeds through to [`Program::seed`]); `fuel` bounds the number of
+    /// executed instructions.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::OutOfFuel`] if the program does not exit within `fuel`
+    /// instructions.
+    pub fn execute(&self, seed: u64, fuel: u64) -> Result<Execution, ExecError> {
+        let (br_slots, mem_slots) = self.arch_slots();
+        let mut br_traces: Vec<Vec<bool>> = vec![Vec::new(); br_slots.len()];
+        let mut mem_traces: Vec<Vec<u64>> = vec![Vec::new(); mem_slots.len()];
+
+        let total_insts: u64 = self.static_inst_count();
+        let mut exec_counts: Vec<u64> = vec![0; total_insts as usize];
+        let mut machine = Machine::new();
+        let mut call_stack: Vec<usize> = Vec::new();
+        let mut stats = TraceStats::default();
+
+        let mut block = self.entry;
+        'run: loop {
+            let blk = &self.blocks[block];
+            let base_flat = self.start_flat[block];
+            let mut next_block: Option<usize> = blk.fall;
+            for (idx, ai) in blk.insts.iter().enumerate() {
+                if stats.executed == fuel {
+                    return Err(ExecError::OutOfFuel {
+                        executed: stats.executed,
+                    });
+                }
+                let flat = base_flat + idx as u64;
+                let n = exec_counts[flat as usize];
+                exec_counts[flat as usize] += 1;
+
+                let op_class = op_class_of(&ai.op);
+                stats.executed += 1;
+                stats.class_counts[slot(op_class)] += 1;
+
+                match &ai.op {
+                    AsmOp::Beh(inst) => {
+                        // Behavioral value results are not modelled; zero any
+                        // named destination so downstream arch ops stay
+                        // deterministic.
+                        if let Some(dst) = inst.dst {
+                            if dst.is_fp() {
+                                machine.fregs[dst.index() as usize] = 0.0;
+                            } else {
+                                machine.seti(dst.index(), 0);
+                            }
+                        }
+                    }
+                    AsmOp::BehBranch { beh, .. } => {
+                        let taken = self.br_behaviors[beh.0 as usize].outcome(seed, flat, n);
+                        self.note_cond(&mut stats, block, taken);
+                        if taken {
+                            next_block = blk.taken;
+                            break;
+                        }
+                    }
+                    AsmOp::Jump => {
+                        next_block = blk.taken;
+                        break;
+                    }
+                    AsmOp::Call => {
+                        if let Some(ret_to) = blk.fall {
+                            call_stack.push(ret_to);
+                            stats.max_call_depth =
+                                stats.max_call_depth.max(call_stack.len() as u64);
+                        }
+                        next_block = blk.taken;
+                        break;
+                    }
+                    AsmOp::Ret => match call_stack.pop() {
+                        Some(ret_to) => {
+                            next_block = Some(ret_to);
+                            break;
+                        }
+                        None => break 'run,
+                    },
+                    AsmOp::Li { dst, imm } => machine.seti(*dst, *imm),
+                    AsmOp::Fli { dst, imm } => machine.fregs[*dst as usize] = *imm,
+                    AsmOp::Int3 { kind, dst, s1, s2 } => {
+                        let b = machine.geti(*s2);
+                        let v = machine.int3(*kind, *s1, b);
+                        machine.seti(*dst, v);
+                    }
+                    AsmOp::IntImm { kind, dst, s1, imm } => {
+                        let v = machine.int3(*kind, *s1, *imm);
+                        machine.seti(*dst, v);
+                    }
+                    AsmOp::Fp3 { kind, dst, s1, s2 } => {
+                        let a = machine.fregs[*s1 as usize];
+                        let b = machine.fregs[*s2 as usize];
+                        machine.fregs[*dst as usize] = match kind {
+                            FpKind::Add => a + b,
+                            FpKind::Sub => a - b,
+                            FpKind::Mul => a * b,
+                            FpKind::Div => a / b,
+                        };
+                    }
+                    AsmOp::FpCmp { kind, dst, s1, s2 } => {
+                        let a = machine.fregs[*s1 as usize];
+                        let b = machine.fregs[*s2 as usize];
+                        let v = match kind {
+                            CmpKind::Eq => a == b,
+                            CmpKind::Lt => a < b,
+                            CmpKind::Le => a <= b,
+                        };
+                        machine.seti(*dst, i64::from(v));
+                    }
+                    AsmOp::MemArch {
+                        store,
+                        fp,
+                        reg,
+                        off,
+                        base,
+                    } => {
+                        let addr = machine.geti(*base).wrapping_add(*off) as u64;
+                        mem_traces[mem_slots[&flat]].push(addr);
+                        if *store {
+                            let bits = if *fp {
+                                machine.fregs[*reg as usize].to_bits()
+                            } else {
+                                machine.geti(*reg) as u64
+                            };
+                            machine.mem.insert(addr, bits);
+                        } else {
+                            let bits = machine.mem.get(&addr).copied().unwrap_or(0);
+                            if *fp {
+                                machine.fregs[*reg as usize] = f64::from_bits(bits);
+                            } else {
+                                machine.seti(*reg, bits as i64);
+                            }
+                        }
+                    }
+                    AsmOp::BrZ { expect_zero, src } => {
+                        let taken = (machine.geti(*src) == 0) == *expect_zero;
+                        br_traces[br_slots[&flat]].push(taken);
+                        self.note_cond(&mut stats, block, taken);
+                        if taken {
+                            next_block = blk.taken;
+                            break;
+                        }
+                    }
+                    AsmOp::BrCmp { kind, s1, s2 } => {
+                        let a = machine.geti(*s1);
+                        let b = machine.geti(*s2);
+                        let taken = match kind {
+                            BrKind::Eq => a == b,
+                            BrKind::Ne => a != b,
+                            BrKind::Lt => a < b,
+                            BrKind::Ge => a >= b,
+                            BrKind::Ltu => (a as u64) < (b as u64),
+                            BrKind::Geu => (a as u64) >= (b as u64),
+                        };
+                        br_traces[br_slots[&flat]].push(taken);
+                        self.note_cond(&mut stats, block, taken);
+                        if taken {
+                            next_block = blk.taken;
+                            break;
+                        }
+                    }
+                }
+            }
+            match next_block {
+                Some(b) => block = b,
+                None => break,
+            }
+        }
+
+        let program = self
+            .link(seed, &br_traces, &mem_traces)
+            .map_err(ExecError::Link)?;
+        Ok(Execution { program, stats })
+    }
+
+    /// Records one conditional-branch execution in the stats, classifying
+    /// back-edges by taken-target position.
+    fn note_cond(&self, stats: &mut TraceStats, block: usize, taken: bool) {
+        stats.cond_execs += 1;
+        if taken {
+            stats.cond_taken += 1;
+        }
+        if let Some(target) = self.blocks[block].taken {
+            if target <= block {
+                stats.backedge_execs += 1;
+                if taken {
+                    stats.backedge_taken += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::parse;
+    use crate::stream::DynStream;
+
+    #[test]
+    fn counted_loop_runs_exact_trips() {
+        let src = "\
+main:
+    li   r1, 5
+    li   r2, 0
+loop:
+    addi r2, r2, 3
+    addi r1, r1, -1
+    bnez r1, loop
+done:
+    ret
+";
+        let e = parse(src).unwrap().execute(0, 1_000).unwrap();
+        // 2 setup + 5*3 loop + 1 ret
+        assert_eq!(e.stats.executed, 18);
+        assert_eq!(e.stats.cond_execs, 5);
+        assert_eq!(e.stats.cond_taken, 4);
+        assert_eq!(e.stats.backedge_execs, 5);
+        assert!((e.stats.mean_trip() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replay_program_matches_executed_trace() {
+        let src = "\
+main:
+    li   r1, 6
+    li   r3, 0
+loop:
+    andi r2, r1, 1
+    st   r1, 0(r3)
+    addi r3, r3, 8
+    ld   r4, -8(r3)
+    addi r1, r1, -1
+    beqz r2, skip
+    addi r5, r5, 1
+skip:
+    bnez r1, loop
+tail:
+    ret
+";
+        let e = parse(src).unwrap().execute(7, 10_000).unwrap();
+        let walked: Vec<_> = DynStream::new(&e.program).collect();
+        // The stream walk replays exactly the executed instruction count.
+        assert_eq!(walked.len() as u64, e.stats.executed);
+        // Data-dependent branch: r2 = r1 & 1 before the decrement, so r1 runs
+        // 6,5,4,3,2,1 and beqz is taken exactly when r1 was even. Blocks are
+        // main(2), loop(6: andi st addi ld addi beqz), anon(1: addi), skip(1),
+        // tail(1) -> beqz sits at flat index 7.
+        let beqz_pc = 7 * crate::program::INST_BYTES;
+        let beqz: Vec<bool> = walked
+            .iter()
+            .filter(|i| i.pc == beqz_pc)
+            .map(|i| i.taken)
+            .collect();
+        assert_eq!(beqz, [true, false, true, false, true, false]);
+        // Store addresses stride by 8 from 0.
+        let st_addrs: Vec<u64> = walked
+            .iter()
+            .filter(|i| i.op == OpClass::Store)
+            .map(|i| i.mem_addr.unwrap())
+            .collect();
+        assert_eq!(st_addrs, [0, 8, 16, 24, 32, 40]);
+    }
+
+    #[test]
+    fn loads_observe_stores_and_calls_nest() {
+        let src = "\
+main:
+    li   r1, 41
+    st   r1, 16(r0)
+    call fun
+    ld   r2, 16(r0)
+    bnez r2, ok
+bad:
+    nop
+    .exit
+ok:
+    ret
+fun:
+    ld   r3, 16(r0)
+    addi r3, r3, 1
+    st   r3, 16(r0)
+    ret
+";
+        let e = parse(src).unwrap().execute(0, 1_000).unwrap();
+        assert_eq!(e.stats.max_call_depth, 1);
+        // The final bnez must be taken (memory carried 42 across the call).
+        let walked: Vec<_> = DynStream::new(&e.program).collect();
+        let last_branch = walked
+            .iter()
+            .rfind(|i| i.op == OpClass::BranchCond)
+            .unwrap();
+        assert!(last_branch.taken);
+        assert_eq!(walked.len() as u64, e.stats.executed);
+    }
+
+    #[test]
+    fn fuel_bounds_runaway_programs() {
+        let src = "spin:\n    j spin\n";
+        let err = parse(src).unwrap().execute(0, 100).unwrap_err();
+        assert_eq!(err, ExecError::OutOfFuel { executed: 100 });
+    }
+
+    #[test]
+    fn fp_path_computes() {
+        let src = "\
+main:
+    fli  f1, 1.5
+    fli  f2, 2.5
+    fadd f3, f1, f2
+    fli  f4, 4.0
+    flt  r1, f3, f4
+    bnez r1, yes
+no:
+    nop
+    .exit
+yes:
+    ret
+";
+        let e = parse(src).unwrap().execute(0, 100).unwrap();
+        let walked: Vec<_> = DynStream::new(&e.program).collect();
+        // 1.5 + 2.5 = 4.0, flt(4.0, 4.0) = 0 -> branch not taken -> falls to `no`.
+        let br = walked.iter().find(|i| i.op == OpClass::BranchCond).unwrap();
+        assert!(!br.taken);
+        // 3x fli + fadd + flt all occupy the FP-add class.
+        assert_eq!(e.stats.fp_frac(), 5.0 / e.stats.executed as f64);
+    }
+
+    #[test]
+    fn mixed_behavioral_and_architectural_ops_replay_identically() {
+        let src = "\
+.brbeh coin prob 0.5
+.membeh heap random 4096 1024
+main:
+    li   r1, 20
+loop:
+    load r2, [r1] @heap
+    br.cond r2, hit @coin
+miss:
+    addi r1, r1, -1
+    bnez r1, loop
+done:
+    ret
+hit:
+    addi r1, r1, -1
+    bnez r1, loop
+    .fall done
+";
+        let m = parse(src).unwrap();
+        let e = m.execute(123, 10_000).unwrap();
+        let a: Vec<_> = DynStream::new(&e.program).collect();
+        let b: Vec<_> = DynStream::new(&e.program).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len() as u64, e.stats.executed);
+        // Same seed re-executes to the same program (traces included).
+        let e2 = m.execute(123, 10_000).unwrap();
+        assert_eq!(e.program, e2.program);
+        assert_eq!(e.stats, e2.stats);
+    }
+}

@@ -41,13 +41,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod asm;
 mod behavior;
+pub mod exec;
 mod op;
 mod program;
 pub mod rng;
 mod stream;
 
+pub use asm::{parse, print_gasm, AsmError, AsmErrorKind, AsmModule};
 pub use behavior::{BranchBehavior, BranchBehaviorId, MemBehavior, MemBehaviorId};
+pub use exec::{ExecError, Execution, TraceStats, NUM_OP_CLASSES};
 pub use op::{ArchReg, Cluster, OpClass, NUM_FP_ARCH_REGS, NUM_INT_ARCH_REGS};
 pub use program::{
     BasicBlock, BlockId, Inst, Program, ProgramBuilder, ProgramError, EXIT_PC, INST_BYTES,

@@ -191,6 +191,14 @@ pub enum ProgramError {
     MissingBehavior(BlockId, usize),
     /// A block has no instructions.
     EmptyBlock(BlockId),
+    /// A block can never be reached from the entry block (reported by the
+    /// assembler's CFG verifier — `ProgramBuilder::build` accepts dead
+    /// blocks, the `.gasm` front end does not).
+    Unreachable(BlockId),
+    /// Control can fall off the end of a block that has no fall-through
+    /// successor and no exiting terminator (assembler CFG verifier; end a
+    /// `.gasm` program with `ret`, `j`, or an explicit `.exit`).
+    FallsOffEnd(BlockId),
 }
 
 impl fmt::Display for ProgramError {
@@ -223,6 +231,16 @@ impl fmt::Display for ProgramError {
                 )
             }
             ProgramError::EmptyBlock(b) => write!(f, "block {b:?} is empty"),
+            ProgramError::Unreachable(b) => {
+                write!(f, "block {b:?} is unreachable from the entry block")
+            }
+            ProgramError::FallsOffEnd(b) => {
+                write!(
+                    f,
+                    "control falls off the end of block {b:?} (no fall-through successor and no \
+                     exiting terminator)"
+                )
+            }
         }
     }
 }
@@ -253,7 +271,7 @@ impl std::error::Error for ProgramError {}
 /// assert_eq!(program.static_inst_count(), 2);
 /// # Ok::<(), gals_isa::ProgramError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     blocks: Vec<BasicBlock>,
     branch_behaviors: Vec<BranchBehavior>,
@@ -318,6 +336,18 @@ impl Program {
     #[inline]
     pub fn mem_behavior(&self, id: MemBehaviorId) -> &MemBehavior {
         &self.mem_behaviors[id.0 as usize]
+    }
+
+    /// Number of registered branch behaviours (valid ids are `0..count`).
+    #[inline]
+    pub fn branch_behavior_count(&self) -> usize {
+        self.branch_behaviors.len()
+    }
+
+    /// Number of registered memory behaviours (valid ids are `0..count`).
+    #[inline]
+    pub fn mem_behavior_count(&self) -> usize {
+        self.mem_behaviors.len()
     }
 
     /// Flat static index of an instruction (dense over the whole program);

@@ -30,9 +30,29 @@ pub fn hash3_f64(seed: u64, stream: u64, counter: u64) -> f64 {
     (hash3(seed, stream, counter) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
+/// FNV-1a 64-bit over a byte string: the workspace's stable content hash
+/// (also used, with its own pinned copy, by `gals-sweep`'s `RunKey`s).
+/// Here it content-addresses `.gasm` program text so a program-driven
+/// workload's identity changes whenever its source does.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
 
     #[test]
     fn mix64_is_deterministic_and_nontrivial() {

@@ -255,11 +255,11 @@ impl ResultCache {
 mod tests {
     use super::*;
     use crate::{DvfsPoint, ModePoint, SweepMatrix, WORKLOAD_SEED};
-    use gals_workload::Benchmark;
+    use gals_workload::{Benchmark, Workload};
 
     fn specs() -> Vec<crate::RunSpec> {
         SweepMatrix {
-            benchmarks: vec![Benchmark::Adpcm],
+            benchmarks: vec![Workload::Profile(Benchmark::Adpcm)],
             modes: vec![
                 ModePoint::Synchronous,
                 ModePoint::Gals {

@@ -602,11 +602,11 @@ fn run_job(state: &Arc<ReqState>, i: usize) {
 mod tests {
     use super::*;
     use crate::{DvfsPoint, ModePoint, SweepMatrix, WORKLOAD_SEED};
-    use gals_workload::Benchmark;
+    use gals_workload::{Benchmark, Workload};
 
     fn tiny_matrix() -> SweepMatrix {
         SweepMatrix {
-            benchmarks: vec![Benchmark::Adpcm],
+            benchmarks: vec![Workload::Profile(Benchmark::Adpcm)],
             modes: vec![
                 ModePoint::Synchronous,
                 ModePoint::Gals {

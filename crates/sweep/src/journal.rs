@@ -361,11 +361,11 @@ pub(crate) fn parse_blob(
 mod tests {
     use super::*;
     use crate::{DvfsPoint, ModePoint, SweepMatrix, WORKLOAD_SEED};
-    use gals_workload::Benchmark;
+    use gals_workload::{Benchmark, Workload};
 
     fn specs() -> Vec<RunSpec> {
         SweepMatrix {
-            benchmarks: vec![Benchmark::Adpcm],
+            benchmarks: vec![Workload::Profile(Benchmark::Adpcm)],
             modes: vec![
                 ModePoint::Synchronous,
                 ModePoint::Gals {

@@ -13,7 +13,7 @@
 //!
 //! | axis | values |
 //! |------|--------|
-//! | benchmark | any subset of [`gals_workload::Benchmark`] |
+//! | workload | any subset of [`gals_workload::Workload`]: synthetic [`gals_workload::Benchmark`] profiles and/or `prog:`-prefixed `.gasm` kernels |
 //! | clocking mode | [`ModePoint`]: synchronous, FIFO-GALS, or pausible — each optionally with the wakeup-filter / wakeup-coalescing features |
 //! | handshake duration | carried inside pausible [`ModePoint`]s (one mode point per duration) |
 //! | pausible transfer model | carried inside pausible [`ModePoint`]s: latched (full channel capacity) or rendezvous (single-entry ports, producers block) |
@@ -214,7 +214,7 @@ use gals_core::{
     simulate, DeadlockReport, DvfsPlan, PortState, ProcessorConfig, SimError, SimLimits, SimReport,
 };
 use gals_events::Time;
-use gals_workload::{generate, Benchmark};
+use gals_workload::{generate_workload, Benchmark, Workload};
 
 pub use gals_analysis::{Finding, Severity};
 
@@ -250,7 +250,17 @@ pub use gals_analysis::{Finding, Severity};
 /// the stable `GA…` finding code in their `panic_msg`. See
 /// `docs/ANALYSIS.md` for the code table and `sweep --check` for the
 /// zero-simulation matrix vetting path.
-pub const SCHEMA_VERSION: u32 = 5;
+///
+/// v6: program-driven workloads. The benchmark axis becomes a workload
+/// axis: alongside the synthetic profiles, matrix files may name
+/// checked-in `.gasm` kernels as `"prog:<kernel>"` (the run's
+/// `benchmark` field carries that prefixed name). Kernel run keys are
+/// content-addressed — the key canon's benchmark component becomes
+/// [`Workload::identity`], which for kernels appends an FNV-1a hash of
+/// the kernel source, so editing a `.gasm` file invalidates exactly the
+/// cached results built from it. Profile-only reports differ from v5
+/// only by the version number. See `docs/PROGRAM_FORMAT.md`.
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// Default workload seed (matches the bench harness's "input set").
 pub const WORKLOAD_SEED: u64 = 0x5EC9_5201;
@@ -408,8 +418,9 @@ impl DvfsPoint {
 /// collapse rule (non-uniform DVFS × synchronous is skipped).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepMatrix {
-    /// Benchmark axis.
-    pub benchmarks: Vec<Benchmark>,
+    /// Workload axis: synthetic benchmark profiles and/or checked-in
+    /// `.gasm` program kernels.
+    pub benchmarks: Vec<Workload>,
     /// Clocking-mode axis (handshake durations live inside pausible
     /// points).
     pub modes: Vec<ModePoint>,
@@ -444,10 +455,10 @@ impl SweepMatrix {
     pub fn paper_default(budget: u64) -> Self {
         SweepMatrix {
             benchmarks: vec![
-                Benchmark::Gcc,
-                Benchmark::Fpppp,
-                Benchmark::Ijpeg,
-                Benchmark::Compress,
+                Workload::Profile(Benchmark::Gcc),
+                Workload::Profile(Benchmark::Fpppp),
+                Workload::Profile(Benchmark::Ijpeg),
+                Workload::Profile(Benchmark::Compress),
             ],
             modes: vec![
                 ModePoint::Synchronous,
@@ -541,12 +552,7 @@ impl SweepMatrix {
         let _ = writeln!(
             s,
             "  \"benchmarks\": [{}],",
-            quoted_list(
-                self.benchmarks
-                    .iter()
-                    .map(|b| b.name().to_string())
-                    .collect()
-            )
+            quoted_list(self.benchmarks.iter().map(|b| b.name()).collect())
         );
         let _ = writeln!(
             s,
@@ -627,8 +633,8 @@ pub struct RunSpec {
     /// Position in matrix order — the report's ordering key, independent of
     /// worker scheduling.
     pub index: usize,
-    /// Workload.
-    pub benchmark: Benchmark,
+    /// Workload (synthetic profile or program kernel).
+    pub benchmark: Workload,
     /// Clocking/feature point.
     pub mode: ModePoint,
     /// DVFS point.
@@ -699,7 +705,7 @@ impl RunSpec {
     }
 
     fn run_with_limits(&self, limits: SimLimits) -> RunRecord {
-        let program = generate(self.benchmark, self.workload_seed);
+        let program = generate_workload(self.benchmark, self.workload_seed);
         match simulate(&program, self.config(), limits) {
             Ok(report) => RunRecord::new(self, &report),
             Err(SimError::Deadlock(report)) => {
@@ -738,7 +744,10 @@ impl RunSpec {
 
 /// The canonical content identity of one matrix point: an FNV-1a hash
 /// (see [`stable_hash`]) of everything that determines the run's
-/// simulation output — schema version, benchmark, mode point (clocking
+/// simulation output — schema version, workload identity
+/// ([`Workload::identity`]: the plain benchmark name for profiles, a
+/// content-addressed `prog:<kernel>#<hash>` for `.gasm` kernels, so
+/// editing a kernel source changes its keys), mode point (clocking
 /// family, handshake duration, transfer model, wakeup features), DVFS
 /// label and per-domain slowdowns, phase seed, workload seed, budget, and
 /// the [`ProcessorConfig::stable_identity`] of the configuration the spec
@@ -759,7 +768,7 @@ impl RunKey {
         let canon = format!(
             "v{}|{}|{}|{}|{:?}|{}|{}|{}|{}",
             SCHEMA_VERSION,
-            spec.benchmark.name(),
+            spec.benchmark.identity(),
             spec.mode.label(),
             spec.dvfs.label,
             spec.dvfs.slowdown,
@@ -1615,7 +1624,7 @@ impl SweepResults {
     /// metrics and must never contribute to a derived table.
     fn find(
         &self,
-        benchmark: Benchmark,
+        benchmark: Workload,
         mode: ModePoint,
         dvfs_label: &str,
         seed: u64,
@@ -1971,7 +1980,7 @@ mod tests {
 
     fn tiny_matrix() -> SweepMatrix {
         SweepMatrix {
-            benchmarks: vec![Benchmark::Adpcm],
+            benchmarks: vec![Workload::Profile(Benchmark::Adpcm)],
             modes: vec![
                 ModePoint::Synchronous,
                 ModePoint::Gals {
@@ -2110,7 +2119,7 @@ mod tests {
                 assert!(
                     specs
                         .iter()
-                        .any(|s| s.benchmark == b && s.mode.clocking() == kind),
+                        .any(|s| s.benchmark == Workload::Profile(b) && s.mode.clocking() == kind),
                     "missing {kind}/{b:?}"
                 );
             }

@@ -21,7 +21,9 @@
 //! }
 //! ```
 //!
-//! * `benchmarks` — lower-case names from [`Benchmark::name`].
+//! * `benchmarks` — workload names from [`Workload::name`]: lower-case
+//!   synthetic benchmark names (`"gcc"`) and/or `prog:`-prefixed program
+//!   kernels (`"prog:gcc_like"`, see `docs/PROGRAM_FORMAT.md`).
 //! * `modes` — [`ModePoint::label`](crate::ModePoint::label) strings:
 //!   `sync`, `gals[+filter]`,
 //!   `pausible@<N>ps[+rendezvous][+coalesce][+filter]` (`+rendezvous`
@@ -47,7 +49,7 @@
 //! carries no serde); errors are human-readable strings the binary routes
 //! to stderr with the uniform usage exit code.
 
-use gals_workload::Benchmark;
+use gals_workload::Workload;
 
 use crate::{DvfsPoint, ModePoint, SweepMatrix, WORKLOAD_SEED};
 
@@ -243,16 +245,17 @@ impl<'a> Parser<'a> {
     }
 }
 
-fn benchmark_by_name(name: &str) -> Result<Benchmark, String> {
-    Benchmark::ALL
-        .into_iter()
-        .find(|b| b.name() == name)
-        .ok_or_else(|| {
-            format!(
-                "unknown benchmark {name:?} (expected one of: {})",
-                Benchmark::ALL.map(|b| b.name()).join(", ")
-            )
-        })
+fn benchmark_by_name(name: &str) -> Result<Workload, String> {
+    Workload::by_name(name).ok_or_else(|| {
+        format!(
+            "unknown benchmark {name:?} (expected one of: {})",
+            Workload::all()
+                .iter()
+                .map(|w| w.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })
 }
 
 /// Parses a [`ModePoint::label`] string back into the mode point.

@@ -6,14 +6,18 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use gals_sweep::{
-    sweep, DvfsPoint, ModePoint, RunKey, SweepMatrix, SweepOptions, SweepRequest, WORKLOAD_SEED,
+    stable_hash, sweep, DvfsPoint, ModePoint, RunKey, SweepMatrix, SweepOptions, SweepRequest,
+    SCHEMA_VERSION, WORKLOAD_SEED,
 };
-use gals_workload::Benchmark;
+use gals_workload::{Benchmark, ProgramKernel, Workload};
 use proptest::prelude::*;
 
 fn small_matrix(seed: u64, budget: u64) -> SweepMatrix {
     SweepMatrix {
-        benchmarks: vec![Benchmark::Adpcm, Benchmark::Compress],
+        benchmarks: vec![
+            Workload::Profile(Benchmark::Adpcm),
+            Workload::Profile(Benchmark::Compress),
+        ],
         modes: vec![
             ModePoint::Synchronous,
             ModePoint::Gals {
@@ -162,6 +166,121 @@ fn run_keys_ignore_execution_policy_and_separate_content() {
         None,
         "upper case rejected"
     );
+}
+
+#[test]
+fn run_keys_follow_the_documented_canon() {
+    // The key canon is part of the on-disk contract (docs/SWEEP_FORMAT.md):
+    // an FNV-1a hash of
+    //   v{schema}|{workload identity}|{mode}|{dvfs label}|{slowdown:?}|
+    //   {phase_seed}|{workload_seed}|{budget}|{config identity}.
+    // Recompute it from public pieces for every point of a mixed
+    // profile+kernel matrix; drift here silently orphans every cached
+    // blob and journal entry on disk.
+    let mut matrix = small_matrix(1, 500);
+    matrix
+        .benchmarks
+        .push(Workload::Kernel(ProgramKernel::GccLike));
+    for spec in matrix.expand() {
+        let canon = format!(
+            "v{}|{}|{}|{}|{:?}|{}|{}|{}|{}",
+            SCHEMA_VERSION,
+            spec.benchmark.identity(),
+            spec.mode.label(),
+            spec.dvfs.label,
+            spec.dvfs.slowdown,
+            spec.phase_seed,
+            spec.workload_seed,
+            spec.budget,
+            spec.config().stable_identity(),
+        );
+        assert_eq!(
+            spec.key().as_u64(),
+            stable_hash::fnv1a(canon.as_bytes()),
+            "canon drifted for {}",
+            spec.benchmark.name()
+        );
+    }
+}
+
+#[test]
+fn program_kernels_cache_and_parallelise_like_profiles() {
+    // The program-kernel axis must be a first-class citizen of the cache:
+    // kernel runs are content-addressed (their identity hashes the .gasm
+    // source), a parallel cold pass and a serial warm pass render
+    // byte-identical JSON, and the warm pass simulates nothing.
+    let dir = temp_dir("kernels");
+    let matrix = SweepMatrix {
+        benchmarks: ProgramKernel::ALL
+            .iter()
+            .map(|&k| Workload::Kernel(k))
+            .collect(),
+        modes: vec![
+            ModePoint::Synchronous,
+            ModePoint::Gals {
+                wakeup_filter: false,
+            },
+            ModePoint::Pausible {
+                handshake_ps: 300,
+                coalesce: false,
+                wakeup_filter: false,
+                rendezvous: false,
+            },
+        ],
+        dvfs: vec![DvfsPoint::nominal()],
+        phase_seeds: vec![1],
+        workload_seed: WORKLOAD_SEED,
+        budget: 400,
+        retries: 0,
+        run_timeout_ms: None,
+    };
+
+    // Kernel keys are distinct from each other and from the profile keys
+    // of their reference benchmarks (the identity carries the source hash).
+    let keys: Vec<RunKey> = matrix.expand().iter().map(RunKey::of).collect();
+    let mut uniq = keys.clone();
+    uniq.sort();
+    uniq.dedup();
+    assert_eq!(uniq.len(), keys.len());
+    let mut profiles = matrix.clone();
+    profiles.benchmarks = vec![
+        Workload::Profile(Benchmark::Gcc),
+        Workload::Profile(Benchmark::Fpppp),
+        Workload::Profile(Benchmark::Ijpeg),
+    ];
+    for pk in profiles.expand().iter().map(RunKey::of) {
+        assert!(!keys.contains(&pk), "kernel and profile keys must differ");
+    }
+
+    let cold = sweep(
+        &SweepRequest::new(matrix.clone())
+            .with_options(SweepOptions::new().threads(3).cache(dir.clone())),
+    )
+    .expect("cold kernel sweep");
+    assert_eq!(cold.simulated, cold.results.runs.len());
+    assert_eq!(cold.results.failed_count(), 0, "kernel runs must succeed");
+
+    let warm = sweep(
+        &SweepRequest::new(matrix).with_options(SweepOptions::new().threads(1).cache(dir.clone())),
+    )
+    .expect("warm kernel sweep");
+    assert_eq!(warm.simulated, 0);
+    assert_eq!(warm.cache.hits as usize, warm.results.runs.len());
+    assert_eq!(
+        warm.results.to_json(),
+        cold.results.to_json(),
+        "parallel cold and serial warm kernel sweeps must render identical bits"
+    );
+    for k in ProgramKernel::ALL {
+        assert!(
+            warm.results
+                .to_json()
+                .contains(&format!("\"prog:{}\"", k.name())),
+            "report names kernel {k}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

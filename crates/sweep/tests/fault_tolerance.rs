@@ -14,12 +14,15 @@ use gals_sweep::{
     run_sweep, run_sweep_with, DvfsPoint, FaultPlan, ModePoint, RunStatus, SweepMatrix,
     SweepOptions, WORKLOAD_SEED,
 };
-use gals_workload::Benchmark;
+use gals_workload::{Benchmark, Workload};
 use proptest::prelude::*;
 
 fn small_matrix(seed: u64, budget: u64) -> SweepMatrix {
     SweepMatrix {
-        benchmarks: vec![Benchmark::Adpcm, Benchmark::Compress],
+        benchmarks: vec![
+            Workload::Profile(Benchmark::Adpcm),
+            Workload::Profile(Benchmark::Compress),
+        ],
         modes: vec![
             ModePoint::Synchronous,
             ModePoint::Gals {

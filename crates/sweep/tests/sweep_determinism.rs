@@ -5,7 +5,7 @@
 //! report.
 
 use gals_sweep::{run_sweep, DvfsPoint, ModePoint, SweepMatrix, SCHEMA_VERSION, WORKLOAD_SEED};
-use gals_workload::Benchmark;
+use gals_workload::{Benchmark, Workload};
 use proptest::prelude::*;
 
 /// A small randomised matrix: every axis varies, runs stay cheap.
@@ -23,9 +23,12 @@ fn arb_matrix() -> impl Strategy<Value = SweepMatrix> {
         .prop_map(
             |(bsel, sync, filter, handshake_ps, coalesce, fp_dvfs, seed, budget)| {
                 let benchmarks = match bsel {
-                    0 => vec![Benchmark::Adpcm],
-                    1 => vec![Benchmark::Gcc],
-                    _ => vec![Benchmark::Adpcm, Benchmark::Compress],
+                    0 => vec![Workload::Profile(Benchmark::Adpcm)],
+                    1 => vec![Workload::Profile(Benchmark::Gcc)],
+                    _ => vec![
+                        Workload::Profile(Benchmark::Adpcm),
+                        Workload::Profile(Benchmark::Compress),
+                    ],
                 };
                 let mut modes = vec![
                     ModePoint::Gals {
@@ -134,7 +137,7 @@ fn empty_matrix_still_emits_a_valid_schema_versioned_report() {
 #[test]
 fn singleton_matrix_emits_one_run_and_empty_tables() {
     let matrix = SweepMatrix {
-        benchmarks: vec![Benchmark::Adpcm],
+        benchmarks: vec![Workload::Profile(Benchmark::Adpcm)],
         modes: vec![ModePoint::Synchronous],
         dvfs: vec![DvfsPoint::nominal()],
         phase_seeds: vec![1],
@@ -158,7 +161,7 @@ fn singleton_matrix_emits_one_run_and_empty_tables() {
 #[test]
 fn more_threads_than_runs_is_fine() {
     let matrix = SweepMatrix {
-        benchmarks: vec![Benchmark::Adpcm],
+        benchmarks: vec![Workload::Profile(Benchmark::Adpcm)],
         modes: vec![ModePoint::Gals {
             wakeup_filter: false,
         }],

@@ -28,8 +28,10 @@
 #![warn(missing_docs)]
 
 mod gen;
+mod kernels;
 pub mod micro;
 mod profile;
 
 pub use gen::{generate, generate_profile};
+pub use kernels::{generate_workload, ProgramKernel, Workload};
 pub use profile::{Benchmark, Suite, WorkloadProfile};

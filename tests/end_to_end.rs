@@ -4,7 +4,7 @@
 use gals::clocks::Domain;
 use gals::core::{simulate, simulate_with_engine, Clocking, DvfsPlan, ProcessorConfig, SimLimits};
 use gals::events::Time;
-use gals::workload::{generate, micro, Benchmark};
+use gals::workload::{generate, generate_workload, micro, Benchmark, ProgramKernel, Workload};
 
 const LIMITS: SimLimits = SimLimits::insts(20_000);
 
@@ -46,6 +46,61 @@ fn clockset_and_engine_schedulers_produce_identical_reports() {
                 cfg.clocking
             );
         }
+    }
+}
+
+#[test]
+fn program_kernels_are_bit_identical_across_schedulers_and_clockings() {
+    // The program-driven workloads (checked-in `.gasm` kernels executed to
+    // a trace) must flow through the exact same stream interface as the
+    // synthetic programs: for every kernel, the ClockSet fast path and the
+    // general-engine oracle must agree bit for bit on every report field,
+    // under all four clocking styles.
+    let limits = SimLimits::insts(6_000);
+    for kernel in ProgramKernel::ALL {
+        let program = generate_workload(Workload::Kernel(kernel), 42);
+        for cfg in [
+            ProcessorConfig::synchronous_1ghz(),
+            ProcessorConfig::gals_equal_1ghz(7),
+            ProcessorConfig::pausible_equal_1ghz(7),
+            ProcessorConfig::pausible_rendezvous_1ghz(7),
+        ] {
+            let fast = simulate(&program, cfg.clone(), limits).expect("simulation failed");
+            let oracle =
+                simulate_with_engine(&program, cfg.clone(), limits).expect("simulation failed");
+            assert_eq!(
+                format!("{fast:?}"),
+                format!("{oracle:?}"),
+                "scheduler divergence on {kernel} / {:?}",
+                cfg.clocking
+            );
+        }
+    }
+}
+
+#[test]
+fn program_kernels_reproduce_the_papers_clocking_ordering() {
+    // The paper's qualitative ordering (sync faster than FIFO-GALS faster
+    // than pausible at equal nominal clocks) must hold on the executed
+    // kernels too, not just the synthetic profiles that were tuned for it.
+    for kernel in ProgramKernel::ALL {
+        let program = generate_workload(Workload::Kernel(kernel), 2);
+        let limits = SimLimits::insts(6_000);
+        let base = simulate(&program, ProcessorConfig::synchronous_1ghz(), limits)
+            .expect("simulation failed");
+        let gals = simulate(&program, ProcessorConfig::gals_equal_1ghz(1), limits)
+            .expect("simulation failed");
+        let paus = simulate(&program, ProcessorConfig::pausible_equal_1ghz(1), limits)
+            .expect("simulation failed");
+        assert_eq!(base.committed, gals.committed, "{kernel}: unequal budgets");
+        assert!(
+            base.exec_time < gals.exec_time,
+            "{kernel}: sync must outrun GALS"
+        );
+        assert!(
+            gals.insts_per_ns() > paus.insts_per_ns(),
+            "{kernel}: FIFO-GALS must outrun pausible"
+        );
     }
 }
 
